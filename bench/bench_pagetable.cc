@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Page-table operation microbenchmarks: map/unmap/query/translate on
+ * the hypervisor's radix tables, plus TLB-path effects.  No table in
+ * the paper reports these (its monitor ran in production); they exist
+ * so downstream users can track the simulator's performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hv/machine.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+MemLayout
+bigLayout()
+{
+    MemLayout layout;
+    layout.totalBytes = 64 * 1024 * 1024;
+    layout.ptAreaBytes = 16 * 1024 * 1024;
+    layout.epcBytes = 16 * 1024 * 1024;
+    return layout;
+}
+
+void
+BM_MapUnmap(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    auto pt = PageTable::create(mem, alloc);
+    u64 va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pt->map(va, 0x1000, PteFlags::userRw()));
+        benchmark::DoNotOptimize(pt->unmap(va));
+        va = (va + pageSize) % (1ull << 30);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MapUnmap);
+
+void
+BM_QueryHit(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    auto pt = PageTable::create(mem, alloc);
+    const u64 pages = u64(state.range(0));
+    for (u64 i = 0; i < pages; ++i)
+        (void)pt->map(i * pageSize, i * pageSize, PteFlags::userRw());
+    u64 va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt->query(va));
+        va = (va + pageSize) % (pages * pageSize);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryHit)->Arg(16)->Arg(512)->Arg(4096);
+
+void
+BM_QueryMiss(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    auto pt = PageTable::create(mem, alloc);
+    (void)pt->map(0, 0, PteFlags::userRw());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pt->query(1ull << 38));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryMiss);
+
+void
+BM_TranslateWithPermissions(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    auto pt = PageTable::create(mem, alloc);
+    (void)pt->map(0x1000, 0x2000, PteFlags::userRo());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt->translate(0x1000, false, false));
+        benchmark::DoNotOptimize(pt->translate(0x1000, true, false));
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TranslateWithPermissions);
+
+void
+BM_HugePageQuery(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    auto pt = PageTable::create(mem, alloc);
+    (void)pt->mapHuge(0, 0, PteFlags::userRw(), 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pt->query(0x12'3456));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HugePageQuery);
+
+void
+BM_NestedTranslation(benchmark::State &state)
+{
+    MonitorConfig config;
+    config.layout = bigLayout();
+    Machine machine(config);
+    auto app = machine.createApp(0x40'0000, 8);
+    if (!app)
+        state.SkipWithError("app setup failed");
+    Monitor &mon = machine.monitor();
+    u64 i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mon.translateUncached(
+            Hpa(app->gptRoot.value), mon.normalEptRoot(),
+            Gva(0x40'0000 + (i % 8) * pageSize), false));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedTranslation);
+
+void
+BM_TlbAssistedAccess(benchmark::State &state)
+{
+    MonitorConfig config;
+    config.layout = bigLayout();
+    Machine machine(config);
+    auto app = machine.createApp(0x40'0000, 8);
+    if (!app)
+        state.SkipWithError("app setup failed");
+    (void)machine.switchToApp(*app);
+    u64 i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            machine.memLoad(Gva(0x40'0000 + (i % 8) * pageSize)));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["tlb_hit_rate"] = benchmark::Counter(
+        double(machine.monitor().tlb().hits()) /
+        double(machine.monitor().tlb().hits() +
+               machine.monitor().tlb().misses()));
+}
+BENCHMARK(BM_TlbAssistedAccess);
+
+void
+BM_TableTeardown(benchmark::State &state)
+{
+    PhysMem mem(bigLayout());
+    FrameAllocator alloc(mem, mem.layout().ptAreaRange());
+    const u64 pages = u64(state.range(0));
+    for (auto _ : state) {
+        auto pt = PageTable::create(mem, alloc);
+        for (u64 i = 0; i < pages; ++i) {
+            (void)pt->map(i * (2ull << 20), 0x1000,
+                          PteFlags::userRw());
+        }
+        (void)pt->destroy();
+    }
+    state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_TableTeardown)->Arg(8)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

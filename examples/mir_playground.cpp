@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MIRlight playground: build a small program with the builder API (the
+ * mirlightgen stand-in), run it under the small-step semantics, and
+ * poke at the three pointer kinds of paper Sec. 3.4.
+ *
+ * Build & run:  ./build/examples/mir_playground
+ */
+
+#include <cstdio>
+
+#include "mirlight/builder.hh"
+#include "mirlight/interp.hh"
+#include "mirlight/printer.hh"
+
+using namespace hev;
+using namespace hev::mir;
+
+namespace
+{
+
+Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+/** fn gcd(a, b) -> i64, the classic loop, in explicit MIR. */
+Function
+makeGcd()
+{
+    FunctionBuilder fb("gcd", 2);
+    const VarId a = fb.newVar();
+    const VarId b = fb.newVar();
+    const VarId t = fb.newVar();
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(a), use(v(1)))
+        .assign(MirPlace::of(b), use(v(2)))
+        .jump(head);
+    fb.atBlock(head).switchInt(v(b), {{0, done}}, body);
+    fb.atBlock(body)
+        .assign(MirPlace::of(t), bin(BinOp::Rem, v(a), v(b)))
+        .assign(MirPlace::of(a), use(v(b)))
+        .assign(MirPlace::of(b), use(v(t)))
+        .jump(head);
+    fb.atBlock(done).assign(MirPlace::of(0), use(v(a))).ret();
+    return fb.build();
+}
+
+/** A tiny abstract state with one trusted counter cell. */
+class CounterState : public AbstractState
+{
+  public:
+    Outcome<Value>
+    trustedLoad(u32 handler, u64) override
+    {
+        if (handler != 1)
+            return Trap{TrapKind::TrustedFault, "unknown handler"};
+        return Value::intVal(counter);
+    }
+
+    Outcome<Done>
+    trustedStore(u32 handler, u64, const Value &value) override
+    {
+        if (handler != 1 || !value.isInt())
+            return Trap{TrapKind::TrustedFault, "bad store"};
+        counter = value.asInt();
+        return Done{};
+    }
+
+    i64 counter = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Program prog;
+    prog.add(makeGcd());
+
+    // 0. What the deep embedding looks like, rustc-dump style.
+    std::printf("%s\n", renderFunction(*prog.find("gcd")).c_str());
+
+    CounterState state;
+    Interp interp(prog, &state);
+
+    // 1. Plain computation under the small-step semantics.
+    auto result = interp.call("gcd", {Value::intVal(252),
+                                      Value::intVal(105)});
+    std::printf("gcd(252, 105) = %lld  (%llu interpreter steps)\n",
+                (long long)result->asInt(),
+                (unsigned long long)interp.stats().steps);
+
+    // 2. Path pointers: allocate an object, write through a pointer.
+    const u64 cell = interp.defineGlobal(
+        "config", Value::tuple({Value::intVal(1), Value::intVal(2)}));
+    (void)interp.memory().write({cell, {1}}, Value::intVal(99));
+    auto field = interp.memory().read({cell, {1}});
+    std::printf("object field updated through a path: %lld\n",
+                (long long)field->asInt());
+
+    // 3. Trusted pointers: dereference routes into the abstract state.
+    const Value trusted = Value::trustedPtr(1, 0);
+    (void)interp.storeThrough(trusted, Value::intVal(41));
+    auto loaded = interp.loadThrough(trusted);
+    std::printf("trusted pointer read abstract state: %lld "
+                "(state holds %lld)\n",
+                (long long)loaded->asInt(), (long long)state.counter);
+
+    // 4. RData pointers: opaque by construction.
+    const Value opaque = Value::rdataPtr(11, {7});
+    auto refused = interp.loadThrough(opaque);
+    std::printf("dereferencing an RData handle: %s (%s)\n",
+                refused.ok() ? "ALLOWED (bug!)" : "refused",
+                refused.ok() ? "-"
+                             : trapKindName(refused.trap().kind));
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sealed monotonic counter: the classic TEE service, end to end.
+ *
+ * A host application wants a counter that nothing outside the enclave
+ * can roll back or forge — license metering, replay protection, etc.
+ * The enclave keeps the counter in its private EPC memory; the host
+ * drives it through a tiny marshalling-buffer protocol:
+ *
+ *     word 0: command   (1 = increment, 2 = read)
+ *     word 1: response  (counter value)
+ *     word 2: response tag (a keyed checksum only the enclave can make)
+ *
+ * The demo then acts as a malicious host: writing the counter VA
+ * directly, DMA-ing at the EPC, and forging a tag — all dead ends.
+ *
+ * Build & run:  ./build/examples/sealed_counter
+ */
+
+#include <cstdio>
+
+#include "hv/machine.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+constexpr u64 cmdIncrement = 1;
+constexpr u64 cmdRead = 2;
+
+/** The enclave-side handler: one request-response step. */
+void
+enclaveService(Machine &machine, const EnclaveHandle &enclave)
+{
+    // Private state lives at the first ELRANGE page: [counter, key].
+    const Gva counter_va(enclave.elrange.start.value);
+    const Gva key_va(enclave.elrange.start.value + 8);
+
+    const u64 command = *machine.memLoad(enclave.mbufGva);
+    u64 counter = *machine.memLoad(counter_va);
+    const u64 key = *machine.memLoad(key_va);
+
+    if (command == cmdIncrement)
+        (void)machine.memStore(counter_va, ++counter);
+    // Respond with the value and a keyed tag.
+    (void)machine.memStore(enclave.mbufGva + 8, counter);
+    (void)machine.memStore(enclave.mbufGva + 16,
+                           counter * 0x9e3779b97f4a7c15ull ^ key);
+}
+
+/** Host-side call: place a command, run the enclave, read back. */
+std::pair<u64, u64>
+call(Machine &machine, const EnclaveHandle &enclave, u64 command)
+{
+    (void)machine.mbufWrite(enclave, 0, command);
+    (void)machine.monitor().hcEnclaveEnter(enclave.id, machine.vcpu());
+    enclaveService(machine, enclave);
+    (void)machine.monitor().hcEnclaveExit(machine.vcpu());
+    return {*machine.mbufRead(enclave, 1), *machine.mbufRead(enclave, 2)};
+}
+
+} // namespace
+
+int
+main()
+{
+    Machine machine(MonitorConfig{});
+    // One private page (counter + key), one TCS, one mbuf page.
+    auto enclave = machine.setupEnclave(0x10'0000, 1, 1, 0);
+    if (!enclave) {
+        std::printf("setup failed\n");
+        return 1;
+    }
+
+    // Provision the key (in real life: derived during attestation).
+    (void)machine.monitor().hcEnclaveEnter(enclave->id, machine.vcpu());
+    (void)machine.memStore(Gva(0x10'0008), 0x5eed'c0de);
+    (void)machine.monitor().hcEnclaveExit(machine.vcpu());
+
+    std::printf("sealed counter service up (enclave %u)\n\n",
+                enclave->id);
+    for (int i = 0; i < 3; ++i) {
+        auto [value, tag] = call(machine, *enclave, cmdIncrement);
+        std::printf("  increment -> %llu (tag %#llx)\n",
+                    (unsigned long long)value, (unsigned long long)tag);
+    }
+    auto [value, tag] = call(machine, *enclave, cmdRead);
+    std::printf("  read      -> %llu (tag %#llx)\n\n",
+                (unsigned long long)value, (unsigned long long)tag);
+
+    // --- The malicious host tries to roll the counter back. ---
+    std::printf("malicious host:\n");
+
+    // 1. Write the counter VA from the normal world: the same VA
+    //    resolves through the HOST's tables into host memory, so the
+    //    write lands harmlessly outside the enclave.
+    (void)machine.memStore(Gva(0x10'0000), 0);
+    auto [after_direct, tag_direct] = call(machine, *enclave, cmdRead);
+    (void)tag_direct;
+    std::printf("  direct write to counter VA:   %s\n",
+                after_direct == value ? "lands in host memory, counter "
+                                        "untouched"
+                                      : "ROLLED BACK (broken!)");
+    const bool direct_blocked = after_direct == value;
+
+    // 2. DMA at the counter's physical page.
+    const Enclave *info = machine.monitor().findEnclave(enclave->id);
+    auto hpa = machine.monitor().translateEnclaveUncached(
+        info->gptRoot, info->eptRoot, Gva(0x10'0000), false);
+    auto dma = machine.monitor().mem().dmaWrite(*hpa, 0);
+    std::printf("  DMA to the counter's page:    %s\n",
+                dma.ok() ? "SUCCEEDED (broken!)" : "blocked");
+
+    // 3. Forge a response tag without the key.
+    const u64 forged_value = 0;
+    const u64 forged_tag = forged_value * 0x9e3779b97f4a7c15ull ^ 0;
+    auto [real_value, real_tag] = call(machine, *enclave, cmdRead);
+    std::printf("  forged rollback tag accepted: %s\n",
+                forged_tag == real_tag ? "SUCCEEDED (broken!)" : "no");
+
+    std::printf("\ncounter still at %llu -- monotonicity held\n",
+                (unsigned long long)real_value);
+    return real_value == 3 && direct_blocked && !dma.ok() ? 0 : 1;
+}

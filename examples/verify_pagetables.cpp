@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The MIRVerif pipeline end to end (paper Fig. 3): build the 15-layer
+ * MIR model stack, check every layer's code against its functional
+ * specification (lower layers spec-substituted), check the flat-to-tree
+ * refinement, then the security invariants and noninterference lemmas.
+ *
+ * Build & run:  ./build/examples/verify_pagetables
+ */
+
+#include <cstdio>
+
+#include "ccal/checker.hh"
+#include "ccal/tree_state.hh"
+#include "mirmodels/registry.hh"
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+
+using namespace hev;
+using namespace hev::ccal;
+using namespace hev::ccal::spec;
+
+namespace
+{
+
+u64 totalCases = 0;
+u64 totalFailures = 0;
+
+void
+stage(const char *name)
+{
+    std::printf("\n== %s ==\n", name);
+}
+
+void
+verdict(const char *what, u64 cases, u64 failures)
+{
+    totalCases += cases;
+    totalFailures += failures;
+    std::printf("  %-44s %6llu cases  %s\n", what,
+                (unsigned long long)cases,
+                failures ? "FAIL" : "ok");
+}
+
+/** Conformance sweep for one fallible int-returning function. */
+template <typename MirArgs, typename SpecCall>
+void
+sweep(const char *what, int layer, int rounds, MirArgs mir_args,
+      SpecCall spec_call)
+{
+    Rng rng(u64(layer) * 1000 + 7);
+    u64 cases = 0, failures = 0;
+    for (int round = 0; round < rounds; ++round) {
+        FlatState mir_state;
+        FlatState spec_state;
+        const u64 root = makeRoot(mir_state);
+        (void)makeRoot(spec_state);
+        Rng pop(round);
+        randomPopulate(mir_state, root, pop, 10, 6);
+        pop.reseed(round);
+        randomPopulate(spec_state, root, pop, 10, 6);
+
+        LayerHarness harness(layer, mir_state);
+        for (int step = 0; step < 20; ++step) {
+            auto [args, expected] =
+                mir_args(rng, root, spec_state, spec_call);
+            auto out = harness.run(what, args);
+            ++cases;
+            if (!out.ok() || !(*out == expected)) {
+                ++failures;
+            } else if (diffStates(mir_state, spec_state) != "") {
+                ++failures;
+            }
+        }
+    }
+    verdict(what, cases, failures);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MIRVerif pipeline reproduction "
+                "(HyperEnclave memory subsystem)\n");
+
+    stage("stage 1: mirlightgen (builder) -- model inventory");
+    const Geometry geo;
+    const mir::Program all = mirmodels::buildAll(geo);
+    u64 functions = 0, statements = 0, with_locals = 0;
+    for (const auto &[name, fn] : all.functions) {
+        ++functions;
+        statements += fn.statementCount();
+        if (fn.usesLocals())
+            ++with_locals;
+    }
+    std::printf("  %llu MIR functions in %d layers, %llu statements, "
+                "%llu using memory-allocated locals\n",
+                (unsigned long long)functions, mirmodels::layerCount,
+                (unsigned long long)statements,
+                (unsigned long long)with_locals);
+    for (int layer = 2; layer <= mirmodels::layerCount; ++layer) {
+        std::printf("  L%02d %-26s:", layer,
+                    mirmodels::layerName(layer));
+        for (const std::string &fn : mirmodels::layerFunctions(layer))
+            std::printf(" %s", fn.c_str());
+        std::printf("\n");
+    }
+
+    stage("stage 2: code proofs (per-layer conformance checks)");
+    using mir::Value;
+    auto iv = [](i64 x) { return Value::intVal(x); };
+
+    sweep("pt_map", 9, 20,
+          [&](Rng &rng, u64 root, FlatState &spec_state,
+              auto spec_call) {
+              const u64 va = randomVa(rng, 6);
+              const u64 pa = rng.below(256) * pageSize;
+              const u64 flags = pteFlagP | (rng.next() & 0xe6);
+              return std::make_pair(
+                  std::vector<Value>{iv(i64(root)), iv(i64(va)),
+                                     iv(i64(pa)), iv(i64(flags))},
+                  spec_call(spec_state, root, va, pa, flags));
+          },
+          [&](FlatState &s, u64 root, u64 va, u64 pa, u64 flags) {
+              return iv(specPtMap(s, root, va, pa, flags));
+          });
+    sweep("pt_unmap", 10, 20,
+          [&](Rng &rng, u64 root, FlatState &spec_state,
+              auto spec_call) {
+              const u64 va = randomVa(rng, 6);
+              return std::make_pair(
+                  std::vector<Value>{iv(i64(root)), iv(i64(va))},
+                  spec_call(spec_state, root, va, 0ull, 0ull));
+          },
+          [&](FlatState &s, u64 root, u64 va, u64, u64) {
+              return iv(specPtUnmap(s, root, va));
+          });
+    sweep("pt_query", 8, 20,
+          [&](Rng &rng, u64 root, FlatState &spec_state,
+              auto spec_call) {
+              const u64 va = randomVa(rng, 6);
+              return std::make_pair(
+                  std::vector<Value>{iv(i64(root)), iv(i64(va))},
+                  spec_call(spec_state, root, va, 0ull, 0ull));
+          },
+          [&](FlatState &s, u64 root, u64 va, u64, u64) {
+              return encodeQueryResult(specPtQuery(s, root, va));
+          });
+
+    stage("stage 3: refinement (flat <-> tree, relation R)");
+    {
+        Rng rng(33);
+        u64 cases = 0, failures = 0;
+        for (int round = 0; round < 40; ++round) {
+            FlatState flat;
+            const u64 root = makeRoot(flat);
+            randomPopulate(flat, root, rng, 25, 8);
+            TreeState tree = treeFromFlat(flat, root);
+            if (!refinesFlat(tree, flat, root))
+                ++failures;
+            ++cases;
+            for (int probe = 0; probe < 50; ++probe) {
+                const u64 va = randomVa(rng, 8) | (rng.below(8) * 8);
+                ++cases;
+                if (!(treeQuery(tree, va) == specPtQuery(flat, root,
+                                                         va)))
+                    ++failures;
+            }
+        }
+        verdict("lift satisfies R + query agreement", cases, failures);
+    }
+
+    stage("stage 4: invariant preservation over hypercall sequences");
+    {
+        Rng rng(44);
+        u64 cases = 0, failures = 0;
+        for (int round = 0; round < 20; ++round) {
+            FlatState s;
+            std::vector<i64> ids;
+            for (int step = 0; step < 40; ++step) {
+                switch (rng.below(3)) {
+                  case 0: {
+                    const u64 base = rng.below(8) * 0x10'0000;
+                    const IntResult id = specHcInit(
+                        s, base, base + rng.below(5) * pageSize,
+                        rng.below(32) * 0x8'0000, rng.below(3),
+                        rng.below(48) * pageSize);
+                    if (id.isOk)
+                        ids.push_back(i64(id.value));
+                    break;
+                  }
+                  case 1:
+                    (void)specHcAddPage(
+                        s, ids.empty() ? 1 : ids[rng.below(ids.size())],
+                        rng.below(64) * pageSize,
+                        rng.below(48) * pageSize,
+                        rng.chance(1, 3) ? epcStateTcs : epcStateReg);
+                    break;
+                  default:
+                    (void)specHcInitFinish(
+                        s,
+                        ids.empty() ? 1 : ids[rng.below(ids.size())]);
+                }
+                ++cases;
+                if (!sec::checkInvariants(s).empty())
+                    ++failures;
+            }
+        }
+        verdict("invariants across random hypercalls", cases, failures);
+    }
+
+    stage("stage 5: noninterference (Theorem 5.1 over random traces)");
+    {
+        Rng rng(55);
+        u64 cases = 0, failures = 0;
+        sec::SecState base;
+        sec::DataOracle oracle(5);
+        base.mem[0x4000] = 0xaaa;
+        const i64 e1 = sec::SecMachine::setupEnclave(
+            base, oracle, 0x10'0000, 1, 1, 0x8000, 0x4000);
+        const i64 e2 = sec::SecMachine::setupEnclave(
+            base, oracle, 0x30'0000, 1, 1, 0xa000, 0x4000);
+        for (const sec::Principal p : {sec::osPrincipal, e1, e2}) {
+            for (int round = 0; round < 4; ++round) {
+                sec::SecState s1 = base;
+                sec::SecState s2 = base;
+                sec::perturbUnobservable(s2, p, rng);
+                std::vector<sec::Action> trace;
+                sec::SecState sim = s1;
+                sec::DataOracle sim_oracle(round);
+                for (int step = 0; step < 80; ++step) {
+                    trace.push_back(sec::randomAction(sim, rng));
+                    (void)sec::SecMachine::step(sim, trace.back(),
+                                                sim_oracle);
+                }
+                ++cases;
+                if (sec::checkTrace(s1, s2, p, trace, round))
+                    ++failures;
+            }
+        }
+        verdict("indistinguishability preserved", cases, failures);
+    }
+
+    std::printf("\n%llu checks, %llu failures -- %s\n",
+                (unsigned long long)totalCases,
+                (unsigned long long)totalFailures,
+                totalFailures == 0 ? "the memory subsystem conforms"
+                                   : "VERIFICATION FAILED");
+    return totalFailures == 0 ? 0 : 1;
+}

@@ -1,0 +1,459 @@
+#include "ccal/checker.hh"
+
+#include <sstream>
+
+#include "mirmodels/registry.hh"
+
+namespace hev::ccal
+{
+
+using mir::Outcome;
+using mir::Trap;
+using mir::TrapKind;
+using mir::Value;
+using spec::IntResult;
+using spec::QueryResult;
+
+Value
+encodeIntResult(const IntResult &r)
+{
+    if (r.isOk)
+        return Value::aggregate(0, {Value::intVal(i64(r.value))});
+    return Value::aggregate(1, {Value::intVal(r.errCode)});
+}
+
+Value
+encodeHandle(i64 handle)
+{
+    return Value::rdataPtr(rdataAddrSpaceLayer, {handle});
+}
+
+Value
+encodeHandleResult(const IntResult &r)
+{
+    if (r.isOk)
+        return Value::aggregate(0, {encodeHandle(i64(r.value))});
+    return Value::aggregate(1, {Value::intVal(r.errCode)});
+}
+
+Value
+encodeQueryResult(const QueryResult &r)
+{
+    if (!r.isSome)
+        return Value::aggregate(0, {});
+    return Value::aggregate(
+        1, {Value::tuple({Value::intVal(i64(r.physAddr)),
+                          Value::intVal(i64(r.flags))})});
+}
+
+namespace
+{
+
+Outcome<i64>
+argInt(const std::vector<Value> &args, size_t index)
+{
+    if (index >= args.size() || !args[index].isInt())
+        return Trap{TrapKind::TypeError, "spec primitive expects int"};
+    return args[index].asInt();
+}
+
+/** Handle argument: a well-formed RData handle, or -1 (foreign). */
+i64
+argHandle(const std::vector<Value> &args, size_t index)
+{
+    if (index >= args.size() || !args[index].isRDataPtr())
+        return -1;
+    const auto &rdata = args[index].asRData();
+    if (rdata.owner != rdataAddrSpaceLayer || rdata.payload.size() != 1)
+        return -1;
+    return rdata.payload[0];
+}
+
+} // namespace
+
+void
+registerSpecPrimitives(mir::Interp &interp, FlatState &state, int layer)
+{
+    FlatState *s = &state;
+
+    if (layer > 2) {
+        interp.registerPrimitive(
+            "frame_alloc",
+            [s](mir::Interp &, std::vector<Value>) -> Outcome<Value> {
+                return Value::intVal(i64(spec::specFrameAlloc(*s)));
+            });
+        interp.registerPrimitive(
+            "frame_free",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto frame = argInt(args, 0);
+                if (!frame)
+                    return frame.trap();
+                return Value::intVal(spec::specFrameFree(*s, u64(*frame)));
+            });
+    }
+    if (layer > 3) {
+        interp.registerPrimitive(
+            "pte_make",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto a = argInt(args, 0);
+                auto f = argInt(args, 1);
+                if (!a || !f)
+                    return Trap{TrapKind::TypeError, "pte_make(addr,fl)"};
+                return Value::intVal(
+                    i64(spec::specPteMake(u64(*a), u64(*f))));
+            });
+        interp.registerPrimitive(
+            "pte_addr",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto e = argInt(args, 0);
+                if (!e)
+                    return e.trap();
+                return Value::intVal(i64(spec::specPteAddr(u64(*e))));
+            });
+        interp.registerPrimitive(
+            "pte_flags",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto e = argInt(args, 0);
+                if (!e)
+                    return e.trap();
+                return Value::intVal(i64(spec::specPteFlags(u64(*e))));
+            });
+        interp.registerPrimitive(
+            "pte_present",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto e = argInt(args, 0);
+                if (!e)
+                    return e.trap();
+                return Value::boolVal(spec::specPtePresent(u64(*e)));
+            });
+        interp.registerPrimitive(
+            "pte_writable",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto e = argInt(args, 0);
+                if (!e)
+                    return e.trap();
+                return Value::boolVal(spec::specPteWritable(u64(*e)));
+            });
+        interp.registerPrimitive(
+            "pte_huge",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto e = argInt(args, 0);
+                if (!e)
+                    return e.trap();
+                return Value::boolVal(spec::specPteHuge(u64(*e)));
+            });
+    }
+    if (layer > 4) {
+        interp.registerPrimitive(
+            "va_index",
+            [](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto va = argInt(args, 0);
+                auto level = argInt(args, 1);
+                if (!va || !level)
+                    return Trap{TrapKind::TypeError, "va_index(va,l)"};
+                return Value::intVal(
+                    i64(spec::specVaIndex(u64(*va), *level)));
+            });
+    }
+    if (layer > 5) {
+        interp.registerPrimitive(
+            "entry_read",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto table = argInt(args, 0);
+                auto index = argInt(args, 1);
+                if (!table || !index)
+                    return Trap{TrapKind::TypeError, "entry_read(t,i)"};
+                return Value::intVal(
+                    i64(spec::specEntryRead(*s, u64(*table),
+                                            u64(*index))));
+            });
+        interp.registerPrimitive(
+            "entry_write",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto table = argInt(args, 0);
+                auto index = argInt(args, 1);
+                auto entry = argInt(args, 2);
+                if (!table || !index || !entry)
+                    return Trap{TrapKind::TypeError, "entry_write(t,i,e)"};
+                spec::specEntryWrite(*s, u64(*table), u64(*index),
+                                     u64(*entry));
+                return Value::unit();
+            });
+    }
+    if (layer > 6) {
+        interp.registerPrimitive(
+            "next_table",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto table = argInt(args, 0);
+                auto index = argInt(args, 1);
+                auto alloc = argInt(args, 2);
+                if (!table || !index || !alloc)
+                    return Trap{TrapKind::TypeError, "next_table(t,i,a)"};
+                return encodeIntResult(spec::specNextTable(
+                    *s, u64(*table), u64(*index), *alloc != 0));
+            });
+    }
+    if (layer > 7) {
+        interp.registerPrimitive(
+            "walk_to_leaf",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto root = argInt(args, 0);
+                auto va = argInt(args, 1);
+                auto alloc = argInt(args, 2);
+                if (!root || !va || !alloc)
+                    return Trap{TrapKind::TypeError, "walk_to_leaf"};
+                return encodeIntResult(spec::specWalkToLeaf(
+                    *s, u64(*root), u64(*va), *alloc != 0));
+            });
+    }
+    if (layer > 8) {
+        interp.registerPrimitive(
+            "pt_query",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto root = argInt(args, 0);
+                auto va = argInt(args, 1);
+                if (!root || !va)
+                    return Trap{TrapKind::TypeError, "pt_query(r,va)"};
+                return encodeQueryResult(
+                    spec::specPtQuery(*s, u64(*root), u64(*va)));
+            });
+    }
+    if (layer > 9) {
+        interp.registerPrimitive(
+            "pt_map",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto root = argInt(args, 0);
+                auto va = argInt(args, 1);
+                auto pa = argInt(args, 2);
+                auto flags = argInt(args, 3);
+                if (!root || !va || !pa || !flags)
+                    return Trap{TrapKind::TypeError, "pt_map"};
+                return Value::intVal(spec::specPtMap(
+                    *s, u64(*root), u64(*va), u64(*pa), u64(*flags)));
+            });
+    }
+    if (layer > 10) {
+        interp.registerPrimitive(
+            "pt_unmap",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto root = argInt(args, 0);
+                auto va = argInt(args, 1);
+                if (!root || !va)
+                    return Trap{TrapKind::TypeError, "pt_unmap"};
+                return Value::intVal(
+                    spec::specPtUnmap(*s, u64(*root), u64(*va)));
+            });
+        interp.registerPrimitive(
+            "pt_destroy",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto table = argInt(args, 0);
+                auto level = argInt(args, 1);
+                if (!table || !level)
+                    return Trap{TrapKind::TypeError, "pt_destroy"};
+                return Value::intVal(
+                    spec::specPtDestroy(*s, u64(*table), *level));
+            });
+    }
+    if (layer > 11) {
+        interp.registerPrimitive(
+            "as_create",
+            [s](mir::Interp &, std::vector<Value>) -> Outcome<Value> {
+                return encodeHandleResult(spec::specAsCreate(*s));
+            });
+        interp.registerPrimitive(
+            "as_map",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                const i64 handle = argHandle(args, 0);
+                auto va = argInt(args, 1);
+                auto pa = argInt(args, 2);
+                auto flags = argInt(args, 3);
+                if (!va || !pa || !flags)
+                    return Trap{TrapKind::TypeError, "as_map"};
+                return Value::intVal(spec::specAsMap(
+                    *s, handle, u64(*va), u64(*pa), u64(*flags)));
+            });
+        interp.registerPrimitive(
+            "as_query",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                const i64 handle = argHandle(args, 0);
+                auto va = argInt(args, 1);
+                if (!va)
+                    return va.trap();
+                return encodeQueryResult(
+                    spec::specAsQuery(*s, handle, u64(*va)));
+            });
+        interp.registerPrimitive(
+            "as_unmap",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                const i64 handle = argHandle(args, 0);
+                auto va = argInt(args, 1);
+                if (!va)
+                    return va.trap();
+                return Value::intVal(
+                    spec::specAsUnmap(*s, handle, u64(*va)));
+            });
+        interp.registerPrimitive(
+            "as_destroy",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                return Value::intVal(
+                    spec::specAsDestroy(*s, argHandle(args, 0)));
+            });
+    }
+    if (layer > 12) {
+        interp.registerPrimitive(
+            "epcm_alloc",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto owner = argInt(args, 0);
+                auto lin = argInt(args, 1);
+                auto kind = argInt(args, 2);
+                if (!owner || !lin || !kind)
+                    return Trap{TrapKind::TypeError, "epcm_alloc"};
+                return encodeIntResult(
+                    spec::specEpcmAlloc(*s, *owner, u64(*lin), *kind));
+            });
+        interp.registerPrimitive(
+            "epcm_free",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto page = argInt(args, 0);
+                if (!page)
+                    return page.trap();
+                return Value::intVal(spec::specEpcmFree(*s, u64(*page)));
+            });
+    }
+    if (layer > 13) {
+        interp.registerPrimitive(
+            "mbuf_map",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                const i64 gpt = argHandle(args, 0);
+                const i64 ept = argHandle(args, 1);
+                auto gva = argInt(args, 2);
+                auto window = argInt(args, 3);
+                auto backing = argInt(args, 4);
+                auto pages = argInt(args, 5);
+                if (!gva || !window || !backing || !pages)
+                    return Trap{TrapKind::TypeError, "mbuf_map"};
+                return Value::intVal(spec::specMbufMap(
+                    *s, gpt, ept, u64(*gva), u64(*window), u64(*backing),
+                    u64(*pages)));
+            });
+    }
+    if (layer > 14) {
+        interp.registerPrimitive(
+            "hc_init",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto el_s = argInt(args, 0);
+                auto el_e = argInt(args, 1);
+                auto gva = argInt(args, 2);
+                auto pages = argInt(args, 3);
+                auto backing = argInt(args, 4);
+                if (!el_s || !el_e || !gva || !pages || !backing)
+                    return Trap{TrapKind::TypeError, "hc_init"};
+                return encodeIntResult(spec::specHcInit(
+                    *s, u64(*el_s), u64(*el_e), u64(*gva), u64(*pages),
+                    u64(*backing)));
+            });
+        interp.registerPrimitive(
+            "hc_add_page",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto id = argInt(args, 0);
+                auto gva = argInt(args, 1);
+                auto src = argInt(args, 2);
+                auto kind = argInt(args, 3);
+                if (!id || !gva || !src || !kind)
+                    return Trap{TrapKind::TypeError, "hc_add_page"};
+                return Value::intVal(spec::specHcAddPage(
+                    *s, *id, u64(*gva), u64(*src), *kind));
+            });
+        interp.registerPrimitive(
+            "hc_init_finish",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto id = argInt(args, 0);
+                if (!id)
+                    return id.trap();
+                return Value::intVal(spec::specHcInitFinish(*s, *id));
+            });
+        interp.registerPrimitive(
+            "hc_remove",
+            [s](mir::Interp &, std::vector<Value> args) -> Outcome<Value> {
+                auto id = argInt(args, 0);
+                if (!id)
+                    return id.trap();
+                return Value::intVal(spec::specHcRemove(*s, *id));
+            });
+    }
+}
+
+LayerHarness::LayerHarness(int layer, FlatState &state)
+    : program(mirmodels::buildLayer(layer, state.geo)), absState(state)
+{
+    interpreter = std::make_unique<mir::Interp>(program, &absState);
+    registerTrustedLayer(*interpreter, state);
+    registerSpecPrimitives(*interpreter, state, layer);
+}
+
+Outcome<Value>
+LayerHarness::run(const std::string &function, std::vector<Value> args,
+                  u64 fuel)
+{
+    return interpreter->call(function, std::move(args), fuel);
+}
+
+u64
+makeRoot(FlatState &state)
+{
+    return spec::specFrameAlloc(state);
+}
+
+u64
+randomVa(Rng &rng, u64 va_slots)
+{
+    const u64 i4 = rng.below(2);
+    const u64 i3 = rng.below(2);
+    const u64 i2 = rng.below(2);
+    const u64 i1 = rng.below(va_slots ? va_slots : 1);
+    return (i4 << 39) | (i3 << 30) | (i2 << 21) | (i1 << 12);
+}
+
+void
+randomPopulate(FlatState &state, u64 root, Rng &rng, int count,
+               u64 va_slots)
+{
+    for (int i = 0; i < count; ++i) {
+        const u64 va = randomVa(rng, va_slots);
+        const u64 pa = rng.below(1024) * pageSize;
+        u64 flags = pteFlagP;
+        if (rng.chance(3, 4))
+            flags |= pteFlagW;
+        if (rng.chance(3, 4))
+            flags |= pteFlagU;
+        (void)spec::specPtMap(state, root, va, pa, flags);
+    }
+}
+
+std::string
+diffStates(const FlatState &a, const FlatState &b)
+{
+    std::ostringstream out;
+    if (a.words != b.words) {
+        for (size_t i = 0; i < a.words.size(); ++i) {
+            if (a.words[i] != b.words[i]) {
+                out << "word[" << i << "]: " << a.words[i]
+                    << " != " << b.words[i] << "; ";
+                break;
+            }
+        }
+    }
+    if (a.allocated != b.allocated)
+        out << "allocator bitmaps differ; ";
+    if (a.epcm != b.epcm)
+        out << "EPCM differs; ";
+    if (a.asRoots != b.asRoots || a.nextHandle != b.nextHandle)
+        out << "address-space handles differ; ";
+    if (a.enclaves != b.enclaves || a.nextEnclave != b.nextEnclave)
+        out << "enclave metadata differs; ";
+    if (a.pageContents != b.pageContents)
+        out << "page contents differ; ";
+    return out.str();
+}
+
+} // namespace hev::ccal

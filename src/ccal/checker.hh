@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The conformance-checking engine: the executable analogue of the
+ * paper's code proofs.
+ *
+ * A code proof in MIRVerif shows that executing a function under the
+ * MIR semantics and executing its functional specification from related
+ * states yields related results.  Here that statement is *checked*
+ * instead of proved: LayerHarness interprets one layer's MIR code with
+ * every lower layer replaced by its specification (the CCAL
+ * discipline), while the same specification runs on a copy of the
+ * abstract state; results and post-states must agree exactly.
+ */
+
+#ifndef HEV_CCAL_CHECKER_HH
+#define HEV_CCAL_CHECKER_HH
+
+#include <memory>
+#include <string>
+
+#include "ccal/flat_state.hh"
+#include "ccal/specs.hh"
+#include "mirlight/interp.hh"
+#include "support/rng.hh"
+
+namespace hev::ccal
+{
+
+/** Layer tag used in RData pointers handed out by the AS layer. */
+constexpr u32 rdataAddrSpaceLayer = 11;
+
+/// @name Value encodings shared between MIR models and spec wrappers
+/// @{
+
+/** Encode an IntResult as the MIR Result aggregate. */
+mir::Value encodeIntResult(const spec::IntResult &r);
+
+/** Encode an IntResult whose payload is an address-space handle. */
+mir::Value encodeHandleResult(const spec::IntResult &r);
+
+/** Encode a QueryResult as the MIR Option<(pa, flags)> aggregate. */
+mir::Value encodeQueryResult(const spec::QueryResult &r);
+
+/** An address-space handle as the RData pointer value. */
+mir::Value encodeHandle(i64 handle);
+
+/// @}
+
+/**
+ * Register the flat functional specs of all layers strictly below
+ * `layer` as primitives (the trusted layer is NOT included; call
+ * registerTrustedLayer for it).
+ */
+void registerSpecPrimitives(mir::Interp &interp, FlatState &state,
+                            int layer);
+
+/**
+ * Harness for checking one layer: owns the layer's MIR program and an
+ * interpreter whose lower layers are the specs, bound to the given
+ * state.
+ */
+class LayerHarness
+{
+  public:
+    /**
+     * @param layer layer whose MIR code is under check (2..15).
+     * @param state abstract state the run mutates (kept by reference).
+     */
+    LayerHarness(int layer, FlatState &state);
+
+    /** Run a function of the layer under the MIR semantics. */
+    mir::Outcome<mir::Value> run(const std::string &function,
+                                 std::vector<mir::Value> args,
+                                 u64 fuel = 2'000'000);
+
+    mir::Interp &interp() { return *interpreter; }
+
+  private:
+    mir::Program program;
+    FlatAbsState absState;
+    std::unique_ptr<mir::Interp> interpreter;
+};
+
+/// @name Scenario builders for conformance and refinement suites
+/// @{
+
+/** Allocate a fresh (zeroed) table root in the state. */
+u64 makeRoot(FlatState &state);
+
+/**
+ * Populate a table with `count` random 4 KiB mappings drawn from a
+ * small VA space (so collisions and shared subtrees occur), using the
+ * map spec.
+ *
+ * @param va_slots number of distinct page-aligned VAs to draw from.
+ */
+void randomPopulate(FlatState &state, u64 root, Rng &rng, int count,
+                    u64 va_slots);
+
+/** A random page-aligned VA from the same distribution. */
+u64 randomVa(Rng &rng, u64 va_slots);
+
+/** Render a short diff description of two states ("" if equal). */
+std::string diffStates(const FlatState &a, const FlatState &b);
+
+/// @}
+
+} // namespace hev::ccal
+
+#endif // HEV_CCAL_CHECKER_HH

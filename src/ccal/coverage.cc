@@ -1,0 +1,81 @@
+#include "ccal/coverage.hh"
+
+#include <sstream>
+
+#include "mirmodels/registry.hh"
+
+namespace hev::ccal
+{
+
+CoverageReport
+currentCoverage()
+{
+    CoverageReport report;
+
+    // Layer 1: the trusted layer (paper Sec. 4.2) — enumerated with
+    // the reason each member is in the TCB.
+    const struct
+    {
+        const char *name;
+        const char *reason;
+    } trusted[] = {
+        {"pt_ptr", "unsafe int-to-pointer cast; spec returns a "
+                   "trusted pointer"},
+        {"bitmap_ptr", "unsafe cast into allocator state"},
+        {"epcm_ptr", "unsafe cast into EPCM state"},
+        {"as_register", "RData forging internal of the AS layer"},
+        {"as_root", "RData resolution internal of the AS layer"},
+        {"as_unregister", "RData retirement internal of the AS layer"},
+        {"encl_kill", "metadata update (architecture-specific)"},
+        {"scrub_page", "page-scrub analogue (assembly memset)"},
+        {"encl_register", "metadata store (architecture-specific)"},
+        {"encl_get", "metadata load (architecture-specific)"},
+        {"encl_bump", "metadata update (architecture-specific)"},
+        {"encl_finish", "metadata update (architecture-specific)"},
+        {"copy_page", "memcpy analogue from the standard library"},
+    };
+    for (const auto &fn : trusted) {
+        report.functions.push_back(
+            {fn.name, 1, FnStatus::Trusted, fn.reason});
+        ++report.trusted;
+    }
+
+    // Layers 2..15: everything modeled in MIR is verified.
+    for (int layer = 2; layer <= mirmodels::layerCount; ++layer) {
+        for (const std::string &name : mirmodels::layerFunctions(layer)) {
+            report.functions.push_back(
+                {name, layer, FnStatus::Verified, ""});
+            ++report.verified;
+        }
+    }
+    return report;
+}
+
+std::string
+renderCoverage(const CoverageReport &report)
+{
+    std::ostringstream out;
+    out << "verification coverage (Sec. 4.4 accounting)\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-18s %5s  %-9s %s\n",
+                  "function", "layer", "status", "TCB reason");
+    out << line;
+    for (const FnCoverage &fn : report.functions) {
+        std::snprintf(line, sizeof(line), "  %-18s %5d  %-9s %s\n",
+                      fn.name.c_str(), fn.layer,
+                      fn.status == FnStatus::Verified ? "verified"
+                                                      : "TRUSTED",
+                      fn.reason.c_str());
+        out << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  => %llu verified, %llu trusted (%.0f%% of the "
+                  "modeled surface verified)\n",
+                  (unsigned long long)report.verified,
+                  (unsigned long long)report.trusted,
+                  100.0 * report.verifiedShare());
+    out << line;
+    return out.str();
+}
+
+} // namespace hev::ccal

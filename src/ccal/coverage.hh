@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Verification-coverage accounting (paper Sec. 4.4, "Tuning
+ * Verification Coverage").
+ *
+ * The paper verifies 49 of 77 memory-module functions and declares the
+ * rest trusted, "balancing the trade-off between additional security
+ * and available resources"; trusted functions "can later be pulled out
+ * and verified as more resources become available".  This module
+ * gives that dial an explicit data structure: every function in the
+ * development is either Verified (has a MIR model checked against its
+ * spec) or Trusted (spec assumed; part of the TCB), and the report
+ * states the residual trusted computing base.
+ */
+
+#ifndef HEV_CCAL_COVERAGE_HH
+#define HEV_CCAL_COVERAGE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace hev::ccal
+{
+
+/** Verification status of one function. */
+enum class FnStatus : u8
+{
+    Verified,  //!< MIR model conformance-checked against its spec
+    Trusted,   //!< specification assumed correct (in the TCB)
+};
+
+/** One function's coverage record. */
+struct FnCoverage
+{
+    std::string name;
+    int layer = 0;
+    FnStatus status = FnStatus::Trusted;
+    /** Why a trusted function is trusted (empty for verified). */
+    std::string reason;
+};
+
+/** Aggregated coverage report. */
+struct CoverageReport
+{
+    std::vector<FnCoverage> functions;
+    u64 verified = 0;
+    u64 trusted = 0;
+
+    double
+    verifiedShare() const
+    {
+        const u64 total = verified + trusted;
+        return total ? double(verified) / double(total) : 0.0;
+    }
+};
+
+/**
+ * The development's coverage: every MIR-modeled function is Verified;
+ * the trusted layer's primitives are enumerated with their reasons
+ * (raw pointer casts, RData internals, metadata accessors, memcpy).
+ */
+CoverageReport currentCoverage();
+
+/** Render the report as the Sec. 4.4-style accounting table. */
+std::string renderCoverage(const CoverageReport &report);
+
+} // namespace hev::ccal
+
+#endif // HEV_CCAL_COVERAGE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The flat ("low spec") abstract state of the layered development.
+ *
+ * This is the abstract data of paper Sec. 4.1/4.2: the page-table frame
+ * area as a plain array of 64-bit words, the frame allocator's bitmap,
+ * the EPCM, the address-space handle table of the RData layer, and the
+ * enclave metadata of the hypercall layers.  Both the MIR models (via
+ * trusted pointers) and the flat functional specs (directly) operate on
+ * this one structure, which is what makes the conformance checks
+ * meaningful.
+ */
+
+#ifndef HEV_CCAL_FLAT_STATE_HH
+#define HEV_CCAL_FLAT_STATE_HH
+
+#include <map>
+#include <vector>
+
+#include "ccal/geometry.hh"
+#include "mirlight/abstract_state.hh"
+#include "support/types.hh"
+
+namespace hev::mir
+{
+class Interp;
+} // namespace hev::mir
+
+namespace hev::ccal
+{
+
+/** One EPCM entry of the abstract machine. */
+struct AbsEpcmEntry
+{
+    i64 state = epcStateFree;  //!< epcStateFree / Reg / Tcs
+    i64 owner = 0;
+    u64 linAddr = 0;
+
+    bool operator==(const AbsEpcmEntry &) const = default;
+};
+
+/** Enclave metadata held by the hypercall layers. */
+struct AbsEnclave
+{
+    i64 state = enclStateAdding;
+    u64 elStart = 0;
+    u64 elEnd = 0;
+    u64 mbufGva = 0;
+    u64 mbufPages = 0;
+    u64 mbufBacking = 0;
+    i64 gptHandle = 0;  //!< address-space handle of the enclave GPT
+    i64 eptHandle = 0;  //!< address-space handle of the enclave EPT
+    u64 addedPages = 0;
+    u64 tcsPages = 0;
+
+    bool operator==(const AbsEnclave &) const = default;
+};
+
+/** The flat abstract state. */
+struct FlatState
+{
+    Geometry geo;
+
+    /** Frame-area contents, one u64 per word. */
+    std::vector<u64> words;
+    /** Frame-allocator bitmap, one flag per frame. */
+    std::vector<bool> allocated;
+    /** EPCM, one entry per EPC page. */
+    std::vector<AbsEpcmEntry> epcm;
+    /** RData layer: address-space handle -> page-table root. */
+    std::map<i64, u64> asRoots;
+    i64 nextHandle = 1;
+    /** Hypercall layer: enclave id -> metadata. */
+    std::map<i64, AbsEnclave> enclaves;
+    i64 nextEnclave = 1;
+    /**
+     * Content abstraction: physical page base -> token describing its
+     * contents (page data is not part of page-table correctness, but
+     * copies must be tracked for the security model).
+     */
+    std::map<u64, u64> pageContents;
+
+    explicit FlatState(const Geometry &geometry = Geometry{});
+
+    bool operator==(const FlatState &) const = default;
+
+    /// @name Word access into the frame area
+    /// @{
+
+    /** True iff addr names a word of the frame area. */
+    bool validWord(u64 addr) const;
+
+    u64 readWord(u64 addr) const;
+    void writeWord(u64 addr, u64 value);
+
+    /// @}
+
+    /** Entry of table `table` at `index`. */
+    u64
+    readEntry(u64 table, u64 index) const
+    {
+        return readWord(table + index * sizeof(u64));
+    }
+
+    void
+    writeEntry(u64 table, u64 index, u64 entry)
+    {
+        writeWord(table + index * sizeof(u64), entry);
+    }
+
+    /** Zero a whole frame. */
+    void zeroFrame(u64 frame);
+
+    /** Frame base of frame-area frame i. */
+    u64
+    frameAt(u64 index) const
+    {
+        return geo.frameBase + index * pageSize;
+    }
+
+    /** Root address behind an address-space handle; 0 if unknown. */
+    u64
+    rootOf(i64 handle) const
+    {
+        auto it = asRoots.find(handle);
+        return it == asRoots.end() ? 0 : it->second;
+    }
+};
+
+/**
+ * Adapter exposing a FlatState to the MIR interpreter through trusted
+ * pointers; the handler ids are the "getter/setter functions" of the
+ * paper's trusted-pointer semantics.
+ */
+class FlatAbsState : public mir::AbstractState
+{
+  public:
+    /// @name Trusted-pointer handler ids
+    /// @{
+    static constexpr u32 physWordHandler = 1;  //!< meta = byte address
+    static constexpr u32 bitmapHandler = 2;    //!< meta = frame index
+    static constexpr u32 epcmHandler = 3;      //!< meta = EPC page index
+    /// @}
+
+    explicit FlatAbsState(FlatState &state) : flat(state) {}
+
+    FlatState &state() { return flat; }
+
+    mir::Outcome<mir::Value> trustedLoad(u32 handler, u64 meta) override;
+    mir::Outcome<mir::Done> trustedStore(u32 handler, u64 meta,
+                                         const mir::Value &value) override;
+
+  private:
+    FlatState &flat;
+};
+
+/**
+ * Register the trusted layer's primitives (paper Sec. 4.2) on an
+ * interpreter bound to a FlatAbsState: the unsafe pointer casts that
+ * return trusted pointers, the RData register/resolve internals of the
+ * address-space layer, the enclave-metadata accessors, and the page
+ * copy.  These are the functions "declared trusted and assumed
+ * correct".
+ */
+void registerTrustedLayer(mir::Interp &interp, FlatState &state);
+
+} // namespace hev::ccal
+
+#endif // HEV_CCAL_FLAT_STATE_HH

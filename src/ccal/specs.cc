@@ -1,0 +1,445 @@
+#include "ccal/specs.hh"
+
+namespace hev::ccal::spec
+{
+
+u64
+specFrameAlloc(FlatState &s)
+{
+    for (u64 i = 0; i < s.geo.frameCount; ++i) {
+        if (!s.allocated[i]) {
+            s.allocated[i] = true;
+            const u64 frame = s.frameAt(i);
+            s.zeroFrame(frame);
+            return frame;
+        }
+    }
+    return 0;
+}
+
+i64
+specFrameFree(FlatState &s, u64 frame)
+{
+    if (frame % pageSize != 0 || !s.geo.inFrameArea(frame))
+        return errInvalidParam;
+    const u64 index = (frame - s.geo.frameBase) / pageSize;
+    if (!s.allocated[index])
+        return errInvalidParam;
+    s.allocated[index] = false;
+    return 0;
+}
+
+u64
+specPteMake(u64 addr, u64 flags)
+{
+    return (addr & pteAddrMask) | (flags & ~pteAddrMask);
+}
+
+u64
+specPteBuild(u64 addr, u64 flags)
+{
+    // Sealing masks the flags to the non-address bits; packing then
+    // behaves exactly like specPteMake.
+    return specPteMake(addr, flags & ~pteAddrMask);
+}
+
+FramePair
+specFrameAllocPair(FlatState &s)
+{
+    FramePair pair;
+    pair.first = specFrameAlloc(s);
+    pair.second = specFrameAlloc(s);
+    return pair;
+}
+
+u64
+specPteAddr(u64 entry)
+{
+    return entry & pteAddrMask;
+}
+
+u64
+specPteFlags(u64 entry)
+{
+    return entry & ~pteAddrMask;
+}
+
+bool
+specPtePresent(u64 entry)
+{
+    return entry & pteFlagP;
+}
+
+bool
+specPteHuge(u64 entry)
+{
+    return entry & pteFlagHuge;
+}
+
+bool
+specPteWritable(u64 entry)
+{
+    return entry & pteFlagW;
+}
+
+u64
+specVaIndex(u64 va, i64 level)
+{
+    return (va >> (12 + 9 * (level - 1))) & 0x1ff;
+}
+
+u64
+specEntryRead(const FlatState &s, u64 table, u64 index)
+{
+    return s.readEntry(table, index);
+}
+
+void
+specEntryWrite(FlatState &s, u64 table, u64 index, u64 entry)
+{
+    s.writeEntry(table, index, entry);
+}
+
+IntResult
+specNextTable(FlatState &s, u64 table, u64 index, bool alloc_missing)
+{
+    const u64 entry = specEntryRead(s, table, index);
+    if (specPtePresent(entry)) {
+        if (specPteHuge(entry))
+            return IntResult::err(errAlreadyMapped);
+        return IntResult::ok(specPteAddr(entry));
+    }
+    if (!alloc_missing)
+        return IntResult::err(errNotMapped);
+    const u64 frame = specFrameAlloc(s);
+    if (frame == 0)
+        return IntResult::err(errOutOfMemory);
+    specEntryWrite(s, table, index, specPteMake(frame, pteLinkFlags));
+    return IntResult::ok(frame);
+}
+
+IntResult
+specWalkToLeaf(FlatState &s, u64 root, u64 va, bool alloc_missing)
+{
+    u64 table = root;
+    for (i64 level = pagingLevels; level > 1; --level) {
+        IntResult next =
+            specNextTable(s, table, specVaIndex(va, level), alloc_missing);
+        if (!next.isOk)
+            return next;
+        table = next.value;
+    }
+    return IntResult::ok(table);
+}
+
+QueryResult
+specPtQuery(const FlatState &s, u64 root, u64 va)
+{
+    u64 table = root;
+    for (i64 level = pagingLevels; level >= 1; --level) {
+        const u64 entry = specEntryRead(s, table, specVaIndex(va, level));
+        if (!specPtePresent(entry))
+            return QueryResult::none();
+        if (level == 1 || specPteHuge(entry)) {
+            const u64 span = 1ull << (12 + 9 * (level - 1));
+            return QueryResult::some(
+                specPteAddr(entry) + (va & (span - 1)),
+                specPteFlags(entry));
+        }
+        table = specPteAddr(entry);
+    }
+    return QueryResult::none(); // unreachable
+}
+
+i64
+specPtMap(FlatState &s, u64 root, u64 va, u64 pa, u64 flags)
+{
+    if (va % pageSize != 0 || pa % pageSize != 0)
+        return errNotAligned;
+    if (!(flags & pteFlagP))
+        return errInvalidParam;
+    IntResult leaf = specWalkToLeaf(s, root, va, true);
+    if (!leaf.isOk)
+        return leaf.errCode;
+    const u64 index = specVaIndex(va, 1);
+    if (specPtePresent(specEntryRead(s, leaf.value, index)))
+        return errAlreadyMapped;
+    specEntryWrite(s, leaf.value, index,
+                   specPteMake(pa, flags & ~pteFlagHuge));
+    return 0;
+}
+
+bool
+specMapReqHuge(u64 flags)
+{
+    return flags & pteFlagHuge;
+}
+
+i64
+specPtMapChecked(FlatState &s, u64 root, u64 va, u64 pa, u64 flags)
+{
+    if (specMapReqHuge(flags))
+        return errInvalidParam;
+    return specPtMap(s, root, va, pa, flags);
+}
+
+i64
+specPtUnmap(FlatState &s, u64 root, u64 va)
+{
+    if (va % pageSize != 0)
+        return errNotAligned;
+    IntResult leaf = specWalkToLeaf(s, root, va, false);
+    if (!leaf.isOk)
+        return leaf.errCode;
+    const u64 index = specVaIndex(va, 1);
+    if (!specPtePresent(specEntryRead(s, leaf.value, index)))
+        return errNotMapped;
+    specEntryWrite(s, leaf.value, index, 0);
+    return 0;
+}
+
+i64
+specPtDestroy(FlatState &s, u64 table, i64 level)
+{
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const u64 entry = specEntryRead(s, table, index);
+        if (!specPtePresent(entry) || level <= 1 ||
+            specPteHuge(entry))
+            continue;
+        (void)specPtDestroy(s, specPteAddr(entry), level - 1);
+    }
+    return specFrameFree(s, table);
+}
+
+IntResult
+specAsCreate(FlatState &s)
+{
+    const u64 root = specFrameAlloc(s);
+    if (root == 0)
+        return IntResult::err(errOutOfMemory);
+    const i64 handle = s.nextHandle++;
+    s.asRoots[handle] = root;
+    return IntResult::ok(u64(handle));
+}
+
+i64
+specAsMap(FlatState &s, i64 handle, u64 va, u64 pa, u64 flags)
+{
+    const u64 root = s.rootOf(handle);
+    if (root == 0)
+        return errForeignHandle;
+    return specPtMap(s, root, va, pa, flags);
+}
+
+QueryResult
+specAsQuery(const FlatState &s, i64 handle, u64 va)
+{
+    const u64 root = s.rootOf(handle);
+    if (root == 0)
+        return QueryResult::none();
+    return specPtQuery(s, root, va);
+}
+
+i64
+specAsUnmap(FlatState &s, i64 handle, u64 va)
+{
+    const u64 root = s.rootOf(handle);
+    if (root == 0)
+        return errForeignHandle;
+    return specPtUnmap(s, root, va);
+}
+
+i64
+specAsDestroy(FlatState &s, i64 handle)
+{
+    const u64 root = s.rootOf(handle);
+    if (root == 0)
+        return errForeignHandle;
+    const i64 rc = specPtDestroy(s, root, pagingLevels);
+    s.asRoots.erase(handle);
+    return rc;
+}
+
+IntResult
+specEpcmAlloc(FlatState &s, i64 owner, u64 lin_addr, i64 kind)
+{
+    if (owner <= 0 || (kind != epcStateReg && kind != epcStateTcs))
+        return IntResult::err(errInvalidParam);
+    for (u64 i = 0; i < s.geo.epcCount; ++i) {
+        if (s.epcm[i].state == epcStateFree) {
+            s.epcm[i] = {kind, owner, lin_addr};
+            return IntResult::ok(s.geo.epcBase + i * pageSize);
+        }
+    }
+    return IntResult::err(errOutOfEpc);
+}
+
+i64
+specEpcmFree(FlatState &s, u64 page)
+{
+    if (page % pageSize != 0 || !s.geo.inEpc(page))
+        return errInvalidParam;
+    const u64 index = (page - s.geo.epcBase) / pageSize;
+    if (s.epcm[index].state == epcStateFree)
+        return errInvalidParam;
+    s.epcm[index] = AbsEpcmEntry{};
+    return 0;
+}
+
+i64
+specMbufMap(FlatState &s, i64 gpt_handle, i64 ept_handle, u64 mbuf_gva,
+            u64 gpa_window, u64 backing, u64 pages)
+{
+    for (u64 i = 0; i < pages; ++i) {
+        const u64 off = i * pageSize;
+        i64 rc = specAsMap(s, gpt_handle, mbuf_gva + off,
+                           gpa_window + off, pteRwFlags);
+        if (rc != 0)
+            return rc;
+        rc = specAsMap(s, ept_handle, gpa_window + off, backing + off,
+                       pteRwFlags);
+        if (rc != 0)
+            return rc;
+    }
+    return 0;
+}
+
+IntResult
+specHcInit(FlatState &s, u64 el_start, u64 el_end, u64 mbuf_gva,
+           u64 mbuf_pages, u64 backing)
+{
+    if (el_start >= el_end || el_start % pageSize != 0 ||
+        el_end % pageSize != 0)
+        return IntResult::err(errInvalidParam);
+    if (mbuf_pages == 0 || mbuf_gva % pageSize != 0)
+        return IntResult::err(errInvalidParam);
+    if (backing % pageSize != 0)
+        return IntResult::err(errNotAligned);
+    const u64 mbuf_end = mbuf_gva + mbuf_pages * pageSize;
+    // Enclave invariant: ELRANGE and the marshalling buffer disjoint.
+    if (!(mbuf_end <= el_start || mbuf_gva >= el_end))
+        return IntResult::err(errIsolation);
+    // The backing must be normal memory.
+    if (!s.geo.inNormal(backing, mbuf_pages * pageSize))
+        return IntResult::err(errIsolation);
+
+    const IntResult gpt = specAsCreate(s);
+    if (!gpt.isOk)
+        return gpt;
+    const IntResult ept = specAsCreate(s);
+    if (!ept.isOk)
+        return ept;
+    const i64 rc =
+        specMbufMap(s, i64(gpt.value), i64(ept.value), mbuf_gva,
+                    s.geo.mbufGpaBase, backing, mbuf_pages);
+    if (rc != 0)
+        return IntResult::err(rc);
+
+    AbsEnclave enclave;
+    enclave.elStart = el_start;
+    enclave.elEnd = el_end;
+    enclave.mbufGva = mbuf_gva;
+    enclave.mbufPages = mbuf_pages;
+    enclave.mbufBacking = backing;
+    enclave.gptHandle = i64(gpt.value);
+    enclave.eptHandle = i64(ept.value);
+    const i64 id = s.nextEnclave++;
+    s.enclaves[id] = enclave;
+    return IntResult::ok(u64(id));
+}
+
+i64
+specHcAddPage(FlatState &s, i64 id, u64 gva, u64 src, i64 kind)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return errNoSuchEnclave;
+    AbsEnclave &enclave = it->second;
+    if (enclave.state != enclStateAdding)
+        return errBadState;
+    if (gva % pageSize != 0 || src % pageSize != 0)
+        return errNotAligned;
+    if (!(enclave.elStart <= gva && gva + pageSize <= enclave.elEnd))
+        return errIsolation;
+    if (!s.geo.inNormal(src, pageSize))
+        return errIsolation;
+
+    const u64 gpa = s.geo.epcGpaBase + enclave.addedPages * pageSize;
+    i64 rc = specAsMap(s, enclave.gptHandle, gva, gpa, pteRwFlags);
+    if (rc != 0)
+        return rc;
+    const IntResult page = specEpcmAlloc(s, id, gva, kind);
+    if (!page.isOk) {
+        (void)specAsUnmap(s, enclave.gptHandle, gva);
+        return page.errCode;
+    }
+    rc = specAsMap(s, enclave.eptHandle, gpa, page.value, pteRwFlags);
+    if (rc != 0) {
+        (void)specAsUnmap(s, enclave.gptHandle, gva);
+        (void)specEpcmFree(s, page.value);
+        return rc;
+    }
+    s.pageContents[page.value] = src;
+    ++enclave.addedPages;
+    if (kind == epcStateTcs)
+        ++enclave.tcsPages;
+    return 0;
+}
+
+i64
+specHcInitFinish(FlatState &s, i64 id)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return errNoSuchEnclave;
+    if (it->second.state != enclStateAdding)
+        return errBadState;
+    if (it->second.tcsPages == 0)
+        return errInvalidParam;
+    it->second.state = enclStateInitialized;
+    return 0;
+}
+
+i64
+specHcRemove(FlatState &s, i64 id)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return errNoSuchEnclave;
+    AbsEnclave &enclave = it->second;
+
+    // Scrub and free every EPC page the enclave owns.
+    for (u64 index = 0; index < s.geo.epcCount; ++index) {
+        if (s.epcm[index].state == epcStateFree ||
+            s.epcm[index].owner != id)
+            continue;
+        const u64 page = s.geo.epcBase + index * pageSize;
+        s.pageContents.erase(page);
+        s.epcm[index] = AbsEpcmEntry{};
+    }
+
+    (void)specAsDestroy(s, enclave.gptHandle);
+    (void)specAsDestroy(s, enclave.eptHandle);
+    enclave.state = enclStateDead;
+    return 0;
+}
+
+QueryResult
+specMemTranslate(const FlatState &s, i64 gpt_handle, i64 ept_handle,
+                 u64 va, bool is_write)
+{
+    const QueryResult stage1 = specAsQuery(s, gpt_handle, va);
+    if (!stage1.isSome)
+        return QueryResult::none();
+    if (is_write && !(stage1.flags & pteFlagW))
+        return QueryResult::none();
+    const QueryResult stage2 =
+        specAsQuery(s, ept_handle, stage1.physAddr);
+    if (!stage2.isSome)
+        return QueryResult::none();
+    if (is_write && !(stage2.flags & pteFlagW))
+        return QueryResult::none();
+    return stage2;
+}
+
+} // namespace hev::ccal::spec

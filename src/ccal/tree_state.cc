@@ -1,0 +1,245 @@
+#include "ccal/tree_state.hh"
+
+#include "support/logging.hh"
+
+namespace hev::ccal
+{
+
+using spec::QueryResult;
+
+TreePte
+TreePte::makeTerminal(u64 addr, u64 flags)
+{
+    TreePte pte;
+    pte.flags = flags & ~pteAddrMask;
+    pte.addr = addr & pteAddrMask;
+    // unused_inv: a constructed entry must be present.
+    if (!(pte.flags & pteFlagP))
+        panic("tree PTE constructed non-present (unused_inv violation)");
+    return pte;
+}
+
+TreePte
+TreePte::makeIntermediate(u64 flags, std::shared_ptr<TreeTable> child)
+{
+    TreePte pte;
+    pte.flags = flags & ~pteAddrMask & ~pteFlagHuge;
+    pte.child = std::move(child);
+    if (!(pte.flags & pteFlagP))
+        panic("tree PTE constructed non-present (unused_inv violation)");
+    if (!pte.child)
+        panic("intermediate tree PTE without a child table");
+    return pte;
+}
+
+namespace
+{
+
+std::shared_ptr<TreeTable>
+cloneTable(const TreeTable &table)
+{
+    auto copy = std::make_shared<TreeTable>();
+    for (const auto &[index, entry] : table.entries) {
+        TreePte dup = entry;
+        if (entry.child)
+            dup.child = cloneTable(*entry.child);
+        copy->entries.emplace(index, std::move(dup));
+    }
+    return copy;
+}
+
+std::shared_ptr<TreeTable>
+liftTable(const FlatState &s, u64 table_addr, i64 level)
+{
+    auto table = std::make_shared<TreeTable>();
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const u64 raw = s.readEntry(table_addr, index);
+        if (!spec::specPtePresent(raw))
+            continue;
+        if (level == 1 || spec::specPteHuge(raw)) {
+            table->entries.emplace(
+                index, TreePte::makeTerminal(spec::specPteAddr(raw),
+                                             spec::specPteFlags(raw)));
+        } else {
+            table->entries.emplace(
+                index,
+                TreePte::makeIntermediate(
+                    spec::specPteFlags(raw),
+                    liftTable(s, spec::specPteAddr(raw), level - 1)));
+        }
+    }
+    return table;
+}
+
+/** R_pte applied across a whole table. */
+bool
+tableRelates(const TreeTable &tree, const FlatState &s, u64 table_addr,
+             i64 level)
+{
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const u64 raw = s.readEntry(table_addr, index);
+        auto it = tree.entries.find(index);
+        if (!spec::specPtePresent(raw)) {
+            if (it != tree.entries.end())
+                return false; // tree has an entry the flat view lacks
+            continue;
+        }
+        if (it == tree.entries.end())
+            return false; // flat has an entry the tree lacks
+        const TreePte &pte = it->second;
+        if (pte.flags != spec::specPteFlags(raw))
+            return false;
+        const bool flat_terminal =
+            level == 1 || spec::specPteHuge(raw);
+        if (flat_terminal != pte.terminal())
+            return false;
+        if (flat_terminal) {
+            if (pte.addr != spec::specPteAddr(raw))
+                return false;
+        } else if (!tableRelates(*pte.child, s, spec::specPteAddr(raw),
+                                 level - 1)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+tablesEqual(const TreeTable &a, const TreeTable &b)
+{
+    if (a.entries.size() != b.entries.size())
+        return false;
+    for (const auto &[index, ea] : a.entries) {
+        auto it = b.entries.find(index);
+        if (it == b.entries.end())
+            return false;
+        const TreePte &eb = it->second;
+        if (ea.flags != eb.flags || ea.terminal() != eb.terminal())
+            return false;
+        if (ea.terminal()) {
+            if (ea.addr != eb.addr)
+                return false;
+        } else if (!tablesEqual(*ea.child, *eb.child)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TreeState
+TreeState::clone() const
+{
+    TreeState copy;
+    copy.root = cloneTable(*root);
+    return copy;
+}
+
+TreeState
+treeFromFlat(const FlatState &s, u64 root)
+{
+    TreeState tree;
+    tree.root = liftTable(s, root, pagingLevels);
+    return tree;
+}
+
+bool
+refinesFlat(const TreeState &t, const FlatState &s, u64 root)
+{
+    return tableRelates(*t.root, s, root, pagingLevels);
+}
+
+QueryResult
+treeQuery(const TreeState &t, u64 va)
+{
+    const TreeTable *table = t.root.get();
+    for (i64 level = pagingLevels; level >= 1; --level) {
+        const u64 index = spec::specVaIndex(va, level);
+        auto it = table->entries.find(index);
+        if (it == table->entries.end() || !it->second.present())
+            return QueryResult::none();
+        const TreePte &pte = it->second;
+        if (pte.terminal()) {
+            const u64 span = 1ull << (12 + 9 * (level - 1));
+            return QueryResult::some(pte.addr + (va & (span - 1)),
+                                     pte.flags);
+        }
+        table = pte.child.get();
+    }
+    return QueryResult::none(); // unreachable
+}
+
+i64
+treeMap(TreeState &t, u64 va, u64 pa, u64 flags)
+{
+    if (va % pageSize != 0 || pa % pageSize != 0)
+        return errNotAligned;
+    if (!(flags & pteFlagP))
+        return errInvalidParam;
+
+    TreeTable *table = t.root.get();
+    for (i64 level = pagingLevels; level > 1; --level) {
+        const u64 index = spec::specVaIndex(va, level);
+        auto it = table->entries.find(index);
+        if (it == table->entries.end()) {
+            auto child = std::make_shared<TreeTable>();
+            TreeTable *raw_child = child.get();
+            table->entries.emplace(
+                index, TreePte::makeIntermediate(pteLinkFlags,
+                                                 std::move(child)));
+            table = raw_child;
+            continue;
+        }
+        if (it->second.terminal())
+            return errAlreadyMapped; // huge entry blocks the path
+        table = it->second.child.get();
+    }
+    const u64 index = spec::specVaIndex(va, 1);
+    if (table->entries.count(index))
+        return errAlreadyMapped;
+    table->entries.emplace(
+        index, TreePte::makeTerminal(pa, flags & ~pteFlagHuge));
+    return 0;
+}
+
+i64
+treeUnmap(TreeState &t, u64 va)
+{
+    if (va % pageSize != 0)
+        return errNotAligned;
+    TreeTable *table = t.root.get();
+    for (i64 level = pagingLevels; level > 1; --level) {
+        const u64 index = spec::specVaIndex(va, level);
+        auto it = table->entries.find(index);
+        if (it == table->entries.end())
+            return errNotMapped;
+        if (it->second.terminal())
+            return errAlreadyMapped; // huge entry where a table expected
+        table = it->second.child.get();
+    }
+    const u64 index = spec::specVaIndex(va, 1);
+    if (!table->entries.count(index))
+        return errNotMapped;
+    table->entries.erase(index);
+    return 0;
+}
+
+bool
+treesEqual(const TreeState &a, const TreeState &b)
+{
+    return tablesEqual(*a.root, *b.root);
+}
+
+bool
+queryEquivalent(const TreeState &a, const TreeState &b,
+                const std::vector<u64> &probe_vas)
+{
+    for (u64 va : probe_vas) {
+        if (!(treeQuery(a, va) == treeQuery(b, va)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace hev::ccal

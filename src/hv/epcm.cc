@@ -1,0 +1,83 @@
+#include "hv/epcm.hh"
+
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+const char *
+epcPageStateName(EpcPageState state)
+{
+    switch (state) {
+      case EpcPageState::Free: return "Free";
+      case EpcPageState::Reg: return "Reg";
+      case EpcPageState::Tcs: return "Tcs";
+    }
+    return "Unknown";
+}
+
+Epcm::Epcm(HpaRange epc_range) : epcRange(epc_range)
+{
+    if (!epc_range.start.pageAligned() || !epc_range.end.pageAligned())
+        fatal("EPC range must be page aligned");
+    table.assign(epc_range.size() / pageSize, EpcmEntry{});
+    freeCount = table.size();
+}
+
+u64
+Epcm::indexOf(Hpa hpa) const
+{
+    if (!isEpc(hpa))
+        panic("EPCM index of non-EPC address %#llx",
+              (unsigned long long)hpa.value);
+    return (hpa - epcRange.start) / pageSize;
+}
+
+Expected<Hpa>
+Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state)
+{
+    if (owner == invalidEnclave || state == EpcPageState::Free)
+        return HvError::InvalidParam;
+    const u64 n = table.size();
+    for (u64 probe = 0; probe < n; ++probe) {
+        const u64 idx = (searchHint + probe) % n;
+        if (table[idx].state == EpcPageState::Free) {
+            table[idx] = {state, owner, lin_addr};
+            --freeCount;
+            searchHint = (idx + 1) % n;
+            return epcRange.start + idx * pageSize;
+        }
+    }
+    return HvError::OutOfEpc;
+}
+
+Status
+Epcm::freePage(Hpa page)
+{
+    if (!isEpc(page) || !page.pageAligned())
+        return HvError::InvalidParam;
+    EpcmEntry &entry = table[indexOf(page)];
+    if (entry.state == EpcPageState::Free)
+        return HvError::EpcmConflict;
+    entry = EpcmEntry{};
+    ++freeCount;
+    return okStatus();
+}
+
+const EpcmEntry &
+Epcm::entryFor(Hpa hpa) const
+{
+    return table[indexOf(hpa)];
+}
+
+void
+Epcm::forEachUsed(
+    const std::function<void(Hpa, const EpcmEntry &)> &visit) const
+{
+    for (u64 idx = 0; idx < table.size(); ++idx) {
+        if (table[idx].state != EpcPageState::Free)
+            visit(epcRange.start + idx * pageSize, table[idx]);
+    }
+}
+
+} // namespace hev::hv

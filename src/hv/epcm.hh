@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Enclave Page Cache Map (EPCM).
+ *
+ * RustMonitor "maintains a data structure (i.e., Enclave Page Cache Map,
+ * EPCM) to store the EPC page states, and checks the correctness for
+ * memory allocation" (paper Sec. 2.1).  Every page of the EPC has one
+ * entry recording whether it is free, which enclave owns it, what kind of
+ * page it is, and the enclave-linear (guest-virtual) address it was added
+ * at.  The paper's *EPCM invariant* (Sec. 5.2) requires every enclave
+ * page-table mapping to have a matching entry here — ruling out covert
+ * mappings.
+ */
+
+#ifndef HEV_HV_EPCM_HH
+#define HEV_HV_EPCM_HH
+
+#include <functional>
+#include <vector>
+
+#include "support/result.hh"
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+/** Lifecycle state / kind of one EPC page, after SGX's page types. */
+enum class EpcPageState : u8
+{
+    Free = 0,  //!< unowned
+    Reg,       //!< regular enclave data/code page
+    Tcs,       //!< thread control structure page (entry point metadata)
+};
+
+/** Name of an EpcPageState, for diagnostics. */
+const char *epcPageStateName(EpcPageState state);
+
+/** Metadata for one EPC page. */
+struct EpcmEntry
+{
+    EpcPageState state = EpcPageState::Free;
+    EnclaveId owner = invalidEnclave;
+    Gva linAddr{};          //!< enclave-linear address the page backs
+
+    bool operator==(const EpcmEntry &) const = default;
+};
+
+/** Map from EPC page to its metadata, plus the allocation policy. */
+class Epcm
+{
+  public:
+    explicit Epcm(HpaRange epc_range);
+
+    /** True iff hpa lies inside the EPC. */
+    bool isEpc(Hpa hpa) const { return epcRange.contains(hpa); }
+
+    /**
+     * Allocate a free EPC page for an enclave.
+     *
+     * @param owner owning enclave; must not be invalidEnclave.
+     * @param lin_addr enclave-linear address the page will back.
+     * @param state Reg or Tcs.
+     * @return page base, or OutOfEpc.
+     */
+    Expected<Hpa> allocPage(EnclaveId owner, Gva lin_addr,
+                            EpcPageState state);
+
+    /** Release a page back to Free; must be allocated. */
+    Status freePage(Hpa page);
+
+    /** Metadata of the page containing hpa (must be in EPC). */
+    const EpcmEntry &entryFor(Hpa hpa) const;
+
+    /** Visit every non-free page: f(page_base, entry). */
+    void forEachUsed(
+        const std::function<void(Hpa, const EpcmEntry &)> &visit) const;
+
+    /** Pages currently free. */
+    u64 freePages() const { return freeCount; }
+
+    /** Total EPC pages. */
+    u64 totalPages() const { return table.size(); }
+
+    /** The managed physical range. */
+    HpaRange range() const { return epcRange; }
+
+  private:
+    u64 indexOf(Hpa hpa) const;
+
+    HpaRange epcRange;
+    std::vector<EpcmEntry> table;
+    u64 freeCount = 0;
+    u64 searchHint = 0;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_EPCM_HH

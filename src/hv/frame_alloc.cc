@@ -1,0 +1,62 @@
+#include "hv/frame_alloc.hh"
+
+#include "hv/phys_mem.hh"
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+FrameAllocator::FrameAllocator(PhysMem &mem, HpaRange area)
+    : physMem(mem), managedArea(area)
+{
+    if (!area.start.pageAligned() || !area.end.pageAligned())
+        fatal("frame area must be page aligned");
+    bitmap.assign(area.size() / pageSize, false);
+}
+
+u64
+FrameAllocator::indexOf(Hpa frame) const
+{
+    return (frame - managedArea.start) / pageSize;
+}
+
+Expected<Hpa>
+FrameAllocator::alloc()
+{
+    const u64 n = bitmap.size();
+    for (u64 probe = 0; probe < n; ++probe) {
+        const u64 idx = (searchHint + probe) % n;
+        if (!bitmap[idx]) {
+            bitmap[idx] = true;
+            ++used;
+            searchHint = (idx + 1) % n;
+            const Hpa frame = managedArea.start + idx * pageSize;
+            physMem.zeroPage(frame);
+            return frame;
+        }
+    }
+    return HvError::OutOfMemory;
+}
+
+Status
+FrameAllocator::free(Hpa frame)
+{
+    if (!inArea(frame) || !frame.pageAligned())
+        return HvError::InvalidParam;
+    const u64 idx = indexOf(frame);
+    if (!bitmap[idx])
+        return HvError::InvalidParam;
+    bitmap[idx] = false;
+    --used;
+    return okStatus();
+}
+
+bool
+FrameAllocator::allocated(Hpa frame) const
+{
+    if (!inArea(frame) || !frame.pageAligned())
+        return false;
+    return bitmap[indexOf(frame)];
+}
+
+} // namespace hev::hv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bitmap allocator for the monitor's page-table frame area.
+ *
+ * This is the bottom of the paper's 15-layer stack ("from frame
+ * allocation to address space isolation", Sec. 1).  All page-table frames
+ * live inside the reserved secure region, which is the load-bearing fact
+ * behind the paper's observation that "the page tables themselves are
+ * also protected, because they are allocated in a disjoint range of
+ * physical memory which is never in the range of a guest mapping"
+ * (Sec. 5.2).
+ */
+
+#ifndef HEV_HV_FRAME_ALLOC_HH
+#define HEV_HV_FRAME_ALLOC_HH
+
+#include <vector>
+
+#include "hv/mem_layout.hh"
+#include "support/result.hh"
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+class PhysMem;
+
+/** First-fit bitmap allocator over a page-aligned physical range. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param mem backing memory; freshly allocated frames are zeroed.
+     * @param area the physical range this allocator hands out.
+     */
+    FrameAllocator(PhysMem &mem, HpaRange area);
+
+    /**
+     * Allocate one zeroed frame.
+     *
+     * @return frame base address, or OutOfMemory.
+     */
+    Expected<Hpa> alloc();
+
+    /** Return a frame to the pool; must have been allocated. */
+    Status free(Hpa frame);
+
+    /** True iff the frame is currently allocated. */
+    bool allocated(Hpa frame) const;
+
+    /** True iff hpa lies inside the managed area. */
+    bool
+    inArea(Hpa hpa) const
+    {
+        return managedArea.contains(hpa);
+    }
+
+    /** Frames currently handed out. */
+    u64 usedFrames() const { return used; }
+
+    /** Total frames managed. */
+    u64 totalFrames() const { return bitmap.size(); }
+
+    /** The managed physical range. */
+    HpaRange area() const { return managedArea; }
+
+  private:
+    /** Bitmap index of a frame base, assuming it is in the area. */
+    u64 indexOf(Hpa frame) const;
+
+    PhysMem &physMem;
+    HpaRange managedArea;
+    std::vector<bool> bitmap;
+    u64 used = 0;
+    u64 searchHint = 0;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_FRAME_ALLOC_HH

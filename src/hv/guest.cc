@@ -1,0 +1,161 @@
+#include "hv/guest.hh"
+
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+PrimaryOs::PrimaryOs(Monitor &mon) : monitor(mon)
+{
+    const u64 pages = mon.config().layout.normalRange().size() / pageSize;
+    pageBitmap.assign(pages, false);
+    // Reserve page 0 so no allocation ever hands out the null page.
+    pageBitmap[0] = true;
+    ++usedCount;
+}
+
+Expected<Gpa>
+PrimaryOs::allocPage()
+{
+    const u64 n = pageBitmap.size();
+    for (u64 probe = 0; probe < n; ++probe) {
+        const u64 idx = (searchHint + probe) % n;
+        if (!pageBitmap[idx]) {
+            pageBitmap[idx] = true;
+            ++usedCount;
+            searchHint = (idx + 1) % n;
+            const Gpa page = Gpa(idx * pageSize);
+            (void)zeroPage(page);
+            return page;
+        }
+    }
+    return HvError::OutOfMemory;
+}
+
+Status
+PrimaryOs::freePage(Gpa page)
+{
+    if (page.value % pageSize != 0)
+        return HvError::NotAligned;
+    const u64 idx = page.value / pageSize;
+    if (idx >= pageBitmap.size() || !pageBitmap[idx])
+        return HvError::InvalidParam;
+    pageBitmap[idx] = false;
+    --usedCount;
+    return okStatus();
+}
+
+Expected<u64>
+PrimaryOs::physRead(Gpa addr) const
+{
+    // The OS kernel can touch any guest-physical address: model that as
+    // a direct EPT translation (identity GPT), which is what an OS
+    // running with a full linear mapping achieves.
+    const PageTable ept(const_cast<PhysMem &>(monitor.mem()), nullptr,
+                        monitor.normalEptRoot());
+    auto tr = ept.translate(addr.value, false, false);
+    if (!tr)
+        return tr.error();
+    return monitor.mem().read(Hpa(tr->physAddr));
+}
+
+Status
+PrimaryOs::physWrite(Gpa addr, u64 value)
+{
+    const PageTable ept(const_cast<PhysMem &>(monitor.mem()), nullptr,
+                        monitor.normalEptRoot());
+    auto tr = ept.translate(addr.value, true, false);
+    if (!tr)
+        return tr.error();
+    monitor.mem().write(Hpa(tr->physAddr), value);
+    return okStatus();
+}
+
+Status
+PrimaryOs::zeroPage(Gpa page)
+{
+    for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+        if (auto st = physWrite(page + off, 0); !st)
+            return st.error();
+    }
+    return okStatus();
+}
+
+Expected<Gpa>
+PrimaryOs::createPageTable()
+{
+    return allocPage();
+}
+
+Status
+PrimaryOs::gptMap(Gpa root, u64 va, Gpa target, PteFlags flags)
+{
+    if (va % pageSize != 0 || target.value % pageSize != 0)
+        return HvError::NotAligned;
+    Gpa table = root;
+    for (int level = pagingLevels; level > 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        auto raw = physRead(table + index * sizeof(u64));
+        if (!raw)
+            return raw.error();
+        Pte entry(*raw);
+        if (!entry.present()) {
+            auto frame = allocPage();
+            if (!frame)
+                return frame.error();
+            entry = Pte::make(frame->value, PteFlags::tableLink());
+            if (auto st = physWrite(table + index * sizeof(u64),
+                                    entry.raw()); !st)
+                return st.error();
+        } else if (entry.huge()) {
+            return HvError::AlreadyMapped;
+        }
+        table = Gpa(entry.addr());
+    }
+    const u64 index = Gva(va).tableIndex(1);
+    auto raw = physRead(table + index * sizeof(u64));
+    if (!raw)
+        return raw.error();
+    if (Pte(*raw).present())
+        return HvError::AlreadyMapped;
+    flags.huge = false;
+    return physWrite(table + index * sizeof(u64),
+                     Pte::make(target.value, flags).raw());
+}
+
+Status
+PrimaryOs::gptUnmap(Gpa root, u64 va)
+{
+    if (va % pageSize != 0)
+        return HvError::NotAligned;
+    Gpa table = root;
+    for (int level = pagingLevels; level > 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        auto raw = physRead(table + index * sizeof(u64));
+        if (!raw)
+            return raw.error();
+        const Pte entry(*raw);
+        if (!entry.present())
+            return HvError::NotMapped;
+        if (entry.huge())
+            return HvError::Unsupported;
+        table = Gpa(entry.addr());
+    }
+    const u64 index = Gva(va).tableIndex(1);
+    auto raw = physRead(table + index * sizeof(u64));
+    if (!raw)
+        return raw.error();
+    if (!Pte(*raw).present())
+        return HvError::NotMapped;
+    return physWrite(table + index * sizeof(u64), 0);
+}
+
+Status
+PrimaryOs::writePtEntryRaw(Gpa table, u64 index, u64 raw)
+{
+    if (index >= entriesPerTable)
+        return HvError::InvalidParam;
+    return physWrite(table + index * sizeof(u64), raw);
+}
+
+} // namespace hev::hv

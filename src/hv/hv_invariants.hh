@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Sec. 5.2 invariant families, checked over the CONCRETE monitor.
+ *
+ * src/sec/invariants.hh states the invariants over the abstract proof
+ * state; this checker walks the real page-table bits in simulated RAM
+ * instead — runtime verification of the monitor the proofs are about.
+ * Families:
+ *  - normal-VM containment: the primary OS's EPT never maps into the
+ *    reserved secure region;
+ *  - page-table containment: every table frame of a monitor-managed
+ *    tree lies in the monitor's frame area;
+ *  - ELRANGE isolation: EPC pages are never shared between enclaves;
+ *  - EPCM soundness: every enclave mapping into the EPC is recorded
+ *    with the right owner and linear address;
+ *  - marshalling-buffer exclusivity: the only normal-memory pages an
+ *    enclave can reach are its own marshalling buffer;
+ *  - enclave shape: EPC ⇔ ELRANGE, no huge pages, mbuf disjoint from
+ *    ELRANGE.
+ */
+
+#ifndef HEV_HV_HV_INVARIANTS_HH
+#define HEV_HV_HV_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "hv/monitor.hh"
+
+namespace hev::hv
+{
+
+/** Check every family; empty result = all hold. */
+std::vector<std::string> checkMonitorInvariants(const Monitor &mon);
+
+/** Render violations for diagnostics. */
+std::string describeMonitorViolations(
+    const std::vector<std::string> &violations);
+
+} // namespace hev::hv
+
+#endif // HEV_HV_HV_INVARIANTS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The whole simulated machine: monitor + primary OS + vCPU.
+ *
+ * Machine wires the pieces of Fig. 1 together and provides the
+ * mem_load / mem_store access path of the paper's abstract model
+ * (Sec. 5.1): an access by the currently running principal, resolved
+ * through the currently installed page tables.  It also offers the
+ * scripted setup helpers the examples, tests and benches share.
+ */
+
+#ifndef HEV_HV_MACHINE_HH
+#define HEV_HV_MACHINE_HH
+
+#include <vector>
+
+#include "hv/guest.hh"
+#include "hv/monitor.hh"
+#include "hv/vcpu.hh"
+#include "support/result.hh"
+
+namespace hev::hv
+{
+
+/** An untrusted application inside the normal VM. */
+struct App
+{
+    Gpa gptRoot{};               //!< the app's guest page table root
+    GvaRange range;              //!< VA range the app has mapped
+    std::vector<Gpa> backing;    //!< backing pages, one per VA page
+};
+
+/** A created enclave together with the host-side handles to drive it. */
+struct EnclaveHandle
+{
+    EnclaveId id = invalidEnclave;
+    GvaRange elrange;
+    Gva mbufGva{};      //!< marshalling buffer VA inside the enclave
+    Gpa mbufBacking{};  //!< marshalling buffer backing in normal memory
+    u64 mbufPages = 0;
+};
+
+/** The composed machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MonitorConfig &config);
+
+    Monitor &monitor() { return mon; }
+    const Monitor &monitor() const { return mon; }
+    PrimaryOs &os() { return primaryOs; }
+    VCpu &vcpu() { return cpu; }
+    const VCpu &vcpu() const { return cpu; }
+
+    /** The kernel's identity guest page table root. */
+    Gpa kernelGptRoot() const { return kernelGpt; }
+
+    /**
+     * Create an app: fresh GPT mapping `pages` pages of newly allocated
+     * normal memory at va_base.
+     */
+    Expected<App> createApp(u64 va_base, u64 pages);
+
+    /** Context-switch the vCPU onto an app's address space. */
+    Status switchToApp(const App &app);
+
+    /** Context-switch the vCPU back onto the kernel's address space. */
+    Status switchToKernel();
+
+    /**
+     * Create, populate and initialize an enclave in one scripted
+     * sequence: init, add `pages` Reg pages plus one TCS page, finish.
+     *
+     * @param elrange_base ELRANGE start (page aligned).
+     * @param pages number of Reg pages to add.
+     * @param mbuf_pages marshalling buffer length.
+     * @param fill seed value written into the source pages before add
+     *             (page i, word w gets fill + i * 1000 + w).
+     */
+    Expected<EnclaveHandle> setupEnclave(u64 elrange_base, u64 pages,
+                                         u64 mbuf_pages, u64 fill);
+
+    /// @name The paper's mem_load / mem_store steps
+    /// @{
+
+    /** Load by the running principal at an 8-byte-aligned GVA. */
+    Expected<u64> memLoad(Gva va);
+
+    /** Store by the running principal at an 8-byte-aligned GVA. */
+    Status memStore(Gva va, u64 value);
+
+    /// @}
+
+    /// @name Marshalling-buffer access from the host side
+    /// @{
+
+    /** Host-side (app) write into a marshalling buffer word. */
+    Status mbufWrite(const EnclaveHandle &enclave, u64 word_index,
+                     u64 value);
+
+    /** Host-side (app) read from a marshalling buffer word. */
+    Expected<u64> mbufRead(const EnclaveHandle &enclave,
+                           u64 word_index) const;
+
+    /// @}
+
+  private:
+    MonitorConfig monCfg;
+    Monitor mon;
+    PrimaryOs primaryOs;
+    VCpu cpu;
+    Gpa kernelGpt{};
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_MACHINE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical memory layout of the simulated machine.
+ *
+ * During boot HyperEnclave reserves a contiguous slice of physical memory
+ * for itself (paper Sec. 2.1): the RustMonitor image and data, the frames
+ * used for monitor-managed page tables, and the Enclave Page Cache (EPC)
+ * that backs enclave memory.  Everything below the reservation is normal
+ * memory owned by the untrusted primary OS.
+ *
+ *   0                  secureBase       ptArea.end        totalBytes
+ *   |  normal memory   |  PT frame area  |  EPC pages      |
+ *   |  (primary OS)    |<------- secure (reserved) ------->|
+ */
+
+#ifndef HEV_HV_MEM_LAYOUT_HH
+#define HEV_HV_MEM_LAYOUT_HH
+
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+/** Static description of the machine's physical memory map. */
+struct MemLayout
+{
+    /** Total bytes of physical memory. */
+    u64 totalBytes = 32 * 1024 * 1024;
+    /** Bytes reserved for monitor-managed page-table frames. */
+    u64 ptAreaBytes = 4 * 1024 * 1024;
+    /** Bytes reserved for the Enclave Page Cache. */
+    u64 epcBytes = 8 * 1024 * 1024;
+
+    /** First byte of the secure (reserved) region. */
+    u64
+    secureBase() const
+    {
+        return totalBytes - ptAreaBytes - epcBytes;
+    }
+
+    /** Normal memory: [0, secureBase), owned by the primary OS. */
+    HpaRange
+    normalRange() const
+    {
+        return {Hpa(0), Hpa(secureBase())};
+    }
+
+    /** The whole reserved region: PT frames plus EPC. */
+    HpaRange
+    secureRange() const
+    {
+        return {Hpa(secureBase()), Hpa(totalBytes)};
+    }
+
+    /** Frames the monitor hands out for page tables. */
+    HpaRange
+    ptAreaRange() const
+    {
+        return {Hpa(secureBase()), Hpa(secureBase() + ptAreaBytes)};
+    }
+
+    /** EPC pages backing enclave memory. */
+    HpaRange
+    epcRange() const
+    {
+        return {Hpa(secureBase() + ptAreaBytes), Hpa(totalBytes)};
+    }
+
+    /** Number of EPC pages. */
+    u64 epcPages() const { return epcBytes / pageSize; }
+
+    /** Number of page-table frames in the PT area. */
+    u64 ptFrames() const { return ptAreaBytes / pageSize; }
+
+    /** True iff the layout is internally consistent. */
+    bool
+    valid() const
+    {
+        return totalBytes % pageSize == 0 && ptAreaBytes % pageSize == 0 &&
+               epcBytes % pageSize == 0 &&
+               ptAreaBytes + epcBytes < totalBytes && ptAreaBytes > 0 &&
+               epcBytes > 0;
+    }
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_MEM_LAYOUT_HH

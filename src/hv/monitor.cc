@@ -1,0 +1,507 @@
+#include "hv/monitor.hh"
+
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+namespace
+{
+
+/** FNV-1a step used by the measurement stub. */
+u64
+measureStep(u64 acc, u64 word)
+{
+    acc ^= word;
+    return acc * 0x100000001b3ull;
+}
+
+} // namespace
+
+const char *
+enclaveStateName(EnclaveState state)
+{
+    switch (state) {
+      case EnclaveState::Adding: return "Adding";
+      case EnclaveState::Initialized: return "Initialized";
+      case EnclaveState::Dead: return "Dead";
+    }
+    return "Unknown";
+}
+
+Monitor::Monitor(const MonitorConfig &config)
+    : cfg(config), physMem(config.layout),
+      frameAlloc(physMem, config.layout.ptAreaRange()),
+      epcMap(config.layout.epcRange())
+{
+    auto ept = PageTable::create(physMem, frameAlloc);
+    if (!ept)
+        fatal("cannot allocate the normal VM's EPT root");
+    normalEpt = std::make_unique<PageTable>(*ept);
+
+    // Identity-map normal memory (and only normal memory) for the
+    // primary OS.  The secure region is deliberately absent: this is
+    // the spatial-isolation linchpin.
+    const HpaRange normal = cfg.layout.normalRange();
+    const u64 hugeSpan = 2 * 1024 * 1024;
+    u64 addr = 0;
+    while (addr < normal.size()) {
+        const u64 remaining = normal.size() - addr;
+        if (cfg.hugeNormalEpt && addr % hugeSpan == 0 &&
+            remaining >= hugeSpan) {
+            if (auto st = normalEpt->mapHuge(addr, addr, PteFlags::userRw(),
+                                             2); !st)
+                fatal("normal EPT huge map failed: %s",
+                      hvErrorName(st.error()));
+            addr += hugeSpan;
+        } else {
+            if (auto st = normalEpt->map(addr, addr, PteFlags::userRw());
+                !st)
+                fatal("normal EPT map failed: %s", hvErrorName(st.error()));
+            addr += pageSize;
+        }
+    }
+}
+
+const Enclave *
+Monitor::findEnclave(EnclaveId id) const
+{
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return nullptr;
+    return &it->second;
+}
+
+u64
+Monitor::liveEnclaves() const
+{
+    u64 count = 0;
+    for (const auto &[id, enc] : enclaves) {
+        if (enc.state != EnclaveState::Dead)
+            ++count;
+    }
+    return count;
+}
+
+void
+Monitor::forEachEnclave(
+    const std::function<void(const Enclave &)> &visit) const
+{
+    for (const auto &[id, enc] : enclaves) {
+        if (enc.state != EnclaveState::Dead)
+            visit(enc);
+    }
+}
+
+Expected<EnclaveId>
+Monitor::validateInitConfig(const EnclaveConfig &config)
+{
+    const GvaRange elrange = config.elrange;
+    if (elrange.empty() || !elrange.start.pageAligned() ||
+        !elrange.end.pageAligned())
+        return HvError::InvalidParam;
+    if (config.mbufPages == 0 || !config.mbufGva.pageAligned())
+        return HvError::InvalidParam;
+    if (config.mbufBacking.value % pageSize != 0)
+        return HvError::NotAligned;
+
+    const GvaRange mbuf_gva = {config.mbufGva,
+                               config.mbufGva +
+                                   config.mbufPages * pageSize};
+    // Enclave invariant (paper Sec. 5.2): ELRANGE and the marshalling
+    // buffer range must be disjoint.
+    if (mbuf_gva.overlaps(elrange))
+        return HvError::IsolationViolation;
+
+    // The marshalling buffer is carved out of normal memory; a backing
+    // inside the secure region would hand the enclave (or the monitor's
+    // copy loop) a window into another enclave's pages.
+    const HpaRange backing = {Hpa(config.mbufBacking.value),
+                              Hpa(config.mbufBacking.value +
+                                  config.mbufPages * pageSize)};
+    if (!cfg.layout.normalRange().containsRange(backing))
+        return HvError::IsolationViolation;
+
+    return nextEnclaveId;
+}
+
+Status
+Monitor::mapMarshallingBuffer(Enclave &enclave)
+{
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    for (u64 i = 0; i < enclave.cfg.mbufPages; ++i) {
+        const u64 off = i * pageSize;
+        const Gva gva = enclave.cfg.mbufGva + off;
+        const u64 gpa = enclaveMbufGpaBase + off;
+        const Hpa hpa = Hpa(enclave.cfg.mbufBacking.value + off);
+        if (auto st = gpt.map(gva.value, gpa, PteFlags::userRw()); !st)
+            return st.error();
+        if (auto st = ept.map(gpa, hpa.value, PteFlags::userRw()); !st)
+            return st.error();
+    }
+    return okStatus();
+}
+
+Expected<EnclaveId>
+Monitor::hcEnclaveInit(const EnclaveConfig &config)
+{
+    ++statCounters.hypercalls;
+    auto id = validateInitConfig(config);
+    if (!id) {
+        ++statCounters.rejectedRequests;
+        return id.error();
+    }
+
+    auto gpt = PageTable::create(physMem, frameAlloc);
+    if (!gpt)
+        return gpt.error();
+    auto ept = PageTable::create(physMem, frameAlloc);
+    if (!ept) {
+        (void)frameAlloc.free(gpt->root());
+        return ept.error();
+    }
+
+    Enclave enclave;
+    enclave.id = *id;
+    enclave.state = EnclaveState::Adding;
+    enclave.cfg = config;
+    enclave.gptRoot = gpt->root();
+    enclave.eptRoot = ept->root();
+
+    if (cfg.shallowCopyBug) {
+        // Historical 2022 bug (paper Sec. 4.1): seed the enclave's GPT
+        // by shallow-copying the creator's level-4 entries over the
+        // ELRANGE.  The copied entries keep pointing at level-3 tables
+        // in guest-controlled normal memory.
+        PageTable creator(physMem, nullptr, config.creatorGptRoot);
+        (void)gpt->shallowCopyL4From(creator, config.elrange.start.value,
+                                     config.elrange.end.value);
+    }
+
+    if (auto st = mapMarshallingBuffer(enclave); !st) {
+        (void)gpt->destroy();
+        (void)ept->destroy();
+        ++statCounters.rejectedRequests;
+        return st.error();
+    }
+
+    enclaves.emplace(*id, enclave);
+    ++nextEnclaveId;
+    ++statCounters.enclavesCreated;
+    inform("enclave %u created (elrange [%#llx, %#llx))", *id,
+           (unsigned long long)config.elrange.start.value,
+           (unsigned long long)config.elrange.end.value);
+    return *id;
+}
+
+Status
+Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
+                          AddPageKind kind)
+{
+    ++statCounters.hypercalls;
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
+        ++statCounters.rejectedRequests;
+        return HvError::NoSuchEnclave;
+    }
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Adding) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    if (!page_gva.pageAligned() || src.value % pageSize != 0) {
+        ++statCounters.rejectedRequests;
+        return HvError::NotAligned;
+    }
+    // Enclave invariant: EPC pages appear exactly at ELRANGE addresses.
+    if (!enclave.cfg.elrange.contains(page_gva)) {
+        ++statCounters.rejectedRequests;
+        return HvError::IsolationViolation;
+    }
+    const HpaRange src_range = {Hpa(src.value),
+                                Hpa(src.value + pageSize)};
+    if (!cfg.layout.normalRange().containsRange(src_range)) {
+        ++statCounters.rejectedRequests;
+        return HvError::IsolationViolation;
+    }
+
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+
+    const u64 gpa = enclaveEpcGpaBase + enclave.addedPages * pageSize;
+    if (auto st = gpt.map(page_gva.value, gpa, PteFlags::userRw()); !st) {
+        ++statCounters.rejectedRequests;
+        return st.error();
+    }
+
+    auto epc_page = epcMap.allocPage(
+        id, page_gva,
+        kind == AddPageKind::Tcs ? EpcPageState::Tcs : EpcPageState::Reg);
+    if (!epc_page) {
+        (void)gpt.unmap(page_gva.value);
+        ++statCounters.rejectedRequests;
+        return epc_page.error();
+    }
+
+    if (auto st = ept.map(gpa, epc_page->value, PteFlags::userRw()); !st) {
+        (void)gpt.unmap(page_gva.value);
+        (void)epcMap.freePage(*epc_page);
+        ++statCounters.rejectedRequests;
+        return st.error();
+    }
+
+    // Copy the initial contents out of normal memory and fold them into
+    // the measurement.
+    physMem.copyPage(*epc_page, Hpa(src.value));
+    enclave.measurement = measureStep(enclave.measurement, page_gva.value);
+    for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+        enclave.measurement =
+            measureStep(enclave.measurement, physMem.read(*epc_page + off));
+    }
+
+    if (kind == AddPageKind::Tcs) {
+        if (enclave.tcsPages == 0)
+            enclave.entryPoint = physMem.read(*epc_page);
+        ++enclave.tcsPages;
+    }
+    ++enclave.addedPages;
+    ++statCounters.pagesAdded;
+    return okStatus();
+}
+
+Status
+Monitor::hcEnclaveInitFinish(EnclaveId id)
+{
+    ++statCounters.hypercalls;
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
+        ++statCounters.rejectedRequests;
+        return HvError::NoSuchEnclave;
+    }
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Adding) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    if (enclave.tcsPages == 0) {
+        ++statCounters.rejectedRequests;
+        return HvError::InvalidParam;
+    }
+    enclave.measurement = measureStep(enclave.measurement, 0xE1417ull);
+    enclave.state = EnclaveState::Initialized;
+    return okStatus();
+}
+
+Status
+Monitor::hcEnclaveEnter(EnclaveId id, VCpu &vcpu)
+{
+    ++statCounters.hypercalls;
+    if (vcpu.mode != CpuMode::GuestNormal) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
+        ++statCounters.rejectedRequests;
+        return HvError::NoSuchEnclave;
+    }
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Initialized) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    // One TCS: a second vCPU cannot enter while one is inside (its
+    // saved contexts would be clobbered).
+    if (enclave.active) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    enclave.active = true;
+
+    enclave.savedAppRegs = vcpu.regs;
+    enclave.savedAppGptRoot = vcpu.gptRoot;
+
+    if (enclave.hasSavedEnclaveRegs) {
+        vcpu.regs = enclave.savedEnclaveRegs;
+    } else {
+        // First entry: scrub the register file so nothing leaks in, and
+        // start at the TCS entry point.
+        vcpu.regs = RegFile{};
+        vcpu.regs.rip = enclave.entryPoint;
+    }
+    vcpu.mode = CpuMode::GuestEnclave;
+    vcpu.currentEnclave = id;
+    vcpu.domain = id;
+    vcpu.gptRoot = enclave.gptRoot;
+    vcpu.eptRoot = enclave.eptRoot;
+    tlbModel.flushDomain(id);
+    ++statCounters.enters;
+    return okStatus();
+}
+
+Status
+Monitor::hcEnclaveExit(VCpu &vcpu)
+{
+    ++statCounters.hypercalls;
+    if (vcpu.mode != CpuMode::GuestEnclave) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+    auto it = enclaves.find(vcpu.currentEnclave);
+    if (it == enclaves.end())
+        panic("vCPU inside unknown enclave %u", vcpu.currentEnclave);
+    Enclave &enclave = it->second;
+
+    enclave.savedEnclaveRegs = vcpu.regs;
+    enclave.hasSavedEnclaveRegs = true;
+    enclave.active = false;
+
+    // Restore the application context; scrub what the enclave left in
+    // the register file by overwriting all of it.
+    vcpu.regs = enclave.savedAppRegs;
+    vcpu.mode = CpuMode::GuestNormal;
+    vcpu.currentEnclave = invalidEnclave;
+    vcpu.domain = normalVmDomain;
+    vcpu.gptRoot = enclave.savedAppGptRoot;
+    vcpu.eptRoot = normalEpt->root();
+    tlbModel.flushDomain(enclave.id);
+    ++statCounters.exits;
+    return okStatus();
+}
+
+Status
+Monitor::hcEnclaveRemove(EnclaveId id)
+{
+    ++statCounters.hypercalls;
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
+        ++statCounters.rejectedRequests;
+        return HvError::NoSuchEnclave;
+    }
+    Enclave &enclave = it->second;
+    // Tearing down an enclave a vCPU is executing in would scrub the
+    // pages under its feet: reject until it exits.
+    if (enclave.active) {
+        ++statCounters.rejectedRequests;
+        return HvError::BadEnclaveState;
+    }
+
+    // Scrub and free every EPC page the enclave owns.
+    std::vector<Hpa> owned;
+    epcMap.forEachUsed([&](Hpa page, const EpcmEntry &entry) {
+        if (entry.owner == id)
+            owned.push_back(page);
+    });
+    for (Hpa page : owned) {
+        scrubPage(page);
+        (void)epcMap.freePage(page);
+    }
+
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    (void)gpt.destroy();
+    (void)ept.destroy();
+
+    tlbModel.flushDomain(id);
+    enclave.state = EnclaveState::Dead;
+    return okStatus();
+}
+
+void
+Monitor::scrubPage(Hpa page)
+{
+    physMem.zeroPage(page);
+}
+
+Expected<Hpa>
+Monitor::translateUncached(Hpa gpt_root, Hpa ept_root, Gva va,
+                           bool is_write) const
+{
+    const PageTable ept(const_cast<PhysMem &>(physMem), nullptr, ept_root);
+
+    // The hardware's nested walk: the guest page table is addressed in
+    // guest-physical space, so each stage-1 table access is itself
+    // EPT-translated.  A GPT entry pointing into the secure region (a
+    // "mapping attack") therefore faults at the EPT stage instead of
+    // silently reading monitor memory.
+    u64 table_gpa = gpt_root.value;
+    for (int level = pagingLevels; level >= 1; --level) {
+        auto table_hpa = ept.translate(table_gpa, false, false);
+        if (!table_hpa)
+            return HvError::NotMapped;
+        const u64 index = va.tableIndex(level);
+        const PageTable stage1(const_cast<PhysMem &>(physMem), nullptr,
+                               Hpa(table_hpa->physAddr));
+        const Pte entry = stage1.entryAt(Hpa(table_hpa->physAddr), index);
+        if (!entry.present())
+            return HvError::NotMapped;
+        if (is_write && !entry.writable())
+            return HvError::PermissionDenied;
+        if (level == 1 || entry.huge()) {
+            const u64 span = 1ull << (pageShift + 9 * (level - 1));
+            const u64 gpa = entry.addr() + (va.value & (span - 1));
+            auto data_hpa = ept.translate(gpa, is_write, false);
+            if (!data_hpa)
+                return data_hpa.error();
+            return Hpa(data_hpa->physAddr);
+        }
+        table_gpa = entry.addr();
+    }
+    panic("unreachable: nested walk fell off the root");
+}
+
+Expected<Hpa>
+Monitor::translateEnclaveUncached(Hpa gpt_root, Hpa ept_root, Gva va,
+                                  bool is_write) const
+{
+    // The enclave's GPT is monitor-managed and lives in the secure
+    // region; hardware walks it from the root the monitor installed, so
+    // stage-1 table accesses read host-physical memory directly.  Only
+    // the resulting guest-physical address goes through the EPT.
+    const PageTable gpt(const_cast<PhysMem &>(physMem), nullptr, gpt_root);
+    auto stage1 = gpt.translate(va.value, is_write, false);
+    if (!stage1)
+        return stage1.error();
+
+    const PageTable ept(const_cast<PhysMem &>(physMem), nullptr, ept_root);
+    auto stage2 = ept.translate(stage1->physAddr, is_write, false);
+    if (!stage2)
+        return stage2.error();
+    return Hpa(stage2->physAddr);
+}
+
+Expected<Hpa>
+Monitor::translate(VCpu &vcpu, Gva va, bool is_write)
+{
+    if (auto hit = tlbModel.lookup(vcpu.domain, va.value)) {
+        if (!is_write || hit->writable)
+            return Hpa(hit->hpaPage + va.pageOffset());
+        // Write to a read-only cached translation: re-walk (the tables
+        // are authoritative for permission faults).
+    }
+
+    auto hpa = vcpu.mode == CpuMode::GuestEnclave
+                   ? translateEnclaveUncached(vcpu.gptRoot, vcpu.eptRoot,
+                                              va, is_write)
+                   : translateUncached(vcpu.gptRoot, vcpu.eptRoot, va,
+                                       is_write);
+    if (!hpa)
+        return hpa.error();
+    tlbModel.insert(vcpu.domain, va.value,
+                    {hpa->pageBase().value, is_write});
+    return *hpa;
+}
+
+Status
+Monitor::guestSetGptRoot(VCpu &vcpu, Hpa new_root)
+{
+    if (vcpu.mode != CpuMode::GuestNormal)
+        return HvError::PermissionDenied;
+    vcpu.gptRoot = new_root;
+    // MOV CR3 flushes the non-global TLB entries of the domain.
+    tlbModel.flushDomain(vcpu.domain);
+    return okStatus();
+}
+
+} // namespace hev::hv

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * RustMonitor: the trusted software layer of HyperEnclave.
+ *
+ * The monitor owns the reserved secure memory, manages every EPT (the
+ * normal VM's and each enclave's) plus the enclaves' GPTs, keeps the
+ * EPCM, and implements the hypercalls through which the untrusted
+ * primary OS drives the enclave life cycle (paper Sec. 2.1).  Its job,
+ * and the property the paper verifies, is spatial isolation: no guest
+ * mapping may reach the secure region except an enclave's own EPC pages
+ * and the marshalling buffers.
+ *
+ * The historical 2022 "shallow copy" vulnerability (paper Sec. 4.1) can
+ * be re-enabled via MonitorConfig::shallowCopyBug so the verification
+ * analogue in src/ccal and src/sec can demonstrate catching it.
+ */
+
+#ifndef HEV_HV_MONITOR_HH
+#define HEV_HV_MONITOR_HH
+
+#include <map>
+#include <memory>
+
+#include "hv/enclave.hh"
+#include "hv/epcm.hh"
+#include "hv/frame_alloc.hh"
+#include "hv/page_table.hh"
+#include "hv/phys_mem.hh"
+#include "hv/tlb.hh"
+#include "hv/vcpu.hh"
+#include "support/result.hh"
+
+namespace hev::hv
+{
+
+/** Build-time configuration of the monitor. */
+struct MonitorConfig
+{
+    MemLayout layout;
+    /**
+     * Re-enable the 2022 bug: initialize enclave GPTs by shallow-copying
+     * the creator's level-4 entries instead of building from scratch.
+     */
+    bool shallowCopyBug = false;
+    /** Map the normal VM's EPT with 2 MiB pages where possible. */
+    bool hugeNormalEpt = true;
+};
+
+/** Kind of page being added by the add_page hypercall. */
+enum class AddPageKind : u8
+{
+    Reg,  //!< regular data/code page
+    Tcs,  //!< thread control structure (entry-point) page
+};
+
+/** Statistics counters exposed for the benches. */
+struct MonitorStats
+{
+    u64 hypercalls = 0;
+    u64 enclavesCreated = 0;
+    u64 pagesAdded = 0;
+    u64 enters = 0;
+    u64 exits = 0;
+    u64 rejectedRequests = 0;
+};
+
+/** The trusted monitor. */
+class Monitor
+{
+  public:
+    explicit Monitor(const MonitorConfig &config);
+
+    Monitor(const Monitor &) = delete;
+    Monitor &operator=(const Monitor &) = delete;
+
+    /// @name Component access (for checkers, tests and benches)
+    /// @{
+    PhysMem &mem() { return physMem; }
+    const PhysMem &mem() const { return physMem; }
+    FrameAllocator &ptAlloc() { return frameAlloc; }
+    const FrameAllocator &ptAlloc() const { return frameAlloc; }
+    Epcm &epcm() { return epcMap; }
+    const Epcm &epcm() const { return epcMap; }
+    Tlb &tlb() { return tlbModel; }
+    const MonitorConfig &config() const { return cfg; }
+    const MonitorStats &stats() const { return statCounters; }
+    /// @}
+
+    /** Root of the normal VM's extended page table. */
+    Hpa normalEptRoot() const { return normalEpt->root(); }
+
+    /** Look up a live (non-dead) enclave; null if unknown. */
+    const Enclave *findEnclave(EnclaveId id) const;
+
+    /** Number of live enclaves. */
+    u64 liveEnclaves() const;
+
+    /** Visit every live enclave. */
+    void forEachEnclave(
+        const std::function<void(const Enclave &)> &visit) const;
+
+    /// @name Hypercalls (the primitives the paper's model transitions on)
+    /// @{
+
+    /**
+     * init (ECREATE analogue): create an enclave.
+     *
+     * Validates the proposed geometry (ELRANGE page-aligned and
+     * non-empty, marshalling buffer disjoint from ELRANGE and backed by
+     * normal memory), builds the enclave's empty GPT and EPT, and maps
+     * the marshalling buffer into both stages.  The mapping of the
+     * marshalling buffer is fixed for the enclave's entire life cycle.
+     *
+     * @return the new enclave's id.
+     */
+    Expected<EnclaveId> hcEnclaveInit(const EnclaveConfig &config);
+
+    /**
+     * add_page (EADD analogue): allocate an EPC page, copy its initial
+     * contents from normal memory, record it in the EPCM, and map it at
+     * page_gva in the enclave's GPT/EPT.
+     *
+     * @param id target enclave (must be in Adding state).
+     * @param page_gva enclave-linear address; must lie in ELRANGE.
+     * @param src guest-physical source of the initial contents; must be
+     *            normal memory.
+     * @param kind Reg or Tcs.
+     */
+    Status hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
+                            AddPageKind kind);
+
+    /**
+     * init_finish (EINIT analogue): finalize the measurement and make
+     * the enclave enterable.  Requires at least one TCS page.
+     */
+    Status hcEnclaveInitFinish(EnclaveId id);
+
+    /**
+     * enter (EENTER analogue): world-switch the vCPU into the enclave.
+     * Saves the app context, installs the enclave's GPT/EPT roots,
+     * scrubs the register file, jumps to the TCS entry point, and
+     * flushes the TLB tags involved.
+     */
+    Status hcEnclaveEnter(EnclaveId id, VCpu &vcpu);
+
+    /**
+     * exit (EEXIT analogue): world-switch back to the normal VM,
+     * saving the enclave context and restoring the app context.
+     */
+    Status hcEnclaveExit(VCpu &vcpu);
+
+    /**
+     * remove (EREMOVE analogue): tear the enclave down, scrub and free
+     * its EPC pages and page-table frames.  Not callable while a vCPU
+     * is inside the enclave.
+     */
+    Status hcEnclaveRemove(EnclaveId id);
+
+    /// @}
+
+    /**
+     * Two-stage translation for a running vCPU: GVA --GPT--> GPA
+     * --EPT--> HPA, consulting and filling the TLB.
+     *
+     * @param vcpu the executing vCPU (mode selects the table roots).
+     * @param va guest-virtual address.
+     * @param is_write demand write permission on both stages.
+     */
+    Expected<Hpa> translate(VCpu &vcpu, Gva va, bool is_write);
+
+    /**
+     * TLB-less two-stage translation from explicit roots, for the
+     * normal VM: the guest page table is addressed in guest-physical
+     * space, so every stage-1 table access is itself EPT-translated.
+     * Used by the checkers so they see the tables, not the cache.
+     */
+    Expected<Hpa> translateUncached(Hpa gpt_root, Hpa ept_root, Gva va,
+                                    bool is_write) const;
+
+    /**
+     * TLB-less two-stage translation for an enclave: the GPT is
+     * monitor-managed in secure memory and walked directly from its
+     * host-physical root; only the resulting GPA goes through the EPT.
+     */
+    Expected<Hpa> translateEnclaveUncached(Hpa gpt_root, Hpa ept_root,
+                                           Gva va, bool is_write) const;
+
+    /** A guest writes a new GPT root (MOV CR3 in the normal VM). */
+    Status guestSetGptRoot(VCpu &vcpu, Hpa new_root);
+
+  private:
+    /** Shared init validation; returns the id to use. */
+    Expected<EnclaveId> validateInitConfig(const EnclaveConfig &config);
+
+    /** Map the marshalling buffer into an enclave's GPT and EPT. */
+    Status mapMarshallingBuffer(Enclave &enclave);
+
+    /** Scrub an EPC page before releasing it. */
+    void scrubPage(Hpa page);
+
+    MonitorConfig cfg;
+    PhysMem physMem;
+    FrameAllocator frameAlloc;
+    Epcm epcMap;
+    Tlb tlbModel;
+    std::unique_ptr<PageTable> normalEpt;
+    std::map<EnclaveId, Enclave> enclaves;
+    EnclaveId nextEnclaveId = 1;
+    MonitorStats statCounters;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_MONITOR_HH

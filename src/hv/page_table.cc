@@ -1,0 +1,299 @@
+#include "hv/page_table.hh"
+
+#include "hv/phys_mem.hh"
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+namespace
+{
+
+/** Bytes covered by one terminal entry at a level. */
+u64
+levelPageSize(int level)
+{
+    return 1ull << (pageShift + 9 * (level - 1));
+}
+
+} // namespace
+
+PageTable::PageTable(PhysMem &mem, FrameAllocator *alloc, Hpa root)
+    : physMem(mem), frameAlloc(alloc), rootFrame(root)
+{
+    if (!root.pageAligned())
+        panic("page table root %#llx not page aligned",
+              (unsigned long long)root.value);
+}
+
+Expected<PageTable>
+PageTable::create(PhysMem &mem, FrameAllocator &alloc)
+{
+    auto root = alloc.alloc();
+    if (!root)
+        return root.error();
+    return PageTable(mem, &alloc, *root);
+}
+
+Pte
+PageTable::entryAt(Hpa table, u64 index) const
+{
+    if (index >= entriesPerTable)
+        panic("table index %llu out of range", (unsigned long long)index);
+    // A guest-crafted entry can point a walk at any frame number at all;
+    // real hardware's access to a non-existent physical address aborts
+    // the walk.  Model that as a non-present entry.
+    const Hpa addr = table + index * sizeof(u64);
+    if (!physMem.validWord(addr))
+        return Pte::empty();
+    return Pte(physMem.read(addr));
+}
+
+void
+PageTable::setEntryAt(Hpa table, u64 index, Pte entry)
+{
+    if (index >= entriesPerTable)
+        panic("table index %llu out of range", (unsigned long long)index);
+    physMem.write(table + index * sizeof(u64), entry.raw());
+}
+
+Expected<Hpa>
+PageTable::walkToLeafTable(u64 va, bool alloc_missing)
+{
+    Hpa table = rootFrame;
+    for (int level = pagingLevels; level > 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        Pte entry = entryAt(table, index);
+        if (entry.present() && entry.huge())
+            return HvError::AlreadyMapped;
+        if (!entry.present()) {
+            if (!alloc_missing)
+                return HvError::NotMapped;
+            if (!frameAlloc)
+                return HvError::Unsupported;
+            auto frame = frameAlloc->alloc();
+            if (!frame)
+                return frame.error();
+            entry = Pte::make(frame->value, PteFlags::tableLink());
+            setEntryAt(table, index, entry);
+        }
+        table = Hpa(entry.addr());
+    }
+    return table;
+}
+
+Status
+PageTable::map(u64 va, u64 pa, PteFlags flags)
+{
+    if (va % pageSize != 0 || pa % pageSize != 0)
+        return HvError::NotAligned;
+    if (!flags.present)
+        return HvError::InvalidParam;
+    flags.huge = false;
+    auto leaf = walkToLeafTable(va, true);
+    if (!leaf)
+        return leaf.error();
+    const u64 index = Gva(va).tableIndex(1);
+    if (entryAt(*leaf, index).present())
+        return HvError::AlreadyMapped;
+    setEntryAt(*leaf, index, Pte::make(pa, flags));
+    return okStatus();
+}
+
+Status
+PageTable::mapHuge(u64 va, u64 pa, PteFlags flags, int level)
+{
+    if (level < 2 || level > 3)
+        return HvError::InvalidParam;
+    const u64 span = levelPageSize(level);
+    if (va % span != 0 || pa % span != 0)
+        return HvError::NotAligned;
+    if (!flags.present)
+        return HvError::InvalidParam;
+
+    Hpa table = rootFrame;
+    for (int walk_level = pagingLevels; walk_level > level; --walk_level) {
+        const u64 index = Gva(va).tableIndex(walk_level);
+        Pte entry = entryAt(table, index);
+        if (entry.present() && entry.huge())
+            return HvError::AlreadyMapped;
+        if (!entry.present()) {
+            if (!frameAlloc)
+                return HvError::Unsupported;
+            auto frame = frameAlloc->alloc();
+            if (!frame)
+                return frame.error();
+            entry = Pte::make(frame->value, PteFlags::tableLink());
+            setEntryAt(table, index, entry);
+        }
+        table = Hpa(entry.addr());
+    }
+    const u64 index = Gva(va).tableIndex(level);
+    if (entryAt(table, index).present())
+        return HvError::AlreadyMapped;
+    flags.huge = true;
+    setEntryAt(table, index, Pte::make(pa, flags));
+    return okStatus();
+}
+
+Status
+PageTable::unmap(u64 va)
+{
+    if (va % pageSize != 0)
+        return HvError::NotAligned;
+    auto leaf = walkToLeafTable(va, false);
+    if (!leaf)
+        return leaf.error();
+    const u64 index = Gva(va).tableIndex(1);
+    if (!entryAt(*leaf, index).present())
+        return HvError::NotMapped;
+    setEntryAt(*leaf, index, Pte::empty());
+    return okStatus();
+}
+
+Expected<Translation>
+PageTable::query(u64 va) const
+{
+    Hpa table = rootFrame;
+    for (int level = pagingLevels; level >= 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        const Pte entry = entryAt(table, index);
+        if (!entry.present())
+            return HvError::NotMapped;
+        if (level == 1 || entry.huge()) {
+            const u64 span = levelPageSize(level);
+            Translation result;
+            result.physAddr = entry.addr() + (va & (span - 1));
+            result.flags = entry.flags();
+            result.level = level;
+            return result;
+        }
+        table = Hpa(entry.addr());
+    }
+    panic("unreachable: page walk fell off the root");
+}
+
+Expected<Translation>
+PageTable::translate(u64 va, bool is_write, bool is_user) const
+{
+    // An MMU applies the most restrictive permissions along the walk;
+    // model that by intersecting W and U at every level.
+    bool path_writable = true;
+    bool path_user = true;
+
+    Hpa table = rootFrame;
+    for (int level = pagingLevels; level >= 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        const Pte entry = entryAt(table, index);
+        if (!entry.present())
+            return HvError::NotMapped;
+        path_writable = path_writable && entry.writable();
+        path_user = path_user && entry.user();
+        if (level == 1 || entry.huge()) {
+            if (is_write && !path_writable)
+                return HvError::PermissionDenied;
+            if (is_user && !path_user)
+                return HvError::PermissionDenied;
+            const u64 span = levelPageSize(level);
+            Translation result;
+            result.physAddr = entry.addr() + (va & (span - 1));
+            result.flags = entry.flags();
+            result.flags.writable = path_writable;
+            result.flags.user = path_user;
+            result.level = level;
+            return result;
+        }
+        table = Hpa(entry.addr());
+    }
+    panic("unreachable: page walk fell off the root");
+}
+
+namespace
+{
+
+void
+visitTable(const PageTable &pt, Hpa table, int level, u64 va_prefix,
+           const std::function<void(u64, Pte, int)> &visit)
+{
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const Pte entry = pt.entryAt(table, index);
+        if (!entry.present())
+            continue;
+        const u64 va = va_prefix | (index << (pageShift + 9 * (level - 1)));
+        if (level == 1 || entry.huge()) {
+            visit(va, entry, level);
+        } else {
+            visitTable(pt, Hpa(entry.addr()), level - 1, va, visit);
+        }
+    }
+}
+
+void
+freeTables(PageTable &pt, FrameAllocator &alloc, Hpa table, int level)
+{
+    if (level > 1) {
+        for (u64 index = 0; index < entriesPerTable; ++index) {
+            const Pte entry = pt.entryAt(table, index);
+            if (entry.present() && !entry.huge())
+                freeTables(pt, alloc, Hpa(entry.addr()), level - 1);
+        }
+    }
+    // Frames outside the allocator's area (e.g. acquired through the
+    // shallow-copy bug) are deliberately skipped; the invariant checker
+    // flags them elsewhere.
+    if (alloc.allocated(table))
+        (void)alloc.free(table);
+}
+
+u64
+countTables(const PageTable &pt, Hpa table, int level)
+{
+    u64 count = 1;
+    if (level > 1) {
+        for (u64 index = 0; index < entriesPerTable; ++index) {
+            const Pte entry = pt.entryAt(table, index);
+            if (entry.present() && !entry.huge())
+                count += countTables(pt, Hpa(entry.addr()), level - 1);
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+void
+PageTable::forEachMapping(
+    const std::function<void(u64, Pte, int)> &visit) const
+{
+    visitTable(*this, rootFrame, pagingLevels, 0, visit);
+}
+
+Status
+PageTable::destroy()
+{
+    if (!frameAlloc)
+        return HvError::Unsupported;
+    freeTables(*this, *frameAlloc, rootFrame, pagingLevels);
+    return okStatus();
+}
+
+u64
+PageTable::tableFrameCount() const
+{
+    return countTables(*this, rootFrame, pagingLevels);
+}
+
+Status
+PageTable::shallowCopyL4From(const PageTable &src, u64 va_start, u64 va_end)
+{
+    for (u64 va = va_start; va < va_end;
+         va += levelPageSize(pagingLevels)) {
+        const u64 index = Gva(va).tableIndex(pagingLevels);
+        const Pte entry = src.entryAt(src.root(), index);
+        if (entry.present())
+            setEntryAt(rootFrame, index, entry);
+    }
+    return okStatus();
+}
+
+} // namespace hev::hv

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Four-level page tables over physical memory.
+ *
+ * One PageTable instance manages one radix tree rooted at a physical
+ * frame.  The same machinery backs three distinct table roles in
+ * HyperEnclave (paper Fig. 1): the monitor-managed extended page tables
+ * (EPT) of the normal VM and of each enclave, the monitor-managed guest
+ * page tables (GPT) of each enclave, and the untrusted, guest-managed
+ * GPTs of the primary OS and its apps.  The walker itself is identical;
+ * what differs is who owns the frames and who is allowed to mutate the
+ * tree — exactly the distinction the paper's invariants police.
+ *
+ * Functions here mirror the Rust memory module the paper verifies: walk
+ * the tables for a virtual address, look up intermediate entries,
+ * allocate new intermediate frames by need, and ultimately retrieve or
+ * install a terminal entry (Sec. 4.1).
+ */
+
+#ifndef HEV_HV_PAGE_TABLE_HH
+#define HEV_HV_PAGE_TABLE_HH
+
+#include <functional>
+
+#include "hv/frame_alloc.hh"
+#include "hv/pte.hh"
+#include "support/result.hh"
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+class PhysMem;
+
+/** Result of a successful translation. */
+struct Translation
+{
+    u64 physAddr = 0;       //!< translated physical address
+    PteFlags flags;         //!< effective flags of the terminal entry
+    int level = 1;          //!< level the walk terminated at (1 = 4K)
+
+    bool operator==(const Translation &) const = default;
+};
+
+/** A radix page-table tree rooted at one physical frame. */
+class PageTable
+{
+  public:
+    /**
+     * Bind to an existing root frame.
+     *
+     * @param mem backing physical memory.
+     * @param alloc frame allocator for intermediate tables; may be null
+     *              for read-only use (e.g. walking a guest-built tree).
+     * @param root physical address of the level-4 table.
+     */
+    PageTable(PhysMem &mem, FrameAllocator *alloc, Hpa root);
+
+    /** Allocate a fresh zeroed root and bind to it. */
+    static Expected<PageTable> create(PhysMem &mem, FrameAllocator &alloc);
+
+    /** Physical address of the level-4 (root) table. */
+    Hpa root() const { return rootFrame; }
+
+    /**
+     * Install a 4 KiB terminal mapping va -> pa.
+     *
+     * Intermediate tables are allocated on demand.  Fails with
+     * AlreadyMapped if a terminal entry already covers va.
+     */
+    Status map(u64 va, u64 pa, PteFlags flags);
+
+    /**
+     * Install a huge terminal mapping at the given level
+     * (2 = 2 MiB, 3 = 1 GiB).  Alignment of va and pa must match the
+     * level's page size.
+     */
+    Status mapHuge(u64 va, u64 pa, PteFlags flags, int level);
+
+    /** Remove the terminal mapping covering va (4 KiB only). */
+    Status unmap(u64 va);
+
+    /**
+     * Fetch the terminal entry covering va without permission checks.
+     * This is the page-walk the paper reuses in its security model
+     * (Sec. 5.1).
+     */
+    Expected<Translation> query(u64 va) const;
+
+    /**
+     * Full translation with permission checking, as the MMU would do.
+     *
+     * @param va virtual address to translate.
+     * @param is_write demand write permission.
+     * @param is_user demand user-mode access permission on every level.
+     */
+    Expected<Translation> translate(u64 va, bool is_write,
+                                    bool is_user) const;
+
+    /** Visit every terminal mapping: f(va, entry, level). */
+    void forEachMapping(
+        const std::function<void(u64, Pte, int)> &visit) const;
+
+    /**
+     * Free all intermediate table frames (from the leaf level up),
+     * leaving terminal pages untouched.  Requires an allocator.
+     */
+    Status destroy();
+
+    /** Number of table frames in the tree, including the root. */
+    u64 tableFrameCount() const;
+
+    /** Read the raw entry at (table, index). */
+    Pte entryAt(Hpa table, u64 index) const;
+
+    /** Write the raw entry at (table, index). */
+    void setEntryAt(Hpa table, u64 index, Pte entry);
+
+    /**
+     * Copy another tree's level-4 entries covering [va_start, va_end)
+     * into this tree.  This reproduces the 2022 "shallow copy" bug the
+     * paper describes (Sec. 4.1): the copied entries still point at
+     * level-3 tables stored in physical memory the *source* controls.
+     * Exists only so the checkers can demonstrate they reject it.
+     */
+    Status shallowCopyL4From(const PageTable &src, u64 va_start, u64 va_end);
+
+  private:
+    /**
+     * Walk down to the level-1 table containing va's leaf entry.
+     *
+     * @param va address being walked.
+     * @param alloc_missing allocate intermediate tables on a miss.
+     * @param[out] out_table level-1 table frame.
+     */
+    Expected<Hpa> walkToLeafTable(u64 va, bool alloc_missing);
+
+    PhysMem &physMem;
+    FrameAllocator *frameAlloc;
+    Hpa rootFrame;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_PAGE_TABLE_HH

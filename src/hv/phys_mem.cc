@@ -1,0 +1,82 @@
+#include "hv/phys_mem.hh"
+
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+PhysMem::PhysMem(const MemLayout &layout) : memLayout(layout)
+{
+    if (!layout.valid())
+        fatal("invalid physical memory layout (total=%llu pt=%llu epc=%llu)",
+              (unsigned long long)layout.totalBytes,
+              (unsigned long long)layout.ptAreaBytes,
+              (unsigned long long)layout.epcBytes);
+    words.assign(layout.totalBytes / sizeof(u64), 0);
+}
+
+bool
+PhysMem::validWord(Hpa hpa) const
+{
+    return hpa.value % sizeof(u64) == 0 && hpa.value < memLayout.totalBytes;
+}
+
+u64
+PhysMem::read(Hpa hpa) const
+{
+    if (!validWord(hpa))
+        panic("phys read of invalid word address %#llx",
+              (unsigned long long)hpa.value);
+    return words[hpa.value / sizeof(u64)];
+}
+
+void
+PhysMem::write(Hpa hpa, u64 value)
+{
+    if (!validWord(hpa))
+        panic("phys write of invalid word address %#llx",
+              (unsigned long long)hpa.value);
+    words[hpa.value / sizeof(u64)] = value;
+}
+
+Expected<u64>
+PhysMem::dmaRead(Hpa hpa) const
+{
+    if (!validWord(hpa))
+        return HvError::InvalidParam;
+    if (inSecure(hpa))
+        return HvError::PermissionDenied;
+    return read(hpa);
+}
+
+Status
+PhysMem::dmaWrite(Hpa hpa, u64 value)
+{
+    if (!validWord(hpa))
+        return HvError::InvalidParam;
+    if (inSecure(hpa))
+        return HvError::PermissionDenied;
+    write(hpa, value);
+    return okStatus();
+}
+
+void
+PhysMem::zeroPage(Hpa page_base)
+{
+    if (!page_base.pageAligned())
+        panic("zeroPage of unaligned address %#llx",
+              (unsigned long long)page_base.value);
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        write(page_base + off, 0);
+}
+
+void
+PhysMem::copyPage(Hpa dst_base, Hpa src_base)
+{
+    if (!dst_base.pageAligned() || !src_base.pageAligned())
+        panic("copyPage of unaligned addresses");
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        write(dst_base + off, read(src_base + off));
+}
+
+} // namespace hev::hv

@@ -1,0 +1,53 @@
+#include "hv/pte.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace hev::hv
+{
+
+Pte
+Pte::make(u64 phys_addr, const PteFlags &flags)
+{
+    if (phys_addr & ~bitMask(51, 12))
+        panic("Pte::make: address %#llx not a canonical aligned frame",
+              (unsigned long long)phys_addr);
+    u64 raw = phys_addr;
+    raw = setBit(raw, 0, flags.present);
+    raw = setBit(raw, 1, flags.writable);
+    raw = setBit(raw, 2, flags.user);
+    raw = setBit(raw, 5, flags.accessed);
+    raw = setBit(raw, 6, flags.dirty);
+    raw = setBit(raw, 7, flags.huge);
+    raw = setBit(raw, 63, flags.noExec);
+    return Pte(raw);
+}
+
+PteFlags
+Pte::flags() const
+{
+    PteFlags f;
+    f.present = present();
+    f.writable = writable();
+    f.user = user();
+    f.accessed = accessed();
+    f.dirty = dirty();
+    f.huge = huge();
+    f.noExec = noExec();
+    return f;
+}
+
+std::string
+Pte::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "PTE[%#llx %c%c%c%c%c%c%c]",
+                  (unsigned long long)addr(), present() ? 'P' : '-',
+                  writable() ? 'W' : '-', user() ? 'U' : '-',
+                  accessed() ? 'A' : '-', dirty() ? 'D' : '-',
+                  huge() ? 'H' : '-', noExec() ? 'X' : '-');
+    return buf;
+}
+
+} // namespace hev::hv

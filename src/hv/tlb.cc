@@ -1,0 +1,46 @@
+#include "hv/tlb.hh"
+
+#include <vector>
+
+namespace hev::hv
+{
+
+std::optional<TlbEntry>
+Tlb::lookup(DomainId domain, u64 va) const
+{
+    auto it = entries.find(keyOf(domain, va));
+    if (it == entries.end()) {
+        ++missCount;
+        return std::nullopt;
+    }
+    ++hitCount;
+    return it->second;
+}
+
+void
+Tlb::insert(DomainId domain, u64 va, TlbEntry entry)
+{
+    entries[keyOf(domain, va)] = entry;
+}
+
+void
+Tlb::flushDomain(DomainId domain)
+{
+    ++flushCount;
+    std::vector<u64> doomed;
+    for (const auto &[key, entry] : entries) {
+        if ((key >> 52) == domain)
+            doomed.push_back(key);
+    }
+    for (u64 key : doomed)
+        entries.erase(key);
+}
+
+void
+Tlb::flushAll()
+{
+    ++flushCount;
+    entries.clear();
+}
+
+} // namespace hev::hv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Combined-stage TLB model with per-domain tags.
+ *
+ * RustMonitor flushes the corresponding TLB entries on every enclave
+ * entry/exit (paper Sec. 2.1); a stale combined GVA->HPA translation
+ * surviving a world switch would be an isolation hole all by itself, so
+ * the model keeps the TLB explicit and the tests exercise the flush
+ * discipline.
+ */
+
+#ifndef HEV_HV_TLB_HH
+#define HEV_HV_TLB_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "hv/pte.hh"
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+/**
+ * Identifier of a translation domain: the normal VM is domain 0 and each
+ * enclave uses its EnclaveId (>= 1).  Equivalent to a VPID/ASID tag.
+ */
+using DomainId = u32;
+
+/** The normal VM's domain tag. */
+constexpr DomainId normalVmDomain = 0;
+
+/** One cached combined translation. */
+struct TlbEntry
+{
+    u64 hpaPage = 0;        //!< translated host-physical page base
+    bool writable = false;  //!< combined write permission
+    bool operator==(const TlbEntry &) const = default;
+};
+
+/** Software model of a tagged, unbounded TLB. */
+class Tlb
+{
+  public:
+    /** Look up the cached translation of (domain, va's page). */
+    std::optional<TlbEntry> lookup(DomainId domain, u64 va) const;
+
+    /** Insert a combined translation for (domain, va's page). */
+    void insert(DomainId domain, u64 va, TlbEntry entry);
+
+    /** Drop all entries tagged with the domain. */
+    void flushDomain(DomainId domain);
+
+    /** Drop everything. */
+    void flushAll();
+
+    /** Number of live entries. */
+    u64 size() const { return entries.size(); }
+
+    u64 hits() const { return hitCount; }
+    u64 misses() const { return missCount; }
+    u64 flushes() const { return flushCount; }
+
+  private:
+    /** Key: domain in the high 32 bits, VPN in the low bits. */
+    static u64
+    keyOf(DomainId domain, u64 va)
+    {
+        return (u64(domain) << 52) | (va >> pageShift);
+    }
+
+    std::unordered_map<u64, TlbEntry> entries;
+    mutable u64 hitCount = 0;
+    mutable u64 missCount = 0;
+    u64 flushCount = 0;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_TLB_HH

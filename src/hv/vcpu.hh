@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Virtual CPU state: register file, execution mode, and current
+ * translation roots.
+ *
+ * Upon an enclave state transition RustMonitor "switches the virtual CPU
+ * (vCPU) mode by restoring the vCPU state, switching the guest page
+ * table (GPT) and the extended page table (EPT), and also flushing the
+ * corresponding TLB entries" (paper Sec. 2.1).  The VCpu here carries
+ * exactly the state that switch manipulates; the registers are also part
+ * of the observation function in the noninterference proof (Sec. 5.3).
+ */
+
+#ifndef HEV_HV_VCPU_HH
+#define HEV_HV_VCPU_HH
+
+#include <array>
+
+#include "hv/tlb.hh"
+#include "support/types.hh"
+
+namespace hev::hv
+{
+
+/** General-purpose register count in the model. */
+constexpr int gprCount = 16;
+
+/** Architectural register file visible to the running principal. */
+struct RegFile
+{
+    std::array<u64, gprCount> gpr{};
+    u64 rip = 0;
+    u64 rsp = 0;
+    u64 rflags = 0;
+
+    bool operator==(const RegFile &) const = default;
+};
+
+/** Which world the vCPU is executing in. */
+enum class CpuMode : u8
+{
+    GuestNormal,   //!< primary OS / untrusted app
+    GuestEnclave,  //!< inside an enclave
+};
+
+/** One virtual CPU. */
+struct VCpu
+{
+    RegFile regs;
+    CpuMode mode = CpuMode::GuestNormal;
+    /** Enclave being executed; valid iff mode == GuestEnclave. */
+    EnclaveId currentEnclave = invalidEnclave;
+    /** Current first-stage (guest page table) root. */
+    Hpa gptRoot{};
+    /** Current second-stage (extended page table) root. */
+    Hpa eptRoot{};
+    /** Domain tag used for TLB lookups. */
+    DomainId domain = normalVmDomain;
+
+    bool operator==(const VCpu &) const = default;
+};
+
+} // namespace hev::hv
+
+#endif // HEV_HV_VCPU_HH

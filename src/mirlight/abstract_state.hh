@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The CCAL abstract state hook.
+ *
+ * CCAL "extend[s] the C semantics to add a user-defined abstract state
+ * of the system undergoing verification" (paper Sec. 3.4); MIRVerif
+ * does the same for MIRlight.  Trusted pointers carry getter/setter
+ * handler ids; dereferencing one routes through this interface instead
+ * of the object memory, which is how the bottom layer exposes raw
+ * physical memory as "just a plain array of 64-bit words".
+ */
+
+#ifndef HEV_MIRLIGHT_ABSTRACT_STATE_HH
+#define HEV_MIRLIGHT_ABSTRACT_STATE_HH
+
+#include "mirlight/trap.hh"
+#include "mirlight/value.hh"
+
+namespace hev::mir
+{
+
+/** Interface the interpreter uses to service trusted-pointer accesses. */
+class AbstractState
+{
+  public:
+    virtual ~AbstractState() = default;
+
+    /** Load through a trusted pointer (handler, meta). */
+    virtual Outcome<Value> trustedLoad(u32 handler, u64 meta) = 0;
+
+    /** Store through a trusted pointer. */
+    virtual Outcome<Done> trustedStore(u32 handler, u64 meta,
+                                       const Value &value) = 0;
+};
+
+/** An abstract state with no trusted pointers at all. */
+class NullAbstractState : public AbstractState
+{
+  public:
+    Outcome<Value>
+    trustedLoad(u32 handler, u64) override
+    {
+        return Trap{TrapKind::TrustedFault,
+                    "no trusted handlers registered (handler " +
+                        std::to_string(handler) + ")"};
+    }
+
+    Outcome<Done>
+    trustedStore(u32 handler, u64, const Value &) override
+    {
+        return Trap{TrapKind::TrustedFault,
+                    "no trusted handlers registered (handler " +
+                        std::to_string(handler) + ")"};
+    }
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_ABSTRACT_STATE_HH

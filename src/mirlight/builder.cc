@@ -1,0 +1,137 @@
+#include "mirlight/builder.hh"
+
+#include "support/logging.hh"
+
+namespace hev::mir
+{
+
+FunctionBuilder::FunctionBuilder(std::string name, u32 arg_count)
+{
+    fn.name = std::move(name);
+    fn.argCount = arg_count;
+    fn.varCount = arg_count + 1;
+    fn.isLocal.assign(fn.varCount, false);
+    fn.blocks.emplace_back(); // entry block 0
+    fn.blocks[0].terminator = Terminator{Terminator::Unreachable{}};
+}
+
+VarId
+FunctionBuilder::newVar(bool local)
+{
+    const VarId var = fn.varCount++;
+    fn.isLocal.push_back(local);
+    return var;
+}
+
+void
+FunctionBuilder::markLocal(VarId var)
+{
+    if (var >= fn.varCount)
+        panic("markLocal: variable %u out of range", var);
+    fn.isLocal[var] = true;
+}
+
+BlockId
+FunctionBuilder::newBlock()
+{
+    fn.blocks.emplace_back();
+    fn.blocks.back().terminator = Terminator{Terminator::Unreachable{}};
+    current = BlockId(fn.blocks.size() - 1);
+    return current;
+}
+
+FunctionBuilder &
+FunctionBuilder::atBlock(BlockId block)
+{
+    if (block >= fn.blocks.size())
+        panic("atBlock: block %u out of range", block);
+    current = block;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::assign(MirPlace place, Rvalue rvalue)
+{
+    cur().statements.push_back(Statement{
+        Statement::Assign{std::move(place), std::move(rvalue)}});
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::setDiscriminant(MirPlace place, i64 discriminant)
+{
+    cur().statements.push_back(Statement{
+        Statement::SetDiscriminant{std::move(place), discriminant}});
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::nop()
+{
+    cur().statements.push_back(Statement{Statement::Nop{}});
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::jump(BlockId target)
+{
+    cur().terminator = Terminator{Terminator::Goto{target}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::switchInt(Operand scrutinee,
+                           std::vector<std::pair<i64, BlockId>> cases,
+                           BlockId otherwise)
+{
+    cur().terminator = Terminator{Terminator::SwitchInt{
+        std::move(scrutinee), std::move(cases), otherwise}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::callFn(std::string callee, std::vector<Operand> args,
+                        MirPlace dest, BlockId target)
+{
+    cur().terminator = Terminator{Terminator::Call{
+        std::move(callee), std::move(args), std::move(dest), target}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::ret()
+{
+    cur().terminator = Terminator{Terminator::Return{}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::dropPlace(MirPlace place, BlockId target)
+{
+    cur().terminator =
+        Terminator{Terminator::Drop{std::move(place), target}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::assertTrue(Operand cond, BlockId target)
+{
+    cur().terminator =
+        Terminator{Terminator::Assert{std::move(cond), true, target}};
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::unreachable()
+{
+    cur().terminator = Terminator{Terminator::Unreachable{}};
+    return *this;
+}
+
+Function
+FunctionBuilder::build()
+{
+    return std::move(fn);
+}
+
+} // namespace hev::mir

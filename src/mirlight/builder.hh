@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fluent construction API for MIRlight functions.
+ *
+ * In the paper, `mirlightgen` (a modified rustc) pretty-prints the MIR
+ * of HyperEnclave as Coq abstract syntax.  We have no Rust frontend
+ * here, so the MIR models under src/mirmodels are written against this
+ * builder instead; it plays the same role of producing the deep
+ * embedding the semantics runs on.
+ */
+
+#ifndef HEV_MIRLIGHT_BUILDER_HH
+#define HEV_MIRLIGHT_BUILDER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mirlight/program.hh"
+
+namespace hev::mir
+{
+
+/// @name Rvalue shorthands
+/// @{
+
+inline Rvalue
+use(Operand operand)
+{
+    return Rvalue{Rvalue::Use{std::move(operand)}};
+}
+
+inline Rvalue
+bin(BinOp op, Operand lhs, Operand rhs)
+{
+    return Rvalue{Rvalue::Binary{op, std::move(lhs), std::move(rhs)}};
+}
+
+inline Rvalue
+un(UnOp op, Operand operand)
+{
+    return Rvalue{Rvalue::Unary{op, std::move(operand)}};
+}
+
+inline Rvalue
+makeAggregate(i64 discriminant, std::vector<Operand> fields)
+{
+    return Rvalue{Rvalue::MakeAggregate{discriminant, std::move(fields)}};
+}
+
+inline Rvalue
+refOf(MirPlace place)
+{
+    return Rvalue{Rvalue::Ref{std::move(place)}};
+}
+
+inline Rvalue
+discriminantOf(MirPlace place)
+{
+    return Rvalue{Rvalue::Discriminant{std::move(place)}};
+}
+
+/// @}
+
+/** Builds one Function block by block. */
+class FunctionBuilder
+{
+  public:
+    /**
+     * @param name function name (the call target).
+     * @param arg_count number of parameters (vars 1..arg_count).
+     */
+    FunctionBuilder(std::string name, u32 arg_count);
+
+    /** Allocate a fresh variable. */
+    VarId newVar(bool local = false);
+
+    /** Parameter i (0-based) as a variable id. */
+    static VarId arg(u32 i) { return i + 1; }
+
+    /** The return slot. */
+    static VarId retVar() { return 0; }
+
+    /** Reclassify a variable as memory-allocated. */
+    void markLocal(VarId var);
+
+    /** Open a fresh block and make it current; returns its id. */
+    BlockId newBlock();
+
+    /** Make an existing block current (to fill it in later). */
+    FunctionBuilder &atBlock(BlockId block);
+
+    /** The block currently being appended to. */
+    BlockId currentBlock() const { return current; }
+
+    /// @name Statements (appended to the current block)
+    /// @{
+
+    FunctionBuilder &assign(MirPlace place, Rvalue rvalue);
+    FunctionBuilder &setDiscriminant(MirPlace place, i64 discriminant);
+    FunctionBuilder &nop();
+
+    /// @}
+
+    /// @name Terminators (close the current block)
+    /// @{
+
+    FunctionBuilder &jump(BlockId target);
+    FunctionBuilder &switchInt(Operand scrutinee,
+                               std::vector<std::pair<i64, BlockId>> cases,
+                               BlockId otherwise);
+    FunctionBuilder &callFn(std::string callee, std::vector<Operand> args,
+                            MirPlace dest, BlockId target);
+    FunctionBuilder &ret();
+    FunctionBuilder &dropPlace(MirPlace place, BlockId target);
+    FunctionBuilder &assertTrue(Operand cond, BlockId target);
+    FunctionBuilder &unreachable();
+
+    /// @}
+
+    /** Finish and return the function. */
+    Function build();
+
+  private:
+    BasicBlock &cur() { return fn.blocks.at(current); }
+
+    Function fn;
+    BlockId current = 0;
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_BUILDER_HH

@@ -1,0 +1,626 @@
+#include "mirlight/interp.hh"
+
+#include <sstream>
+
+namespace hev::mir
+{
+
+namespace
+{
+
+Trap
+typeError(const std::string &msg)
+{
+    return Trap{TrapKind::TypeError, msg};
+}
+
+} // namespace
+
+Interp::Interp(const Program &program, AbstractState *abs)
+    : prog(program), absState(abs ? abs : &nullState)
+{
+}
+
+void
+Interp::registerPrimitive(const std::string &name, Primitive prim)
+{
+    primitives[name] = std::move(prim);
+}
+
+u64
+Interp::defineGlobal(const std::string &name, Value init)
+{
+    const u64 cell = objectMemory.alloc(std::move(init));
+    globals[name] = cell;
+    return cell;
+}
+
+u64
+Interp::globalCell(const std::string &name) const
+{
+    auto it = globals.find(name);
+    return it == globals.end() ? 0 : it->second;
+}
+
+Outcome<Value>
+Interp::loadThrough(const Value &pointer)
+{
+    if (pointer.isPathPtr())
+        return objectMemory.read(pointer.asPath());
+    if (pointer.isTrustedPtr()) {
+        ++statCounters.trustedLoads;
+        const TrustedPtr &tp = pointer.asTrusted();
+        return absState->trustedLoad(tp.handler, tp.meta);
+    }
+    if (pointer.isRDataPtr()) {
+        return Trap{TrapKind::RDataDeref,
+                    "dereference of opaque RData pointer owned by layer " +
+                        std::to_string(pointer.asRData().owner)};
+    }
+    return typeError("dereference of non-pointer " + pointer.toString());
+}
+
+Outcome<Done>
+Interp::storeThrough(const Value &pointer, Value value)
+{
+    if (pointer.isPathPtr())
+        return objectMemory.write(pointer.asPath(), std::move(value));
+    if (pointer.isTrustedPtr()) {
+        ++statCounters.trustedStores;
+        const TrustedPtr &tp = pointer.asTrusted();
+        return absState->trustedStore(tp.handler, tp.meta, value);
+    }
+    if (pointer.isRDataPtr()) {
+        return Trap{TrapKind::RDataDeref,
+                    "store through opaque RData pointer owned by layer " +
+                        std::to_string(pointer.asRData().owner)};
+    }
+    return typeError("store through non-pointer " + pointer.toString());
+}
+
+Outcome<Value>
+Interp::readPlace(Frame &frame, const MirPlace &place)
+{
+    if (place.var >= frame.fn->varCount)
+        return typeError("variable out of range in " + frame.fn->name);
+
+    Value current;
+    if (frame.fn->isLocal[place.var]) {
+        auto loaded =
+            objectMemory.read(Path{frame.localCells[place.var], {}});
+        if (!loaded)
+            return loaded.trap();
+        current = std::move(*loaded);
+    } else {
+        current = frame.temps[place.var];
+    }
+
+    for (const ProjElem &elem : place.proj) {
+        if (elem.kind == ProjElem::Kind::Field) {
+            if (!current.isAggregate())
+                return typeError("field projection on non-aggregate");
+            const auto &fields = current.asAggregate().fields;
+            if (elem.index >= fields.size())
+                return typeError("field index out of range");
+            // The field is a sub-object of `current`: move it out
+            // before overwriting the parent, or the assignment would
+            // destroy its own source.
+            Value next = fields[elem.index];
+            current = std::move(next);
+        } else {
+            auto loaded = loadThrough(current);
+            if (!loaded)
+                return loaded.trap();
+            current = std::move(*loaded);
+        }
+    }
+    return current;
+}
+
+namespace
+{
+
+/** Where a place write lands after projection resolution. */
+struct Location
+{
+    enum class Kind { Temp, Mem, Trusted } kind = Kind::Temp;
+    u32 tempVar = 0;                 //!< Temp
+    std::vector<u64> proj;           //!< Temp/Trusted sub-projection
+    Path path;                       //!< Mem
+    TrustedPtr trusted;              //!< Trusted
+};
+
+} // namespace
+
+Outcome<Done>
+Interp::writePlace(Frame &frame, const MirPlace &place, Value value)
+{
+    if (place.var >= frame.fn->varCount)
+        return typeError("variable out of range in " + frame.fn->name);
+
+    Location loc;
+    if (frame.fn->isLocal[place.var]) {
+        loc.kind = Location::Kind::Mem;
+        loc.path = Path{frame.localCells[place.var], {}};
+    } else {
+        loc.kind = Location::Kind::Temp;
+        loc.tempVar = place.var;
+    }
+
+    auto read_loc = [&]() -> Outcome<Value> {
+        switch (loc.kind) {
+          case Location::Kind::Temp: {
+            const Value *sub =
+                navigate(frame.temps[loc.tempVar], loc.proj);
+            if (!sub)
+                return typeError("bad projection into temporary");
+            return *sub;
+          }
+          case Location::Kind::Mem:
+            return objectMemory.read(loc.path);
+          case Location::Kind::Trusted: {
+            ++statCounters.trustedLoads;
+            auto loaded =
+                absState->trustedLoad(loc.trusted.handler,
+                                      loc.trusted.meta);
+            if (!loaded)
+                return loaded.trap();
+            const Value *sub = navigate(*loaded, loc.proj);
+            if (!sub)
+                return typeError("bad projection into trusted object");
+            return *sub;
+          }
+        }
+        return typeError("corrupt location");
+    };
+
+    for (const ProjElem &elem : place.proj) {
+        if (elem.kind == ProjElem::Kind::Field) {
+            if (loc.kind == Location::Kind::Mem)
+                loc.path.proj.push_back(elem.index);
+            else
+                loc.proj.push_back(elem.index);
+            continue;
+        }
+        // Deref: fetch the pointer at the current location, then hop.
+        auto ptr = read_loc();
+        if (!ptr)
+            return ptr.trap();
+        if (ptr->isPathPtr()) {
+            loc.kind = Location::Kind::Mem;
+            loc.path = ptr->asPath();
+            loc.proj.clear();
+        } else if (ptr->isTrustedPtr()) {
+            loc.kind = Location::Kind::Trusted;
+            loc.trusted = ptr->asTrusted();
+            loc.proj.clear();
+        } else if (ptr->isRDataPtr()) {
+            return Trap{TrapKind::RDataDeref,
+                        "store through opaque RData pointer owned by "
+                        "layer " +
+                            std::to_string(ptr->asRData().owner)};
+        } else {
+            return typeError("dereference of non-pointer in place");
+        }
+    }
+
+    switch (loc.kind) {
+      case Location::Kind::Temp: {
+        Value *sub = navigateMut(frame.temps[loc.tempVar], loc.proj);
+        if (!sub)
+            return typeError("bad projection into temporary");
+        *sub = std::move(value);
+        return Done{};
+      }
+      case Location::Kind::Mem:
+        return objectMemory.write(loc.path, std::move(value));
+      case Location::Kind::Trusted: {
+        if (loc.proj.empty()) {
+            ++statCounters.trustedStores;
+            return absState->trustedStore(loc.trusted.handler,
+                                          loc.trusted.meta, value);
+        }
+        // Read-modify-write of a sub-object behind a trusted pointer.
+        ++statCounters.trustedLoads;
+        auto whole = absState->trustedLoad(loc.trusted.handler,
+                                           loc.trusted.meta);
+        if (!whole)
+            return whole.trap();
+        Value copy = std::move(*whole);
+        Value *sub = navigateMut(copy, loc.proj);
+        if (!sub)
+            return typeError("bad projection into trusted object");
+        *sub = std::move(value);
+        ++statCounters.trustedStores;
+        return absState->trustedStore(loc.trusted.handler,
+                                      loc.trusted.meta, copy);
+      }
+    }
+    return typeError("corrupt location");
+}
+
+Outcome<Path>
+Interp::resolvePath(Frame &frame, const MirPlace &place)
+{
+    if (place.var >= frame.fn->varCount)
+        return typeError("variable out of range in " + frame.fn->name);
+    if (!frame.fn->isLocal[place.var]) {
+        return typeError("address taken of temporary variable in " +
+                         frame.fn->name +
+                         " (the translator classifies address-taken "
+                         "variables as locals)");
+    }
+    Path path{frame.localCells[place.var], {}};
+    for (const ProjElem &elem : place.proj) {
+        if (elem.kind == ProjElem::Kind::Field) {
+            path.proj.push_back(elem.index);
+            continue;
+        }
+        auto value = objectMemory.read(path);
+        if (!value)
+            return value.trap();
+        if (!value->isPathPtr()) {
+            return typeError(
+                "reference through a non-path pointer cannot be taken");
+        }
+        path = value->asPath();
+    }
+    return path;
+}
+
+Outcome<Value>
+Interp::evalOperand(Frame &frame, const Operand &operand)
+{
+    switch (operand.kind) {
+      case Operand::Kind::Constant:
+        return operand.constant;
+      case Operand::Kind::Copy:
+      case Operand::Kind::Move:
+        return readPlace(frame, operand.place);
+    }
+    return typeError("corrupt operand");
+}
+
+Outcome<Value>
+Interp::evalRvalue(Frame &frame, const Rvalue &rvalue)
+{
+    if (const auto *use = std::get_if<Rvalue::Use>(&rvalue.repr))
+        return evalOperand(frame, use->operand);
+
+    if (const auto *bin = std::get_if<Rvalue::Binary>(&rvalue.repr)) {
+        auto lhs = evalOperand(frame, bin->lhs);
+        if (!lhs)
+            return lhs.trap();
+        auto rhs = evalOperand(frame, bin->rhs);
+        if (!rhs)
+            return rhs.trap();
+        // Structural equality works on every value kind.
+        if (bin->op == BinOp::Eq)
+            return Value::boolVal(*lhs == *rhs);
+        if (bin->op == BinOp::Ne)
+            return Value::boolVal(!(*lhs == *rhs));
+        if (!lhs->isInt() || !rhs->isInt())
+            return typeError("arithmetic on non-integers");
+        const i64 a = lhs->asInt();
+        const i64 b = rhs->asInt();
+        const u64 ua = u64(a);
+        const u64 ub = u64(b);
+        switch (bin->op) {
+          case BinOp::Add: return Value::intVal(i64(ua + ub));
+          case BinOp::Sub: return Value::intVal(i64(ua - ub));
+          case BinOp::Mul: return Value::intVal(i64(ua * ub));
+          case BinOp::Div:
+            if (b == 0)
+                return Trap{TrapKind::ArithError, "division by zero"};
+            return Value::intVal(a / b);
+          case BinOp::Rem:
+            if (b == 0)
+                return Trap{TrapKind::ArithError, "remainder by zero"};
+            return Value::intVal(a % b);
+          case BinOp::BitAnd: return Value::intVal(i64(ua & ub));
+          case BinOp::BitOr: return Value::intVal(i64(ua | ub));
+          case BinOp::BitXor: return Value::intVal(i64(ua ^ ub));
+          case BinOp::Shl: return Value::intVal(i64(ua << (ub & 63)));
+          case BinOp::Shr: return Value::intVal(i64(ua >> (ub & 63)));
+          case BinOp::Lt: return Value::boolVal(a < b);
+          case BinOp::Le: return Value::boolVal(a <= b);
+          case BinOp::Gt: return Value::boolVal(a > b);
+          case BinOp::Ge: return Value::boolVal(a >= b);
+          default: return typeError("corrupt binary operator");
+        }
+    }
+
+    if (const auto *un = std::get_if<Rvalue::Unary>(&rvalue.repr)) {
+        auto operand = evalOperand(frame, un->operand);
+        if (!operand)
+            return operand.trap();
+        if (!operand->isInt())
+            return typeError("unary operator on non-integer");
+        switch (un->op) {
+          case UnOp::Not:
+            return Value::boolVal(operand->asInt() == 0);
+          case UnOp::Neg:
+            return Value::intVal(i64(0 - u64(operand->asInt())));
+          case UnOp::NotBits:
+            return Value::intVal(~operand->asInt());
+        }
+        return typeError("corrupt unary operator");
+    }
+
+    if (const auto *agg =
+            std::get_if<Rvalue::MakeAggregate>(&rvalue.repr)) {
+        std::vector<Value> fields;
+        fields.reserve(agg->fields.size());
+        for (const Operand &op : agg->fields) {
+            auto field = evalOperand(frame, op);
+            if (!field)
+                return field.trap();
+            fields.push_back(std::move(*field));
+        }
+        return Value::aggregate(agg->discriminant, std::move(fields));
+    }
+
+    if (const auto *ref = std::get_if<Rvalue::Ref>(&rvalue.repr)) {
+        auto path = resolvePath(frame, ref->place);
+        if (!path)
+            return path.trap();
+        return Value::pathPtr(*path);
+    }
+
+    if (const auto *disc =
+            std::get_if<Rvalue::Discriminant>(&rvalue.repr)) {
+        auto value = readPlace(frame, disc->place);
+        if (!value)
+            return value.trap();
+        if (value->isAggregate())
+            return Value::intVal(value->asAggregate().discriminant);
+        if (value->isInt())
+            return *value;
+        return typeError("discriminant of non-enum value");
+    }
+
+    return typeError("corrupt rvalue");
+}
+
+Outcome<Done>
+Interp::pushFrame(const Function &fn, std::vector<Value> args,
+                  MirPlace dest, BlockId target)
+{
+    if (args.size() != fn.argCount) {
+        std::ostringstream msg;
+        msg << fn.name << " expects " << fn.argCount << " args, got "
+            << args.size();
+        return typeError(msg.str());
+    }
+    if (fn.blocks.empty())
+        return typeError(fn.name + " has no blocks");
+
+    Frame frame;
+    frame.fn = &fn;
+    frame.callerDest = std::move(dest);
+    frame.callerTarget = target;
+    frame.temps.assign(fn.varCount, Value::unit());
+    frame.localCells.assign(fn.varCount, 0);
+    for (u32 var = 0; var < fn.varCount; ++var) {
+        if (fn.isLocal[var])
+            frame.localCells[var] = objectMemory.alloc(Value::unit());
+    }
+    for (u32 i = 0; i < fn.argCount; ++i) {
+        const u32 var = i + 1;
+        if (fn.isLocal[var]) {
+            auto written = objectMemory.write(
+                Path{frame.localCells[var], {}}, std::move(args[i]));
+            if (!written)
+                return written.trap();
+        } else {
+            frame.temps[var] = std::move(args[i]);
+        }
+    }
+    stack.push_back(std::move(frame));
+    return Done{};
+}
+
+Outcome<bool>
+Interp::step(Value &result)
+{
+    Frame &frame = stack.back();
+    const BasicBlock &block = frame.fn->blocks.at(frame.block);
+    ++statCounters.steps;
+
+    if (frame.stmtIndex < block.statements.size()) {
+        const Statement &stmt = block.statements[frame.stmtIndex];
+        ++frame.stmtIndex;
+
+        if (const auto *assign =
+                std::get_if<Statement::Assign>(&stmt.repr)) {
+            auto value = evalRvalue(frame, assign->rvalue);
+            if (!value)
+                return value.trap();
+            auto written =
+                writePlace(frame, assign->place, std::move(*value));
+            if (!written)
+                return written.trap();
+            return false;
+        }
+        if (const auto *setdisc =
+                std::get_if<Statement::SetDiscriminant>(&stmt.repr)) {
+            auto value = readPlace(frame, setdisc->place);
+            if (!value)
+                return value.trap();
+            if (!value->isAggregate())
+                return typeError("set_discriminant on non-aggregate");
+            Value updated = std::move(*value);
+            updated.asAggregate().discriminant = setdisc->discriminant;
+            auto written =
+                writePlace(frame, setdisc->place, std::move(updated));
+            if (!written)
+                return written.trap();
+            return false;
+        }
+        // Nop / storage markers.
+        return false;
+    }
+
+    // Terminator.
+    const Terminator &term = block.terminator;
+
+    if (const auto *go = std::get_if<Terminator::Goto>(&term.repr)) {
+        if (go->target >= frame.fn->blocks.size())
+            return typeError("goto target out of range");
+        frame.block = go->target;
+        frame.stmtIndex = 0;
+        return false;
+    }
+
+    if (const auto *sw = std::get_if<Terminator::SwitchInt>(&term.repr)) {
+        auto scrutinee = evalOperand(frame, sw->scrutinee);
+        if (!scrutinee)
+            return scrutinee.trap();
+        if (!scrutinee->isInt())
+            return typeError("switch on non-integer");
+        BlockId target = sw->otherwise;
+        for (const auto &[match, dest] : sw->cases) {
+            if (match == scrutinee->asInt()) {
+                target = dest;
+                break;
+            }
+        }
+        if (target >= frame.fn->blocks.size())
+            return typeError("switch target out of range");
+        frame.block = target;
+        frame.stmtIndex = 0;
+        return false;
+    }
+
+    if (const auto *call = std::get_if<Terminator::Call>(&term.repr)) {
+        std::vector<Value> args;
+        args.reserve(call->args.size());
+        for (const Operand &op : call->args) {
+            auto arg = evalOperand(frame, op);
+            if (!arg)
+                return arg.trap();
+            args.push_back(std::move(*arg));
+        }
+        if (const Function *callee = prog.find(call->callee)) {
+            ++statCounters.calls;
+            auto pushed = pushFrame(*callee, std::move(args), call->dest,
+                                    call->target);
+            if (!pushed)
+                return pushed.trap();
+            return false;
+        }
+        auto prim = primitives.find(call->callee);
+        if (prim == primitives.end()) {
+            return Trap{TrapKind::UnknownFunction,
+                        "call to unknown function " + call->callee};
+        }
+        ++statCounters.primCalls;
+        auto prim_result = prim->second(*this, std::move(args));
+        if (!prim_result)
+            return prim_result.trap();
+        auto written =
+            writePlace(frame, call->dest, std::move(*prim_result));
+        if (!written)
+            return written.trap();
+        if (call->target >= frame.fn->blocks.size())
+            return typeError("call return target out of range");
+        frame.block = call->target;
+        frame.stmtIndex = 0;
+        return false;
+    }
+
+    if (std::get_if<Terminator::Return>(&term.repr)) {
+        auto returned = readPlace(frame, MirPlace::of(0));
+        if (!returned)
+            return returned.trap();
+        const MirPlace dest = frame.callerDest;
+        const BlockId target = frame.callerTarget;
+        stack.pop_back();
+        if (stack.empty()) {
+            result = std::move(*returned);
+            return true;
+        }
+        Frame &caller = stack.back();
+        auto written = writePlace(caller, dest, std::move(*returned));
+        if (!written)
+            return written.trap();
+        if (target >= caller.fn->blocks.size())
+            return typeError("return target out of range");
+        caller.block = target;
+        caller.stmtIndex = 0;
+        return false;
+    }
+
+    if (const auto *drop = std::get_if<Terminator::Drop>(&term.repr)) {
+        // Deallocation is a no-op (garbage-collected view); the drop
+        // edge is still a jump.
+        if (drop->target >= frame.fn->blocks.size())
+            return typeError("drop target out of range");
+        frame.block = drop->target;
+        frame.stmtIndex = 0;
+        return false;
+    }
+
+    if (const auto *assert_ =
+            std::get_if<Terminator::Assert>(&term.repr)) {
+        auto cond = evalOperand(frame, assert_->cond);
+        if (!cond)
+            return cond.trap();
+        if (!cond->isInt())
+            return typeError("assert on non-integer");
+        if (cond->asBool() != assert_->expected) {
+            return Trap{TrapKind::AssertFailure,
+                        "assert failed in " + frame.fn->name};
+        }
+        if (assert_->target >= frame.fn->blocks.size())
+            return typeError("assert target out of range");
+        frame.block = assert_->target;
+        frame.stmtIndex = 0;
+        return false;
+    }
+
+    return Trap{TrapKind::Unreachable,
+                "unreachable terminator executed in " + frame.fn->name};
+}
+
+Outcome<Value>
+Interp::call(const std::string &name, std::vector<Value> args, u64 fuel)
+{
+    // Primitives are callable directly, matching the ability to invoke
+    // any layer's interface in a proof.
+    if (!prog.find(name)) {
+        auto prim = primitives.find(name);
+        if (prim != primitives.end()) {
+            ++statCounters.primCalls;
+            return prim->second(*this, std::move(args));
+        }
+        return Trap{TrapKind::UnknownFunction,
+                    "no function or primitive named " + name};
+    }
+
+    stack.clear();
+    auto pushed = pushFrame(*prog.find(name), std::move(args),
+                            MirPlace::of(0), 0);
+    if (!pushed)
+        return pushed.trap();
+
+    fuelLeft = fuel;
+    Value result;
+    for (;;) {
+        if (fuelLeft == 0) {
+            stack.clear();
+            return Trap{TrapKind::OutOfFuel,
+                        "fuel exhausted while executing " + name};
+        }
+        --fuelLeft;
+        auto done = step(result);
+        if (!done) {
+            stack.clear();
+            return done.trap();
+        }
+        if (*done)
+            return result;
+    }
+}
+
+} // namespace hev::mir

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Small-step operational semantics for MIRlight, made executable.
+ *
+ * The interpreter realizes the semantics of paper Sec. 3.1-3.2:
+ *  - CompCert-style small steps over CFG positions;
+ *  - temporaries live in a per-frame environment, locals in memory;
+ *    pushing a frame allocates fresh, never-freed cells for its locals;
+ *  - drop terminators are no-ops (deallocation is unobservable);
+ *  - dereferences dispatch on the pointer kind: path pointers read the
+ *    object memory, trusted pointers call the abstract state's
+ *    getter/setter, RData pointers always trap (encapsulation).
+ *
+ * Calls resolve first to MIR functions, then to registered
+ * *primitives* — C++ functions standing in for the functional
+ * specifications of lower layers and of the trusted layer.  Verifying
+ * layer N against its spec while executing layers below N through
+ * their specs is exactly the CCAL discipline.
+ */
+
+#ifndef HEV_MIRLIGHT_INTERP_HH
+#define HEV_MIRLIGHT_INTERP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mirlight/abstract_state.hh"
+#include "mirlight/memory.hh"
+#include "mirlight/program.hh"
+
+namespace hev::mir
+{
+
+class Interp;
+
+/** A lower-layer or trusted-layer specification callable from MIR. */
+using Primitive =
+    std::function<Outcome<Value>(Interp &, std::vector<Value>)>;
+
+/** Execution statistics. */
+struct InterpStats
+{
+    u64 steps = 0;        //!< statements + terminators executed
+    u64 calls = 0;        //!< MIR-to-MIR calls
+    u64 primCalls = 0;    //!< calls into primitives
+    u64 trustedLoads = 0;
+    u64 trustedStores = 0;
+};
+
+/** The MIRlight interpreter. */
+class Interp
+{
+  public:
+    /**
+     * @param program functions available for execution.
+     * @param abs abstract state servicing trusted pointers; if null, a
+     *            NullAbstractState is used (any trusted access traps).
+     */
+    explicit Interp(const Program &program, AbstractState *abs = nullptr);
+
+    /** Register a primitive; shadows nothing (MIR functions win). */
+    void registerPrimitive(const std::string &name, Primitive prim);
+
+    /** Allocate a global object; returns its memory cell id. */
+    u64 defineGlobal(const std::string &name, Value init);
+
+    /** Cell id of a global; 0 if undefined. */
+    u64 globalCell(const std::string &name) const;
+
+    /**
+     * Run a function to completion (big-step over the small steps).
+     *
+     * @param name function or primitive to run.
+     * @param args argument values.
+     * @param fuel maximum statements/terminators to execute.
+     */
+    Outcome<Value> call(const std::string &name, std::vector<Value> args,
+                        u64 fuel = 1'000'000);
+
+    Memory &memory() { return objectMemory; }
+    const Memory &memory() const { return objectMemory; }
+
+    AbstractState &abstractState() { return *absState; }
+
+    const InterpStats &stats() const { return statCounters; }
+
+    const Program &program() const { return prog; }
+
+    /// @name Place/value plumbing shared with primitives
+    /// @{
+
+    /** Read through a pointer value (dispatch on pointer kind). */
+    Outcome<Value> loadThrough(const Value &pointer);
+
+    /** Write through a pointer value. */
+    Outcome<Done> storeThrough(const Value &pointer, Value value);
+
+    /// @}
+
+  private:
+    struct Frame
+    {
+        const Function *fn = nullptr;
+        BlockId block = 0;
+        u32 stmtIndex = 0;
+        std::vector<Value> temps;      //!< values of temporary vars
+        std::vector<u64> localCells;   //!< memory cells of local vars
+        MirPlace callerDest;           //!< where the caller wants the result
+        BlockId callerTarget = 0;      //!< caller block to resume
+    };
+
+    /** Evaluate an operand in the top frame. */
+    Outcome<Value> evalOperand(Frame &frame, const Operand &operand);
+
+    /** Evaluate an rvalue in the top frame. */
+    Outcome<Value> evalRvalue(Frame &frame, const Rvalue &rvalue);
+
+    /** Read the value a place currently denotes. */
+    Outcome<Value> readPlace(Frame &frame, const MirPlace &place);
+
+    /** Overwrite the value a place denotes. */
+    Outcome<Done> writePlace(Frame &frame, const MirPlace &place,
+                             Value value);
+
+    /**
+     * Resolve a place to a memory path (for Ref).  The base variable
+     * must be a local; Deref steps may pass through path pointers.
+     */
+    Outcome<Path> resolvePath(Frame &frame, const MirPlace &place);
+
+    /** Push a frame for fn(args). */
+    Outcome<Done> pushFrame(const Function &fn, std::vector<Value> args,
+                            MirPlace dest, BlockId target);
+
+    /** Execute one statement or terminator; true = computation done. */
+    Outcome<bool> step(Value &result);
+
+    const Program &prog;
+    NullAbstractState nullState;
+    AbstractState *absState;
+    std::map<std::string, Primitive> primitives;
+    std::map<std::string, u64> globals;
+    Memory objectMemory;
+    std::vector<Frame> stack;
+    InterpStats statCounters;
+    u64 fuelLeft = 0;
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_INTERP_HH

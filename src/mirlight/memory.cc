@@ -1,0 +1,101 @@
+#include "mirlight/memory.hh"
+
+#include <sstream>
+
+namespace hev::mir
+{
+
+const char *
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::OutOfFuel: return "OutOfFuel";
+      case TrapKind::TypeError: return "TypeError";
+      case TrapKind::BadPath: return "BadPath";
+      case TrapKind::RDataDeref: return "RDataDeref";
+      case TrapKind::TrustedFault: return "TrustedFault";
+      case TrapKind::UnknownFunction: return "UnknownFunction";
+      case TrapKind::AssertFailure: return "AssertFailure";
+      case TrapKind::Unreachable: return "Unreachable";
+      case TrapKind::ArithError: return "ArithError";
+      case TrapKind::PrimitiveError: return "PrimitiveError";
+    }
+    return "Unknown";
+}
+
+const Value *
+navigate(const Value &root, const std::vector<u64> &proj)
+{
+    const Value *cursor = &root;
+    for (u64 index : proj) {
+        if (!cursor->isAggregate())
+            return nullptr;
+        const auto &fields = cursor->asAggregate().fields;
+        if (index >= fields.size())
+            return nullptr;
+        cursor = &fields[index];
+    }
+    return cursor;
+}
+
+Value *
+navigateMut(Value &root, const std::vector<u64> &proj)
+{
+    Value *cursor = &root;
+    for (u64 index : proj) {
+        if (!cursor->isAggregate())
+            return nullptr;
+        auto &fields = cursor->asAggregate().fields;
+        if (index >= fields.size())
+            return nullptr;
+        cursor = &fields[index];
+    }
+    return cursor;
+}
+
+u64
+Memory::alloc(Value init)
+{
+    const u64 cell = nextCell++;
+    cells.emplace(cell, std::move(init));
+    return cell;
+}
+
+Outcome<Value>
+Memory::read(const Path &path) const
+{
+    auto it = cells.find(path.cell);
+    if (it == cells.end()) {
+        std::ostringstream msg;
+        msg << "read of nonexistent cell " << path.cell;
+        return Trap{TrapKind::BadPath, msg.str()};
+    }
+    const Value *sub = navigate(it->second, path.proj);
+    if (!sub) {
+        std::ostringstream msg;
+        msg << "invalid projection on cell " << path.cell;
+        return Trap{TrapKind::BadPath, msg.str()};
+    }
+    return *sub;
+}
+
+Outcome<Done>
+Memory::write(const Path &path, Value value)
+{
+    auto it = cells.find(path.cell);
+    if (it == cells.end()) {
+        std::ostringstream msg;
+        msg << "write to nonexistent cell " << path.cell;
+        return Trap{TrapKind::BadPath, msg.str()};
+    }
+    Value *sub = navigateMut(it->second, path.proj);
+    if (!sub) {
+        std::ostringstream msg;
+        msg << "invalid projection on cell " << path.cell;
+        return Trap{TrapKind::BadPath, msg.str()};
+    }
+    *sub = std::move(value);
+    return Done{};
+}
+
+} // namespace hev::mir

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The object-view memory: a collection of non-overlapping objects.
+ *
+ * Memory maps cell ids to whole object trees; paths locate sub-objects
+ * by projection, never by byte offset.  The paper's axiom that
+ * "assignment to memory ... only chang[es] at the assigned location"
+ * holds by construction here: a write mutates exactly the projected
+ * field of exactly one cell.
+ *
+ * Cells are never freed (Sec. 3.2, "Memory Safety Implies Pointer
+ * Validity"): deallocating a dead local is a no-op, so a pointer
+ * returned out of a function keeps denoting the same object.
+ */
+
+#ifndef HEV_MIRLIGHT_MEMORY_HH
+#define HEV_MIRLIGHT_MEMORY_HH
+
+#include <unordered_map>
+
+#include "mirlight/trap.hh"
+#include "mirlight/value.hh"
+
+namespace hev::mir
+{
+
+/** The object store. */
+class Memory
+{
+  public:
+    /** Allocate a fresh cell holding `init`; returns its id. */
+    u64 alloc(Value init);
+
+    /** Read the sub-object a path denotes. */
+    Outcome<Value> read(const Path &path) const;
+
+    /** Overwrite the sub-object a path denotes. */
+    Outcome<Done> write(const Path &path, Value value);
+
+    /** True iff the cell exists. */
+    bool validCell(u64 cell) const { return cells.count(cell) != 0; }
+
+    /** Number of live cells. */
+    u64 size() const { return cells.size(); }
+
+  private:
+    std::unordered_map<u64, Value> cells;
+    u64 nextCell = 1;
+};
+
+/**
+ * Navigate `proj` inside a value, read-only.
+ *
+ * @return pointer to the sub-value, or null if a projection is invalid.
+ */
+const Value *navigate(const Value &root, const std::vector<u64> &proj);
+
+/** Navigate for mutation. */
+Value *navigateMut(Value &root, const std::vector<u64> &proj);
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_MEMORY_HH

@@ -1,0 +1,194 @@
+#include "mirlight/printer.hh"
+
+#include <sstream>
+
+namespace hev::mir
+{
+
+std::string
+renderPlace(const MirPlace &place)
+{
+    // Apply projections inside-out, rustc-style: derefs wrap in
+    // parentheses, fields append.
+    std::string repr = "_" + std::to_string(place.var);
+    for (const ProjElem &elem : place.proj) {
+        if (elem.kind == ProjElem::Kind::Deref)
+            repr = "(*" + repr + ")";
+        else
+            repr += "." + std::to_string(elem.index);
+    }
+    return repr;
+}
+
+std::string
+renderOperand(const Operand &operand)
+{
+    switch (operand.kind) {
+      case Operand::Kind::Constant:
+        return "const " + operand.constant.toString();
+      case Operand::Kind::Copy:
+        return "copy " + renderPlace(operand.place);
+      case Operand::Kind::Move:
+        return "move " + renderPlace(operand.place);
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "Add";
+      case BinOp::Sub: return "Sub";
+      case BinOp::Mul: return "Mul";
+      case BinOp::Div: return "Div";
+      case BinOp::Rem: return "Rem";
+      case BinOp::BitAnd: return "BitAnd";
+      case BinOp::BitOr: return "BitOr";
+      case BinOp::BitXor: return "BitXor";
+      case BinOp::Shl: return "Shl";
+      case BinOp::Shr: return "Shr";
+      case BinOp::Eq: return "Eq";
+      case BinOp::Ne: return "Ne";
+      case BinOp::Lt: return "Lt";
+      case BinOp::Le: return "Le";
+      case BinOp::Gt: return "Gt";
+      case BinOp::Ge: return "Ge";
+    }
+    return "?";
+}
+
+const char *
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Not: return "Not";
+      case UnOp::Neg: return "Neg";
+      case UnOp::NotBits: return "NotBits";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+renderRvalue(const Rvalue &rvalue)
+{
+    std::ostringstream out;
+    if (const auto *use_rv = std::get_if<Rvalue::Use>(&rvalue.repr)) {
+        out << renderOperand(use_rv->operand);
+    } else if (const auto *binary =
+                   std::get_if<Rvalue::Binary>(&rvalue.repr)) {
+        out << binOpName(binary->op) << "("
+            << renderOperand(binary->lhs) << ", "
+            << renderOperand(binary->rhs) << ")";
+    } else if (const auto *unary =
+                   std::get_if<Rvalue::Unary>(&rvalue.repr)) {
+        out << unOpName(unary->op) << "("
+            << renderOperand(unary->operand) << ")";
+    } else if (const auto *agg =
+                   std::get_if<Rvalue::MakeAggregate>(&rvalue.repr)) {
+        out << "aggregate #" << agg->discriminant << "(";
+        for (size_t i = 0; i < agg->fields.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << renderOperand(agg->fields[i]);
+        }
+        out << ")";
+    } else if (const auto *ref = std::get_if<Rvalue::Ref>(&rvalue.repr)) {
+        out << "&" << renderPlace(ref->place);
+    } else if (const auto *disc =
+                   std::get_if<Rvalue::Discriminant>(&rvalue.repr)) {
+        out << "discriminant(" << renderPlace(disc->place) << ")";
+    }
+    return out.str();
+}
+
+std::string
+renderFunction(const Function &fn)
+{
+    std::ostringstream out;
+    out << "fn " << fn.name << "(";
+    for (u32 i = 0; i < fn.argCount; ++i) {
+        if (i)
+            out << ", ";
+        out << "_" << (i + 1);
+    }
+    out << ") {\n";
+    for (VarId var = 0; var < fn.varCount; ++var) {
+        if (fn.isLocal[var])
+            out << "    let _" << var << ";  // memory-allocated\n";
+    }
+    for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+        const BasicBlock &block = fn.blocks[bb];
+        out << "    bb" << bb << ": {\n";
+        for (const Statement &stmt : block.statements) {
+            out << "        ";
+            if (const auto *assign =
+                    std::get_if<Statement::Assign>(&stmt.repr)) {
+                out << renderPlace(assign->place) << " = "
+                    << renderRvalue(assign->rvalue) << ";";
+            } else if (const auto *setdisc =
+                           std::get_if<Statement::SetDiscriminant>(
+                               &stmt.repr)) {
+                out << "discriminant(" << renderPlace(setdisc->place)
+                    << ") = " << setdisc->discriminant << ";";
+            } else {
+                out << "nop;";
+            }
+            out << "\n";
+        }
+        out << "        ";
+        const Terminator &term = block.terminator;
+        if (const auto *go = std::get_if<Terminator::Goto>(&term.repr)) {
+            out << "goto -> bb" << go->target << ";";
+        } else if (const auto *sw =
+                       std::get_if<Terminator::SwitchInt>(&term.repr)) {
+            out << "switchInt(" << renderOperand(sw->scrutinee)
+                << ") -> [";
+            for (const auto &[value, target] : sw->cases)
+                out << value << ": bb" << target << ", ";
+            out << "otherwise: bb" << sw->otherwise << "];";
+        } else if (const auto *call =
+                       std::get_if<Terminator::Call>(&term.repr)) {
+            out << renderPlace(call->dest) << " = " << call->callee
+                << "(";
+            for (size_t i = 0; i < call->args.size(); ++i) {
+                if (i)
+                    out << ", ";
+                out << renderOperand(call->args[i]);
+            }
+            out << ") -> bb" << call->target << ";";
+        } else if (std::get_if<Terminator::Return>(&term.repr)) {
+            out << "return;";
+        } else if (const auto *drop =
+                       std::get_if<Terminator::Drop>(&term.repr)) {
+            out << "drop(" << renderPlace(drop->place) << ") -> bb"
+                << drop->target << ";";
+        } else if (const auto *assert_ =
+                       std::get_if<Terminator::Assert>(&term.repr)) {
+            out << "assert(" << renderOperand(assert_->cond) << " == "
+                << (assert_->expected ? "true" : "false") << ") -> bb"
+                << assert_->target << ";";
+        } else {
+            out << "unreachable;";
+        }
+        out << "\n    }\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+renderProgram(const Program &program)
+{
+    std::ostringstream out;
+    for (const auto &[name, fn] : program.functions)
+        out << renderFunction(fn) << "\n";
+    return out.str();
+}
+
+} // namespace hev::mir

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Human-readable rendering of MIRlight programs.
+ *
+ * rustc prints MIR "in human-readable form"; mirlightgen turns that
+ * into abstract syntax (paper Sec. 3.3).  This is the inverse: render
+ * the deep embedding back to a rustc-style listing, for debugging
+ * models and for inspecting what the conformance checker actually ran.
+ */
+
+#ifndef HEV_MIRLIGHT_PRINTER_HH
+#define HEV_MIRLIGHT_PRINTER_HH
+
+#include <string>
+
+#include "mirlight/program.hh"
+
+namespace hev::mir
+{
+
+/** Render one place, e.g. "(*_3).1". */
+std::string renderPlace(const MirPlace &place);
+
+/** Render one operand, e.g. "copy _2" or "const 42". */
+std::string renderOperand(const Operand &operand);
+
+/** Render one rvalue, e.g. "Add(copy _1, const 1)". */
+std::string renderRvalue(const Rvalue &rvalue);
+
+/** Render one function as a rustc-style MIR listing. */
+std::string renderFunction(const Function &fn);
+
+/** Render a whole program. */
+std::string renderProgram(const Program &program);
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_PRINTER_HH

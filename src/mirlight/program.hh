@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MIRlight functions and programs.
+ */
+
+#ifndef HEV_MIRLIGHT_PROGRAM_HH
+#define HEV_MIRLIGHT_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mirlight/syntax.hh"
+
+namespace hev::mir
+{
+
+/** One function body as a control-flow graph. */
+struct Function
+{
+    std::string name;
+    u32 argCount = 0;    //!< parameters occupy vars 1..argCount
+    u32 varCount = 1;    //!< total variables including var 0 (return)
+    /**
+     * Per-variable classification: true = "local" (address-taken,
+     * allocated in memory), false = "temporary" (lifted into the frame
+     * environment).  The paper's translator computes this from whether
+     * the variable's address is ever taken.
+     */
+    std::vector<bool> isLocal;
+    std::vector<BasicBlock> blocks;  //!< block 0 is the entry
+
+    /** Number of statements plus terminators (size metric). */
+    u64
+    statementCount() const
+    {
+        u64 count = 0;
+        for (const BasicBlock &block : blocks)
+            count += block.statements.size() + 1;
+        return count;
+    }
+
+    /** True iff any variable is memory-allocated (Sec. 6 statistic). */
+    bool
+    usesLocals() const
+    {
+        for (bool local : isLocal) {
+            if (local)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** A program: a set of functions addressed by name. */
+struct Program
+{
+    std::map<std::string, Function> functions;
+
+    void
+    add(Function fn)
+    {
+        functions[fn.name] = std::move(fn);
+    }
+
+    const Function *
+    find(const std::string &name) const
+    {
+        auto it = functions.find(name);
+        return it == functions.end() ? nullptr : &it->second;
+    }
+
+    /** Total statements across all functions. */
+    u64
+    statementCount() const
+    {
+        u64 count = 0;
+        for (const auto &[name, fn] : functions)
+            count += fn.statementCount();
+        return count;
+    }
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_PROGRAM_HH

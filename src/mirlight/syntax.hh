@@ -1,0 +1,265 @@
+/**
+ * @file
+ * MIRlight abstract syntax.
+ *
+ * MIR programs are control-flow graphs: "each labelled block consists
+ * of multiple statements followed by one terminator" (paper Sec. 3.1).
+ * The compiler has already resolved traits and types, so the syntax is
+ * term-level only; the operational semantics need no type system.
+ *
+ * Variables are indexed, MIR-style: variable 0 is the return slot and
+ * variables 1..argc are the parameters.  Each variable is classified
+ * as *local* (address-taken; lives in memory) or *temporary* (lifted
+ * into a per-frame environment) exactly as the paper's translator does
+ * (Sec. 3.2, "Lifting Local Variables").
+ */
+
+#ifndef HEV_MIRLIGHT_SYNTAX_HH
+#define HEV_MIRLIGHT_SYNTAX_HH
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mirlight/value.hh"
+
+namespace hev::mir
+{
+
+/** Index of a variable within a function. */
+using VarId = u32;
+/** Index of a basic block within a function. */
+using BlockId = u32;
+
+/** One step of a place projection. */
+struct ProjElem
+{
+    enum class Kind : u8
+    {
+        Deref,  //!< follow a pointer
+        Field,  //!< select aggregate field `index`
+    };
+
+    Kind kind = Kind::Field;
+    u64 index = 0;
+
+    static ProjElem deref() { return {Kind::Deref, 0}; }
+    static ProjElem field(u64 index) { return {Kind::Field, index}; }
+
+    bool operator==(const ProjElem &) const = default;
+};
+
+/** A place: variable plus projection, e.g. (*var3).1.0 */
+struct MirPlace
+{
+    VarId var = 0;
+    std::vector<ProjElem> proj;
+
+    static MirPlace of(VarId var) { return {var, {}}; }
+
+    MirPlace
+    field(u64 index) const
+    {
+        MirPlace longer = *this;
+        longer.proj.push_back(ProjElem::field(index));
+        return longer;
+    }
+
+    MirPlace
+    deref() const
+    {
+        MirPlace longer = *this;
+        longer.proj.push_back(ProjElem::deref());
+        return longer;
+    }
+
+    bool operator==(const MirPlace &) const = default;
+};
+
+/** Operand: a constant or the current value of a place. */
+struct Operand
+{
+    enum class Kind : u8
+    {
+        Constant,
+        Copy,
+        Move,  //!< semantically identical to Copy in our value model
+    };
+
+    Kind kind = Kind::Constant;
+    Value constant;   //!< valid iff kind == Constant
+    MirPlace place;   //!< valid otherwise
+
+    static Operand
+    constOp(Value v)
+    {
+        Operand op;
+        op.kind = Kind::Constant;
+        op.constant = std::move(v);
+        return op;
+    }
+
+    static Operand constInt(i64 v) { return constOp(Value::intVal(v)); }
+
+    static Operand
+    copy(MirPlace place)
+    {
+        Operand op;
+        op.kind = Kind::Copy;
+        op.place = std::move(place);
+        return op;
+    }
+
+    static Operand
+    move(MirPlace place)
+    {
+        Operand op;
+        op.kind = Kind::Move;
+        op.place = std::move(place);
+        return op;
+    }
+};
+
+/** Binary operators (integer semantics; booleans are 0/1 ints). */
+enum class BinOp : u8
+{
+    Add, Sub, Mul, Div, Rem,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** Unary operators. */
+enum class UnOp : u8
+{
+    Not,  //!< logical not on 0/1, bitwise not otherwise is NotBits
+    Neg,
+    NotBits,
+};
+
+/** Right-hand sides of assignments. */
+struct Rvalue
+{
+    struct Use
+    {
+        Operand operand;
+    };
+
+    struct Binary
+    {
+        BinOp op;
+        Operand lhs;
+        Operand rhs;
+    };
+
+    struct Unary
+    {
+        UnOp op;
+        Operand operand;
+    };
+
+    struct MakeAggregate
+    {
+        i64 discriminant = 0;
+        std::vector<Operand> fields;
+    };
+
+    struct Ref
+    {
+        MirPlace place;  //!< must resolve to a memory path
+    };
+
+    struct Discriminant
+    {
+        MirPlace place;
+    };
+
+    std::variant<Use, Binary, Unary, MakeAggregate, Ref, Discriminant>
+        repr;
+};
+
+/** Statements within a block. */
+struct Statement
+{
+    struct Assign
+    {
+        MirPlace place;
+        Rvalue rvalue;
+    };
+
+    struct SetDiscriminant
+    {
+        MirPlace place;
+        i64 discriminant;
+    };
+
+    /** StorageLive/StorageDead/Nop: no-ops kept for MIR fidelity. */
+    struct Nop
+    {
+    };
+
+    std::variant<Assign, SetDiscriminant, Nop> repr;
+};
+
+/** Block terminators. */
+struct Terminator
+{
+    struct Goto
+    {
+        BlockId target;
+    };
+
+    struct SwitchInt
+    {
+        Operand scrutinee;
+        std::vector<std::pair<i64, BlockId>> cases;
+        BlockId otherwise;
+    };
+
+    struct Call
+    {
+        std::string callee;
+        std::vector<Operand> args;
+        MirPlace dest;
+        BlockId target;
+    };
+
+    struct Return
+    {
+    };
+
+    /**
+     * Drop: deallocation is a no-op under the paper's semantics
+     * ("similar to how one may specify the semantics of a language
+     * with garbage-collection"), but the call edge is kept.
+     */
+    struct Drop
+    {
+        MirPlace place;
+        BlockId target;
+    };
+
+    struct Assert
+    {
+        Operand cond;
+        bool expected = true;
+        BlockId target;
+    };
+
+    struct Unreachable
+    {
+    };
+
+    std::variant<Goto, SwitchInt, Call, Return, Drop, Assert, Unreachable>
+        repr;
+};
+
+/** One basic block. */
+struct BasicBlock
+{
+    std::vector<Statement> statements;
+    Terminator terminator;
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_SYNTAX_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Execution outcomes of the MIRlight semantics.
+ *
+ * A Trap is a stuck state of the small-step semantics: in the Coq
+ * development these states simply have no successor, and a code proof
+ * obligates showing the verified function never reaches one.  The
+ * executable semantics surfaces them as first-class values so the
+ * conformance checker can report *which* rule got stuck and where.
+ */
+
+#ifndef HEV_MIRLIGHT_TRAP_HH
+#define HEV_MIRLIGHT_TRAP_HH
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hev::mir
+{
+
+/** Why execution got stuck. */
+enum class TrapKind
+{
+    OutOfFuel,        //!< step budget exhausted (non-termination guard)
+    TypeError,        //!< rule applied to a value of the wrong shape
+    BadPath,          //!< path names a nonexistent cell or field
+    RDataDeref,       //!< dereference of an opaque RData pointer
+    TrustedFault,     //!< trusted getter/setter rejected the access
+    UnknownFunction,  //!< call target not in the program or primitives
+    AssertFailure,    //!< MIR assert terminator failed
+    Unreachable,      //!< the unreachable terminator was executed
+    ArithError,       //!< division/remainder by zero
+    PrimitiveError,   //!< a lower-layer specification signalled failure
+};
+
+/** Name of a TrapKind for diagnostics. */
+const char *trapKindName(TrapKind kind);
+
+/** A stuck state, with human-readable context. */
+struct Trap
+{
+    TrapKind kind;
+    std::string message;
+};
+
+/** Either a result or a trap. */
+template <typename T>
+class Outcome
+{
+  public:
+    Outcome(T value) : repr(std::move(value)) {}
+    Outcome(Trap trap) : repr(std::move(trap)) {}
+
+    bool ok() const { return std::holds_alternative<T>(repr); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const
+    {
+        assert(ok());
+        return std::get<T>(repr);
+    }
+
+    T &
+    value()
+    {
+        assert(ok());
+        return std::get<T>(repr);
+    }
+
+    const Trap &
+    trap() const
+    {
+        assert(!ok());
+        return std::get<Trap>(repr);
+    }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    std::variant<T, Trap> repr;
+};
+
+/** Payload for effect-only outcomes. */
+struct Done
+{
+    bool operator==(const Done &) const = default;
+};
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_TRAP_HH

@@ -1,0 +1,46 @@
+#include "mirlight/value.hh"
+
+#include <sstream>
+
+namespace hev::mir
+{
+
+std::string
+Value::toString() const
+{
+    std::ostringstream out;
+    if (isUnit()) {
+        out << "()";
+    } else if (isInt()) {
+        out << asInt();
+    } else if (isAggregate()) {
+        const Aggregate &agg = asAggregate();
+        out << "#" << agg.discriminant << "(";
+        for (size_t i = 0; i < agg.fields.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << agg.fields[i].toString();
+        }
+        out << ")";
+    } else if (isPathPtr()) {
+        const Path &path = asPath();
+        out << "&cell" << path.cell;
+        for (u64 p : path.proj)
+            out << "." << p;
+    } else if (isTrustedPtr()) {
+        out << "&trusted(h" << asTrusted().handler << ", "
+            << asTrusted().meta << ")";
+    } else {
+        out << "&rdata(L" << asRData().owner << ", [";
+        const auto &payload = asRData().payload;
+        for (size_t i = 0; i < payload.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << payload[i];
+        }
+        out << "])";
+    }
+    return out.str();
+}
+
+} // namespace hev::mir

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * MIRlight runtime values: the paper's object-view memory model.
+ *
+ * Values follow the grammar of Sec. 3.2:
+ *
+ *     value := int                  Integer values
+ *            | unit                 Other atomic values
+ *            | (int, list value)    Structs and Enums
+ *
+ * plus the three pointer kinds of Sec. 3.4:
+ *   - path pointers: a memory cell id and a projection list (the
+ *     "GlobalPath IDENT [OFFSET...]" form) — ordinary pointers whose
+ *     pointee the current layer owns;
+ *   - trusted pointers: a handler id plus metadata; dereferencing calls
+ *     getter/setter specifications on the abstract state (used for the
+ *     bottom layer's raw physical memory);
+ *   - RData pointers: an owner-layer tag and an opaque payload; the
+ *     semantics provide NO way to dereference them, so clients can only
+ *     pass them back to the layer that forged them.
+ *
+ * Structs and enums are handled "as values rather than a block of
+ * contiguous memory": projection selects fields directly and there is
+ * no field-offset arithmetic anywhere.
+ */
+
+#ifndef HEV_MIRLIGHT_VALUE_HH
+#define HEV_MIRLIGHT_VALUE_HH
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace hev::mir
+{
+
+class Value;
+
+/** A path: base memory cell plus a list of field projections. */
+struct Path
+{
+    u64 cell = 0;            //!< base object's memory cell id
+    std::vector<u64> proj;   //!< field/index projections, outermost first
+
+    bool operator==(const Path &) const = default;
+
+    /** This path extended by one more projection step. */
+    Path
+    extended(u64 index) const
+    {
+        Path longer = *this;
+        longer.proj.push_back(index);
+        return longer;
+    }
+};
+
+/** Payload of a trusted pointer (Sec. 3.4, case 2). */
+struct TrustedPtr
+{
+    u32 handler = 0;  //!< which getter/setter pair in the abstract state
+    u64 meta = 0;     //!< handler-specific metadata (e.g. a phys address)
+
+    bool operator==(const TrustedPtr &) const = default;
+};
+
+/** Payload of an opaque RData pointer (Sec. 3.4, case 3). */
+struct RDataPtr
+{
+    u32 owner = 0;               //!< layer that forged the pointer
+    std::vector<i64> payload;    //!< identifier + numerical indices
+
+    bool operator==(const RDataPtr &) const = default;
+};
+
+/** One MIRlight runtime value. */
+class Value
+{
+  public:
+    /** Aggregate: integer discriminant plus field list. */
+    struct Aggregate
+    {
+        i64 discriminant = 0;
+        std::vector<Value> fields;
+
+        bool operator==(const Aggregate &) const = default;
+    };
+
+    /** The unit (atomic, non-integer) value. */
+    Value() : repr(Unit{}) {}
+
+    static Value
+    intVal(i64 v)
+    {
+        Value value;
+        value.repr = v;
+        return value;
+    }
+
+    static Value unit() { return Value(); }
+
+    /** Booleans are integers 0/1, as in MIR. */
+    static Value boolVal(bool b) { return intVal(b ? 1 : 0); }
+
+    static Value
+    aggregate(i64 discriminant, std::vector<Value> fields)
+    {
+        Value value;
+        value.repr = Aggregate{discriminant, std::move(fields)};
+        return value;
+    }
+
+    /** A struct is an aggregate with discriminant 0. */
+    static Value
+    tuple(std::vector<Value> fields)
+    {
+        return aggregate(0, std::move(fields));
+    }
+
+    static Value
+    pathPtr(Path path)
+    {
+        Value value;
+        value.repr = std::move(path);
+        return value;
+    }
+
+    static Value
+    trustedPtr(u32 handler, u64 meta)
+    {
+        Value value;
+        value.repr = TrustedPtr{handler, meta};
+        return value;
+    }
+
+    static Value
+    rdataPtr(u32 owner, std::vector<i64> payload)
+    {
+        Value value;
+        value.repr = RDataPtr{owner, std::move(payload)};
+        return value;
+    }
+
+    bool isInt() const { return std::holds_alternative<i64>(repr); }
+    bool isUnit() const { return std::holds_alternative<Unit>(repr); }
+
+    bool
+    isAggregate() const
+    {
+        return std::holds_alternative<Aggregate>(repr);
+    }
+
+    bool isPathPtr() const { return std::holds_alternative<Path>(repr); }
+
+    bool
+    isTrustedPtr() const
+    {
+        return std::holds_alternative<TrustedPtr>(repr);
+    }
+
+    bool
+    isRDataPtr() const
+    {
+        return std::holds_alternative<RDataPtr>(repr);
+    }
+
+    /** Integer payload; value must be an int. */
+    i64 asInt() const { return std::get<i64>(repr); }
+
+    /** Boolean view of an int. */
+    bool asBool() const { return asInt() != 0; }
+
+    const Aggregate &asAggregate() const { return std::get<Aggregate>(repr); }
+    Aggregate &asAggregate() { return std::get<Aggregate>(repr); }
+    const Path &asPath() const { return std::get<Path>(repr); }
+    const TrustedPtr &asTrusted() const { return std::get<TrustedPtr>(repr); }
+    const RDataPtr &asRData() const { return std::get<RDataPtr>(repr); }
+
+    bool operator==(const Value &) const = default;
+
+    /** Human-readable rendering for counterexample reports. */
+    std::string toString() const;
+
+  private:
+    struct Unit
+    {
+        bool operator==(const Unit &) const = default;
+    };
+
+    std::variant<Unit, i64, Aggregate, Path, TrustedPtr, RDataPtr> repr;
+};
+
+/** Option-style helpers mirroring Rust's Option<T> in MIR encoding. */
+namespace option
+{
+
+/** None is the aggregate with discriminant 0 and no fields. */
+inline Value
+none()
+{
+    return Value::aggregate(0, {});
+}
+
+/** Some(v) is the aggregate with discriminant 1 and one field. */
+inline Value
+some(Value v)
+{
+    return Value::aggregate(1, {std::move(v)});
+}
+
+inline bool
+isSome(const Value &v)
+{
+    return v.isAggregate() && v.asAggregate().discriminant == 1;
+}
+
+inline bool
+isNone(const Value &v)
+{
+    return v.isAggregate() && v.asAggregate().discriminant == 0 &&
+           v.asAggregate().fields.empty();
+}
+
+/** Payload of a Some; v must satisfy isSome. */
+inline const Value &
+unwrap(const Value &v)
+{
+    return v.asAggregate().fields.at(0);
+}
+
+} // namespace option
+
+/** Result-style helpers mirroring Rust's Result<T, E>. */
+namespace result
+{
+
+inline Value
+ok(Value v)
+{
+    return Value::aggregate(0, {std::move(v)});
+}
+
+inline Value
+err(Value e)
+{
+    return Value::aggregate(1, {std::move(e)});
+}
+
+inline bool
+isOk(const Value &v)
+{
+    return v.isAggregate() && v.asAggregate().discriminant == 0;
+}
+
+inline bool
+isErr(const Value &v)
+{
+    return v.isAggregate() && v.asAggregate().discriminant == 1;
+}
+
+inline const Value &
+payload(const Value &v)
+{
+    return v.asAggregate().fields.at(0);
+}
+
+} // namespace result
+
+} // namespace hev::mir
+
+#endif // HEV_MIRLIGHT_VALUE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared shorthands for writing the MIR models of the memory module.
+ *
+ * The models under this directory are the MIRlight renditions of the
+ * Rust memory-module functions the paper verifies — what mirlightgen
+ * would print.  They are deliberately written at MIR's level: explicit
+ * basic blocks, one operation per statement, calls for every cross-
+ * layer access, pointer use via the trusted-cast primitives.
+ */
+
+#ifndef HEV_MIRMODELS_COMMON_HH
+#define HEV_MIRMODELS_COMMON_HH
+
+#include "ccal/geometry.hh"
+#include "mirlight/builder.hh"
+
+namespace hev::mirmodels
+{
+
+using ccal::Geometry;
+using mir::BinOp;
+using mir::BlockId;
+using mir::FunctionBuilder;
+using mir::MirPlace;
+using mir::Operand;
+using mir::Program;
+using mir::UnOp;
+using mir::Value;
+using mir::VarId;
+
+/** Integer constant operand. */
+inline Operand
+c(i64 value)
+{
+    return Operand::constInt(value);
+}
+
+/** Unsigned constant operand (bit pattern preserved). */
+inline Operand
+cu(u64 value)
+{
+    return Operand::constInt(i64(value));
+}
+
+/** Copy-of-variable operand. */
+inline Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+/** Copy of a projected place. */
+inline Operand
+vf(VarId var, u64 field)
+{
+    return Operand::copy(MirPlace::of(var).field(field));
+}
+
+/** The return-slot place. */
+inline MirPlace
+ret()
+{
+    return MirPlace::of(0);
+}
+
+/** Variable place. */
+inline MirPlace
+p(VarId var)
+{
+    return MirPlace::of(var);
+}
+
+/** Register one layer's functions into a program. */
+void addLayer02(Program &prog, const Geometry &geo);
+void addLayer03(Program &prog, const Geometry &geo);
+void addLayer04(Program &prog, const Geometry &geo);
+void addLayer05(Program &prog, const Geometry &geo);
+void addLayer06(Program &prog, const Geometry &geo);
+void addLayer07(Program &prog, const Geometry &geo);
+void addLayer08(Program &prog, const Geometry &geo);
+void addLayer09(Program &prog, const Geometry &geo);
+void addLayer10(Program &prog, const Geometry &geo);
+void addLayer11(Program &prog, const Geometry &geo);
+void addLayer12(Program &prog, const Geometry &geo);
+void addLayer13(Program &prog, const Geometry &geo);
+void addLayer14(Program &prog, const Geometry &geo);
+void addLayer15(Program &prog, const Geometry &geo);
+
+} // namespace hev::mirmodels
+
+#endif // HEV_MIRMODELS_COMMON_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Layer 2 — the frame allocator, in MIR.
+ *
+ * `frame_alloc` scans the allocator bitmap first-fit through trusted
+ * bitmap pointers, claims a frame, and zeroes it word by word through
+ * trusted physical-word pointers.  `frame_free` validates and clears
+ * the bit.  Conforms to specFrameAlloc / specFrameFree.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn frame_alloc() -> u64  (0 = out of memory) */
+mir::Function
+makeFrameAlloc(const Geometry &geo)
+{
+    FunctionBuilder fb("frame_alloc", 0);
+    const VarId i = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId bit = fb.newVar();
+    const VarId frame = fb.newVar();
+    const VarId off = fb.newVar();
+    const VarId addr = fb.newVar();
+    const VarId wptr = fb.newVar();
+    const VarId scratch = fb.newVar();
+
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId body2 = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId take = fb.newBlock();
+    const BlockId zhead = fb.newBlock();
+    const BlockId zbody = fb.newBlock();
+    const BlockId zbody2 = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    const BlockId oom = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(i), mir::use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(i), cu(geo.frameCount)))
+        .switchInt(v(cond), {{0, oom}}, body);
+    fb.atBlock(body)
+        .callFn("bitmap_ptr", {v(i)}, p(ptr), body2);
+    fb.atBlock(body2)
+        .assign(p(bit), mir::use(Operand::copy(p(ptr).deref())))
+        .switchInt(v(bit), {{0, take}}, next);
+    fb.atBlock(next)
+        .assign(p(i), mir::bin(BinOp::Add, v(i), c(1)))
+        .jump(head);
+    fb.atBlock(take)
+        .assign(p(ptr).deref(), mir::use(c(1)))
+        .assign(p(frame), mir::bin(BinOp::Mul, v(i), c(i64(pageSize))))
+        .assign(p(frame),
+                mir::bin(BinOp::Add, v(frame), cu(geo.frameBase)))
+        .assign(p(off), mir::use(c(0)))
+        .jump(zhead);
+    fb.atBlock(zhead)
+        .assign(p(cond),
+                mir::bin(BinOp::Lt, v(off), c(i64(pageSize))))
+        .switchInt(v(cond), {{0, done}}, zbody);
+    fb.atBlock(zbody)
+        .assign(p(addr), mir::bin(BinOp::Add, v(frame), v(off)))
+        .callFn("pt_ptr", {v(addr)}, p(wptr), zbody2);
+    fb.atBlock(zbody2)
+        .assign(p(wptr).deref(), mir::use(c(0)))
+        .assign(p(off), mir::bin(BinOp::Add, v(off), c(8)))
+        .jump(zhead);
+    fb.atBlock(done)
+        .assign(ret(), mir::use(v(frame)))
+        .ret();
+    fb.atBlock(oom)
+        .assign(ret(), mir::use(c(0)))
+        .ret();
+    (void)scratch;
+    return fb.build();
+}
+
+/** fn frame_free(frame: u64) -> i64  (0 = ok, else error code) */
+mir::Function
+makeFrameFree(const Geometry &geo)
+{
+    FunctionBuilder fb("frame_free", 1);
+    const VarId cond = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId bit = fb.newVar();
+
+    const BlockId align_ok = fb.newBlock();
+    const BlockId low_ok = fb.newBlock();
+    const BlockId high_ok = fb.newBlock();
+    const BlockId have_ptr = fb.newBlock();
+    const BlockId clear = fb.newBlock();
+    const BlockId invalid = fb.newBlock();
+
+    // frame % pageSize == 0
+    fb.atBlock(0)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(1), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, align_ok}}, invalid);
+    // frame >= frameBase
+    fb.atBlock(align_ok)
+        .assign(p(cond), mir::bin(BinOp::Ge, v(1), cu(geo.frameBase)))
+        .switchInt(v(cond), {{0, invalid}}, low_ok);
+    // frame < frameBase + areaBytes
+    fb.atBlock(low_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::Lt, v(1),
+                         cu(geo.frameBase + geo.frameAreaBytes())))
+        .switchInt(v(cond), {{0, invalid}}, high_ok);
+    fb.atBlock(high_ok)
+        .assign(p(idx), mir::bin(BinOp::Sub, v(1), cu(geo.frameBase)))
+        .assign(p(idx), mir::bin(BinOp::Shr, v(idx), c(12)))
+        .callFn("bitmap_ptr", {v(idx)}, p(ptr), have_ptr);
+    fb.atBlock(have_ptr)
+        .assign(p(bit), mir::use(Operand::copy(p(ptr).deref())))
+        .switchInt(v(bit), {{0, invalid}}, clear);
+    fb.atBlock(clear)
+        .assign(p(ptr).deref(), mir::use(c(0)))
+        .assign(ret(), mir::use(c(0)))
+        .ret();
+    fb.atBlock(invalid)
+        .assign(ret(), mir::use(c(ccal::errInvalidParam)))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn frame_alloc_pair() -> (u64, u64)
+ *
+ * Allocate two frames through a caller-owned staging struct: the pair
+ * lives in a memory-allocated LOCAL and is filled through a pointer —
+ * the idiom the Rust code uses for returning multiple table frames.
+ * Either element is 0 when the allocator ran dry.
+ */
+mir::Function
+makeFrameAllocPair()
+{
+    FunctionBuilder fb("frame_alloc_pair", 0);
+    const VarId pair = fb.newVar(true); // address-taken local
+    const VarId ptr = fb.newVar();
+    const VarId f = fb.newVar();
+    const BlockId first = fb.newBlock();
+    const BlockId second = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    fb.atBlock(0)
+        .assign(p(pair), mir::makeAggregate(0, {c(0), c(0)}))
+        .assign(p(ptr), mir::refOf(p(pair)))
+        .callFn("frame_alloc", {}, p(f), first);
+    fb.atBlock(first)
+        .assign(p(ptr).deref().field(0), mir::use(v(f)))
+        .callFn("frame_alloc", {}, p(f), second);
+    fb.atBlock(second)
+        .assign(p(ptr).deref().field(1), mir::use(v(f)))
+        .jump(done);
+    fb.atBlock(done)
+        .assign(ret(), mir::use(v(pair)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer02(Program &prog, const Geometry &geo)
+{
+    prog.add(makeFrameAlloc(geo));
+    prog.add(makeFrameFree(geo));
+    prog.add(makeFrameAllocPair());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Layer 3 — page-table entry packing, in MIR.
+ *
+ * Entries are "plain 64-bit integers ... a physical address and its
+ * associated flags" (paper Sec. 4.1).  All functions here are pure:
+ * they use only temporaries, so under the lifted-temporaries semantics
+ * they never touch memory — part of the 65/77 functions the paper
+ * could treat "functionally".
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn pte_make(addr, flags) -> u64 */
+mir::Function
+makePteMake()
+{
+    FunctionBuilder fb("pte_make", 2);
+    const VarId a = fb.newVar();
+    const VarId f = fb.newVar();
+    fb.atBlock(0)
+        .assign(p(a), mir::bin(BinOp::BitAnd, v(1), cu(ccal::pteAddrMask)))
+        .assign(p(f),
+                mir::bin(BinOp::BitAnd, v(2), cu(~ccal::pteAddrMask)))
+        .assign(ret(), mir::bin(BinOp::BitOr, v(a), v(f)))
+        .ret();
+    return fb.build();
+}
+
+/** fn pte_addr(entry) -> u64 */
+mir::Function
+makePteAddr()
+{
+    FunctionBuilder fb("pte_addr", 1);
+    fb.atBlock(0)
+        .assign(ret(),
+                mir::bin(BinOp::BitAnd, v(1), cu(ccal::pteAddrMask)))
+        .ret();
+    return fb.build();
+}
+
+/** fn pte_flags(entry) -> u64 */
+mir::Function
+makePteFlags()
+{
+    FunctionBuilder fb("pte_flags", 1);
+    fb.atBlock(0)
+        .assign(ret(),
+                mir::bin(BinOp::BitAnd, v(1), cu(~ccal::pteAddrMask)))
+        .ret();
+    return fb.build();
+}
+
+/** One-bit flag extractor: (entry >> shift) & 1. */
+mir::Function
+makeBitTest(const char *name, int shift)
+{
+    FunctionBuilder fb(name, 1);
+    const VarId t = fb.newVar();
+    fb.atBlock(0)
+        .assign(p(t), mir::bin(BinOp::Shr, v(1), c(shift)))
+        .assign(ret(), mir::bin(BinOp::BitAnd, v(t), c(1)))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn pte_builder_seal(builder: &mut (u64, u64)) -> ()
+ *
+ * The `&mut self`-style helper of the builder idiom: normalizes the
+ * staged flags field in place through the argument pointer (Fig. 4
+ * case 1 — a pointer passed down from the caller that owns the
+ * object).
+ */
+mir::Function
+makePteBuilderSeal()
+{
+    FunctionBuilder fb("pte_builder_seal", 1);
+    const VarId fl = fb.newVar();
+    fb.atBlock(0)
+        .assign(p(fl),
+                mir::use(Operand::copy(p(1).deref().field(1))))
+        .assign(p(fl),
+                mir::bin(BinOp::BitAnd, v(fl), cu(~ccal::pteAddrMask)))
+        .assign(p(1).deref().field(1), mir::use(v(fl)))
+        .assign(ret(), mir::use(Operand::constOp(Value::unit())))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn pte_build(addr, flags) -> u64
+ *
+ * The idiomatic-Rust shape the paper keeps (Sec. 3.4): stage a builder
+ * struct in a memory-allocated LOCAL, hand `&builder` to a helper that
+ * mutates it in place, then pack the result.  Equivalent to pte_make;
+ * exists to keep the locals-and-self-pointers idiom inside the
+ * verified stack.
+ */
+mir::Function
+makePteBuild()
+{
+    FunctionBuilder fb("pte_build", 2);
+    const VarId builder = fb.newVar(true); // address-taken: a local
+    const VarId ptr = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId f = fb.newVar();
+    const VarId ignore = fb.newVar();
+    const BlockId sealed = fb.newBlock();
+    const BlockId packed = fb.newBlock();
+    fb.atBlock(0)
+        .assign(p(builder), mir::makeAggregate(0, {v(1), v(2)}))
+        .assign(p(ptr), mir::refOf(p(builder)))
+        .callFn("pte_builder_seal", {v(ptr)}, p(ignore), sealed);
+    fb.atBlock(sealed)
+        .assign(p(a), mir::use(Operand::copy(p(builder).field(0))))
+        .assign(p(f), mir::use(Operand::copy(p(builder).field(1))))
+        .callFn("pte_make", {v(a), v(f)}, ret(), packed);
+    fb.atBlock(packed).ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer03(Program &prog, const Geometry &)
+{
+    prog.add(makePteMake());
+    prog.add(makePteAddr());
+    prog.add(makePteFlags());
+    prog.add(makeBitTest("pte_present", 0));
+    prog.add(makeBitTest("pte_writable", 1));
+    prog.add(makeBitTest("pte_huge", 7));
+    prog.add(makePteBuilderSeal());
+    prog.add(makePteBuild());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Layer 4 — virtual-address decomposition, in MIR.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn va_index(va, level) -> u64 : (va >> (12 + 9*(level-1))) & 0x1ff */
+mir::Function
+makeVaIndex()
+{
+    FunctionBuilder fb("va_index", 2);
+    const VarId sh = fb.newVar();
+    const VarId t = fb.newVar();
+    fb.atBlock(0)
+        .assign(p(sh), mir::bin(BinOp::Sub, v(2), c(1)))
+        .assign(p(sh), mir::bin(BinOp::Mul, v(sh), c(9)))
+        .assign(p(sh), mir::bin(BinOp::Add, v(sh), c(12)))
+        .assign(p(t), mir::bin(BinOp::Shr, v(1), v(sh)))
+        .assign(ret(), mir::bin(BinOp::BitAnd, v(t), c(0x1ff)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer04(Program &prog, const Geometry &)
+{
+    prog.add(makeVaIndex());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Layer 5 — raw entry access, in MIR.
+ *
+ * The only layer that dereferences physical memory: it forms the word
+ * address of entry (table, index) and goes through the trusted-cast
+ * primitive `pt_ptr`, whose spec returns a trusted pointer into the
+ * abstract state's frame-area array (paper Sec. 3.4, case 2).
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn entry_read(table, index) -> u64 */
+mir::Function
+makeEntryRead()
+{
+    FunctionBuilder fb("entry_read", 2);
+    const VarId addr = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const BlockId have_ptr = fb.newBlock();
+    fb.atBlock(0)
+        .assign(p(addr), mir::bin(BinOp::Mul, v(2), c(8)))
+        .assign(p(addr), mir::bin(BinOp::Add, v(1), v(addr)))
+        .callFn("pt_ptr", {v(addr)}, p(ptr), have_ptr);
+    fb.atBlock(have_ptr)
+        .assign(ret(), mir::use(Operand::copy(p(ptr).deref())))
+        .ret();
+    return fb.build();
+}
+
+/** fn entry_write(table, index, entry) -> () */
+mir::Function
+makeEntryWrite()
+{
+    FunctionBuilder fb("entry_write", 3);
+    const VarId addr = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const BlockId have_ptr = fb.newBlock();
+    fb.atBlock(0)
+        .assign(p(addr), mir::bin(BinOp::Mul, v(2), c(8)))
+        .assign(p(addr), mir::bin(BinOp::Add, v(1), v(addr)))
+        .callFn("pt_ptr", {v(addr)}, p(ptr), have_ptr);
+    fb.atBlock(have_ptr)
+        .assign(p(ptr).deref(), mir::use(v(3)))
+        .assign(ret(), mir::use(Operand::constOp(Value::unit())))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer05(Program &prog, const Geometry &)
+{
+    prog.add(makeEntryRead());
+    prog.add(makeEntryWrite());
+}
+
+} // namespace hev::mirmodels

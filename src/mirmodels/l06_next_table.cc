@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Layer 6 — resolve (or create) the child table behind an entry.
+ *
+ * The first fallible layer: results are Result-encoded aggregates,
+ * discriminant 0 = Ok(value), 1 = Err(code).  Conforms to
+ * specNextTable.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn next_table(table, index, alloc_missing) -> Result<u64, i64> */
+mir::Function
+makeNextTable()
+{
+    FunctionBuilder fb("next_table", 3);
+    const VarId e = fb.newVar();
+    const VarId pres = fb.newVar();
+    const VarId hg = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId f = fb.newVar();
+    const VarId ne = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId have_e = fb.newBlock();
+    const BlockId have_pres = fb.newBlock();
+    const BlockId hit = fb.newBlock();
+    const BlockId have_hg = fb.newBlock();
+    const BlockId ok_addr = fb.newBlock();
+    const BlockId have_addr = fb.newBlock();
+    const BlockId err_huge = fb.newBlock();
+    const BlockId miss = fb.newBlock();
+    const BlockId do_alloc = fb.newBlock();
+    const BlockId have_frame = fb.newBlock();
+    const BlockId install = fb.newBlock();
+    const BlockId have_ne = fb.newBlock();
+    const BlockId installed = fb.newBlock();
+    const BlockId err_nm = fb.newBlock();
+    const BlockId err_oom = fb.newBlock();
+
+    fb.atBlock(0).callFn("entry_read", {v(1), v(2)}, p(e), have_e);
+    fb.atBlock(have_e)
+        .callFn("pte_present", {v(e)}, p(pres), have_pres);
+    fb.atBlock(have_pres).switchInt(v(pres), {{0, miss}}, hit);
+
+    fb.atBlock(hit).callFn("pte_huge", {v(e)}, p(hg), have_hg);
+    fb.atBlock(have_hg).switchInt(v(hg), {{0, ok_addr}}, err_huge);
+    fb.atBlock(ok_addr).callFn("pte_addr", {v(e)}, p(a), have_addr);
+    fb.atBlock(have_addr)
+        .assign(ret(), mir::makeAggregate(0, {v(a)}))
+        .ret();
+    fb.atBlock(err_huge)
+        .assign(ret(),
+                mir::makeAggregate(1, {c(ccal::errAlreadyMapped)}))
+        .ret();
+
+    fb.atBlock(miss).switchInt(v(3), {{0, err_nm}}, do_alloc);
+    fb.atBlock(do_alloc).callFn("frame_alloc", {}, p(f), have_frame);
+    fb.atBlock(have_frame).switchInt(v(f), {{0, err_oom}}, install);
+    fb.atBlock(install)
+        .callFn("pte_make", {v(f), c(i64(ccal::pteLinkFlags))}, p(ne),
+                have_ne);
+    fb.atBlock(have_ne)
+        .callFn("entry_write", {v(1), v(2), v(ne)}, p(ignore), installed);
+    fb.atBlock(installed)
+        .assign(ret(), mir::makeAggregate(0, {v(f)}))
+        .ret();
+    fb.atBlock(err_nm)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errNotMapped)}))
+        .ret();
+    fb.atBlock(err_oom)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errOutOfMemory)}))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer06(Program &prog, const Geometry &)
+{
+    prog.add(makeNextTable());
+}
+
+} // namespace hev::mirmodels

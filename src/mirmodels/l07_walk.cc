@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layer 7 — walk from the root down to the leaf table.
+ *
+ * The loop body was kept small in the retrofitted Rust code (paper
+ * Sec. 2.3, change 1) so that Coq proofs stay structured; the MIR loop
+ * here is correspondingly tight.  Conforms to specWalkToLeaf.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn walk_to_leaf(root, va, alloc_missing) -> Result<u64, i64> */
+mir::Function
+makeWalkToLeaf()
+{
+    FunctionBuilder fb("walk_to_leaf", 3);
+    const VarId t = fb.newVar();
+    const VarId level = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId r = fb.newVar();
+    const VarId d = fb.newVar();
+
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId have_idx = fb.newBlock();
+    const BlockId have_r = fb.newBlock();
+    const BlockId ok_case = fb.newBlock();
+    const BlockId err_case = fb.newBlock();
+    const BlockId done = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(t), mir::use(v(1)))
+        .assign(p(level), mir::use(c(pagingLevels)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Gt, v(level), c(1)))
+        .switchInt(v(cond), {{0, done}}, body);
+    fb.atBlock(body)
+        .callFn("va_index", {v(2), v(level)}, p(idx), have_idx);
+    fb.atBlock(have_idx)
+        .callFn("next_table", {v(t), v(idx), v(3)}, p(r), have_r);
+    fb.atBlock(have_r)
+        .assign(p(d), mir::discriminantOf(p(r)))
+        .switchInt(v(d), {{0, ok_case}}, err_case);
+    fb.atBlock(ok_case)
+        .assign(p(t), mir::use(vf(r, 0)))
+        .assign(p(level), mir::bin(BinOp::Sub, v(level), c(1)))
+        .jump(head);
+    fb.atBlock(err_case)
+        .assign(ret(), mir::use(v(r))) // propagate the Err verbatim
+        .ret();
+    fb.atBlock(done)
+        .assign(ret(), mir::makeAggregate(0, {v(t)}))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer07(Program &prog, const Geometry &)
+{
+    prog.add(makeWalkToLeaf());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Layer 8 — the page walk that the security model reuses.
+ *
+ * `pt_query` retrieves the terminal entry covering a VA, honoring huge
+ * pages, and returns Option<(pa, flags)>.  This is the function the
+ * paper points at in Sec. 5.1: "instead of manually writing this
+ * function in Coq (which we could get wrong), we actually use a
+ * corresponding page-walk function that is part of the memory module".
+ * Conforms to specPtQuery.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn pt_query(root, va) -> Option<(u64, u64)> */
+mir::Function
+makePtQuery()
+{
+    FunctionBuilder fb("pt_query", 2);
+    const VarId t = fb.newVar();
+    const VarId level = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId e = fb.newVar();
+    const VarId pres = fb.newVar();
+    const VarId hg = fb.newVar();
+    const VarId sh = fb.newVar();
+    const VarId mask = fb.newVar();
+    const VarId off = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId pa = fb.newVar();
+    const VarId fl = fb.newVar();
+    const VarId pair = fb.newVar();
+    const VarId cond = fb.newVar();
+
+    const BlockId loop_head = fb.newBlock();
+    const BlockId have_idx = fb.newBlock();
+    const BlockId have_e = fb.newBlock();
+    const BlockId have_pres = fb.newBlock();
+    const BlockId check_level = fb.newBlock();
+    const BlockId check_huge = fb.newBlock();
+    const BlockId have_hg = fb.newBlock();
+    const BlockId descend = fb.newBlock();
+    const BlockId have_next = fb.newBlock();
+    const BlockId terminal = fb.newBlock();
+    const BlockId have_addr = fb.newBlock();
+    const BlockId have_flags = fb.newBlock();
+    const BlockId none_bb = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(t), mir::use(v(1)))
+        .assign(p(level), mir::use(c(pagingLevels)))
+        .jump(loop_head);
+    fb.atBlock(loop_head)
+        .callFn("va_index", {v(2), v(level)}, p(idx), have_idx);
+    fb.atBlock(have_idx)
+        .callFn("entry_read", {v(t), v(idx)}, p(e), have_e);
+    fb.atBlock(have_e)
+        .callFn("pte_present", {v(e)}, p(pres), have_pres);
+    fb.atBlock(have_pres).switchInt(v(pres), {{0, none_bb}}, check_level);
+    fb.atBlock(check_level)
+        .assign(p(cond), mir::bin(BinOp::Eq, v(level), c(1)))
+        .switchInt(v(cond), {{0, check_huge}}, terminal);
+    fb.atBlock(check_huge)
+        .callFn("pte_huge", {v(e)}, p(hg), have_hg);
+    fb.atBlock(have_hg).switchInt(v(hg), {{0, descend}}, terminal);
+    fb.atBlock(descend)
+        .callFn("pte_addr", {v(e)}, p(t), have_next);
+    fb.atBlock(have_next)
+        .assign(p(level), mir::bin(BinOp::Sub, v(level), c(1)))
+        .jump(loop_head);
+
+    // Terminal entry: pa = pte_addr(e) + (va & (span - 1)).
+    fb.atBlock(terminal)
+        .assign(p(sh), mir::bin(BinOp::Sub, v(level), c(1)))
+        .assign(p(sh), mir::bin(BinOp::Mul, v(sh), c(9)))
+        .assign(p(sh), mir::bin(BinOp::Add, v(sh), c(12)))
+        .assign(p(mask), mir::bin(BinOp::Shl, c(1), v(sh)))
+        .assign(p(mask), mir::bin(BinOp::Sub, v(mask), c(1)))
+        .assign(p(off), mir::bin(BinOp::BitAnd, v(2), v(mask)))
+        .callFn("pte_addr", {v(e)}, p(a), have_addr);
+    fb.atBlock(have_addr)
+        .assign(p(pa), mir::bin(BinOp::Add, v(a), v(off)))
+        .callFn("pte_flags", {v(e)}, p(fl), have_flags);
+    // Some((pa, flags)): a one-field option holding a 2-tuple.
+    fb.atBlock(have_flags)
+        .assign(p(pair), mir::makeAggregate(0, {v(pa), v(fl)}))
+        .assign(ret(), mir::makeAggregate(1, {v(pair)}))
+        .ret();
+    fb.atBlock(none_bb)
+        .assign(ret(), mir::makeAggregate(0, {}))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer08(Program &prog, const Geometry &)
+{
+    prog.add(makePtQuery());
+}
+
+} // namespace hev::mirmodels

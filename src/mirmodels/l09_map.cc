@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Layer 9 — install a terminal mapping.  Conforms to specPtMap.
+ *
+ * Returns a plain i64 error code (0 = success), matching the spec's
+ * calling convention for effect-only operations.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn pt_map(root, va, pa, flags) -> i64 */
+mir::Function
+makePtMap()
+{
+    FunctionBuilder fb("pt_map", 4);
+    const VarId cond = fb.newVar();
+    const VarId r = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId leaf = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId e = fb.newVar();
+    const VarId pres = fb.newVar();
+    const VarId fl = fb.newVar();
+    const VarId ne = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId va_ok = fb.newBlock();
+    const BlockId pa_ok = fb.newBlock();
+    const BlockId flags_ok = fb.newBlock();
+    const BlockId have_r = fb.newBlock();
+    const BlockId walk_ok = fb.newBlock();
+    const BlockId walk_err = fb.newBlock();
+    const BlockId have_idx = fb.newBlock();
+    const BlockId have_e = fb.newBlock();
+    const BlockId have_pres = fb.newBlock();
+    const BlockId fresh = fb.newBlock();
+    const BlockId have_ne = fb.newBlock();
+    const BlockId written = fb.newBlock();
+    const BlockId err_align = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+    const BlockId err_already = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(2), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, va_ok}}, err_align);
+    fb.atBlock(va_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(3), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, pa_ok}}, err_align);
+    fb.atBlock(pa_ok)
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(4), c(1)))
+        .switchInt(v(cond), {{0, err_invalid}}, flags_ok);
+    fb.atBlock(flags_ok)
+        .callFn("walk_to_leaf", {v(1), v(2), c(1)}, p(r), have_r);
+    fb.atBlock(have_r)
+        .assign(p(d), mir::discriminantOf(p(r)))
+        .switchInt(v(d), {{0, walk_ok}}, walk_err);
+    fb.atBlock(walk_err)
+        .assign(ret(), mir::use(vf(r, 0))) // the Err's code
+        .ret();
+    fb.atBlock(walk_ok)
+        .assign(p(leaf), mir::use(vf(r, 0)))
+        .callFn("va_index", {v(2), c(1)}, p(idx), have_idx);
+    fb.atBlock(have_idx)
+        .callFn("entry_read", {v(leaf), v(idx)}, p(e), have_e);
+    fb.atBlock(have_e)
+        .callFn("pte_present", {v(e)}, p(pres), have_pres);
+    fb.atBlock(have_pres).switchInt(v(pres), {{0, fresh}}, err_already);
+    fb.atBlock(fresh)
+        .assign(p(fl),
+                mir::bin(BinOp::BitAnd, v(4),
+                         cu(~u64(ccal::pteFlagHuge))))
+        .callFn("pte_make", {v(3), v(fl)}, p(ne), have_ne);
+    fb.atBlock(have_ne)
+        .callFn("entry_write", {v(leaf), v(idx), v(ne)}, p(ignore),
+                written);
+    fb.atBlock(written).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(err_align)
+        .assign(ret(), mir::use(c(ccal::errNotAligned)))
+        .ret();
+    fb.atBlock(err_invalid)
+        .assign(ret(), mir::use(c(ccal::errInvalidParam)))
+        .ret();
+    fb.atBlock(err_already)
+        .assign(ret(), mir::use(c(ccal::errAlreadyMapped)))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn map_req_huge(req: &(u64, u64, u64)) -> bool
+ *
+ * Reads the flags field of a caller-owned map request through the
+ * argument pointer and reports whether the huge bit is set.
+ */
+mir::Function
+makeMapReqHuge()
+{
+    FunctionBuilder fb("map_req_huge", 1);
+    const VarId fl = fb.newVar();
+    fb.atBlock(0)
+        .assign(p(fl),
+                mir::use(Operand::copy(p(1).deref().field(2))))
+        .assign(p(fl), mir::bin(BinOp::Shr, v(fl), c(7)))
+        .assign(ret(), mir::bin(BinOp::BitAnd, v(fl), c(1)))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn pt_map_checked(root, va, pa, flags) -> i64
+ *
+ * A stricter map used by callers that must never create huge
+ * mappings: stages the request in a LOCAL struct, validates it through
+ * a helper taking `&request`, then delegates to pt_map.  Rejects the
+ * huge bit with errInvalidParam instead of silently stripping it.
+ */
+mir::Function
+makePtMapChecked()
+{
+    FunctionBuilder fb("pt_map_checked", 4);
+    const VarId req = fb.newVar(true); // address-taken local
+    const VarId ptr = fb.newVar();
+    const VarId hg = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId b = fb.newVar();
+    const VarId f = fb.newVar();
+    const BlockId checked = fb.newBlock();
+    const BlockId do_map = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    const BlockId err_huge = fb.newBlock();
+    fb.atBlock(0)
+        .assign(p(req), mir::makeAggregate(0, {v(2), v(3), v(4)}))
+        .assign(p(ptr), mir::refOf(p(req)))
+        .callFn("map_req_huge", {v(ptr)}, p(hg), checked);
+    fb.atBlock(checked).switchInt(v(hg), {{0, do_map}}, err_huge);
+    fb.atBlock(do_map)
+        .assign(p(a), mir::use(Operand::copy(p(req).field(0))))
+        .assign(p(b), mir::use(Operand::copy(p(req).field(1))))
+        .assign(p(f), mir::use(Operand::copy(p(req).field(2))))
+        .callFn("pt_map", {v(1), v(a), v(b), v(f)}, ret(), done);
+    fb.atBlock(done).ret();
+    fb.atBlock(err_huge)
+        .assign(ret(), mir::use(c(ccal::errInvalidParam)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer09(Program &prog, const Geometry &)
+{
+    prog.add(makePtMap());
+    prog.add(makeMapReqHuge());
+    prog.add(makePtMapChecked());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Layer 10 — remove a terminal mapping.  Conforms to specPtUnmap.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn pt_unmap(root, va) -> i64 */
+mir::Function
+makePtUnmap()
+{
+    FunctionBuilder fb("pt_unmap", 2);
+    const VarId cond = fb.newVar();
+    const VarId r = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId leaf = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId e = fb.newVar();
+    const VarId pres = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId va_ok = fb.newBlock();
+    const BlockId have_r = fb.newBlock();
+    const BlockId walk_ok = fb.newBlock();
+    const BlockId walk_err = fb.newBlock();
+    const BlockId have_idx = fb.newBlock();
+    const BlockId have_e = fb.newBlock();
+    const BlockId have_pres = fb.newBlock();
+    const BlockId clear = fb.newBlock();
+    const BlockId cleared = fb.newBlock();
+    const BlockId err_align = fb.newBlock();
+    const BlockId err_nm = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(2), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, va_ok}}, err_align);
+    fb.atBlock(va_ok)
+        .callFn("walk_to_leaf", {v(1), v(2), c(0)}, p(r), have_r);
+    fb.atBlock(have_r)
+        .assign(p(d), mir::discriminantOf(p(r)))
+        .switchInt(v(d), {{0, walk_ok}}, walk_err);
+    fb.atBlock(walk_err)
+        .assign(ret(), mir::use(vf(r, 0)))
+        .ret();
+    fb.atBlock(walk_ok)
+        .assign(p(leaf), mir::use(vf(r, 0)))
+        .callFn("va_index", {v(2), c(1)}, p(idx), have_idx);
+    fb.atBlock(have_idx)
+        .callFn("entry_read", {v(leaf), v(idx)}, p(e), have_e);
+    fb.atBlock(have_e)
+        .callFn("pte_present", {v(e)}, p(pres), have_pres);
+    fb.atBlock(have_pres).switchInt(v(pres), {{0, err_nm}}, clear);
+    fb.atBlock(clear)
+        .callFn("entry_write", {v(leaf), v(idx), c(0)}, p(ignore),
+                cleared);
+    fb.atBlock(cleared).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(err_align)
+        .assign(ret(), mir::use(c(ccal::errNotAligned)))
+        .ret();
+    fb.atBlock(err_nm)
+        .assign(ret(), mir::use(c(ccal::errNotMapped)))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * fn pt_destroy(table, level) -> i64
+ *
+ * Recursive table teardown: descend into every present non-huge child
+ * above level 1, then free this frame.  Recursion at MIR level is
+ * plain self-call; the drop of the whole tree in the Rust code
+ * compiles to the same shape.  Conforms to specPtDestroy.
+ */
+mir::Function
+makePtDestroy()
+{
+    FunctionBuilder fb("pt_destroy", 2);
+    const VarId idx = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId e = fb.newVar();
+    const VarId pres = fb.newVar();
+    const VarId hg = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId lv = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId have_e = fb.newBlock();
+    const BlockId have_pres = fb.newBlock();
+    const BlockId level_check = fb.newBlock();
+    const BlockId huge_check = fb.newBlock();
+    const BlockId have_hg = fb.newBlock();
+    const BlockId recurse = fb.newBlock();
+    const BlockId have_addr = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId after = fb.newBlock();
+    const BlockId done = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(idx), mir::use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond),
+                mir::bin(BinOp::Lt, v(idx), c(i64(entriesPerTable))))
+        .switchInt(v(cond), {{0, after}}, body);
+    fb.atBlock(body)
+        .callFn("entry_read", {v(1), v(idx)}, p(e), have_e);
+    fb.atBlock(have_e)
+        .callFn("pte_present", {v(e)}, p(pres), have_pres);
+    fb.atBlock(have_pres).switchInt(v(pres), {{0, next}}, level_check);
+    fb.atBlock(level_check)
+        .assign(p(cond), mir::bin(BinOp::Gt, v(2), c(1)))
+        .switchInt(v(cond), {{0, next}}, huge_check);
+    fb.atBlock(huge_check)
+        .callFn("pte_huge", {v(e)}, p(hg), have_hg);
+    fb.atBlock(have_hg).switchInt(v(hg), {{0, recurse}}, next);
+    fb.atBlock(recurse)
+        .callFn("pte_addr", {v(e)}, p(a), have_addr);
+    fb.atBlock(have_addr)
+        .assign(p(lv), mir::bin(BinOp::Sub, v(2), c(1)))
+        .callFn("pt_destroy", {v(a), v(lv)}, p(ignore), next);
+    fb.atBlock(next)
+        .assign(p(idx), mir::bin(BinOp::Add, v(idx), c(1)))
+        .jump(head);
+    fb.atBlock(after)
+        .callFn("frame_free", {v(1)}, ret(), done);
+    fb.atBlock(done).ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer10(Program &prog, const Geometry &)
+{
+    prog.add(makePtUnmap());
+    prog.add(makePtDestroy());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Layer 11 — address spaces, the RData layer (paper Sec. 3.4, case 3).
+ *
+ * `as_create` forges an opaque handle for a freshly allocated root;
+ * clients can only pass the handle back into this layer, which resolves
+ * it via the trusted internal `as_root`.  Dereferencing the handle from
+ * any other code traps, which is how the layered proofs keep the root's
+ * concrete representation encapsulated.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn as_create() -> Result<Handle, i64> */
+mir::Function
+makeAsCreate()
+{
+    FunctionBuilder fb("as_create", 0);
+    const VarId f = fb.newVar();
+    const VarId h = fb.newVar();
+    const BlockId have_f = fb.newBlock();
+    const BlockId reg = fb.newBlock();
+    const BlockId have_h = fb.newBlock();
+    const BlockId err_oom = fb.newBlock();
+
+    fb.atBlock(0).callFn("frame_alloc", {}, p(f), have_f);
+    fb.atBlock(have_f).switchInt(v(f), {{0, err_oom}}, reg);
+    fb.atBlock(reg).callFn("as_register", {v(f)}, p(h), have_h);
+    fb.atBlock(have_h)
+        .assign(ret(), mir::makeAggregate(0, {v(h)}))
+        .ret();
+    fb.atBlock(err_oom)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errOutOfMemory)}))
+        .ret();
+    return fb.build();
+}
+
+/**
+ * Shared prologue: resolve the handle (arg 1) to a root, branching to
+ * `foreign` on failure; the root lands in `root`.
+ */
+struct HandleProlog
+{
+    VarId r;
+    VarId d;
+    VarId root;
+    BlockId resolved;
+    BlockId ok_bb;
+    BlockId foreign;
+};
+
+HandleProlog
+emitHandleProlog(FunctionBuilder &fb)
+{
+    HandleProlog pro;
+    pro.r = fb.newVar();
+    pro.d = fb.newVar();
+    pro.root = fb.newVar();
+    pro.resolved = fb.newBlock();
+    pro.ok_bb = fb.newBlock();
+    pro.foreign = fb.newBlock();
+    fb.atBlock(0).callFn("as_root", {v(1)}, p(pro.r), pro.resolved);
+    fb.atBlock(pro.resolved)
+        .assign(p(pro.d), mir::discriminantOf(p(pro.r)))
+        .switchInt(v(pro.d), {{0, pro.ok_bb}}, pro.foreign);
+    fb.atBlock(pro.ok_bb)
+        .assign(p(pro.root), mir::use(vf(pro.r, 0)));
+    return pro;
+}
+
+/** fn as_map(handle, va, pa, flags) -> i64 */
+mir::Function
+makeAsMap()
+{
+    FunctionBuilder fb("as_map", 4);
+    HandleProlog pro = emitHandleProlog(fb);
+    const BlockId done = fb.newBlock();
+    fb.atBlock(pro.ok_bb)
+        .callFn("pt_map", {v(pro.root), v(2), v(3), v(4)}, ret(), done);
+    fb.atBlock(done).ret();
+    fb.atBlock(pro.foreign)
+        .assign(ret(), mir::use(c(ccal::errForeignHandle)))
+        .ret();
+    return fb.build();
+}
+
+/** fn as_query(handle, va) -> Option<(u64, u64)> */
+mir::Function
+makeAsQuery()
+{
+    FunctionBuilder fb("as_query", 2);
+    HandleProlog pro = emitHandleProlog(fb);
+    const BlockId done = fb.newBlock();
+    fb.atBlock(pro.ok_bb)
+        .callFn("pt_query", {v(pro.root), v(2)}, ret(), done);
+    fb.atBlock(done).ret();
+    fb.atBlock(pro.foreign)
+        .assign(ret(), mir::makeAggregate(0, {}))
+        .ret();
+    return fb.build();
+}
+
+/** fn as_unmap(handle, va) -> i64 */
+mir::Function
+makeAsUnmap()
+{
+    FunctionBuilder fb("as_unmap", 2);
+    HandleProlog pro = emitHandleProlog(fb);
+    const BlockId done = fb.newBlock();
+    fb.atBlock(pro.ok_bb)
+        .callFn("pt_unmap", {v(pro.root), v(2)}, ret(), done);
+    fb.atBlock(done).ret();
+    fb.atBlock(pro.foreign)
+        .assign(ret(), mir::use(c(ccal::errForeignHandle)))
+        .ret();
+    return fb.build();
+}
+
+/** fn as_destroy(handle) -> i64 */
+mir::Function
+makeAsDestroy()
+{
+    FunctionBuilder fb("as_destroy", 1);
+    HandleProlog pro = emitHandleProlog(fb);
+    const VarId ignore = fb.newVar();
+    const BlockId destroyed = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    fb.atBlock(pro.ok_bb)
+        .callFn("pt_destroy", {v(pro.root), c(pagingLevels)}, ret(),
+                destroyed);
+    fb.atBlock(destroyed)
+        .callFn("as_unregister", {v(1)}, p(ignore), done);
+    fb.atBlock(done).ret();
+    fb.atBlock(pro.foreign)
+        .assign(ret(), mir::use(c(ccal::errForeignHandle)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer11(Program &prog, const Geometry &)
+{
+    prog.add(makeAsCreate());
+    prog.add(makeAsMap());
+    prog.add(makeAsQuery());
+    prog.add(makeAsUnmap());
+    prog.add(makeAsDestroy());
+}
+
+} // namespace hev::mirmodels

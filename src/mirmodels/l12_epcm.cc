@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Layer 12 — EPCM bookkeeping in MIR.
+ *
+ * EPCM entries are aggregates (state, owner, lin_addr) accessed through
+ * trusted pointers; allocation is a first-fit scan.  Conforms to
+ * specEpcmAlloc / specEpcmFree.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn epcm_alloc(owner, lin_addr, kind) -> Result<u64, i64> */
+mir::Function
+makeEpcmAlloc(const Geometry &geo)
+{
+    FunctionBuilder fb("epcm_alloc", 3);
+    const VarId cond = fb.newVar();
+    const VarId k1 = fb.newVar();
+    const VarId k2 = fb.newVar();
+    const VarId i = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId entry = fb.newVar();
+    const VarId st = fb.newVar();
+    const VarId page = fb.newVar();
+
+    const BlockId owner_ok = fb.newBlock();
+    const BlockId kind_ok = fb.newBlock();
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId have_entry = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId take = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+    const BlockId err_epc = fb.newBlock();
+
+    // owner > 0
+    fb.atBlock(0)
+        .assign(p(cond), mir::bin(BinOp::Gt, v(1), c(0)))
+        .switchInt(v(cond), {{0, err_invalid}}, owner_ok);
+    // kind in {Reg, Tcs}
+    fb.atBlock(owner_ok)
+        .assign(p(k1), mir::bin(BinOp::Eq, v(3), c(ccal::epcStateReg)))
+        .assign(p(k2), mir::bin(BinOp::Eq, v(3), c(ccal::epcStateTcs)))
+        .assign(p(cond), mir::bin(BinOp::BitOr, v(k1), v(k2)))
+        .switchInt(v(cond), {{0, err_invalid}}, kind_ok);
+    fb.atBlock(kind_ok)
+        .assign(p(i), mir::use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(i), cu(geo.epcCount)))
+        .switchInt(v(cond), {{0, err_epc}}, body);
+    fb.atBlock(body).callFn("epcm_ptr", {v(i)}, p(ptr), have_entry);
+    fb.atBlock(have_entry)
+        .assign(p(entry), mir::use(Operand::copy(p(ptr).deref())))
+        .assign(p(st), mir::use(vf(entry, 0)))
+        .switchInt(v(st), {{0, take}}, next);
+    fb.atBlock(next)
+        .assign(p(i), mir::bin(BinOp::Add, v(i), c(1)))
+        .jump(head);
+    fb.atBlock(take)
+        .assign(p(ptr).deref(), mir::makeAggregate(0, {v(3), v(1), v(2)}))
+        .assign(p(page), mir::bin(BinOp::Mul, v(i), c(i64(pageSize))))
+        .assign(p(page), mir::bin(BinOp::Add, v(page), cu(geo.epcBase)))
+        .assign(ret(), mir::makeAggregate(0, {v(page)}))
+        .ret();
+    fb.atBlock(err_invalid)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errInvalidParam)}))
+        .ret();
+    fb.atBlock(err_epc)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errOutOfEpc)}))
+        .ret();
+    return fb.build();
+}
+
+/** fn epcm_free(page) -> i64 */
+mir::Function
+makeEpcmFree(const Geometry &geo)
+{
+    FunctionBuilder fb("epcm_free", 1);
+    const VarId cond = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId entry = fb.newVar();
+    const VarId st = fb.newVar();
+
+    const BlockId align_ok = fb.newBlock();
+    const BlockId low_ok = fb.newBlock();
+    const BlockId high_ok = fb.newBlock();
+    const BlockId have_entry = fb.newBlock();
+    const BlockId clear = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(1), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, align_ok}}, err_invalid);
+    fb.atBlock(align_ok)
+        .assign(p(cond), mir::bin(BinOp::Ge, v(1), cu(geo.epcBase)))
+        .switchInt(v(cond), {{0, err_invalid}}, low_ok);
+    fb.atBlock(low_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::Lt, v(1),
+                         cu(geo.epcBase + geo.epcCount * pageSize)))
+        .switchInt(v(cond), {{0, err_invalid}}, high_ok);
+    fb.atBlock(high_ok)
+        .assign(p(idx), mir::bin(BinOp::Sub, v(1), cu(geo.epcBase)))
+        .assign(p(idx), mir::bin(BinOp::Shr, v(idx), c(12)))
+        .callFn("epcm_ptr", {v(idx)}, p(ptr), have_entry);
+    fb.atBlock(have_entry)
+        .assign(p(entry), mir::use(Operand::copy(p(ptr).deref())))
+        .assign(p(st), mir::use(vf(entry, 0)))
+        .switchInt(v(st), {{0, err_invalid}}, clear);
+    fb.atBlock(clear)
+        .assign(p(ptr).deref(),
+                mir::makeAggregate(0, {c(0), c(0), c(0)}))
+        .assign(ret(), mir::use(c(0)))
+        .ret();
+    fb.atBlock(err_invalid)
+        .assign(ret(), mir::use(c(ccal::errInvalidParam)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer12(Program &prog, const Geometry &geo)
+{
+    prog.add(makeEpcmAlloc(geo));
+    prog.add(makeEpcmFree(geo));
+}
+
+} // namespace hev::mirmodels

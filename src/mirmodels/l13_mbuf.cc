@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Layer 13 — marshalling-buffer mapping in MIR.
+ *
+ * Maps the buffer into both translation stages of an enclave: GPT
+ * (mbuf_gva -> GPA window) and EPT (window -> normal-memory backing).
+ * The mappings are fixed for the enclave's whole life cycle (paper
+ * Sec. 2.1).  Conforms to specMbufMap.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/**
+ * fn mbuf_map(gpt_h, ept_h, mbuf_gva, gpa_window, backing, pages)
+ *     -> i64
+ */
+mir::Function
+makeMbufMap()
+{
+    FunctionBuilder fb("mbuf_map", 6);
+    const VarId i = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId off = fb.newVar();
+    const VarId a_gva = fb.newVar();
+    const VarId a_win = fb.newVar();
+    const VarId a_back = fb.newVar();
+    const VarId rc = fb.newVar();
+
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId gpt_done = fb.newBlock();
+    const BlockId ept_call = fb.newBlock();
+    const BlockId ept_done = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId success = fb.newBlock();
+    const BlockId fail = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(i), mir::use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(i), v(6)))
+        .switchInt(v(cond), {{0, success}}, body);
+    fb.atBlock(body)
+        .assign(p(off), mir::bin(BinOp::Mul, v(i), c(i64(pageSize))))
+        .assign(p(a_gva), mir::bin(BinOp::Add, v(3), v(off)))
+        .assign(p(a_win), mir::bin(BinOp::Add, v(4), v(off)))
+        .assign(p(a_back), mir::bin(BinOp::Add, v(5), v(off)))
+        .callFn("as_map",
+                {v(1), v(a_gva), v(a_win), c(i64(ccal::pteRwFlags))},
+                p(rc), gpt_done);
+    fb.atBlock(gpt_done).switchInt(v(rc), {{0, ept_call}}, fail);
+    fb.atBlock(ept_call)
+        .callFn("as_map",
+                {v(2), v(a_win), v(a_back), c(i64(ccal::pteRwFlags))},
+                p(rc), ept_done);
+    fb.atBlock(ept_done).switchInt(v(rc), {{0, next}}, fail);
+    fb.atBlock(next)
+        .assign(p(i), mir::bin(BinOp::Add, v(i), c(1)))
+        .jump(head);
+    fb.atBlock(success).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(fail).assign(ret(), mir::use(v(rc))).ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer13(Program &prog, const Geometry &)
+{
+    prog.add(makeMbufMap());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Layer 14 — the hypercalls the paper's security model transitions on
+ * (Sec. 5.1): init (ECREATE) and add_page (EADD), plus init_finish
+ * (EINIT).  These are where the page-table invariants are established:
+ * ELRANGE/marshalling-buffer disjointness, normal-memory backing and
+ * sources, EPCM recording of every added mapping.
+ *
+ * Conform to specHcInit / specHcAddPage / specHcInitFinish.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/**
+ * fn hc_init(el_start, el_end, mbuf_gva, mbuf_pages, backing)
+ *     -> Result<i64, i64>
+ */
+mir::Function
+makeHcInit(const Geometry &geo)
+{
+    FunctionBuilder fb("hc_init", 5);
+    const VarId cond = fb.newVar();
+    const VarId c2 = fb.newVar();
+    const VarId mbuf_end = fb.newVar();
+    const VarId b_end = fb.newVar();
+    const VarId g = fb.newVar();
+    const VarId e = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId g0 = fb.newVar();
+    const VarId e0 = fb.newVar();
+    const VarId rc = fb.newVar();
+    const VarId id = fb.newVar();
+
+    const BlockId el_ordered = fb.newBlock();
+    const BlockId el_start_ok = fb.newBlock();
+    const BlockId el_end_ok = fb.newBlock();
+    const BlockId pages_ok = fb.newBlock();
+    const BlockId gva_ok = fb.newBlock();
+    const BlockId backing_aligned = fb.newBlock();
+    const BlockId disjoint_ok = fb.newBlock();
+    const BlockId backing_ok = fb.newBlock();
+    const BlockId have_g = fb.newBlock();
+    const BlockId g_ok = fb.newBlock();
+    const BlockId have_e = fb.newBlock();
+    const BlockId e_ok = fb.newBlock();
+    const BlockId have_rc = fb.newBlock();
+    const BlockId reg = fb.newBlock();
+    const BlockId have_id = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+    const BlockId err_align = fb.newBlock();
+    const BlockId err_iso = fb.newBlock();
+    const BlockId err_g = fb.newBlock();
+    const BlockId err_e = fb.newBlock();
+    const BlockId err_rc = fb.newBlock();
+
+    // el_start < el_end
+    fb.atBlock(0)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(1), v(2)))
+        .switchInt(v(cond), {{0, err_invalid}}, el_ordered);
+    // el_start page aligned
+    fb.atBlock(el_ordered)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(1), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, el_start_ok}}, err_invalid);
+    // el_end page aligned
+    fb.atBlock(el_start_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(2), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, el_end_ok}}, err_invalid);
+    // mbuf_pages != 0
+    fb.atBlock(el_end_ok).switchInt(v(4), {{0, err_invalid}}, pages_ok);
+    // mbuf_gva page aligned
+    fb.atBlock(pages_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(3), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, gva_ok}}, err_invalid);
+    // backing page aligned
+    fb.atBlock(gva_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(5), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, backing_aligned}}, err_align);
+    // mbuf range disjoint from ELRANGE:
+    // mbuf_end <= el_start || mbuf_gva >= el_end
+    fb.atBlock(backing_aligned)
+        .assign(p(mbuf_end),
+                mir::bin(BinOp::Mul, v(4), c(i64(pageSize))))
+        .assign(p(mbuf_end), mir::bin(BinOp::Add, v(3), v(mbuf_end)))
+        .assign(p(cond), mir::bin(BinOp::Le, v(mbuf_end), v(1)))
+        .assign(p(c2), mir::bin(BinOp::Ge, v(3), v(2)))
+        .assign(p(cond), mir::bin(BinOp::BitOr, v(cond), v(c2)))
+        .switchInt(v(cond), {{0, err_iso}}, disjoint_ok);
+    // backing entirely inside normal memory:
+    // b_end <= normalLimit && b_end >= backing
+    fb.atBlock(disjoint_ok)
+        .assign(p(b_end), mir::bin(BinOp::Mul, v(4), c(i64(pageSize))))
+        .assign(p(b_end), mir::bin(BinOp::Add, v(5), v(b_end)))
+        .assign(p(cond),
+                mir::bin(BinOp::Le, v(b_end), cu(geo.normalLimit)))
+        .assign(p(c2), mir::bin(BinOp::Ge, v(b_end), v(5)))
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(cond), v(c2)))
+        .switchInt(v(cond), {{0, err_iso}}, backing_ok);
+
+    fb.atBlock(backing_ok).callFn("as_create", {}, p(g), have_g);
+    fb.atBlock(have_g)
+        .assign(p(d), mir::discriminantOf(p(g)))
+        .switchInt(v(d), {{0, g_ok}}, err_g);
+    fb.atBlock(g_ok)
+        .assign(p(g0), mir::use(vf(g, 0)))
+        .callFn("as_create", {}, p(e), have_e);
+    fb.atBlock(have_e)
+        .assign(p(d), mir::discriminantOf(p(e)))
+        .switchInt(v(d), {{0, e_ok}}, err_e);
+    fb.atBlock(e_ok)
+        .assign(p(e0), mir::use(vf(e, 0)))
+        .callFn("mbuf_map",
+                {v(g0), v(e0), v(3), cu(geo.mbufGpaBase), v(5), v(4)},
+                p(rc), have_rc);
+    fb.atBlock(have_rc).switchInt(v(rc), {{0, reg}}, err_rc);
+    fb.atBlock(reg)
+        .callFn("encl_register",
+                {v(1), v(2), v(3), v(4), v(5), v(g0), v(e0)}, p(id),
+                have_id);
+    fb.atBlock(have_id)
+        .assign(ret(), mir::makeAggregate(0, {v(id)}))
+        .ret();
+
+    fb.atBlock(err_invalid)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errInvalidParam)}))
+        .ret();
+    fb.atBlock(err_align)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errNotAligned)}))
+        .ret();
+    fb.atBlock(err_iso)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errIsolation)}))
+        .ret();
+    fb.atBlock(err_g)
+        .assign(ret(), mir::use(v(g))) // propagate the Err verbatim
+        .ret();
+    fb.atBlock(err_e)
+        .assign(ret(), mir::use(v(e)))
+        .ret();
+    fb.atBlock(err_rc)
+        .assign(ret(), mir::makeAggregate(1, {v(rc)}))
+        .ret();
+    return fb.build();
+}
+
+/** fn hc_add_page(id, gva, src, kind) -> i64 */
+mir::Function
+makeHcAddPage(const Geometry &geo)
+{
+    FunctionBuilder fb("hc_add_page", 4);
+    const VarId m = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId meta = fb.newVar();
+    const VarId st = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId c2 = fb.newVar();
+    const VarId el_s = fb.newVar();
+    const VarId el_e = fb.newVar();
+    const VarId gva_end = fb.newVar();
+    const VarId src_end = fb.newVar();
+    const VarId added = fb.newVar();
+    const VarId gpa = fb.newVar();
+    const VarId gpt_h = fb.newVar();
+    const VarId ept_h = fb.newVar();
+    const VarId rc = fb.newVar();
+    const VarId pr = fb.newVar();
+    const VarId page = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId have_m = fb.newBlock();
+    const BlockId found = fb.newBlock();
+    const BlockId state_ok = fb.newBlock();
+    const BlockId gva_aligned = fb.newBlock();
+    const BlockId src_aligned = fb.newBlock();
+    const BlockId in_elrange = fb.newBlock();
+    const BlockId src_ok = fb.newBlock();
+    const BlockId gpt_done = fb.newBlock();
+    const BlockId gpt_ok = fb.newBlock();
+    const BlockId have_pr = fb.newBlock();
+    const BlockId pr_ok = fb.newBlock();
+    const BlockId ept_done = fb.newBlock();
+    const BlockId copied = fb.newBlock();
+    const BlockId bumped = fb.newBlock();
+    const BlockId finished = fb.newBlock();
+    const BlockId err_nosuch = fb.newBlock();
+    const BlockId err_state = fb.newBlock();
+    const BlockId err_align = fb.newBlock();
+    const BlockId err_iso = fb.newBlock();
+    const BlockId epcm_fail_unmap = fb.newBlock();
+    const BlockId epcm_fail_done = fb.newBlock();
+    const BlockId ept_fail_unmap = fb.newBlock();
+    const BlockId ept_fail_free = fb.newBlock();
+    const BlockId ept_fail_done = fb.newBlock();
+
+    fb.atBlock(0).callFn("encl_get", {v(1)}, p(m), have_m);
+    fb.atBlock(have_m)
+        .assign(p(d), mir::discriminantOf(p(m)))
+        .switchInt(v(d), {{0, err_nosuch}}, found);
+    // meta = (state, el_start, el_end, gpt_h, ept_h, added, tcs)
+    fb.atBlock(found)
+        .assign(p(meta), mir::use(vf(m, 0)))
+        .assign(p(st), mir::use(Operand::copy(p(meta).field(0))))
+        .switchInt(v(st), {{ccal::enclStateAdding, state_ok}},
+                   err_state);
+    fb.atBlock(state_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(2), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, gva_aligned}}, err_align);
+    fb.atBlock(gva_aligned)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(3), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, src_aligned}}, err_align);
+    // el_start <= gva && gva + pageSize <= el_end
+    fb.atBlock(src_aligned)
+        .assign(p(el_s), mir::use(Operand::copy(p(meta).field(1))))
+        .assign(p(el_e), mir::use(Operand::copy(p(meta).field(2))))
+        .assign(p(cond), mir::bin(BinOp::Le, v(el_s), v(2)))
+        .assign(p(gva_end), mir::bin(BinOp::Add, v(2), c(i64(pageSize))))
+        .assign(p(c2), mir::bin(BinOp::Le, v(gva_end), v(el_e)))
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(cond), v(c2)))
+        .switchInt(v(cond), {{0, err_iso}}, in_elrange);
+    // src + pageSize <= normalLimit && src + pageSize >= src
+    fb.atBlock(in_elrange)
+        .assign(p(src_end), mir::bin(BinOp::Add, v(3), c(i64(pageSize))))
+        .assign(p(cond),
+                mir::bin(BinOp::Le, v(src_end), cu(geo.normalLimit)))
+        .assign(p(c2), mir::bin(BinOp::Ge, v(src_end), v(3)))
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(cond), v(c2)))
+        .switchInt(v(cond), {{0, err_iso}}, src_ok);
+    // gpa = epcGpaBase + added * pageSize; map into the GPT first.
+    fb.atBlock(src_ok)
+        .assign(p(added), mir::use(Operand::copy(p(meta).field(5))))
+        .assign(p(gpa), mir::bin(BinOp::Mul, v(added), c(i64(pageSize))))
+        .assign(p(gpa), mir::bin(BinOp::Add, v(gpa), cu(geo.epcGpaBase)))
+        .assign(p(gpt_h), mir::use(Operand::copy(p(meta).field(3))))
+        .assign(p(ept_h), mir::use(Operand::copy(p(meta).field(4))))
+        .callFn("as_map",
+                {v(gpt_h), v(2), v(gpa), c(i64(ccal::pteRwFlags))},
+                p(rc), gpt_done);
+    fb.atBlock(gpt_done).switchInt(v(rc), {{0, gpt_ok}}, ept_fail_done);
+    // (gpt map errors propagate as-is, nothing to roll back yet)
+    fb.atBlock(gpt_ok)
+        .callFn("epcm_alloc", {v(1), v(2), v(4)}, p(pr), have_pr);
+    fb.atBlock(have_pr)
+        .assign(p(d), mir::discriminantOf(p(pr)))
+        .switchInt(v(d), {{0, pr_ok}}, epcm_fail_unmap);
+    fb.atBlock(epcm_fail_unmap)
+        .callFn("as_unmap", {v(gpt_h), v(2)}, p(ignore), epcm_fail_done);
+    fb.atBlock(epcm_fail_done)
+        .assign(ret(), mir::use(vf(pr, 0)))
+        .ret();
+    fb.atBlock(pr_ok)
+        .assign(p(page), mir::use(vf(pr, 0)))
+        .callFn("as_map",
+                {v(ept_h), v(gpa), v(page), c(i64(ccal::pteRwFlags))},
+                p(rc), ept_done);
+    fb.atBlock(ept_done).switchInt(v(rc), {{0, copied}}, ept_fail_unmap);
+    fb.atBlock(ept_fail_unmap)
+        .callFn("as_unmap", {v(gpt_h), v(2)}, p(ignore), ept_fail_free);
+    fb.atBlock(ept_fail_free)
+        .callFn("epcm_free", {v(page)}, p(ignore), ept_fail_done);
+    fb.atBlock(ept_fail_done)
+        .assign(ret(), mir::use(v(rc)))
+        .ret();
+    fb.atBlock(copied)
+        .callFn("copy_page", {v(page), v(3)}, p(ignore), bumped);
+    fb.atBlock(bumped)
+        .callFn("encl_bump", {v(1), v(4)}, p(ignore), finished);
+    fb.atBlock(finished).assign(ret(), mir::use(c(0))).ret();
+
+    fb.atBlock(err_nosuch)
+        .assign(ret(), mir::use(c(ccal::errNoSuchEnclave)))
+        .ret();
+    fb.atBlock(err_state)
+        .assign(ret(), mir::use(c(ccal::errBadState)))
+        .ret();
+    fb.atBlock(err_align)
+        .assign(ret(), mir::use(c(ccal::errNotAligned)))
+        .ret();
+    fb.atBlock(err_iso)
+        .assign(ret(), mir::use(c(ccal::errIsolation)))
+        .ret();
+    return fb.build();
+}
+
+/** fn hc_init_finish(id) -> i64 */
+mir::Function
+makeHcInitFinish(const Geometry &)
+{
+    FunctionBuilder fb("hc_init_finish", 1);
+    const VarId m = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId meta = fb.newVar();
+    const VarId st = fb.newVar();
+    const VarId tcs = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId have_m = fb.newBlock();
+    const BlockId found = fb.newBlock();
+    const BlockId state_ok = fb.newBlock();
+    const BlockId finish = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    const BlockId err_nosuch = fb.newBlock();
+    const BlockId err_state = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+
+    fb.atBlock(0).callFn("encl_get", {v(1)}, p(m), have_m);
+    fb.atBlock(have_m)
+        .assign(p(d), mir::discriminantOf(p(m)))
+        .switchInt(v(d), {{0, err_nosuch}}, found);
+    fb.atBlock(found)
+        .assign(p(meta), mir::use(vf(m, 0)))
+        .assign(p(st), mir::use(Operand::copy(p(meta).field(0))))
+        .switchInt(v(st), {{ccal::enclStateAdding, state_ok}},
+                   err_state);
+    fb.atBlock(state_ok)
+        .assign(p(tcs), mir::use(Operand::copy(p(meta).field(6))))
+        .switchInt(v(tcs), {{0, err_invalid}}, finish);
+    fb.atBlock(finish)
+        .callFn("encl_finish", {v(1)}, p(ignore), done);
+    fb.atBlock(done).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(err_nosuch)
+        .assign(ret(), mir::use(c(ccal::errNoSuchEnclave)))
+        .ret();
+    fb.atBlock(err_state)
+        .assign(ret(), mir::use(c(ccal::errBadState)))
+        .ret();
+    fb.atBlock(err_invalid)
+        .assign(ret(), mir::use(c(ccal::errInvalidParam)))
+        .ret();
+    return fb.build();
+}
+
+/** fn hc_remove(id) -> i64 */
+mir::Function
+makeHcRemove(const Geometry &geo)
+{
+    FunctionBuilder fb("hc_remove", 1);
+    const VarId m = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId meta = fb.newVar();
+    const VarId i = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId entry = fb.newVar();
+    const VarId st = fb.newVar();
+    const VarId owner = fb.newVar();
+    const VarId page = fb.newVar();
+    const VarId ignore = fb.newVar();
+
+    const BlockId have_m = fb.newBlock();
+    const BlockId found = fb.newBlock();
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId have_entry = fb.newBlock();
+    const BlockId check_owner = fb.newBlock();
+    const BlockId free_page = fb.newBlock();
+    const BlockId scrubbed = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId teardown = fb.newBlock();
+    const BlockId gpt_done = fb.newBlock();
+    const BlockId ept_done = fb.newBlock();
+    const BlockId killed = fb.newBlock();
+    const BlockId err_nosuch = fb.newBlock();
+
+    fb.atBlock(0).callFn("encl_get", {v(1)}, p(m), have_m);
+    fb.atBlock(have_m)
+        .assign(p(d), mir::discriminantOf(p(m)))
+        .switchInt(v(d), {{0, err_nosuch}}, found);
+    fb.atBlock(found)
+        .assign(p(meta), mir::use(vf(m, 0)))
+        .assign(p(i), mir::use(c(0)))
+        .jump(head);
+    // Scrub-and-free sweep over the EPCM.
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(i), cu(geo.epcCount)))
+        .switchInt(v(cond), {{0, teardown}}, body);
+    fb.atBlock(body).callFn("epcm_ptr", {v(i)}, p(ptr), have_entry);
+    fb.atBlock(have_entry)
+        .assign(p(entry), mir::use(Operand::copy(p(ptr).deref())))
+        .assign(p(st), mir::use(vf(entry, 0)))
+        .switchInt(v(st), {{0, next}}, check_owner);
+    fb.atBlock(check_owner)
+        .assign(p(owner), mir::use(vf(entry, 1)))
+        .assign(p(cond), mir::bin(BinOp::Eq, v(owner), v(1)))
+        .switchInt(v(cond), {{0, next}}, free_page);
+    fb.atBlock(free_page)
+        .assign(p(page), mir::bin(BinOp::Mul, v(i), c(i64(pageSize))))
+        .assign(p(page), mir::bin(BinOp::Add, v(page), cu(geo.epcBase)))
+        .callFn("scrub_page", {v(page)}, p(ignore), scrubbed);
+    fb.atBlock(scrubbed)
+        .assign(p(ptr).deref(), mir::makeAggregate(0, {c(0), c(0), c(0)}))
+        .jump(next);
+    fb.atBlock(next)
+        .assign(p(i), mir::bin(BinOp::Add, v(i), c(1)))
+        .jump(head);
+    // Tear down both address spaces and retire the id.
+    fb.atBlock(teardown)
+        .callFn("as_destroy", {Operand::copy(p(meta).field(3))},
+                p(ignore), gpt_done);
+    fb.atBlock(gpt_done)
+        .callFn("as_destroy", {Operand::copy(p(meta).field(4))},
+                p(ignore), ept_done);
+    fb.atBlock(ept_done)
+        .callFn("encl_kill", {v(1)}, p(ignore), killed);
+    fb.atBlock(killed).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(err_nosuch)
+        .assign(ret(), mir::use(c(ccal::errNoSuchEnclave)))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer14(Program &prog, const Geometry &geo)
+{
+    prog.add(makeHcInit(geo));
+    prog.add(makeHcAddPage(geo));
+    prog.add(makeHcInitFinish(geo));
+    prog.add(makeHcRemove(geo));
+}
+
+} // namespace hev::mirmodels

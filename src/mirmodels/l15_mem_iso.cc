@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Layer 15 — the memory-isolation interface at the top of the stack.
+ *
+ * `mem_translate` is the two-stage (GPT then EPT) translation used by
+ * the security model's mem_load/mem_store steps; it enforces write
+ * permission at both stages.  Conforms to specMemTranslate.
+ */
+
+#include "mirmodels/common.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+/** fn mem_translate(gpt_h, ept_h, va, is_write) -> Option<(u64, u64)> */
+mir::Function
+makeMemTranslate()
+{
+    FunctionBuilder fb("mem_translate", 4);
+    const VarId s1 = fb.newVar();
+    const VarId s2 = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId pair = fb.newVar();
+    const VarId pa1 = fb.newVar();
+    const VarId fl = fb.newVar();
+    const VarId w = fb.newVar();
+
+    const BlockId have_s1 = fb.newBlock();
+    const BlockId s1_some = fb.newBlock();
+    const BlockId s1_wcheck = fb.newBlock();
+    const BlockId stage2 = fb.newBlock();
+    const BlockId have_s2 = fb.newBlock();
+    const BlockId s2_some = fb.newBlock();
+    const BlockId s2_wcheck = fb.newBlock();
+    const BlockId give = fb.newBlock();
+    const BlockId none_bb = fb.newBlock();
+
+    fb.atBlock(0).callFn("as_query", {v(1), v(3)}, p(s1), have_s1);
+    fb.atBlock(have_s1)
+        .assign(p(d), mir::discriminantOf(p(s1)))
+        .switchInt(v(d), {{0, none_bb}}, s1_some);
+    fb.atBlock(s1_some)
+        .assign(p(pair), mir::use(vf(s1, 0)))
+        .assign(p(pa1), mir::use(Operand::copy(p(pair).field(0))))
+        .switchInt(v(4), {{0, stage2}}, s1_wcheck);
+    fb.atBlock(s1_wcheck)
+        .assign(p(fl), mir::use(Operand::copy(p(pair).field(1))))
+        .assign(p(w), mir::bin(BinOp::Shr, v(fl), c(1)))
+        .assign(p(w), mir::bin(BinOp::BitAnd, v(w), c(1)))
+        .switchInt(v(w), {{0, none_bb}}, stage2);
+    fb.atBlock(stage2)
+        .callFn("as_query", {v(2), v(pa1)}, p(s2), have_s2);
+    fb.atBlock(have_s2)
+        .assign(p(d), mir::discriminantOf(p(s2)))
+        .switchInt(v(d), {{0, none_bb}}, s2_some);
+    fb.atBlock(s2_some)
+        .assign(p(pair), mir::use(vf(s2, 0)))
+        .switchInt(v(4), {{0, give}}, s2_wcheck);
+    fb.atBlock(s2_wcheck)
+        .assign(p(fl), mir::use(Operand::copy(p(pair).field(1))))
+        .assign(p(w), mir::bin(BinOp::Shr, v(fl), c(1)))
+        .assign(p(w), mir::bin(BinOp::BitAnd, v(w), c(1)))
+        .switchInt(v(w), {{0, none_bb}}, give);
+    fb.atBlock(give)
+        .assign(ret(), mir::use(v(s2))) // the Some((pa, flags)) verbatim
+        .ret();
+    fb.atBlock(none_bb)
+        .assign(ret(), mir::makeAggregate(0, {}))
+        .ret();
+    return fb.build();
+}
+
+} // namespace
+
+void
+addLayer15(Program &prog, const Geometry &)
+{
+    prog.add(makeMemTranslate());
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,101 @@
+#include "mirmodels/registry.hh"
+
+#include "mirmodels/common.hh"
+#include "support/logging.hh"
+
+namespace hev::mirmodels
+{
+
+namespace
+{
+
+using AddFn = void (*)(mir::Program &, const ccal::Geometry &);
+
+constexpr AddFn layerBuilders[] = {
+    nullptr,     // layer 0 (unused)
+    nullptr,     // layer 1: the trusted layer has no MIR code
+    addLayer02, addLayer03, addLayer04, addLayer05, addLayer06,
+    addLayer07, addLayer08, addLayer09, addLayer10, addLayer11,
+    addLayer12, addLayer13, addLayer14, addLayer15,
+};
+
+struct LayerInfo
+{
+    const char *name;
+    std::vector<std::string> functions;
+};
+
+const LayerInfo layerTable[] = {
+    {"(unused)", {}},
+    {"trusted primitives", {}},
+    {"frame allocator",
+     {"frame_alloc", "frame_free", "frame_alloc_pair"}},
+    {"PTE packing",
+     {"pte_make", "pte_addr", "pte_flags", "pte_present", "pte_writable",
+      "pte_huge", "pte_builder_seal", "pte_build"}},
+    {"VA decomposition", {"va_index"}},
+    {"entry access", {"entry_read", "entry_write"}},
+    {"next-table resolution", {"next_table"}},
+    {"table walk", {"walk_to_leaf"}},
+    {"page-walk query", {"pt_query"}},
+    {"map", {"pt_map", "map_req_huge", "pt_map_checked"}},
+    {"unmap", {"pt_unmap", "pt_destroy"}},
+    {"address spaces (RData)",
+     {"as_create", "as_map", "as_query", "as_unmap", "as_destroy"}},
+    {"EPCM", {"epcm_alloc", "epcm_free"}},
+    {"marshalling buffer", {"mbuf_map"}},
+    {"hypercalls",
+     {"hc_init", "hc_add_page", "hc_init_finish", "hc_remove"}},
+    {"memory isolation", {"mem_translate"}},
+};
+
+} // namespace
+
+mir::Program
+buildLayer(int layer, const ccal::Geometry &geo)
+{
+    if (layer < 2 || layer > layerCount)
+        panic("buildLayer: layer %d out of range", layer);
+    mir::Program prog;
+    layerBuilders[layer](prog, geo);
+    return prog;
+}
+
+mir::Program
+buildAll(const ccal::Geometry &geo)
+{
+    mir::Program prog;
+    for (int layer = 2; layer <= layerCount; ++layer)
+        layerBuilders[layer](prog, geo);
+    return prog;
+}
+
+std::vector<std::string>
+layerFunctions(int layer)
+{
+    if (layer < 1 || layer > layerCount)
+        return {};
+    return layerTable[layer].functions;
+}
+
+int
+layerOf(const std::string &function)
+{
+    for (int layer = 1; layer <= layerCount; ++layer) {
+        for (const std::string &name : layerTable[layer].functions) {
+            if (name == function)
+                return layer;
+        }
+    }
+    return 0;
+}
+
+const char *
+layerName(int layer)
+{
+    if (layer < 1 || layer > layerCount)
+        return "(unknown)";
+    return layerTable[layer].name;
+}
+
+} // namespace hev::mirmodels

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Registry of the 15-layer MIR model stack.
+ *
+ * Mirrors the paper's arrangement of the verified memory-module
+ * functions into 15 layers ordered by the call graph (Sec. 4): the
+ * proof of a layer-N function may only rely on the *specifications* of
+ * lower layers, which the checker realizes by interpreting a program
+ * that contains only layer N's code while all lower-layer calls hit
+ * spec primitives.
+ */
+
+#ifndef HEV_MIRMODELS_REGISTRY_HH
+#define HEV_MIRMODELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "ccal/geometry.hh"
+#include "mirlight/program.hh"
+
+namespace hev::mirmodels
+{
+
+/** Number of layers in the stack (layer 1 is the trusted layer). */
+constexpr int layerCount = 15;
+
+/**
+ * Build the MIR program of exactly one layer (2..15).  Layer 1 is the
+ * trusted layer and has no MIR code.
+ */
+mir::Program buildLayer(int layer, const ccal::Geometry &geo);
+
+/** Build the whole stack as one program (for end-to-end execution). */
+mir::Program buildAll(const ccal::Geometry &geo);
+
+/** Names of the MIR functions belonging to a layer. */
+std::vector<std::string> layerFunctions(int layer);
+
+/** The layer a function belongs to; 0 if unknown. */
+int layerOf(const std::string &function);
+
+/** Human-readable description of a layer. */
+const char *layerName(int layer);
+
+} // namespace hev::mirmodels
+
+#endif // HEV_MIRMODELS_REGISTRY_HH

@@ -1,0 +1,121 @@
+#include "sec/attacks.hh"
+
+#include "ccal/specs.hh"
+
+namespace hev::sec
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+namespace
+{
+
+/** The EPC page backing an enclave's VA, or ~0. */
+u64
+backingOf(const FlatState &s, i64 enclave, u64 va)
+{
+    auto it = s.enclaves.find(enclave);
+    if (it == s.enclaves.end())
+        return ~0ull;
+    const QueryResult q = specMemTranslate(
+        s, it->second.gptHandle, it->second.eptHandle, va, false);
+    return q.isSome ? q.physAddr : ~0ull;
+}
+
+/** The stage-1 (GPA) translation of an enclave VA, or ~0. */
+u64
+gpaOf(const FlatState &s, i64 enclave, u64 va)
+{
+    auto it = s.enclaves.find(enclave);
+    if (it == s.enclaves.end())
+        return ~0ull;
+    const QueryResult q = specAsQuery(s, it->second.gptHandle, va);
+    return q.isSome ? q.physAddr : ~0ull;
+}
+
+/** Redirect enclave's EPT so `va` lands on `new_hpa`. */
+bool
+redirectEpt(FlatState &s, i64 enclave, u64 va, u64 new_hpa)
+{
+    auto it = s.enclaves.find(enclave);
+    if (it == s.enclaves.end())
+        return false;
+    const u64 gpa = gpaOf(s, enclave, va);
+    if (gpa == ~0ull)
+        return false;
+    if (specAsUnmap(s, it->second.eptHandle, gpa) != 0)
+        return false;
+    return specAsMap(s, it->second.eptHandle, gpa, new_hpa,
+                     pteRwFlags) == 0;
+}
+
+} // namespace
+
+bool
+injectEpcAlias(FlatState &s, i64 victim_a, i64 victim_b)
+{
+    auto a = s.enclaves.find(victim_a);
+    auto b = s.enclaves.find(victim_b);
+    if (a == s.enclaves.end() || b == s.enclaves.end())
+        return false;
+    const u64 shared = backingOf(s, victim_a, a->second.elStart);
+    if (shared == ~0ull)
+        return false;
+    return redirectEpt(s, victim_b, b->second.elStart, shared);
+}
+
+bool
+injectElrangeEscape(FlatState &s, i64 enclave, u64 va, u64 normal_page)
+{
+    return redirectEpt(s, enclave, va, normal_page);
+}
+
+bool
+injectCovertMapping(FlatState &s, i64 enclave, u64 va)
+{
+    auto it = s.enclaves.find(enclave);
+    if (it == s.enclaves.end())
+        return false;
+    // Pick a free EPC page but do NOT record it in the EPCM.
+    u64 page = ~0ull;
+    for (u64 i = 0; i < s.geo.epcCount; ++i) {
+        if (s.epcm[i].state == epcStateFree) {
+            page = s.geo.epcBase + i * pageSize;
+            break;
+        }
+    }
+    if (page == ~0ull)
+        return false;
+    const u64 gpa =
+        s.geo.epcGpaBase + (it->second.addedPages + 7) * pageSize;
+    if (specAsMap(s, it->second.gptHandle, va, gpa, pteRwFlags) != 0)
+        return false;
+    return specAsMap(s, it->second.eptHandle, gpa, page, pteRwFlags) ==
+           0;
+}
+
+bool
+injectHugeMapping(FlatState &s, i64 enclave, u64 va)
+{
+    auto it = s.enclaves.find(enclave);
+    if (it == s.enclaves.end())
+        return false;
+    const u64 root = s.rootOf(it->second.gptHandle);
+    if (root == 0)
+        return false;
+    // Plant a 2 MiB entry at level 2 along va's path.
+    const IntResult l3 = specNextTable(s, root, specVaIndex(va, 4), true);
+    if (!l3.isOk)
+        return false;
+    const IntResult l2 =
+        specNextTable(s, l3.value, specVaIndex(va, 3), true);
+    if (!l2.isOk)
+        return false;
+    specEntryWrite(s, l2.value, specVaIndex(va, 2),
+                   specPteMake(s.geo.epcBase,
+                               pteRwFlags | pteFlagHuge));
+    return true;
+}
+
+} // namespace hev::sec

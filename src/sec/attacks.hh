@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Misconfiguration injectors reproducing paper Fig. 5.
+ *
+ * Each function corrupts a well-formed abstract state into one of the
+ * exploitable page-table designs the paper's invariants rule out.  The
+ * invariant checker and the noninterference lemmas must flag every one
+ * of them — the suites assert the *detection*, mirroring how such a
+ * state would be unprovable in Coq.
+ */
+
+#ifndef HEV_SEC_ATTACKS_HH
+#define HEV_SEC_ATTACKS_HH
+
+#include "ccal/flat_state.hh"
+
+namespace hev::sec
+{
+
+using ccal::FlatState;
+
+/**
+ * Fig. 5 case (1): alias one EPC page into two enclaves — remap the
+ * EPT of enclave `victim_b` so its first ELRANGE page lands on the EPC
+ * page backing `victim_a`'s first ELRANGE page.
+ *
+ * @return true if the corruption was applied.
+ */
+bool injectEpcAlias(FlatState &s, i64 victim_a, i64 victim_b);
+
+/**
+ * Fig. 5 case (2): remap an ELRANGE VA of an enclave out of the EPC
+ * into untrusted normal memory at `normal_page`.
+ */
+bool injectElrangeEscape(FlatState &s, i64 enclave, u64 va,
+                         u64 normal_page);
+
+/**
+ * A covert mapping: map an extra EPC page into an enclave's tables
+ * without recording it in the EPCM (violates the EPCM invariant).
+ */
+bool injectCovertMapping(FlatState &s, i64 enclave, u64 va);
+
+/**
+ * A huge mapping in an enclave page table (violates the no-huge-pages
+ * enclave invariant).
+ */
+bool injectHugeMapping(FlatState &s, i64 enclave, u64 va);
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_ATTACKS_HH

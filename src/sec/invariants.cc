@@ -1,0 +1,236 @@
+#include "sec/invariants.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ccal/specs.hh"
+
+namespace hev::sec
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+namespace
+{
+
+bool
+walkTable(const FlatState &s, u64 table, int level, u64 va_prefix,
+          const std::function<void(u64, u64, u64, int)> &visit)
+{
+    if (!s.geo.inFrameArea(table))
+        return false;
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const u64 entry = s.readEntry(table, index);
+        if (!specPtePresent(entry))
+            continue;
+        const u64 va =
+            va_prefix | (index << (pageShift + 9 * (level - 1)));
+        if (level == 1 || specPteHuge(entry)) {
+            visit(va, specPteAddr(entry), specPteFlags(entry), level);
+        } else if (!walkTable(s, specPteAddr(entry), level - 1, va,
+                              visit)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** A composed (GPT then EPT) terminal translation of one enclave. */
+struct ComposedMapping
+{
+    u64 va = 0;    //!< enclave-linear address
+    u64 gpa = 0;   //!< stage-1 output
+    u64 hpa = 0;   //!< final physical page
+    u64 flags = 0; //!< stage-1 flags
+};
+
+/**
+ * Collect each enclave's composed page mappings.
+ *
+ * @param[out] walk_ok false if any table walk escaped the frame area.
+ */
+std::map<i64, std::vector<ComposedMapping>>
+collectEnclaveMappings(const FlatState &s, bool &walk_ok,
+                       std::vector<Violation> &violations)
+{
+    std::map<i64, std::vector<ComposedMapping>> result;
+    walk_ok = true;
+    for (const auto &[id, enclave] : s.enclaves) {
+        if (enclave.state == enclStateDead)
+            continue;
+        const u64 gpt_root = s.rootOf(enclave.gptHandle);
+        if (gpt_root == 0)
+            continue;
+        std::vector<ComposedMapping> mappings;
+        const bool ok = forEachFlatMapping(
+            s, gpt_root, [&](u64 va, u64 gpa, u64 flags, int) {
+                ComposedMapping m;
+                m.va = va;
+                m.gpa = gpa;
+                m.flags = flags;
+                const QueryResult stage2 =
+                    specAsQuery(s, enclave.eptHandle, gpa);
+                m.hpa = stage2.isSome ? stage2.physAddr : ~0ull;
+                mappings.push_back(m);
+            });
+        if (!ok) {
+            walk_ok = false;
+            std::ostringstream msg;
+            msg << "enclave " << id
+                << " page-table walk escapes the frame area "
+                   "(shallow-copy-style state)";
+            violations.push_back({"page-table containment", msg.str()});
+        }
+        result[id] = std::move(mappings);
+    }
+    return result;
+}
+
+} // namespace
+
+bool
+forEachFlatMapping(const FlatState &s, u64 root,
+                   const std::function<void(u64, u64, u64, int)> &visit)
+{
+    return walkTable(s, root, pagingLevels, 0, visit);
+}
+
+std::vector<Violation>
+checkInvariants(const FlatState &s)
+{
+    std::vector<Violation> violations;
+
+    bool walk_ok = true;
+    auto mappings = collectEnclaveMappings(s, walk_ok, violations);
+
+    // --- Enclave invariants: geometry and per-mapping facts.
+    for (const auto &[id, enclave] : s.enclaves) {
+        if (enclave.state == enclStateDead)
+            continue;
+        const u64 mbuf_end =
+            enclave.mbufGva + enclave.mbufPages * pageSize;
+        if (!(mbuf_end <= enclave.elStart ||
+              enclave.mbufGva >= enclave.elEnd)) {
+            std::ostringstream msg;
+            msg << "enclave " << id
+                << ": ELRANGE overlaps the marshalling buffer range";
+            violations.push_back({"enclave invariants", msg.str()});
+        }
+
+        const u64 gpt_root = s.rootOf(enclave.gptHandle);
+        const u64 ept_root = s.rootOf(enclave.eptHandle);
+        for (const u64 root : {gpt_root, ept_root}) {
+            if (root == 0)
+                continue;
+            (void)forEachFlatMapping(
+                s, root, [&](u64 va, u64, u64 flags, int level) {
+                    if (level != 1 || (flags & pteFlagHuge)) {
+                        std::ostringstream msg;
+                        msg << "enclave " << id
+                            << ": huge mapping at va " << std::hex
+                            << va;
+                        violations.push_back(
+                            {"enclave invariants", msg.str()});
+                    }
+                });
+        }
+
+        for (const ComposedMapping &m : mappings[id]) {
+            const bool in_elrange = enclave.elStart <= m.va &&
+                                    m.va + pageSize <= enclave.elEnd;
+            const bool in_mbuf =
+                enclave.mbufGva <= m.va && m.va + pageSize <= mbuf_end;
+            const bool to_epc =
+                m.hpa != ~0ull && s.geo.inEpc(m.hpa);
+
+            // va in ELRANGE <=> physical target in the EPC.
+            if (in_elrange && !to_epc) {
+                std::ostringstream msg;
+                msg << "enclave " << id << ": ELRANGE va " << std::hex
+                    << m.va << " does not map into the EPC";
+                violations.push_back({"enclave invariants", msg.str()});
+            }
+            if (!in_elrange && to_epc) {
+                std::ostringstream msg;
+                msg << "enclave " << id << ": non-ELRANGE va "
+                    << std::hex << m.va << " maps into the EPC";
+                violations.push_back({"enclave invariants", msg.str()});
+            }
+            if (!in_elrange && !in_mbuf) {
+                std::ostringstream msg;
+                msg << "enclave " << id << ": va " << std::hex << m.va
+                    << " mapped outside ELRANGE and mbuf ranges";
+                violations.push_back({"enclave invariants", msg.str()});
+            }
+
+            // --- EPCM invariant: EPC mappings are recorded.
+            if (to_epc) {
+                const u64 index = (m.hpa - s.geo.epcBase) / pageSize;
+                const AbsEpcmEntry &entry = s.epcm[index];
+                if (entry.state == epcStateFree || entry.owner != id ||
+                    entry.linAddr != m.va) {
+                    std::ostringstream msg;
+                    msg << "enclave " << id << ": EPC page " << std::hex
+                        << m.hpa << " mapped at va " << m.va
+                        << " without a matching EPCM entry";
+                    violations.push_back({"EPCM invariant", msg.str()});
+                }
+            }
+
+            // --- Marshalling buffer invariant: physical memory
+            // reachable by both the enclave and the primary OS (i.e.
+            // normal memory) must be marshalling buffer.
+            const bool os_reachable =
+                m.hpa != ~0ull && m.hpa < s.geo.normalLimit;
+            if (os_reachable) {
+                const u64 backing_end =
+                    enclave.mbufBacking + enclave.mbufPages * pageSize;
+                const bool backing_ok =
+                    enclave.mbufBacking <= m.hpa &&
+                    m.hpa + pageSize <= backing_end;
+                if (!in_mbuf || !backing_ok) {
+                    std::ostringstream msg;
+                    msg << "enclave " << id << ": va " << std::hex
+                        << m.va << " shares physical page " << m.hpa
+                        << " with the primary OS outside the "
+                           "marshalling buffer";
+                    violations.push_back(
+                        {"marshalling buffer invariant", msg.str()});
+                }
+            }
+        }
+    }
+
+    // --- ELRANGE memory isolation: EPC pages never shared between
+    // enclaves.
+    std::map<u64, i64> epc_owner_by_mapping;
+    for (const auto &[id, list] : mappings) {
+        for (const ComposedMapping &m : list) {
+            if (m.hpa == ~0ull || !s.geo.inEpc(m.hpa))
+                continue;
+            auto [it, fresh] = epc_owner_by_mapping.emplace(m.hpa, id);
+            if (!fresh && it->second != id) {
+                std::ostringstream msg;
+                msg << "enclaves " << it->second << " and " << id
+                    << " both map EPC page " << std::hex << m.hpa;
+                violations.push_back(
+                    {"ELRANGE memory isolation", msg.str()});
+            }
+        }
+    }
+
+    return violations;
+}
+
+std::string
+describeViolations(const std::vector<Violation> &violations)
+{
+    std::ostringstream out;
+    for (const Violation &v : violations)
+        out << "[" << v.invariant << "] " << v.detail << "\n";
+    return out.str();
+}
+
+} // namespace hev::sec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The page-table invariants of paper Sec. 5.2, as executable predicates
+ * over the flat abstract state.
+ *
+ * Invariant families ("stated in Coq in 106 lines of definitions"):
+ *  - ELRANGE memory isolation: ELRANGE VAs of two different enclaves
+ *    never translate to the same physical address.
+ *  - Marshalling buffer invariant: any physical region reachable both
+ *    by an enclave and by the primary OS is marshalling buffer, at
+ *    marshalling-buffer VAs.
+ *  - EPCM invariant: every enclave mapping into the EPC has a matching
+ *    EPCM entry (owner and linear address agree) — no covert mappings.
+ *  - Enclave invariants: a VA maps into the EPC iff it is in the
+ *    ELRANGE; ELRANGE and mbuf range are disjoint; no huge pages in
+ *    enclave page tables; and (the premise of everything above) all
+ *    page-table frames stay inside the monitor's frame area.
+ */
+
+#ifndef HEV_SEC_INVARIANTS_HH
+#define HEV_SEC_INVARIANTS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ccal/flat_state.hh"
+
+namespace hev::sec
+{
+
+using ccal::FlatState;
+
+/** One detected invariant violation. */
+struct Violation
+{
+    std::string invariant;  //!< which family
+    std::string detail;     //!< what exactly broke
+};
+
+/**
+ * Enumerate the terminal mappings of the table rooted at `root`,
+ * calling visit(va, pa, flags, level).
+ *
+ * @return false if the walk encountered an intermediate entry pointing
+ *         outside the monitor's frame area (a shallow-copy-style state
+ *         that cannot be enumerated safely).
+ */
+bool forEachFlatMapping(
+    const FlatState &s, u64 root,
+    const std::function<void(u64, u64, u64, int)> &visit);
+
+/** Check every invariant family; empty result = all hold. */
+std::vector<Violation> checkInvariants(const FlatState &s);
+
+/** Render violations for a test failure message. */
+std::string describeViolations(const std::vector<Violation> &violations);
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_INVARIANTS_HH

@@ -1,0 +1,267 @@
+#include "sec/machine.hh"
+
+namespace hev::sec
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+u64
+SecMachine::translate(const SecState &s, Principal p, u64 va,
+                      bool is_write)
+{
+    if (va % sizeof(u64) != 0)
+        return ~0ull;
+    if (p == osPrincipal) {
+        auto it = s.osPageTable.find(va & ~(pageSize - 1));
+        if (it == s.osPageTable.end())
+            return ~0ull;
+        const u64 gpa = it->second + (va & (pageSize - 1));
+        // The normal VM's EPT: identity over normal memory only.  Any
+        // guest-physical address at or above the normal limit — the
+        // monitor's frame area, the EPC — faults (spatial isolation).
+        if (gpa + sizeof(u64) > s.mon.geo.normalLimit)
+            return ~0ull;
+        return gpa;
+    }
+    auto it = s.mon.enclaves.find(p);
+    if (it == s.mon.enclaves.end() ||
+        it->second.state == enclStateDead)
+        return ~0ull;
+    const QueryResult q =
+        specMemTranslate(s.mon, it->second.gptHandle,
+                         it->second.eptHandle, va, is_write);
+    if (!q.isSome)
+        return ~0ull;
+    return q.physAddr;
+}
+
+bool
+SecMachine::inAnyMbufBacking(const SecState &s, u64 hpa)
+{
+    for (const auto &[id, enclave] : s.mon.enclaves) {
+        if (enclave.state == enclStateDead)
+            continue;
+        const u64 end =
+            enclave.mbufBacking + enclave.mbufPages * pageSize;
+        if (enclave.mbufBacking <= hpa && hpa < end)
+            return true;
+    }
+    return false;
+}
+
+StepResult
+SecMachine::step(SecState &s, const Action &action, DataOracle &oracle)
+{
+    StepResult result;
+    const bool is_os = s.active == osPrincipal;
+
+    switch (action.kind) {
+      case Action::Kind::Load: {
+        const u64 hpa = translate(s, s.active, action.va, false);
+        if (hpa == ~0ull) {
+            result.faulted = true;
+            break;
+        }
+        u64 value;
+        if (inAnyMbufBacking(s, hpa)) {
+            // Declassified: reads come from the oracle (Sec. 5.4).
+            value = oracle.next();
+        } else {
+            auto it = s.mem.find(hpa);
+            value = it == s.mem.end() ? 0 : it->second;
+        }
+        s.cpu.regs[action.reg & 3] = value;
+        result.value = value;
+        break;
+      }
+      case Action::Kind::Store: {
+        const u64 hpa = translate(s, s.active, action.va, true);
+        if (hpa == ~0ull) {
+            result.faulted = true;
+            break;
+        }
+        if (!inAnyMbufBacking(s, hpa)) {
+            // Marshalling-buffer stores are in effect ignored.
+            s.mem[hpa] = s.cpu.regs[action.reg & 3];
+        }
+        break;
+      }
+      case Action::Kind::Compute: {
+        // Arbitrary local computation: fold own registers with a
+        // nondeterministic input drawn from the oracle.
+        const u64 nondet = oracle.next();
+        const u64 folded = s.cpu.regs[0] * 31 + s.cpu.regs[1] + nondet;
+        s.cpu.regs[action.reg & 3] = folded;
+        s.cpu.pc += 1;
+        break;
+      }
+      case Action::Kind::OsMap: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        s.osPageTable[action.va & ~(pageSize - 1)] =
+            action.a & ~(pageSize - 1);
+        break;
+      }
+      case Action::Kind::OsUnmap: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        result.faulted =
+            s.osPageTable.erase(action.va & ~(pageSize - 1)) == 0;
+        break;
+      }
+      case Action::Kind::HcInit: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        const IntResult r = specHcInit(s.mon, action.a, action.b,
+                                       action.c, action.d, action.e);
+        result.faulted = !r.isOk;
+        result.code = r.isOk ? i64(r.value) : r.errCode;
+        break;
+      }
+      case Action::Kind::HcAddPage: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        const i64 rc = specHcAddPage(s.mon, action.enclave, action.va,
+                                     action.a, i64(action.b));
+        result.faulted = rc != 0;
+        result.code = rc;
+        if (rc == 0) {
+            // Replicate the content copy the monitor performs: the
+            // freshly added page's words become the source's words.
+            const auto &enclave = s.mon.enclaves.at(action.enclave);
+            const QueryResult q =
+                specMemTranslate(s.mon, enclave.gptHandle,
+                                 enclave.eptHandle, action.va, false);
+            if (q.isSome) {
+                for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+                    auto it = s.mem.find(action.a + off);
+                    const u64 word =
+                        it == s.mem.end() ? 0 : it->second;
+                    s.mem[q.physAddr + off] = word;
+                }
+            }
+        }
+        break;
+      }
+      case Action::Kind::HcFinish: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        const i64 rc = specHcInitFinish(s.mon, action.enclave);
+        result.faulted = rc != 0;
+        result.code = rc;
+        break;
+      }
+      case Action::Kind::HcRemove: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        // Collect the EPC pages about to be freed so their *data*
+        // contents can be scrubbed along with the metadata.
+        std::vector<u64> owned;
+        auto it = s.mon.enclaves.find(action.enclave);
+        if (it != s.mon.enclaves.end() &&
+            it->second.state != enclStateDead) {
+            for (u64 index = 0; index < s.mon.geo.epcCount; ++index) {
+                if (s.mon.epcm[index].state != epcStateFree &&
+                    s.mon.epcm[index].owner == action.enclave) {
+                    owned.push_back(s.mon.geo.epcBase +
+                                    index * pageSize);
+                }
+            }
+        }
+        const i64 rc = specHcRemove(s.mon, action.enclave);
+        result.faulted = rc != 0;
+        result.code = rc;
+        if (rc == 0) {
+            for (const u64 page : owned) {
+                for (u64 off = 0; off < pageSize; off += sizeof(u64))
+                    s.mem.erase(page + off);
+            }
+        }
+        break;
+      }
+      case Action::Kind::Enter: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        auto it = s.mon.enclaves.find(action.enclave);
+        if (it == s.mon.enclaves.end() ||
+            it->second.state != enclStateInitialized) {
+            result.faulted = true;
+            break;
+        }
+        s.saved[osPrincipal] = s.cpu;
+        if (s.everEntered[action.enclave]) {
+            s.cpu = s.saved[action.enclave];
+        } else {
+            // First entry: scrubbed registers, entry point pc.
+            s.cpu = AbsContext{};
+            s.cpu.pc = it->second.elStart;
+            s.everEntered[action.enclave] = true;
+        }
+        s.active = action.enclave;
+        break;
+      }
+      case Action::Kind::Exit: {
+        if (is_os) {
+            result.faulted = true;
+            break;
+        }
+        s.saved[s.active] = s.cpu;
+        s.cpu = s.saved[osPrincipal];
+        s.active = osPrincipal;
+        break;
+      }
+    }
+    return result;
+}
+
+i64
+SecMachine::setupEnclave(SecState &s, DataOracle &oracle, u64 el_base,
+                         u64 pages, u64 mbuf_pages, u64 backing,
+                         u64 src_base)
+{
+    Action init;
+    init.kind = Action::Kind::HcInit;
+    init.a = el_base;
+    init.b = el_base + (pages + 1) * pageSize;
+    init.c = el_base + 64 * pageSize; // mbuf VA, disjoint from ELRANGE
+    init.d = mbuf_pages;
+    init.e = backing;
+    const StepResult created = step(s, init, oracle);
+    if (created.faulted)
+        return -created.code;
+    const i64 id = created.code;
+
+    for (u64 i = 0; i <= pages; ++i) {
+        Action add;
+        add.kind = Action::Kind::HcAddPage;
+        add.enclave = id;
+        add.va = el_base + i * pageSize;
+        add.a = src_base + i * pageSize;
+        add.b = u64(i == pages ? epcStateTcs : epcStateReg);
+        if (step(s, add, oracle).faulted)
+            return -1;
+    }
+    Action fin;
+    fin.kind = Action::Kind::HcFinish;
+    fin.enclave = id;
+    if (step(s, fin, oracle).faulted)
+        return -1;
+    return id;
+}
+
+} // namespace hev::sec

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The abstract transition system of paper Sec. 5.1.
+ *
+ * Principals are the primary OS (id 0) and the enclaves.  Steps are
+ * CPU-local moves (mem_load, mem_store, local computation) and the
+ * modeled hypercalls (init, add_page, init_finish) plus enter/exit
+ * world switches.  Addresses are resolved "using the current installed
+ * page table" — through the *same verified specs* the conformance
+ * suites check against the MIR code, exactly as the paper reuses its
+ * verified page-walk function.
+ *
+ * Marshalling-buffer accesses follow the data-oracle treatment of
+ * Sec. 5.4: stores to the buffer are ignored, loads draw from the
+ * oracle stream, so buffer contents are declassified by construction.
+ */
+
+#ifndef HEV_SEC_MACHINE_HH
+#define HEV_SEC_MACHINE_HH
+
+#include <array>
+#include <map>
+
+#include "ccal/flat_state.hh"
+#include "ccal/specs.hh"
+#include "support/rng.hh"
+
+namespace hev::sec
+{
+
+using ccal::FlatState;
+
+/** Principal id: 0 is the primary OS; enclaves use their enclave id. */
+using Principal = i64;
+
+/** The primary OS principal. */
+constexpr Principal osPrincipal = 0;
+
+/** Register file of the abstract CPU (small, per the Coq model). */
+struct AbsContext
+{
+    std::array<u64, 4> regs{};
+    u64 pc = 0;
+
+    bool operator==(const AbsContext &) const = default;
+};
+
+/**
+ * The data oracle (paper Sec. 5.4): a deterministic stream of values
+ * parameterizing one execution.  Two lockstep runs use two oracles
+ * built from the same seed, so declassified reads agree by
+ * construction while everything else may differ.
+ */
+class DataOracle
+{
+  public:
+    explicit DataOracle(u64 seed) : stream(seed) {}
+
+    /** Next declassified / nondeterministic value. */
+    u64 next() { return stream.next(); }
+
+  private:
+    Rng stream;
+};
+
+/** One step of the transition system. */
+struct Action
+{
+    enum class Kind : u8
+    {
+        Load,       //!< reg[reg_index] = mem[translate(va)]
+        Store,      //!< mem[translate(va)] = reg[reg_index]
+        Compute,    //!< local computation over own registers + oracle
+        OsMap,      //!< OS edits its own page table: va -> gpa
+        OsUnmap,    //!< OS removes one of its own mappings
+        HcInit,     //!< hypercall: create enclave
+        HcAddPage,  //!< hypercall: add a page
+        HcFinish,   //!< hypercall: finish initialization
+        HcRemove,   //!< hypercall: tear an enclave down (scrubs EPC)
+        Enter,      //!< world switch into an enclave
+        Exit,       //!< world switch back to the OS
+    };
+
+    Kind kind = Kind::Compute;
+    u64 va = 0;
+    int reg = 0;
+    i64 enclave = 0;
+    /** Hypercall / map parameters (kind-specific). */
+    u64 a = 0, b = 0, c = 0, d = 0, e = 0;
+};
+
+/** Result of a step, observable to the acting principal. */
+struct StepResult
+{
+    bool faulted = false;   //!< translation or hypercall failure
+    i64 code = 0;           //!< hypercall return / new enclave id
+    u64 value = 0;          //!< loaded value, if any
+
+    bool operator==(const StepResult &) const = default;
+};
+
+/** The whole abstract machine state. */
+struct SecState
+{
+    FlatState mon;                    //!< monitor state (PTs, EPCM, ...)
+    std::map<u64, u64> mem;           //!< data memory: word addr -> value
+    Principal active = osPrincipal;
+    AbsContext cpu;                   //!< registers of the active one
+    std::map<Principal, AbsContext> saved;
+    std::map<Principal, bool> everEntered;
+    /** The OS's own page table: VA page -> GPA page (guest-managed). */
+    std::map<u64, u64> osPageTable;
+
+    explicit SecState(const ccal::Geometry &geo = ccal::Geometry{})
+        : mon(geo)
+    {}
+
+    bool operator==(const SecState &) const = default;
+};
+
+/** Executes actions against a SecState. */
+class SecMachine
+{
+  public:
+    /**
+     * Resolve a VA for a principal: the OS goes through its own page
+     * table and the identity EPT over normal memory; an enclave goes
+     * through its monitor-managed GPT and EPT.
+     *
+     * @return the physical word address, or ~0 on fault.
+     */
+    static u64 translate(const SecState &s, Principal p, u64 va,
+                         bool is_write);
+
+    /** True iff the physical address lies in any marshalling buffer. */
+    static bool inAnyMbufBacking(const SecState &s, u64 hpa);
+
+    /**
+     * Execute one action for the currently active principal; actions a
+     * principal may not perform (e.g. an enclave issuing a hypercall)
+     * fault without effect.
+     */
+    static StepResult step(SecState &s, const Action &action,
+                           DataOracle &oracle);
+
+    /** Convenience: scripted full enclave setup from the OS. */
+    static i64 setupEnclave(SecState &s, DataOracle &oracle, u64 el_base,
+                            u64 pages, u64 mbuf_pages, u64 backing,
+                            u64 src_base);
+};
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_MACHINE_HH

@@ -1,0 +1,184 @@
+#include "sec/noninterference.hh"
+
+namespace hev::sec
+{
+
+std::optional<NiViolation>
+checkIntegrityStep(const SecState &s, Principal p, const Action &action,
+                   u64 oracle_seed)
+{
+    const View before = observe(s, p);
+    SecState next = s;
+    DataOracle oracle(oracle_seed);
+    (void)SecMachine::step(next, action, oracle);
+    const View after = observe(next, p);
+    if (before == after)
+        return std::nullopt;
+    return NiViolation{
+        "Lemma 5.2 (integrity)",
+        "another principal's step changed V(p): " +
+            diffViews(before, after)};
+}
+
+std::optional<NiViolation>
+checkStepPair(SecState s1, SecState s2, Principal p, const Action &action,
+              u64 oracle_seed)
+{
+    if (!indistinguishable(s1, s2, p)) {
+        return NiViolation{"precondition",
+                           "starting states already distinguishable: " +
+                               diffViews(observe(s1, p), observe(s2, p))};
+    }
+    const bool p_active = s1.active == p;
+    DataOracle oracle1(oracle_seed);
+    DataOracle oracle2(oracle_seed);
+    const StepResult r1 = SecMachine::step(s1, action, oracle1);
+    const StepResult r2 = SecMachine::step(s2, action, oracle2);
+
+    if (p_active && !(r1 == r2)) {
+        return NiViolation{
+            "Lemma 5.3 (confidentiality)",
+            "p's own step produced different observable results"};
+    }
+    if (!indistinguishable(s1, s2, p)) {
+        return NiViolation{
+            p_active ? "Lemma 5.3 (confidentiality)"
+                     : "Lemma 5.4 (inactive step)",
+            "states became distinguishable: " +
+                diffViews(observe(s1, p), observe(s2, p))};
+    }
+    return std::nullopt;
+}
+
+std::optional<NiViolation>
+checkTrace(SecState s1, SecState s2, Principal p,
+           const std::vector<Action> &trace, u64 oracle_seed)
+{
+    if (!indistinguishable(s1, s2, p)) {
+        return NiViolation{"precondition",
+                           "starting states already distinguishable"};
+    }
+    DataOracle oracle1(oracle_seed);
+    DataOracle oracle2(oracle_seed);
+    for (size_t step = 0; step < trace.size(); ++step) {
+        const bool p_active = s1.active == p;
+        const StepResult r1 = SecMachine::step(s1, trace[step], oracle1);
+        const StepResult r2 = SecMachine::step(s2, trace[step], oracle2);
+        if (p_active && !(r1 == r2)) {
+            return NiViolation{
+                "Theorem 5.1",
+                "observable results diverged at step " +
+                    std::to_string(step)};
+        }
+        if (!indistinguishable(s1, s2, p)) {
+            return NiViolation{
+                "Theorem 5.1",
+                "states distinguishable after step " +
+                    std::to_string(step) + " (" +
+                    diffViews(observe(s1, p), observe(s2, p)) + ")"};
+        }
+    }
+    return std::nullopt;
+}
+
+Action
+randomAction(const SecState &s, Rng &rng)
+{
+    Action action;
+    const bool is_os = s.active == osPrincipal;
+
+    // Gather live enclaves for targeting.
+    std::vector<i64> live;
+    for (const auto &[id, enclave] : s.mon.enclaves) {
+        if (enclave.state != ccal::enclStateDead)
+            live.push_back(id);
+    }
+
+    auto random_va = [&]() -> u64 {
+        if (!is_os && !live.empty()) {
+            // Bias enclave accesses toward its own ranges.
+            auto it = s.mon.enclaves.find(s.active);
+            if (it != s.mon.enclaves.end() && rng.chance(3, 4)) {
+                const auto &enclave = it->second;
+                if (rng.chance(1, 3)) {
+                    return enclave.mbufGva +
+                           rng.below(enclave.mbufPages * pageSize / 8) *
+                               8;
+                }
+                const u64 span =
+                    (enclave.elEnd - enclave.elStart) / 8;
+                return enclave.elStart + rng.below(span ? span : 1) * 8;
+            }
+        }
+        return rng.below(1024) * 8 * rng.between(1, 64);
+    };
+
+    const u64 pick = rng.below(is_os ? 11 : 4);
+    switch (pick) {
+      case 0:
+        action.kind = Action::Kind::Load;
+        action.va = random_va();
+        action.reg = int(rng.below(4));
+        break;
+      case 1:
+        action.kind = Action::Kind::Store;
+        action.va = random_va();
+        action.reg = int(rng.below(4));
+        break;
+      case 2:
+      case 3:
+        action.kind = is_os || rng.chance(3, 4) ? Action::Kind::Compute
+                                                : Action::Kind::Exit;
+        action.reg = int(rng.below(4));
+        break;
+      case 4:
+        action.kind = Action::Kind::OsMap;
+        action.va = rng.below(256) * pageSize;
+        action.a = rng.below(256) * pageSize;
+        break;
+      case 5:
+        action.kind = Action::Kind::OsUnmap;
+        action.va = rng.below(256) * pageSize;
+        break;
+      case 6: {
+        action.kind = Action::Kind::HcInit;
+        const u64 base = rng.below(8) * 0x10'0000;
+        action.a = base;
+        action.b = base + rng.below(6) * pageSize;
+        action.c = base + (64 + rng.below(8)) * pageSize;
+        action.d = rng.below(3);
+        action.e = rng.below(48) * pageSize;
+        break;
+      }
+      case 7:
+        action.kind = Action::Kind::HcAddPage;
+        action.enclave =
+            live.empty() ? i64(rng.below(4)) : rng.pick(live);
+        action.va = rng.below(512) * pageSize;
+        action.a = rng.below(48) * pageSize;
+        action.b = rng.chance(1, 4) ? u64(ccal::epcStateTcs)
+                                    : u64(ccal::epcStateReg);
+        break;
+      case 8:
+        action.kind = Action::Kind::HcFinish;
+        action.enclave =
+            live.empty() ? i64(rng.below(4)) : rng.pick(live);
+        break;
+      case 9:
+        // Tear down mid-trace-created enclaves occasionally, but never
+        // the low-id setup enclaves the NI observer may be one of.
+        action.kind = Action::Kind::HcRemove;
+        action.enclave = live.empty() || live.back() <= 2
+                             ? i64(100 + rng.below(4))
+                             : live.back();
+        break;
+      default:
+        action.kind = Action::Kind::Enter;
+        action.enclave =
+            live.empty() ? i64(rng.below(4)) : rng.pick(live);
+        break;
+    }
+    return action;
+}
+
+} // namespace hev::sec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The noninterference checkers: executable analogues of Theorem 5.1
+ * and the step-wise Lemmas 5.2-5.4 of the paper.
+ *
+ * Instead of a Coq proof over all executions, each lemma is checked
+ * over generated executions: indistinguishable state pairs are built
+ * by perturbing unobservable state, both runs share a data oracle, and
+ * indistinguishability must be preserved by every step.  A checker
+ * returning a violation corresponds to a proof that cannot be closed —
+ * and the suites verify the checkers DO fail on the planted Fig. 5
+ * misconfigurations.
+ */
+
+#ifndef HEV_SEC_NONINTERFERENCE_HH
+#define HEV_SEC_NONINTERFERENCE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sec/observe.hh"
+
+namespace hev::sec
+{
+
+/** A failed lemma instance. */
+struct NiViolation
+{
+    std::string lemma;
+    std::string detail;
+};
+
+/**
+ * Lemma 5.2 (integrity): p is inactive; the active principal performs
+ * one step; V(p) must be unchanged.
+ *
+ * @pre s.active != p.
+ */
+std::optional<NiViolation> checkIntegrityStep(const SecState &s,
+                                              Principal p,
+                                              const Action &action,
+                                              u64 oracle_seed);
+
+/**
+ * Lemmas 5.3/5.4 (confidentiality): s1 and s2 are indistinguishable to
+ * p; the active principal performs the same step in both (same oracle
+ * seed); the results must remain indistinguishable, and when p itself
+ * is the active principal the observable step results must coincide.
+ */
+std::optional<NiViolation> checkStepPair(SecState s1, SecState s2,
+                                         Principal p,
+                                         const Action &action,
+                                         u64 oracle_seed);
+
+/**
+ * Theorem 5.1 over a whole trace: run the action sequence in lockstep
+ * from two indistinguishable states and check indistinguishability
+ * after every step.
+ */
+std::optional<NiViolation> checkTrace(SecState s1, SecState s2,
+                                      Principal p,
+                                      const std::vector<Action> &trace,
+                                      u64 oracle_seed);
+
+/**
+ * Generate a random action appropriate to the active principal of s.
+ * Used by the randomized noninterference sweeps and the benches.
+ */
+Action randomAction(const SecState &s, Rng &rng);
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_NONINTERFERENCE_HH

@@ -1,0 +1,161 @@
+#include "sec/observe.hh"
+
+#include <sstream>
+
+#include "sec/invariants.hh"
+
+namespace hev::sec
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+namespace
+{
+
+/** Collect (va -> hpa/flags) and the reachable non-shared pages. */
+void
+collectPrincipalMappings(const SecState &s, Principal p, View &view,
+                         std::set<u64> &pages)
+{
+    if (p == osPrincipal) {
+        // The OS owns its page table verbatim; it reaches all of
+        // normal memory.
+        for (const auto &[va, gpa] : s.osPageTable) {
+            view.mappings[va] = {gpa, pteRwFlags};
+        }
+        for (u64 page = 0; page < s.mon.geo.normalLimit;
+             page += pageSize) {
+            if (!SecMachine::inAnyMbufBacking(s, page))
+                pages.insert(page);
+        }
+        return;
+    }
+    auto it = s.mon.enclaves.find(p);
+    if (it == s.mon.enclaves.end() || it->second.state == enclStateDead)
+        return;
+    const AbsEnclave &enclave = it->second;
+    const u64 gpt_root = s.mon.rootOf(enclave.gptHandle);
+    if (gpt_root == 0)
+        return;
+    (void)forEachFlatMapping(
+        s.mon, gpt_root, [&](u64 va, u64 gpa, u64 flags, int) {
+            const QueryResult stage2 =
+                specAsQuery(s.mon, enclave.eptHandle, gpa);
+            const u64 hpa = stage2.isSome ? stage2.physAddr : ~0ull;
+            view.mappings[va] = {hpa, flags};
+            if (hpa != ~0ull && !SecMachine::inAnyMbufBacking(s, hpa))
+                pages.insert(hpa & ~(pageSize - 1));
+        });
+}
+
+} // namespace
+
+View
+observe(const SecState &s, Principal p)
+{
+    View view;
+    view.isActive = s.active == p;
+    if (view.isActive)
+        view.activeRegs = s.cpu;
+    auto saved = s.saved.find(p);
+    if (saved != s.saved.end()) {
+        view.hasSaved = true;
+        view.savedRegs = saved->second;
+    }
+
+    std::set<u64> pages;
+    collectPrincipalMappings(s, p, view, pages);
+
+    for (const auto &[addr, value] : s.mem) {
+        if (value == 0)
+            continue; // absent and zero are the same memory
+        if (pages.count(addr & ~(pageSize - 1)))
+            view.memory.emplace(addr, value);
+    }
+    return view;
+}
+
+bool
+indistinguishable(const SecState &s1, const SecState &s2, Principal p)
+{
+    return observe(s1, p) == observe(s2, p);
+}
+
+std::set<u64>
+observablePages(const SecState &s, Principal p)
+{
+    View view;
+    std::set<u64> pages;
+    collectPrincipalMappings(s, p, view, pages);
+    return pages;
+}
+
+void
+perturbUnobservable(SecState &s, Principal p, Rng &rng)
+{
+    const std::set<u64> visible = observablePages(s, p);
+
+    // Mutate memory outside the principal's non-shared pages: other
+    // principals' pages, unreachable memory, and marshalling buffers
+    // (declassified).
+    const u64 mutations = 1 + rng.below(8);
+    for (u64 i = 0; i < mutations; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            u64 addr;
+            if (rng.chance(1, 2)) {
+                addr = rng.below(s.mon.geo.normalLimit / 8) * 8;
+            } else {
+                addr = s.mon.geo.epcBase +
+                       rng.below(s.mon.geo.epcCount * pageSize / 8) * 8;
+            }
+            if (visible.count(addr & ~(pageSize - 1)))
+                continue;
+            s.mem[addr] = rng.next();
+            break;
+        }
+    }
+
+    // Other principals' saved contexts.
+    for (auto &[owner, ctx] : s.saved) {
+        if (owner != p && rng.chance(1, 2)) {
+            ctx.regs[rng.below(4)] = rng.next();
+            ctx.pc = rng.next();
+        }
+    }
+
+    // Active registers, when p is not the one running.
+    if (s.active != p) {
+        s.cpu.regs[rng.below(4)] = rng.next();
+        s.cpu.pc = rng.next();
+    }
+}
+
+std::string
+diffViews(const View &a, const View &b)
+{
+    std::ostringstream out;
+    if (a.isActive != b.isActive)
+        out << "activity differs; ";
+    if (a.isActive && b.isActive && !(a.activeRegs == b.activeRegs))
+        out << "active registers differ; ";
+    if (a.hasSaved != b.hasSaved ||
+        (a.hasSaved && !(a.savedRegs == b.savedRegs)))
+        out << "saved context differs; ";
+    if (a.mappings != b.mappings)
+        out << "page-table mappings differ; ";
+    if (a.memory != b.memory) {
+        out << "memory differs";
+        for (const auto &[addr, value] : a.memory) {
+            auto it = b.memory.find(addr);
+            if (it == b.memory.end() || it->second != value) {
+                out << " (first at " << std::hex << addr << ")";
+                break;
+            }
+        }
+        out << "; ";
+    }
+    return out.str();
+}
+
+} // namespace hev::sec

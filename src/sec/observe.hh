@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The observation function V(p, sigma) of paper Sec. 5.3.
+ *
+ * A principal observes: (1) the CPU's registers if it is the active
+ * principal; (2) its saved register context; (3) the mappings of the
+ * page tables it owns (for an enclave these include the immutable
+ * marshalling-buffer mapping); and (4) the contents of the memory
+ * pages it can reach that are not shared — marshalling-buffer pages
+ * are excluded, their contents being declassified through the oracle.
+ *
+ * Two states are indistinguishable to p iff their views are equal.
+ */
+
+#ifndef HEV_SEC_OBSERVE_HH
+#define HEV_SEC_OBSERVE_HH
+
+#include <map>
+#include <set>
+
+#include "sec/machine.hh"
+
+namespace hev::sec
+{
+
+/** One composed mapping as the principal sees it. */
+struct ViewMapping
+{
+    u64 hpa = 0;
+    u64 flags = 0;
+
+    bool operator==(const ViewMapping &) const = default;
+};
+
+/** V(p, sigma). */
+struct View
+{
+    bool isActive = false;
+    AbsContext activeRegs;   //!< meaningful iff isActive
+    bool hasSaved = false;
+    AbsContext savedRegs;    //!< meaningful iff hasSaved
+    /** va -> (hpa, flags) for the principal's own tables. */
+    std::map<u64, ViewMapping> mappings;
+    /** word addr -> value over the principal's non-shared pages. */
+    std::map<u64, u64> memory;
+
+    bool operator==(const View &) const = default;
+};
+
+/** Compute V(p, sigma). */
+View observe(const SecState &s, Principal p);
+
+/** Indistinguishability: V(p, s1) == V(p, s2). */
+bool indistinguishable(const SecState &s1, const SecState &s2,
+                       Principal p);
+
+/**
+ * Page bases whose contents are part of V(p) — the complement is fair
+ * game for perturbation when generating indistinguishable states.
+ */
+std::set<u64> observablePages(const SecState &s, Principal p);
+
+/**
+ * Randomly mutate parts of the state p cannot observe: memory outside
+ * observablePages(p) (including declassified marshalling buffers),
+ * other principals' saved contexts, and the active registers when p is
+ * inactive.  By construction the result is indistinguishable from the
+ * input for p.
+ */
+void perturbUnobservable(SecState &s, Principal p, Rng &rng);
+
+/** Short description of the first difference between two views. */
+std::string diffViews(const View &a, const View &b);
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_OBSERVE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bit-field helpers used by the page-table entry packing code.
+ */
+
+#ifndef HEV_SUPPORT_BITOPS_HH
+#define HEV_SUPPORT_BITOPS_HH
+
+#include "support/types.hh"
+
+namespace hev
+{
+
+/** Mask with bits [lo, hi] set (inclusive, hi >= lo, hi < 64). */
+constexpr u64
+bitMask(int hi, int lo)
+{
+    const u64 top = (hi >= 63) ? ~0ull : ((1ull << (hi + 1)) - 1);
+    return top & ~((1ull << lo) - 1);
+}
+
+/** Extract bits [hi, lo] of value, right-aligned. */
+constexpr u64
+bits(u64 value, int hi, int lo)
+{
+    return (value & bitMask(hi, lo)) >> lo;
+}
+
+/** Return value with bits [hi, lo] replaced by field (right-aligned). */
+constexpr u64
+insertBits(u64 value, int hi, int lo, u64 field)
+{
+    const u64 mask = bitMask(hi, lo);
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Test a single bit. */
+constexpr bool
+bit(u64 value, int pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Set or clear a single bit. */
+constexpr u64
+setBit(u64 value, int pos, bool on)
+{
+    return on ? (value | (1ull << pos)) : (value & ~(1ull << pos));
+}
+
+} // namespace hev
+
+#endif // HEV_SUPPORT_BITOPS_HH

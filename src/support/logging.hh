@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Status/diagnostic reporting in the gem5 style: panic for internal
+ * invariant breakage, fatal for unusable user configuration, warn/inform
+ * for non-fatal conditions.
+ */
+
+#ifndef HEV_SUPPORT_LOGGING_HH
+#define HEV_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+
+namespace hev
+{
+
+/** Verbosity for inform(); warn/panic/fatal always print. */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** Print and abort: an internal bug that should never happen. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print and exit(1): user/configuration error. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal suspicious condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message (suppressed unless verbose). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace hev
+
+#endif // HEV_SUPPORT_LOGGING_HH

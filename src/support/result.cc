@@ -1,0 +1,27 @@
+#include "support/result.hh"
+
+namespace hev
+{
+
+const char *
+hvErrorName(HvError e)
+{
+    switch (e) {
+      case HvError::None: return "None";
+      case HvError::OutOfMemory: return "OutOfMemory";
+      case HvError::InvalidParam: return "InvalidParam";
+      case HvError::AlreadyMapped: return "AlreadyMapped";
+      case HvError::NotMapped: return "NotMapped";
+      case HvError::NotAligned: return "NotAligned";
+      case HvError::PermissionDenied: return "PermissionDenied";
+      case HvError::EpcmConflict: return "EpcmConflict";
+      case HvError::OutOfEpc: return "OutOfEpc";
+      case HvError::BadEnclaveState: return "BadEnclaveState";
+      case HvError::NoSuchEnclave: return "NoSuchEnclave";
+      case HvError::IsolationViolation: return "IsolationViolation";
+      case HvError::Unsupported: return "Unsupported";
+    }
+    return "Unknown";
+}
+
+} // namespace hev

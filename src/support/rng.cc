@@ -1,0 +1,80 @@
+#include "support/rng.hh"
+
+#include <cassert>
+
+namespace hev
+{
+
+namespace
+{
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(u64 seed)
+{
+    u64 s = seed;
+    for (auto &lane : state)
+        lane = splitmix64(s);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state[1] * 5, 7) * 9;
+    const u64 t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        const u64 draw = next();
+        if (draw >= threshold)
+            return draw % bound;
+    }
+}
+
+u64
+Rng::between(u64 lo, u64 hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+bool
+Rng::chance(u64 num, u64 den)
+{
+    assert(den > 0);
+    return below(den) < num;
+}
+
+} // namespace hev

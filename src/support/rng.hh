@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic PRNG (xoshiro256**) for reproducible conformance checking.
+ *
+ * The refinement and noninterference checkers replace Coq proofs with
+ * exhaustive-plus-randomized state exploration; determinism here makes a
+ * reported counterexample replayable from its seed.
+ */
+
+#ifndef HEV_SUPPORT_RNG_HH
+#define HEV_SUPPORT_RNG_HH
+
+#include "support/types.hh"
+
+namespace hev
+{
+
+/** xoshiro256** 1.0, seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void reseed(u64 seed);
+
+    /** Next raw 64-bit draw. */
+    u64 next();
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    u64 below(u64 bound);
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    u64 between(u64 lo, u64 hi);
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool chance(u64 num, u64 den);
+
+    /** Uniformly pick an element of a non-empty container. */
+    template <typename C>
+    auto &
+    pick(C &container)
+    {
+        return container[below(container.size())];
+    }
+
+  private:
+    u64 state[4];
+};
+
+} // namespace hev
+
+#endif // HEV_SUPPORT_RNG_HH

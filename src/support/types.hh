@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fundamental type aliases and address newtypes shared by every module.
+ *
+ * HyperEnclave distinguishes three address kinds along the two-stage
+ * translation path (paper Fig. 2): guest-virtual addresses (GVA) that an
+ * application or enclave issues, guest-physical addresses (GPA) produced
+ * by the guest page table (GPT), and host-physical addresses (HPA)
+ * produced by the extended page table (EPT).  Mixing these up is exactly
+ * the class of bug the paper verifies against, so we make each a distinct
+ * strong type.
+ */
+
+#ifndef HEV_SUPPORT_TYPES_HH
+#define HEV_SUPPORT_TYPES_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hev
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/** Bytes per page.  HyperEnclave uses 4 KiB pages throughout. */
+constexpr u64 pageSize = 4096;
+/** log2(pageSize). */
+constexpr u64 pageShift = 12;
+/** 64-bit page-table entries per table (512 on x86-64). */
+constexpr u64 entriesPerTable = 512;
+/** Number of paging levels (PML4 -> PDPT -> PD -> PT). */
+constexpr int pagingLevels = 4;
+
+/**
+ * Strongly typed address wrapper.  The Tag parameter makes GVA/GPA/HPA
+ * mutually unassignable while keeping the arithmetic we need.
+ */
+template <typename Tag>
+struct Addr
+{
+    u64 value = 0;
+
+    constexpr Addr() = default;
+    constexpr explicit Addr(u64 v) : value(v) {}
+
+    constexpr auto operator<=>(const Addr &) const = default;
+
+    constexpr Addr operator+(u64 off) const { return Addr(value + off); }
+    constexpr Addr operator-(u64 off) const { return Addr(value - off); }
+    constexpr u64 operator-(Addr other) const { return value - other.value; }
+
+    /** Page number containing this address. */
+    constexpr u64 pageNumber() const { return value >> pageShift; }
+    /** Offset within the containing page. */
+    constexpr u64 pageOffset() const { return value & (pageSize - 1); }
+    /** True iff the address is page aligned. */
+    constexpr bool pageAligned() const { return pageOffset() == 0; }
+    /** Round down to the containing page boundary. */
+    constexpr Addr pageBase() const { return Addr(value & ~(pageSize - 1)); }
+
+    /**
+     * Page-table index for a paging level.
+     *
+     * @param level 4 for the root (PML4) down to 1 for the leaf table.
+     */
+    constexpr u64
+    tableIndex(int level) const
+    {
+        return (value >> (pageShift + 9 * (level - 1))) & 0x1ff;
+    }
+};
+
+struct GvaTag {};
+struct GpaTag {};
+struct HpaTag {};
+
+/** Guest-virtual address: what an app or enclave issues. */
+using Gva = Addr<GvaTag>;
+/** Guest-physical address: output of the GPT stage. */
+using Gpa = Addr<GpaTag>;
+/** Host-physical address: output of the EPT stage; indexes real RAM. */
+using Hpa = Addr<HpaTag>;
+
+/** Half-open address range [start, end). */
+template <typename A>
+struct Range
+{
+    A start{};
+    A end{};
+
+    constexpr Range() = default;
+    constexpr Range(A s, A e) : start(s), end(e) {}
+
+    constexpr bool contains(A a) const { return start <= a && a < end; }
+    constexpr u64 size() const { return end - start; }
+    constexpr bool empty() const { return !(start < end); }
+
+    constexpr bool
+    overlaps(const Range &other) const
+    {
+        // Empty ranges overlap nothing.
+        return start < other.end && other.start < end && !empty() &&
+               !other.empty();
+    }
+
+    constexpr bool
+    containsRange(const Range &other) const
+    {
+        return start <= other.start && other.end <= end;
+    }
+
+    constexpr auto operator<=>(const Range &) const = default;
+};
+
+using GvaRange = Range<Gva>;
+using GpaRange = Range<Gpa>;
+using HpaRange = Range<Hpa>;
+
+/** Identifier of an enclave; EnclaveId 0 is never issued. */
+using EnclaveId = u32;
+/** The invalid/absent enclave id. */
+constexpr EnclaveId invalidEnclave = 0;
+
+} // namespace hev
+
+namespace std
+{
+
+template <typename Tag>
+struct hash<hev::Addr<Tag>>
+{
+    size_t
+    operator()(const hev::Addr<Tag> &a) const noexcept
+    {
+        return std::hash<hev::u64>{}(a.value);
+    }
+};
+
+} // namespace std
+
+#endif // HEV_SUPPORT_TYPES_HH

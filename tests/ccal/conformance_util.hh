@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the conformance suites: a dual-state fixture
+ * running the MIR model on one state and the functional spec on an
+ * identical copy, then comparing results and post-states.
+ */
+
+#ifndef HEV_TESTS_CCAL_CONFORMANCE_UTIL_HH
+#define HEV_TESTS_CCAL_CONFORMANCE_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include "ccal/checker.hh"
+#include "ccal/specs.hh"
+
+namespace hev::ccal
+{
+
+/** Two states guaranteed identical before the operation under check. */
+struct DualState
+{
+    FlatState mirSide;
+    FlatState specSide;
+
+    explicit DualState(const Geometry &geo = Geometry{})
+        : mirSide(geo), specSide(geo)
+    {}
+
+    /** Apply the same deterministic setup to both sides. */
+    template <typename F>
+    void
+    setup(F &&f)
+    {
+        f(mirSide);
+        f(specSide);
+        ASSERT_EQ(diffStates(mirSide, specSide), "")
+            << "setup already diverged";
+    }
+};
+
+/** Assert both sides ended in identical abstract states. */
+#define EXPECT_STATES_AGREE(dual)                                         \
+    EXPECT_EQ(diffStates((dual).mirSide, (dual).specSide), "")
+
+/** Assert a MIR outcome succeeded and equals an encoded spec value. */
+#define ASSERT_VALUE_AGREES(outcome, expected)                            \
+    do {                                                                  \
+        ASSERT_TRUE((outcome).ok()) << (outcome).trap().message;          \
+        ASSERT_EQ(*(outcome), (expected))                                 \
+            << "MIR: " << (outcome)->toString()                           \
+            << " spec: " << (expected).toString();                        \
+    } while (0)
+
+} // namespace hev::ccal
+
+#endif // HEV_TESTS_CCAL_CONFORMANCE_UTIL_HH

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Code-proof analogues for layers 9-15 plus whole-stack runs: map,
+ * unmap, address spaces (RData), EPCM, marshalling buffer, hypercalls
+ * and the isolation interface, each checked against its specification
+ * with lower layers spec-substituted — and finally the entire MIR
+ * stack interpreted end-to-end against the top-level specs.
+ */
+
+#include "conformance_util.hh"
+
+#include "mirmodels/registry.hh"
+#include "support/rng.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+using mir::Value;
+
+Value
+iv(i64 x)
+{
+    return Value::intVal(x);
+}
+
+Value
+uv(u64 x)
+{
+    return Value::intVal(i64(x));
+}
+
+TEST(ConformL9, MapDirectedCases)
+{
+    DualState dual;
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+    LayerHarness harness(9, dual.mirSide);
+
+    struct Case
+    {
+        u64 va, pa, flags;
+    };
+    const Case cases[] = {
+        {0x123, 0x1000, pteRwFlags},          // unaligned va
+        {0x1000, 0x123, pteRwFlags},          // unaligned pa
+        {0x1000, 0x1000, pteFlagW},           // non-present flags
+        {0x1000, 0x5000, pteRwFlags},         // ok
+        {0x1000, 0x6000, pteRwFlags},         // already mapped
+        {0x2000, 0x6000, pteFlagP},           // ok, read-only
+        {1ull << 39, 0x7000, pteRwFlags | pteFlagHuge}, // huge stripped
+    };
+    for (const Case &tc : cases) {
+        auto out = harness.run(
+            "pt_map", {uv(root), uv(tc.va), uv(tc.pa), uv(tc.flags)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specPtMap(dual.specSide, root, tc.va, tc.pa,
+                              tc.flags)));
+        EXPECT_STATES_AGREE(dual);
+    }
+}
+
+TEST(ConformL9, MapRandomized)
+{
+    Rng rng(9);
+    for (int round = 0; round < 15; ++round) {
+        DualState dual;
+        u64 root = 0;
+        const u64 seed = rng.next();
+        dual.setup([&root, seed](FlatState &s) {
+            Rng local(seed);
+            root = makeRoot(s);
+            randomPopulate(s, root, local, 10, 6);
+        });
+        LayerHarness harness(9, dual.mirSide);
+        for (int step = 0; step < 20; ++step) {
+            const u64 va = randomVa(rng, 6);
+            const u64 pa = rng.below(512) * pageSize;
+            const u64 flags = pteFlagP | (rng.next() & 0xe6);
+            auto out = harness.run(
+                "pt_map", {uv(root), uv(va), uv(pa), uv(flags)});
+            ASSERT_VALUE_AGREES(
+                out, iv(specPtMap(dual.specSide, root, va, pa, flags)));
+            EXPECT_STATES_AGREE(dual);
+        }
+    }
+}
+
+TEST(ConformL9, MapOutOfMemoryAgrees)
+{
+    Geometry tiny;
+    tiny.frameCount = 3; // root + two of the three needed tables
+    DualState dual(tiny);
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+    LayerHarness harness(9, dual.mirSide);
+    auto out =
+        harness.run("pt_map", {uv(root), uv(0x1000), uv(0x5000),
+                               uv(pteRwFlags)});
+    ASSERT_VALUE_AGREES(
+        out, iv(specPtMap(dual.specSide, root, 0x1000, 0x5000,
+                          pteRwFlags)));
+    EXPECT_STATES_AGREE(dual) << "partial walk allocations must match";
+}
+
+TEST(ConformL9, MapCheckedRejectsHugeAndDelegates)
+{
+    DualState dual;
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+    LayerHarness harness(9, dual.mirSide);
+    const struct
+    {
+        u64 va, pa, flags;
+    } cases[] = {
+        {0x1000, 0x5000, pteRwFlags | pteFlagHuge}, // rejected
+        {0x1000, 0x5000, pteRwFlags},               // ok
+        {0x1000, 0x6000, pteRwFlags},               // already mapped
+        {0x1234, 0x5000, pteRwFlags},               // unaligned
+    };
+    for (const auto &tc : cases) {
+        auto out = harness.run(
+            "pt_map_checked",
+            {uv(root), uv(tc.va), uv(tc.pa), uv(tc.flags)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specPtMapChecked(dual.specSide, root, tc.va, tc.pa,
+                                     tc.flags)));
+        EXPECT_STATES_AGREE(dual);
+    }
+}
+
+TEST(ConformL10, UnmapRandomized)
+{
+    Rng rng(10);
+    for (int round = 0; round < 15; ++round) {
+        DualState dual;
+        u64 root = 0;
+        const u64 seed = rng.next();
+        dual.setup([&root, seed](FlatState &s) {
+            Rng local(seed);
+            root = makeRoot(s);
+            randomPopulate(s, root, local, 12, 6);
+        });
+        LayerHarness harness(10, dual.mirSide);
+        for (int step = 0; step < 25; ++step) {
+            u64 va = randomVa(rng, 6);
+            if (step % 7 == 0)
+                va |= 0x123; // unaligned case
+            auto out = harness.run("pt_unmap", {uv(root), uv(va)});
+            ASSERT_VALUE_AGREES(out,
+                                iv(specPtUnmap(dual.specSide, root, va)));
+            EXPECT_STATES_AGREE(dual);
+        }
+    }
+}
+
+TEST(ConformL10, DestroyFreesExactlyTheTree)
+{
+    Rng rng(1010);
+    for (int round = 0; round < 10; ++round) {
+        DualState dual;
+        u64 root = 0;
+        const u64 seed = rng.next();
+        dual.setup([&root, seed](FlatState &s) {
+            Rng local(seed);
+            root = makeRoot(s);
+            randomPopulate(s, root, local, 15, 6);
+        });
+        LayerHarness harness(10, dual.mirSide);
+        auto out = harness.run("pt_destroy",
+                               {uv(root), iv(pagingLevels)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specPtDestroy(dual.specSide, root, pagingLevels)));
+        EXPECT_STATES_AGREE(dual);
+        // Every frame is back in the pool on both sides.
+        for (bool bit : dual.mirSide.allocated)
+            ASSERT_FALSE(bit) << "a table frame leaked";
+    }
+}
+
+TEST(ConformL11, AsDestroyRetiresHandle)
+{
+    DualState dual;
+    i64 handle = 0;
+    dual.setup([&handle](FlatState &s) {
+        handle = i64(specAsCreate(s).value);
+        ASSERT_EQ(specAsMap(s, handle, 0x1000, 0x5000, pteRwFlags), 0);
+    });
+    LayerHarness harness(11, dual.mirSide);
+    auto out = harness.run("as_destroy", {encodeHandle(handle)});
+    ASSERT_VALUE_AGREES(out, iv(specAsDestroy(dual.specSide, handle)));
+    EXPECT_STATES_AGREE(dual);
+    // A second destroy through the retired handle errors identically.
+    auto again = harness.run("as_destroy", {encodeHandle(handle)});
+    ASSERT_VALUE_AGREES(again,
+                        iv(specAsDestroy(dual.specSide, handle)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL14, HcRemoveFullLifecycle)
+{
+    DualState dual;
+    i64 id = 0;
+    dual.setup([&id](FlatState &s) {
+        const IntResult r =
+            specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+        ASSERT_TRUE(r.isOk);
+        id = i64(r.value);
+        ASSERT_EQ(specHcAddPage(s, id, 0x10'0000, 0x4000, epcStateReg),
+                  0);
+        ASSERT_EQ(specHcAddPage(s, id, 0x10'1000, 0x5000, epcStateTcs),
+                  0);
+        ASSERT_EQ(specHcInitFinish(s, id), 0);
+    });
+    LayerHarness harness(14, dual.mirSide);
+
+    auto out = harness.run("hc_remove", {iv(id)});
+    ASSERT_VALUE_AGREES(out, iv(specHcRemove(dual.specSide, id)));
+    EXPECT_STATES_AGREE(dual);
+    // EPC fully reclaimed; page-content tokens scrubbed.
+    for (const AbsEpcmEntry &entry : dual.mirSide.epcm)
+        ASSERT_EQ(entry.state, epcStateFree);
+    EXPECT_TRUE(dual.mirSide.pageContents.empty());
+
+    // Dead id: remove and add both fail identically.
+    auto again = harness.run("hc_remove", {iv(id)});
+    ASSERT_VALUE_AGREES(again, iv(specHcRemove(dual.specSide, id)));
+    auto add = harness.run("hc_add_page", {iv(id), uv(0x10'0000),
+                                           uv(0x4000),
+                                           iv(epcStateReg)});
+    ASSERT_VALUE_AGREES(
+        add, iv(specHcAddPage(dual.specSide, id, 0x10'0000, 0x4000,
+                              epcStateReg)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL14, HcRemoveReleasesFramesForReuse)
+{
+    Geometry tiny;
+    tiny.frameCount = 24;
+    DualState dual(tiny);
+    LayerHarness harness(14, dual.mirSide);
+    // Create/remove cycles must not leak frames: run more cycles than
+    // the pool could sustain with a leak.
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        auto out = harness.run(
+            "hc_init", {uv(0x10'0000), uv(0x13'0000), uv(0x20'0000),
+                        uv(1), uv(0x8000)});
+        const IntResult expect = specHcInit(
+            dual.specSide, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+        ASSERT_VALUE_AGREES(out, encodeIntResult(expect));
+        ASSERT_TRUE(expect.isOk) << "frames leaked by cycle " << cycle;
+        auto removed =
+            harness.run("hc_remove", {iv(i64(expect.value))});
+        ASSERT_VALUE_AGREES(
+            removed,
+            iv(specHcRemove(dual.specSide, i64(expect.value))));
+        EXPECT_STATES_AGREE(dual);
+    }
+}
+
+TEST(ConformL11, AddressSpaceLifecycle)
+{
+    DualState dual;
+    LayerHarness harness(11, dual.mirSide);
+
+    // Create two address spaces.
+    auto h1 = harness.run("as_create", {});
+    ASSERT_VALUE_AGREES(h1, encodeHandleResult(specAsCreate(dual.specSide)));
+    auto h2 = harness.run("as_create", {});
+    ASSERT_VALUE_AGREES(h2, encodeHandleResult(specAsCreate(dual.specSide)));
+    EXPECT_STATES_AGREE(dual);
+
+    const Value handle1 = mir::result::payload(*h1);
+    const i64 spec_h1 = handle1.asRData().payload[0];
+
+    // Map / query / unmap through the handle.
+    auto rc = harness.run(
+        "as_map", {handle1, uv(0x1000), uv(0x5000), uv(pteRwFlags)});
+    ASSERT_VALUE_AGREES(
+        rc, iv(specAsMap(dual.specSide, spec_h1, 0x1000, 0x5000,
+                         pteRwFlags)));
+    EXPECT_STATES_AGREE(dual);
+
+    auto q = harness.run("as_query", {handle1, uv(0x1008)});
+    ASSERT_VALUE_AGREES(
+        q, encodeQueryResult(specAsQuery(dual.specSide, spec_h1,
+                                         0x1008)));
+
+    auto un = harness.run("as_unmap", {handle1, uv(0x1000)});
+    ASSERT_VALUE_AGREES(un,
+                        iv(specAsUnmap(dual.specSide, spec_h1, 0x1000)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL11, ForeignHandlesRejected)
+{
+    DualState dual;
+    LayerHarness harness(11, dual.mirSide);
+    const Value forged = Value::rdataPtr(rdataAddrSpaceLayer, {42});
+    auto rc = harness.run(
+        "as_map", {forged, uv(0x1000), uv(0x5000), uv(pteRwFlags)});
+    ASSERT_VALUE_AGREES(
+        rc, iv(specAsMap(dual.specSide, 42, 0x1000, 0x5000, pteRwFlags)));
+    auto q = harness.run("as_query", {forged, uv(0x1000)});
+    ASSERT_VALUE_AGREES(
+        q, encodeQueryResult(specAsQuery(dual.specSide, 42, 0x1000)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL12, EpcmAllocToExhaustionAndFree)
+{
+    DualState dual;
+    LayerHarness harness(12, dual.mirSide);
+    const Geometry &geo = dual.mirSide.geo;
+
+    // Directed validation cases.
+    struct Case
+    {
+        i64 owner;
+        u64 lin;
+        i64 kind;
+    };
+    const Case bad[] = {{0, 0, epcStateReg},
+                        {-3, 0, epcStateReg},
+                        {1, 0, epcStateFree},
+                        {1, 0, 9}};
+    for (const Case &tc : bad) {
+        auto out = harness.run("epcm_alloc",
+                               {iv(tc.owner), uv(tc.lin), iv(tc.kind)});
+        ASSERT_VALUE_AGREES(
+            out, encodeIntResult(specEpcmAlloc(dual.specSide, tc.owner,
+                                               tc.lin, tc.kind)));
+    }
+
+    // Exhaust the EPC, alternating Reg and Tcs.
+    for (u64 i = 0; i <= geo.epcCount; ++i) {
+        const i64 kind = (i % 2) ? epcStateTcs : epcStateReg;
+        auto out = harness.run(
+            "epcm_alloc", {iv(i64(i % 3 + 1)), uv(i * pageSize),
+                           iv(kind)});
+        ASSERT_VALUE_AGREES(
+            out, encodeIntResult(specEpcmAlloc(dual.specSide,
+                                               i64(i % 3 + 1),
+                                               i * pageSize, kind)));
+        EXPECT_STATES_AGREE(dual);
+    }
+
+    // Free a few and re-allocate.
+    for (const u64 page : {geo.epcBase, geo.epcBase + 5 * pageSize,
+                           geo.epcBase + 1, u64(0x1000)}) {
+        auto out = harness.run("epcm_free", {uv(page)});
+        ASSERT_VALUE_AGREES(out, iv(specEpcmFree(dual.specSide, page)));
+        EXPECT_STATES_AGREE(dual);
+    }
+    auto again = harness.run("epcm_alloc",
+                             {iv(7), uv(0x9000), iv(epcStateReg)});
+    ASSERT_VALUE_AGREES(
+        again, encodeIntResult(specEpcmAlloc(dual.specSide, 7, 0x9000,
+                                             epcStateReg)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL13, MbufMapMultiPage)
+{
+    for (const u64 pages : {1ull, 2ull, 3ull}) {
+        DualState dual;
+        i64 gpt = 0, ept = 0;
+        dual.setup([&](FlatState &s) {
+            gpt = i64(specAsCreate(s).value);
+            ept = i64(specAsCreate(s).value);
+        });
+        LayerHarness harness(13, dual.mirSide);
+        auto out = harness.run(
+            "mbuf_map",
+            {encodeHandle(gpt), encodeHandle(ept), uv(0x20'0000),
+             uv(dual.mirSide.geo.mbufGpaBase), uv(0x8000), uv(pages)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specMbufMap(dual.specSide, gpt, ept, 0x20'0000,
+                                dual.specSide.geo.mbufGpaBase, 0x8000,
+                                pages)));
+        EXPECT_STATES_AGREE(dual);
+    }
+}
+
+TEST(ConformL13, MbufMapPropagatesConflicts)
+{
+    DualState dual;
+    i64 gpt = 0, ept = 0;
+    dual.setup([&](FlatState &s) {
+        gpt = i64(specAsCreate(s).value);
+        ept = i64(specAsCreate(s).value);
+        // Pre-occupy the second GPT slot so page 1 conflicts.
+        ASSERT_EQ(specAsMap(s, gpt, 0x20'1000, 0x9000, pteRwFlags), 0);
+    });
+    LayerHarness harness(13, dual.mirSide);
+    auto out = harness.run(
+        "mbuf_map", {encodeHandle(gpt), encodeHandle(ept), uv(0x20'0000),
+                     uv(dual.mirSide.geo.mbufGpaBase), uv(0x8000),
+                     uv(3)});
+    ASSERT_VALUE_AGREES(
+        out, iv(specMbufMap(dual.specSide, gpt, ept, 0x20'0000,
+                            dual.specSide.geo.mbufGpaBase, 0x8000, 3)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL14, HcInitDirectedCases)
+{
+    struct Case
+    {
+        u64 el_s, el_e, gva, pages, backing;
+    };
+    const Case cases[] = {
+        {0x10'0000, 0x14'0000, 0x20'0000, 2, 0x8000},  // ok
+        {0x14'0000, 0x10'0000, 0x20'0000, 2, 0x8000},  // reversed
+        {0x10'0100, 0x14'0000, 0x20'0000, 2, 0x8000},  // unaligned el
+        {0x10'0000, 0x14'0000, 0x20'0000, 0, 0x8000},  // no mbuf
+        {0x10'0000, 0x14'0000, 0x13'f000, 2, 0x8000},  // overlap
+        {0x10'0000, 0x14'0000, 0x20'0000, 2, 0x8100},  // backing unaligned
+        {0x10'0000, 0x14'0000, 0x20'0000, 2,
+         Geometry{}.frameBase},                        // secure backing
+        {0x0, 0x1000, 0x1000, 1, 0x8000},              // mbuf == el_end
+    };
+    for (const Case &tc : cases) {
+        DualState dual;
+        LayerHarness harness(14, dual.mirSide);
+        auto out = harness.run(
+            "hc_init", {uv(tc.el_s), uv(tc.el_e), uv(tc.gva),
+                        uv(tc.pages), uv(tc.backing)});
+        ASSERT_VALUE_AGREES(
+            out, encodeIntResult(specHcInit(dual.specSide, tc.el_s,
+                                            tc.el_e, tc.gva, tc.pages,
+                                            tc.backing)));
+        EXPECT_STATES_AGREE(dual);
+    }
+}
+
+TEST(ConformL14, HcAddPageLifecycle)
+{
+    DualState dual;
+    i64 id = 0;
+    dual.setup([&id](FlatState &s) {
+        const IntResult r =
+            specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+        ASSERT_TRUE(r.isOk);
+        id = i64(r.value);
+    });
+    LayerHarness harness(14, dual.mirSide);
+
+    struct Case
+    {
+        i64 id;
+        u64 gva, src;
+        i64 kind;
+    };
+    const Case cases[] = {
+        {99, 0x10'0000, 0x4000, epcStateReg},   // no such enclave
+        {0, 0x10'0000, 0x4000, epcStateReg},    // id zero
+        {0, 0x10'0100, 0x4000, epcStateReg},    // unaligned gva
+        {0, 0x10'0000, 0x4100, epcStateReg},    // unaligned src
+        {0, 0x20'0000, 0x4000, epcStateReg},    // outside elrange
+        {0, 0x12'f000, 0x4000, epcStateReg},    // last page: ok
+        {0, 0x13'0000, 0x4000, epcStateReg},    // el_end exclusive
+        {0, 0x10'0000, 0x4000, epcStateReg},    // ok
+        {0, 0x10'0000, 0x5000, epcStateReg},    // already mapped
+        {0, 0x10'1000, 0x5000, epcStateTcs},    // ok, TCS
+    };
+    for (Case tc : cases) {
+        if (tc.id == 0)
+            tc.id = id;
+        auto out = harness.run("hc_add_page", {iv(tc.id), uv(tc.gva),
+                                               uv(tc.src), iv(tc.kind)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specHcAddPage(dual.specSide, tc.id, tc.gva, tc.src,
+                                  tc.kind)));
+        EXPECT_STATES_AGREE(dual);
+    }
+
+    // Finish and verify post-finish adds agree too.
+    auto fin = harness.run("hc_init_finish", {iv(id)});
+    ASSERT_VALUE_AGREES(fin, iv(specHcInitFinish(dual.specSide, id)));
+    auto after = harness.run(
+        "hc_add_page", {iv(id), uv(0x10'2000), uv(0x4000),
+                        iv(epcStateReg)});
+    ASSERT_VALUE_AGREES(
+        after, iv(specHcAddPage(dual.specSide, id, 0x10'2000, 0x4000,
+                                epcStateReg)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL14, HcAddPageEpcExhaustionRollsBack)
+{
+    Geometry tiny;
+    tiny.epcCount = 1;
+    DualState dual(tiny);
+    i64 id = 0;
+    dual.setup([&id](FlatState &s) {
+        const IntResult r =
+            specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+        ASSERT_TRUE(r.isOk);
+        id = i64(r.value);
+    });
+    LayerHarness harness(14, dual.mirSide);
+    for (const u64 gva : {0x10'0000ull, 0x10'1000ull}) {
+        auto out = harness.run(
+            "hc_add_page", {iv(id), uv(gva), uv(0x4000),
+                            iv(epcStateReg)});
+        ASSERT_VALUE_AGREES(
+            out, iv(specHcAddPage(dual.specSide, id, gva, 0x4000,
+                                  epcStateReg)));
+        EXPECT_STATES_AGREE(dual) << "rollback must leave equal states";
+    }
+}
+
+TEST(ConformL14, HcInitFinishCases)
+{
+    DualState dual;
+    i64 no_tcs = 0;
+    dual.setup([&no_tcs](FlatState &s) {
+        const IntResult r =
+            specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+        ASSERT_TRUE(r.isOk);
+        no_tcs = i64(r.value);
+    });
+    LayerHarness harness(14, dual.mirSide);
+    // No TCS yet.
+    auto out = harness.run("hc_init_finish", {iv(no_tcs)});
+    ASSERT_VALUE_AGREES(out,
+                        iv(specHcInitFinish(dual.specSide, no_tcs)));
+    // Unknown enclave.
+    auto unknown = harness.run("hc_init_finish", {iv(1234)});
+    ASSERT_VALUE_AGREES(unknown,
+                        iv(specHcInitFinish(dual.specSide, 1234)));
+    EXPECT_STATES_AGREE(dual);
+}
+
+TEST(ConformL15, MemTranslateMatrix)
+{
+    DualState dual;
+    i64 gpt = 0, ept = 0;
+    dual.setup([&](FlatState &s) {
+        gpt = i64(specAsCreate(s).value);
+        ept = i64(specAsCreate(s).value);
+        // RW chain, RO-at-GPT chain, RO-at-EPT chain, dangling chain.
+        ASSERT_EQ(specAsMap(s, gpt, 0x1000, 0x2000, pteRwFlags), 0);
+        ASSERT_EQ(specAsMap(s, ept, 0x2000, 0x3000, pteRwFlags), 0);
+        ASSERT_EQ(specAsMap(s, gpt, 0x4000, 0x5000,
+                            pteFlagP | pteFlagU), 0);
+        ASSERT_EQ(specAsMap(s, ept, 0x5000, 0x6000, pteRwFlags), 0);
+        ASSERT_EQ(specAsMap(s, gpt, 0x7000, 0x8000, pteRwFlags), 0);
+        ASSERT_EQ(specAsMap(s, ept, 0x8000, 0x9000,
+                            pteFlagP | pteFlagU), 0);
+        ASSERT_EQ(specAsMap(s, gpt, 0xa000, 0xb000, pteRwFlags), 0);
+    });
+    LayerHarness harness(15, dual.mirSide);
+    for (const u64 va : {0x1000ull, 0x1008ull, 0x4000ull, 0x7000ull,
+                         0xa000ull, 0xc000ull}) {
+        for (const bool write : {false, true}) {
+            auto out = harness.run(
+                "mem_translate", {encodeHandle(gpt), encodeHandle(ept),
+                                  uv(va), iv(write ? 1 : 0)});
+            ASSERT_VALUE_AGREES(
+                out, encodeQueryResult(specMemTranslate(
+                         dual.specSide, gpt, ept, va, write)));
+        }
+    }
+    EXPECT_STATES_AGREE(dual);
+}
+
+/**
+ * Whole-stack run: the complete 15-layer MIR program interpreted with
+ * only the trusted layer as primitives, against the top-level specs.
+ * This is the transitive composition of all the per-layer checks.
+ */
+TEST(ConformFullStack, HypercallsEndToEnd)
+{
+    DualState dual;
+    mir::Program prog = mirmodels::buildAll(dual.mirSide.geo);
+    FlatAbsState abs(dual.mirSide);
+    mir::Interp interp(prog, &abs);
+    registerTrustedLayer(interp, dual.mirSide);
+
+    auto init = interp.call(
+        "hc_init", {uv(0x10'0000), uv(0x13'0000), uv(0x20'0000), uv(2),
+                    uv(0x8000)}, 5'000'000);
+    const IntResult spec_init = specHcInit(
+        dual.specSide, 0x10'0000, 0x13'0000, 0x20'0000, 2, 0x8000);
+    ASSERT_VALUE_AGREES(init, encodeIntResult(spec_init));
+    EXPECT_STATES_AGREE(dual);
+    const i64 id = i64(spec_init.value);
+
+    for (int page = 0; page < 3; ++page) {
+        const u64 gva = 0x10'0000 + u64(page) * pageSize;
+        const i64 kind = page == 2 ? epcStateTcs : epcStateReg;
+        auto add = interp.call(
+            "hc_add_page",
+            {iv(id), uv(gva), uv(0x4000 + u64(page) * pageSize),
+             iv(kind)}, 5'000'000);
+        ASSERT_VALUE_AGREES(
+            add, iv(specHcAddPage(dual.specSide, id, gva,
+                                  0x4000 + u64(page) * pageSize, kind)));
+        EXPECT_STATES_AGREE(dual);
+    }
+
+    auto fin = interp.call("hc_init_finish", {iv(id)}, 5'000'000);
+    ASSERT_VALUE_AGREES(fin, iv(specHcInitFinish(dual.specSide, id)));
+    EXPECT_STATES_AGREE(dual);
+
+    // Translation through the full MIR stack agrees with the spec.
+    const AbsEnclave &enclave = dual.specSide.enclaves.at(id);
+    for (const u64 va : {0x10'0000ull, 0x10'1000ull, 0x20'0000ull,
+                         0x10'5000ull}) {
+        auto tr = interp.call(
+            "mem_translate",
+            {encodeHandle(enclave.gptHandle),
+             encodeHandle(enclave.eptHandle), uv(va), iv(1)},
+            5'000'000);
+        ASSERT_VALUE_AGREES(
+            tr, encodeQueryResult(specMemTranslate(
+                    dual.specSide, enclave.gptHandle,
+                    enclave.eptHandle, va, true)));
+    }
+}
+
+TEST(ConformFullStack, RandomizedHypercallSoak)
+{
+    Rng rng(1515);
+    for (int round = 0; round < 5; ++round) {
+        DualState dual;
+        mir::Program prog = mirmodels::buildAll(dual.mirSide.geo);
+        FlatAbsState abs(dual.mirSide);
+        mir::Interp interp(prog, &abs);
+        registerTrustedLayer(interp, dual.mirSide);
+
+        std::vector<i64> ids;
+        for (int step = 0; step < 40; ++step) {
+            switch (rng.below(3)) {
+              case 0: {
+                const u64 base = rng.below(8) * 0x10'0000;
+                const u64 pages = rng.below(4);
+                const u64 el_end = base + rng.below(6) * pageSize;
+                const u64 gva = rng.below(16) * 0x8'0000;
+                const u64 backing = rng.below(64) * pageSize;
+                auto out = interp.call(
+                    "hc_init", {uv(base), uv(el_end), uv(gva), uv(pages),
+                                uv(backing)}, 5'000'000);
+                const IntResult expect = specHcInit(
+                    dual.specSide, base, el_end, gva, pages, backing);
+                ASSERT_VALUE_AGREES(out, encodeIntResult(expect));
+                if (expect.isOk)
+                    ids.push_back(i64(expect.value));
+                break;
+              }
+              case 1: {
+                const i64 id = ids.empty() ? i64(rng.below(5))
+                                           : ids[rng.below(ids.size())];
+                const u64 gva = rng.below(64) * pageSize;
+                const u64 src = rng.below(80) * pageSize;
+                const i64 kind =
+                    rng.chance(1, 4) ? epcStateTcs : epcStateReg;
+                auto out = interp.call(
+                    "hc_add_page",
+                    {iv(id), uv(gva), uv(src), iv(kind)}, 5'000'000);
+                ASSERT_VALUE_AGREES(
+                    out, iv(specHcAddPage(dual.specSide, id, gva, src,
+                                          kind)));
+                break;
+              }
+              default: {
+                const i64 id = ids.empty() ? i64(rng.below(5))
+                                           : ids[rng.below(ids.size())];
+                auto out = interp.call("hc_init_finish", {iv(id)},
+                                       5'000'000);
+                ASSERT_VALUE_AGREES(
+                    out, iv(specHcInitFinish(dual.specSide, id)));
+              }
+            }
+            ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "")
+                << "diverged at step " << step;
+        }
+    }
+}
+
+} // namespace
+} // namespace hev::ccal

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the Sec. 4.4 coverage accounting: the report is complete
+ * and consistent with the layer registry, and every trusted function
+ * states why it is in the TCB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ccal/coverage.hh"
+#include "mirmodels/registry.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+TEST(CoverageTest, CountsAreConsistent)
+{
+    const CoverageReport report = currentCoverage();
+    u64 verified = 0, trusted = 0;
+    for (const FnCoverage &fn : report.functions) {
+        if (fn.status == FnStatus::Verified)
+            ++verified;
+        else
+            ++trusted;
+    }
+    EXPECT_EQ(verified, report.verified);
+    EXPECT_EQ(trusted, report.trusted);
+    EXPECT_GT(report.verified, report.trusted)
+        << "most of the modeled surface should be verified";
+    EXPECT_GT(report.verifiedShare(), 0.5);
+    EXPECT_LT(report.verifiedShare(), 1.0)
+        << "a nonempty trusted layer is part of the methodology";
+}
+
+TEST(CoverageTest, EveryRegistryFunctionIsCovered)
+{
+    const CoverageReport report = currentCoverage();
+    std::set<std::string> covered;
+    for (const FnCoverage &fn : report.functions)
+        EXPECT_TRUE(covered.insert(fn.name).second)
+            << "duplicate coverage row for " << fn.name;
+    for (int layer = 2; layer <= mirmodels::layerCount; ++layer) {
+        for (const std::string &name : mirmodels::layerFunctions(layer)) {
+            EXPECT_TRUE(covered.count(name))
+                << name << " missing from the coverage report";
+        }
+    }
+}
+
+TEST(CoverageTest, VerifiedFunctionsMatchRegistryLayers)
+{
+    const CoverageReport report = currentCoverage();
+    for (const FnCoverage &fn : report.functions) {
+        if (fn.status == FnStatus::Verified) {
+            EXPECT_EQ(fn.layer, mirmodels::layerOf(fn.name))
+                << fn.name << " listed under the wrong layer";
+            EXPECT_TRUE(fn.reason.empty());
+        } else {
+            EXPECT_EQ(fn.layer, 1) << "trusted functions live in L1";
+            EXPECT_FALSE(fn.reason.empty())
+                << fn.name << " is trusted without a stated reason";
+        }
+    }
+}
+
+TEST(CoverageTest, RenderMentionsEveryFunction)
+{
+    const CoverageReport report = currentCoverage();
+    const std::string rendered = renderCoverage(report);
+    for (const FnCoverage &fn : report.functions)
+        EXPECT_NE(rendered.find(fn.name), std::string::npos);
+    EXPECT_NE(rendered.find("verified"), std::string::npos);
+    EXPECT_NE(rendered.find("TRUSTED"), std::string::npos);
+}
+
+} // namespace
+} // namespace hev::ccal

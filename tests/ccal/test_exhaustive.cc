@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Exhaustive small-scope conformance: over a deliberately tiny domain
+ * (a handful of VAs spanning all four paging levels, two frame
+ * targets, three operations), enumerate EVERY operation sequence up to
+ * a fixed depth and check MIR-vs-spec agreement after every step.
+ *
+ * This is the closest executable analogue to a proof's universal
+ * quantifier: within the scope, nothing is sampled — everything runs.
+ * Small-scope exhaustiveness plus the randomized large-scope sweeps in
+ * test_conformance_*.cc together form the evidence base.
+ */
+
+#include <gtest/gtest.h>
+
+#include "conformance_util.hh"
+
+#include "mirmodels/common.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+using mir::Value;
+
+/** The exhaustive domain. */
+constexpr u64 vaDomain[] = {
+    0x0,                      // first slot everywhere
+    0x1000,                   // same leaf table
+    1ull << 21,               // new L1 table
+    1ull << 30,               // new L2 subtree
+    (1ull << 39) | 0x1000,    // new L3 subtree
+    0x8,                      // misaligned
+};
+constexpr u64 paDomain[] = {0x5000, 0x6000};
+
+/** op encoding: 0..1 map with paDomain[op], 2 unmap, 3 query. */
+constexpr int opCount = 4;
+
+struct Op
+{
+    int kind;
+    u64 va;
+};
+
+/** Apply one op to both sides and compare. */
+void
+applyAndCompare(LayerHarness &harness, DualState &dual, u64 root,
+                const Op &op, const std::string &context)
+{
+    auto iv = [](i64 x) { return Value::intVal(x); };
+    if (op.kind <= 1) {
+        const u64 pa = paDomain[op.kind];
+        auto out = harness.run("pt_map", {iv(i64(root)), iv(i64(op.va)),
+                                          iv(i64(pa)),
+                                          iv(i64(pteRwFlags))});
+        const i64 rc =
+            specPtMap(dual.specSide, root, op.va, pa, pteRwFlags);
+        ASSERT_TRUE(out.ok()) << context << ": " << out.trap().message;
+        ASSERT_EQ(out->asInt(), rc) << context;
+    } else if (op.kind == 2) {
+        auto out = harness.run("pt_unmap", {iv(i64(root)),
+                                            iv(i64(op.va))});
+        const i64 rc = specPtUnmap(dual.specSide, root, op.va);
+        ASSERT_TRUE(out.ok()) << context << ": " << out.trap().message;
+        ASSERT_EQ(out->asInt(), rc) << context;
+    } else {
+        auto out = harness.run("pt_query", {iv(i64(root)),
+                                            iv(i64(op.va))});
+        const Value expect =
+            encodeQueryResult(specPtQuery(dual.specSide, root, op.va));
+        ASSERT_TRUE(out.ok()) << context << ": " << out.trap().message;
+        ASSERT_EQ(*out, expect) << context;
+    }
+    ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "") << context;
+}
+
+/**
+ * Layer 9/10/8 stacked into one program so sequences can interleave
+ * map/unmap/query.  Lower layers (2-7) resolve to specs as usual.
+ */
+class StackedHarness
+{
+  public:
+    explicit StackedHarness(FlatState &state)
+        : program(buildStack(state.geo)), absState(state)
+    {
+        interp = std::make_unique<mir::Interp>(program, &absState);
+        registerTrustedLayer(*interp, state);
+        registerSpecPrimitives(*interp, state, 8);
+    }
+
+    mir::Outcome<Value>
+    run(const std::string &fn, std::vector<Value> args)
+    {
+        return interp->call(fn, std::move(args), 2'000'000);
+    }
+
+  private:
+    static mir::Program
+    buildStack(const Geometry &geo)
+    {
+        mir::Program prog;
+        mirmodels::addLayer08(prog, geo);
+        mirmodels::addLayer09(prog, geo);
+        mirmodels::addLayer10(prog, geo);
+        return prog;
+    }
+
+    mir::Program program;
+    FlatAbsState absState;
+    std::unique_ptr<mir::Interp> interp;
+};
+
+TEST(ExhaustiveTest, AllDepth2SequencesOverTheFullDomain)
+{
+    const u64 va_count = std::size(vaDomain);
+    const u64 total = va_count * opCount;
+    // Every ordered pair of (op, va) steps: (6*4)^2 = 576 sequences.
+    for (u64 first = 0; first < total; ++first) {
+        for (u64 second = 0; second < total; ++second) {
+            DualState dual;
+            u64 root = 0;
+            dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+            StackedHarness harness(dual.mirSide);
+
+            const Op ops[2] = {
+                {int(first % opCount), vaDomain[first / opCount]},
+                {int(second % opCount), vaDomain[second / opCount]},
+            };
+            for (int step = 0; step < 2; ++step) {
+                const Op &op = ops[step];
+                auto iv = [](i64 x) { return Value::intVal(x); };
+                std::string context =
+                    "seq(" + std::to_string(first) + "," +
+                    std::to_string(second) + ") step " +
+                    std::to_string(step);
+                if (op.kind <= 1) {
+                    const u64 pa = paDomain[op.kind];
+                    auto out = harness.run(
+                        "pt_map", {iv(i64(root)), iv(i64(op.va)),
+                                   iv(i64(pa)), iv(i64(pteRwFlags))});
+                    const i64 rc = specPtMap(dual.specSide, root, op.va,
+                                             pa, pteRwFlags);
+                    ASSERT_TRUE(out.ok()) << context;
+                    ASSERT_EQ(out->asInt(), rc) << context;
+                } else if (op.kind == 2) {
+                    auto out = harness.run(
+                        "pt_unmap", {iv(i64(root)), iv(i64(op.va))});
+                    ASSERT_TRUE(out.ok()) << context;
+                    ASSERT_EQ(out->asInt(),
+                              specPtUnmap(dual.specSide, root, op.va))
+                        << context;
+                } else {
+                    auto out = harness.run(
+                        "pt_query", {iv(i64(root)), iv(i64(op.va))});
+                    ASSERT_TRUE(out.ok()) << context;
+                    ASSERT_EQ(*out,
+                              encodeQueryResult(specPtQuery(
+                                  dual.specSide, root, op.va)))
+                        << context;
+                }
+                ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "")
+                    << context;
+            }
+        }
+    }
+}
+
+TEST(ExhaustiveTest, Depth3SequencesOnOneSharedState)
+{
+    // Depth-3 interleavings executed on ONE evolving state per layer
+    // harness (cross-sequence interactions: leftovers of sequence k
+    // are the starting state of k+1).  13824 steps total.
+    DualState dual;
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+    LayerHarness map_harness(9, dual.mirSide);
+    LayerHarness unmap_harness(10, dual.mirSide);
+    LayerHarness query_harness(8, dual.mirSide);
+
+    const u64 va_count = std::size(vaDomain);
+    const u64 total = va_count * opCount;
+    for (u64 a = 0; a < total; ++a) {
+        for (u64 b = 0; b < total; ++b) {
+            const Op ops[2] = {
+                {int(a % opCount), vaDomain[a / opCount]},
+                {int(b % opCount), vaDomain[b / opCount]},
+            };
+            for (const Op &op : ops) {
+                LayerHarness &harness = op.kind <= 1 ? map_harness
+                                        : op.kind == 2 ? unmap_harness
+                                                       : query_harness;
+                applyAndCompare(harness, dual, root, op,
+                                "chain(" + std::to_string(a) + "," +
+                                    std::to_string(b) + ")");
+                if (::testing::Test::HasFatalFailure())
+                    return;
+            }
+        }
+    }
+}
+
+TEST(ExhaustiveTest, EveryVaIndexLevelPairMatches)
+{
+    // Full cross product of the index extractor: every level times a
+    // boundary-heavy VA set.
+    DualState dual;
+    LayerHarness harness(4, dual.mirSide);
+    const u64 vas[] = {
+        0,          1,          0xfff,       0x1000,
+        0x1ff000,   0x200000,   0x3fffffff,  0x40000000,
+        0x7fffffffff, 0x8000000000, (1ull << 47) - 1, 1ull << 47,
+    };
+    for (const u64 va : vas) {
+        for (i64 level = 1; level <= 4; ++level) {
+            auto out = harness.run("va_index",
+                                   {Value::intVal(i64(va)),
+                                    Value::intVal(level)});
+            ASSERT_TRUE(out.ok());
+            ASSERT_EQ(u64(out->asInt()), specVaIndex(va, level))
+                << "va " << va << " level " << level;
+        }
+    }
+}
+
+} // namespace
+} // namespace hev::ccal

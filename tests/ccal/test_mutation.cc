@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Mutation suite: the conformance checker must have teeth.
+ *
+ * The paper asks whether verifying the real code (instead of just
+ * writing a model) "improve[s] confidence" and answers with the 2022
+ * shallow-copy bug its refinement proof would have caught (Sec. 4.1).
+ * The executable analogue of that claim: planting realistic bugs into
+ * the MIR models must make the conformance checks fail.  Each test
+ * here builds a buggy variant of a layer function and asserts that the
+ * checker REPORTS a divergence (wrong result or wrong post-state).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccal/checker.hh"
+#include "mirlight/builder.hh"
+#include "mirlight/interp.hh"
+#include "mirmodels/registry.hh"
+#include "support/rng.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+using mir::BinOp;
+using mir::BlockId;
+using mir::FunctionBuilder;
+using mir::MirPlace;
+using mir::Operand;
+using mir::Value;
+using mir::VarId;
+
+Operand
+c(i64 v)
+{
+    return Operand::constInt(v);
+}
+
+Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+MirPlace
+p(VarId var)
+{
+    return MirPlace::of(var);
+}
+
+/**
+ * Run a conformance sweep of `function` using the mutant program
+ * instead of the stock layer-9/10 model.
+ *
+ * @return true iff some case diverges from the spec (bug detected).
+ */
+bool
+sweepDetects(const mir::Program &mutant, const std::string &function,
+             int arg_count)
+{
+    Rng rng(99);
+    for (int round = 0; round < 30; ++round) {
+        FlatState mir_side, spec_side;
+        const u64 root = makeRoot(mir_side);
+        (void)makeRoot(spec_side);
+        Rng pop(round);
+        randomPopulate(mir_side, root, pop, 8, 6);
+        pop.reseed(round);
+        randomPopulate(spec_side, root, pop, 8, 6);
+
+        FlatAbsState abs(mir_side);
+        mir::Interp interp(mutant, &abs);
+        registerTrustedLayer(interp, mir_side);
+        registerSpecPrimitives(interp, mir_side, 15);
+
+        for (int step = 0; step < 15; ++step) {
+            u64 va = randomVa(rng, 6);
+            if (rng.chance(1, 4))
+                va |= 0x8; // misaligned case, rejected by the spec
+            const u64 pa = rng.below(64) * pageSize;
+            std::vector<Value> args{Value::intVal(i64(root)),
+                                    Value::intVal(i64(va))};
+            i64 spec_rc;
+            if (arg_count == 4) {
+                args.push_back(Value::intVal(i64(pa)));
+                args.push_back(Value::intVal(i64(pteRwFlags)));
+                spec_rc =
+                    specPtMap(spec_side, root, va, pa, pteRwFlags);
+            } else {
+                spec_rc = specPtUnmap(spec_side, root, va);
+            }
+            auto out = interp.call(function, std::move(args));
+            if (!out.ok())
+                return true; // stuck execution: detected
+            if (out->asInt() != spec_rc)
+                return true; // wrong result: detected
+            if (diffStates(mir_side, spec_side) != "")
+                return true; // wrong effect: detected
+        }
+    }
+    return false;
+}
+
+/** pt_map variant that forgets the already-mapped check. */
+mir::Program
+mutantMapNoPresentCheck()
+{
+    FunctionBuilder fb("pt_map", 4);
+    const VarId cond = fb.newVar();
+    const VarId r = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId leaf = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId fl = fb.newVar();
+    const VarId ne = fb.newVar();
+    const VarId ignore = fb.newVar();
+    const BlockId va_ok = fb.newBlock();
+    const BlockId pa_ok = fb.newBlock();
+    const BlockId flags_ok = fb.newBlock();
+    const BlockId have_r = fb.newBlock();
+    const BlockId walk_ok = fb.newBlock();
+    const BlockId walk_err = fb.newBlock();
+    const BlockId have_idx = fb.newBlock();
+    const BlockId have_ne = fb.newBlock();
+    const BlockId written = fb.newBlock();
+    const BlockId err_align = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(2), c(4095)))
+        .switchInt(v(cond), {{0, va_ok}}, err_align);
+    fb.atBlock(va_ok)
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(3), c(4095)))
+        .switchInt(v(cond), {{0, pa_ok}}, err_align);
+    fb.atBlock(pa_ok)
+        .assign(p(cond), mir::bin(BinOp::BitAnd, v(4), c(1)))
+        .switchInt(v(cond), {{0, err_invalid}}, flags_ok);
+    fb.atBlock(flags_ok)
+        .callFn("walk_to_leaf", {v(1), v(2), c(1)}, p(r), have_r);
+    fb.atBlock(have_r)
+        .assign(p(d), mir::discriminantOf(p(r)))
+        .switchInt(v(d), {{0, walk_ok}}, walk_err);
+    fb.atBlock(walk_err)
+        .assign(MirPlace::of(0),
+                mir::use(Operand::copy(p(r).field(0))))
+        .ret();
+    // BUG: no entry_read / pte_present check — silently overwrites.
+    fb.atBlock(walk_ok)
+        .assign(p(leaf), mir::use(Operand::copy(p(r).field(0))))
+        .callFn("va_index", {v(2), c(1)}, p(idx), have_idx);
+    fb.atBlock(have_idx)
+        .assign(p(fl), mir::bin(BinOp::BitAnd, v(4), c(~i64(128))))
+        .callFn("pte_make", {v(3), v(fl)}, p(ne), have_ne);
+    fb.atBlock(have_ne)
+        .callFn("entry_write", {v(leaf), v(idx), v(ne)}, p(ignore),
+                written);
+    fb.atBlock(written)
+        .assign(MirPlace::of(0), mir::use(c(0)))
+        .ret();
+    fb.atBlock(err_align)
+        .assign(MirPlace::of(0), mir::use(c(errNotAligned)))
+        .ret();
+    fb.atBlock(err_invalid)
+        .assign(MirPlace::of(0), mir::use(c(errInvalidParam)))
+        .ret();
+    mir::Program prog;
+    prog.add(fb.build());
+    return prog;
+}
+
+TEST(MutationTest, MapWithoutPresentCheckIsCaught)
+{
+    EXPECT_TRUE(sweepDetects(mutantMapNoPresentCheck(), "pt_map", 4))
+        << "a pt_map that silently overwrites mappings passed the "
+           "conformance sweep";
+}
+
+/** Generic mutator: take the stock model and patch one thing. */
+mir::Program
+stockLayer(int layer)
+{
+    return mirmodels::buildLayer(layer, Geometry{});
+}
+
+TEST(MutationTest, MapMissingAlignmentCheckIsCaught)
+{
+    mir::Program prog = stockLayer(9);
+    mir::Function &fn = prog.functions.at("pt_map");
+    // Block 0 performs the va-alignment check; short it out by making
+    // its switch always take the success path.
+    auto *sw = std::get_if<mir::Terminator::SwitchInt>(
+        &fn.blocks[0].terminator.repr);
+    ASSERT_NE(sw, nullptr);
+    sw->otherwise = sw->cases[0].second;
+    EXPECT_TRUE(sweepDetects(prog, "pt_map", 4))
+        << "a pt_map accepting unaligned VAs passed the sweep";
+}
+
+TEST(MutationTest, MapWrongFlagMaskIsCaught)
+{
+    mir::Program prog = stockLayer(9);
+    mir::Function &fn = prog.functions.at("pt_map");
+    // Find the statement computing flags & ~huge and corrupt the mask
+    // so the huge bit leaks into installed leaf entries.
+    bool patched = false;
+    for (auto &block : fn.blocks) {
+        for (auto &stmt : block.statements) {
+            auto *assign =
+                std::get_if<mir::Statement::Assign>(&stmt.repr);
+            if (!assign)
+                continue;
+            auto *binary =
+                std::get_if<mir::Rvalue::Binary>(&assign->rvalue.repr);
+            if (!binary || binary->op != BinOp::BitAnd)
+                continue;
+            if (binary->rhs.kind == Operand::Kind::Constant &&
+                binary->rhs.constant.isInt() &&
+                u64(binary->rhs.constant.asInt()) ==
+                    ~u64(pteFlagHuge)) {
+                binary->rhs = Operand::constInt(~i64(0));
+                patched = true;
+            }
+        }
+    }
+    ASSERT_TRUE(patched) << "could not find the mask to mutate";
+
+    // This mutant only diverges when the caller passes the huge bit;
+    // drive it directly.
+    FlatState mir_side, spec_side;
+    const u64 root = makeRoot(mir_side);
+    (void)makeRoot(spec_side);
+    FlatAbsState abs(mir_side);
+    mir::Interp interp(prog, &abs);
+    registerTrustedLayer(interp, mir_side);
+    registerSpecPrimitives(interp, mir_side, 15);
+    auto out = interp.call(
+        "pt_map",
+        {Value::intVal(i64(root)), Value::intVal(0x1000),
+         Value::intVal(0x5000),
+         Value::intVal(i64(pteRwFlags | pteFlagHuge))});
+    const i64 rc = specPtMap(spec_side, root, 0x1000, 0x5000,
+                             pteRwFlags | pteFlagHuge);
+    ASSERT_TRUE(out.ok());
+    const bool detected =
+        out->asInt() != rc || diffStates(mir_side, spec_side) != "";
+    EXPECT_TRUE(detected)
+        << "a pt_map leaking the huge bit passed the check";
+}
+
+TEST(MutationTest, UnmapWritingWrongValueIsCaught)
+{
+    mir::Program prog = stockLayer(10);
+    mir::Function &fn = prog.functions.at("pt_unmap");
+    // The clear writes entry 0; make it write 2 (present=0 but dirty
+    // bits left behind) — a state-effect-only bug.
+    bool patched = false;
+    for (auto &block : fn.blocks) {
+        auto *call =
+            std::get_if<mir::Terminator::Call>(&block.terminator.repr);
+        if (!call || call->callee != "entry_write")
+            continue;
+        if (call->args.size() == 3 &&
+            call->args[2].kind == Operand::Kind::Constant &&
+            call->args[2].constant.isInt() &&
+            call->args[2].constant.asInt() == 0) {
+            call->args[2] = Operand::constInt(2);
+            patched = true;
+        }
+    }
+    ASSERT_TRUE(patched);
+    EXPECT_TRUE(sweepDetects(prog, "pt_unmap", 2))
+        << "a pt_unmap leaving debris in the entry passed the sweep";
+}
+
+TEST(MutationTest, QueryOffByOneLevelIsCaught)
+{
+    mir::Program prog = stockLayer(8);
+    mir::Function &fn = prog.functions.at("pt_query");
+    // Start the walk at level 3 instead of 4.
+    bool patched = false;
+    for (auto &stmt : fn.blocks[0].statements) {
+        auto *assign = std::get_if<mir::Statement::Assign>(&stmt.repr);
+        if (!assign)
+            continue;
+        auto *use_rv = std::get_if<mir::Rvalue::Use>(&assign->rvalue.repr);
+        if (!use_rv ||
+            use_rv->operand.kind != Operand::Kind::Constant ||
+            !use_rv->operand.constant.isInt())
+            continue;
+        if (use_rv->operand.constant.asInt() == pagingLevels) {
+            use_rv->operand = Operand::constInt(pagingLevels - 1);
+            patched = true;
+        }
+    }
+    ASSERT_TRUE(patched);
+
+    // Detect via result comparison on a populated table.
+    Rng rng(5);
+    FlatState mir_side;
+    const u64 root = makeRoot(mir_side);
+    randomPopulate(mir_side, root, rng, 12, 6);
+    FlatState spec_side = mir_side;
+    FlatAbsState abs(mir_side);
+    mir::Interp interp(prog, &abs);
+    registerTrustedLayer(interp, mir_side);
+    registerSpecPrimitives(interp, mir_side, 15);
+    bool detected = false;
+    for (int probe = 0; probe < 200 && !detected; ++probe) {
+        const u64 va = randomVa(rng, 6);
+        auto out = interp.call("pt_query", {Value::intVal(i64(root)),
+                                            Value::intVal(i64(va))});
+        const Value expect =
+            encodeQueryResult(specPtQuery(spec_side, root, va));
+        detected = !out.ok() || !(*out == expect);
+    }
+    EXPECT_TRUE(detected)
+        << "a pt_query walking from the wrong level passed the sweep";
+}
+
+TEST(MutationTest, StockModelsStillPassTheSameSweeps)
+{
+    // Sanity for the suite itself: the unmutated models must pass the
+    // exact sweeps used above.
+    EXPECT_FALSE(sweepDetects(stockLayer(9), "pt_map", 4));
+    EXPECT_FALSE(sweepDetects(stockLayer(10), "pt_unmap", 2));
+}
+
+} // namespace
+} // namespace hev::ccal

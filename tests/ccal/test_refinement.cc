@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Refinement-proof analogues between the flat (low) and tree (high)
+ * specifications of page tables (paper Sec. 4.1/4.3).
+ *
+ * Checked statements:
+ *  - Simulation of map: if the flat map succeeds from a state S with
+ *    lift T = lift(S), then the tree map succeeds on T and the updated
+ *    tree still satisfies R against the updated flat state.
+ *  - Simulation of unmap, likewise.
+ *  - Logic errors (alignment, invalid flags, already-mapped, not-
+ *    mapped) agree exactly between the two levels; only resource
+ *    exhaustion (errOutOfMemory) is a flat-only behavior, and in that
+ *    case the *mappings* (observable translations) are unchanged.
+ *  - Query agreement: every VA translates identically at both levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccal/checker.hh"
+#include "ccal/tree_state.hh"
+#include "support/rng.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+
+/** Probe VAs covering the generator's whole distribution. */
+std::vector<u64>
+probeSet()
+{
+    std::vector<u64> vas;
+    for (u64 i4 = 0; i4 < 2; ++i4) {
+        for (u64 i3 = 0; i3 < 2; ++i3) {
+            for (u64 i2 = 0; i2 < 2; ++i2) {
+                for (u64 i1 = 0; i1 < 16; ++i1) {
+                    vas.push_back((i4 << 39) | (i3 << 30) | (i2 << 21) |
+                                  (i1 << 12));
+                }
+            }
+        }
+    }
+    return vas;
+}
+
+class RefinementProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(RefinementProperty, MapUnmapSimulation)
+{
+    Geometry geo;
+    geo.frameCount = 48;
+    FlatState flat(geo);
+    const u64 root = makeRoot(flat);
+    TreeState tree = treeFromFlat(flat, root);
+    Rng rng(GetParam());
+    const std::vector<u64> probes = probeSet();
+
+    for (int step = 0; step < 600; ++step) {
+        u64 va = randomVa(rng, 12);
+        if (rng.chance(1, 10))
+            va |= 0x4; // misaligned case
+        if (rng.chance(1, 2)) {
+            const u64 pa = rng.below(256) * pageSize;
+            u64 flags = pteFlagP | (rng.next() & 0xe6);
+            if (rng.chance(1, 10))
+                flags &= ~u64(pteFlagP); // invalid-flags case
+            const i64 flat_rc = specPtMap(flat, root, va, pa, flags);
+            TreeState before = tree.clone();
+            const i64 tree_rc = treeMap(tree, va, pa, flags);
+            if (flat_rc == errOutOfMemory) {
+                // Flat-only failure: the tree op may have succeeded,
+                // but the flat MAPPINGS must be unchanged; re-sync the
+                // tree to the (unchanged) translations.
+                for (u64 probe : probes) {
+                    ASSERT_EQ(specPtQuery(flat, root, probe),
+                              treeQuery(before, probe))
+                        << "OOM changed a translation";
+                }
+                tree = treeFromFlat(flat, root);
+            } else {
+                ASSERT_EQ(flat_rc, tree_rc)
+                    << "map result mismatch at va " << va;
+            }
+        } else {
+            const i64 flat_rc = specPtUnmap(flat, root, va);
+            const i64 tree_rc = treeUnmap(tree, va);
+            ASSERT_EQ(flat_rc, tree_rc)
+                << "unmap result mismatch at va " << va;
+        }
+
+        // R is preserved (up to observational equivalence after OOM
+        // re-sync, where it holds by construction).
+        ASSERT_TRUE(refinesFlat(tree, flat, root))
+            << "R broken at step " << step;
+
+        // Spot-check query agreement.
+        for (int probe = 0; probe < 8; ++probe) {
+            const u64 pva =
+                probes[rng.below(probes.size())] | (rng.below(2) * 8);
+            ASSERT_EQ(specPtQuery(flat, root, pva), treeQuery(tree, pva));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(RefinementTest, LiftAfterOperationsEqualsOperatedLift)
+{
+    // Commutation: lift(flat after op) == (lift(flat) after op) when
+    // the op succeeds — checked structurally, not just observationally.
+    Geometry geo;
+    FlatState flat(geo);
+    const u64 root = makeRoot(flat);
+    TreeState tree = treeFromFlat(flat, root);
+
+    const struct
+    {
+        u64 va, pa;
+    } ops[] = {
+        {0x1000, 0x5000},
+        {0x2000, 0x6000},
+        {(1ull << 30) | 0x1000, 0x7000},
+        {(1ull << 39), 0x8000},
+    };
+    for (const auto &op : ops) {
+        ASSERT_EQ(specPtMap(flat, root, op.va, op.pa, pteRwFlags), 0);
+        ASSERT_EQ(treeMap(tree, op.va, op.pa, pteRwFlags), 0);
+        ASSERT_TRUE(treesEqual(tree, treeFromFlat(flat, root)));
+    }
+    ASSERT_EQ(specPtUnmap(flat, root, 0x1000), 0);
+    ASSERT_EQ(treeUnmap(tree, 0x1000), 0);
+    // After unmap the flat side keeps an empty leaf slot; the lift
+    // omits non-present entries, so equality still holds structurally
+    // for entries (empty tables remain as intermediate nodes on both
+    // sides: the tree keeps its child node, the lift rebuilds it).
+    EXPECT_TRUE(treesEqual(tree, treeFromFlat(flat, root)));
+}
+
+TEST(RefinementTest, TheShallowCopyStateIsUnliftable)
+{
+    // The 2022 bug's essence (paper Sec. 4.1): an enclave page table
+    // seeded by copying L4 entries that point OUTSIDE the monitor's
+    // frame area cannot satisfy R — the refinement proof would fail on
+    // the initial state.  Model: plant an L4 entry whose target is not
+    // a frame-area table and show the relation rejects any tree whose
+    // entry set pretends it is fine.
+    Geometry geo;
+    FlatState flat(geo);
+    const u64 root = makeRoot(flat);
+    ASSERT_EQ(specPtMap(flat, root, 0x1000, 0x5000, pteRwFlags), 0);
+    TreeState good = treeFromFlat(flat, root);
+    ASSERT_TRUE(refinesFlat(good, flat, root));
+
+    // Attacker-style shallow copy: L4 slot 7 points at guest memory
+    // (outside the frame area).  The *flat* state can hold such bits,
+    // but no tree built by the high spec relates to it: building the
+    // lift would read outside the frame area, which the well-formed
+    // state discipline (and in Coq, the proof obligation on R) rules
+    // out.  Check the guard: the entry is visibly out of area.
+    const u64 guest_table = 0x4000; // normal memory
+    specEntryWrite(flat, root, 7,
+                   specPteMake(guest_table, pteLinkFlags));
+    const u64 planted = specEntryRead(flat, root, 7);
+    EXPECT_TRUE(specPtePresent(planted));
+    EXPECT_FALSE(geo.inFrameArea(specPteAddr(planted)))
+        << "the planted entry must escape the frame area";
+    // The tree that ignores the planted entry no longer relates.
+    EXPECT_FALSE(refinesFlat(good, flat, root));
+}
+
+TEST(RefinementTest, QueryAgreementExhaustiveSmallTable)
+{
+    // Exhaustive over a full leaf table: map all 512 slots of one L1
+    // table, then compare every VA in the covered 2 MiB region.
+    Geometry geo;
+    geo.frameCount = 8;
+    FlatState flat(geo);
+    const u64 root = makeRoot(flat);
+    for (u64 i = 0; i < entriesPerTable; ++i) {
+        ASSERT_EQ(specPtMap(flat, root, i * pageSize,
+                            (i + 1) * pageSize, pteRwFlags), 0);
+    }
+    const TreeState tree = treeFromFlat(flat, root);
+    ASSERT_TRUE(refinesFlat(tree, flat, root));
+    for (u64 i = 0; i < entriesPerTable; ++i) {
+        const u64 va = i * pageSize + (i % 512) * 8;
+        const QueryResult flat_q = specPtQuery(flat, root, va);
+        ASSERT_TRUE(flat_q.isSome);
+        ASSERT_EQ(flat_q, treeQuery(tree, va));
+        ASSERT_EQ(flat_q.physAddr, (i + 1) * pageSize + (i % 512) * 8);
+    }
+    // One past the covered region misses identically.
+    ASSERT_EQ(specPtQuery(flat, root, entriesPerTable * pageSize),
+              treeQuery(tree, entriesPerTable * pageSize));
+}
+
+} // namespace
+} // namespace hev::ccal

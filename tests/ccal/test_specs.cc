@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit and property tests for the flat functional specifications: the
+ * map/unmap/query algebra, allocator behavior, EPCM, and hypercall
+ * validation — the statements the code proofs rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ccal/checker.hh"
+#include "ccal/specs.hh"
+#include "support/rng.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+
+TEST(SpecFrameAllocTest, FirstFitAndZeroed)
+{
+    FlatState s;
+    s.writeWord(s.geo.frameBase + 8, 0x11); // dirty the first frame
+    const u64 a = specFrameAlloc(s);
+    EXPECT_EQ(a, s.geo.frameBase);
+    EXPECT_EQ(s.readWord(a + 8), 0ull) << "frame not zeroed";
+    const u64 b = specFrameAlloc(s);
+    EXPECT_EQ(b, s.geo.frameBase + pageSize);
+}
+
+TEST(SpecFrameAllocTest, ExhaustionReturnsZero)
+{
+    FlatState s;
+    for (u64 i = 0; i < s.geo.frameCount; ++i)
+        EXPECT_NE(specFrameAlloc(s), 0ull);
+    EXPECT_EQ(specFrameAlloc(s), 0ull);
+}
+
+TEST(SpecFrameFreeTest, Validation)
+{
+    FlatState s;
+    const u64 frame = specFrameAlloc(s);
+    EXPECT_EQ(specFrameFree(s, frame + 1), errInvalidParam);
+    EXPECT_EQ(specFrameFree(s, 0x1000), errInvalidParam);
+    EXPECT_EQ(specFrameFree(s, frame), 0);
+    EXPECT_EQ(specFrameFree(s, frame), errInvalidParam) << "double free";
+}
+
+TEST(SpecPteTest, PackUnpack)
+{
+    const u64 e = specPteMake(0x1234'5000, pteFlagP | pteFlagW);
+    EXPECT_EQ(specPteAddr(e), 0x1234'5000ull);
+    EXPECT_TRUE(specPtePresent(e));
+    EXPECT_TRUE(specPteWritable(e));
+    EXPECT_FALSE(specPteHuge(e));
+    EXPECT_EQ(specPteFlags(e), pteFlagP | pteFlagW);
+    // Junk in the flags argument cannot leak into the address field.
+    const u64 junk = specPteMake(0x1000, ~0ull);
+    EXPECT_EQ(specPteAddr(junk), 0x1000ull);
+}
+
+TEST(SpecVaIndexTest, Decomposition)
+{
+    const u64 va = (5ull << 39) | (17ull << 30) | (300ull << 21) |
+                   (511ull << 12) | 0x123;
+    EXPECT_EQ(specVaIndex(va, 4), 5ull);
+    EXPECT_EQ(specVaIndex(va, 3), 17ull);
+    EXPECT_EQ(specVaIndex(va, 2), 300ull);
+    EXPECT_EQ(specVaIndex(va, 1), 511ull);
+}
+
+TEST(SpecMapTest, MapThenQuery)
+{
+    FlatState s;
+    const u64 root = makeRoot(s);
+    ASSERT_EQ(specPtMap(s, root, 0x40'0000, 0x7000, pteRwFlags), 0);
+    const QueryResult q = specPtQuery(s, root, 0x40'0abc);
+    ASSERT_TRUE(q.isSome);
+    EXPECT_EQ(q.physAddr, 0x7abcull);
+    EXPECT_EQ(q.flags, pteRwFlags);
+}
+
+TEST(SpecMapTest, ValidationErrors)
+{
+    FlatState s;
+    const u64 root = makeRoot(s);
+    EXPECT_EQ(specPtMap(s, root, 0x123, 0x1000, pteRwFlags),
+              errNotAligned);
+    EXPECT_EQ(specPtMap(s, root, 0x1000, 0x123, pteRwFlags),
+              errNotAligned);
+    EXPECT_EQ(specPtMap(s, root, 0x1000, 0x1000, pteFlagW),
+              errInvalidParam) << "non-present flags";
+    ASSERT_EQ(specPtMap(s, root, 0x1000, 0x1000, pteRwFlags), 0);
+    EXPECT_EQ(specPtMap(s, root, 0x1000, 0x2000, pteRwFlags),
+              errAlreadyMapped);
+}
+
+TEST(SpecMapTest, OutOfFramesDuringWalk)
+{
+    Geometry tiny;
+    tiny.frameCount = 2; // root + one intermediate
+    FlatState s(tiny);
+    const u64 root = makeRoot(s);
+    EXPECT_EQ(specPtMap(s, root, 0x1000, 0x1000, pteRwFlags),
+              errOutOfMemory);
+}
+
+TEST(SpecUnmapTest, RoundTrip)
+{
+    FlatState s;
+    const u64 root = makeRoot(s);
+    EXPECT_EQ(specPtUnmap(s, root, 0x1000), errNotMapped);
+    ASSERT_EQ(specPtMap(s, root, 0x1000, 0x5000, pteRwFlags), 0);
+    EXPECT_EQ(specPtUnmap(s, root, 0x1001), errNotAligned);
+    EXPECT_EQ(specPtUnmap(s, root, 0x1000), 0);
+    EXPECT_FALSE(specPtQuery(s, root, 0x1000).isSome);
+    EXPECT_EQ(specPtUnmap(s, root, 0x1000), errNotMapped);
+}
+
+TEST(SpecAsTest, HandlesAreCapabilities)
+{
+    FlatState s;
+    const IntResult h = specAsCreate(s);
+    ASSERT_TRUE(h.isOk);
+    EXPECT_EQ(specAsMap(s, i64(h.value), 0x1000, 0x5000, pteRwFlags), 0);
+    EXPECT_TRUE(specAsQuery(s, i64(h.value), 0x1000).isSome);
+    // A handle nobody issued maps nothing.
+    EXPECT_EQ(specAsMap(s, 999, 0x2000, 0x5000, pteRwFlags),
+              errForeignHandle);
+    EXPECT_FALSE(specAsQuery(s, 999, 0x1000).isSome);
+    EXPECT_EQ(specAsUnmap(s, 999, 0x1000), errForeignHandle);
+}
+
+TEST(SpecEpcmTest, AllocationAndValidation)
+{
+    FlatState s;
+    const IntResult page = specEpcmAlloc(s, 1, 0x7000, epcStateReg);
+    ASSERT_TRUE(page.isOk);
+    EXPECT_EQ(page.value, s.geo.epcBase);
+    EXPECT_EQ(s.epcm[0].owner, 1);
+    EXPECT_EQ(s.epcm[0].linAddr, 0x7000ull);
+
+    EXPECT_FALSE(specEpcmAlloc(s, 0, 0, epcStateReg).isOk);
+    EXPECT_FALSE(specEpcmAlloc(s, 1, 0, epcStateFree).isOk);
+    EXPECT_FALSE(specEpcmAlloc(s, 1, 0, 17).isOk);
+
+    EXPECT_EQ(specEpcmFree(s, page.value), 0);
+    EXPECT_EQ(specEpcmFree(s, page.value), errInvalidParam);
+    EXPECT_EQ(specEpcmFree(s, 0x1000), errInvalidParam);
+}
+
+TEST(SpecEpcmTest, Exhaustion)
+{
+    FlatState s;
+    for (u64 i = 0; i < s.geo.epcCount; ++i)
+        ASSERT_TRUE(specEpcmAlloc(s, 1, i * pageSize, epcStateReg).isOk);
+    EXPECT_EQ(specEpcmAlloc(s, 1, 0, epcStateReg).errCode, errOutOfEpc);
+}
+
+TEST(SpecHcInitTest, HappyPathEstablishesMappings)
+{
+    FlatState s;
+    const IntResult id =
+        specHcInit(s, 0x10'0000, 0x14'0000, 0x20'0000, 2, 0x8000);
+    ASSERT_TRUE(id.isOk) << "err " << id.errCode;
+    const AbsEnclave &enclave = s.enclaves.at(i64(id.value));
+    // The mbuf is reachable through GPT then EPT.
+    const QueryResult q =
+        specMemTranslate(s, enclave.gptHandle, enclave.eptHandle,
+                         0x20'0000, true);
+    ASSERT_TRUE(q.isSome);
+    EXPECT_EQ(q.physAddr, 0x8000ull);
+    const QueryResult q2 =
+        specMemTranslate(s, enclave.gptHandle, enclave.eptHandle,
+                         0x20'1008, false);
+    ASSERT_TRUE(q2.isSome);
+    EXPECT_EQ(q2.physAddr, 0x9008ull);
+}
+
+TEST(SpecHcInitTest, RejectsBadGeometry)
+{
+    FlatState s;
+    // Empty ELRANGE.
+    EXPECT_EQ(specHcInit(s, 0x1000, 0x1000, 0x9000, 1, 0x8000).errCode,
+              errInvalidParam);
+    // Unaligned ELRANGE.
+    EXPECT_EQ(specHcInit(s, 0x1234, 0x9000, 0xa000, 1, 0x8000).errCode,
+              errInvalidParam);
+    // Zero-page mbuf.
+    EXPECT_EQ(specHcInit(s, 0x1000, 0x9000, 0xa000, 0, 0x8000).errCode,
+              errInvalidParam);
+    // Mbuf overlapping the ELRANGE.
+    EXPECT_EQ(specHcInit(s, 0x1000, 0x9000, 0x8000, 2, 0x8000).errCode,
+              errIsolation);
+    // Backing outside normal memory (in the frame area).
+    EXPECT_EQ(specHcInit(s, 0x1000, 0x9000, 0xa000, 1,
+                         s.geo.frameBase).errCode,
+              errIsolation);
+    EXPECT_TRUE(s.enclaves.empty());
+}
+
+TEST(SpecHcAddPageTest, LifecycleAndIsolation)
+{
+    FlatState s;
+    const IntResult id =
+        specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+    ASSERT_TRUE(id.isOk);
+    const i64 e = i64(id.value);
+
+    EXPECT_EQ(specHcAddPage(s, 99, 0x10'0000, 0x4000, epcStateReg),
+              errNoSuchEnclave);
+    EXPECT_EQ(specHcAddPage(s, e, 0x10'0100, 0x4000, epcStateReg),
+              errNotAligned);
+    EXPECT_EQ(specHcAddPage(s, e, 0x20'0000, 0x4000, epcStateReg),
+              errIsolation) << "page outside the ELRANGE";
+    EXPECT_EQ(specHcAddPage(s, e, 0x10'0000, s.geo.epcBase, epcStateReg),
+              errIsolation) << "source in secure memory";
+
+    ASSERT_EQ(specHcAddPage(s, e, 0x10'0000, 0x4000, epcStateReg), 0);
+    EXPECT_EQ(specHcAddPage(s, e, 0x10'0000, 0x4000, epcStateReg),
+              errAlreadyMapped);
+    ASSERT_EQ(specHcAddPage(s, e, 0x10'1000, 0x5000, epcStateTcs), 0);
+
+    // The page is translated into the EPC and recorded in the EPCM.
+    const AbsEnclave &enclave = s.enclaves.at(e);
+    const QueryResult q = specMemTranslate(
+        s, enclave.gptHandle, enclave.eptHandle, 0x10'0000, true);
+    ASSERT_TRUE(q.isSome);
+    EXPECT_TRUE(s.geo.inEpc(q.physAddr));
+    const u64 idx = (q.physAddr - s.geo.epcBase) / pageSize;
+    EXPECT_EQ(s.epcm[idx].owner, e);
+    EXPECT_EQ(s.epcm[idx].linAddr, 0x10'0000ull);
+    EXPECT_EQ(s.pageContents.at(q.physAddr), 0x4000ull);
+
+    // Finish; adds now rejected.
+    EXPECT_EQ(specHcInitFinish(s, e), 0);
+    EXPECT_EQ(specHcAddPage(s, e, 0x10'2000, 0x4000, epcStateReg),
+              errBadState);
+    EXPECT_EQ(specHcInitFinish(s, e), errBadState);
+}
+
+TEST(SpecHcInitFinishTest, RequiresTcs)
+{
+    FlatState s;
+    const IntResult id =
+        specHcInit(s, 0x10'0000, 0x13'0000, 0x20'0000, 1, 0x8000);
+    ASSERT_TRUE(id.isOk);
+    EXPECT_EQ(specHcInitFinish(s, i64(id.value)), errInvalidParam);
+    ASSERT_EQ(specHcAddPage(s, i64(id.value), 0x10'0000, 0x4000,
+                            epcStateTcs), 0);
+    EXPECT_EQ(specHcInitFinish(s, i64(id.value)), 0);
+}
+
+TEST(SpecMemTranslateTest, WritePermissionEnforcedAtBothStages)
+{
+    FlatState s;
+    const IntResult gpt = specAsCreate(s);
+    const IntResult ept = specAsCreate(s);
+    ASSERT_TRUE(gpt.isOk && ept.isOk);
+    // GPT read-only, EPT writable.
+    ASSERT_EQ(specAsMap(s, i64(gpt.value), 0x1000, 0x2000,
+                        pteFlagP | pteFlagU), 0);
+    ASSERT_EQ(specAsMap(s, i64(ept.value), 0x2000, 0x3000, pteRwFlags),
+              0);
+    EXPECT_TRUE(specMemTranslate(s, i64(gpt.value), i64(ept.value),
+                                 0x1000, false).isSome);
+    EXPECT_FALSE(specMemTranslate(s, i64(gpt.value), i64(ept.value),
+                                  0x1000, true).isSome);
+    // Second stage missing.
+    ASSERT_EQ(specAsMap(s, i64(gpt.value), 0x5000, 0x9000, pteRwFlags),
+              0);
+    EXPECT_FALSE(specMemTranslate(s, i64(gpt.value), i64(ept.value),
+                                  0x5000, false).isSome);
+}
+
+/** Property: the spec page table agrees with a shadow map model. */
+class SpecShadowProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(SpecShadowProperty, MapUnmapQueryAgainstShadow)
+{
+    Geometry geo;
+    geo.frameCount = 128;
+    FlatState s(geo);
+    const u64 root = makeRoot(s);
+    Rng rng(GetParam());
+    std::map<u64, std::pair<u64, u64>> shadow; // va -> (pa, flags)
+
+    for (int step = 0; step < 2000; ++step) {
+        const u64 va = randomVa(rng, 8);
+        switch (rng.below(3)) {
+          case 0: {
+            const u64 pa = rng.below(512) * pageSize;
+            const u64 flags =
+                pteFlagP | (rng.chance(1, 2) ? pteFlagW : 0);
+            const i64 rc = specPtMap(s, root, va, pa, flags);
+            if (shadow.count(va)) {
+                ASSERT_EQ(rc, errAlreadyMapped);
+            } else if (rc == 0) {
+                shadow[va] = {pa, flags};
+            } else {
+                ASSERT_EQ(rc, errOutOfMemory);
+            }
+            break;
+          }
+          case 1: {
+            const i64 rc = specPtUnmap(s, root, va);
+            ASSERT_EQ(rc == 0, shadow.erase(va) == 1);
+            break;
+          }
+          default: {
+            const QueryResult q = specPtQuery(s, root, va);
+            auto it = shadow.find(va);
+            if (it == shadow.end()) {
+                ASSERT_FALSE(q.isSome);
+            } else {
+                ASSERT_TRUE(q.isSome);
+                ASSERT_EQ(q.physAddr, it->second.first);
+                ASSERT_EQ(q.flags, it->second.second);
+            }
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecShadowProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace hev::ccal

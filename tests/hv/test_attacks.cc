@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Adversarial integration tests: every capability the paper's threat
+ * model grants the malicious primary OS (Sec. 2.2) is exercised against
+ * the monitor, including the historical shallow-copy vulnerability
+ * (Sec. 4.1), which must be exploitable with the bug enabled and
+ * impossible with the fixed monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/machine.hh"
+#include "support/rng.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+MonitorConfig
+smallConfig(bool bug = false)
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    cfg.shallowCopyBug = bug;
+    return cfg;
+}
+
+TEST(AttackTest, MappingAttackOnSecureMemoryFaults)
+{
+    Machine machine(smallConfig());
+    PrimaryOs &os = machine.os();
+    Monitor &mon = machine.monitor();
+
+    // The OS points a GPT leaf straight at the EPC.
+    auto root = os.createPageTable();
+    ASSERT_TRUE(root.ok());
+    const u64 epc_base = mon.config().layout.epcRange().start.value;
+    // gptMap would happily write the entry (the OS owns its tables)...
+    ASSERT_TRUE(os.gptMap(*root, 0x5000'0000, Gpa(epc_base),
+                          PteFlags::userRw()).ok());
+    ASSERT_TRUE(mon.guestSetGptRoot(machine.vcpu(),
+                                    Hpa(root->value)).ok());
+    // ...but the EPT stage rejects the access.
+    EXPECT_FALSE(machine.memLoad(Gva(0x5000'0000)).ok());
+    EXPECT_FALSE(machine.memStore(Gva(0x5000'0000), 0x41).ok());
+}
+
+TEST(AttackTest, GptTablePlantedInSecureMemoryFaults)
+{
+    // A GPT *intermediate* entry pointing into secure memory must also
+    // fault, because stage-1 table accesses are EPT-translated.
+    Machine machine(smallConfig());
+    PrimaryOs &os = machine.os();
+    Monitor &mon = machine.monitor();
+
+    auto root = os.createPageTable();
+    ASSERT_TRUE(root.ok());
+    const u64 secure = mon.config().layout.secureBase();
+    ASSERT_TRUE(os.writePtEntryRaw(
+        *root, 0, Pte::make(secure, PteFlags::tableLink()).raw()).ok());
+    ASSERT_TRUE(mon.guestSetGptRoot(machine.vcpu(),
+                                    Hpa(root->value)).ok());
+    EXPECT_FALSE(machine.memLoad(Gva(0x1000)).ok());
+}
+
+TEST(AttackTest, DmaCannotTouchEpcOrPageTables)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x41);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    // Find one of the enclave's EPC pages and DMA at it.
+    Hpa victim{};
+    mon.epcm().forEachUsed([&](Hpa page, const EpcmEntry &entry) {
+        if (entry.owner == enclave->id && victim.value == 0)
+            victim = page;
+    });
+    ASSERT_NE(victim.value, 0ull);
+    EXPECT_FALSE(mon.mem().dmaRead(victim).ok());
+    EXPECT_FALSE(mon.mem().dmaWrite(victim, 0x41).ok());
+
+    // Page-table frames are equally unreachable.
+    const Hpa pt_frame = mon.config().layout.ptAreaRange().start;
+    EXPECT_FALSE(mon.mem().dmaWrite(pt_frame, 0x41).ok());
+}
+
+TEST(AttackTest, EnclaveMemoryUnreachableFromAllGuestVas)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x42);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    // Sweep the normal VM's EPT: no guest-physical address reaches the
+    // secure region, hence no guest VA can either.
+    const PageTable ept(mon.mem(), nullptr, mon.normalEptRoot());
+    ept.forEachMapping([&](u64, Pte entry, int level) {
+        const u64 span = 1ull << (pageShift + 9 * (level - 1));
+        const HpaRange target{Hpa(entry.addr()),
+                              Hpa(entry.addr() + span)};
+        EXPECT_FALSE(target.overlaps(mon.config().layout.secureRange()))
+            << "normal EPT maps into the secure region";
+    });
+}
+
+TEST(AttackTest, HypercallFuzzNeverBreaksEptIsolation)
+{
+    Machine machine(smallConfig());
+    Monitor &mon = machine.monitor();
+    PrimaryOs &os = machine.os();
+    Rng rng(0xf022);
+
+    auto check_isolation = [&] {
+        const PageTable ept(mon.mem(), nullptr, mon.normalEptRoot());
+        ept.forEachMapping([&](u64, Pte entry, int level) {
+            const u64 span = 1ull << (pageShift + 9 * (level - 1));
+            const HpaRange target{Hpa(entry.addr()),
+                                  Hpa(entry.addr() + span)};
+            ASSERT_FALSE(
+                target.overlaps(mon.config().layout.secureRange()));
+        });
+    };
+
+    std::vector<EnclaveId> created;
+    for (int step = 0; step < 300; ++step) {
+        switch (rng.below(6)) {
+          case 0: {
+            EnclaveConfig cfg;
+            const u64 base = rng.below(64) * 0x10'0000;
+            cfg.elrange = {Gva(base),
+                           Gva(base + rng.below(8) * pageSize)};
+            cfg.mbufGva = Gva(rng.below(128) * 0x10'0000);
+            cfg.mbufPages = rng.below(3);
+            cfg.mbufBacking = Gpa(rng.below(8192) * pageSize);
+            auto id = mon.hcEnclaveInit(cfg);
+            if (id.ok())
+                created.push_back(*id);
+            break;
+          }
+          case 1: {
+            const EnclaveId id = created.empty()
+                ? EnclaveId(rng.below(10))
+                : created[rng.below(created.size())];
+            (void)mon.hcEnclaveAddPage(
+                id, Gva(rng.below(1024) * pageSize),
+                Gpa(rng.below(8192) * pageSize), AddPageKind::Reg);
+            break;
+          }
+          case 2: {
+            const EnclaveId id = created.empty()
+                ? EnclaveId(rng.below(10))
+                : created[rng.below(created.size())];
+            (void)mon.hcEnclaveInitFinish(id);
+            break;
+          }
+          case 3: {
+            const EnclaveId id = created.empty()
+                ? EnclaveId(rng.below(10))
+                : created[rng.below(created.size())];
+            if (mon.hcEnclaveEnter(id, machine.vcpu()).ok())
+                (void)mon.hcEnclaveExit(machine.vcpu());
+            break;
+          }
+          case 4: {
+            const EnclaveId id = created.empty()
+                ? EnclaveId(rng.below(10))
+                : created[rng.below(created.size())];
+            (void)mon.hcEnclaveRemove(id);
+            break;
+          }
+          default: {
+            // Random guest memory pokes.
+            (void)os.physWrite(Gpa(rng.below(4096) * 8), rng.next());
+            break;
+          }
+        }
+    }
+    check_isolation();
+    SUCCEED();
+}
+
+/**
+ * The 2022 shallow-copy bug, reproduced end to end.
+ *
+ * The attacker pre-builds a page-table skeleton in its own memory,
+ * makes it the active GPT, and creates an enclave.  The buggy monitor
+ * seeds the enclave GPT from the attacker's level-4 entries, so the
+ * enclave's stage-1 translations flow through attacker-owned tables.
+ * After initialization the attacker rewrites a leaf in place and
+ * redirects the enclave's private VA onto the (attacker-writable)
+ * marshalling buffer window — breaking integrity.
+ */
+class ShallowCopyAttack
+{
+  public:
+    /** Run the attack; returns true iff the enclave was subverted. */
+    static bool
+    run(Machine &machine)
+    {
+        PrimaryOs &os = machine.os();
+        Monitor &mon = machine.monitor();
+        const u64 elrange_base = 0x10'0000;
+
+        // Attacker skeleton: intermediate tables for the ELRANGE VA,
+        // with the leaf left empty for the monitor to fill.
+        auto root = os.createPageTable();
+        if (!root)
+            return false;
+        auto scratch = os.allocPage();
+        if (!scratch)
+            return false;
+        if (!os.gptMap(*root, elrange_base, *scratch,
+                       PteFlags::userRw()).ok())
+            return false;
+        if (!os.gptUnmap(*root, elrange_base).ok())
+            return false;
+        if (!mon.guestSetGptRoot(machine.vcpu(), Hpa(root->value)).ok())
+            return false;
+
+        auto enclave = machine.setupEnclave(elrange_base, 1, 1, 0x5ec);
+        if (!enclave)
+            return false;
+
+        // Locate the leaf entry by walking the attacker's own tables.
+        Gpa table = *root;
+        for (int level = pagingLevels; level > 1; --level) {
+            auto raw = os.physRead(
+                table + Gva(elrange_base).tableIndex(level) * 8);
+            if (!raw || !Pte(*raw).present())
+                return false; // fixed monitor: fresh tables, not ours
+            table = Gpa(Pte(*raw).addr());
+        }
+        const u64 leaf_off = Gva(elrange_base).tableIndex(1) * 8;
+        auto leaf = os.physRead(table + leaf_off);
+        if (!leaf || !Pte(*leaf).present())
+            return false;
+
+        // Redirect the enclave's private page onto the mbuf GPA window
+        // and plant a marker in the mbuf backing.
+        const Pte forged = Pte::make(enclaveMbufGpaBase,
+                                     PteFlags::userRw());
+        if (!os.physWrite(table + leaf_off, forged.raw()).ok())
+            return false;
+        if (!machine.mbufWrite(*enclave, 0, 0xa77ac4).ok())
+            return false;
+
+        // Enter the enclave and read its "private" page.
+        if (!mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok())
+            return false;
+        auto secret = machine.memLoad(Gva(elrange_base));
+        (void)mon.hcEnclaveExit(machine.vcpu());
+        if (!secret)
+            return false;
+        // Subverted iff the enclave read the attacker's marker instead
+        // of its own measured content (0x5ec).
+        return *secret == 0xa77ac4;
+    }
+};
+
+TEST(AttackTest, ShallowCopyBugIsExploitable)
+{
+    Machine machine(smallConfig(true));
+    EXPECT_TRUE(ShallowCopyAttack::run(machine))
+        << "the planted bug is no longer exploitable; the reproduction "
+           "of the paper's Sec 4.1 anecdote is broken";
+}
+
+TEST(AttackTest, FixedMonitorDefeatsShallowCopyAttack)
+{
+    Machine machine(smallConfig(false));
+    EXPECT_FALSE(ShallowCopyAttack::run(machine))
+        << "the fixed monitor was subverted by the shallow-copy attack";
+}
+
+} // namespace
+} // namespace hev::hv

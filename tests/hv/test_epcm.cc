@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the Enclave Page Cache Map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hv/epcm.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+class EpcmTest : public ::testing::Test
+{
+  protected:
+    EpcmTest() : epcm({Hpa(0x10'0000), Hpa(0x10'0000 + 8 * pageSize)}) {}
+
+    Epcm epcm;
+};
+
+TEST_F(EpcmTest, FreshMapIsAllFree)
+{
+    EXPECT_EQ(epcm.freePages(), 8ull);
+    EXPECT_EQ(epcm.totalPages(), 8ull);
+    u64 visited = 0;
+    epcm.forEachUsed([&](Hpa, const EpcmEntry &) { ++visited; });
+    EXPECT_EQ(visited, 0ull);
+}
+
+TEST_F(EpcmTest, AllocRecordsMetadata)
+{
+    auto page = epcm.allocPage(3, Gva(0x7000), EpcPageState::Reg);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(epcm.isEpc(*page));
+    const EpcmEntry &entry = epcm.entryFor(*page);
+    EXPECT_EQ(entry.state, EpcPageState::Reg);
+    EXPECT_EQ(entry.owner, 3u);
+    EXPECT_EQ(entry.linAddr, Gva(0x7000));
+    EXPECT_EQ(epcm.freePages(), 7ull);
+}
+
+TEST_F(EpcmTest, AllocRejectsBadArgs)
+{
+    EXPECT_FALSE(epcm.allocPage(invalidEnclave, Gva(0),
+                                EpcPageState::Reg).ok());
+    EXPECT_FALSE(epcm.allocPage(1, Gva(0), EpcPageState::Free).ok());
+}
+
+TEST_F(EpcmTest, ExhaustionReturnsOutOfEpc)
+{
+    for (u64 i = 0; i < 8; ++i)
+        ASSERT_TRUE(epcm.allocPage(1, Gva(i * pageSize),
+                                   EpcPageState::Reg).ok());
+    auto extra = epcm.allocPage(1, Gva(0), EpcPageState::Reg);
+    EXPECT_EQ(extra.error(), HvError::OutOfEpc);
+}
+
+TEST_F(EpcmTest, PagesAreDistinct)
+{
+    std::set<u64> seen;
+    for (u64 i = 0; i < 8; ++i) {
+        auto page = epcm.allocPage(1, Gva(0), EpcPageState::Reg);
+        ASSERT_TRUE(page.ok());
+        EXPECT_TRUE(seen.insert(page->value).second);
+    }
+}
+
+TEST_F(EpcmTest, FreeThenRealloc)
+{
+    auto page = epcm.allocPage(1, Gva(0x1000), EpcPageState::Reg);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(epcm.freePage(*page).ok());
+    EXPECT_EQ(epcm.entryFor(*page).state, EpcPageState::Free);
+    EXPECT_EQ(epcm.freePages(), 8ull);
+}
+
+TEST_F(EpcmTest, DoubleFreeRejected)
+{
+    auto page = epcm.allocPage(1, Gva(0), EpcPageState::Reg);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(epcm.freePage(*page).ok());
+    EXPECT_EQ(epcm.freePage(*page).error(), HvError::EpcmConflict);
+}
+
+TEST_F(EpcmTest, FreeOutsideEpcRejected)
+{
+    EXPECT_EQ(epcm.freePage(Hpa(0x1000)).error(), HvError::InvalidParam);
+}
+
+TEST_F(EpcmTest, ForEachUsedSeesExactlyAllocated)
+{
+    auto a = epcm.allocPage(1, Gva(0x1000), EpcPageState::Reg);
+    auto b = epcm.allocPage(2, Gva(0x2000), EpcPageState::Tcs);
+    ASSERT_TRUE(a.ok() && b.ok());
+    std::set<u64> seen;
+    epcm.forEachUsed([&](Hpa page, const EpcmEntry &entry) {
+        seen.insert(page.value);
+        if (page == *a) {
+            EXPECT_EQ(entry.owner, 1u);
+            EXPECT_EQ(entry.state, EpcPageState::Reg);
+        } else {
+            EXPECT_EQ(entry.owner, 2u);
+            EXPECT_EQ(entry.state, EpcPageState::Tcs);
+        }
+    });
+    EXPECT_EQ(seen, (std::set<u64>{a->value, b->value}));
+}
+
+TEST_F(EpcmTest, StateNamesDistinct)
+{
+    EXPECT_STRNE(epcPageStateName(EpcPageState::Free),
+                 epcPageStateName(EpcPageState::Reg));
+    EXPECT_STRNE(epcPageStateName(EpcPageState::Reg),
+                 epcPageStateName(EpcPageState::Tcs));
+}
+
+} // namespace
+} // namespace hev::hv

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit and property tests for the secure frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hv/frame_alloc.hh"
+#include "hv/phys_mem.hh"
+#include "support/rng.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+class FrameAllocTest : public ::testing::Test
+{
+  protected:
+    FrameAllocTest()
+        : mem(layout()), alloc(mem, mem.layout().ptAreaRange())
+    {}
+
+    static MemLayout
+    layout()
+    {
+        MemLayout l;
+        l.totalBytes = 4 * 1024 * 1024;
+        l.ptAreaBytes = 64 * 1024; // 16 frames
+        l.epcBytes = 1024 * 1024;
+        return l;
+    }
+
+    PhysMem mem;
+    FrameAllocator alloc;
+};
+
+TEST_F(FrameAllocTest, FramesAreInAreaAndZeroed)
+{
+    auto frame = alloc.alloc();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(alloc.inArea(*frame));
+    EXPECT_TRUE(frame->pageAligned());
+    for (u64 off = 0; off < pageSize; off += 8)
+        ASSERT_EQ(mem.read(*frame + off), 0ull);
+}
+
+TEST_F(FrameAllocTest, AllFramesDistinct)
+{
+    std::set<u64> seen;
+    for (u64 i = 0; i < alloc.totalFrames(); ++i) {
+        auto frame = alloc.alloc();
+        ASSERT_TRUE(frame.ok());
+        EXPECT_TRUE(seen.insert(frame->value).second)
+            << "duplicate frame " << frame->value;
+    }
+    EXPECT_EQ(alloc.usedFrames(), alloc.totalFrames());
+}
+
+TEST_F(FrameAllocTest, ExhaustionReturnsOutOfMemory)
+{
+    for (u64 i = 0; i < alloc.totalFrames(); ++i)
+        ASSERT_TRUE(alloc.alloc().ok());
+    auto extra = alloc.alloc();
+    EXPECT_FALSE(extra.ok());
+    EXPECT_EQ(extra.error(), HvError::OutOfMemory);
+}
+
+TEST_F(FrameAllocTest, FreeAllowsReuse)
+{
+    auto a = alloc.alloc();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(alloc.free(*a).ok());
+    EXPECT_EQ(alloc.usedFrames(), 0ull);
+    // Exhaust: the freed frame must come back eventually.
+    std::set<u64> seen;
+    for (u64 i = 0; i < alloc.totalFrames(); ++i) {
+        auto frame = alloc.alloc();
+        ASSERT_TRUE(frame.ok());
+        seen.insert(frame->value);
+    }
+    EXPECT_TRUE(seen.count(a->value));
+}
+
+TEST_F(FrameAllocTest, DoubleFreeRejected)
+{
+    auto a = alloc.alloc();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(alloc.free(*a).ok());
+    EXPECT_FALSE(alloc.free(*a).ok());
+}
+
+TEST_F(FrameAllocTest, FreeForeignAddressRejected)
+{
+    EXPECT_FALSE(alloc.free(Hpa(0x1000)).ok()); // normal memory
+    EXPECT_FALSE(alloc.free(alloc.area().start + 12).ok()); // unaligned
+}
+
+TEST_F(FrameAllocTest, AllocatedPredicate)
+{
+    auto a = alloc.alloc();
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(alloc.allocated(*a));
+    ASSERT_TRUE(alloc.free(*a).ok());
+    EXPECT_FALSE(alloc.allocated(*a));
+    EXPECT_FALSE(alloc.allocated(Hpa(0x1000)));
+}
+
+TEST_F(FrameAllocTest, ReallocatedFrameIsRezeroed)
+{
+    auto a = alloc.alloc();
+    ASSERT_TRUE(a.ok());
+    mem.write(*a, 0x41414141ull);
+    ASSERT_TRUE(alloc.free(*a).ok());
+    // Re-allocate every frame; each must come back zeroed.
+    for (u64 i = 0; i < alloc.totalFrames(); ++i) {
+        auto frame = alloc.alloc();
+        ASSERT_TRUE(frame.ok());
+        ASSERT_EQ(mem.read(*frame), 0ull);
+    }
+}
+
+/** Property: random alloc/free interleavings keep the usage count true. */
+class FrameAllocProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FrameAllocProperty, RandomInterleavings)
+{
+    MemLayout l;
+    l.totalBytes = 4 * 1024 * 1024;
+    l.ptAreaBytes = 128 * 1024;
+    l.epcBytes = 512 * 1024;
+    PhysMem mem(l);
+    FrameAllocator alloc(mem, l.ptAreaRange());
+    Rng rng(GetParam());
+
+    std::vector<Hpa> live;
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.chance(3, 5)) {
+            auto frame = alloc.alloc();
+            if (frame.ok()) {
+                for (Hpa f : live)
+                    ASSERT_NE(f.value, frame->value) << "double allocation";
+                live.push_back(*frame);
+            } else {
+                ASSERT_EQ(live.size(), alloc.totalFrames());
+            }
+        } else {
+            const u64 at = rng.below(live.size());
+            ASSERT_TRUE(alloc.free(live[at]).ok());
+            live.erase(live.begin() + at);
+        }
+        ASSERT_EQ(alloc.usedFrames(), live.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameAllocProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace
+} // namespace hev::hv

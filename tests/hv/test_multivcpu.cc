@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-vCPU lifecycle tests: the single-TCS activity guard and
+ * teardown-while-running protection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/machine.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+MonitorConfig
+smallConfig()
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+VCpu
+secondVcpu(const Machine &machine)
+{
+    VCpu vcpu;
+    vcpu.mode = CpuMode::GuestNormal;
+    vcpu.domain = normalVmDomain;
+    vcpu.gptRoot = Hpa(machine.kernelGptRoot().value);
+    vcpu.eptRoot = machine.monitor().normalEptRoot();
+    return vcpu;
+}
+
+TEST(MultiVcpuTest, SecondVcpuCannotEnterABusyEnclave)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+    VCpu other = secondVcpu(machine);
+
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    EXPECT_EQ(mon.hcEnclaveEnter(enclave->id, other).error(),
+              HvError::BadEnclaveState)
+        << "two vCPUs entered a single-TCS enclave";
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+    // After the exit the other vCPU may enter.
+    EXPECT_TRUE(mon.hcEnclaveEnter(enclave->id, other).ok());
+    EXPECT_TRUE(mon.hcEnclaveExit(other).ok());
+}
+
+TEST(MultiVcpuTest, RemoveWhileRunningRejected)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    EXPECT_EQ(mon.hcEnclaveRemove(enclave->id).error(),
+              HvError::BadEnclaveState)
+        << "the monitor scrubbed pages under a running vCPU";
+    // The enclave still works.
+    EXPECT_TRUE(machine.memLoad(Gva(0x10'0000)).ok());
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+    EXPECT_TRUE(mon.hcEnclaveRemove(enclave->id).ok());
+}
+
+TEST(MultiVcpuTest, TwoVcpusInDifferentEnclavesConcurrently)
+{
+    Machine machine(smallConfig());
+    auto a = machine.setupEnclave(0x10'0000, 1, 1, 0xa);
+    auto b = machine.setupEnclave(0x30'0000, 1, 1, 0xb);
+    ASSERT_TRUE(a.ok() && b.ok());
+    Monitor &mon = machine.monitor();
+    VCpu other = secondVcpu(machine);
+
+    ASSERT_TRUE(mon.hcEnclaveEnter(a->id, machine.vcpu()).ok());
+    ASSERT_TRUE(mon.hcEnclaveEnter(b->id, other).ok());
+
+    // Each sees its own fill through its own translation.
+    auto hpa_a = mon.translate(machine.vcpu(), Gva(0x10'0000), false);
+    auto hpa_b = mon.translate(other, Gva(0x30'0000), false);
+    ASSERT_TRUE(hpa_a.ok() && hpa_b.ok());
+    EXPECT_NE(hpa_a->value, hpa_b->value);
+    EXPECT_EQ(mon.mem().read(*hpa_a), 0xaull);
+    EXPECT_EQ(mon.mem().read(*hpa_b), 0xbull);
+
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+    ASSERT_TRUE(mon.hcEnclaveExit(other).ok());
+}
+
+TEST(MultiVcpuTest, ContextsSurviveInterleavedEnterExit)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+    VCpu other = secondVcpu(machine);
+    other.regs.gpr[0] = 0x0712;
+    machine.vcpu().regs.gpr[0] = 0x0711;
+
+    // vCPU 0 computes inside, exits; vCPU 1 resumes the saved enclave
+    // context, mutates it, exits; vCPU 0 re-enters and sees vCPU 1's
+    // last state (single logical thread hopping vCPUs).
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    machine.vcpu().regs.gpr[1] = 0x100;
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+    EXPECT_EQ(machine.vcpu().regs.gpr[0], 0x0711ull);
+
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, other).ok());
+    EXPECT_EQ(other.regs.gpr[1], 0x100ull)
+        << "enclave context lost across vCPUs";
+    other.regs.gpr[1] = 0x200;
+    ASSERT_TRUE(mon.hcEnclaveExit(other).ok());
+    EXPECT_EQ(other.regs.gpr[0], 0x0712ull)
+        << "host context mixed up between vCPUs";
+
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    EXPECT_EQ(machine.vcpu().regs.gpr[1], 0x200ull);
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+}
+
+} // namespace
+} // namespace hev::hv

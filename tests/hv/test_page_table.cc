@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit and property tests for the 4-level page-table walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hv/page_table.hh"
+#include "hv/phys_mem.hh"
+#include "support/rng.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PageTableTest()
+        : mem(layout()), alloc(mem, mem.layout().ptAreaRange())
+    {}
+
+    static MemLayout
+    layout()
+    {
+        MemLayout l;
+        l.totalBytes = 16 * 1024 * 1024;
+        l.ptAreaBytes = 2 * 1024 * 1024;
+        l.epcBytes = 2 * 1024 * 1024;
+        return l;
+    }
+
+    PageTable
+    fresh()
+    {
+        auto pt = PageTable::create(mem, alloc);
+        EXPECT_TRUE(pt.ok());
+        return *pt;
+    }
+
+    PhysMem mem;
+    FrameAllocator alloc;
+};
+
+TEST_F(PageTableTest, EmptyTableTranslatesNothing)
+{
+    PageTable pt = fresh();
+    EXPECT_EQ(pt.query(0).error(), HvError::NotMapped);
+    EXPECT_EQ(pt.query(0x1234'5000).error(), HvError::NotMapped);
+    EXPECT_EQ(pt.tableFrameCount(), 1ull);
+}
+
+TEST_F(PageTableTest, MapThenQuery)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x40'0000, 0x1000, PteFlags::userRw()).ok());
+    auto tr = pt.query(0x40'0000);
+    ASSERT_TRUE(tr.ok());
+    EXPECT_EQ(tr->physAddr, 0x1000ull);
+    EXPECT_EQ(tr->level, 1);
+    EXPECT_TRUE(tr->flags.writable);
+}
+
+TEST_F(PageTableTest, QueryAppliesPageOffset)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x40'0000, 0x1000, PteFlags::userRw()).ok());
+    auto tr = pt.query(0x40'0abc);
+    ASSERT_TRUE(tr.ok());
+    EXPECT_EQ(tr->physAddr, 0x1abcull);
+}
+
+TEST_F(PageTableTest, UnalignedMapRejected)
+{
+    PageTable pt = fresh();
+    EXPECT_EQ(pt.map(0x123, 0x1000, PteFlags::userRw()).error(),
+              HvError::NotAligned);
+    EXPECT_EQ(pt.map(0x1000, 0x123, PteFlags::userRw()).error(),
+              HvError::NotAligned);
+}
+
+TEST_F(PageTableTest, NonPresentFlagsRejected)
+{
+    PageTable pt = fresh();
+    PteFlags flags; // present = false
+    EXPECT_EQ(pt.map(0x1000, 0x1000, flags).error(),
+              HvError::InvalidParam);
+}
+
+TEST_F(PageTableTest, DoubleMapRejected)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x1000, 0x2000, PteFlags::userRw()).ok());
+    EXPECT_EQ(pt.map(0x1000, 0x3000, PteFlags::userRw()).error(),
+              HvError::AlreadyMapped);
+    // Original mapping intact.
+    EXPECT_EQ(pt.query(0x1000)->physAddr, 0x2000ull);
+}
+
+TEST_F(PageTableTest, UnmapRemovesExactlyOneMapping)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x1000, 0x2000, PteFlags::userRw()).ok());
+    ASSERT_TRUE(pt.map(0x2000, 0x3000, PteFlags::userRw()).ok());
+    ASSERT_TRUE(pt.unmap(0x1000).ok());
+    EXPECT_EQ(pt.query(0x1000).error(), HvError::NotMapped);
+    EXPECT_EQ(pt.query(0x2000)->physAddr, 0x3000ull);
+}
+
+TEST_F(PageTableTest, UnmapMissRejected)
+{
+    PageTable pt = fresh();
+    EXPECT_EQ(pt.unmap(0x1000).error(), HvError::NotMapped);
+    ASSERT_TRUE(pt.map(0x1000, 0x2000, PteFlags::userRw()).ok());
+    ASSERT_TRUE(pt.unmap(0x1000).ok());
+    EXPECT_EQ(pt.unmap(0x1000).error(), HvError::NotMapped);
+}
+
+TEST_F(PageTableTest, DistantAddressesShareNoTables)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x0, 0x1000, PteFlags::userRw()).ok());
+    // A VA in a different L4 slot forces a full fresh subtree.
+    const u64 far_va = 1ull << 39;
+    ASSERT_TRUE(pt.map(far_va, 0x2000, PteFlags::userRw()).ok());
+    // root + 2 * (L3 + L2 + L1)
+    EXPECT_EQ(pt.tableFrameCount(), 7ull);
+    EXPECT_EQ(pt.query(0x0)->physAddr, 0x1000ull);
+    EXPECT_EQ(pt.query(far_va)->physAddr, 0x2000ull);
+}
+
+TEST_F(PageTableTest, HugeMapLevel2)
+{
+    PageTable pt = fresh();
+    const u64 two_mb = 2 * 1024 * 1024;
+    ASSERT_TRUE(pt.mapHuge(two_mb, 0, PteFlags::userRw(), 2).ok());
+    auto tr = pt.query(two_mb + 0x12345);
+    ASSERT_TRUE(tr.ok());
+    EXPECT_EQ(tr->level, 2);
+    EXPECT_EQ(tr->physAddr, 0x12345ull);
+    EXPECT_TRUE(tr->flags.huge);
+}
+
+TEST_F(PageTableTest, HugeMapLevel3)
+{
+    PageTable pt = fresh();
+    const u64 one_gb = 1ull << 30;
+    ASSERT_TRUE(pt.mapHuge(one_gb, one_gb, PteFlags::userRw(), 3).ok());
+    auto tr = pt.query(one_gb + 0xabcdef);
+    ASSERT_TRUE(tr.ok());
+    EXPECT_EQ(tr->level, 3);
+    EXPECT_EQ(tr->physAddr, (one_gb + 0xabcdef));
+}
+
+TEST_F(PageTableTest, HugeMapAlignmentEnforced)
+{
+    PageTable pt = fresh();
+    EXPECT_EQ(pt.mapHuge(0x1000, 0, PteFlags::userRw(), 2).error(),
+              HvError::NotAligned);
+    EXPECT_EQ(pt.mapHuge(0, 0x1000, PteFlags::userRw(), 2).error(),
+              HvError::NotAligned);
+    EXPECT_EQ(pt.mapHuge(0, 0, PteFlags::userRw(), 1).error(),
+              HvError::InvalidParam);
+    EXPECT_EQ(pt.mapHuge(0, 0, PteFlags::userRw(), 4).error(),
+              HvError::InvalidParam);
+}
+
+TEST_F(PageTableTest, MapUnderHugeRejected)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.mapHuge(0, 0, PteFlags::userRw(), 2).ok());
+    EXPECT_EQ(pt.map(0x1000, 0x5000, PteFlags::userRw()).error(),
+              HvError::AlreadyMapped);
+}
+
+TEST_F(PageTableTest, TranslatePermissionChecks)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x1000, 0x2000, PteFlags::userRo()).ok());
+    EXPECT_TRUE(pt.translate(0x1000, false, false).ok());
+    EXPECT_EQ(pt.translate(0x1000, true, false).error(),
+              HvError::PermissionDenied);
+}
+
+TEST_F(PageTableTest, TranslateIntersectsPathPermissions)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.map(0x1000, 0x2000, PteFlags::userRw()).ok());
+    // Clobber the L4 entry's writable bit: the path intersection must
+    // now deny writes even though the leaf allows them.
+    const Pte l4 = pt.entryAt(pt.root(), Gva(0x1000).tableIndex(4));
+    PteFlags stripped = l4.flags();
+    stripped.writable = false;
+    pt.setEntryAt(pt.root(), Gva(0x1000).tableIndex(4),
+                  Pte::make(l4.addr(), stripped));
+    EXPECT_TRUE(pt.translate(0x1000, false, false).ok());
+    EXPECT_EQ(pt.translate(0x1000, true, false).error(),
+              HvError::PermissionDenied);
+}
+
+TEST_F(PageTableTest, ForEachMappingVisitsAll)
+{
+    PageTable pt = fresh();
+    std::map<u64, u64> expect;
+    for (u64 i = 0; i < 20; ++i) {
+        const u64 va = 0x10'0000 + i * pageSize;
+        const u64 pa = 0x20'0000 + i * pageSize;
+        ASSERT_TRUE(pt.map(va, pa, PteFlags::userRw()).ok());
+        expect[va] = pa;
+    }
+    std::map<u64, u64> seen;
+    pt.forEachMapping([&](u64 va, Pte entry, int level) {
+        EXPECT_EQ(level, 1);
+        seen[va] = entry.addr();
+    });
+    EXPECT_EQ(seen, expect);
+}
+
+TEST_F(PageTableTest, ForEachMappingReportsHugeLevel)
+{
+    PageTable pt = fresh();
+    ASSERT_TRUE(pt.mapHuge(0, 0, PteFlags::userRw(), 2).ok());
+    ASSERT_TRUE(pt.map(0x40'0000, 0x1000, PteFlags::userRw()).ok());
+    std::map<u64, int> levels;
+    pt.forEachMapping([&](u64 va, Pte, int level) { levels[va] = level; });
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0], 2);
+    EXPECT_EQ(levels[0x40'0000], 1);
+}
+
+TEST_F(PageTableTest, DestroyReleasesAllTableFrames)
+{
+    const u64 before = alloc.usedFrames();
+    PageTable pt = fresh();
+    for (u64 i = 0; i < 50; ++i) {
+        ASSERT_TRUE(pt.map(i * (1ull << 21), 0x1000,
+                           PteFlags::userRw()).ok());
+    }
+    EXPECT_GT(alloc.usedFrames(), before);
+    ASSERT_TRUE(pt.destroy().ok());
+    EXPECT_EQ(alloc.usedFrames(), before);
+}
+
+TEST_F(PageTableTest, MaliciousTablePointerFaultsInsteadOfCrashing)
+{
+    PageTable pt = fresh();
+    // Craft an L4 entry pointing far outside physical memory.
+    const u64 bogus = bitMask(51, 40); // way beyond totalBytes
+    pt.setEntryAt(pt.root(), 0, Pte::make(bogus, PteFlags::tableLink()));
+    EXPECT_EQ(pt.query(0x1000).error(), HvError::NotMapped);
+    EXPECT_EQ(pt.translate(0x1000, false, false).error(),
+              HvError::NotMapped);
+}
+
+TEST_F(PageTableTest, OutOfFramesSurfacesAsError)
+{
+    // Tiny allocator: root plus one more frame.
+    MemLayout l = layout();
+    PhysMem small_mem(l);
+    FrameAllocator small_alloc(
+        small_mem, {l.ptAreaRange().start,
+                    l.ptAreaRange().start + 2 * pageSize});
+    auto pt = PageTable::create(small_mem, small_alloc);
+    ASSERT_TRUE(pt.ok());
+    // Mapping needs L3+L2+L1 = three more frames; only one is left.
+    EXPECT_EQ(pt->map(0x1000, 0x1000, PteFlags::userRw()).error(),
+              HvError::OutOfMemory);
+}
+
+/** Property: a page table agrees with a shadow std::map model. */
+class PageTableProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(PageTableProperty, AgreesWithShadowModel)
+{
+    MemLayout l;
+    l.totalBytes = 16 * 1024 * 1024;
+    l.ptAreaBytes = 4 * 1024 * 1024;
+    l.epcBytes = 2 * 1024 * 1024;
+    PhysMem mem(l);
+    FrameAllocator alloc(mem, l.ptAreaRange());
+    auto created = PageTable::create(mem, alloc);
+    ASSERT_TRUE(created.ok());
+    PageTable pt = *created;
+
+    Rng rng(GetParam());
+    std::map<u64, u64> shadow;
+    // Confine VAs to a few L4 slots so collisions actually happen.
+    auto random_va = [&] {
+        return (rng.below(4) << 39) | (rng.below(16) << 12) << 9 |
+               (rng.below(8) << 12);
+    };
+
+    for (int step = 0; step < 1500; ++step) {
+        const u64 va = random_va() & ~(pageSize - 1);
+        const u64 pa = rng.below(1024) * pageSize;
+        switch (rng.below(3)) {
+          case 0: { // map
+            auto st = pt.map(va, pa, PteFlags::userRw());
+            if (shadow.count(va)) {
+                ASSERT_FALSE(st.ok());
+            } else if (st.ok()) {
+                shadow[va] = pa;
+            }
+            break;
+          }
+          case 1: { // unmap
+            auto st = pt.unmap(va);
+            ASSERT_EQ(st.ok(), shadow.erase(va) == 1);
+            break;
+          }
+          default: { // query
+            auto tr = pt.query(va);
+            auto it = shadow.find(va);
+            if (it == shadow.end()) {
+                ASSERT_FALSE(tr.ok());
+            } else {
+                ASSERT_TRUE(tr.ok());
+                ASSERT_EQ(tr->physAddr, it->second);
+            }
+          }
+        }
+    }
+
+    // Final sweep: forEachMapping matches the shadow exactly.
+    std::map<u64, u64> seen;
+    pt.forEachMapping([&](u64 va, Pte entry, int) {
+        seen[va] = entry.addr();
+    });
+    EXPECT_EQ(seen, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+} // namespace
+} // namespace hev::hv

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit and property tests for page-table entry packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/pte.hh"
+#include "support/rng.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+TEST(PteTest, EmptyEntryIsNotPresent)
+{
+    EXPECT_FALSE(Pte::empty().present());
+    EXPECT_EQ(Pte::empty().raw(), 0ull);
+    EXPECT_EQ(Pte::empty().addr(), 0ull);
+}
+
+TEST(PteTest, MakeSetsAddressAndFlags)
+{
+    const Pte pte = Pte::make(0x1234'5000, PteFlags::userRw());
+    EXPECT_EQ(pte.addr(), 0x1234'5000ull);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_TRUE(pte.user());
+    EXPECT_FALSE(pte.huge());
+    EXPECT_FALSE(pte.noExec());
+}
+
+TEST(PteTest, ReadOnlyFlags)
+{
+    const Pte pte = Pte::make(0x8000, PteFlags::userRo());
+    EXPECT_TRUE(pte.present());
+    EXPECT_FALSE(pte.writable());
+}
+
+TEST(PteTest, FlagRoundTrip)
+{
+    PteFlags flags;
+    flags.present = true;
+    flags.writable = false;
+    flags.user = true;
+    flags.accessed = true;
+    flags.dirty = false;
+    flags.huge = true;
+    flags.noExec = true;
+    const Pte pte = Pte::make(0x7f'ffff'f000, flags);
+    EXPECT_EQ(pte.flags(), flags);
+    EXPECT_EQ(pte.addr(), 0x7f'ffff'f000ull);
+}
+
+TEST(PteTest, WithAccessedAndDirty)
+{
+    const Pte pte = Pte::make(0x2000, PteFlags::userRw());
+    EXPECT_FALSE(pte.accessed());
+    const Pte accessed = pte.withAccessed();
+    EXPECT_TRUE(accessed.accessed());
+    EXPECT_EQ(accessed.addr(), pte.addr());
+    const Pte dirty = accessed.withDirty();
+    EXPECT_TRUE(dirty.dirty());
+    EXPECT_TRUE(dirty.accessed());
+}
+
+TEST(PteTest, ToStringMentionsFlags)
+{
+    const Pte pte = Pte::make(0x3000, PteFlags::userRw());
+    const std::string repr = pte.toString();
+    EXPECT_NE(repr.find("0x3000"), std::string::npos);
+    EXPECT_NE(repr.find('P'), std::string::npos);
+    EXPECT_NE(repr.find('W'), std::string::npos);
+}
+
+/** Property: pack/unpack round-trips for random frames and flags. */
+class PteProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(PteProperty, PackUnpackRoundTrip)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 500; ++iter) {
+        const u64 frame = (rng.next() & bitMask(51, 12));
+        PteFlags flags;
+        flags.present = rng.chance(1, 2);
+        flags.writable = rng.chance(1, 2);
+        flags.user = rng.chance(1, 2);
+        flags.accessed = rng.chance(1, 2);
+        flags.dirty = rng.chance(1, 2);
+        flags.huge = rng.chance(1, 2);
+        flags.noExec = rng.chance(1, 2);
+        const Pte pte = Pte::make(frame, flags);
+        ASSERT_EQ(pte.addr(), frame);
+        ASSERT_EQ(pte.flags(), flags);
+        // Raw representation survives a copy through u64.
+        ASSERT_EQ(Pte(pte.raw()), pte);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PteProperty,
+                         ::testing::Values(5, 6, 7, 8));
+
+} // namespace
+} // namespace hev::hv

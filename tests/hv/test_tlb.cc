@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the tagged TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/tlb.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+TEST(TlbTest, MissThenHit)
+{
+    Tlb tlb;
+    EXPECT_FALSE(tlb.lookup(normalVmDomain, 0x1000).has_value());
+    tlb.insert(normalVmDomain, 0x1000, {0x9000, true});
+    auto hit = tlb.lookup(normalVmDomain, 0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->hpaPage, 0x9000ull);
+    EXPECT_TRUE(hit->writable);
+    EXPECT_EQ(tlb.hits(), 1ull);
+    EXPECT_EQ(tlb.misses(), 1ull);
+}
+
+TEST(TlbTest, SamePageDifferentOffsetHits)
+{
+    Tlb tlb;
+    tlb.insert(normalVmDomain, 0x1000, {0x9000, false});
+    EXPECT_TRUE(tlb.lookup(normalVmDomain, 0x1abc).has_value());
+    EXPECT_FALSE(tlb.lookup(normalVmDomain, 0x2000).has_value());
+}
+
+TEST(TlbTest, DomainsAreIsolated)
+{
+    Tlb tlb;
+    tlb.insert(normalVmDomain, 0x1000, {0x9000, true});
+    tlb.insert(7, 0x1000, {0xa000, false});
+
+    auto normal = tlb.lookup(normalVmDomain, 0x1000);
+    auto enclave = tlb.lookup(7, 0x1000);
+    ASSERT_TRUE(normal && enclave);
+    EXPECT_EQ(normal->hpaPage, 0x9000ull);
+    EXPECT_EQ(enclave->hpaPage, 0xa000ull);
+    EXPECT_FALSE(tlb.lookup(8, 0x1000).has_value());
+}
+
+TEST(TlbTest, FlushDomainRemovesOnlyThatDomain)
+{
+    Tlb tlb;
+    tlb.insert(normalVmDomain, 0x1000, {0x9000, true});
+    tlb.insert(3, 0x1000, {0xa000, true});
+    tlb.insert(3, 0x2000, {0xb000, true});
+    tlb.flushDomain(3);
+    EXPECT_TRUE(tlb.lookup(normalVmDomain, 0x1000).has_value());
+    EXPECT_FALSE(tlb.lookup(3, 0x1000).has_value());
+    EXPECT_FALSE(tlb.lookup(3, 0x2000).has_value());
+    EXPECT_EQ(tlb.size(), 1ull);
+}
+
+TEST(TlbTest, FlushAllEmpties)
+{
+    Tlb tlb;
+    tlb.insert(0, 0x1000, {0x9000, true});
+    tlb.insert(1, 0x2000, {0xa000, true});
+    tlb.flushAll();
+    EXPECT_EQ(tlb.size(), 0ull);
+    EXPECT_FALSE(tlb.lookup(0, 0x1000).has_value());
+}
+
+TEST(TlbTest, InsertOverwritesExisting)
+{
+    Tlb tlb;
+    tlb.insert(0, 0x1000, {0x9000, false});
+    tlb.insert(0, 0x1000, {0xc000, true});
+    auto hit = tlb.lookup(0, 0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->hpaPage, 0xc000ull);
+    EXPECT_TRUE(hit->writable);
+    EXPECT_EQ(tlb.size(), 1ull);
+}
+
+} // namespace
+} // namespace hev::hv

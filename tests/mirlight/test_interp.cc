@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Tests for the MIRlight small-step interpreter: arithmetic, control
+ * flow, calls, temporaries vs locals, drops, asserts, and fuel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mirlight/builder.hh"
+#include "mirlight/interp.hh"
+
+namespace hev::mir
+{
+namespace
+{
+
+Operand
+c(i64 v)
+{
+    return Operand::constInt(v);
+}
+
+Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+/** fn add(a, b) { return a + b; } */
+Function
+makeAdd()
+{
+    FunctionBuilder fb("add", 2);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0), bin(BinOp::Add, v(1), v(2)))
+        .ret();
+    return fb.build();
+}
+
+TEST(InterpTest, SimpleArithmetic)
+{
+    Program prog;
+    prog.add(makeAdd());
+    Interp interp(prog);
+    auto result =
+        interp.call("add", {Value::intVal(2), Value::intVal(40)});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 42);
+}
+
+TEST(InterpTest, AllBinaryOperators)
+{
+    struct Case
+    {
+        BinOp op;
+        i64 a, b, expect;
+    };
+    const Case cases[] = {
+        {BinOp::Add, 7, 5, 12},     {BinOp::Sub, 7, 5, 2},
+        {BinOp::Mul, 7, 5, 35},     {BinOp::Div, 7, 2, 3},
+        {BinOp::Rem, 7, 2, 1},      {BinOp::BitAnd, 6, 3, 2},
+        {BinOp::BitOr, 6, 3, 7},    {BinOp::BitXor, 6, 3, 5},
+        {BinOp::Shl, 1, 4, 16},     {BinOp::Shr, 16, 4, 1},
+        {BinOp::Eq, 3, 3, 1},       {BinOp::Eq, 3, 4, 0},
+        {BinOp::Ne, 3, 4, 1},       {BinOp::Lt, 3, 4, 1},
+        {BinOp::Le, 4, 4, 1},       {BinOp::Gt, 4, 3, 1},
+        {BinOp::Ge, 3, 4, 0},       {BinOp::Sub, 5, 7, -2},
+        {BinOp::Div, -7, 2, -3},    {BinOp::Lt, -1, 0, 1},
+    };
+    for (const Case &tc : cases) {
+        FunctionBuilder fb("f", 2);
+        fb.atBlock(0)
+            .assign(MirPlace::of(0), bin(tc.op, v(1), v(2)))
+            .ret();
+        Program prog;
+        prog.add(fb.build());
+        Interp interp(prog);
+        auto result = interp.call(
+            "f", {Value::intVal(tc.a), Value::intVal(tc.b)});
+        ASSERT_TRUE(result.ok()) << result.trap().message;
+        EXPECT_EQ(result->asInt(), tc.expect)
+            << "op " << int(tc.op) << " on " << tc.a << ", " << tc.b;
+    }
+}
+
+TEST(InterpTest, WrappingArithmetic)
+{
+    FunctionBuilder fb("f", 2);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0), bin(BinOp::Add, v(1), v(2)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call(
+        "f", {Value::intVal(i64(~0ull >> 1)), Value::intVal(1)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(u64(result->asInt()), 1ull << 63) << "two's complement wrap";
+}
+
+TEST(InterpTest, DivisionByZeroTraps)
+{
+    FunctionBuilder fb("f", 2);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0), bin(BinOp::Div, v(1), v(2)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("f", {Value::intVal(1), Value::intVal(0)});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::ArithError);
+}
+
+TEST(InterpTest, UnaryOperators)
+{
+    FunctionBuilder fb("f", 1);
+    const VarId not_v = fb.newVar();
+    const VarId neg_v = fb.newVar();
+    const VarId bits_v = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(not_v), un(UnOp::Not, v(1)))
+        .assign(MirPlace::of(neg_v), un(UnOp::Neg, v(1)))
+        .assign(MirPlace::of(bits_v), un(UnOp::NotBits, v(1)))
+        .assign(MirPlace::of(0),
+                makeAggregate(0, {v(not_v), v(neg_v), v(bits_v)}))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("f", {Value::intVal(5)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asAggregate().fields[0].asInt(), 0);
+    EXPECT_EQ(result->asAggregate().fields[1].asInt(), -5);
+    EXPECT_EQ(result->asAggregate().fields[2].asInt(), ~i64(5));
+}
+
+/** fn max(a, b) { if a < b { b } else { a } } via SwitchInt. */
+TEST(InterpTest, BranchingWithSwitchInt)
+{
+    FunctionBuilder fb("max", 2);
+    const VarId cond = fb.newVar();
+    const BlockId then_bb = fb.newBlock();
+    const BlockId else_bb = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(cond), bin(BinOp::Lt, v(1), v(2)))
+        .switchInt(v(cond), {{0, else_bb}}, then_bb);
+    fb.atBlock(then_bb).assign(MirPlace::of(0), use(v(2))).ret();
+    fb.atBlock(else_bb).assign(MirPlace::of(0), use(v(1))).ret();
+
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    EXPECT_EQ(interp.call("max", {Value::intVal(3), Value::intVal(9)})
+                  ->asInt(), 9);
+    EXPECT_EQ(interp.call("max", {Value::intVal(9), Value::intVal(3)})
+                  ->asInt(), 9);
+    EXPECT_EQ(interp.call("max", {Value::intVal(4), Value::intVal(4)})
+                  ->asInt(), 4);
+}
+
+/** Loop: sum 1..=n with a back edge. */
+TEST(InterpTest, LoopWithBackEdge)
+{
+    FunctionBuilder fb("sum", 1);
+    const VarId i = fb.newVar();
+    const VarId acc = fb.newVar();
+    const VarId cond = fb.newVar();
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId done = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(i), use(c(0)))
+        .assign(MirPlace::of(acc), use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(MirPlace::of(cond), bin(BinOp::Lt, v(i), v(1)))
+        .switchInt(v(cond), {{0, done}}, body);
+    fb.atBlock(body)
+        .assign(MirPlace::of(i), bin(BinOp::Add, v(i), c(1)))
+        .assign(MirPlace::of(acc), bin(BinOp::Add, v(acc), v(i)))
+        .jump(head);
+    fb.atBlock(done).assign(MirPlace::of(0), use(v(acc))).ret();
+
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("sum", {Value::intVal(100)});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 5050);
+}
+
+TEST(InterpTest, InfiniteLoopRunsOutOfFuel)
+{
+    FunctionBuilder fb("spin", 0);
+    fb.atBlock(0).jump(0);
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("spin", {}, 1000);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::OutOfFuel);
+}
+
+/** Nested calls: fib via MIR-to-MIR recursion. */
+TEST(InterpTest, RecursiveCalls)
+{
+    FunctionBuilder fb("fib", 1);
+    const VarId cond = fb.newVar();
+    const VarId a = fb.newVar();
+    const VarId b = fb.newVar();
+    const VarId t1 = fb.newVar();
+    const VarId t2 = fb.newVar();
+    const BlockId base = fb.newBlock();
+    const BlockId rec1 = fb.newBlock();
+    const BlockId rec2 = fb.newBlock();
+    const BlockId sum = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(cond), bin(BinOp::Lt, v(1), c(2)))
+        .switchInt(v(cond), {{0, rec1}}, base);
+    fb.atBlock(base).assign(MirPlace::of(0), use(v(1))).ret();
+    fb.atBlock(rec1)
+        .assign(MirPlace::of(t1), bin(BinOp::Sub, v(1), c(1)))
+        .callFn("fib", {v(t1)}, MirPlace::of(a), rec2);
+    fb.atBlock(rec2)
+        .assign(MirPlace::of(t2), bin(BinOp::Sub, v(1), c(2)))
+        .callFn("fib", {v(t2)}, MirPlace::of(b), sum);
+    fb.atBlock(sum)
+        .assign(MirPlace::of(0), bin(BinOp::Add, v(a), v(b)))
+        .ret();
+
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("fib", {Value::intVal(15)});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 610);
+    EXPECT_GT(interp.stats().calls, 100ull);
+}
+
+TEST(InterpTest, PrimitiveCallFromMir)
+{
+    FunctionBuilder fb("wrapper", 1);
+    const BlockId after = fb.newBlock();
+    fb.atBlock(0).callFn("double_it", {v(1)}, MirPlace::of(0), after);
+    fb.atBlock(after).ret();
+
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    interp.registerPrimitive(
+        "double_it",
+        [](Interp &, std::vector<Value> args) -> Outcome<Value> {
+            return Value::intVal(args.at(0).asInt() * 2);
+        });
+    auto result = interp.call("wrapper", {Value::intVal(21)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 42);
+    EXPECT_EQ(interp.stats().primCalls, 1ull);
+}
+
+TEST(InterpTest, PrimitiveCallableDirectly)
+{
+    Program prog;
+    Interp interp(prog);
+    interp.registerPrimitive(
+        "spec", [](Interp &, std::vector<Value>) -> Outcome<Value> {
+            return Value::intVal(7);
+        });
+    auto result = interp.call("spec", {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 7);
+}
+
+TEST(InterpTest, UnknownFunctionTraps)
+{
+    Program prog;
+    Interp interp(prog);
+    auto result = interp.call("nope", {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::UnknownFunction);
+}
+
+TEST(InterpTest, ArgCountMismatchTraps)
+{
+    Program prog;
+    prog.add(makeAdd());
+    Interp interp(prog);
+    auto result = interp.call("add", {Value::intVal(1)});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::TypeError);
+}
+
+TEST(InterpTest, AggregateFieldProjection)
+{
+    FunctionBuilder fb("second", 1);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0), use(v(1)))
+        .assign(MirPlace::of(0), use(Operand::copy(
+            MirPlace::of(1).field(1))))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call(
+        "second", {Value::tuple({Value::intVal(1), Value::intVal(2)})});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 2);
+}
+
+TEST(InterpTest, FieldWriteLeavesSiblingsIntact)
+{
+    FunctionBuilder fb("patch", 1);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0), use(v(1)))
+        .assign(MirPlace::of(0).field(1), use(c(77)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call(
+        "patch", {Value::tuple({Value::intVal(1), Value::intVal(2),
+                                Value::intVal(3)})});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asAggregate().fields[0].asInt(), 1);
+    EXPECT_EQ(result->asAggregate().fields[1].asInt(), 77);
+    EXPECT_EQ(result->asAggregate().fields[2].asInt(), 3);
+}
+
+TEST(InterpTest, DiscriminantAndSetDiscriminant)
+{
+    FunctionBuilder fb("flip", 1);
+    const VarId tmp = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(tmp), use(v(1)))
+        .setDiscriminant(MirPlace::of(tmp), 1)
+        .assign(MirPlace::of(0), discriminantOf(MirPlace::of(tmp)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("flip", {option::none()});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 1);
+}
+
+TEST(InterpTest, AssertTerminator)
+{
+    FunctionBuilder fb("check", 1);
+    const BlockId cont = fb.newBlock();
+    fb.atBlock(0).assertTrue(v(1), cont);
+    fb.atBlock(cont).assign(MirPlace::of(0), use(c(1))).ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    EXPECT_TRUE(interp.call("check", {Value::boolVal(true)}).ok());
+    auto fail = interp.call("check", {Value::boolVal(false)});
+    ASSERT_FALSE(fail.ok());
+    EXPECT_EQ(fail.trap().kind, TrapKind::AssertFailure);
+}
+
+TEST(InterpTest, UnreachableTraps)
+{
+    FunctionBuilder fb("boom", 0);
+    fb.atBlock(0).unreachable();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("boom", {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::Unreachable);
+}
+
+TEST(InterpTest, DropIsANoOp)
+{
+    // Drop a local, then read it again through a saved pointer: the
+    // paper's no-dealloc semantics keep the object alive.
+    FunctionBuilder fb("use_after_drop", 0);
+    const VarId obj = fb.newVar(true);
+    const VarId ptr = fb.newVar();
+    const BlockId after = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(obj), use(c(123)))
+        .assign(MirPlace::of(ptr), refOf(MirPlace::of(obj)))
+        .dropPlace(MirPlace::of(obj), after);
+    fb.atBlock(after)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("use_after_drop", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 123);
+}
+
+TEST(InterpTest, GlobalsPersistAcrossCalls)
+{
+    FunctionBuilder fb("bump", 0);
+    const VarId ptr = fb.newVar();
+    const VarId val = fb.newVar();
+    const BlockId after = fb.newBlock();
+    fb.atBlock(0).callFn("get_counter_ptr", {}, MirPlace::of(ptr), after);
+    fb.atBlock(after)
+        .assign(MirPlace::of(val),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .assign(MirPlace::of(val), bin(BinOp::Add, v(val), c(1)))
+        .assign(MirPlace::of(ptr).deref(), use(v(val)))
+        .assign(MirPlace::of(0), use(v(val)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    const u64 cell = interp.defineGlobal("counter", Value::intVal(0));
+    interp.registerPrimitive(
+        "get_counter_ptr",
+        [cell](Interp &, std::vector<Value>) -> Outcome<Value> {
+            return Value::pathPtr({cell, {}});
+        });
+    EXPECT_EQ(interp.call("bump", {})->asInt(), 1);
+    EXPECT_EQ(interp.call("bump", {})->asInt(), 2);
+    EXPECT_EQ(interp.call("bump", {})->asInt(), 3);
+    EXPECT_EQ(interp.memory().read({cell, {}})->asInt(), 3);
+}
+
+/**
+ * Temporary lifting: a function that only uses temporaries must not
+ * touch memory at all (Sec. 3.2 — "a function which uses temporary
+ * variables will not itself modify the memory").
+ */
+TEST(InterpTest, TemporariesDoNotTouchMemory)
+{
+    Program prog;
+    prog.add(makeAdd());
+    Interp interp(prog);
+    const u64 cells_before = interp.memory().size();
+    ASSERT_TRUE(interp.call("add", {Value::intVal(1),
+                                    Value::intVal(2)}).ok());
+    EXPECT_EQ(interp.memory().size(), cells_before)
+        << "temporary-only function allocated memory cells";
+}
+
+TEST(InterpTest, LocalsAllocateFreshCellsPerCall)
+{
+    FunctionBuilder fb("f", 0);
+    const VarId obj = fb.newVar(true);
+    fb.atBlock(0)
+        .assign(MirPlace::of(obj), use(c(5)))
+        .assign(MirPlace::of(0), refOf(MirPlace::of(obj)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto p1 = interp.call("f", {});
+    auto p2 = interp.call("f", {});
+    ASSERT_TRUE(p1.ok() && p2.ok());
+    EXPECT_NE(p1->asPath().cell, p2->asPath().cell)
+        << "distinct activations must own distinct objects";
+    // Both stay readable: no deallocation ever happens.
+    EXPECT_EQ(interp.memory().read(p1->asPath())->asInt(), 5);
+    EXPECT_EQ(interp.memory().read(p2->asPath())->asInt(), 5);
+}
+
+TEST(InterpTest, StatsCountSteps)
+{
+    Program prog;
+    prog.add(makeAdd());
+    Interp interp(prog);
+    ASSERT_TRUE(interp.call("add", {Value::intVal(1),
+                                    Value::intVal(2)}).ok());
+    EXPECT_GE(interp.stats().steps, 2ull);
+}
+
+} // namespace
+} // namespace hev::mir

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the object-view memory: path addressing and the
+ * locality-of-assignment axiom.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mirlight/memory.hh"
+
+namespace hev::mir
+{
+namespace
+{
+
+TEST(MemoryTest, AllocAndReadBack)
+{
+    Memory mem;
+    const u64 cell = mem.alloc(Value::intVal(42));
+    auto read = mem.read({cell, {}});
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->asInt(), 42);
+    EXPECT_TRUE(mem.validCell(cell));
+    EXPECT_FALSE(mem.validCell(cell + 100));
+}
+
+TEST(MemoryTest, CellsAreDistinct)
+{
+    Memory mem;
+    const u64 a = mem.alloc(Value::intVal(1));
+    const u64 b = mem.alloc(Value::intVal(2));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(mem.read({a, {}})->asInt(), 1);
+    EXPECT_EQ(mem.read({b, {}})->asInt(), 2);
+}
+
+TEST(MemoryTest, ProjectionReadsSubObject)
+{
+    Memory mem;
+    // foo.bar.1 is modeled as a path with projections, not offsets.
+    const Value inner = Value::tuple({Value::intVal(10), Value::intVal(11)});
+    const u64 cell = mem.alloc(Value::tuple({Value::intVal(9), inner}));
+    EXPECT_EQ(mem.read({cell, {0}})->asInt(), 9);
+    EXPECT_EQ(mem.read({cell, {1, 0}})->asInt(), 10);
+    EXPECT_EQ(mem.read({cell, {1, 1}})->asInt(), 11);
+    EXPECT_EQ(*mem.read({cell, {1}}), inner);
+}
+
+TEST(MemoryTest, WriteChangesOnlyTheAssignedLocation)
+{
+    Memory mem;
+    const u64 cell = mem.alloc(Value::tuple(
+        {Value::intVal(1),
+         Value::tuple({Value::intVal(2), Value::intVal(3)}),
+         Value::intVal(4)}));
+    const u64 other = mem.alloc(Value::intVal(99));
+
+    ASSERT_TRUE(mem.write({cell, {1, 0}}, Value::intVal(77)).ok());
+
+    EXPECT_EQ(mem.read({cell, {0}})->asInt(), 1);
+    EXPECT_EQ(mem.read({cell, {1, 0}})->asInt(), 77);
+    EXPECT_EQ(mem.read({cell, {1, 1}})->asInt(), 3);
+    EXPECT_EQ(mem.read({cell, {2}})->asInt(), 4);
+    EXPECT_EQ(mem.read({other, {}})->asInt(), 99);
+}
+
+TEST(MemoryTest, WholeObjectOverwrite)
+{
+    Memory mem;
+    const u64 cell = mem.alloc(Value::intVal(5));
+    ASSERT_TRUE(mem.write({cell, {}},
+                          Value::tuple({Value::intVal(6)})).ok());
+    EXPECT_EQ(mem.read({cell, {0}})->asInt(), 6);
+}
+
+TEST(MemoryTest, BadPathsTrap)
+{
+    Memory mem;
+    const u64 cell = mem.alloc(Value::tuple({Value::intVal(1)}));
+
+    auto missing_cell = mem.read({cell + 7, {}});
+    ASSERT_FALSE(missing_cell.ok());
+    EXPECT_EQ(missing_cell.trap().kind, TrapKind::BadPath);
+
+    auto bad_field = mem.read({cell, {5}});
+    ASSERT_FALSE(bad_field.ok());
+    EXPECT_EQ(bad_field.trap().kind, TrapKind::BadPath);
+
+    auto through_int = mem.read({cell, {0, 0}});
+    ASSERT_FALSE(through_int.ok());
+    EXPECT_EQ(through_int.trap().kind, TrapKind::BadPath);
+
+    auto bad_write = mem.write({cell, {5}}, Value::unit());
+    ASSERT_FALSE(bad_write.ok());
+    EXPECT_EQ(bad_write.trap().kind, TrapKind::BadPath);
+}
+
+TEST(MemoryTest, NavigateHelpers)
+{
+    Value root = Value::tuple(
+        {Value::intVal(1), Value::tuple({Value::intVal(2)})});
+    const Value *sub = navigate(root, {1, 0});
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->asInt(), 2);
+    EXPECT_EQ(navigate(root, {0, 0}), nullptr);
+    EXPECT_EQ(navigate(root, {9}), nullptr);
+
+    Value *mut = navigateMut(root, {1, 0});
+    ASSERT_NE(mut, nullptr);
+    *mut = Value::intVal(8);
+    EXPECT_EQ(navigate(root, {1, 0})->asInt(), 8);
+}
+
+TEST(MemoryTest, TrapKindNamesDistinct)
+{
+    EXPECT_STRNE(trapKindName(TrapKind::BadPath),
+                 trapKindName(TrapKind::RDataDeref));
+    EXPECT_STRNE(trapKindName(TrapKind::OutOfFuel),
+                 trapKindName(TrapKind::AssertFailure));
+}
+
+} // namespace
+} // namespace hev::mir

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the three pointer kinds of paper Sec. 3.4 / Fig. 4:
+ *  (1) path pointers passed as arguments to lower layers,
+ *  (2) trusted pointers from the bottom layer (getter/setter specs on
+ *      the abstract state),
+ *  (3) opaque RData pointers from middle layers, which enforce
+ *      encapsulation by being impossible to dereference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mirlight/builder.hh"
+#include "mirlight/interp.hh"
+
+namespace hev::mir
+{
+namespace
+{
+
+Operand
+c(i64 value)
+{
+    return Operand::constInt(value);
+}
+
+Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+/** Case 1 (Fig. 4): caller allocates, passes the pointer down. */
+TEST(PointerTest, PathPointerPassedToLowerLayer)
+{
+    // upper: local x = 10; lower(&x); return x;
+    FunctionBuilder upper("upper", 0);
+    const VarId x = upper.newVar(true);
+    const VarId ptr = upper.newVar();
+    const VarId ignore = upper.newVar();
+    const BlockId after = upper.newBlock();
+    upper.atBlock(0)
+        .assign(MirPlace::of(x), use(c(10)))
+        .assign(MirPlace::of(ptr), refOf(MirPlace::of(x)))
+        .callFn("lower", {v(ptr)}, MirPlace::of(ignore), after);
+    upper.atBlock(after)
+        .assign(MirPlace::of(0), use(v(x)))
+        .ret();
+
+    // lower(p): *p = *p + 32
+    FunctionBuilder lower("lower", 1);
+    const VarId tmp = lower.newVar();
+    lower.atBlock(0)
+        .assign(MirPlace::of(tmp),
+                use(Operand::copy(MirPlace::of(1).deref())))
+        .assign(MirPlace::of(tmp), bin(BinOp::Add, v(tmp), c(32)))
+        .assign(MirPlace::of(1).deref(), use(v(tmp)))
+        .assign(MirPlace::of(0), use(Operand::constOp(Value::unit())))
+        .ret();
+
+    Program prog;
+    prog.add(upper.build());
+    prog.add(lower.build());
+    Interp interp(prog);
+    auto result = interp.call("upper", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 42)
+        << "callee write through the argument pointer not visible";
+}
+
+TEST(PointerTest, PointerIntoAggregateField)
+{
+    // Take &obj.1, write through it, check only that field changed.
+    FunctionBuilder fn("f", 0);
+    const VarId obj = fn.newVar(true);
+    const VarId ptr = fn.newVar();
+    fn.atBlock(0)
+        .assign(MirPlace::of(obj),
+                makeAggregate(0, {c(1), c(2), c(3)}))
+        .assign(MirPlace::of(ptr), refOf(MirPlace::of(obj).field(1)))
+        .assign(MirPlace::of(ptr).deref(), use(c(99)))
+        .assign(MirPlace::of(0), use(v(obj)))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    Interp interp(prog);
+    auto result = interp.call("f", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asAggregate().fields[0].asInt(), 1);
+    EXPECT_EQ(result->asAggregate().fields[1].asInt(), 99);
+    EXPECT_EQ(result->asAggregate().fields[2].asInt(), 3);
+}
+
+TEST(PointerTest, ReturningPointerToLocalStaysValid)
+{
+    // make(): local x = 7; return &x.  caller dereferences the result.
+    FunctionBuilder make("make", 0);
+    const VarId x = make.newVar(true);
+    make.atBlock(0)
+        .assign(MirPlace::of(x), use(c(7)))
+        .assign(MirPlace::of(0), refOf(MirPlace::of(x)))
+        .ret();
+
+    FunctionBuilder caller("caller", 0);
+    const VarId ptr = caller.newVar();
+    const BlockId after = caller.newBlock();
+    caller.atBlock(0).callFn("make", {}, MirPlace::of(ptr), after);
+    caller.atBlock(after)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .ret();
+
+    Program prog;
+    prog.add(make.build());
+    prog.add(caller.build());
+    Interp interp(prog);
+    auto result = interp.call("caller", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 7)
+        << "no-dealloc semantics must keep escaped locals alive";
+}
+
+TEST(PointerTest, AddressOfTemporaryTraps)
+{
+    // Taking &t of a temporary is a translator bug; semantics trap.
+    FunctionBuilder fn("f", 0);
+    const VarId t = fn.newVar(false);
+    fn.atBlock(0)
+        .assign(MirPlace::of(t), use(c(1)))
+        .assign(MirPlace::of(0), refOf(MirPlace::of(t)))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    Interp interp(prog);
+    auto result = interp.call("f", {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::TypeError);
+}
+
+/** Abstract state exposing a tiny word array via trusted pointers. */
+class WordArrayState : public AbstractState
+{
+  public:
+    static constexpr u32 wordHandler = 1;
+
+    Outcome<Value>
+    trustedLoad(u32 handler, u64 meta) override
+    {
+        if (handler != wordHandler || meta >= words.size())
+            return Trap{TrapKind::TrustedFault, "bad trusted load"};
+        ++loads;
+        return Value::intVal(words[meta]);
+    }
+
+    Outcome<Done>
+    trustedStore(u32 handler, u64 meta, const Value &value) override
+    {
+        if (handler != wordHandler || meta >= words.size() ||
+            !value.isInt())
+            return Trap{TrapKind::TrustedFault, "bad trusted store"};
+        ++stores;
+        words[meta] = value.asInt();
+        return Done{};
+    }
+
+    std::vector<i64> words = std::vector<i64>(16, 0);
+    u64 loads = 0;
+    u64 stores = 0;
+};
+
+/** Case 2 (Fig. 4): trusted pointers from the bottom layer. */
+TEST(PointerTest, TrustedPointerRoutesToAbstractState)
+{
+    // f(i): p = word_ptr(i); *p = *p + 1; return *p;
+    FunctionBuilder fn("f", 1);
+    const VarId ptr = fn.newVar();
+    const VarId val = fn.newVar();
+    const BlockId body = fn.newBlock();
+    fn.atBlock(0).callFn("word_ptr", {v(1)}, MirPlace::of(ptr), body);
+    fn.atBlock(body)
+        .assign(MirPlace::of(val),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .assign(MirPlace::of(val), bin(BinOp::Add, v(val), c(1)))
+        .assign(MirPlace::of(ptr).deref(), use(v(val)))
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .ret();
+
+    Program prog;
+    prog.add(fn.build());
+    WordArrayState state;
+    state.words[5] = 100;
+    Interp interp(prog, &state);
+    // The unsafe int-to-pointer cast gets a spec returning a trusted
+    // pointer — exactly the paper's treatment.
+    interp.registerPrimitive(
+        "word_ptr",
+        [](Interp &, std::vector<Value> args) -> Outcome<Value> {
+            return Value::trustedPtr(WordArrayState::wordHandler,
+                                     u64(args.at(0).asInt()));
+        });
+
+    auto result = interp.call("f", {Value::intVal(5)});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 101);
+    EXPECT_EQ(state.words[5], 101);
+    EXPECT_GE(state.loads, 2ull);
+    EXPECT_EQ(state.stores, 1ull);
+    EXPECT_EQ(interp.stats().trustedStores, 1ull);
+}
+
+TEST(PointerTest, TrustedFaultSurfaces)
+{
+    FunctionBuilder fn("f", 0);
+    const VarId ptr = fn.newVar();
+    fn.atBlock(0)
+        .assign(MirPlace::of(ptr),
+                use(Operand::constOp(
+                    Value::trustedPtr(WordArrayState::wordHandler, 999))))
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(ptr).deref())))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    WordArrayState state;
+    Interp interp(prog, &state);
+    auto result = interp.call("f", {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::TrustedFault);
+}
+
+/** Case 3 (Fig. 4): RData pointers cannot be dereferenced at all. */
+TEST(PointerTest, RDataPointerReadTraps)
+{
+    FunctionBuilder fn("peek", 1);
+    fn.atBlock(0)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(1).deref())))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    Interp interp(prog);
+    auto result =
+        interp.call("peek", {Value::rdataPtr(3, {1, 2})});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::RDataDeref)
+        << "a client dereferenced an opaque layer handle";
+}
+
+TEST(PointerTest, RDataPointerWriteTraps)
+{
+    FunctionBuilder fn("poke", 1);
+    fn.atBlock(0)
+        .assign(MirPlace::of(1).deref(), use(c(666)))
+        .assign(MirPlace::of(0), use(Operand::constOp(Value::unit())))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    Interp interp(prog);
+    auto result = interp.call("poke", {Value::rdataPtr(3, {1})});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::RDataDeref);
+}
+
+/**
+ * RData round trip: the owning layer can interpret its own handles.
+ * A middle layer hands out rdata handles indexing its private table;
+ * clients can only pass them back.
+ */
+TEST(PointerTest, RDataRoundTripThroughOwnerLayer)
+{
+    // client(): h = owner_new(11); return owner_get(h);
+    FunctionBuilder client("client", 0);
+    const VarId handle = client.newVar();
+    const BlockId after1 = client.newBlock();
+    const BlockId after2 = client.newBlock();
+    client.atBlock(0)
+        .callFn("owner_new", {c(11)}, MirPlace::of(handle), after1);
+    client.atBlock(after1)
+        .callFn("owner_get", {v(handle)}, MirPlace::of(0), after2);
+    client.atBlock(after2).ret();
+
+    Program prog;
+    prog.add(client.build());
+    Interp interp(prog);
+
+    auto table = std::make_shared<std::map<i64, i64>>();
+    interp.registerPrimitive(
+        "owner_new",
+        [table](Interp &, std::vector<Value> args) -> Outcome<Value> {
+            const i64 key = i64(table->size());
+            (*table)[key] = args.at(0).asInt();
+            return Value::rdataPtr(7, {key});
+        });
+    interp.registerPrimitive(
+        "owner_get",
+        [table](Interp &, std::vector<Value> args) -> Outcome<Value> {
+            if (!args.at(0).isRDataPtr() ||
+                args.at(0).asRData().owner != 7)
+                return Trap{TrapKind::TypeError, "foreign handle"};
+            return Value::intVal(
+                table->at(args.at(0).asRData().payload.at(0)));
+        });
+
+    auto result = interp.call("client", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 11);
+}
+
+TEST(PointerTest, DerefOfNonPointerTraps)
+{
+    FunctionBuilder fn("f", 1);
+    fn.atBlock(0)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(1).deref())))
+        .ret();
+    Program prog;
+    prog.add(fn.build());
+    Interp interp(prog);
+    auto result = interp.call("f", {Value::intVal(5)});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::TypeError);
+}
+
+} // namespace
+} // namespace hev::mir

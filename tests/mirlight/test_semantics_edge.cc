@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Edge cases of the MIRlight semantics: trusted-pointer read-modify-
+ * write with projections, move operands, multi-way switches,
+ * discriminant updates behind pointers, deep call stacks, and place
+ * resolution through pointer chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mirlight/builder.hh"
+#include "mirlight/interp.hh"
+
+namespace hev::mir
+{
+namespace
+{
+
+Operand
+c(i64 v)
+{
+    return Operand::constInt(v);
+}
+
+Operand
+v(VarId var)
+{
+    return Operand::copy(MirPlace::of(var));
+}
+
+/** Abstract state holding one aggregate object behind handler 1. */
+class ObjectState : public AbstractState
+{
+  public:
+    Outcome<Value>
+    trustedLoad(u32 handler, u64) override
+    {
+        if (handler != 1)
+            return Trap{TrapKind::TrustedFault, "bad handler"};
+        ++loads;
+        return object;
+    }
+
+    Outcome<Done>
+    trustedStore(u32 handler, u64, const Value &value) override
+    {
+        if (handler != 1)
+            return Trap{TrapKind::TrustedFault, "bad handler"};
+        ++stores;
+        object = value;
+        return Done{};
+    }
+
+    Value object = Value::tuple(
+        {Value::intVal(10), Value::intVal(20), Value::intVal(30)});
+    u64 loads = 0;
+    u64 stores = 0;
+};
+
+TEST(SemanticsEdgeTest, TrustedPointerFieldWriteIsReadModifyWrite)
+{
+    // (*p).1 = 99 through a trusted pointer: the semantics must load
+    // the whole object, patch the field, and store it back.
+    FunctionBuilder fb("patch", 1);
+    fb.atBlock(0)
+        .assign(MirPlace::of(1).deref().field(1), use(c(99)))
+        .assign(MirPlace::of(0), use(Operand::constOp(Value::unit())))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    ObjectState state;
+    Interp interp(prog, &state);
+    auto result = interp.call("patch", {Value::trustedPtr(1, 0)});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(state.object.asAggregate().fields[0].asInt(), 10);
+    EXPECT_EQ(state.object.asAggregate().fields[1].asInt(), 99);
+    EXPECT_EQ(state.object.asAggregate().fields[2].asInt(), 30);
+    EXPECT_GE(state.stores, 1ull);
+}
+
+TEST(SemanticsEdgeTest, TrustedPointerFieldReadProjects)
+{
+    FunctionBuilder fb("pick", 1);
+    fb.atBlock(0)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(1).deref().field(2))))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    ObjectState state;
+    Interp interp(prog, &state);
+    auto result = interp.call("pick", {Value::trustedPtr(1, 0)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 30);
+}
+
+TEST(SemanticsEdgeTest, TrustedPointerBadProjectionTraps)
+{
+    FunctionBuilder fb("oob", 1);
+    fb.atBlock(0)
+        .assign(MirPlace::of(1).deref().field(9), use(c(1)))
+        .assign(MirPlace::of(0), use(Operand::constOp(Value::unit())))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    ObjectState state;
+    Interp interp(prog, &state);
+    auto result = interp.call("oob", {Value::trustedPtr(1, 0)});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.trap().kind, TrapKind::TypeError);
+}
+
+TEST(SemanticsEdgeTest, MoveOperandBehavesLikeCopy)
+{
+    // In the value model Move and Copy coincide; both must read the
+    // same value and leave the source observable.
+    FunctionBuilder fb("mv", 1);
+    const VarId a = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(a), use(Operand::move(MirPlace::of(1))))
+        .assign(MirPlace::of(0),
+                bin(BinOp::Add, Operand::move(MirPlace::of(a)),
+                    Operand::copy(MirPlace::of(a))))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("mv", {Value::intVal(21)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 42);
+}
+
+TEST(SemanticsEdgeTest, MultiWaySwitch)
+{
+    FunctionBuilder fb("classify", 1);
+    const BlockId is_one = fb.newBlock();
+    const BlockId is_two = fb.newBlock();
+    const BlockId is_ten = fb.newBlock();
+    const BlockId other = fb.newBlock();
+    fb.atBlock(0).switchInt(v(1),
+                            {{1, is_one}, {2, is_two}, {10, is_ten}},
+                            other);
+    fb.atBlock(is_one).assign(MirPlace::of(0), use(c(100))).ret();
+    fb.atBlock(is_two).assign(MirPlace::of(0), use(c(200))).ret();
+    fb.atBlock(is_ten).assign(MirPlace::of(0), use(c(1000))).ret();
+    fb.atBlock(other).assign(MirPlace::of(0), use(c(-1))).ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    EXPECT_EQ(interp.call("classify", {Value::intVal(1)})->asInt(), 100);
+    EXPECT_EQ(interp.call("classify", {Value::intVal(2)})->asInt(), 200);
+    EXPECT_EQ(interp.call("classify", {Value::intVal(10)})->asInt(),
+              1000);
+    EXPECT_EQ(interp.call("classify", {Value::intVal(7)})->asInt(), -1);
+    EXPECT_EQ(interp.call("classify", {Value::intVal(-1)})->asInt(), -1);
+}
+
+TEST(SemanticsEdgeTest, SetDiscriminantThroughPointer)
+{
+    // An Option in a local, flipped to Some through a pointer.
+    FunctionBuilder fb("flip", 0);
+    const VarId opt = fb.newVar(true);
+    const VarId ptr = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(opt), makeAggregate(0, {c(5)}))
+        .assign(MirPlace::of(ptr), refOf(MirPlace::of(opt)))
+        .setDiscriminant(MirPlace::of(ptr).deref(), 1)
+        .assign(MirPlace::of(0), use(v(opt)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("flip", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asAggregate().discriminant, 1);
+    EXPECT_EQ(result->asAggregate().fields[0].asInt(), 5);
+}
+
+TEST(SemanticsEdgeTest, RefThroughPointerChain)
+{
+    // &((*p).1) — taking the address of a field behind a pointer must
+    // resolve to a path into the pointee's cell.
+    FunctionBuilder fb("inner_ref", 0);
+    const VarId obj = fb.newVar(true);
+    const VarId p1 = fb.newVar(true); // holds a pointer; also a local
+    const VarId p2 = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(obj), makeAggregate(0, {c(1), c(2)}))
+        .assign(MirPlace::of(p1), refOf(MirPlace::of(obj)))
+        .assign(MirPlace::of(p2),
+                refOf(MirPlace::of(p1).deref().field(1)))
+        .assign(MirPlace::of(p2).deref(), use(c(77)))
+        .assign(MirPlace::of(0), use(v(obj)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("inner_ref", {});
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asAggregate().fields[0].asInt(), 1);
+    EXPECT_EQ(result->asAggregate().fields[1].asInt(), 77);
+}
+
+TEST(SemanticsEdgeTest, DeepCallStack)
+{
+    // fn down(n): if n == 0 { 0 } else { down(n-1) + 1 }
+    FunctionBuilder fb("down", 1);
+    const VarId t = fb.newVar();
+    const VarId sub = fb.newVar();
+    const BlockId base = fb.newBlock();
+    const BlockId rec = fb.newBlock();
+    const BlockId add = fb.newBlock();
+    fb.atBlock(0).switchInt(v(1), {{0, base}}, rec);
+    fb.atBlock(base).assign(MirPlace::of(0), use(c(0))).ret();
+    fb.atBlock(rec)
+        .assign(MirPlace::of(t), bin(BinOp::Sub, v(1), c(1)))
+        .callFn("down", {v(t)}, MirPlace::of(sub), add);
+    fb.atBlock(add)
+        .assign(MirPlace::of(0), bin(BinOp::Add, v(sub), c(1)))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("down", {Value::intVal(2000)}, 100'000);
+    ASSERT_TRUE(result.ok()) << result.trap().message;
+    EXPECT_EQ(result->asInt(), 2000);
+}
+
+TEST(SemanticsEdgeTest, NestedAggregateConstructionAndProjection)
+{
+    // Build ((1,2),(3,(4,5))) with staged temporaries and pull out
+    // the innermost field.
+    FunctionBuilder fb("nest", 0);
+    const VarId inner = fb.newVar();
+    const VarId right = fb.newVar();
+    const VarId left = fb.newVar();
+    const VarId whole = fb.newVar();
+    fb.atBlock(0)
+        .assign(MirPlace::of(inner), makeAggregate(0, {c(4), c(5)}))
+        .assign(MirPlace::of(right),
+                makeAggregate(0, {c(3), v(inner)}))
+        .assign(MirPlace::of(left), makeAggregate(0, {c(1), c(2)}))
+        .assign(MirPlace::of(whole),
+                makeAggregate(0, {v(left), v(right)}))
+        .assign(MirPlace::of(0),
+                use(Operand::copy(
+                    MirPlace::of(whole).field(1).field(1).field(0))))
+        .ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    auto result = interp.call("nest", {});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->asInt(), 4);
+}
+
+TEST(SemanticsEdgeTest, SwitchOnDiscriminantDrivesOptionHandling)
+{
+    // The match-on-Option idiom the models use everywhere.
+    FunctionBuilder fb("unwrap_or", 2);
+    const VarId d = fb.newVar();
+    const BlockId some_bb = fb.newBlock();
+    const BlockId none_bb = fb.newBlock();
+    fb.atBlock(0)
+        .assign(MirPlace::of(d), discriminantOf(MirPlace::of(1)))
+        .switchInt(v(d), {{1, some_bb}}, none_bb);
+    fb.atBlock(some_bb)
+        .assign(MirPlace::of(0),
+                use(Operand::copy(MirPlace::of(1).field(0))))
+        .ret();
+    fb.atBlock(none_bb).assign(MirPlace::of(0), use(v(2))).ret();
+    Program prog;
+    prog.add(fb.build());
+    Interp interp(prog);
+    EXPECT_EQ(interp.call("unwrap_or", {option::some(Value::intVal(5)),
+                                        Value::intVal(9)})->asInt(), 5);
+    EXPECT_EQ(interp.call("unwrap_or", {option::none(),
+                                        Value::intVal(9)})->asInt(), 9);
+}
+
+} // namespace
+} // namespace hev::mir

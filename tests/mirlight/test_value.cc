@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for MIRlight values: the object-view value grammar and the
+ * Option/Result encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mirlight/value.hh"
+
+namespace hev::mir
+{
+namespace
+{
+
+TEST(ValueTest, KindsAreExclusive)
+{
+    EXPECT_TRUE(Value::unit().isUnit());
+    EXPECT_FALSE(Value::unit().isInt());
+
+    const Value i = Value::intVal(-7);
+    EXPECT_TRUE(i.isInt());
+    EXPECT_EQ(i.asInt(), -7);
+    EXPECT_FALSE(i.isAggregate());
+
+    const Value agg = Value::tuple({Value::intVal(1), Value::unit()});
+    EXPECT_TRUE(agg.isAggregate());
+    EXPECT_EQ(agg.asAggregate().discriminant, 0);
+    EXPECT_EQ(agg.asAggregate().fields.size(), 2u);
+}
+
+TEST(ValueTest, BoolEncoding)
+{
+    EXPECT_EQ(Value::boolVal(true).asInt(), 1);
+    EXPECT_EQ(Value::boolVal(false).asInt(), 0);
+    EXPECT_TRUE(Value::intVal(3).asBool());
+    EXPECT_FALSE(Value::intVal(0).asBool());
+}
+
+TEST(ValueTest, StructuralEquality)
+{
+    const Value a = Value::aggregate(
+        2, {Value::intVal(1), Value::tuple({Value::intVal(9)})});
+    const Value b = Value::aggregate(
+        2, {Value::intVal(1), Value::tuple({Value::intVal(9)})});
+    const Value c = Value::aggregate(
+        2, {Value::intVal(1), Value::tuple({Value::intVal(8)})});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, Value::intVal(2));
+}
+
+TEST(ValueTest, PointerKinds)
+{
+    const Value path = Value::pathPtr({42, {1, 0}});
+    EXPECT_TRUE(path.isPathPtr());
+    EXPECT_EQ(path.asPath().cell, 42ull);
+    EXPECT_EQ(path.asPath().proj, (std::vector<u64>{1, 0}));
+
+    const Value trusted = Value::trustedPtr(3, 0x1000);
+    EXPECT_TRUE(trusted.isTrustedPtr());
+    EXPECT_EQ(trusted.asTrusted().handler, 3u);
+    EXPECT_EQ(trusted.asTrusted().meta, 0x1000ull);
+
+    const Value rdata = Value::rdataPtr(9, {5, 6});
+    EXPECT_TRUE(rdata.isRDataPtr());
+    EXPECT_EQ(rdata.asRData().owner, 9u);
+
+    EXPECT_NE(path, trusted);
+    EXPECT_NE(trusted, rdata);
+}
+
+TEST(ValueTest, PathExtension)
+{
+    Path path{7, {1}};
+    const Path longer = path.extended(3);
+    EXPECT_EQ(longer.proj, (std::vector<u64>{1, 3}));
+    EXPECT_EQ(path.proj.size(), 1u) << "extended must not mutate";
+}
+
+TEST(ValueTest, OptionEncoding)
+{
+    const Value none = option::none();
+    const Value some = option::some(Value::intVal(5));
+    EXPECT_TRUE(option::isNone(none));
+    EXPECT_FALSE(option::isSome(none));
+    EXPECT_TRUE(option::isSome(some));
+    EXPECT_EQ(option::unwrap(some).asInt(), 5);
+    EXPECT_NE(none, some);
+}
+
+TEST(ValueTest, ResultEncoding)
+{
+    const Value ok = result::ok(Value::intVal(1));
+    const Value err = result::err(Value::intVal(2));
+    EXPECT_TRUE(result::isOk(ok));
+    EXPECT_FALSE(result::isErr(ok));
+    EXPECT_TRUE(result::isErr(err));
+    EXPECT_EQ(result::payload(ok).asInt(), 1);
+    EXPECT_EQ(result::payload(err).asInt(), 2);
+}
+
+TEST(ValueTest, ToStringRendersNestedValues)
+{
+    const Value v = Value::aggregate(
+        1, {Value::intVal(-3), Value::pathPtr({2, {0}}),
+            Value::rdataPtr(4, {8})});
+    const std::string repr = v.toString();
+    EXPECT_NE(repr.find("#1("), std::string::npos);
+    EXPECT_NE(repr.find("-3"), std::string::npos);
+    EXPECT_NE(repr.find("cell2"), std::string::npos);
+    EXPECT_NE(repr.find("rdata"), std::string::npos);
+}
+
+} // namespace
+} // namespace hev::mir

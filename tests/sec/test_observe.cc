@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the observation function and indistinguishability: what a
+ * principal's view contains, what it excludes, and that the
+ * perturbation generator really produces indistinguishable states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sec/observe.hh"
+
+namespace hev::sec
+{
+namespace
+{
+
+/** A standard scene: one enclave, some OS memory. */
+SecState
+scene(i64 &id_out)
+{
+    SecState s;
+    DataOracle oracle(3);
+    s.mem[0x4000] = 0xaaa; // staged enclave content
+    Action map;
+    map.kind = Action::Kind::OsMap;
+    map.va = 0x40'0000;
+    map.a = 0x6000;
+    (void)SecMachine::step(s, map, oracle);
+    id_out = SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1, 0x8000,
+                                      0x4000);
+    EXPECT_GT(id_out, 0);
+    return s;
+}
+
+TEST(ObserveTest, ActiveRegsOnlyForActivePrincipal)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    s.cpu.regs[0] = 0x1234;
+    const View os_view = observe(s, osPrincipal);
+    EXPECT_TRUE(os_view.isActive);
+    EXPECT_EQ(os_view.activeRegs.regs[0], 0x1234ull);
+    const View enclave_view = observe(s, id);
+    EXPECT_FALSE(enclave_view.isActive);
+}
+
+TEST(ObserveTest, EnclaveSeesItsMappingsAndPages)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    const View view = observe(s, id);
+    // 2 ELRANGE pages (1 Reg + 1 TCS) + 1 mbuf page.
+    EXPECT_EQ(view.mappings.size(), 3u);
+    ASSERT_TRUE(view.mappings.count(0x10'0000));
+    EXPECT_TRUE(s.mon.geo.inEpc(view.mappings.at(0x10'0000).hpa));
+    // The copied-in content is part of the view.
+    bool found_content = false;
+    for (const auto &[addr, value] : view.memory) {
+        if (value == 0xaaa)
+            found_content = true;
+    }
+    EXPECT_TRUE(found_content);
+}
+
+TEST(ObserveTest, EnclaveViewExcludesNormalMemoryAndOsRegs)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    s.mem[0x6000] = 0x5ec; // OS data
+    const View view = observe(s, id);
+    EXPECT_EQ(view.memory.count(0x6000), 0u);
+    // Perturbing OS regs leaves the enclave's view unchanged.
+    SecState s2 = s;
+    s2.cpu.regs[2] = 0x999;
+    EXPECT_TRUE(indistinguishable(s, s2, id));
+    EXPECT_FALSE(indistinguishable(s, s2, osPrincipal));
+}
+
+TEST(ObserveTest, OsViewExcludesEpcContents)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    // Write a secret directly into the enclave's EPC page.
+    const std::set<u64> enclave_pages = observablePages(s, id);
+    ASSERT_FALSE(enclave_pages.empty());
+    const u64 epc_page = *enclave_pages.begin();
+    ASSERT_TRUE(s.mon.geo.inEpc(epc_page));
+    SecState s2 = s;
+    s2.mem[epc_page + 8] = 0x5ec3e7;
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal))
+        << "the OS observed EPC contents";
+    EXPECT_FALSE(indistinguishable(s, s2, id));
+}
+
+TEST(ObserveTest, MbufContentsExcludedFromAllViews)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    SecState s2 = s;
+    s2.mem[0x8000] = 0x123456; // the mbuf backing page
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal));
+    EXPECT_TRUE(indistinguishable(s, s2, id));
+}
+
+TEST(ObserveTest, MbufMappingItselfIsObservable)
+{
+    // The mapping (not the contents) is part of the enclave's view,
+    // being fixed for the enclave's life cycle.
+    i64 id = 0;
+    SecState s = scene(id);
+    const u64 mbuf_va = 0x10'0000 + 64 * pageSize;
+    const View view = observe(s, id);
+    ASSERT_TRUE(view.mappings.count(mbuf_va));
+    EXPECT_EQ(view.mappings.at(mbuf_va).hpa, 0x8000ull);
+}
+
+TEST(ObserveTest, SavedContextObservableToOwnerOnly)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    DataOracle oracle(5);
+    Action enter;
+    enter.kind = Action::Kind::Enter;
+    enter.enclave = id;
+    ASSERT_FALSE(SecMachine::step(s, enter, oracle).faulted);
+    s.cpu.regs[1] = 0x42;
+    Action exit_action;
+    exit_action.kind = Action::Kind::Exit;
+    ASSERT_FALSE(SecMachine::step(s, exit_action, oracle).faulted);
+
+    // The enclave's saved context holds 0x42 and is in its view.
+    const View enclave_view = observe(s, id);
+    ASSERT_TRUE(enclave_view.hasSaved);
+    EXPECT_EQ(enclave_view.savedRegs.regs[1], 0x42ull);
+
+    // Mutating it is invisible to the OS but visible to the enclave.
+    SecState s2 = s;
+    s2.saved[id].regs[1] = 0x43;
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal));
+    EXPECT_FALSE(indistinguishable(s, s2, id));
+}
+
+TEST(ObserveTest, PerturbationPreservesIndistinguishability)
+{
+    i64 id = 0;
+    SecState base = scene(id);
+    Rng rng(0x0b5);
+    for (const Principal p : {osPrincipal, Principal(id)}) {
+        for (int round = 0; round < 50; ++round) {
+            SecState mutated = base;
+            perturbUnobservable(mutated, p, rng);
+            ASSERT_TRUE(indistinguishable(base, mutated, p))
+                << "perturbation leaked into V(p) for p=" << p << ": "
+                << diffViews(observe(base, p), observe(mutated, p));
+        }
+    }
+}
+
+TEST(ObserveTest, PerturbationActuallyChangesSomething)
+{
+    i64 id = 0;
+    SecState base = scene(id);
+    Rng rng(0x0b6);
+    int changed = 0;
+    for (int round = 0; round < 20; ++round) {
+        SecState mutated = base;
+        perturbUnobservable(mutated, id, rng);
+        if (!(mutated == base))
+            ++changed;
+    }
+    EXPECT_GT(changed, 15) << "perturbation is a no-op";
+}
+
+TEST(ObserveTest, DiffViewsDescribesFirstDifference)
+{
+    i64 id = 0;
+    SecState s = scene(id);
+    SecState s2 = s;
+    const std::set<u64> pages = observablePages(s, id);
+    s2.mem[*pages.begin() + 16] = 0x77;
+    const std::string diff =
+        diffViews(observe(s, id), observe(s2, id));
+    EXPECT_NE(diff.find("memory differs"), std::string::npos);
+    EXPECT_EQ(diffViews(observe(s, id), observe(s, id)), "");
+}
+
+} // namespace
+} // namespace hev::sec

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Removal lifecycle in the abstract security model: scrubbing on
+ * teardown, invariant preservation through remove/recreate cycles, and
+ * noninterference across enclave churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccal/specs.hh"
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+
+namespace hev::sec
+{
+namespace
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+TEST(RemovalTest, RemoveScrubsDataMemory)
+{
+    SecState s;
+    DataOracle oracle(3);
+    s.mem[0x4000] = 0x5ec;
+    const i64 id = SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                            0x8000, 0x4000);
+    ASSERT_GT(id, 0);
+
+    // The enclave stores a secret in its private page.
+    Action enter;
+    enter.kind = Action::Kind::Enter;
+    enter.enclave = id;
+    ASSERT_FALSE(SecMachine::step(s, enter, oracle).faulted);
+    s.cpu.regs[0] = 0xdeadbeef;
+    Action store;
+    store.kind = Action::Kind::Store;
+    store.va = 0x10'0000;
+    store.reg = 0;
+    ASSERT_FALSE(SecMachine::step(s, store, oracle).faulted);
+    Action exit_action;
+    exit_action.kind = Action::Kind::Exit;
+    ASSERT_FALSE(SecMachine::step(s, exit_action, oracle).faulted);
+
+    Action remove;
+    remove.kind = Action::Kind::HcRemove;
+    remove.enclave = id;
+    ASSERT_FALSE(SecMachine::step(s, remove, oracle).faulted);
+
+    // Nothing in data memory still holds the secret.
+    for (const auto &[addr, value] : s.mem)
+        ASSERT_NE(value, 0xdeadbeefull)
+            << "secret survived removal at " << std::hex << addr;
+    // The EPCM is clean and the metadata dead.
+    for (const AbsEpcmEntry &entry : s.mon.epcm)
+        ASSERT_EQ(entry.state, epcStateFree);
+    EXPECT_EQ(s.mon.enclaves.at(id).state, enclStateDead);
+}
+
+TEST(RemovalTest, DeadEnclaveIsInert)
+{
+    SecState s;
+    DataOracle oracle(3);
+    const i64 id = SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                            0x8000, 0x4000);
+    ASSERT_GT(id, 0);
+    Action remove;
+    remove.kind = Action::Kind::HcRemove;
+    remove.enclave = id;
+    ASSERT_FALSE(SecMachine::step(s, remove, oracle).faulted);
+
+    EXPECT_TRUE(SecMachine::step(s, remove, oracle).faulted)
+        << "double remove accepted";
+    Action enter;
+    enter.kind = Action::Kind::Enter;
+    enter.enclave = id;
+    EXPECT_TRUE(SecMachine::step(s, enter, oracle).faulted)
+        << "entered a dead enclave";
+    EXPECT_EQ(SecMachine::translate(s, id, 0x10'0000, false), ~0ull)
+        << "a dead enclave still translates";
+    // Its view is empty of mappings and memory.
+    const View view = observe(s, id);
+    EXPECT_TRUE(view.mappings.empty());
+    EXPECT_TRUE(view.memory.empty());
+}
+
+TEST(RemovalTest, RecreatedEnclaveSeesNoGhosts)
+{
+    SecState s;
+    DataOracle oracle(3);
+    s.mem[0x4000] = 0; // zero source page
+    const i64 a = SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                           0x8000, 0x4000);
+    ASSERT_GT(a, 0);
+    Action enter;
+    enter.kind = Action::Kind::Enter;
+    enter.enclave = a;
+    ASSERT_FALSE(SecMachine::step(s, enter, oracle).faulted);
+    s.cpu.regs[0] = 0x4305;
+    Action store;
+    store.kind = Action::Kind::Store;
+    store.va = 0x10'0000;
+    store.reg = 0;
+    ASSERT_FALSE(SecMachine::step(s, store, oracle).faulted);
+    Action exit_action;
+    exit_action.kind = Action::Kind::Exit;
+    ASSERT_FALSE(SecMachine::step(s, exit_action, oracle).faulted);
+    Action remove;
+    remove.kind = Action::Kind::HcRemove;
+    remove.enclave = a;
+    ASSERT_FALSE(SecMachine::step(s, remove, oracle).faulted);
+
+    // A successor reusing the same EPC pages reads zeros.
+    const i64 b = SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                           0x8000, 0x4000);
+    ASSERT_GT(b, 0);
+    enter.enclave = b;
+    ASSERT_FALSE(SecMachine::step(s, enter, oracle).faulted);
+    Action load;
+    load.kind = Action::Kind::Load;
+    load.va = 0x10'0000;
+    load.reg = 1;
+    const StepResult r = SecMachine::step(s, load, oracle);
+    ASSERT_FALSE(r.faulted);
+    EXPECT_NE(r.value, 0x4305ull) << "successor read predecessor data";
+}
+
+TEST(RemovalTest, InvariantsHoldThroughChurn)
+{
+    Rng rng(0xc0ffee);
+    SecState s;
+    DataOracle oracle(7);
+    std::vector<i64> live;
+    for (int step = 0; step < 250; ++step) {
+        if (live.size() < 3 && rng.chance(1, 2)) {
+            const u64 base = 0x10'0000 + rng.below(8) * 0x10'0000;
+            const i64 id = SecMachine::setupEnclave(
+                s, oracle, base, 1 + rng.below(2), 1,
+                0x8000 + rng.below(16) * pageSize, 0x4000);
+            if (id > 0)
+                live.push_back(id);
+        } else if (!live.empty()) {
+            Action remove;
+            remove.kind = Action::Kind::HcRemove;
+            const u64 victim = rng.below(live.size());
+            remove.enclave = live[victim];
+            (void)SecMachine::step(s, remove, oracle);
+            live.erase(live.begin() + victim);
+        }
+        const auto violations = checkInvariants(s.mon);
+        ASSERT_TRUE(violations.empty())
+            << "step " << step << ":\n"
+            << describeViolations(violations);
+    }
+}
+
+TEST(RemovalTest, NiTheoremHoldsAcrossChurnTraces)
+{
+    SecState base;
+    DataOracle oracle(11);
+    base.mem[0x4000] = 0xaaa;
+    const i64 keeper = SecMachine::setupEnclave(
+        base, oracle, 0x10'0000, 1, 1, 0x8000, 0x4000);
+    ASSERT_GT(keeper, 0);
+
+    Rng rng(0xc402);
+    for (int round = 0; round < 8; ++round) {
+        for (const Principal p : {osPrincipal, Principal(keeper)}) {
+            SecState s1 = base;
+            SecState s2 = base;
+            perturbUnobservable(s2, p, rng);
+            // Churn trace: create/remove secondary enclaves around
+            // ordinary activity.
+            std::vector<Action> trace;
+            SecState sim = s1;
+            DataOracle sim_oracle(round);
+            i64 churn = 0;
+            for (int step = 0; step < 100; ++step) {
+                Action action;
+                if (step % 11 == 3) {
+                    action.kind = Action::Kind::HcInit;
+                    action.a = 0x50'0000;
+                    action.b = 0x50'2000;
+                    action.c = 0x60'0000;
+                    action.d = 1;
+                    action.e = 0x20'0000;
+                } else if (step % 11 == 7 && churn > 0) {
+                    action.kind = Action::Kind::HcRemove;
+                    action.enclave = churn;
+                } else {
+                    action = randomAction(sim, rng);
+                    if (action.kind == Action::Kind::HcRemove &&
+                        action.enclave == keeper)
+                        action.kind = Action::Kind::Compute;
+                }
+                trace.push_back(action);
+                const StepResult r =
+                    SecMachine::step(sim, action, sim_oracle);
+                if (action.kind == Action::Kind::HcInit && !r.faulted)
+                    churn = r.code;
+            }
+            auto violation = checkTrace(s1, s2, p, trace, round);
+            ASSERT_FALSE(violation.has_value())
+                << "p=" << p << " round " << round << ": "
+                << violation->lemma << " " << violation->detail;
+        }
+    }
+}
+
+} // namespace
+} // namespace hev::sec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit and property tests for the bit-field helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.hh"
+#include "support/rng.hh"
+
+namespace hev
+{
+namespace
+{
+
+TEST(BitopsTest, MaskBoundaries)
+{
+    EXPECT_EQ(bitMask(0, 0), 1ull);
+    EXPECT_EQ(bitMask(63, 0), ~0ull);
+    EXPECT_EQ(bitMask(63, 63), 1ull << 63);
+    EXPECT_EQ(bitMask(11, 0), 0xfffull);
+    EXPECT_EQ(bitMask(51, 12), 0x000ffffffffff000ull);
+}
+
+TEST(BitopsTest, ExtractAndInsertInverse)
+{
+    const u64 value = 0xdeadbeefcafebabeull;
+    EXPECT_EQ(bits(value, 7, 0), 0xbeull);
+    EXPECT_EQ(bits(value, 63, 56), 0xdeull);
+
+    const u64 patched = insertBits(value, 15, 8, 0x42);
+    EXPECT_EQ(bits(patched, 15, 8), 0x42ull);
+    EXPECT_EQ(bits(patched, 7, 0), 0xbeull);
+    EXPECT_EQ(bits(patched, 63, 16), bits(value, 63, 16));
+}
+
+TEST(BitopsTest, SingleBitOps)
+{
+    u64 v = 0;
+    v = setBit(v, 17, true);
+    EXPECT_TRUE(bit(v, 17));
+    EXPECT_EQ(v, 1ull << 17);
+    v = setBit(v, 17, false);
+    EXPECT_FALSE(bit(v, 17));
+    EXPECT_EQ(v, 0ull);
+}
+
+/** Property sweep: insertBits then bits round-trips for random fields. */
+class BitopsProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(BitopsProperty, InsertExtractRoundTrip)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 200; ++iter) {
+        const int lo = int(rng.below(60));
+        const int hi = lo + int(rng.below(u64(63 - lo)) ) ;
+        const u64 base = rng.next();
+        const u64 field = rng.next() & ((hi - lo == 63) ? ~0ull
+                              : ((1ull << (hi - lo + 1)) - 1));
+        const u64 patched = insertBits(base, hi, lo, field);
+        EXPECT_EQ(bits(patched, hi, lo), field);
+        // Bits outside [hi, lo] are untouched.
+        const u64 outside = ~bitMask(hi, lo);
+        EXPECT_EQ(patched & outside, base & outside);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitopsProperty,
+                         ::testing::Values(1, 2, 3, 101, 0xdeadbeef));
+
+} // namespace
+} // namespace hev

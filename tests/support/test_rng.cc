@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hh"
+
+namespace hev
+{
+namespace
+{
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17ull);
+}
+
+TEST(RngTest, BelowOneIsZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0ull);
+}
+
+TEST(RngTest, BetweenInclusive)
+{
+    Rng rng(7);
+    std::set<u64> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const u64 v = rng.between(5, 8);
+        EXPECT_GE(v, 5ull);
+        EXPECT_LE(v, 8ull);
+        seen.insert(v);
+    }
+    // All four values should appear.
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0, 10));
+        EXPECT_TRUE(rng.chance(10, 10));
+    }
+}
+
+TEST(RngTest, ReseedResets)
+{
+    Rng rng(42);
+    const u64 first = rng.next();
+    rng.next();
+    rng.reseed(42);
+    EXPECT_EQ(rng.next(), first);
+}
+
+} // namespace
+} // namespace hev

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the strong address types and ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/types.hh"
+
+namespace hev
+{
+namespace
+{
+
+TEST(AddrTest, PageArithmetic)
+{
+    Gva va(0x1234'5678);
+    EXPECT_EQ(va.pageNumber(), 0x12345ull);
+    EXPECT_EQ(va.pageOffset(), 0x678ull);
+    EXPECT_FALSE(va.pageAligned());
+    EXPECT_EQ(va.pageBase().value, 0x1234'5000ull);
+    EXPECT_TRUE(va.pageBase().pageAligned());
+}
+
+TEST(AddrTest, AdditionAndDifference)
+{
+    Hpa a(0x1000);
+    Hpa b = a + 0x2000;
+    EXPECT_EQ(b.value, 0x3000ull);
+    EXPECT_EQ(b - a, 0x2000ull);
+    EXPECT_EQ((b - 0x1000).value, 0x2000ull);
+}
+
+TEST(AddrTest, ComparisonOperators)
+{
+    EXPECT_LT(Gpa(1), Gpa(2));
+    EXPECT_EQ(Gpa(7), Gpa(7));
+    EXPECT_GE(Gpa(9), Gpa(9));
+}
+
+TEST(AddrTest, TableIndexDecomposition)
+{
+    // va = idx4:idx3:idx2:idx1:offset
+    const u64 va = (u64(5) << 39) | (u64(17) << 30) | (u64(300) << 21) |
+                   (u64(511) << 12) | 0x123;
+    Gva addr(va);
+    EXPECT_EQ(addr.tableIndex(4), 5ull);
+    EXPECT_EQ(addr.tableIndex(3), 17ull);
+    EXPECT_EQ(addr.tableIndex(2), 300ull);
+    EXPECT_EQ(addr.tableIndex(1), 511ull);
+}
+
+TEST(AddrTest, TableIndexMaxValue)
+{
+    Gva addr(~0ull);
+    for (int level = 1; level <= 4; ++level)
+        EXPECT_EQ(addr.tableIndex(level), 511ull) << "level " << level;
+}
+
+TEST(RangeTest, ContainsAndOverlap)
+{
+    GvaRange r(Gva(0x1000), Gva(0x3000));
+    EXPECT_TRUE(r.contains(Gva(0x1000)));
+    EXPECT_TRUE(r.contains(Gva(0x2fff)));
+    EXPECT_FALSE(r.contains(Gva(0x3000)));
+    EXPECT_FALSE(r.contains(Gva(0xfff)));
+    EXPECT_EQ(r.size(), 0x2000ull);
+
+    EXPECT_TRUE(r.overlaps({Gva(0x2000), Gva(0x4000)}));
+    EXPECT_TRUE(r.overlaps({Gva(0), Gva(0x1001)}));
+    EXPECT_FALSE(r.overlaps({Gva(0x3000), Gva(0x4000)}));
+    EXPECT_FALSE(r.overlaps({Gva(0), Gva(0x1000)}));
+}
+
+TEST(RangeTest, ContainsRange)
+{
+    GvaRange outer(Gva(0x1000), Gva(0x9000));
+    EXPECT_TRUE(outer.containsRange({Gva(0x1000), Gva(0x9000)}));
+    EXPECT_TRUE(outer.containsRange({Gva(0x2000), Gva(0x3000)}));
+    EXPECT_FALSE(outer.containsRange({Gva(0x0), Gva(0x2000)}));
+    EXPECT_FALSE(outer.containsRange({Gva(0x8000), Gva(0xa000)}));
+}
+
+TEST(RangeTest, EmptyRange)
+{
+    GvaRange r(Gva(0x1000), Gva(0x1000));
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0ull);
+    EXPECT_FALSE(r.contains(Gva(0x1000)));
+    EXPECT_FALSE(r.overlaps({Gva(0), Gva(0x10000)}));
+}
+
+TEST(AddrTest, HashDistinct)
+{
+    std::hash<Gva> h;
+    EXPECT_NE(h(Gva(1)), h(Gva(2)));
+    EXPECT_EQ(h(Gva(42)), h(Gva(42)));
+}
+
+} // namespace
+} // namespace hev
