@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_translate.dir/bench_fig2_translate.cc.o"
+  "CMakeFiles/bench_fig2_translate.dir/bench_fig2_translate.cc.o.d"
+  "bench_fig2_translate"
+  "bench_fig2_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pointers.dir/bench_fig4_pointers.cc.o"
+  "CMakeFiles/bench_fig4_pointers.dir/bench_fig4_pointers.cc.o.d"
+  "bench_fig4_pointers"
+  "bench_fig4_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

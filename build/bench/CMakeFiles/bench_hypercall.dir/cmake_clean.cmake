@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypercall.dir/bench_hypercall.cc.o"
+  "CMakeFiles/bench_hypercall.dir/bench_hypercall.cc.o.d"
+  "bench_hypercall"
+  "bench_hypercall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypercall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

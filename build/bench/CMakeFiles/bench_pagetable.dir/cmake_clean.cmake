@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagetable.dir/bench_pagetable.cc.o"
+  "CMakeFiles/bench_pagetable.dir/bench_pagetable.cc.o.d"
+  "bench_pagetable"
+  "bench_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

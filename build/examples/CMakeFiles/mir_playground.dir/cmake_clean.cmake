@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_playground.dir/mir_playground.cpp.o"
+  "CMakeFiles/mir_playground.dir/mir_playground.cpp.o.d"
+  "mir_playground"
+  "mir_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealed_counter.dir/sealed_counter.cpp.o"
+  "CMakeFiles/sealed_counter.dir/sealed_counter.cpp.o.d"
+  "sealed_counter"
+  "sealed_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealed_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

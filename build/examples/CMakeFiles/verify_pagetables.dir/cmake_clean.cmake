@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_pagetables.dir/verify_pagetables.cpp.o"
+  "CMakeFiles/verify_pagetables.dir/verify_pagetables.cpp.o.d"
+  "verify_pagetables"
+  "verify_pagetables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_pagetables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

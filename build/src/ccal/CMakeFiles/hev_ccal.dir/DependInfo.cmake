@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccal/checker.cc" "src/ccal/CMakeFiles/hev_ccal.dir/checker.cc.o" "gcc" "src/ccal/CMakeFiles/hev_ccal.dir/checker.cc.o.d"
+  "/root/repo/src/ccal/coverage.cc" "src/ccal/CMakeFiles/hev_ccal.dir/coverage.cc.o" "gcc" "src/ccal/CMakeFiles/hev_ccal.dir/coverage.cc.o.d"
+  "/root/repo/src/ccal/flat_state.cc" "src/ccal/CMakeFiles/hev_ccal.dir/flat_state.cc.o" "gcc" "src/ccal/CMakeFiles/hev_ccal.dir/flat_state.cc.o.d"
+  "/root/repo/src/ccal/specs.cc" "src/ccal/CMakeFiles/hev_ccal.dir/specs.cc.o" "gcc" "src/ccal/CMakeFiles/hev_ccal.dir/specs.cc.o.d"
+  "/root/repo/src/ccal/tree_state.cc" "src/ccal/CMakeFiles/hev_ccal.dir/tree_state.cc.o" "gcc" "src/ccal/CMakeFiles/hev_ccal.dir/tree_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mirlight/CMakeFiles/hev_mirlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirmodels/CMakeFiles/hev_mirmodels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_ccal.dir/checker.cc.o"
+  "CMakeFiles/hev_ccal.dir/checker.cc.o.d"
+  "CMakeFiles/hev_ccal.dir/coverage.cc.o"
+  "CMakeFiles/hev_ccal.dir/coverage.cc.o.d"
+  "CMakeFiles/hev_ccal.dir/flat_state.cc.o"
+  "CMakeFiles/hev_ccal.dir/flat_state.cc.o.d"
+  "CMakeFiles/hev_ccal.dir/specs.cc.o"
+  "CMakeFiles/hev_ccal.dir/specs.cc.o.d"
+  "CMakeFiles/hev_ccal.dir/tree_state.cc.o"
+  "CMakeFiles/hev_ccal.dir/tree_state.cc.o.d"
+  "libhev_ccal.a"
+  "libhev_ccal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_ccal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hev_ccal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/epcm.cc" "src/hv/CMakeFiles/hev_hv.dir/epcm.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/epcm.cc.o.d"
+  "/root/repo/src/hv/frame_alloc.cc" "src/hv/CMakeFiles/hev_hv.dir/frame_alloc.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/frame_alloc.cc.o.d"
+  "/root/repo/src/hv/guest.cc" "src/hv/CMakeFiles/hev_hv.dir/guest.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/guest.cc.o.d"
+  "/root/repo/src/hv/hv_invariants.cc" "src/hv/CMakeFiles/hev_hv.dir/hv_invariants.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/hv_invariants.cc.o.d"
+  "/root/repo/src/hv/machine.cc" "src/hv/CMakeFiles/hev_hv.dir/machine.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/machine.cc.o.d"
+  "/root/repo/src/hv/monitor.cc" "src/hv/CMakeFiles/hev_hv.dir/monitor.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/monitor.cc.o.d"
+  "/root/repo/src/hv/page_table.cc" "src/hv/CMakeFiles/hev_hv.dir/page_table.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/page_table.cc.o.d"
+  "/root/repo/src/hv/phys_mem.cc" "src/hv/CMakeFiles/hev_hv.dir/phys_mem.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hv/pte.cc" "src/hv/CMakeFiles/hev_hv.dir/pte.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/pte.cc.o.d"
+  "/root/repo/src/hv/tlb.cc" "src/hv/CMakeFiles/hev_hv.dir/tlb.cc.o" "gcc" "src/hv/CMakeFiles/hev_hv.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_hv.dir/epcm.cc.o"
+  "CMakeFiles/hev_hv.dir/epcm.cc.o.d"
+  "CMakeFiles/hev_hv.dir/frame_alloc.cc.o"
+  "CMakeFiles/hev_hv.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/hev_hv.dir/guest.cc.o"
+  "CMakeFiles/hev_hv.dir/guest.cc.o.d"
+  "CMakeFiles/hev_hv.dir/hv_invariants.cc.o"
+  "CMakeFiles/hev_hv.dir/hv_invariants.cc.o.d"
+  "CMakeFiles/hev_hv.dir/machine.cc.o"
+  "CMakeFiles/hev_hv.dir/machine.cc.o.d"
+  "CMakeFiles/hev_hv.dir/monitor.cc.o"
+  "CMakeFiles/hev_hv.dir/monitor.cc.o.d"
+  "CMakeFiles/hev_hv.dir/page_table.cc.o"
+  "CMakeFiles/hev_hv.dir/page_table.cc.o.d"
+  "CMakeFiles/hev_hv.dir/phys_mem.cc.o"
+  "CMakeFiles/hev_hv.dir/phys_mem.cc.o.d"
+  "CMakeFiles/hev_hv.dir/pte.cc.o"
+  "CMakeFiles/hev_hv.dir/pte.cc.o.d"
+  "CMakeFiles/hev_hv.dir/tlb.cc.o"
+  "CMakeFiles/hev_hv.dir/tlb.cc.o.d"
+  "libhev_hv.a"
+  "libhev_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

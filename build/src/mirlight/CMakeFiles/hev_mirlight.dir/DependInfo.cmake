@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mirlight/builder.cc" "src/mirlight/CMakeFiles/hev_mirlight.dir/builder.cc.o" "gcc" "src/mirlight/CMakeFiles/hev_mirlight.dir/builder.cc.o.d"
+  "/root/repo/src/mirlight/interp.cc" "src/mirlight/CMakeFiles/hev_mirlight.dir/interp.cc.o" "gcc" "src/mirlight/CMakeFiles/hev_mirlight.dir/interp.cc.o.d"
+  "/root/repo/src/mirlight/memory.cc" "src/mirlight/CMakeFiles/hev_mirlight.dir/memory.cc.o" "gcc" "src/mirlight/CMakeFiles/hev_mirlight.dir/memory.cc.o.d"
+  "/root/repo/src/mirlight/printer.cc" "src/mirlight/CMakeFiles/hev_mirlight.dir/printer.cc.o" "gcc" "src/mirlight/CMakeFiles/hev_mirlight.dir/printer.cc.o.d"
+  "/root/repo/src/mirlight/value.cc" "src/mirlight/CMakeFiles/hev_mirlight.dir/value.cc.o" "gcc" "src/mirlight/CMakeFiles/hev_mirlight.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

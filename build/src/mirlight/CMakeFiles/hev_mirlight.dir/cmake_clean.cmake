@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_mirlight.dir/builder.cc.o"
+  "CMakeFiles/hev_mirlight.dir/builder.cc.o.d"
+  "CMakeFiles/hev_mirlight.dir/interp.cc.o"
+  "CMakeFiles/hev_mirlight.dir/interp.cc.o.d"
+  "CMakeFiles/hev_mirlight.dir/memory.cc.o"
+  "CMakeFiles/hev_mirlight.dir/memory.cc.o.d"
+  "CMakeFiles/hev_mirlight.dir/printer.cc.o"
+  "CMakeFiles/hev_mirlight.dir/printer.cc.o.d"
+  "CMakeFiles/hev_mirlight.dir/value.cc.o"
+  "CMakeFiles/hev_mirlight.dir/value.cc.o.d"
+  "libhev_mirlight.a"
+  "libhev_mirlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_mirlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

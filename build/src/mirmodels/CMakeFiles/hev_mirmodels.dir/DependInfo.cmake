@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mirmodels/l02_frame_alloc.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l02_frame_alloc.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l02_frame_alloc.cc.o.d"
+  "/root/repo/src/mirmodels/l03_pte_ops.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l03_pte_ops.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l03_pte_ops.cc.o.d"
+  "/root/repo/src/mirmodels/l04_table_index.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l04_table_index.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l04_table_index.cc.o.d"
+  "/root/repo/src/mirmodels/l05_entry_access.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l05_entry_access.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l05_entry_access.cc.o.d"
+  "/root/repo/src/mirmodels/l06_next_table.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l06_next_table.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l06_next_table.cc.o.d"
+  "/root/repo/src/mirmodels/l07_walk.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l07_walk.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l07_walk.cc.o.d"
+  "/root/repo/src/mirmodels/l08_query.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l08_query.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l08_query.cc.o.d"
+  "/root/repo/src/mirmodels/l09_map.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l09_map.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l09_map.cc.o.d"
+  "/root/repo/src/mirmodels/l10_unmap.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l10_unmap.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l10_unmap.cc.o.d"
+  "/root/repo/src/mirmodels/l11_addr_space.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l11_addr_space.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l11_addr_space.cc.o.d"
+  "/root/repo/src/mirmodels/l12_epcm.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l12_epcm.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l12_epcm.cc.o.d"
+  "/root/repo/src/mirmodels/l13_mbuf.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l13_mbuf.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l13_mbuf.cc.o.d"
+  "/root/repo/src/mirmodels/l14_hypercalls.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l14_hypercalls.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l14_hypercalls.cc.o.d"
+  "/root/repo/src/mirmodels/l15_mem_iso.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l15_mem_iso.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/l15_mem_iso.cc.o.d"
+  "/root/repo/src/mirmodels/registry.cc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/registry.cc.o" "gcc" "src/mirmodels/CMakeFiles/hev_mirmodels.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mirlight/CMakeFiles/hev_mirlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccal/CMakeFiles/hev_ccal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_mirmodels.dir/l02_frame_alloc.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l02_frame_alloc.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l03_pte_ops.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l03_pte_ops.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l04_table_index.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l04_table_index.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l05_entry_access.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l05_entry_access.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l06_next_table.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l06_next_table.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l07_walk.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l07_walk.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l08_query.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l08_query.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l09_map.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l09_map.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l10_unmap.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l10_unmap.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l11_addr_space.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l11_addr_space.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l12_epcm.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l12_epcm.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l13_mbuf.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l13_mbuf.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l14_hypercalls.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l14_hypercalls.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/l15_mem_iso.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/l15_mem_iso.cc.o.d"
+  "CMakeFiles/hev_mirmodels.dir/registry.cc.o"
+  "CMakeFiles/hev_mirmodels.dir/registry.cc.o.d"
+  "libhev_mirmodels.a"
+  "libhev_mirmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_mirmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

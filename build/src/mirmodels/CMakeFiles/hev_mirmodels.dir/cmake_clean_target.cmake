@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhev_mirmodels.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sec/attacks.cc" "src/sec/CMakeFiles/hev_sec.dir/attacks.cc.o" "gcc" "src/sec/CMakeFiles/hev_sec.dir/attacks.cc.o.d"
+  "/root/repo/src/sec/invariants.cc" "src/sec/CMakeFiles/hev_sec.dir/invariants.cc.o" "gcc" "src/sec/CMakeFiles/hev_sec.dir/invariants.cc.o.d"
+  "/root/repo/src/sec/machine.cc" "src/sec/CMakeFiles/hev_sec.dir/machine.cc.o" "gcc" "src/sec/CMakeFiles/hev_sec.dir/machine.cc.o.d"
+  "/root/repo/src/sec/noninterference.cc" "src/sec/CMakeFiles/hev_sec.dir/noninterference.cc.o" "gcc" "src/sec/CMakeFiles/hev_sec.dir/noninterference.cc.o.d"
+  "/root/repo/src/sec/observe.cc" "src/sec/CMakeFiles/hev_sec.dir/observe.cc.o" "gcc" "src/sec/CMakeFiles/hev_sec.dir/observe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccal/CMakeFiles/hev_ccal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirmodels/CMakeFiles/hev_mirmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirlight/CMakeFiles/hev_mirlight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

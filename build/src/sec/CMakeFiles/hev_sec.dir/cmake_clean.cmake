@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_sec.dir/attacks.cc.o"
+  "CMakeFiles/hev_sec.dir/attacks.cc.o.d"
+  "CMakeFiles/hev_sec.dir/invariants.cc.o"
+  "CMakeFiles/hev_sec.dir/invariants.cc.o.d"
+  "CMakeFiles/hev_sec.dir/machine.cc.o"
+  "CMakeFiles/hev_sec.dir/machine.cc.o.d"
+  "CMakeFiles/hev_sec.dir/noninterference.cc.o"
+  "CMakeFiles/hev_sec.dir/noninterference.cc.o.d"
+  "CMakeFiles/hev_sec.dir/observe.cc.o"
+  "CMakeFiles/hev_sec.dir/observe.cc.o.d"
+  "libhev_sec.a"
+  "libhev_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

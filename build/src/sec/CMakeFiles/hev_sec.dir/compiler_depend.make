@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hev_sec.
+# This may be replaced when dependencies are built.

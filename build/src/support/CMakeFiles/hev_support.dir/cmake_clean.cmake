@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hev_support.dir/logging.cc.o"
+  "CMakeFiles/hev_support.dir/logging.cc.o.d"
+  "CMakeFiles/hev_support.dir/result.cc.o"
+  "CMakeFiles/hev_support.dir/result.cc.o.d"
+  "CMakeFiles/hev_support.dir/rng.cc.o"
+  "CMakeFiles/hev_support.dir/rng.cc.o.d"
+  "libhev_support.a"
+  "libhev_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hev_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance_high.dir/test_conformance_high.cc.o"
+  "CMakeFiles/test_conformance_high.dir/test_conformance_high.cc.o.d"
+  "test_conformance_high"
+  "test_conformance_high.pdb"
+  "test_conformance_high[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance_low.dir/test_conformance_low.cc.o"
+  "CMakeFiles/test_conformance_low.dir/test_conformance_low.cc.o.d"
+  "test_conformance_low"
+  "test_conformance_low.pdb"
+  "test_conformance_low[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

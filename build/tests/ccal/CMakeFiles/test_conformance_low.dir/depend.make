@@ -1,0 +1,2 @@
+# Empty dependencies file for test_conformance_low.
+# This may be replaced when dependencies are built.

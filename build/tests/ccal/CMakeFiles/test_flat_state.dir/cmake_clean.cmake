@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_state.dir/test_flat_state.cc.o"
+  "CMakeFiles/test_flat_state.dir/test_flat_state.cc.o.d"
+  "test_flat_state"
+  "test_flat_state.pdb"
+  "test_flat_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

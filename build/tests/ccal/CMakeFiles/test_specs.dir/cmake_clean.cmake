@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specs.dir/test_specs.cc.o"
+  "CMakeFiles/test_specs.dir/test_specs.cc.o.d"
+  "test_specs"
+  "test_specs.pdb"
+  "test_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ccal
+# Build directory: /root/repo/build/tests/ccal
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ccal/test_flat_state[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_specs[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_conformance_low[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_conformance_high[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_refinement[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_mutation[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_coverage[1]_include.cmake")
+include("/root/repo/build/tests/ccal/test_exhaustive[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epcm.dir/test_epcm.cc.o"
+  "CMakeFiles/test_epcm.dir/test_epcm.cc.o.d"
+  "test_epcm"
+  "test_epcm.pdb"
+  "test_epcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_alloc.dir/test_frame_alloc.cc.o"
+  "CMakeFiles/test_frame_alloc.dir/test_frame_alloc.cc.o.d"
+  "test_frame_alloc"
+  "test_frame_alloc.pdb"
+  "test_frame_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/test_guest.cc" "tests/hv/CMakeFiles/test_guest.dir/test_guest.cc.o" "gcc" "tests/hv/CMakeFiles/test_guest.dir/test_guest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/hev_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sec/CMakeFiles/hev_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccal/CMakeFiles/hev_ccal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirmodels/CMakeFiles/hev_mirmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirlight/CMakeFiles/hev_mirlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hev_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest.dir/test_guest.cc.o"
+  "CMakeFiles/test_guest.dir/test_guest.cc.o.d"
+  "test_guest"
+  "test_guest.pdb"
+  "test_guest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

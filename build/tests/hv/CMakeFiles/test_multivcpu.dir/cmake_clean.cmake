@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multivcpu.dir/test_multivcpu.cc.o"
+  "CMakeFiles/test_multivcpu.dir/test_multivcpu.cc.o.d"
+  "test_multivcpu"
+  "test_multivcpu.pdb"
+  "test_multivcpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multivcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_mem.dir/test_phys_mem.cc.o"
+  "CMakeFiles/test_phys_mem.dir/test_phys_mem.cc.o.d"
+  "test_phys_mem"
+  "test_phys_mem.pdb"
+  "test_phys_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

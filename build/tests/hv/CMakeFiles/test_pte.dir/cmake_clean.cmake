@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pte.dir/test_pte.cc.o"
+  "CMakeFiles/test_pte.dir/test_pte.cc.o.d"
+  "test_pte"
+  "test_pte.pdb"
+  "test_pte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

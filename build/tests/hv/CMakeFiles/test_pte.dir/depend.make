@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pte.
+# This may be replaced when dependencies are built.

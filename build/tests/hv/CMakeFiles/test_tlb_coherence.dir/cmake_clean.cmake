@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_coherence.dir/test_tlb_coherence.cc.o"
+  "CMakeFiles/test_tlb_coherence.dir/test_tlb_coherence.cc.o.d"
+  "test_tlb_coherence"
+  "test_tlb_coherence.pdb"
+  "test_tlb_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

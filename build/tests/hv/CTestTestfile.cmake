@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hv
+# Build directory: /root/repo/build/tests/hv
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hv/test_phys_mem[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_frame_alloc[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_pte[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_epcm[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_guest[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_tlb_coherence[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_multivcpu[1]_include.cmake")
+include("/root/repo/build/tests/hv/test_hv_invariants[1]_include.cmake")

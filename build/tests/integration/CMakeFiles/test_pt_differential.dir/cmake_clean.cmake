@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pt_differential.dir/test_pt_differential.cc.o"
+  "CMakeFiles/test_pt_differential.dir/test_pt_differential.cc.o.d"
+  "test_pt_differential"
+  "test_pt_differential.pdb"
+  "test_pt_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pt_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

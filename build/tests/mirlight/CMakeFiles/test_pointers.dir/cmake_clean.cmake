@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointers.dir/test_pointers.cc.o"
+  "CMakeFiles/test_pointers.dir/test_pointers.cc.o.d"
+  "test_pointers"
+  "test_pointers.pdb"
+  "test_pointers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

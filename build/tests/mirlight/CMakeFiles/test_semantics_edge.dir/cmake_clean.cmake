@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics_edge.dir/test_semantics_edge.cc.o"
+  "CMakeFiles/test_semantics_edge.dir/test_semantics_edge.cc.o.d"
+  "test_semantics_edge"
+  "test_semantics_edge.pdb"
+  "test_semantics_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

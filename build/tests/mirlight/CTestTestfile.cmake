@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mirlight
+# Build directory: /root/repo/build/tests/mirlight
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mirlight/test_value[1]_include.cmake")
+include("/root/repo/build/tests/mirlight/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/mirlight/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/mirlight/test_pointers[1]_include.cmake")
+include("/root/repo/build/tests/mirlight/test_semantics_edge[1]_include.cmake")
+include("/root/repo/build/tests/mirlight/test_printer[1]_include.cmake")

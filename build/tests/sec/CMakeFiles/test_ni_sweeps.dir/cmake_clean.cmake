@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ni_sweeps.dir/test_ni_sweeps.cc.o"
+  "CMakeFiles/test_ni_sweeps.dir/test_ni_sweeps.cc.o.d"
+  "test_ni_sweeps"
+  "test_ni_sweeps.pdb"
+  "test_ni_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ni_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

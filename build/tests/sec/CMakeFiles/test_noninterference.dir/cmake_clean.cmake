@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noninterference.dir/test_noninterference.cc.o"
+  "CMakeFiles/test_noninterference.dir/test_noninterference.cc.o.d"
+  "test_noninterference"
+  "test_noninterference.pdb"
+  "test_noninterference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noninterference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observe.dir/test_observe.cc.o"
+  "CMakeFiles/test_observe.dir/test_observe.cc.o.d"
+  "test_observe"
+  "test_observe.pdb"
+  "test_observe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_removal.dir/test_removal.cc.o"
+  "CMakeFiles/test_removal.dir/test_removal.cc.o.d"
+  "test_removal"
+  "test_removal.pdb"
+  "test_removal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec_machine.dir/test_sec_machine.cc.o"
+  "CMakeFiles/test_sec_machine.dir/test_sec_machine.cc.o.d"
+  "test_sec_machine"
+  "test_sec_machine.pdb"
+  "test_sec_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

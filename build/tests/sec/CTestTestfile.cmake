@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sec
+# Build directory: /root/repo/build/tests/sec
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sec/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/sec/test_sec_machine[1]_include.cmake")
+include("/root/repo/build/tests/sec/test_observe[1]_include.cmake")
+include("/root/repo/build/tests/sec/test_noninterference[1]_include.cmake")
+include("/root/repo/build/tests/sec/test_ni_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/sec/test_removal[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result.dir/test_result.cc.o"
+  "CMakeFiles/test_result.dir/test_result.cc.o.d"
+  "test_result"
+  "test_result.pdb"
+  "test_result[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

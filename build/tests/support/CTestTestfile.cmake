@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/support
+# Build directory: /root/repo/build/tests/support
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support/test_types[1]_include.cmake")
+include("/root/repo/build/tests/support/test_result[1]_include.cmake")
+include("/root/repo/build/tests/support/test_bitops[1]_include.cmake")
+include("/root/repo/build/tests/support/test_rng[1]_include.cmake")
