@@ -1,0 +1,226 @@
+#include "check/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace hev::check
+{
+
+namespace
+{
+
+/** Mutex-free per-worker accumulator, merged after the join. */
+struct WorkerStats
+{
+    u64 scenarios = 0;
+    u64 skipped = 0;
+    u64 checks = 0;
+    u64 failures = 0;
+    std::map<std::string, u64> scenariosByKind;
+    std::map<std::string, u64> checksByKind;
+    std::map<int, u64> scenariosByLayer;
+    std::optional<Counterexample> first;
+
+    void
+    record(const Counterexample &failure)
+    {
+        ++failures;
+        if (!first || failure.earlierThan(*first))
+            first = failure;
+    }
+};
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::ostringstream out;
+    for (const char c : text) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          default:
+            if (u8(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                out << c;
+            }
+        }
+    }
+    return out.str();
+}
+
+template <typename K>
+void
+renderCountMap(std::ostringstream &out, const char *name,
+               const std::map<K, u64> &counts, const char *indent)
+{
+    out << indent << "\"" << name << "\": {";
+    bool firstEntry = true;
+    for (const auto &[key, count] : counts) {
+        if (!firstEntry)
+            out << ", ";
+        firstEntry = false;
+        out << "\"" << key << "\": " << count;
+    }
+    out << "}";
+}
+
+} // namespace
+
+std::string
+renderResultJson(const CampaignReport &report)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"seed\": " << report.seed << ",\n";
+    out << "  \"scenarios\": " << report.scenarios << ",\n";
+    out << "  \"skipped\": " << report.skipped << ",\n";
+    out << "  \"checks\": " << report.checks << ",\n";
+    out << "  \"failures\": " << report.failures << ",\n";
+    renderCountMap(out, "scenarios_by_kind", report.scenariosByKind,
+                   "  ");
+    out << ",\n";
+    renderCountMap(out, "checks_by_kind", report.checksByKind, "  ");
+    out << ",\n";
+    renderCountMap(out, "scenarios_by_layer", report.scenariosByLayer,
+                   "  ");
+    out << ",\n";
+    if (report.first) {
+        out << "  \"first_counterexample\": {\n";
+        out << "    \"shard\": " << report.first->shard << ",\n";
+        out << "    \"iteration\": " << report.first->iteration << ",\n";
+        out << "    \"scenario\": \"" << jsonEscape(report.first->scenario)
+            << "\",\n";
+        out << "    \"detail\": \"" << jsonEscape(report.first->detail)
+            << "\"\n";
+        out << "  }\n";
+    } else {
+        out << "  \"first_counterexample\": null\n";
+    }
+    out << "}";
+    return out.str();
+}
+
+std::string
+renderJson(const CampaignReport &report)
+{
+    std::ostringstream out;
+    out << "{\n\"campaign\": " << renderResultJson(report) << ",\n";
+    out << "\"execution\": {\n";
+    out << "  \"threads\": " << report.threads << ",\n";
+    out << "  \"elapsed_seconds\": " << report.elapsedSeconds << ",\n";
+    out << "  \"scenarios_per_second\": " << report.scenariosPerSecond
+        << "\n";
+    out << "}\n}\n";
+    return out.str();
+}
+
+bool
+writeJsonReport(const CampaignReport &report, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << renderJson(report);
+    return bool(out);
+}
+
+CampaignReport
+Campaign::run() const
+{
+    const unsigned threads = cfg.threads ? cfg.threads : 1;
+    const auto start = std::chrono::steady_clock::now();
+
+    // Shard streams, derived incrementally: streams[i] is
+    // Rng(seed).split(i), one long-jump per shard instead of O(i).
+    std::vector<Rng> streams;
+    streams.reserve(scenarios.size());
+    Rng cursor(cfg.seed);
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        cursor.longJump();
+        streams.push_back(cursor);
+    }
+
+    std::atomic<u64> nextShard{0};
+    std::atomic<u64> lowestFailingShard{~0ull};
+    std::vector<WorkerStats> stats(threads);
+
+    const auto worker = [&](unsigned worker_id) {
+        WorkerStats &local = stats[worker_id];
+        for (;;) {
+            const u64 shard = nextShard.fetch_add(1);
+            if (shard >= scenarios.size())
+                return;
+            if (cfg.stopOnFailure &&
+                shard > lowestFailingShard.load()) {
+                ++local.skipped;
+                continue;
+            }
+            const Scenario &scenario = scenarios[shard];
+            ShardContext ctx(shard, streams[shard]);
+            const std::optional<std::string> detail = scenario.body(ctx);
+            ++local.scenarios;
+            local.checks += ctx.checks();
+            ++local.scenariosByKind[scenario.kind];
+            local.checksByKind[scenario.kind] += ctx.checks();
+            ++local.scenariosByLayer[scenario.layer];
+            if (detail) {
+                local.record(Counterexample{shard, ctx.checks(),
+                                            scenario.name, *detail});
+                // CAS-min so later shards can be skipped.
+                u64 seen = lowestFailingShard.load();
+                while (shard < seen &&
+                       !lowestFailingShard.compare_exchange_weak(seen,
+                                                                 shard))
+                    ;
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            pool.emplace_back(worker, i);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    CampaignReport report;
+    report.seed = cfg.seed;
+    report.threads = threads;
+    for (const WorkerStats &local : stats) {
+        report.scenarios += local.scenarios;
+        report.skipped += local.skipped;
+        report.checks += local.checks;
+        report.failures += local.failures;
+        for (const auto &[kind, count] : local.scenariosByKind)
+            report.scenariosByKind[kind] += count;
+        for (const auto &[kind, count] : local.checksByKind)
+            report.checksByKind[kind] += count;
+        for (const auto &[layer, count] : local.scenariosByLayer)
+            report.scenariosByLayer[layer] += count;
+        if (local.first &&
+            (!report.first || local.first->earlierThan(*report.first)))
+            report.first = local.first;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    report.elapsedSeconds =
+        std::chrono::duration<double>(elapsed).count();
+    report.scenariosPerSecond =
+        report.elapsedSeconds > 0.0
+            ? double(report.scenarios) / report.elapsedSeconds
+            : 0.0;
+    return report;
+}
+
+} // namespace hev::check

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The checking-campaign runner: parallel, sharded, deterministic.
+ *
+ * A campaign is a bag of independent *scenarios* — one conformance
+ * sweep, one noninterference lockstep trace bundle, one exhaustive
+ * block — each owning its state and drawing randomness only from a
+ * per-scenario RNG stream derived from the campaign seed via
+ * Rng::split.  Because a scenario's outcome depends only on (seed,
+ * shard id), the campaign's results are identical at every thread
+ * count: workers merely race to *execute* shards, never to *define*
+ * them.  This is the axis the paper's proof effort turns into: check
+ * budget per wall-clock second scales with cores.
+ */
+
+#ifndef HEV_CHECK_CAMPAIGN_HH
+#define HEV_CHECK_CAMPAIGN_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace hev::check
+{
+
+/**
+ * A failed check, addressed by (shard, iteration) so that "first"
+ * is a total order independent of scheduling: the counterexample a
+ * campaign reports is always the one with the lowest shard id,
+ * breaking ties by the iteration within the shard.
+ */
+struct Counterexample
+{
+    u64 shard = 0;        //!< scenario index == RNG shard id
+    u64 iteration = 0;    //!< check count within the scenario
+    std::string scenario; //!< scenario name
+    std::string detail;   //!< what diverged
+
+    /** Deterministic ordering used by the aggregator. */
+    bool
+    earlierThan(const Counterexample &other) const
+    {
+        return shard != other.shard ? shard < other.shard
+                                    : iteration < other.iteration;
+    }
+};
+
+/**
+ * Execution context handed to a scenario body: its private RNG stream
+ * and the running check counter (the iteration coordinate of any
+ * failure the body reports).
+ */
+class ShardContext
+{
+  public:
+    ShardContext(u64 shard_id, Rng shard_stream)
+        : id(shard_id), stream(std::move(shard_stream))
+    {}
+
+    Rng &rng() { return stream; }
+    u64 shard() const { return id; }
+
+    /** Record one executed check. */
+    void tick() { ++checksRun; }
+    u64 checks() const { return checksRun; }
+
+  private:
+    u64 id;
+    Rng stream;
+    u64 checksRun = 0;
+};
+
+/**
+ * One unit of campaign work.  The body runs every check it owns,
+ * calling ctx.tick() per check, and returns the failure detail of the
+ * first diverging check (nullopt if all pass).  Bodies must be
+ * self-contained: own state, no globals, randomness only from ctx.
+ */
+struct Scenario
+{
+    std::string name;
+    std::string kind; //!< conformance | exhaustive | noninterference | ...
+    int layer = 0;    //!< 0 when not layer-specific
+    std::function<std::optional<std::string>(ShardContext &)> body;
+};
+
+struct CampaignConfig
+{
+    u64 seed = 0x5eed;
+    unsigned threads = 1;
+    /**
+     * Skip scenarios with a higher shard id than the lowest failing
+     * shard seen so far.  The reported first counterexample stays
+     * deterministic (shards below a failure always run to completion),
+     * but the aggregate counters become schedule-dependent, so the
+     * deterministic report section is only byte-stable with this off.
+     */
+    bool stopOnFailure = false;
+};
+
+/** Aggregated result of one campaign run. */
+struct CampaignReport
+{
+    u64 seed = 0;
+    u64 scenarios = 0; //!< scenarios executed (== scheduled unless skipping)
+    u64 skipped = 0;   //!< scenarios skipped by stopOnFailure
+    u64 checks = 0;
+    u64 failures = 0;
+    std::map<std::string, u64> scenariosByKind;
+    std::map<std::string, u64> checksByKind;
+    std::map<int, u64> scenariosByLayer;
+    std::optional<Counterexample> first;
+
+    unsigned threads = 0;
+    double elapsedSeconds = 0.0;
+    double scenariosPerSecond = 0.0;
+};
+
+/**
+ * Render the seed-deterministic "campaign" section: identical bytes
+ * for identical (seed, scenario list) at any thread count, provided
+ * stopOnFailure was off.
+ */
+std::string renderResultJson(const CampaignReport &report);
+
+/** Full report: the result section plus the "execution" section. */
+std::string renderJson(const CampaignReport &report);
+
+/** Write renderJson(report) to a file (for bench/ and CI). */
+bool writeJsonReport(const CampaignReport &report,
+                     const std::string &path);
+
+/** The work-queue runner. */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignConfig config = {}) : cfg(config) {}
+
+    void
+    add(Scenario scenario)
+    {
+        scenarios.push_back(std::move(scenario));
+    }
+
+    void
+    add(std::vector<Scenario> more)
+    {
+        for (Scenario &scenario : more)
+            scenarios.push_back(std::move(scenario));
+    }
+
+    u64 size() const { return scenarios.size(); }
+
+    /**
+     * Execute every scenario across cfg.threads workers.  Shard i runs
+     * with stream Rng(cfg.seed).split(i); each worker owns a private
+     * stats accumulator (merged after join — no locks on the hot
+     * path), and the counterexample aggregator keeps the earliest
+     * failure under Counterexample::earlierThan.
+     */
+    CampaignReport run() const;
+
+  private:
+    CampaignConfig cfg;
+    std::vector<Scenario> scenarios;
+};
+
+} // namespace hev::check
+
+#endif // HEV_CHECK_CAMPAIGN_HH

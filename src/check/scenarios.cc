@@ -1,0 +1,944 @@
+#include "check/scenarios.hh"
+
+#include <sstream>
+
+#include "ccal/checker.hh"
+#include "ccal/specs.hh"
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+#include "sec/observe.hh"
+
+namespace hev::check
+{
+namespace
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+using mir::Value;
+
+Value
+iv(i64 x)
+{
+    return Value::intVal(x);
+}
+
+Value
+uv(u64 x)
+{
+    return Value::intVal(i64(x));
+}
+
+/** The non-gtest dual-state fixture of the conformance suites. */
+struct Dual
+{
+    FlatState mirSide;
+    FlatState specSide;
+
+    explicit Dual(const Geometry &geo = Geometry{})
+        : mirSide(geo), specSide(geo)
+    {}
+
+    template <typename F>
+    void
+    setup(F &&f)
+    {
+        f(mirSide);
+        f(specSide);
+    }
+};
+
+/**
+ * One conformance check: MIR outcome must equal the encoded spec value
+ * and both post-states must agree.  Returns the failure detail.
+ */
+std::optional<std::string>
+agree(ShardContext &ctx, Dual &dual, const mir::Outcome<Value> &out,
+      const Value &expect, const std::string &what)
+{
+    ctx.tick();
+    if (!out.ok())
+        return what + " trapped: " + out.trap().message;
+    if (!(*out == expect))
+        return what + ": MIR " + out->toString() + " != spec " +
+               expect.toString();
+    const std::string diff = diffStates(dual.mirSide, dual.specSide);
+    if (!diff.empty())
+        return what + ": post-states diverged: " + diff;
+    return std::nullopt;
+}
+
+/// @name Per-function randomized sweeps (ports of the test suites)
+/// @{
+
+std::optional<std::string>
+sweepFrameAlloc(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(2, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        if (ctx.rng().chance(1, 6)) {
+            auto out = harness.run("frame_alloc_pair", {});
+            const FramePair expect = specFrameAllocPair(dual.specSide);
+            if (auto f = agree(ctx, dual, out,
+                               Value::tuple({uv(expect.first),
+                                             uv(expect.second)}),
+                               "frame_alloc_pair"))
+                return f;
+        } else {
+            auto out = harness.run("frame_alloc", {});
+            if (auto f = agree(ctx, dual, out,
+                               uv(specFrameAlloc(dual.specSide)),
+                               "frame_alloc"))
+                return f;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepFrameFree(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    const Geometry &geo = dual.mirSide.geo;
+    LayerHarness harness(2, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        // Interleave allocations with frees over valid, double-freed,
+        // unaligned and out-of-area frame addresses.
+        if (ctx.rng().chance(1, 2)) {
+            auto out = harness.run("frame_alloc", {});
+            if (auto f = agree(ctx, dual, out,
+                               uv(specFrameAlloc(dual.specSide)),
+                               "frame_alloc"))
+                return f;
+            continue;
+        }
+        u64 frame =
+            geo.frameBase + ctx.rng().below(geo.frameCount + 2) * pageSize;
+        if (ctx.rng().chance(1, 5))
+            frame += 8; // unaligned
+        if (ctx.rng().chance(1, 8))
+            frame = 0x1000; // outside the area
+        auto out = harness.run("frame_free", {uv(frame)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specFrameFree(dual.specSide, frame)),
+                           "frame_free"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPteOps(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(3, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 addr = ctx.rng().next() & pteAddrMask;
+        const u64 flags = ctx.rng().next();
+        const u64 entry = ctx.rng().next();
+        struct Probe
+        {
+            const char *fn;
+            std::vector<Value> args;
+            Value expect;
+        };
+        const Probe probes[] = {
+            {"pte_make", {uv(addr), uv(flags)},
+             uv(specPteMake(addr, flags))},
+            {"pte_addr", {uv(entry)}, uv(specPteAddr(entry))},
+            {"pte_flags", {uv(entry)}, uv(specPteFlags(entry))},
+            {"pte_present", {uv(entry)},
+             Value::boolVal(specPtePresent(entry))},
+            {"pte_huge", {uv(entry)}, Value::boolVal(specPteHuge(entry))},
+            {"pte_writable", {uv(entry)},
+             Value::boolVal(specPteWritable(entry))},
+        };
+        for (const Probe &probe : probes) {
+            auto out = harness.run(probe.fn, probe.args);
+            if (auto f = agree(ctx, dual, out, probe.expect, probe.fn))
+                return f;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPteBuild(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(3, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 addr = ctx.rng().next();
+        const u64 flags = ctx.rng().next();
+        auto out = harness.run("pte_build", {uv(addr), uv(flags)});
+        if (auto f = agree(ctx, dual, out, uv(specPteBuild(addr, flags)),
+                           "pte_build"))
+            return f;
+        ctx.tick();
+        if (specPteBuild(addr, flags) != specPteMake(addr, flags))
+            return "specPteBuild != specPteMake on addr=" +
+                   std::to_string(addr);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepVaIndex(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(4, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 va = ctx.rng().next() >> 1; // keep shifts signed-safe
+        for (i64 level = 1; level <= 4; ++level) {
+            auto out = harness.run("va_index", {uv(va), iv(level)});
+            if (auto f = agree(ctx, dual, out,
+                               uv(specVaIndex(va, level)), "va_index"))
+                return f;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepEntryAccess(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    dual.setup([](FlatState &s) { (void)specFrameAlloc(s); });
+    LayerHarness harness(5, dual.mirSide);
+    const u64 table = dual.mirSide.geo.frameBase;
+    for (int i = 0; i < iters; ++i) {
+        const u64 index = ctx.rng().below(512);
+        const u64 entry = ctx.rng().next();
+        auto wr =
+            harness.run("entry_write", {uv(table), uv(index), uv(entry)});
+        specEntryWrite(dual.specSide, table, index, entry);
+        if (auto f = agree(ctx, dual, wr, Value::unit(), "entry_write"))
+            return f;
+        auto rd = harness.run("entry_read", {uv(table), uv(index)});
+        if (auto f = agree(ctx, dual, rd,
+                           uv(specEntryRead(dual.specSide, table, index)),
+                           "entry_read"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepNextTable(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) {
+        root = specFrameAlloc(s);
+        const u64 child = specFrameAlloc(s);
+        specEntryWrite(s, root, 1, specPteMake(child, pteLinkFlags));
+        specEntryWrite(s, root, 2,
+                       specPteMake(0x20'0000, pteRwFlags | pteFlagHuge));
+    });
+    LayerHarness harness(6, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 index = ctx.rng().below(8);
+        const bool alloc = ctx.rng().chance(1, 2);
+        auto out = harness.run("next_table",
+                               {uv(root), uv(index), iv(alloc ? 1 : 0)});
+        const IntResult expect =
+            specNextTable(dual.specSide, root, index, alloc);
+        if (auto f = agree(ctx, dual, out, encodeIntResult(expect),
+                           "next_table"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepWalkToLeaf(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    const u64 pop_seed = ctx.rng().next();
+    dual.setup([&root, pop_seed](FlatState &s) {
+        Rng local(pop_seed);
+        root = makeRoot(s);
+        randomPopulate(s, root, local, 12, 6);
+    });
+    LayerHarness harness(7, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 va = randomVa(ctx.rng(), 6);
+        const bool alloc = ctx.rng().chance(1, 2);
+        auto out = harness.run("walk_to_leaf",
+                               {uv(root), uv(va), iv(alloc ? 1 : 0)});
+        const IntResult expect =
+            specWalkToLeaf(dual.specSide, root, va, alloc);
+        if (auto f = agree(ctx, dual, out, encodeIntResult(expect),
+                           "walk_to_leaf"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPtQuery(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    const u64 pop_seed = ctx.rng().next();
+    dual.setup([&root, pop_seed](FlatState &s) {
+        Rng local(pop_seed);
+        root = makeRoot(s);
+        randomPopulate(s, root, local, 15, 6);
+        // A huge entry in an unused subtree (cf. ConformL8).
+        const IntResult l3 = specNextTable(s, root, 3, true);
+        if (l3.isOk)
+            specEntryWrite(s, l3.value, 0,
+                           specPteMake(0x60'0000,
+                                       pteRwFlags | pteFlagHuge));
+    });
+    LayerHarness harness(8, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        u64 va = randomVa(ctx.rng(), 6) | (ctx.rng().below(512) * 8);
+        if (i % 5 == 0)
+            va = (3ull << 39) | ctx.rng().below(1ull << 30);
+        auto out = harness.run("pt_query", {uv(root), uv(va)});
+        if (auto f = agree(ctx, dual, out,
+                           encodeQueryResult(
+                               specPtQuery(dual.specSide, root, va)),
+                           "pt_query"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPtMap(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    const u64 pop_seed = ctx.rng().next();
+    dual.setup([&root, pop_seed](FlatState &s) {
+        Rng local(pop_seed);
+        root = makeRoot(s);
+        randomPopulate(s, root, local, 10, 6);
+    });
+    LayerHarness harness(9, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 va = randomVa(ctx.rng(), 6);
+        const u64 pa = ctx.rng().below(512) * pageSize;
+        const u64 flags = pteFlagP | (ctx.rng().next() & 0xe6);
+        auto out =
+            harness.run("pt_map", {uv(root), uv(va), uv(pa), uv(flags)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specPtMap(dual.specSide, root, va, pa,
+                                        flags)),
+                           "pt_map"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPtMapChecked(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+    LayerHarness harness(9, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        u64 va = randomVa(ctx.rng(), 6);
+        if (ctx.rng().chance(1, 5))
+            va |= 0x234; // unaligned
+        const u64 pa = ctx.rng().below(256) * pageSize;
+        u64 flags = pteRwFlags;
+        if (ctx.rng().chance(1, 3))
+            flags |= pteFlagHuge; // rejected by the checked variant
+        auto out = harness.run("pt_map_checked",
+                               {uv(root), uv(va), uv(pa), uv(flags)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specPtMapChecked(dual.specSide, root, va,
+                                               pa, flags)),
+                           "pt_map_checked"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPtUnmap(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    u64 root = 0;
+    const u64 pop_seed = ctx.rng().next();
+    dual.setup([&root, pop_seed](FlatState &s) {
+        Rng local(pop_seed);
+        root = makeRoot(s);
+        randomPopulate(s, root, local, 12, 6);
+    });
+    LayerHarness harness(10, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        u64 va = randomVa(ctx.rng(), 6);
+        if (i % 7 == 0)
+            va |= 0x123; // unaligned case
+        auto out = harness.run("pt_unmap", {uv(root), uv(va)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specPtUnmap(dual.specSide, root, va)),
+                           "pt_unmap"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepPtDestroy(ShardContext &ctx, int iters)
+{
+    // Each iteration is a populate/destroy round; all frames must come
+    // back on both sides.
+    const int rounds = iters / 8 + 1;
+    for (int round = 0; round < rounds; ++round) {
+        Dual dual;
+        u64 root = 0;
+        const u64 pop_seed = ctx.rng().next();
+        dual.setup([&root, pop_seed](FlatState &s) {
+            Rng local(pop_seed);
+            root = makeRoot(s);
+            randomPopulate(s, root, local, 15, 6);
+        });
+        LayerHarness harness(10, dual.mirSide);
+        auto out = harness.run("pt_destroy", {uv(root), iv(4)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specPtDestroy(dual.specSide, root, 4)),
+                           "pt_destroy"))
+            return f;
+        ctx.tick();
+        for (bool bit : dual.mirSide.allocated)
+            if (bit)
+                return std::optional<std::string>(
+                    "pt_destroy leaked a table frame");
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepAddressSpace(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(11, dual.mirSide);
+    std::vector<i64> handles;
+    for (int i = 0; i < iters; ++i) {
+        switch (ctx.rng().below(5)) {
+          case 0: {
+            auto out = harness.run("as_create", {});
+            const IntResult expect = specAsCreate(dual.specSide);
+            if (auto f = agree(ctx, dual, out,
+                               encodeHandleResult(expect), "as_create"))
+                return f;
+            if (expect.isOk)
+                handles.push_back(i64(expect.value));
+            break;
+          }
+          case 1: {
+            const i64 handle = handles.empty()
+                                   ? i64(ctx.rng().below(4))
+                                   : ctx.rng().pick(handles);
+            const u64 va = randomVa(ctx.rng(), 6);
+            const u64 pa = ctx.rng().below(256) * pageSize;
+            auto out = harness.run("as_map",
+                                   {encodeHandle(handle), uv(va), uv(pa),
+                                    uv(pteRwFlags)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specAsMap(dual.specSide, handle, va,
+                                            pa, pteRwFlags)),
+                               "as_map"))
+                return f;
+            break;
+          }
+          case 2: {
+            const i64 handle = handles.empty()
+                                   ? i64(ctx.rng().below(4))
+                                   : ctx.rng().pick(handles);
+            const u64 va = randomVa(ctx.rng(), 6) | ctx.rng().below(64) * 8;
+            auto out =
+                harness.run("as_query", {encodeHandle(handle), uv(va)});
+            if (auto f = agree(ctx, dual, out,
+                               encodeQueryResult(specAsQuery(
+                                   dual.specSide, handle, va)),
+                               "as_query"))
+                return f;
+            break;
+          }
+          case 3: {
+            const i64 handle = handles.empty()
+                                   ? i64(ctx.rng().below(4))
+                                   : ctx.rng().pick(handles);
+            const u64 va = randomVa(ctx.rng(), 6);
+            auto out =
+                harness.run("as_unmap", {encodeHandle(handle), uv(va)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specAsUnmap(dual.specSide, handle,
+                                              va)),
+                               "as_unmap"))
+                return f;
+            break;
+          }
+          default: {
+            if (handles.empty() || !ctx.rng().chance(1, 4))
+                break;
+            const u64 pick = ctx.rng().below(handles.size());
+            const i64 handle = handles[pick];
+            handles.erase(handles.begin() + long(pick));
+            auto out = harness.run("as_destroy", {encodeHandle(handle)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specAsDestroy(dual.specSide, handle)),
+                               "as_destroy"))
+                return f;
+          }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepEpcm(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    const Geometry &geo = dual.mirSide.geo;
+    LayerHarness harness(12, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        if (ctx.rng().chance(2, 3)) {
+            // Mix of valid and invalid owners/kinds.
+            const i64 owner = i64(ctx.rng().below(5)) - 1;
+            const i64 kind = i64(ctx.rng().below(4));
+            const u64 lin = ctx.rng().below(64) * pageSize;
+            auto out = harness.run("epcm_alloc",
+                                   {iv(owner), uv(lin), iv(kind)});
+            if (auto f = agree(ctx, dual, out,
+                               encodeIntResult(specEpcmAlloc(
+                                   dual.specSide, owner, lin, kind)),
+                               "epcm_alloc"))
+                return f;
+        } else {
+            u64 page = geo.epcBase +
+                       ctx.rng().below(geo.epcCount + 2) * pageSize;
+            if (ctx.rng().chance(1, 6))
+                page += 1; // unaligned
+            auto out = harness.run("epcm_free", {uv(page)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specEpcmFree(dual.specSide, page)),
+                               "epcm_free"))
+                return f;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepMbufMap(ShardContext &ctx, int iters)
+{
+    const int rounds = iters / 4 + 1;
+    for (int round = 0; round < rounds; ++round) {
+        Dual dual;
+        i64 gpt = 0, ept = 0;
+        const bool conflict = ctx.rng().chance(1, 3);
+        dual.setup([&](FlatState &s) {
+            gpt = i64(specAsCreate(s).value);
+            ept = i64(specAsCreate(s).value);
+            if (conflict)
+                (void)specAsMap(s, gpt, 0x20'1000, 0x9000, pteRwFlags);
+        });
+        LayerHarness harness(13, dual.mirSide);
+        const u64 pages = 1 + ctx.rng().below(3);
+        auto out = harness.run(
+            "mbuf_map",
+            {encodeHandle(gpt), encodeHandle(ept), uv(0x20'0000),
+             uv(dual.mirSide.geo.mbufGpaBase), uv(0x8000), uv(pages)});
+        if (auto f = agree(ctx, dual, out,
+                           iv(specMbufMap(dual.specSide, gpt, ept,
+                                          0x20'0000,
+                                          dual.specSide.geo.mbufGpaBase,
+                                          0x8000, pages)),
+                           "mbuf_map"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepHypercalls(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    LayerHarness harness(14, dual.mirSide);
+    std::vector<i64> ids;
+    for (int i = 0; i < iters; ++i) {
+        switch (ctx.rng().below(4)) {
+          case 0: {
+            const u64 base = ctx.rng().below(8) * 0x10'0000;
+            const u64 el_end = base + ctx.rng().below(6) * pageSize;
+            const u64 gva = ctx.rng().below(16) * 0x8'0000;
+            const u64 pages = ctx.rng().below(4);
+            const u64 backing = ctx.rng().below(64) * pageSize;
+            auto out = harness.run("hc_init",
+                                   {uv(base), uv(el_end), uv(gva),
+                                    uv(pages), uv(backing)});
+            const IntResult expect = specHcInit(
+                dual.specSide, base, el_end, gva, pages, backing);
+            if (auto f = agree(ctx, dual, out, encodeIntResult(expect),
+                               "hc_init"))
+                return f;
+            if (expect.isOk)
+                ids.push_back(i64(expect.value));
+            break;
+          }
+          case 1: {
+            const i64 id = ids.empty() ? i64(ctx.rng().below(5))
+                                       : ctx.rng().pick(ids);
+            const u64 gva = ctx.rng().below(64) * pageSize;
+            const u64 src = ctx.rng().below(80) * pageSize;
+            const i64 kind =
+                ctx.rng().chance(1, 4) ? epcStateTcs : epcStateReg;
+            auto out = harness.run("hc_add_page",
+                                   {iv(id), uv(gva), uv(src), iv(kind)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specHcAddPage(dual.specSide, id, gva,
+                                                src, kind)),
+                               "hc_add_page"))
+                return f;
+            break;
+          }
+          case 2: {
+            const i64 id = ids.empty() ? i64(ctx.rng().below(5))
+                                       : ctx.rng().pick(ids);
+            auto out = harness.run("hc_init_finish", {iv(id)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specHcInitFinish(dual.specSide, id)),
+                               "hc_init_finish"))
+                return f;
+            break;
+          }
+          default: {
+            if (ids.empty() || !ctx.rng().chance(1, 3))
+                break;
+            const u64 pick = ctx.rng().below(ids.size());
+            const i64 id = ids[pick];
+            ids.erase(ids.begin() + long(pick));
+            auto out = harness.run("hc_remove", {iv(id)});
+            if (auto f = agree(ctx, dual, out,
+                               iv(specHcRemove(dual.specSide, id)),
+                               "hc_remove"))
+                return f;
+          }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+sweepMemTranslate(ShardContext &ctx, int iters)
+{
+    Dual dual;
+    i64 gpt = 0, ept = 0;
+    const u64 pop_seed = ctx.rng().next();
+    dual.setup([&](FlatState &s) {
+        gpt = i64(specAsCreate(s).value);
+        ept = i64(specAsCreate(s).value);
+        // Random two-stage chains: some complete, some dangling, some
+        // read-only at either stage.
+        Rng local(pop_seed);
+        for (int i = 0; i < 8; ++i) {
+            const u64 va = local.below(16) * pageSize;
+            const u64 gpa = local.below(16) * pageSize;
+            const u64 hpa = local.below(16) * pageSize;
+            const u64 gflags =
+                local.chance(3, 4) ? pteRwFlags : (pteFlagP | pteFlagU);
+            const u64 eflags =
+                local.chance(3, 4) ? pteRwFlags : (pteFlagP | pteFlagU);
+            (void)specAsMap(s, gpt, va, gpa, gflags);
+            if (local.chance(3, 4))
+                (void)specAsMap(s, ept, gpa, hpa, eflags);
+        }
+    });
+    LayerHarness harness(15, dual.mirSide);
+    for (int i = 0; i < iters; ++i) {
+        const u64 va =
+            ctx.rng().below(20) * pageSize + ctx.rng().below(64) * 8;
+        const bool write = ctx.rng().chance(1, 2);
+        auto out = harness.run("mem_translate",
+                               {encodeHandle(gpt), encodeHandle(ept),
+                                uv(va), iv(write ? 1 : 0)});
+        if (auto f = agree(ctx, dual, out,
+                           encodeQueryResult(specMemTranslate(
+                               dual.specSide, gpt, ept, va, write)),
+                           "mem_translate"))
+            return f;
+    }
+    return std::nullopt;
+}
+
+/// @}
+
+using SweepFn = std::optional<std::string> (*)(ShardContext &, int);
+
+struct SweepDef
+{
+    int layer;
+    const char *function;
+    SweepFn run;
+};
+
+constexpr SweepDef sweepDefs[] = {
+    {2, "frame_alloc", sweepFrameAlloc},
+    {2, "frame_free", sweepFrameFree},
+    {3, "pte_ops", sweepPteOps},
+    {3, "pte_build", sweepPteBuild},
+    {4, "va_index", sweepVaIndex},
+    {5, "entry_access", sweepEntryAccess},
+    {6, "next_table", sweepNextTable},
+    {7, "walk_to_leaf", sweepWalkToLeaf},
+    {8, "pt_query", sweepPtQuery},
+    {9, "pt_map", sweepPtMap},
+    {9, "pt_map_checked", sweepPtMapChecked},
+    {10, "pt_unmap", sweepPtUnmap},
+    {10, "pt_destroy", sweepPtDestroy},
+    {11, "address_space", sweepAddressSpace},
+    {12, "epcm", sweepEpcm},
+    {13, "mbuf_map", sweepMbufMap},
+    {14, "hypercalls", sweepHypercalls},
+    {15, "mem_translate", sweepMemTranslate},
+};
+
+/// @name Exhaustive depth-2 blocks (port of test_exhaustive.cc)
+/// @{
+
+constexpr u64 exhaustiveVaDomain[] = {
+    0x0, 0x1000, 1ull << 21, 1ull << 30, (1ull << 39) | 0x1000, 0x8,
+};
+constexpr int exhaustiveOpCount = 4;
+constexpr u64 exhaustivePaDomain[] = {0x5000, 0x6000};
+
+std::optional<std::string>
+runExhaustiveStep(ShardContext &ctx, LayerHarness &map_h,
+                  LayerHarness &unmap_h, LayerHarness &query_h,
+                  Dual &dual, u64 root, int kind, u64 va,
+                  const std::string &context)
+{
+    if (kind <= 1) {
+        const u64 pa = exhaustivePaDomain[kind];
+        auto out = map_h.run("pt_map", {uv(root), uv(va), uv(pa),
+                                        uv(pteRwFlags)});
+        return agree(ctx, dual, out,
+                     iv(specPtMap(dual.specSide, root, va, pa,
+                                  pteRwFlags)),
+                     context + " pt_map");
+    }
+    if (kind == 2) {
+        auto out = unmap_h.run("pt_unmap", {uv(root), uv(va)});
+        return agree(ctx, dual, out,
+                     iv(specPtUnmap(dual.specSide, root, va)),
+                     context + " pt_unmap");
+    }
+    auto out = query_h.run("pt_query", {uv(root), uv(va)});
+    return agree(ctx, dual, out,
+                 encodeQueryResult(specPtQuery(dual.specSide, root, va)),
+                 context + " pt_query");
+}
+
+/** All depth-2 sequences whose first step is `first`. */
+std::optional<std::string>
+exhaustiveBlock(ShardContext &ctx, u64 first)
+{
+    const u64 total = std::size(exhaustiveVaDomain) * exhaustiveOpCount;
+    for (u64 second = 0; second < total; ++second) {
+        Dual dual;
+        u64 root = 0;
+        dual.setup([&root](FlatState &s) { root = makeRoot(s); });
+        LayerHarness map_h(9, dual.mirSide);
+        LayerHarness unmap_h(10, dual.mirSide);
+        LayerHarness query_h(8, dual.mirSide);
+        const u64 steps[2] = {first, second};
+        for (const u64 step : steps) {
+            const int kind = int(step % exhaustiveOpCount);
+            const u64 va = exhaustiveVaDomain[step / exhaustiveOpCount];
+            const std::string context = "seq(" + std::to_string(first) +
+                                        "," + std::to_string(second) +
+                                        ")";
+            if (auto f = runExhaustiveStep(ctx, map_h, unmap_h, query_h,
+                                           dual, root, kind, va, context))
+                return f;
+        }
+    }
+    return std::nullopt;
+}
+
+/// @}
+
+/** The two-enclave scene of the noninterference sweeps. */
+sec::SecState
+niScene(std::vector<i64> &ids)
+{
+    sec::SecState s;
+    sec::DataOracle oracle(11);
+    s.mem[0x4000] = 0xaaa;
+    sec::Action map;
+    map.kind = sec::Action::Kind::OsMap;
+    map.va = 0x40'0000;
+    map.a = 0x6000;
+    (void)sec::SecMachine::step(s, map, oracle);
+    ids.push_back(sec::SecMachine::setupEnclave(s, oracle, 0x10'0000, 1,
+                                                1, 0x8000, 0x4000));
+    ids.push_back(sec::SecMachine::setupEnclave(s, oracle, 0x30'0000, 1,
+                                                1, 0xa000, 0x4000));
+    return s;
+}
+
+/** One Theorem 5.1 lockstep shard over all three principals. */
+std::optional<std::string>
+niTraceShard(ShardContext &ctx, int steps)
+{
+    std::vector<i64> ids;
+    const sec::SecState base = niScene(ids);
+    const u64 oracle_seed = ctx.rng().next();
+
+    for (const sec::Principal p :
+         {sec::osPrincipal, sec::Principal(ids[0]),
+          sec::Principal(ids[1])}) {
+        sec::SecState s1 = base;
+        sec::SecState s2 = base;
+        sec::perturbUnobservable(s2, p, ctx.rng());
+
+        std::vector<sec::Action> trace;
+        sec::SecState sim = s1;
+        sec::DataOracle sim_oracle(oracle_seed);
+        for (int step = 0; step < steps; ++step) {
+            trace.push_back(sec::randomAction(sim, ctx.rng()));
+            (void)sec::SecMachine::step(sim, trace.back(), sim_oracle);
+        }
+        ctx.tick();
+        const auto violation =
+            sec::checkTrace(s1, s2, p, trace, oracle_seed);
+        if (violation) {
+            std::ostringstream detail;
+            detail << "principal " << p << ": " << violation->lemma
+                   << ": " << violation->detail;
+            return detail.str();
+        }
+    }
+    return std::nullopt;
+}
+
+/** One invariant-preservation shard (random hypercall sequence). */
+std::optional<std::string>
+invariantShard(ShardContext &ctx, int steps)
+{
+    FlatState s;
+    std::vector<i64> ids;
+    for (int step = 0; step < steps; ++step) {
+        switch (ctx.rng().below(3)) {
+          case 0: {
+            const u64 base = ctx.rng().below(8) * 0x10'0000;
+            const IntResult id = specHcInit(
+                s, base, base + ctx.rng().below(5) * pageSize,
+                ctx.rng().below(32) * 0x8'0000, ctx.rng().below(3),
+                ctx.rng().below(48) * pageSize);
+            if (id.isOk)
+                ids.push_back(i64(id.value));
+            break;
+          }
+          case 1: {
+            const i64 id =
+                ids.empty() ? 1 : ids[ctx.rng().below(ids.size())];
+            (void)specHcAddPage(
+                s, id, ctx.rng().below(64) * pageSize,
+                ctx.rng().below(48) * pageSize,
+                ctx.rng().chance(1, 3) ? epcStateTcs : epcStateReg);
+            break;
+          }
+          default: {
+            const i64 id =
+                ids.empty() ? 1 : ids[ctx.rng().below(ids.size())];
+            (void)specHcInitFinish(s, id);
+          }
+        }
+        ctx.tick();
+        const auto violations = sec::checkInvariants(s);
+        if (!violations.empty())
+            return "step " + std::to_string(step) + ": " +
+                   sec::describeViolations(violations);
+    }
+    return std::nullopt;
+}
+
+std::string
+shardName(const std::string &prefix, int block)
+{
+    return prefix + "/s" + std::to_string(block);
+}
+
+} // namespace
+
+std::vector<Scenario>
+conformanceScenarios(const ConformanceOptions &opts)
+{
+    std::vector<Scenario> scenarios;
+    for (const SweepDef &def : sweepDefs) {
+        if (def.layer < opts.minLayer || def.layer > opts.maxLayer)
+            continue;
+        for (int block = 0; block < opts.seedBlocks; ++block) {
+            std::ostringstream name;
+            name << "conformance/L" << (def.layer < 10 ? "0" : "")
+                 << def.layer << "/" << def.function << "/s" << block;
+            const SweepFn run = def.run;
+            const int iters = opts.itersPerBlock;
+            scenarios.push_back(Scenario{
+                name.str(), "conformance", def.layer,
+                [run, iters](ShardContext &ctx) {
+                    return run(ctx, iters);
+                }});
+        }
+    }
+    return scenarios;
+}
+
+std::vector<Scenario>
+exhaustiveScenarios()
+{
+    std::vector<Scenario> scenarios;
+    const u64 total = std::size(exhaustiveVaDomain) * exhaustiveOpCount;
+    for (u64 first = 0; first < total; ++first) {
+        scenarios.push_back(Scenario{
+            shardName("exhaustive/depth2", int(first)), "exhaustive", 9,
+            [first](ShardContext &ctx) {
+                return exhaustiveBlock(ctx, first);
+            }});
+    }
+    return scenarios;
+}
+
+std::vector<Scenario>
+noninterferenceScenarios(const NiOptions &opts)
+{
+    std::vector<Scenario> scenarios;
+    for (int block = 0; block < opts.seedBlocks; ++block) {
+        const int steps = opts.stepsPerTrace;
+        scenarios.push_back(Scenario{
+            shardName("noninterference/theorem51", block),
+            "noninterference", 0, [steps](ShardContext &ctx) {
+                return niTraceShard(ctx, steps);
+            }});
+    }
+    return scenarios;
+}
+
+std::vector<Scenario>
+invariantScenarios(const InvariantOptions &opts)
+{
+    std::vector<Scenario> scenarios;
+    for (int block = 0; block < opts.seedBlocks; ++block) {
+        const int steps = opts.stepsPerShard;
+        scenarios.push_back(Scenario{
+            shardName("invariants/hypercall-sweep", block), "invariants",
+            0, [steps](ShardContext &ctx) {
+                return invariantShard(ctx, steps);
+            }});
+    }
+    return scenarios;
+}
+
+} // namespace hev::check

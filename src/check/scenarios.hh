@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The stock scenario library: the randomized conformance sweeps,
+ * exhaustive blocks, noninterference lockstep traces and invariant
+ * sweeps of the test suites, repackaged as campaign shards.
+ *
+ * Sharding axes follow the issue: conformance work is cut per
+ * (layer × function × seed-block), so a 14-layer stack with four seed
+ * blocks yields dozens of independent shards; noninterference traces
+ * are cut per (principal-set × seed-block).  Every scenario derives
+ * all randomness from its ShardContext stream, so any subset of
+ * shards reproduces bit-identically in isolation.
+ */
+
+#ifndef HEV_CHECK_SCENARIOS_HH
+#define HEV_CHECK_SCENARIOS_HH
+
+#include "check/campaign.hh"
+
+namespace hev::check
+{
+
+/** Sizing of the layer-conformance campaign workload. */
+struct ConformanceOptions
+{
+    int minLayer = 2;       //!< first layer to cover (>= 2)
+    int maxLayer = 15;      //!< last layer to cover (<= 15)
+    int seedBlocks = 4;     //!< shards per (layer, function) pair
+    int itersPerBlock = 48; //!< randomized checks per shard
+};
+
+/**
+ * Randomized MIR-vs-spec sweeps for every function group of layers
+ * [minLayer, maxLayer], seedBlocks shards each.
+ */
+std::vector<Scenario>
+conformanceScenarios(const ConformanceOptions &opts = {});
+
+/**
+ * The exhaustive depth-2 domain (every ordered (op, va) pair over the
+ * small-scope domain of tests/ccal/test_exhaustive.cc), sharded by
+ * the first step so the 576 sequences spread across 24 scenarios.
+ */
+std::vector<Scenario> exhaustiveScenarios();
+
+/** Sizing of the noninterference campaign workload. */
+struct NiOptions
+{
+    int seedBlocks = 8;     //!< independent trace shards
+    int stepsPerTrace = 150;
+};
+
+/**
+ * Theorem 5.1 lockstep traces over the two-enclave scene, one shard
+ * per seed block, each checking all three principals.
+ */
+std::vector<Scenario>
+noninterferenceScenarios(const NiOptions &opts = {});
+
+/** Sizing of the invariant-sweep workload. */
+struct InvariantOptions
+{
+    int seedBlocks = 4;
+    int stepsPerShard = 60;
+};
+
+/**
+ * Sec. 5.2 invariant preservation across randomized hypercall
+ * sequences, checked after every step.
+ */
+std::vector<Scenario>
+invariantScenarios(const InvariantOptions &opts = {});
+
+} // namespace hev::check
+
+#endif // HEV_CHECK_SCENARIOS_HH

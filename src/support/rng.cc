@@ -77,4 +77,40 @@ Rng::chance(u64 num, u64 den)
     return below(den) < num;
 }
 
+void
+Rng::longJump()
+{
+    static constexpr u64 poly[4] = {
+        0x76e15d3efefdcbbfull,
+        0xc5004e441c522fb3ull,
+        0x77710069854ee241ull,
+        0x39109bb02acbe635ull,
+    };
+    u64 s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const u64 word : poly) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (1ull << bit)) {
+                s0 ^= state[0];
+                s1 ^= state[1];
+                s2 ^= state[2];
+                s3 ^= state[3];
+            }
+            (void)next();
+        }
+    }
+    state[0] = s0;
+    state[1] = s1;
+    state[2] = s2;
+    state[3] = s3;
+}
+
+Rng
+Rng::split(u64 shard_id) const
+{
+    Rng child = *this;
+    for (u64 i = 0; i <= shard_id; ++i)
+        child.longJump();
+    return child;
+}
+
 } // namespace hev

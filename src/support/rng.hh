@@ -36,6 +36,23 @@ class Rng
     /** Bernoulli draw: true with probability num/den. */
     bool chance(u64 num, u64 den);
 
+    /**
+     * Advance this stream in place by 2^192 steps (the xoshiro256**
+     * long-jump polynomial).  Successive long-jumps partition the
+     * generator's period into non-overlapping blocks of 2^192 draws.
+     */
+    void longJump();
+
+    /**
+     * Child stream for a shard: this stream long-jumped `shard_id + 1`
+     * times.  split(k) on equal parents always yields the same stream,
+     * distinct shard ids yield streams at least 2^192 draws apart, and
+     * no child window overlaps the parent's own draws.  Cost is linear
+     * in shard_id; campaign runners derive consecutive shards
+     * incrementally (one long-jump each) instead.
+     */
+    Rng split(u64 shard_id) const;
+
     /** Uniformly pick an element of a non-empty container. */
     template <typename C>
     auto &

@@ -5,10 +5,16 @@
  * and the isolation interface, each checked against its specification
  * with lower layers spec-substituted — and finally the entire MIR
  * stack interpreted end-to-end against the top-level specs.
+ *
+ * Directed edge cases live here; the randomized sweeps (pt_map,
+ * pt_unmap, pt_destroy, the hypercall soak, ...) run through the
+ * sharded campaign runner (check::conformanceScenarios).
  */
 
 #include "conformance_util.hh"
 
+#include "check/campaign.hh"
+#include "check/scenarios.hh"
 #include "mirmodels/registry.hh"
 #include "support/rng.hh"
 
@@ -62,32 +68,6 @@ TEST(ConformL9, MapDirectedCases)
     }
 }
 
-TEST(ConformL9, MapRandomized)
-{
-    Rng rng(9);
-    for (int round = 0; round < 15; ++round) {
-        DualState dual;
-        u64 root = 0;
-        const u64 seed = rng.next();
-        dual.setup([&root, seed](FlatState &s) {
-            Rng local(seed);
-            root = makeRoot(s);
-            randomPopulate(s, root, local, 10, 6);
-        });
-        LayerHarness harness(9, dual.mirSide);
-        for (int step = 0; step < 20; ++step) {
-            const u64 va = randomVa(rng, 6);
-            const u64 pa = rng.below(512) * pageSize;
-            const u64 flags = pteFlagP | (rng.next() & 0xe6);
-            auto out = harness.run(
-                "pt_map", {uv(root), uv(va), uv(pa), uv(flags)});
-            ASSERT_VALUE_AGREES(
-                out, iv(specPtMap(dual.specSide, root, va, pa, flags)));
-            EXPECT_STATES_AGREE(dual);
-        }
-    }
-}
-
 TEST(ConformL9, MapOutOfMemoryAgrees)
 {
     Geometry tiny;
@@ -128,55 +108,6 @@ TEST(ConformL9, MapCheckedRejectsHugeAndDelegates)
             out, iv(specPtMapChecked(dual.specSide, root, tc.va, tc.pa,
                                      tc.flags)));
         EXPECT_STATES_AGREE(dual);
-    }
-}
-
-TEST(ConformL10, UnmapRandomized)
-{
-    Rng rng(10);
-    for (int round = 0; round < 15; ++round) {
-        DualState dual;
-        u64 root = 0;
-        const u64 seed = rng.next();
-        dual.setup([&root, seed](FlatState &s) {
-            Rng local(seed);
-            root = makeRoot(s);
-            randomPopulate(s, root, local, 12, 6);
-        });
-        LayerHarness harness(10, dual.mirSide);
-        for (int step = 0; step < 25; ++step) {
-            u64 va = randomVa(rng, 6);
-            if (step % 7 == 0)
-                va |= 0x123; // unaligned case
-            auto out = harness.run("pt_unmap", {uv(root), uv(va)});
-            ASSERT_VALUE_AGREES(out,
-                                iv(specPtUnmap(dual.specSide, root, va)));
-            EXPECT_STATES_AGREE(dual);
-        }
-    }
-}
-
-TEST(ConformL10, DestroyFreesExactlyTheTree)
-{
-    Rng rng(1010);
-    for (int round = 0; round < 10; ++round) {
-        DualState dual;
-        u64 root = 0;
-        const u64 seed = rng.next();
-        dual.setup([&root, seed](FlatState &s) {
-            Rng local(seed);
-            root = makeRoot(s);
-            randomPopulate(s, root, local, 15, 6);
-        });
-        LayerHarness harness(10, dual.mirSide);
-        auto out = harness.run("pt_destroy",
-                               {uv(root), iv(pagingLevels)});
-        ASSERT_VALUE_AGREES(
-            out, iv(specPtDestroy(dual.specSide, root, pagingLevels)));
-        EXPECT_STATES_AGREE(dual);
-        // Every frame is back in the pool on both sides.
-        for (bool bit : dual.mirSide.allocated)
-            ASSERT_FALSE(bit) << "a table frame leaked";
     }
 }
 
@@ -624,63 +555,27 @@ TEST(ConformFullStack, HypercallsEndToEnd)
     }
 }
 
-TEST(ConformFullStack, RandomizedHypercallSoak)
+TEST(ConformHighCampaign, RandomizedSweepsLayers9Through15)
 {
-    Rng rng(1515);
-    for (int round = 0; round < 5; ++round) {
-        DualState dual;
-        mir::Program prog = mirmodels::buildAll(dual.mirSide.geo);
-        FlatAbsState abs(dual.mirSide);
-        mir::Interp interp(prog, &abs);
-        registerTrustedLayer(interp, dual.mirSide);
+    // The former inline randomized sweeps (map/unmap/destroy, address
+    // spaces, EPCM, mbuf, hypercall soaks, mem_translate) as campaign
+    // shards, one per (layer, function, seed block).
+    check::ConformanceOptions opt;
+    opt.minLayer = 9;
+    opt.maxLayer = 15;
+    check::CampaignConfig cfg;
+    cfg.seed = 0x915;
+    cfg.threads = 4;
+    check::Campaign campaign(cfg);
+    campaign.add(check::conformanceScenarios(opt));
 
-        std::vector<i64> ids;
-        for (int step = 0; step < 40; ++step) {
-            switch (rng.below(3)) {
-              case 0: {
-                const u64 base = rng.below(8) * 0x10'0000;
-                const u64 pages = rng.below(4);
-                const u64 el_end = base + rng.below(6) * pageSize;
-                const u64 gva = rng.below(16) * 0x8'0000;
-                const u64 backing = rng.below(64) * pageSize;
-                auto out = interp.call(
-                    "hc_init", {uv(base), uv(el_end), uv(gva), uv(pages),
-                                uv(backing)}, 5'000'000);
-                const IntResult expect = specHcInit(
-                    dual.specSide, base, el_end, gva, pages, backing);
-                ASSERT_VALUE_AGREES(out, encodeIntResult(expect));
-                if (expect.isOk)
-                    ids.push_back(i64(expect.value));
-                break;
-              }
-              case 1: {
-                const i64 id = ids.empty() ? i64(rng.below(5))
-                                           : ids[rng.below(ids.size())];
-                const u64 gva = rng.below(64) * pageSize;
-                const u64 src = rng.below(80) * pageSize;
-                const i64 kind =
-                    rng.chance(1, 4) ? epcStateTcs : epcStateReg;
-                auto out = interp.call(
-                    "hc_add_page",
-                    {iv(id), uv(gva), uv(src), iv(kind)}, 5'000'000);
-                ASSERT_VALUE_AGREES(
-                    out, iv(specHcAddPage(dual.specSide, id, gva, src,
-                                          kind)));
-                break;
-              }
-              default: {
-                const i64 id = ids.empty() ? i64(rng.below(5))
-                                           : ids[rng.below(ids.size())];
-                auto out = interp.call("hc_init_finish", {iv(id)},
-                                       5'000'000);
-                ASSERT_VALUE_AGREES(
-                    out, iv(specHcInitFinish(dual.specSide, id)));
-              }
-            }
-            ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "")
-                << "diverged at step " << step;
-        }
-    }
+    const check::CampaignReport report = campaign.run();
+    EXPECT_EQ(report.failures, 0u)
+        << report.first->scenario << " @ shard " << report.first->shard
+        << " iter " << report.first->iteration << ": "
+        << report.first->detail;
+    EXPECT_EQ(report.scenarios, campaign.size());
+    EXPECT_GT(report.checks, 1000u);
 }
 
 } // namespace

@@ -3,11 +3,16 @@
  * Code-proof analogues for layers 2-8: each layer's MIR model is
  * interpreted with lower layers replaced by their specifications, and
  * must agree — in return value and in abstract-state effect — with its
- * own specification, over directed cases and randomized sweeps.
+ * own specification.  Directed edge cases live here; the randomized
+ * per-layer sweeps run through the sharded campaign runner
+ * (check::conformanceScenarios), which derives every shard's RNG from
+ * the campaign seed so the sweep is deterministic at any thread count.
  */
 
 #include "conformance_util.hh"
 
+#include "check/campaign.hh"
+#include "check/scenarios.hh"
 #include "support/rng.hh"
 
 namespace hev::ccal
@@ -99,86 +104,6 @@ TEST(ConformL2, FrameAllocPairMatchesSpec)
     }
 }
 
-TEST(ConformL3, PteBuildEqualsPteMake)
-{
-    // pte_build stages the entry in a local and seals it through a
-    // pointer; it must agree with the pure spec on arbitrary bits.
-    DualState dual;
-    LayerHarness harness(3, dual.mirSide);
-    Rng rng(0xb1d);
-    for (int i = 0; i < 300; ++i) {
-        const u64 addr = rng.next();
-        const u64 flags = rng.next();
-        auto out = harness.run("pte_build", {uv(addr), uv(flags)});
-        ASSERT_VALUE_AGREES(out, uv(specPteBuild(addr, flags)));
-        // ...and matches pte_make exactly (the paper's pattern of
-        // verifying refactored equivalents against one spec).
-        ASSERT_EQ(specPteBuild(addr, flags), specPteMake(addr, flags));
-    }
-    EXPECT_STATES_AGREE(dual);
-}
-
-TEST(ConformL3, PteOpsSweep)
-{
-    DualState dual;
-    LayerHarness harness(3, dual.mirSide);
-    Rng rng(3);
-    for (int i = 0; i < 300; ++i) {
-        const u64 addr = rng.next() & pteAddrMask;
-        const u64 flags = rng.next();
-        const u64 entry = rng.next();
-
-        auto make = harness.run("pte_make", {uv(addr), uv(flags)});
-        ASSERT_VALUE_AGREES(make, uv(specPteMake(addr, flags)));
-        auto a = harness.run("pte_addr", {uv(entry)});
-        ASSERT_VALUE_AGREES(a, uv(specPteAddr(entry)));
-        auto f = harness.run("pte_flags", {uv(entry)});
-        ASSERT_VALUE_AGREES(f, uv(specPteFlags(entry)));
-        auto pres = harness.run("pte_present", {uv(entry)});
-        ASSERT_VALUE_AGREES(pres, Value::boolVal(specPtePresent(entry)));
-        auto hg = harness.run("pte_huge", {uv(entry)});
-        ASSERT_VALUE_AGREES(hg, Value::boolVal(specPteHuge(entry)));
-        auto wr = harness.run("pte_writable", {uv(entry)});
-        ASSERT_VALUE_AGREES(wr, Value::boolVal(specPteWritable(entry)));
-    }
-    EXPECT_STATES_AGREE(dual);
-}
-
-TEST(ConformL4, VaIndexSweep)
-{
-    DualState dual;
-    LayerHarness harness(4, dual.mirSide);
-    Rng rng(4);
-    for (int i = 0; i < 200; ++i) {
-        const u64 va = rng.next() >> 1; // keep shifts in signed range
-        for (i64 level = 1; level <= 4; ++level) {
-            auto out = harness.run("va_index", {uv(va), iv(level)});
-            ASSERT_VALUE_AGREES(out, uv(specVaIndex(va, level)));
-        }
-    }
-}
-
-TEST(ConformL5, EntryAccessRoundTrip)
-{
-    DualState dual;
-    dual.setup([](FlatState &s) { (void)specFrameAlloc(s); });
-    LayerHarness harness(5, dual.mirSide);
-    const u64 table = dual.mirSide.geo.frameBase;
-    Rng rng(5);
-    for (int i = 0; i < 200; ++i) {
-        const u64 index = rng.below(entriesPerTable);
-        const u64 entry = rng.next();
-        auto wr = harness.run("entry_write",
-                              {uv(table), uv(index), uv(entry)});
-        ASSERT_TRUE(wr.ok()) << wr.trap().message;
-        specEntryWrite(dual.specSide, table, index, entry);
-        EXPECT_STATES_AGREE(dual);
-        auto rd = harness.run("entry_read", {uv(table), uv(index)});
-        ASSERT_VALUE_AGREES(
-            rd, uv(specEntryRead(dual.specSide, table, index)));
-    }
-}
-
 TEST(ConformL6, NextTableAllCases)
 {
     // Case matrix: {miss, present-table, present-huge} x {alloc, no}.
@@ -220,67 +145,28 @@ TEST(ConformL6, NextTableOutOfMemory)
     EXPECT_STATES_AGREE(dual);
 }
 
-TEST(ConformL7, WalkToLeafRandomized)
+TEST(ConformLowCampaign, RandomizedSweepsLayers2Through8)
 {
-    Rng rng(7);
-    for (int round = 0; round < 20; ++round) {
-        DualState dual;
-        u64 root = 0;
-        const u64 seed = rng.next();
-        dual.setup([&root, seed](FlatState &s) {
-            Rng local(seed);
-            root = makeRoot(s);
-            randomPopulate(s, root, local, 12, 6);
-        });
-        LayerHarness harness(7, dual.mirSide);
-        for (int probe = 0; probe < 10; ++probe) {
-            const u64 va = randomVa(rng, 6);
-            const bool alloc = rng.chance(1, 2);
-            auto out = harness.run(
-                "walk_to_leaf", {uv(root), uv(va), iv(alloc ? 1 : 0)});
-            const IntResult expect =
-                specWalkToLeaf(dual.specSide, root, va, alloc);
-            ASSERT_VALUE_AGREES(out, encodeIntResult(expect));
-            EXPECT_STATES_AGREE(dual);
-        }
-    }
-}
+    // The former inline sweeps (pte_build/pte_ops, va_index,
+    // entry_access, walk_to_leaf, pt_query, and the layer-2 frame ops)
+    // as campaign shards: one scenario per (layer, function, seed
+    // block), run across worker threads.
+    check::ConformanceOptions opt;
+    opt.minLayer = 2;
+    opt.maxLayer = 8;
+    check::CampaignConfig cfg;
+    cfg.seed = 0x10c0;
+    cfg.threads = 4;
+    check::Campaign campaign(cfg);
+    campaign.add(check::conformanceScenarios(opt));
 
-TEST(ConformL8, QueryRandomizedIncludingHugePages)
-{
-    Rng rng(8);
-    for (int round = 0; round < 20; ++round) {
-        DualState dual;
-        u64 root = 0;
-        const u64 seed = rng.next();
-        dual.setup([&root, seed](FlatState &s) {
-            Rng local(seed);
-            root = makeRoot(s);
-            randomPopulate(s, root, local, 15, 6);
-            // Plant a huge entry at L2 of an unused subtree: VA region
-            // (l4=1, l3=1) stays clear of randomPopulate's (0..1,0..1)
-            // only probabilistically, so write through the walk spec.
-            const IntResult l3 =
-                specNextTable(s, root, 3, true); // fresh L4 slot 3
-            if (l3.isOk) {
-                specEntryWrite(s, l3.value, 0,
-                               specPteMake(0x60'0000,
-                                           pteRwFlags | pteFlagHuge));
-            }
-        });
-        LayerHarness harness(8, dual.mirSide);
-        // Probe the populated area, the huge region, and misses.
-        for (int probe = 0; probe < 30; ++probe) {
-            u64 va = randomVa(rng, 6) | (rng.below(512) * 8);
-            if (probe % 5 == 0)
-                va = (3ull << 39) | rng.below(1ull << 30); // huge region
-            auto out = harness.run("pt_query", {uv(root), uv(va)});
-            const QueryResult expect =
-                specPtQuery(dual.specSide, root, va);
-            ASSERT_VALUE_AGREES(out, encodeQueryResult(expect));
-        }
-        EXPECT_STATES_AGREE(dual);
-    }
+    const check::CampaignReport report = campaign.run();
+    EXPECT_EQ(report.failures, 0u)
+        << report.first->scenario << " @ shard " << report.first->shard
+        << " iter " << report.first->iteration << ": "
+        << report.first->detail;
+    EXPECT_EQ(report.scenarios, campaign.size());
+    EXPECT_GT(report.checks, 1000u);
 }
 
 } // namespace

@@ -15,6 +15,8 @@
 
 #include "conformance_util.hh"
 
+#include "check/campaign.hh"
+#include "check/scenarios.hh"
 #include "mirmodels/common.hh"
 
 namespace hev::ccal
@@ -77,98 +79,6 @@ applyAndCompare(LayerHarness &harness, DualState &dual, u64 root,
     ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "") << context;
 }
 
-/**
- * Layer 9/10/8 stacked into one program so sequences can interleave
- * map/unmap/query.  Lower layers (2-7) resolve to specs as usual.
- */
-class StackedHarness
-{
-  public:
-    explicit StackedHarness(FlatState &state)
-        : program(buildStack(state.geo)), absState(state)
-    {
-        interp = std::make_unique<mir::Interp>(program, &absState);
-        registerTrustedLayer(*interp, state);
-        registerSpecPrimitives(*interp, state, 8);
-    }
-
-    mir::Outcome<Value>
-    run(const std::string &fn, std::vector<Value> args)
-    {
-        return interp->call(fn, std::move(args), 2'000'000);
-    }
-
-  private:
-    static mir::Program
-    buildStack(const Geometry &geo)
-    {
-        mir::Program prog;
-        mirmodels::addLayer08(prog, geo);
-        mirmodels::addLayer09(prog, geo);
-        mirmodels::addLayer10(prog, geo);
-        return prog;
-    }
-
-    mir::Program program;
-    FlatAbsState absState;
-    std::unique_ptr<mir::Interp> interp;
-};
-
-TEST(ExhaustiveTest, AllDepth2SequencesOverTheFullDomain)
-{
-    const u64 va_count = std::size(vaDomain);
-    const u64 total = va_count * opCount;
-    // Every ordered pair of (op, va) steps: (6*4)^2 = 576 sequences.
-    for (u64 first = 0; first < total; ++first) {
-        for (u64 second = 0; second < total; ++second) {
-            DualState dual;
-            u64 root = 0;
-            dual.setup([&root](FlatState &s) { root = makeRoot(s); });
-            StackedHarness harness(dual.mirSide);
-
-            const Op ops[2] = {
-                {int(first % opCount), vaDomain[first / opCount]},
-                {int(second % opCount), vaDomain[second / opCount]},
-            };
-            for (int step = 0; step < 2; ++step) {
-                const Op &op = ops[step];
-                auto iv = [](i64 x) { return Value::intVal(x); };
-                std::string context =
-                    "seq(" + std::to_string(first) + "," +
-                    std::to_string(second) + ") step " +
-                    std::to_string(step);
-                if (op.kind <= 1) {
-                    const u64 pa = paDomain[op.kind];
-                    auto out = harness.run(
-                        "pt_map", {iv(i64(root)), iv(i64(op.va)),
-                                   iv(i64(pa)), iv(i64(pteRwFlags))});
-                    const i64 rc = specPtMap(dual.specSide, root, op.va,
-                                             pa, pteRwFlags);
-                    ASSERT_TRUE(out.ok()) << context;
-                    ASSERT_EQ(out->asInt(), rc) << context;
-                } else if (op.kind == 2) {
-                    auto out = harness.run(
-                        "pt_unmap", {iv(i64(root)), iv(i64(op.va))});
-                    ASSERT_TRUE(out.ok()) << context;
-                    ASSERT_EQ(out->asInt(),
-                              specPtUnmap(dual.specSide, root, op.va))
-                        << context;
-                } else {
-                    auto out = harness.run(
-                        "pt_query", {iv(i64(root)), iv(i64(op.va))});
-                    ASSERT_TRUE(out.ok()) << context;
-                    ASSERT_EQ(*out,
-                              encodeQueryResult(specPtQuery(
-                                  dual.specSide, root, op.va)))
-                        << context;
-                }
-                ASSERT_EQ(diffStates(dual.mirSide, dual.specSide), "")
-                    << context;
-            }
-        }
-    }
-}
-
 TEST(ExhaustiveTest, Depth3SequencesOnOneSharedState)
 {
     // Depth-3 interleavings executed on ONE evolving state per layer
@@ -224,6 +134,28 @@ TEST(ExhaustiveTest, EveryVaIndexLevelPairMatches)
                 << "va " << va << " level " << level;
         }
     }
+}
+
+TEST(ExhaustiveCampaign, AllDepth2SequencesOverTheFullDomain)
+{
+    // Every ordered pair of (op, va) steps — (6*4)^2 = 576 sequences —
+    // sharded by the first step: 24 shards of 24 sequences each, run
+    // across worker threads.  Exhaustive blocks draw no randomness, so
+    // sharding cannot change what is covered.
+    check::CampaignConfig cfg;
+    cfg.seed = 0xe2;
+    cfg.threads = 4;
+    check::Campaign campaign(cfg);
+    campaign.add(check::exhaustiveScenarios());
+
+    const check::CampaignReport report = campaign.run();
+    EXPECT_EQ(report.failures, 0u)
+        << report.first->scenario << " @ shard " << report.first->shard
+        << " iter " << report.first->iteration << ": "
+        << report.first->detail;
+    EXPECT_EQ(report.scenarios, 24u);
+    // 576 sequences, two compared steps each.
+    EXPECT_EQ(report.checks, 1152u);
 }
 
 } // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Campaign runner unit tests: work-queue accounting, shard stream
+ * derivation, counterexample aggregation, early-stop semantics, and
+ * the JSON report shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+
+#include "check/campaign.hh"
+
+namespace hev::check
+{
+namespace
+{
+
+/** A scenario that ticks `checks` times and optionally fails. */
+Scenario
+ticking(const std::string &name, int checks, int fail_at = -1)
+{
+    Scenario s;
+    s.name = name;
+    s.kind = "synthetic";
+    s.body = [checks, fail_at](ShardContext &ctx)
+        -> std::optional<std::string> {
+        for (int i = 0; i < checks; ++i) {
+            ctx.tick();
+            if (i == fail_at)
+                return "planted failure";
+        }
+        return std::nullopt;
+    };
+    return s;
+}
+
+TEST(CampaignTest, EmptyCampaignReportsNothing)
+{
+    Campaign campaign;
+    const CampaignReport report = campaign.run();
+    EXPECT_EQ(report.scenarios, 0u);
+    EXPECT_EQ(report.checks, 0u);
+    EXPECT_EQ(report.failures, 0u);
+    EXPECT_FALSE(report.first.has_value());
+}
+
+TEST(CampaignTest, CountsScenariosChecksAndKinds)
+{
+    CampaignConfig cfg;
+    cfg.threads = 3;
+    Campaign campaign(cfg);
+    for (int i = 0; i < 10; ++i)
+        campaign.add(ticking("t" + std::to_string(i), 7));
+    Scenario layered = ticking("layered", 5);
+    layered.kind = "conformance";
+    layered.layer = 9;
+    campaign.add(layered);
+
+    const CampaignReport report = campaign.run();
+    EXPECT_EQ(report.scenarios, 11u);
+    EXPECT_EQ(report.checks, 75u);
+    EXPECT_EQ(report.failures, 0u);
+    EXPECT_EQ(report.scenariosByKind.at("synthetic"), 10u);
+    EXPECT_EQ(report.scenariosByKind.at("conformance"), 1u);
+    EXPECT_EQ(report.checksByKind.at("conformance"), 5u);
+    EXPECT_EQ(report.scenariosByLayer.at(9), 1u);
+}
+
+TEST(CampaignTest, ShardStreamsAreSplitsOfTheCampaignSeed)
+{
+    // Shard i must see exactly Rng(seed).split(i), regardless of the
+    // worker that happens to execute it.
+    constexpr u64 seed = 0xfeed;
+    std::array<std::atomic<u64>, 8> firstDraw{};
+    CampaignConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 4;
+    Campaign campaign(cfg);
+    for (int i = 0; i < 8; ++i) {
+        Scenario s;
+        s.name = "draw" + std::to_string(i);
+        s.kind = "synthetic";
+        s.body = [&firstDraw](ShardContext &ctx)
+            -> std::optional<std::string> {
+            firstDraw[ctx.shard()] = ctx.rng().next();
+            return std::nullopt;
+        };
+        campaign.add(std::move(s));
+    }
+    (void)campaign.run();
+    for (u64 i = 0; i < 8; ++i)
+        EXPECT_EQ(firstDraw[i].load(), Rng(seed).split(i).next())
+            << "shard " << i;
+}
+
+TEST(CampaignTest, FirstCounterexampleIsLowestShardThenIteration)
+{
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        CampaignConfig cfg;
+        cfg.threads = threads;
+        Campaign campaign(cfg);
+        campaign.add(ticking("clean0", 20));
+        campaign.add(ticking("late-fail", 20, 15));   // shard 1, iter 16
+        campaign.add(ticking("early-fail", 20, 2));   // shard 2, iter 3
+        campaign.add(ticking("clean3", 20));
+
+        const CampaignReport report = campaign.run();
+        EXPECT_EQ(report.failures, 2u);
+        ASSERT_TRUE(report.first.has_value());
+        EXPECT_EQ(report.first->shard, 1u) << "threads=" << threads;
+        EXPECT_EQ(report.first->iteration, 16u);
+        EXPECT_EQ(report.first->scenario, "late-fail");
+        EXPECT_EQ(report.first->detail, "planted failure");
+    }
+}
+
+TEST(CampaignTest, StopOnFailureSkipsHigherShardsOnly)
+{
+    CampaignConfig cfg;
+    cfg.threads = 1;
+    cfg.stopOnFailure = true;
+    Campaign campaign(cfg);
+    campaign.add(ticking("clean0", 5));
+    campaign.add(ticking("fail1", 5, 0));
+    for (int i = 2; i < 10; ++i)
+        campaign.add(ticking("skipme" + std::to_string(i), 5));
+
+    const CampaignReport report = campaign.run();
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_EQ(report.first->shard, 1u);
+    EXPECT_EQ(report.skipped, 8u);
+    EXPECT_EQ(report.scenarios, 2u);
+}
+
+TEST(CampaignTest, JsonReportContainsTheSchemaFields)
+{
+    CampaignConfig cfg;
+    cfg.seed = 42;
+    Campaign campaign(cfg);
+    campaign.add(ticking("ok", 3));
+    campaign.add(ticking("bad \"quoted\"\n", 3, 1));
+    const CampaignReport report = campaign.run();
+
+    const std::string result = renderResultJson(report);
+    EXPECT_NE(result.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(result.find("\"scenarios\": 2"), std::string::npos);
+    EXPECT_NE(result.find("\"failures\": 1"), std::string::npos);
+    EXPECT_NE(result.find("\"first_counterexample\""), std::string::npos);
+    EXPECT_NE(result.find("\"scenario\": \"bad \\\"quoted\\\"\\n\""),
+              std::string::npos)
+        << result;
+
+    const std::string full = renderJson(report);
+    EXPECT_NE(full.find("\"campaign\""), std::string::npos);
+    EXPECT_NE(full.find("\"execution\""), std::string::npos);
+    EXPECT_NE(full.find("\"threads\": 1"), std::string::npos);
+    EXPECT_NE(full.find("\"scenarios_per_second\""), std::string::npos);
+}
+
+} // namespace
+} // namespace hev::check

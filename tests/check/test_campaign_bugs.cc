@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Planted-bug detection through the campaign path: the checkers must
+ * keep their teeth when the checks run sharded across threads.  The
+ * Fig. 5 misconfigurations and the 2022 shallow-copy bug are planted,
+ * the campaign runs at 8 threads, and the deterministic counterexample
+ * must name the failing scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccal/specs.hh"
+#include "check/campaign.hh"
+#include "check/scenarios.hh"
+#include "hv/hv_invariants.hh"
+#include "hv/machine.hh"
+#include "sec/attacks.hh"
+#include "sec/invariants.hh"
+#include "sec/machine.hh"
+#include "sec/noninterference.hh"
+#include "sec/observe.hh"
+
+namespace hev::check
+{
+namespace
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+/** Build a flat state with `n` initialized enclaves. */
+FlatState
+stateWithEnclaves(int n, std::vector<i64> &ids)
+{
+    FlatState s;
+    for (int i = 0; i < n; ++i) {
+        const u64 base = 0x10'0000 + u64(i) * 0x10'0000;
+        const IntResult id = specHcInit(s, base, base + 3 * pageSize,
+                                        base + 64 * pageSize, 1,
+                                        0x8000 + u64(i) * 2 * pageSize);
+        EXPECT_TRUE(id.isOk);
+        EXPECT_EQ(specHcAddPage(s, i64(id.value), base, 0x4000,
+                                epcStateReg),
+                  0);
+        EXPECT_EQ(specHcAddPage(s, i64(id.value), base + pageSize,
+                                0x5000, epcStateTcs),
+                  0);
+        EXPECT_EQ(specHcInitFinish(s, i64(id.value)), 0);
+        ids.push_back(i64(id.value));
+    }
+    return s;
+}
+
+/** Wrap an invariant check of a corrupted state as a scenario. */
+Scenario
+misconfigScenario(const std::string &name,
+                  const std::function<void(FlatState &,
+                                           std::vector<i64> &)> &corrupt)
+{
+    Scenario s;
+    s.name = name;
+    s.kind = "invariants";
+    s.body = [corrupt](ShardContext &ctx) -> std::optional<std::string> {
+        std::vector<i64> ids;
+        FlatState state = stateWithEnclaves(2, ids);
+        corrupt(state, ids);
+        ctx.tick();
+        const auto violations = sec::checkInvariants(state);
+        if (!violations.empty())
+            return sec::describeViolations(violations);
+        return std::nullopt;
+    };
+    return s;
+}
+
+/**
+ * Every Fig. 5 misconfiguration, planted behind clean filler shards:
+ * the sharded campaign must flag each one, and because each planted
+ * scenario sits at a known shard, the deterministic first
+ * counterexample names it exactly.
+ */
+TEST(CampaignBugsTest, Fig5MisconfigurationsCaughtSharded)
+{
+    struct Case
+    {
+        const char *name;
+        std::function<void(FlatState &, std::vector<i64> &)> corrupt;
+    };
+    const Case cases[] = {
+        {"fig5/epc-alias",
+         [](FlatState &s, std::vector<i64> &ids) {
+             ASSERT_TRUE(sec::injectEpcAlias(s, ids[0], ids[1]));
+         }},
+        {"fig5/elrange-escape",
+         [](FlatState &s, std::vector<i64> &ids) {
+             ASSERT_TRUE(sec::injectElrangeEscape(s, ids[0], 0x10'0000,
+                                                  0x6000));
+         }},
+        {"fig5/covert-mapping",
+         [](FlatState &s, std::vector<i64> &ids) {
+             ASSERT_TRUE(sec::injectCovertMapping(s, ids[0], 0x10'2000));
+         }},
+        {"fig5/huge-mapping",
+         [](FlatState &s, std::vector<i64> &ids) {
+             ASSERT_TRUE(sec::injectHugeMapping(s, ids[0], 0x10'0000));
+         }},
+    };
+
+    for (const Case &tc : cases) {
+        CampaignConfig cfg;
+        cfg.seed = 0xf15;
+        cfg.threads = 8;
+        Campaign campaign(cfg);
+        // Clean invariant shards in front; the planted scenario last.
+        InvariantOptions inv;
+        inv.seedBlocks = 6;
+        inv.stepsPerShard = 15;
+        campaign.add(invariantScenarios(inv));
+        campaign.add(misconfigScenario(tc.name, tc.corrupt));
+
+        const CampaignReport report = campaign.run();
+        ASSERT_EQ(report.failures, 1u) << tc.name;
+        ASSERT_TRUE(report.first.has_value());
+        EXPECT_EQ(report.first->scenario, tc.name);
+        EXPECT_EQ(report.first->shard, report.scenarios - 1);
+    }
+}
+
+/**
+ * The 2022 shallow-copy bug's in-RAM footprint, detected through a
+ * sharded campaign over the concrete monitor's invariant checker.
+ */
+TEST(CampaignBugsTest, ShallowCopyBugCaughtSharded)
+{
+    Scenario shallow;
+    shallow.name = "hv/shallow-copy-bug";
+    shallow.kind = "invariants";
+    shallow.body = [](ShardContext &ctx) -> std::optional<std::string> {
+        hv::MonitorConfig cfg;
+        cfg.layout.totalBytes = 32 * 1024 * 1024;
+        cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+        cfg.layout.epcBytes = 8 * 1024 * 1024;
+        cfg.shallowCopyBug = true;
+        hv::Machine machine(cfg);
+        hv::PrimaryOs &os = machine.os();
+        auto root = os.createPageTable();
+        auto scratch = os.allocPage();
+        if (!root.ok() || !scratch.ok())
+            return "setup failed: OS allocation";
+        if (!os.gptMap(*root, 0x10'0000, *scratch,
+                       hv::PteFlags::userRw())
+                 .ok() ||
+            !os.gptUnmap(*root, 0x10'0000).ok())
+            return "setup failed: OS gpt prepopulation";
+        if (!machine.monitor()
+                 .guestSetGptRoot(machine.vcpu(), Hpa(root->value))
+                 .ok())
+            return "setup failed: set gpt root";
+        if (!machine.setupEnclave(0x10'0000, 1, 1, 7).ok())
+            return "setup failed: enclave creation";
+        ctx.tick();
+        const auto violations =
+            hv::checkMonitorInvariants(machine.monitor());
+        if (!violations.empty())
+            return hv::describeMonitorViolations(violations);
+        return std::nullopt;
+    };
+
+    CampaignConfig cfg;
+    cfg.seed = 0x5c;
+    cfg.threads = 8;
+    Campaign campaign(cfg);
+    InvariantOptions inv;
+    inv.seedBlocks = 4;
+    inv.stepsPerShard = 15;
+    campaign.add(invariantScenarios(inv));
+    campaign.add(shallow);
+
+    const CampaignReport report = campaign.run();
+    ASSERT_EQ(report.failures, 1u)
+        << "the shallow-copy footprint went unnoticed in the campaign";
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_EQ(report.first->scenario, "hv/shallow-copy-bug");
+    EXPECT_NE(report.first->detail.find("escape the frame area"),
+              std::string::npos)
+        << report.first->detail;
+}
+
+/**
+ * The ELRANGE escape found by the *noninterference* path: sharded
+ * biased lockstep traces over the corrupted scene (the campaign port
+ * of NiAttackSweepTest).
+ */
+TEST(CampaignBugsTest, ElrangeEscapeFoundByShardedTraceCampaign)
+{
+    CampaignConfig cfg;
+    cfg.seed = 0xbad;
+    cfg.threads = 8;
+    Campaign campaign(cfg);
+    for (int round = 0; round < 20; ++round) {
+        Scenario s;
+        s.name = "ni-attack/elrange-escape/r" + std::to_string(round);
+        s.kind = "noninterference";
+        s.body = [](ShardContext &ctx) -> std::optional<std::string> {
+            std::vector<i64> ids;
+            sec::SecState base;
+            {
+                sec::DataOracle oracle(11);
+                base.mem[0x4000] = 0xaaa;
+                sec::Action map;
+                map.kind = sec::Action::Kind::OsMap;
+                map.va = 0x40'0000;
+                map.a = 0x6000;
+                (void)sec::SecMachine::step(base, map, oracle);
+                ids.push_back(sec::SecMachine::setupEnclave(
+                    base, oracle, 0x10'0000, 1, 1, 0x8000, 0x4000));
+                ids.push_back(sec::SecMachine::setupEnclave(
+                    base, oracle, 0x30'0000, 1, 1, 0xa000, 0x4000));
+            }
+            if (!sec::injectElrangeEscape(base.mon, ids[0], 0x10'0000,
+                                          0x6000))
+                return "setup failed: injection rejected";
+
+            const u64 oracle_seed = ctx.rng().next();
+            sec::SecState s1 = base;
+            sec::SecState s2 = base;
+            sec::perturbUnobservable(s2, ids[0], ctx.rng());
+            std::vector<sec::Action> trace;
+            sec::SecState sim = s1;
+            sec::DataOracle sim_oracle(oracle_seed);
+            for (int step = 0; step < 60; ++step) {
+                sec::Action action = sec::randomAction(sim, ctx.rng());
+                // Bias toward the OS touching the shared page.
+                if (step % 5 == 0) {
+                    action = sec::Action{};
+                    action.kind = sec::Action::Kind::Store;
+                    action.va = 0x40'0000;
+                    action.reg = 0;
+                }
+                trace.push_back(action);
+                (void)sec::SecMachine::step(sim, action, sim_oracle);
+            }
+            ctx.tick();
+            const auto violation =
+                sec::checkTrace(s1, s2, ids[0], trace, oracle_seed);
+            if (violation)
+                return violation->lemma + ": " + violation->detail;
+            return std::nullopt;
+        };
+        campaign.add(std::move(s));
+    }
+
+    const CampaignReport report = campaign.run();
+    EXPECT_GT(report.failures, 0u)
+        << "no sharded trace exposed the planted ELRANGE escape";
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_NE(report.first->scenario.find("ni-attack/elrange-escape"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hev::check

@@ -1,12 +1,14 @@
 /**
  * @file
- * Parameterized noninterference sweeps: seed-swept Theorem 5.1 runs,
- * explicit Lemma 5.4 coverage across world switches, checker
+ * Noninterference sweeps: campaign-sharded Theorem 5.1 lockstep
+ * traces, explicit Lemma 5.4 coverage across world switches, checker
  * determinism, and the declassification boundary of the data oracle.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/campaign.hh"
+#include "check/scenarios.hh"
 #include "sec/attacks.hh"
 #include "sec/noninterference.hh"
 
@@ -33,39 +35,30 @@ scene(std::vector<i64> &ids)
     return s;
 }
 
-/** Seed-swept Theorem 5.1 for every principal. */
-class NiTraceSweep : public ::testing::TestWithParam<u64>
+/**
+ * Seed-swept Theorem 5.1 for every principal, run as a sharded
+ * campaign: one scenario per seed block, each checking a full lockstep
+ * trace for the OS and both enclaves, with shard streams derived from
+ * the campaign seed so the sweep is deterministic at any thread count.
+ */
+TEST(NiTraceSweep, TheoremHoldsForAllPrincipals)
 {
-};
+    check::NiOptions opt;
+    opt.seedBlocks = 8;
+    opt.stepsPerTrace = 150;
+    check::CampaignConfig cfg;
+    cfg.seed = 0x51;
+    cfg.threads = 4;
+    check::Campaign campaign(cfg);
+    campaign.add(check::noninterferenceScenarios(opt));
 
-TEST_P(NiTraceSweep, TheoremHoldsForAllPrincipals)
-{
-    std::vector<i64> ids;
-    const SecState base = scene(ids);
-    Rng rng(GetParam());
-
-    for (const Principal p :
-         {osPrincipal, Principal(ids[0]), Principal(ids[1])}) {
-        SecState s1 = base;
-        SecState s2 = base;
-        perturbUnobservable(s2, p, rng);
-
-        std::vector<Action> trace;
-        SecState sim = s1;
-        DataOracle sim_oracle(GetParam());
-        for (int step = 0; step < 150; ++step) {
-            trace.push_back(randomAction(sim, rng));
-            (void)SecMachine::step(sim, trace.back(), sim_oracle);
-        }
-        auto violation = checkTrace(s1, s2, p, trace, GetParam());
-        ASSERT_FALSE(violation.has_value())
-            << "p=" << p << " seed=" << GetParam() << " "
-            << violation->lemma << ": " << violation->detail;
-    }
+    const check::CampaignReport report = campaign.run();
+    EXPECT_EQ(report.failures, 0u)
+        << report.first->scenario << " @ shard " << report.first->shard
+        << " iter " << report.first->iteration << ": "
+        << report.first->detail;
+    EXPECT_EQ(report.scenarios, 8u);
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, NiTraceSweep,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 TEST(NiLemma54Test, WorldSwitchesPreserveIndistinguishability)
 {
