@@ -20,7 +20,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "ccal/checker.hh"
+#include "obs/stats.hh"
 #include "hv/monitor.hh"
 #include "mirlight/builder.hh"
 #include "mirlight/interp.hh"
@@ -201,5 +203,10 @@ main()
                     "invariant (Sec. 5.2);\n    the normal VM is free "
                     "to use large mappings\n");
     }
+
+    bench::JsonReport report("ablation");
+    report.section("stats",
+                   obs::renderStatsJson(obs::snapshotStats(), ""));
+    report.write();
     return 0;
 }

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_report.hh"
 #include "check/campaign.hh"
 #include "check/scenarios.hh"
+#include "obs/trace.hh"
 
 using namespace hev;
 using namespace hev::check;
@@ -51,6 +53,8 @@ main()
     std::printf("%8s %10s %9s %12s %9s\n", "threads", "scenarios",
                 "checks", "scen/s", "speedup");
 
+    bench::JsonReport bench_report("campaign");
+
     double base_elapsed = 0.0;
     std::string base_result;
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -75,6 +79,13 @@ main()
                     (unsigned long long)report.checks,
                     report.scenariosPerSecond,
                     base_elapsed / report.elapsedSeconds);
+        const std::string key = "t" + std::to_string(threads);
+        bench_report.metric(key + "_scenarios_per_second",
+                            report.scenariosPerSecond);
+        bench_report.metric(key + "_checks_per_second",
+                            report.checksPerSecond);
+        bench_report.metric(key + "_elapsed_seconds",
+                            report.elapsedSeconds);
         if (threads == 8)
             writeJsonReport(report, "campaign_report.json");
     }
@@ -84,5 +95,35 @@ main()
     std::printf("8-thread report written to campaign_report.json\n");
     std::printf("note: speedups are bounded by the cores of the host "
                 "running this harness\n");
+
+    // One traced single-thread run, exported for chrome://tracing.
+    // The sweep above ran with tracing disabled (the throughput
+    // configuration); this run pays the tracer cost deliberately.
+    if (obs::traceCompiledIn) {
+        obs::clearTrace();
+        obs::setTraceEnabled(true);
+        const CampaignReport traced = makeCampaign(1).run();
+        obs::setTraceEnabled(false);
+        if (renderResultJson(traced) != base_result) {
+            std::printf("FAILURE: campaign section diverged under "
+                        "tracing\n");
+            return 1;
+        }
+        if (!obs::writeChromeTrace("campaign_trace.json")) {
+            std::printf("FAILURE: could not write campaign_trace.json\n");
+            return 1;
+        }
+        u64 traced_events = 0;
+        for (const auto &[type, count] : traced.eventsByType)
+            traced_events += count;
+        bench_report.metric("traced_events", traced_events);
+        bench_report.metric("traced_scenarios_per_second",
+                            traced.scenariosPerSecond);
+        std::printf("traced run exported to campaign_trace.json "
+                    "(%llu events)\n",
+                    (unsigned long long)traced_events);
+    }
+
+    bench_report.write();
     return 0;
 }

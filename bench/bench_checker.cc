@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hh"
+
 #include "ccal/checker.hh"
 #include "ccal/tree_state.hh"
 #include "mirlight/builder.hh"
@@ -201,4 +203,4 @@ BENCHMARK(BM_NoninterferenceTrace)->Arg(20)->Arg(60);
 
 } // namespace
 
-BENCHMARK_MAIN();
+HEV_GBENCH_JSON_MAIN("checker")

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "ccal/checker.hh"
 #include "mirmodels/registry.hh"
 
@@ -73,5 +74,13 @@ main()
                 "so the Rust->MIR\nexpansion appears here as "
                 "spec-lines -> MIR-statement expansion;\nsee "
                 "bench_table1 for the source-tree line counts.\n");
+
+    bench::JsonReport report("effort");
+    report.metric("functions", total_functions);
+    report.metric("statements", total_statements);
+    report.metric("functions_with_locals", with_locals);
+    report.metric("avg_statements_per_function",
+                  double(total_statements) / double(total_functions));
+    report.write();
     return 0;
 }

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "hv/machine.hh"
 
 using namespace hev;
@@ -141,5 +142,10 @@ main()
     std::printf("  enter/exit pair: %.0f ns per transition "
                 "(%llu hypercalls total this run)\n",
                 ns, (unsigned long long)mon.stats().hypercalls);
+
+    bench::JsonReport report("fig1_arch");
+    report.metric("enter_exit_ns", ns);
+    report.metric("hypercalls", mon.stats().hypercalls);
+    report.write();
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_report.hh"
 #include "hv/machine.hh"
 
 using namespace hev;
@@ -169,5 +170,12 @@ main()
     std::printf("\ntwo-stage translation: %.0f ns TLB-assisted, "
                 "%.0f ns full walk (%.1fx)\n", tlb_ns, walk_ns,
                 walk_ns / (tlb_ns > 0 ? tlb_ns : 1));
+
+    bench::JsonReport report("fig2_translate");
+    report.metric("tlb_assisted_ns", tlb_ns);
+    report.metric("full_walk_ns", walk_ns);
+    report.metric("shared_pages", u64(shared.size()));
+    report.note("only_overlap_is_mbuf", only_mbuf ? "yes" : "no");
+    report.write();
     return only_mbuf ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "ccal/checker.hh"
 #include "ccal/tree_state.hh"
 #include "mirmodels/registry.hh"
@@ -154,5 +155,11 @@ main()
                 (unsigned long long)steps,
                 failures == 0 ? "all stages green"
                               : "FAILURES DETECTED");
+
+    bench::JsonReport report("fig3_pipeline");
+    report.metric("interpreter_steps", steps);
+    report.metric("ni_cases", ni_cases);
+    report.metric("failures", failures);
+    report.write();
     return failures == 0 ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "ccal/checker.hh"
 #include "mirlight/builder.hh"
 #include "mirlight/interp.hh"
@@ -153,5 +154,12 @@ main()
                 "(%.2fx), rdata deref = trap by construction\n",
                 path_ns / iterations, trusted_ns / iterations,
                 trusted_ns / (path_ns > 0 ? path_ns : 1));
+
+    bench::JsonReport report("fig4_pointers");
+    report.metric("path_ptr_ns", path_ns / iterations);
+    report.metric("trusted_ptr_ns", trusted_ns / iterations);
+    report.note("escape_trapped", !escape.ok() ? "yes" : "no");
+    report.note("rdata_deref_trapped", !refused.ok() ? "yes" : "no");
+    report.write();
     return (!escape.ok() && !refused.ok()) ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hh"
+
 #include "hv/machine.hh"
 
 using namespace hev;
@@ -138,4 +140,4 @@ BENCHMARK(BM_MbufRoundTrip);
 
 } // namespace
 
-BENCHMARK_MAIN();
+HEV_GBENCH_JSON_MAIN("hypercall")

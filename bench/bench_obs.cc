@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cost of the observability primitives themselves, in every relevant
+ * switch position: counters and histograms with stats on and off,
+ * trace events with tracing off (the fast-path check every
+ * instrumented site pays), on (ring push + interning), and a scoped
+ * timer fully disabled.  The disabled numbers are the ones the ≤2%
+ * campaign-overhead budget rests on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gbench_json.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
+
+using namespace hev;
+
+namespace
+{
+
+const obs::Counter benchCounter("bench.obs.counter");
+const obs::Histogram benchHistogram("bench.obs.histogram");
+
+void
+BM_CounterIncEnabled(benchmark::State &state)
+{
+    obs::setStatsEnabled(true);
+    for (auto _ : state)
+        benchCounter.inc();
+}
+BENCHMARK(BM_CounterIncEnabled);
+
+void
+BM_CounterIncDisabled(benchmark::State &state)
+{
+    obs::setStatsEnabled(false);
+    for (auto _ : state)
+        benchCounter.inc();
+    obs::setStatsEnabled(true);
+}
+BENCHMARK(BM_CounterIncDisabled);
+
+void
+BM_HistogramRecordEnabled(benchmark::State &state)
+{
+    obs::setStatsEnabled(true);
+    u64 value = 1;
+    for (auto _ : state) {
+        benchHistogram.record(value);
+        value = (value << 1) | (value >> 63);
+    }
+}
+BENCHMARK(BM_HistogramRecordEnabled);
+
+void
+BM_TraceEventDisabled(benchmark::State &state)
+{
+    obs::setTraceEnabled(false);
+    for (auto _ : state)
+        obs::traceEvent(obs::EventType::PtWalk, "bench", 1, 2);
+}
+BENCHMARK(BM_TraceEventDisabled);
+
+void
+BM_TraceEventEnabled(benchmark::State &state)
+{
+    if (!obs::traceCompiledIn) {
+        state.SkipWithError("tracer compiled out (HEV_OBS_TRACE=0)");
+        return;
+    }
+    obs::setTraceEnabled(true);
+    for (auto _ : state)
+        obs::traceEvent(obs::EventType::PtWalk, "bench", 1, 2);
+    obs::setTraceEnabled(false);
+    obs::clearTrace();
+}
+BENCHMARK(BM_TraceEventEnabled);
+
+void
+BM_ScopedTimerDisabled(benchmark::State &state)
+{
+    obs::setStatsEnabled(false);
+    obs::setTraceEnabled(false);
+    for (auto _ : state) {
+        obs::ScopedTimer timer(benchHistogram, "bench");
+        benchmark::DoNotOptimize(&timer);
+    }
+    obs::setStatsEnabled(true);
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void
+BM_ScopedTimerEnabled(benchmark::State &state)
+{
+    obs::setStatsEnabled(true);
+    for (auto _ : state) {
+        obs::ScopedTimer timer(benchHistogram, "bench");
+        benchmark::DoNotOptimize(&timer);
+    }
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
+} // namespace
+
+HEV_GBENCH_JSON_MAIN("obs")

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hh"
+
 #include "hv/machine.hh"
 
 using namespace hev;
@@ -167,4 +169,4 @@ BENCHMARK(BM_TableTeardown)->Arg(8)->Arg(64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+HEV_GBENCH_JSON_MAIN("pagetable")

@@ -1,0 +1,106 @@
+#include "bench_report.hh"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/trace.hh"
+
+#ifndef HEV_GIT_SHA
+#define HEV_GIT_SHA "unknown"
+#endif
+#ifndef HEV_BUILD_TYPE
+#define HEV_BUILD_TYPE "unknown"
+#endif
+#ifndef HEV_BUILD_FLAGS
+#define HEV_BUILD_FLAGS ""
+#endif
+
+namespace hev::bench
+{
+
+namespace
+{
+
+std::string
+quoted(const std::string &text)
+{
+    std::ostringstream out;
+    out << '"';
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+    out << '"';
+    return out.str();
+}
+
+} // namespace
+
+JsonReport::JsonReport(std::string bench_name)
+    : benchName(std::move(bench_name))
+{
+    note("bench", benchName);
+    metric("schema_version", u64(benchSchemaVersion));
+    note("git_sha", HEV_GIT_SHA);
+    note("build_type", HEV_BUILD_TYPE);
+    note("build_flags", HEV_BUILD_FLAGS);
+    metric("hardware_threads", u64(std::thread::hardware_concurrency()));
+    fields.emplace_back("trace_compiled_in",
+                        obs::traceCompiledIn ? "true" : "false");
+}
+
+void
+JsonReport::metric(const std::string &key, double value)
+{
+    std::ostringstream out;
+    out << value;
+    fields.emplace_back(key, out.str());
+}
+
+void
+JsonReport::metric(const std::string &key, u64 value)
+{
+    fields.emplace_back(key, std::to_string(value));
+}
+
+void
+JsonReport::note(const std::string &key, const std::string &value)
+{
+    fields.emplace_back(key, quoted(value));
+}
+
+void
+JsonReport::section(const std::string &key, const std::string &raw_json)
+{
+    fields.emplace_back(key, raw_json);
+}
+
+std::string
+JsonReport::render() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    bool first = true;
+    for (const auto &[key, value] : fields) {
+        out << (first ? "" : ",\n") << "  " << quoted(key) << ": "
+            << value;
+        first = false;
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+bool
+JsonReport::write() const
+{
+    const std::string path = "BENCH_" + benchName + ".json";
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << render();
+    return bool(out);
+}
+
+} // namespace hev::bench

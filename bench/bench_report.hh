@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable bench output: every bench binary writes a
+ * BENCH_<name>.json next to its human-readable stdout, with a fixed
+ * provenance header (git SHA, build type and flags, hardware threads)
+ * so CI can diff runs across commits and machines.
+ */
+
+#ifndef HEV_BENCH_REPORT_HH
+#define HEV_BENCH_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace hev::bench
+{
+
+/** Version of the BENCH_*.json schema. */
+constexpr int benchSchemaVersion = 1;
+
+/**
+ * An ordered JSON object builder for one bench run.  The provenance
+ * header is stamped by the constructor; callers append metrics (and
+ * raw pre-rendered sections such as a campaign report) and write().
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name);
+
+    /** Append a numeric metric. */
+    void metric(const std::string &key, double value);
+    void metric(const std::string &key, u64 value);
+
+    /** Append a string field. */
+    void note(const std::string &key, const std::string &value);
+
+    /** Append an already-rendered JSON value verbatim. */
+    void section(const std::string &key, const std::string &raw_json);
+
+    std::string render() const;
+
+    /** Write to BENCH_<name>.json in the working directory. */
+    bool write() const;
+
+    const std::string &name() const { return benchName; }
+
+  private:
+    std::string benchName;
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+} // namespace hev::bench
+
+#endif // HEV_BENCH_REPORT_HH

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hh"
 #include "ccal/checker.hh"
 #include "ccal/coverage.hh"
 #include "mirmodels/registry.hh"
@@ -183,6 +184,23 @@ main()
                 "conformance cases in this run",
                 (unsigned long long)cases, "(n/a: Coq proof)");
     std::printf("\n%s", renderCoverage(currentCoverage()).c_str());
+
+    bench::JsonReport report("table1");
+    report.metric("hv_loc", hv_loc);
+    report.metric("mirlight_loc", mirlight_loc);
+    report.metric("mirmodels_loc", mirmodels_loc);
+    report.metric("ccal_loc", ccal_loc);
+    report.metric("sec_loc", sec_loc);
+    report.metric("support_loc", support_loc);
+    report.metric("tests_loc", tests_loc);
+    report.metric("mir_functions", functions);
+    report.metric("mir_statements", statements);
+    report.metric("functions_with_locals", with_locals);
+    report.metric("conformance_cases", cases);
+    report.metric("proof_to_code_ratio",
+                  double(proof_loc) / double(statements));
+    report.section("coverage", renderCoverageJson(currentCoverage()));
+    report.write();
 
     std::printf("\nAll components accounted for; shape matches the "
                 "paper's development\n(system < specs < proofs in "

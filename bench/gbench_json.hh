@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Google-benchmark glue for the BENCH_*.json reports: a console
+ * reporter that also captures every run, and a main() that writes the
+ * captured runs through bench::JsonReport.  Binaries use
+ * HEV_GBENCH_JSON_MAIN("name") in place of BENCHMARK_MAIN().
+ */
+
+#ifndef HEV_BENCH_GBENCH_JSON_HH
+#define HEV_BENCH_GBENCH_JSON_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hh"
+
+namespace hev::bench
+{
+
+/** ConsoleReporter that additionally captures each finished run. */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        double realTime = 0.0;
+        double cpuTime = 0.0;
+        std::string unit;
+        u64 iterations = 0;
+    };
+
+    std::vector<Entry> entries;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred)
+                continue;
+            entries.push_back({run.benchmark_name(),
+                               run.GetAdjustedRealTime(),
+                               run.GetAdjustedCPUTime(),
+                               benchmark::GetTimeUnitString(run.time_unit),
+                               u64(run.iterations)});
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+/** Render captured runs as a JSON array. */
+inline std::string
+renderRuns(const std::vector<CapturingReporter::Entry> &entries)
+{
+    std::ostringstream out;
+    out << "[";
+    bool first = true;
+    for (const auto &entry : entries) {
+        out << (first ? "" : ",") << "\n    {\"name\": \"" << entry.name
+            << "\", \"real_time\": " << entry.realTime
+            << ", \"cpu_time\": " << entry.cpuTime << ", \"unit\": \""
+            << entry.unit << "\", \"iterations\": " << entry.iterations
+            << "}";
+        first = false;
+    }
+    out << (first ? "]" : "\n  ]");
+    return out.str();
+}
+
+inline int
+gbenchJsonMain(const char *bench_name, int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    JsonReport report(bench_name);
+    report.section("benchmarks", renderRuns(reporter.entries));
+    report.write();
+    return 0;
+}
+
+} // namespace hev::bench
+
+#define HEV_GBENCH_JSON_MAIN(name)                                     \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return hev::bench::gbenchJsonMain(name, argc, argv);           \
+    }
+
+#endif // HEV_BENCH_GBENCH_JSON_HH

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "mirmodels/registry.hh"
+#include "obs/timer.hh"
 
 namespace hev::ccal
 {
@@ -391,10 +392,20 @@ LayerHarness::LayerHarness(int layer, FlatState &state)
     registerSpecPrimitives(*interpreter, state, layer);
 }
 
+namespace
+{
+
+const obs::Counter statHarnessRuns("ccal.harness_runs");
+const obs::Histogram statHarnessRunNs("ccal.harness_run_ns");
+
+} // namespace
+
 Outcome<Value>
 LayerHarness::run(const std::string &function, std::vector<Value> args,
                   u64 fuel)
 {
+    statHarnessRuns.inc();
+    obs::ScopedTimer timer(statHarnessRunNs, "harness_run");
     return interpreter->call(function, std::move(args), fuel);
 }
 

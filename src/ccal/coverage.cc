@@ -1,11 +1,21 @@
 #include "ccal/coverage.hh"
 
+#include <map>
 #include <sstream>
 
 #include "mirmodels/registry.hh"
+#include "obs/stats.hh"
 
 namespace hev::ccal
 {
+
+namespace
+{
+
+const obs::Gauge statVerified("coverage.verified");
+const obs::Gauge statTrusted("coverage.trusted");
+
+} // namespace
 
 CoverageReport
 currentCoverage()
@@ -48,6 +58,8 @@ currentCoverage()
             ++report.verified;
         }
     }
+    statVerified.set(i64(report.verified));
+    statTrusted.set(i64(report.trusted));
     return report;
 }
 
@@ -75,6 +87,50 @@ renderCoverage(const CoverageReport &report)
                   (unsigned long long)report.trusted,
                   100.0 * report.verifiedShare());
     out << line;
+    return out.str();
+}
+
+std::string
+renderCoverageJson(const CoverageReport &report,
+                   const std::string &indent)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << indent << "  \"verified\": " << report.verified << ",\n";
+    out << indent << "  \"trusted\": " << report.trusted << ",\n";
+    out << indent << "  \"verified_share\": " << report.verifiedShare()
+        << ",\n";
+
+    std::map<int, std::pair<u64, u64>> byLayer;
+    for (const FnCoverage &fn : report.functions) {
+        if (fn.status == FnStatus::Verified)
+            ++byLayer[fn.layer].first;
+        else
+            ++byLayer[fn.layer].second;
+    }
+    out << indent << "  \"by_layer\": {";
+    bool first = true;
+    for (const auto &[layer, counts] : byLayer) {
+        out << (first ? "" : ", ") << "\"" << layer
+            << "\": {\"verified\": " << counts.first
+            << ", \"trusted\": " << counts.second << "}";
+        first = false;
+    }
+    out << "},\n";
+
+    out << indent << "  \"trusted_functions\": [";
+    first = true;
+    for (const FnCoverage &fn : report.functions) {
+        if (fn.status != FnStatus::Trusted)
+            continue;
+        out << (first ? "" : ",") << "\n"
+            << indent << "    {\"name\": \"" << fn.name
+            << "\", \"layer\": " << fn.layer << ", \"reason\": \""
+            << fn.reason << "\"}";
+        first = false;
+    }
+    out << (first ? "" : "\n" + indent + "  ") << "]\n";
+    out << indent << "}";
     return out.str();
 }
 

@@ -67,6 +67,14 @@ CoverageReport currentCoverage();
 /** Render the report as the Sec. 4.4-style accounting table. */
 std::string renderCoverage(const CoverageReport &report);
 
+/**
+ * Render the report as JSON: {"verified", "trusted",
+ * "verified_share", "by_layer", "trusted_functions"}.  Deterministic
+ * for a given build; embedded in the campaign report.
+ */
+std::string renderCoverageJson(const CoverageReport &report,
+                               const std::string &indent = "");
+
 } // namespace hev::ccal
 
 #endif // HEV_CCAL_COVERAGE_HH

@@ -6,11 +6,19 @@
 #include <sstream>
 #include <thread>
 
+#include "ccal/coverage.hh"
+#include "obs/trace.hh"
+
 namespace hev::check
 {
 
 namespace
 {
+
+const obs::Counter statScenarios("campaign.scenarios");
+const obs::Counter statChecks("campaign.checks");
+const obs::Counter statFailures("campaign.failures");
+const obs::Histogram statScenarioNs("campaign.scenario_ns");
 
 /** Mutex-free per-worker accumulator, merged after the join. */
 struct WorkerStats
@@ -117,8 +125,21 @@ renderJson(const CampaignReport &report)
     out << "  \"threads\": " << report.threads << ",\n";
     out << "  \"elapsed_seconds\": " << report.elapsedSeconds << ",\n";
     out << "  \"scenarios_per_second\": " << report.scenariosPerSecond
+        << ",\n";
+    out << "  \"checks_per_second\": " << report.checksPerSecond
         << "\n";
-    out << "}\n}\n";
+    out << "},\n";
+    out << "\"stats\": {\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"trace_schema_version\": " << obs::traceSchemaVersion
+        << ",\n";
+    out << "  \"snapshot\": " << obs::renderStatsJson(report.stats, "  ")
+        << ",\n";
+    renderCountMap(out, "events_by_type", report.eventsByType, "  ");
+    out << "\n},\n";
+    out << "\"coverage\": "
+        << ccal::renderCoverageJson(ccal::currentCoverage()) << "\n";
+    out << "}\n";
     return out.str();
 }
 
@@ -136,6 +157,9 @@ CampaignReport
 Campaign::run() const
 {
     const unsigned threads = cfg.threads ? cfg.threads : 1;
+    const obs::Snapshot statsBefore = obs::snapshotStats();
+    const std::map<std::string, u64> eventsBefore =
+        obs::traceEventTotals();
     const auto start = std::chrono::steady_clock::now();
 
     // Shard streams, derived incrementally: streams[i] is
@@ -165,13 +189,30 @@ Campaign::run() const
             }
             const Scenario &scenario = scenarios[shard];
             ShardContext ctx(shard, streams[shard]);
+            // +1 keeps start_ns nonzero as the "timing armed" flag.
+            const u64 start_ns =
+                obs::statsEnabled() || obs::traceEnabled()
+                    ? obs::traceNowNs() + 1
+                    : 0;
+            obs::traceEvent(obs::EventType::ScenarioStart,
+                            scenario.name.c_str(), shard);
             const std::optional<std::string> detail = scenario.body(ctx);
+            obs::traceEvent(obs::EventType::ScenarioFinish,
+                            scenario.name.c_str(), shard, ctx.checks());
+            if (start_ns)
+                statScenarioNs.record(obs::traceNowNs() + 1 - start_ns);
+            statScenarios.inc();
+            statChecks.add(ctx.checks());
             ++local.scenarios;
             local.checks += ctx.checks();
             ++local.scenariosByKind[scenario.kind];
             local.checksByKind[scenario.kind] += ctx.checks();
             ++local.scenariosByLayer[scenario.layer];
             if (detail) {
+                statFailures.inc();
+                obs::traceEvent(obs::EventType::CounterexampleFound,
+                                scenario.name.c_str(), shard,
+                                ctx.checks());
                 local.record(Counterexample{shard, ctx.checks(),
                                             scenario.name, *detail});
                 // CAS-min so later shards can be skipped.
@@ -220,6 +261,17 @@ Campaign::run() const
         report.elapsedSeconds > 0.0
             ? double(report.scenarios) / report.elapsedSeconds
             : 0.0;
+    report.checksPerSecond =
+        report.elapsedSeconds > 0.0
+            ? double(report.checks) / report.elapsedSeconds
+            : 0.0;
+    report.stats = obs::snapshotStats().minus(statsBefore);
+    for (const auto &[type, count] : obs::traceEventTotals()) {
+        auto it = eventsBefore.find(type);
+        const u64 before = it == eventsBefore.end() ? 0 : it->second;
+        if (count > before)
+            report.eventsByType[type] = count - before;
+    }
     return report;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.hh"
 #include "support/rng.hh"
 #include "support/types.hh"
 
@@ -119,6 +120,12 @@ struct CampaignReport
     unsigned threads = 0;
     double elapsedSeconds = 0.0;
     double scenariosPerSecond = 0.0;
+    double checksPerSecond = 0.0;
+
+    /** Stats activity during the run (snapshot diff around it). */
+    obs::Snapshot stats;
+    /** Trace events recorded during the run, by type (exact). */
+    std::map<std::string, u64> eventsByType;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "hv/monitor.hh"
 
+#include "obs/timer.hh"
 #include "support/logging.hh"
 
 namespace hev::hv
@@ -15,6 +16,64 @@ measureStep(u64 acc, u64 word)
     acc ^= word;
     return acc * 0x100000001b3ull;
 }
+
+const obs::Counter statHypercalls("hv.hypercalls");
+const obs::Counter statRejected("hv.hypercalls_rejected");
+const obs::Counter statEnclavesCreated("hv.enclaves_created");
+const obs::Counter statPagesAdded("hv.pages_added");
+const obs::Counter statEnters("hv.enclave_enters");
+const obs::Counter statExits("hv.enclave_exits");
+const obs::Counter statTranslations("hv.translations");
+const obs::Histogram statHypercallNs("hv.hypercall_ns");
+const obs::Gauge statLiveEnclaves("hv.live_enclaves");
+
+/**
+ * Accounting scope of one hypercall: counts it, emits the
+ * HypercallEnter/Exit event pair (principal + result code), times it
+ * into hv.hypercall_ns, and prefixes every log line emitted inside
+ * with the hypercall name and acting principal.  Failure returns at
+ * the call sites route through fail() so the result code and the
+ * rejected counters stay in sync by construction.
+ */
+class HypercallScope
+{
+  public:
+    HypercallScope(MonitorStats &stat_counters, const char *hc_name,
+                   u64 hc_principal)
+        : stats(stat_counters), name(hc_name), principal(hc_principal),
+          logCtx("hc=%s principal=%llu", hc_name,
+                 (unsigned long long)hc_principal),
+          timer(statHypercallNs, hc_name)
+    {
+        ++stats.hypercalls;
+        statHypercalls.inc();
+        obs::traceEvent(obs::EventType::HypercallEnter, name, principal);
+    }
+
+    ~HypercallScope()
+    {
+        obs::traceEvent(obs::EventType::HypercallExit, name, principal,
+                        rc);
+    }
+
+    /** Record a rejected request and pass the error through. */
+    HvError
+    fail(HvError error)
+    {
+        ++stats.rejectedRequests;
+        statRejected.inc();
+        rc = u64(error);
+        return error;
+    }
+
+  private:
+    MonitorStats &stats;
+    const char *name;
+    u64 principal;
+    u64 rc = 0;
+    ScopedLogContext logCtx;
+    obs::ScopedTimer timer;
+};
 
 } // namespace
 
@@ -146,12 +205,10 @@ Monitor::mapMarshallingBuffer(Enclave &enclave)
 Expected<EnclaveId>
 Monitor::hcEnclaveInit(const EnclaveConfig &config)
 {
-    ++statCounters.hypercalls;
+    HypercallScope scope(statCounters, "hc_enclave_init", nextEnclaveId);
     auto id = validateInitConfig(config);
-    if (!id) {
-        ++statCounters.rejectedRequests;
-        return id.error();
-    }
+    if (!id)
+        return scope.fail(id.error());
 
     auto gpt = PageTable::create(physMem, frameAlloc);
     if (!gpt)
@@ -182,14 +239,15 @@ Monitor::hcEnclaveInit(const EnclaveConfig &config)
     if (auto st = mapMarshallingBuffer(enclave); !st) {
         (void)gpt->destroy();
         (void)ept->destroy();
-        ++statCounters.rejectedRequests;
-        return st.error();
+        return scope.fail(st.error());
     }
 
     enclaves.emplace(*id, enclave);
     ++nextEnclaveId;
     ++statCounters.enclavesCreated;
-    inform("enclave %u created (elrange [%#llx, %#llx))", *id,
+    statEnclavesCreated.inc();
+    statLiveEnclaves.set(i64(liveEnclaves()));
+    inform("created (elrange [%#llx, %#llx))",
            (unsigned long long)config.elrange.start.value,
            (unsigned long long)config.elrange.end.value);
     return *id;
@@ -199,56 +257,42 @@ Status
 Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
                           AddPageKind kind)
 {
-    ++statCounters.hypercalls;
+    HypercallScope scope(statCounters, "hc_enclave_add_page", id);
     auto it = enclaves.find(id);
-    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
-        ++statCounters.rejectedRequests;
-        return HvError::NoSuchEnclave;
-    }
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
     Enclave &enclave = it->second;
-    if (enclave.state != EnclaveState::Adding) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
-    if (!page_gva.pageAligned() || src.value % pageSize != 0) {
-        ++statCounters.rejectedRequests;
-        return HvError::NotAligned;
-    }
+    if (enclave.state != EnclaveState::Adding)
+        return scope.fail(HvError::BadEnclaveState);
+    if (!page_gva.pageAligned() || src.value % pageSize != 0)
+        return scope.fail(HvError::NotAligned);
     // Enclave invariant: EPC pages appear exactly at ELRANGE addresses.
-    if (!enclave.cfg.elrange.contains(page_gva)) {
-        ++statCounters.rejectedRequests;
-        return HvError::IsolationViolation;
-    }
+    if (!enclave.cfg.elrange.contains(page_gva))
+        return scope.fail(HvError::IsolationViolation);
     const HpaRange src_range = {Hpa(src.value),
                                 Hpa(src.value + pageSize)};
-    if (!cfg.layout.normalRange().containsRange(src_range)) {
-        ++statCounters.rejectedRequests;
-        return HvError::IsolationViolation;
-    }
+    if (!cfg.layout.normalRange().containsRange(src_range))
+        return scope.fail(HvError::IsolationViolation);
 
     PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
     PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
 
     const u64 gpa = enclaveEpcGpaBase + enclave.addedPages * pageSize;
-    if (auto st = gpt.map(page_gva.value, gpa, PteFlags::userRw()); !st) {
-        ++statCounters.rejectedRequests;
-        return st.error();
-    }
+    if (auto st = gpt.map(page_gva.value, gpa, PteFlags::userRw()); !st)
+        return scope.fail(st.error());
 
     auto epc_page = epcMap.allocPage(
         id, page_gva,
         kind == AddPageKind::Tcs ? EpcPageState::Tcs : EpcPageState::Reg);
     if (!epc_page) {
         (void)gpt.unmap(page_gva.value);
-        ++statCounters.rejectedRequests;
-        return epc_page.error();
+        return scope.fail(epc_page.error());
     }
 
     if (auto st = ept.map(gpa, epc_page->value, PteFlags::userRw()); !st) {
         (void)gpt.unmap(page_gva.value);
         (void)epcMap.freePage(*epc_page);
-        ++statCounters.rejectedRequests;
-        return st.error();
+        return scope.fail(st.error());
     }
 
     // Copy the initial contents out of normal memory and fold them into
@@ -267,56 +311,46 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
     }
     ++enclave.addedPages;
     ++statCounters.pagesAdded;
+    statPagesAdded.inc();
     return okStatus();
 }
 
 Status
 Monitor::hcEnclaveInitFinish(EnclaveId id)
 {
-    ++statCounters.hypercalls;
+    HypercallScope scope(statCounters, "hc_enclave_init_finish", id);
     auto it = enclaves.find(id);
-    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
-        ++statCounters.rejectedRequests;
-        return HvError::NoSuchEnclave;
-    }
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
     Enclave &enclave = it->second;
-    if (enclave.state != EnclaveState::Adding) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
-    if (enclave.tcsPages == 0) {
-        ++statCounters.rejectedRequests;
-        return HvError::InvalidParam;
-    }
+    if (enclave.state != EnclaveState::Adding)
+        return scope.fail(HvError::BadEnclaveState);
+    if (enclave.tcsPages == 0)
+        return scope.fail(HvError::InvalidParam);
     enclave.measurement = measureStep(enclave.measurement, 0xE1417ull);
     enclave.state = EnclaveState::Initialized;
+    inform("initialized (%llu pages, %llu tcs)",
+           (unsigned long long)enclave.addedPages,
+           (unsigned long long)enclave.tcsPages);
     return okStatus();
 }
 
 Status
 Monitor::hcEnclaveEnter(EnclaveId id, VCpu &vcpu)
 {
-    ++statCounters.hypercalls;
-    if (vcpu.mode != CpuMode::GuestNormal) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
+    HypercallScope scope(statCounters, "hc_enclave_enter", id);
+    if (vcpu.mode != CpuMode::GuestNormal)
+        return scope.fail(HvError::BadEnclaveState);
     auto it = enclaves.find(id);
-    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
-        ++statCounters.rejectedRequests;
-        return HvError::NoSuchEnclave;
-    }
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
     Enclave &enclave = it->second;
-    if (enclave.state != EnclaveState::Initialized) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
+    if (enclave.state != EnclaveState::Initialized)
+        return scope.fail(HvError::BadEnclaveState);
     // One TCS: a second vCPU cannot enter while one is inside (its
     // saved contexts would be clobbered).
-    if (enclave.active) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
+    if (enclave.active)
+        return scope.fail(HvError::BadEnclaveState);
     enclave.active = true;
 
     enclave.savedAppRegs = vcpu.regs;
@@ -337,17 +371,17 @@ Monitor::hcEnclaveEnter(EnclaveId id, VCpu &vcpu)
     vcpu.eptRoot = enclave.eptRoot;
     tlbModel.flushDomain(id);
     ++statCounters.enters;
+    statEnters.inc();
     return okStatus();
 }
 
 Status
 Monitor::hcEnclaveExit(VCpu &vcpu)
 {
-    ++statCounters.hypercalls;
-    if (vcpu.mode != CpuMode::GuestEnclave) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
+    HypercallScope scope(statCounters, "hc_enclave_exit",
+                         vcpu.currentEnclave);
+    if (vcpu.mode != CpuMode::GuestEnclave)
+        return scope.fail(HvError::BadEnclaveState);
     auto it = enclaves.find(vcpu.currentEnclave);
     if (it == enclaves.end())
         panic("vCPU inside unknown enclave %u", vcpu.currentEnclave);
@@ -367,25 +401,22 @@ Monitor::hcEnclaveExit(VCpu &vcpu)
     vcpu.eptRoot = normalEpt->root();
     tlbModel.flushDomain(enclave.id);
     ++statCounters.exits;
+    statExits.inc();
     return okStatus();
 }
 
 Status
 Monitor::hcEnclaveRemove(EnclaveId id)
 {
-    ++statCounters.hypercalls;
+    HypercallScope scope(statCounters, "hc_enclave_remove", id);
     auto it = enclaves.find(id);
-    if (it == enclaves.end() || it->second.state == EnclaveState::Dead) {
-        ++statCounters.rejectedRequests;
-        return HvError::NoSuchEnclave;
-    }
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
     Enclave &enclave = it->second;
     // Tearing down an enclave a vCPU is executing in would scrub the
     // pages under its feet: reject until it exits.
-    if (enclave.active) {
-        ++statCounters.rejectedRequests;
-        return HvError::BadEnclaveState;
-    }
+    if (enclave.active)
+        return scope.fail(HvError::BadEnclaveState);
 
     // Scrub and free every EPC page the enclave owns.
     std::vector<Hpa> owned;
@@ -405,6 +436,8 @@ Monitor::hcEnclaveRemove(EnclaveId id)
 
     tlbModel.flushDomain(id);
     enclave.state = EnclaveState::Dead;
+    statLiveEnclaves.set(i64(liveEnclaves()));
+    inform("removed (%zu epc pages scrubbed)", owned.size());
     return okStatus();
 }
 
@@ -474,6 +507,7 @@ Monitor::translateEnclaveUncached(Hpa gpt_root, Hpa ept_root, Gva va,
 Expected<Hpa>
 Monitor::translate(VCpu &vcpu, Gva va, bool is_write)
 {
+    statTranslations.inc();
     if (auto hit = tlbModel.lookup(vcpu.domain, va.value)) {
         if (!is_write || hit->writable)
             return Hpa(hit->hpaPage + va.pageOffset());

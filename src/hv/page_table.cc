@@ -1,6 +1,8 @@
 #include "hv/page_table.hh"
 
 #include "hv/phys_mem.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace hev::hv
@@ -14,6 +16,22 @@ u64
 levelPageSize(int level)
 {
     return 1ull << (pageShift + 9 * (level - 1));
+}
+
+const obs::Counter statMaps("hv.pt.maps");
+const obs::Counter statUnmaps("hv.pt.unmaps");
+const obs::Counter statQueries("hv.pt.queries");
+const obs::Counter statWalkFaults("hv.pt.walk_faults");
+/** Levels visited until the walk terminated (1..pagingLevels). */
+const obs::Histogram statWalkDepth("hv.pt.walk_depth");
+
+/** Record one terminated walk: depth histogram + PtWalk event. */
+void
+noteWalk(int resolved_level, u64 va)
+{
+    const u64 depth = u64(pagingLevels - resolved_level + 1);
+    statWalkDepth.record(depth);
+    obs::traceEvent(obs::EventType::PtWalk, "pt_walk", depth, va);
 }
 
 } // namespace
@@ -97,6 +115,7 @@ PageTable::map(u64 va, u64 pa, PteFlags flags)
     if (entryAt(*leaf, index).present())
         return HvError::AlreadyMapped;
     setEntryAt(*leaf, index, Pte::make(pa, flags));
+    statMaps.inc();
     return okStatus();
 }
 
@@ -133,6 +152,7 @@ PageTable::mapHuge(u64 va, u64 pa, PteFlags flags, int level)
         return HvError::AlreadyMapped;
     flags.huge = true;
     setEntryAt(table, index, Pte::make(pa, flags));
+    statMaps.inc();
     return okStatus();
 }
 
@@ -148,24 +168,29 @@ PageTable::unmap(u64 va)
     if (!entryAt(*leaf, index).present())
         return HvError::NotMapped;
     setEntryAt(*leaf, index, Pte::empty());
+    statUnmaps.inc();
     return okStatus();
 }
 
 Expected<Translation>
 PageTable::query(u64 va) const
 {
+    statQueries.inc();
     Hpa table = rootFrame;
     for (int level = pagingLevels; level >= 1; --level) {
         const u64 index = Gva(va).tableIndex(level);
         const Pte entry = entryAt(table, index);
-        if (!entry.present())
+        if (!entry.present()) {
+            statWalkFaults.inc();
             return HvError::NotMapped;
+        }
         if (level == 1 || entry.huge()) {
             const u64 span = levelPageSize(level);
             Translation result;
             result.physAddr = entry.addr() + (va & (span - 1));
             result.flags = entry.flags();
             result.level = level;
+            noteWalk(level, va);
             return result;
         }
         table = Hpa(entry.addr());
@@ -176,6 +201,7 @@ PageTable::query(u64 va) const
 Expected<Translation>
 PageTable::translate(u64 va, bool is_write, bool is_user) const
 {
+    statQueries.inc();
     // An MMU applies the most restrictive permissions along the walk;
     // model that by intersecting W and U at every level.
     bool path_writable = true;
@@ -185,11 +211,14 @@ PageTable::translate(u64 va, bool is_write, bool is_user) const
     for (int level = pagingLevels; level >= 1; --level) {
         const u64 index = Gva(va).tableIndex(level);
         const Pte entry = entryAt(table, index);
-        if (!entry.present())
+        if (!entry.present()) {
+            statWalkFaults.inc();
             return HvError::NotMapped;
+        }
         path_writable = path_writable && entry.writable();
         path_user = path_user && entry.user();
         if (level == 1 || entry.huge()) {
+            noteWalk(level, va);
             if (is_write && !path_writable)
                 return HvError::PermissionDenied;
             if (is_user && !path_user)

@@ -2,8 +2,22 @@
 
 #include <vector>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
 namespace hev::hv
 {
+
+namespace
+{
+
+const obs::Counter statHits("hv.tlb.hits");
+const obs::Counter statMisses("hv.tlb.misses");
+const obs::Counter statInserts("hv.tlb.inserts");
+const obs::Counter statFlushes("hv.tlb.flushes");
+const obs::Gauge statEntries("hv.tlb.entries");
+
+} // namespace
 
 std::optional<TlbEntry>
 Tlb::lookup(DomainId domain, u64 va) const
@@ -11,9 +25,13 @@ Tlb::lookup(DomainId domain, u64 va) const
     auto it = entries.find(keyOf(domain, va));
     if (it == entries.end()) {
         ++missCount;
+        statMisses.inc();
+        obs::traceEvent(obs::EventType::TlbMiss, "tlb", domain, va);
         return std::nullopt;
     }
     ++hitCount;
+    statHits.inc();
+    obs::traceEvent(obs::EventType::TlbHit, "tlb", domain, va);
     return it->second;
 }
 
@@ -21,12 +39,15 @@ void
 Tlb::insert(DomainId domain, u64 va, TlbEntry entry)
 {
     entries[keyOf(domain, va)] = entry;
+    statInserts.inc();
+    statEntries.set(i64(entries.size()));
 }
 
 void
 Tlb::flushDomain(DomainId domain)
 {
     ++flushCount;
+    statFlushes.inc();
     std::vector<u64> doomed;
     for (const auto &[key, entry] : entries) {
         if ((key >> 52) == domain)
@@ -34,13 +55,16 @@ Tlb::flushDomain(DomainId domain)
     }
     for (u64 key : doomed)
         entries.erase(key);
+    statEntries.set(i64(entries.size()));
 }
 
 void
 Tlb::flushAll()
 {
     ++flushCount;
+    statFlushes.inc();
     entries.clear();
+    statEntries.set(0);
 }
 
 } // namespace hev::hv

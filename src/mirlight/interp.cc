@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
 namespace hev::mir
 {
 
@@ -13,6 +16,14 @@ typeError(const std::string &msg)
 {
     return Trap{TrapKind::TypeError, msg};
 }
+
+// `mir.steps` is deliberately absent from the per-step path: it is
+// batch-flushed in Interp::call() as fuel consumed, so the hot loop
+// pays nothing for it.
+const obs::Counter statSteps("mir.steps");
+const obs::Counter statCalls("mir.calls");
+const obs::Counter statPrimCalls("mir.prim_calls");
+const obs::Counter statTraps("mir.traps");
 
 } // namespace
 
@@ -417,6 +428,8 @@ Interp::pushFrame(const Function &fn, std::vector<Value> args,
         }
     }
     stack.push_back(std::move(frame));
+    obs::traceEvent(obs::EventType::MirCall, fn.name.c_str(),
+                    fn.argCount);
     return Done{};
 }
 
@@ -503,6 +516,7 @@ Interp::step(Value &result)
         }
         if (const Function *callee = prog.find(call->callee)) {
             ++statCounters.calls;
+            statCalls.inc();
             auto pushed = pushFrame(*callee, std::move(args), call->dest,
                                     call->target);
             if (!pushed)
@@ -515,6 +529,7 @@ Interp::step(Value &result)
                         "call to unknown function " + call->callee};
         }
         ++statCounters.primCalls;
+        statPrimCalls.inc();
         auto prim_result = prim->second(*this, std::move(args));
         if (!prim_result)
             return prim_result.trap();
@@ -533,6 +548,8 @@ Interp::step(Value &result)
         auto returned = readPlace(frame, MirPlace::of(0));
         if (!returned)
             return returned.trap();
+        obs::traceEvent(obs::EventType::MirReturn,
+                        frame.fn->name.c_str());
         const MirPlace dest = frame.callerDest;
         const BlockId target = frame.callerTarget;
         stack.pop_back();
@@ -592,22 +609,39 @@ Interp::call(const std::string &name, std::vector<Value> args, u64 fuel)
         auto prim = primitives.find(name);
         if (prim != primitives.end()) {
             ++statCounters.primCalls;
+            statPrimCalls.inc();
             return prim->second(*this, std::move(args));
         }
         return Trap{TrapKind::UnknownFunction,
                     "no function or primitive named " + name};
     }
 
+    // MirCall begin events balance with MirReturn end events; on an
+    // abnormal exit the frames never return, so close their spans
+    // here before clearing the stack.
+    auto unwind_spans = [&]() {
+        if (!obs::traceEnabled())
+            return;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            obs::traceEvent(obs::EventType::MirReturn,
+                            it->fn->name.c_str(), 1);
+        }
+    };
+
     stack.clear();
     auto pushed = pushFrame(*prog.find(name), std::move(args),
                             MirPlace::of(0), 0);
     if (!pushed)
         return pushed.trap();
+    statCalls.inc();
 
     fuelLeft = fuel;
     Value result;
     for (;;) {
         if (fuelLeft == 0) {
+            statSteps.add(fuel);
+            statTraps.inc();
+            unwind_spans();
             stack.clear();
             return Trap{TrapKind::OutOfFuel,
                         "fuel exhausted while executing " + name};
@@ -615,11 +649,16 @@ Interp::call(const std::string &name, std::vector<Value> args, u64 fuel)
         --fuelLeft;
         auto done = step(result);
         if (!done) {
+            statSteps.add(fuel - fuelLeft);
+            statTraps.inc();
+            unwind_spans();
             stack.clear();
             return done.trap();
         }
-        if (*done)
+        if (*done) {
+            statSteps.add(fuel - fuelLeft);
             return result;
+        }
     }
 }
 

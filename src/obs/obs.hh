@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Umbrella header and runtime switches of the observability layer.
+ *
+ * Everything in src/obs is pay-for-what-you-use: the fast path of a
+ * disabled subsystem is one relaxed atomic load and a predictable
+ * branch.  Stats (counters, gauges, histograms) default to on — they
+ * are per-thread sharded and lock-free, so campaign workers never
+ * contend — while event tracing defaults to off and can additionally
+ * be compiled out entirely with -DHEV_OBS_TRACE=0 (the CMake option
+ * HEV_OBS_TRACE wires this like HEV_SANITIZE).
+ */
+
+#ifndef HEV_OBS_OBS_HH
+#define HEV_OBS_OBS_HH
+
+#include <atomic>
+
+#include "support/types.hh"
+
+/** Compile-time kill switch for the tracer (1 = compiled in). */
+#ifndef HEV_OBS_TRACE
+#define HEV_OBS_TRACE 1
+#endif
+
+namespace hev::obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> statsFlag;
+extern std::atomic<bool> traceFlag;
+} // namespace detail
+
+/** Whether the tracer exists in this build at all. */
+constexpr bool traceCompiledIn = HEV_OBS_TRACE != 0;
+
+/** Stats recording switch (default on; counters are near-free). */
+inline bool
+statsEnabled()
+{
+    return detail::statsFlag.load(std::memory_order_relaxed);
+}
+
+void setStatsEnabled(bool on);
+
+/** Tracing switch (default off; the check is one relaxed load). */
+inline bool
+traceEnabled()
+{
+#if HEV_OBS_TRACE
+    return detail::traceFlag.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+void setTraceEnabled(bool on);
+
+} // namespace hev::obs
+
+#endif // HEV_OBS_OBS_HH

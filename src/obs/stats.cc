@@ -1,0 +1,383 @@
+#include "obs/stats.hh"
+
+#include <bit>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace hev::obs
+{
+
+namespace detail
+{
+std::atomic<bool> statsFlag{true};
+std::atomic<bool> traceFlag{false};
+} // namespace detail
+
+void
+setStatsEnabled(bool on)
+{
+    detail::statsFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+#if HEV_OBS_TRACE
+    detail::traceFlag.store(on, std::memory_order_relaxed);
+#else
+    if (on)
+        warn("tracing requested but compiled out (HEV_OBS_TRACE=0)");
+#endif
+}
+
+u32
+HistogramData::bucketOf(u64 value)
+{
+    return value == 0 ? 0 : u32(64 - std::countl_zero(value));
+}
+
+u64
+HistogramData::bucketLow(u32 bucket)
+{
+    return bucket == 0 ? 0 : 1ull << (bucket - 1);
+}
+
+u64
+HistogramData::bucketHigh(u32 bucket)
+{
+    if (bucket == 0)
+        return 1;
+    return bucket >= 64 ? 0 : 1ull << bucket;
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    for (u32 i = 0; i < histBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+HistogramData
+HistogramData::minus(const HistogramData &earlier) const
+{
+    HistogramData delta;
+    delta.count = count - earlier.count;
+    delta.sum = sum - earlier.sum;
+    // Extremes are not subtractable; keep the cumulative ones, which
+    // still bound every value in the interval.
+    delta.min = min;
+    delta.max = max;
+    for (u32 i = 0; i < histBuckets; ++i)
+        delta.buckets[i] = buckets[i] - earlier.buckets[i];
+    return delta;
+}
+
+namespace
+{
+
+/**
+ * One thread's private slice of every counter and histogram.  Only
+ * the owning thread writes (relaxed stores); snapshots from other
+ * threads read with relaxed loads, so merged totals are exact once
+ * the writers are quiescent and monotonically convergent while they
+ * run.
+ */
+struct Shard
+{
+    std::array<std::atomic<u64>, maxCounters> counters{};
+
+    struct HistSlots
+    {
+        std::atomic<u64> count{0};
+        std::atomic<u64> sum{0};
+        std::atomic<u64> min{~0ull};
+        std::atomic<u64> max{0};
+        std::array<std::atomic<u64>, histBuckets> buckets{};
+    };
+    std::array<HistSlots, maxHistograms> hists;
+
+    Shard();
+    ~Shard();
+};
+
+/** Everything behind the registry mutex. */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> counterNames;
+    std::vector<std::string> gaugeNames;
+    std::vector<std::string> histNames;
+    std::array<std::atomic<i64>, maxGauges> gauges{};
+    std::vector<Shard *> shards;
+    /** Totals of shards whose threads have exited. */
+    std::vector<u64> retiredCounters;
+    std::vector<HistogramData> retiredHists;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Add a shard's current contents into merge targets (lock held). */
+void
+foldShard(const Shard &shard, std::vector<u64> &counters,
+          std::vector<HistogramData> &hists)
+{
+    for (size_t i = 0; i < counters.size(); ++i)
+        counters[i] += shard.counters[i].load(std::memory_order_relaxed);
+    for (size_t i = 0; i < hists.size(); ++i) {
+        const Shard::HistSlots &slots = shard.hists[i];
+        HistogramData data;
+        data.count = slots.count.load(std::memory_order_relaxed);
+        if (data.count == 0)
+            continue;
+        data.sum = slots.sum.load(std::memory_order_relaxed);
+        data.min = slots.min.load(std::memory_order_relaxed);
+        data.max = slots.max.load(std::memory_order_relaxed);
+        for (u32 b = 0; b < histBuckets; ++b)
+            data.buckets[b] =
+                slots.buckets[b].load(std::memory_order_relaxed);
+        hists[i].merge(data);
+    }
+}
+
+Shard::Shard()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.shards.push_back(this);
+}
+
+Shard::~Shard()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.retiredCounters.resize(reg.counterNames.size(), 0);
+    reg.retiredHists.resize(reg.histNames.size());
+    foldShard(*this, reg.retiredCounters, reg.retiredHists);
+    std::erase(reg.shards, this);
+}
+
+Shard &
+localShard()
+{
+    thread_local Shard shard;
+    return shard;
+}
+
+u32
+intern(std::vector<std::string> &names, const char *name, u32 cap,
+       const char *what)
+{
+    for (u32 i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return i;
+    }
+    if (names.size() >= cap)
+        panic("too many %s stats (%u); raise the obs shard capacity",
+              what, cap);
+    names.emplace_back(name);
+    return u32(names.size() - 1);
+}
+
+} // namespace
+
+Counter::Counter(const char *name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    slot = intern(reg.counterNames, name, maxCounters, "counter");
+}
+
+void
+Counter::add(u64 n) const
+{
+    if (!statsEnabled())
+        return;
+    // Thread-private slot: a relaxed load+store is exact without the
+    // cost of an RMW instruction.
+    std::atomic<u64> &cell = localShard().counters[slot];
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char *name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    slot = intern(reg.gaugeNames, name, maxGauges, "gauge");
+}
+
+void
+Gauge::set(i64 value) const
+{
+    if (!statsEnabled())
+        return;
+    registry().gauges[slot].store(value, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(i64 delta) const
+{
+    if (!statsEnabled())
+        return;
+    registry().gauges[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const char *name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    slot = intern(reg.histNames, name, maxHistograms, "histogram");
+}
+
+void
+Histogram::record(u64 value) const
+{
+    if (!statsEnabled())
+        return;
+    Shard::HistSlots &slots = localShard().hists[slot];
+    const auto relaxed = std::memory_order_relaxed;
+    slots.count.store(slots.count.load(relaxed) + 1, relaxed);
+    slots.sum.store(slots.sum.load(relaxed) + value, relaxed);
+    if (value < slots.min.load(relaxed))
+        slots.min.store(value, relaxed);
+    if (value > slots.max.load(relaxed))
+        slots.max.store(value, relaxed);
+    std::atomic<u64> &bucket =
+        slots.buckets[HistogramData::bucketOf(value)];
+    bucket.store(bucket.load(relaxed) + 1, relaxed);
+}
+
+Snapshot
+snapshotStats()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+
+    std::vector<u64> counters(reg.counterNames.size(), 0);
+    std::vector<HistogramData> hists(reg.histNames.size());
+    for (size_t i = 0;
+         i < reg.retiredCounters.size() && i < counters.size(); ++i)
+        counters[i] = reg.retiredCounters[i];
+    for (size_t i = 0; i < reg.retiredHists.size() && i < hists.size();
+         ++i)
+        hists[i] = reg.retiredHists[i];
+    for (const Shard *shard : reg.shards)
+        foldShard(*shard, counters, hists);
+
+    Snapshot snap;
+    for (size_t i = 0; i < reg.counterNames.size(); ++i)
+        snap.counters[reg.counterNames[i]] = counters[i];
+    for (size_t i = 0; i < reg.gaugeNames.size(); ++i)
+        snap.gauges[reg.gaugeNames[i]] =
+            reg.gauges[i].load(std::memory_order_relaxed);
+    for (size_t i = 0; i < reg.histNames.size(); ++i)
+        snap.histograms[reg.histNames[i]] = hists[i];
+    return snap;
+}
+
+void
+resetStats()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.retiredCounters.assign(reg.counterNames.size(), 0);
+    reg.retiredHists.assign(reg.histNames.size(), HistogramData{});
+    for (auto &gauge : reg.gauges)
+        gauge.store(0, std::memory_order_relaxed);
+    for (Shard *shard : reg.shards) {
+        for (auto &cell : shard->counters)
+            cell.store(0, std::memory_order_relaxed);
+        for (auto &slots : shard->hists) {
+            slots.count.store(0, std::memory_order_relaxed);
+            slots.sum.store(0, std::memory_order_relaxed);
+            slots.min.store(~0ull, std::memory_order_relaxed);
+            slots.max.store(0, std::memory_order_relaxed);
+            for (auto &bucket : slots.buckets)
+                bucket.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+Snapshot
+Snapshot::minus(const Snapshot &earlier) const
+{
+    Snapshot delta = *this;
+    for (auto &[name, value] : delta.counters) {
+        auto it = earlier.counters.find(name);
+        if (it != earlier.counters.end())
+            value -= it->second;
+    }
+    for (auto &[name, hist] : delta.histograms) {
+        auto it = earlier.histograms.find(name);
+        if (it != earlier.histograms.end())
+            hist = hist.minus(it->second);
+    }
+    return delta;
+}
+
+std::string
+renderStatsJson(const Snapshot &snap, const std::string &indent)
+{
+    std::ostringstream out;
+    const std::string in1 = indent + "  ";
+    const std::string in2 = in1 + "  ";
+
+    out << "{\n" << in1 << "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        out << (first ? "" : ",") << "\n"
+            << in2 << "\"" << name << "\": " << value;
+        first = false;
+    }
+    out << (first ? "" : "\n" + in1) << "},\n";
+
+    out << in1 << "\"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        out << (first ? "" : ",") << "\n"
+            << in2 << "\"" << name << "\": " << value;
+        first = false;
+    }
+    out << (first ? "" : "\n" + in1) << "},\n";
+
+    out << in1 << "\"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : snap.histograms) {
+        out << (first ? "" : ",") << "\n"
+            << in2 << "\"" << name << "\": {\"count\": " << hist.count
+            << ", \"sum\": " << hist.sum << ", \"mean\": " << hist.mean()
+            << ", \"min\": " << (hist.count ? hist.min : 0)
+            << ", \"max\": " << hist.max << ", \"buckets\": {";
+        bool firstBucket = true;
+        for (u32 b = 0; b < histBuckets; ++b) {
+            if (hist.buckets[b] == 0)
+                continue;
+            out << (firstBucket ? "" : ", ") << "\""
+                << HistogramData::bucketLow(b) << "\": "
+                << hist.buckets[b];
+            firstBucket = false;
+        }
+        out << "}}";
+        first = false;
+    }
+    out << (first ? "" : "\n" + in1) << "}\n" << indent << "}";
+    return out.str();
+}
+
+} // namespace hev::obs

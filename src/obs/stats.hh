@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The stats registry: named monotonic counters, gauges and
+ * log2-bucketed histograms, in the gem5 stats spirit.
+ *
+ * Counters and histograms are *sharded per thread*: every thread owns
+ * a private slot array indexed by the stat's interned id, increments
+ * are relaxed loads/stores on thread-private cache lines (no RMW, no
+ * lock), and a snapshot merges the retired accumulator with every
+ * live shard.  Interning a name (constructing a Counter/Histogram
+ * handle) is the only operation that takes the registry mutex, so
+ * instrumentation sites hoist handles into static locals.
+ *
+ * Gauges are level values ("live enclaves", "TLB entries"); sharding
+ * a last-write-wins quantity is meaningless, so they are single
+ * global atomics — still lock-free, just not per-thread.
+ */
+
+#ifndef HEV_OBS_STATS_HH
+#define HEV_OBS_STATS_HH
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace hev::obs
+{
+
+/** Slots per shard; interning beyond this is a programming error. */
+constexpr u32 maxCounters = 256;
+constexpr u32 maxHistograms = 64;
+constexpr u32 maxGauges = 64;
+
+/**
+ * Histogram buckets: bucket 0 holds the value 0, bucket k (k >= 1)
+ * holds values in [2^(k-1), 2^k).  64 value buckets cover all of u64.
+ */
+constexpr u32 histBuckets = 65;
+
+/** Merged (non-atomic) histogram contents. */
+struct HistogramData
+{
+    u64 count = 0;
+    u64 sum = 0;
+    u64 min = ~0ull; //!< meaningful only when count > 0
+    u64 max = 0;
+    std::array<u64, histBuckets> buckets{};
+
+    /** Bucket index the value falls into. */
+    static u32 bucketOf(u64 value);
+    /** Inclusive lower edge of a bucket. */
+    static u64 bucketLow(u32 bucket);
+    /** Exclusive upper edge of a bucket (0 means "2^64"). */
+    static u64 bucketHigh(u32 bucket);
+
+    void
+    record(u64 value)
+    {
+        ++count;
+        sum += value;
+        if (value < min)
+            min = value;
+        if (value > max)
+            max = value;
+        ++buckets[bucketOf(value)];
+    }
+
+    void merge(const HistogramData &other);
+    /** This minus an earlier snapshot of the same histogram. */
+    HistogramData minus(const HistogramData &earlier) const;
+
+    double
+    mean() const
+    {
+        return count ? double(sum) / double(count) : 0.0;
+    }
+
+    bool operator==(const HistogramData &) const = default;
+};
+
+/** Handle to an interned monotonic counter. */
+class Counter
+{
+  public:
+    explicit Counter(const char *name);
+
+    void add(u64 n) const;
+
+    void inc() const { add(1); }
+
+    u32 id() const { return slot; }
+
+  private:
+    u32 slot;
+};
+
+/** Handle to an interned gauge (a settable level). */
+class Gauge
+{
+  public:
+    explicit Gauge(const char *name);
+
+    void set(i64 value) const;
+    void add(i64 delta) const;
+
+  private:
+    u32 slot;
+};
+
+/** Handle to an interned log2 histogram. */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name);
+
+    void record(u64 value) const;
+
+    u32 id() const { return slot; }
+
+  private:
+    u32 slot;
+};
+
+/** Merged view of every registered stat at one instant. */
+struct Snapshot
+{
+    std::map<std::string, u64> counters;
+    std::map<std::string, i64> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    /**
+     * The activity between `earlier` and this snapshot: counters and
+     * histograms subtract; gauges keep their current level.
+     */
+    Snapshot minus(const Snapshot &earlier) const;
+};
+
+/** Merge the retired accumulator and every live shard. */
+Snapshot snapshotStats();
+
+/** Zero every counter/histogram shard and the retired accumulator. */
+void resetStats();
+
+/**
+ * Render a snapshot as a JSON object with the fixed schema
+ * {"counters": {...}, "gauges": {...}, "histograms": {name:
+ * {count,sum,mean,min,max,buckets}}}.  Maps are name-sorted, so the
+ * schema is deterministic for a given workload.
+ */
+std::string renderStatsJson(const Snapshot &snap,
+                            const std::string &indent = "");
+
+} // namespace hev::obs
+
+#endif // HEV_OBS_STATS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Scoped timers feeding the log2 histograms (and, when tracing is on,
+ * emitting Chrome complete events with real durations).
+ *
+ * Cost discipline: a timer reads the clock only when stats or tracing
+ * are enabled, so a fully disabled build pays two relaxed loads per
+ * scope.  Place timers at medium granularity (a hypercall, a harness
+ * run, a scenario) — not inside per-step interpreter loops.
+ */
+
+#ifndef HEV_OBS_TIMER_HH
+#define HEV_OBS_TIMER_HH
+
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace hev::obs
+{
+
+/** Times its lifetime into a histogram (ns) and the tracer. */
+class ScopedTimer
+{
+  public:
+    /**
+     * @param hist histogram receiving the duration in nanoseconds.
+     * @param label event name if tracing is enabled (static or
+     *              interned-on-use string).
+     */
+    ScopedTimer(const Histogram &hist, const char *label)
+        : histogram(hist), name(label),
+          startNs(statsEnabled() || traceEnabled() ? traceNowNs() + 1 : 0)
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (!startNs)
+            return;
+        // The +1 above keeps startNs nonzero as the "armed" flag; it
+        // cancels out of the duration here.
+        const u64 durNs = traceNowNs() + 1 - startNs;
+        histogram.record(durNs);
+        traceComplete(EventType::TimerScope, name, startNs - 1, durNs);
+    }
+
+  private:
+    const Histogram &histogram;
+    const char *name;
+    u64 startNs;
+};
+
+} // namespace hev::obs
+
+#endif // HEV_OBS_TIMER_HH

@@ -1,0 +1,305 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+
+namespace hev::obs
+{
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::HypercallEnter: return "hypercall_enter";
+      case EventType::HypercallExit: return "hypercall_exit";
+      case EventType::MirCall: return "mir_call";
+      case EventType::MirReturn: return "mir_return";
+      case EventType::PtWalk: return "pt_walk";
+      case EventType::TlbHit: return "tlb_hit";
+      case EventType::TlbMiss: return "tlb_miss";
+      case EventType::ScenarioStart: return "scenario_start";
+      case EventType::ScenarioFinish: return "scenario_finish";
+      case EventType::CounterexampleFound: return "counterexample_found";
+      case EventType::TimerScope: return "timer_scope";
+    }
+    return "unknown";
+}
+
+const char *
+eventTypeCategory(EventType type)
+{
+    switch (type) {
+      case EventType::HypercallEnter:
+      case EventType::HypercallExit: return "hv";
+      case EventType::MirCall:
+      case EventType::MirReturn: return "mir";
+      case EventType::PtWalk:
+      case EventType::TlbHit:
+      case EventType::TlbMiss: return "mmu";
+      case EventType::ScenarioStart:
+      case EventType::ScenarioFinish:
+      case EventType::CounterexampleFound: return "campaign";
+      case EventType::TimerScope: return "timer";
+    }
+    return "misc";
+}
+
+u64
+traceNowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   clock::now() - epoch)
+                   .count());
+}
+
+namespace
+{
+
+/** A thread's ring.  Only the owner writes; head publishes. */
+struct Ring
+{
+    u32 tid = 0;
+    std::atomic<u64> head{0}; //!< events ever written
+    std::vector<TraceEvent> slots{traceRingCapacity};
+
+    Ring();
+    ~Ring();
+
+    void
+    push(const TraceEvent &event)
+    {
+        const u64 h = head.load(std::memory_order_relaxed);
+        slots[h % traceRingCapacity] = event;
+        head.store(h + 1, std::memory_order_release);
+    }
+};
+
+/** Copy a ring's surviving events in emission order (quiescent). */
+ThreadTrace
+drain(const Ring &ring)
+{
+    ThreadTrace out;
+    out.tid = ring.tid;
+    const u64 head = ring.head.load(std::memory_order_acquire);
+    const u64 kept = head < traceRingCapacity ? head : traceRingCapacity;
+    out.dropped = head - kept;
+    out.events.reserve(kept);
+    for (u64 i = head - kept; i < head; ++i)
+        out.events.push_back(ring.slots[i % traceRingCapacity]);
+    return out;
+}
+
+struct Tracer
+{
+    std::mutex mu;
+    u32 nextTid = 1;
+    std::vector<Ring *> rings;
+    std::vector<ThreadTrace> retired;
+    std::unordered_set<std::string> names;
+    /** Events ever recorded per type, immune to ring wraparound. */
+    std::array<std::atomic<u64>, eventTypeCount> totals{};
+};
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+Ring::Ring()
+{
+    Tracer &tr = tracer();
+    std::lock_guard<std::mutex> lock(tr.mu);
+    tid = tr.nextTid++;
+    tr.rings.push_back(this);
+}
+
+Ring::~Ring()
+{
+    Tracer &tr = tracer();
+    std::lock_guard<std::mutex> lock(tr.mu);
+    ThreadTrace last = drain(*this);
+    if (last.dropped || !last.events.empty())
+        tr.retired.push_back(std::move(last));
+    std::erase(tr.rings, this);
+}
+
+Ring &
+localRing()
+{
+    thread_local Ring ring;
+    return ring;
+}
+
+/** Stable storage for an event name (content-interned). */
+const char *
+internName(const char *name)
+{
+    Tracer &tr = tracer();
+    std::lock_guard<std::mutex> lock(tr.mu);
+    return tr.names.insert(name).first->c_str();
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+traceEventSlow(EventType type, const char *name, u64 arg0, u64 arg1,
+               u64 ts, u64 dur)
+{
+    TraceEvent event;
+    event.ts = dur || ts ? ts : traceNowNs();
+    event.dur = dur;
+    event.name = internName(name);
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    event.type = type;
+    localRing().push(event);
+    tracer().totals[u32(type)].fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+std::vector<ThreadTrace>
+collectTrace()
+{
+    Tracer &tr = tracer();
+    std::lock_guard<std::mutex> lock(tr.mu);
+    std::vector<ThreadTrace> out = tr.retired;
+    for (const Ring *ring : tr.rings) {
+        ThreadTrace slice = drain(*ring);
+        if (slice.dropped || !slice.events.empty())
+            out.push_back(std::move(slice));
+    }
+    return out;
+}
+
+void
+clearTrace()
+{
+    Tracer &tr = tracer();
+    std::lock_guard<std::mutex> lock(tr.mu);
+    tr.retired.clear();
+    for (Ring *ring : tr.rings)
+        ring->head.store(0, std::memory_order_release);
+    for (auto &total : tr.totals)
+        total.store(0, std::memory_order_relaxed);
+}
+
+std::map<std::string, u64>
+countEventsByType(const std::vector<ThreadTrace> &trace)
+{
+    std::map<std::string, u64> counts;
+    for (const ThreadTrace &thread : trace) {
+        for (const TraceEvent &event : thread.events)
+            ++counts[eventTypeName(event.type)];
+    }
+    return counts;
+}
+
+std::map<std::string, u64>
+traceEventTotals()
+{
+    Tracer &tr = tracer();
+    std::map<std::string, u64> counts;
+    for (u32 i = 0; i < eventTypeCount; ++i) {
+        const u64 n = tr.totals[i].load(std::memory_order_relaxed);
+        if (n)
+            counts[eventTypeName(EventType(i))] = n;
+    }
+    return counts;
+}
+
+namespace
+{
+
+/** Chrome phase letter of an event type. */
+char
+phaseOf(EventType type)
+{
+    switch (type) {
+      case EventType::HypercallEnter:
+      case EventType::MirCall:
+      case EventType::ScenarioStart: return 'B';
+      case EventType::HypercallExit:
+      case EventType::MirReturn:
+      case EventType::ScenarioFinish: return 'E';
+      case EventType::TimerScope: return 'X';
+      default: return 'i';
+    }
+}
+
+void
+renderEvent(std::ostringstream &out, const TraceEvent &event, u32 tid)
+{
+    const char phase = phaseOf(event.type);
+    out << "    {\"name\": \"" << (event.name ? event.name : "?")
+        << "\", \"cat\": \"" << eventTypeCategory(event.type)
+        << "\", \"ph\": \"" << phase << "\", \"ts\": "
+        << event.ts / 1000 << "." << (event.ts % 1000 < 100 ? "0" : "")
+        << (event.ts % 1000 < 10 ? "0" : "") << event.ts % 1000
+        << ", \"pid\": 1, \"tid\": " << tid;
+    if (phase == 'X')
+        out << ", \"dur\": " << event.dur / 1000 << "."
+            << (event.dur % 1000 < 100 ? "0" : "")
+            << (event.dur % 1000 < 10 ? "0" : "") << event.dur % 1000;
+    if (phase == 'i')
+        out << ", \"s\": \"t\"";
+    out << ", \"args\": {\"type\": \"" << eventTypeName(event.type)
+        << "\", \"arg0\": " << event.arg0 << ", \"arg1\": " << event.arg1
+        << "}}";
+}
+
+} // namespace
+
+std::string
+renderChromeTrace(const std::vector<ThreadTrace> &trace)
+{
+    std::ostringstream out;
+    out << "{\n  \"schemaVersion\": " << traceSchemaVersion
+        << ",\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+    bool first = true;
+    for (const ThreadTrace &thread : trace) {
+        // Emission order is monotonic except for TimerScope events,
+        // which carry their *start* time but are recorded at scope
+        // end; a stable sort restores per-thread ts monotonicity.
+        std::vector<const TraceEvent *> ordered;
+        ordered.reserve(thread.events.size());
+        for (const TraceEvent &event : thread.events)
+            ordered.push_back(&event);
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [](const TraceEvent *a, const TraceEvent *b) {
+                             return a->ts < b->ts;
+                         });
+        for (const TraceEvent *event : ordered) {
+            out << (first ? "" : ",") << "\n";
+            renderEvent(out, *event, thread.tid);
+            first = false;
+        }
+    }
+    out << (first ? "" : "\n  ") << "]\n}\n";
+    return out.str();
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << renderChromeTrace(collectTrace());
+    return bool(out);
+}
+
+} // namespace hev::obs

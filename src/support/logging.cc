@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
 
 namespace hev
 {
@@ -10,12 +13,67 @@ namespace
 {
 bool verboseFlag = false;
 
+/** Serializes whole-line writes to stderr. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+struct ContextStack
+{
+    std::vector<std::string> frames;
+    std::string prefix; //!< cached "[a] [b] " rendering
+
+    void
+    rebuild()
+    {
+        prefix.clear();
+        for (const std::string &frame : frames) {
+            prefix += '[';
+            prefix += frame;
+            prefix += "] ";
+        }
+    }
+};
+
+ContextStack &
+contextStack()
+{
+    thread_local ContextStack stack;
+    return stack;
+}
+
+/** vsnprintf into a std::string (two-pass, handles any length). */
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list probe;
+    va_copy(probe, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (needed <= 0)
+        return "";
+    std::string text(size_t(needed), '\0');
+    std::vsnprintf(text.data(), text.size() + 1, fmt, ap);
+    return text;
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    // Build the complete line first, then write it with one fwrite
+    // under the mutex: concurrent reporters cannot interleave bytes.
+    std::string line;
+    line += tag;
+    line += ": ";
+    line += contextStack().prefix;
+    line += vformat(fmt, ap);
+    line += '\n';
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 } // namespace
 
@@ -29,6 +87,29 @@ bool
 logVerbose()
 {
     return verboseFlag;
+}
+
+ScopedLogContext::ScopedLogContext(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    ContextStack &stack = contextStack();
+    stack.frames.push_back(vformat(fmt, ap));
+    stack.rebuild();
+    va_end(ap);
+}
+
+ScopedLogContext::~ScopedLogContext()
+{
+    ContextStack &stack = contextStack();
+    stack.frames.pop_back();
+    stack.rebuild();
+}
+
+const char *
+logContextPrefix()
+{
+    return contextStack().prefix.c_str();
 }
 
 void

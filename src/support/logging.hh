@@ -3,6 +3,13 @@
  * Status/diagnostic reporting in the gem5 style: panic for internal
  * invariant breakage, fatal for unusable user configuration, warn/inform
  * for non-fatal conditions.
+ *
+ * Every report is formatted into one buffer and written to stderr as a
+ * single line under a mutex, so concurrent campaign workers never
+ * interleave bytes.  A thread-local context stack (ScopedLogContext)
+ * prefixes each line with the ambient principal — e.g. every message
+ * emitted inside a hypercall carries "[hc=init enclave=3]" uniformly
+ * instead of each call site re-encoding the ids.
  */
 
 #ifndef HEV_SUPPORT_LOGGING_HH
@@ -30,6 +37,27 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Informational message (suppressed unless verbose). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Pushes a context prefix onto this thread's log-context stack for
+ * its lifetime.  Nested scopes accumulate left to right:
+ *
+ *     ScopedLogContext ctx("enclave=%u", id);
+ *     warn("bad page");   // -> "warn: [enclave=3] bad page"
+ */
+class ScopedLogContext
+{
+  public:
+    explicit ScopedLogContext(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+    ~ScopedLogContext();
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+};
+
+/** The thread's current "[a] [b] " prefix ("" when no context). */
+const char *logContextPrefix();
 
 } // namespace hev
 

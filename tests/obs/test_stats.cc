@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Stats-registry tests: histogram bucket geometry, merge-on-snapshot
+ * equalling the sum over per-thread shards, the snapshot diff, gauge
+ * semantics, the runtime enable switch, and JSON rendering.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/stats.hh"
+
+using namespace hev;
+using namespace hev::obs;
+
+namespace
+{
+
+u64
+counterValue(const Snapshot &snap, const std::string &name)
+{
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+} // namespace
+
+TEST(HistogramData, BucketEdges)
+{
+    // Bucket 0 holds exactly the value 0.
+    EXPECT_EQ(HistogramData::bucketOf(0), 0u);
+    EXPECT_EQ(HistogramData::bucketLow(0), 0u);
+    EXPECT_EQ(HistogramData::bucketHigh(0), 1u);
+
+    // Bucket k (k >= 1) holds [2^(k-1), 2^k).
+    EXPECT_EQ(HistogramData::bucketOf(1), 1u);
+    EXPECT_EQ(HistogramData::bucketOf(2), 2u);
+    EXPECT_EQ(HistogramData::bucketOf(3), 2u);
+    EXPECT_EQ(HistogramData::bucketOf(4), 3u);
+    EXPECT_EQ(HistogramData::bucketOf(1023), 10u);
+    EXPECT_EQ(HistogramData::bucketOf(1024), 11u);
+    EXPECT_EQ(HistogramData::bucketOf(~0ull), 64u);
+
+    for (u32 bucket = 1; bucket < histBuckets; ++bucket) {
+        const u64 low = HistogramData::bucketLow(bucket);
+        EXPECT_EQ(HistogramData::bucketOf(low), bucket);
+        const u64 high = HistogramData::bucketHigh(bucket);
+        if (high)
+            EXPECT_EQ(HistogramData::bucketOf(high - 1), bucket);
+    }
+}
+
+TEST(HistogramData, RecordTracksMoments)
+{
+    HistogramData h;
+    h.record(0);
+    h.record(7);
+    h.record(9);
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.sum, 16u);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, 9u);
+    EXPECT_DOUBLE_EQ(h.mean(), 16.0 / 3.0);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[3], 1u); // 7 in [4, 8)
+    EXPECT_EQ(h.buckets[4], 1u); // 9 in [8, 16)
+}
+
+TEST(Stats, SnapshotMergesAllThreadShards)
+{
+    static const Counter counter("test.stats.sharded");
+    static const Histogram hist("test.stats.sharded_hist");
+    const Snapshot before = snapshotStats();
+
+    constexpr int threads = 6;
+    constexpr u64 perThread = 1000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([] {
+            for (u64 i = 0; i < perThread; ++i) {
+                counter.inc();
+                hist.record(i);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    // Merge equals the sum over shards — including shards of already
+    // exited threads (they retire into the accumulator on join).
+    const Snapshot diff = snapshotStats().minus(before);
+    EXPECT_EQ(counterValue(diff, "test.stats.sharded"),
+              u64(threads) * perThread);
+    const HistogramData &h =
+        diff.histograms.at("test.stats.sharded_hist");
+    EXPECT_EQ(h.count, u64(threads) * perThread);
+    EXPECT_EQ(h.sum, u64(threads) * (perThread * (perThread - 1) / 2));
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, perThread - 1);
+}
+
+TEST(Stats, CounterAddAccumulates)
+{
+    static const Counter counter("test.stats.add");
+    const Snapshot before = snapshotStats();
+    counter.add(40);
+    counter.add(2);
+    const Snapshot diff = snapshotStats().minus(before);
+    EXPECT_EQ(counterValue(diff, "test.stats.add"), 42u);
+}
+
+TEST(Stats, SameNameSharesOneSlot)
+{
+    static const Counter a("test.stats.same");
+    static const Counter b("test.stats.same");
+    EXPECT_EQ(a.id(), b.id());
+    const Snapshot before = snapshotStats();
+    a.inc();
+    b.inc();
+    EXPECT_EQ(counterValue(snapshotStats().minus(before),
+                           "test.stats.same"),
+              2u);
+}
+
+TEST(Stats, GaugeIsLastWriteWins)
+{
+    static const Gauge gauge("test.stats.gauge");
+    gauge.set(5);
+    gauge.add(-2);
+    const Snapshot snap = snapshotStats();
+    EXPECT_EQ(snap.gauges.at("test.stats.gauge"), 3);
+    // Diffing keeps the level, it does not subtract.
+    EXPECT_EQ(snap.minus(snap).gauges.at("test.stats.gauge"), 3);
+}
+
+TEST(Stats, DisabledIncrementsAreDropped)
+{
+    static const Counter counter("test.stats.disabled");
+    const Snapshot before = snapshotStats();
+    setStatsEnabled(false);
+    counter.inc();
+    setStatsEnabled(true);
+    counter.inc();
+    EXPECT_EQ(counterValue(snapshotStats().minus(before),
+                           "test.stats.disabled"),
+              1u);
+}
+
+TEST(Stats, RenderJsonHasFixedSchema)
+{
+    static const Counter counter("test.stats.json");
+    counter.inc();
+    const std::string json = renderStatsJson(snapshotStats());
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.stats.json\""), std::string::npos);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Event-tracer tests: ring wraparound accounting, name interning of
+ * transient strings, per-type totals, the Chrome trace_event JSON
+ * shape, and the runtime/compile-time switches.  Each test clears the
+ * trace first; the suite is serial (gtest runs cases in one thread).
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace hev;
+using namespace hev::obs;
+
+namespace
+{
+
+/** Sum of events kept across all threads of a collected trace. */
+u64
+totalEvents(const std::vector<ThreadTrace> &trace)
+{
+    u64 total = 0;
+    for (const ThreadTrace &thread : trace)
+        total += thread.events.size();
+    return total;
+}
+
+class TraceTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!traceCompiledIn)
+            GTEST_SKIP() << "tracer compiled out (HEV_OBS_TRACE=0)";
+        clearTrace();
+        setTraceEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setTraceEnabled(false);
+        clearTrace();
+    }
+};
+
+} // namespace
+
+TEST(TraceSwitch, DisabledEmitsNothing)
+{
+    if (!traceCompiledIn)
+        GTEST_SKIP() << "tracer compiled out (HEV_OBS_TRACE=0)";
+    clearTrace();
+    setTraceEnabled(false);
+    traceEvent(EventType::TlbHit, "off");
+    EXPECT_EQ(totalEvents(collectTrace()), 0u);
+}
+
+TEST_F(TraceTest, EventsRoundTrip)
+{
+    traceEvent(EventType::HypercallEnter, "hc_test", 7);
+    traceEvent(EventType::HypercallExit, "hc_test", 7, 1);
+    const auto trace = collectTrace();
+    ASSERT_EQ(totalEvents(trace), 2u);
+    const TraceEvent &enter = trace[0].events[0];
+    EXPECT_EQ(enter.type, EventType::HypercallEnter);
+    EXPECT_STREQ(enter.name, "hc_test");
+    EXPECT_EQ(enter.arg0, 7u);
+    EXPECT_LE(enter.ts, trace[0].events[1].ts);
+}
+
+TEST_F(TraceTest, TransientNamesAreInterned)
+{
+    {
+        std::string transient = "scenario-";
+        transient += std::to_string(42);
+        traceEvent(EventType::ScenarioStart, transient.c_str());
+    } // the source string dies here
+    const auto trace = collectTrace();
+    ASSERT_EQ(totalEvents(trace), 1u);
+    EXPECT_STREQ(trace[0].events[0].name, "scenario-42");
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestAndCountingDropped)
+{
+    const u64 emitted = traceRingCapacity + 100;
+    for (u64 i = 0; i < emitted; ++i)
+        traceEvent(EventType::PtWalk, "walk", i);
+
+    const auto trace = collectTrace();
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].events.size(), size_t(traceRingCapacity));
+    EXPECT_EQ(trace[0].dropped, 100u);
+    // The survivors are the newest `capacity` events, oldest first.
+    EXPECT_EQ(trace[0].events.front().arg0, 100u);
+    EXPECT_EQ(trace[0].events.back().arg0, emitted - 1);
+}
+
+TEST_F(TraceTest, TotalsSurviveWraparound)
+{
+    const u64 emitted = traceRingCapacity + 500;
+    for (u64 i = 0; i < emitted; ++i)
+        traceEvent(EventType::TlbMiss, "tlb");
+    const auto totals = traceEventTotals();
+    EXPECT_EQ(totals.at("tlb_miss"), emitted);
+    // The collected count, in contrast, is capped by the ring.
+    EXPECT_EQ(countEventsByType(collectTrace()).at("tlb_miss"),
+              u64(traceRingCapacity));
+}
+
+TEST_F(TraceTest, WorkerRingsRetireOnThreadExit)
+{
+    std::thread worker([] {
+        traceEvent(EventType::ScenarioStart, "worker-scenario", 3);
+        traceEvent(EventType::ScenarioFinish, "worker-scenario", 3, 9);
+    });
+    worker.join();
+    const auto totals = countEventsByType(collectTrace());
+    EXPECT_EQ(totals.at("scenario_start"), 1u);
+    EXPECT_EQ(totals.at("scenario_finish"), 1u);
+}
+
+TEST_F(TraceTest, ChromeJsonShapeAndMonotonicTimestamps)
+{
+    traceEvent(EventType::ScenarioStart, "s0", 0);
+    const u64 t0 = traceNowNs();
+    traceEvent(EventType::PtWalk, "walk", 4, 0x1000);
+    // A complete event recorded after the instant but carrying an
+    // earlier start ts — the exporter must sort it back into place.
+    traceComplete(EventType::TimerScope, "span", t0 ? t0 - 1 : 1, 10);
+    traceEvent(EventType::ScenarioFinish, "s0", 0, 1);
+
+    const std::string json = renderChromeTrace(collectTrace());
+    EXPECT_NE(json.find("\"schemaVersion\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+
+    // Exported ts values must be monotonic for the single thread.
+    double last = -1.0;
+    size_t pos = 0;
+    int seen = 0;
+    while ((pos = json.find("\"ts\": ", pos)) != std::string::npos) {
+        pos += 6;
+        const double ts = std::stod(json.substr(pos));
+        EXPECT_GE(ts, last);
+        last = ts;
+        ++seen;
+    }
+    EXPECT_EQ(seen, 4);
+}
+
+TEST_F(TraceTest, ClearTraceResetsRingsAndTotals)
+{
+    traceEvent(EventType::TlbHit, "tlb");
+    clearTrace();
+    EXPECT_EQ(totalEvents(collectTrace()), 0u);
+    EXPECT_TRUE(traceEventTotals().empty());
+}
+
+TEST(TraceMeta, EveryTypeHasNameAndCategory)
+{
+    for (u32 i = 0; i < eventTypeCount; ++i) {
+        EXPECT_STRNE(eventTypeName(EventType(i)), "unknown");
+        EXPECT_STRNE(eventTypeCategory(EventType(i)), "misc");
+    }
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Logging subsystem tests: verbosity gating, format correctness, the
+ * thread-local context prefix, and — the property the mutex plus
+ * single-fwrite design exists for — no byte interleaving between
+ * concurrent writers.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+using namespace hev;
+
+namespace
+{
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+TEST(Logging, WarnFormatsTaggedLine)
+{
+    testing::internal::CaptureStderr();
+    warn("value %d at %#x", 42, 0x1000);
+    const std::string text = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(text, "warn: value 42 at 0x1000\n");
+}
+
+TEST(Logging, InformSuppressedUnlessVerbose)
+{
+    setLogVerbose(false);
+    testing::internal::CaptureStderr();
+    inform("hidden %d", 1);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogVerbose(true);
+    testing::internal::CaptureStderr();
+    inform("shown %d", 2);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "info: shown 2\n");
+    setLogVerbose(false);
+}
+
+TEST(Logging, WarnAlwaysPrintsRegardlessOfVerbosity)
+{
+    setLogVerbose(false);
+    testing::internal::CaptureStderr();
+    warn("always");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "warn: always\n");
+}
+
+TEST(Logging, ContextPrefixEmptyByDefault)
+{
+    EXPECT_STREQ(logContextPrefix(), "");
+}
+
+TEST(Logging, ContextPrefixNestsAndUnwinds)
+{
+    ScopedLogContext outer("enclave=%u", 3u);
+    EXPECT_STREQ(logContextPrefix(), "[enclave=3] ");
+    {
+        ScopedLogContext inner("va=%#x", 0x1000);
+        EXPECT_STREQ(logContextPrefix(), "[enclave=3] [va=0x1000] ");
+    }
+    EXPECT_STREQ(logContextPrefix(), "[enclave=3] ");
+}
+
+TEST(Logging, ContextPrefixAppearsInMessages)
+{
+    testing::internal::CaptureStderr();
+    {
+        ScopedLogContext ctx("hc=%s principal=%u", "test", 7u);
+        warn("rejected");
+    }
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "warn: [hc=test principal=7] rejected\n");
+}
+
+TEST(Logging, ContextIsThreadLocal)
+{
+    ScopedLogContext ctx("main-thread");
+    std::string other;
+    std::thread t([&] { other = logContextPrefix(); });
+    t.join();
+    EXPECT_EQ(other, "");
+    EXPECT_STREQ(logContextPrefix(), "[main-thread] ");
+}
+
+TEST(Logging, ConcurrentWritersNeverInterleaveBytes)
+{
+    constexpr int threads = 8;
+    constexpr int perThread = 200;
+
+    testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> pool;
+        for (int who = 0; who < threads; ++who) {
+            pool.emplace_back([who] {
+                ScopedLogContext ctx("worker=%d", who);
+                for (int i = 0; i < perThread; ++i)
+                    warn("w%d message %d of %d", who, i, perThread);
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+    const std::string text = testing::internal::GetCapturedStderr();
+
+    // Every line must be exactly one expected message — a single
+    // foreign byte means two writers interleaved.
+    std::set<std::string> expected;
+    for (int who = 0; who < threads; ++who) {
+        for (int i = 0; i < perThread; ++i) {
+            std::ostringstream line;
+            line << "warn: [worker=" << who << "] w" << who
+                 << " message " << i << " of " << perThread;
+            expected.insert(line.str());
+        }
+    }
+    const std::vector<std::string> got = lines(text);
+    ASSERT_EQ(got.size(), size_t(threads * perThread));
+    for (const std::string &line : got)
+        EXPECT_TRUE(expected.count(line)) << "mangled line: " << line;
+    EXPECT_EQ(std::set<std::string>(got.begin(), got.end()).size(),
+              expected.size());
+}

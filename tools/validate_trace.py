@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace_event JSON file.
+
+Checks, exiting 0 on success and 1 on the first violation:
+  - the file parses as JSON and has the expected top-level shape
+    (schemaVersion, displayTimeUnit, traceEvents list);
+  - every event carries the required keys with sane types and a known
+    phase letter;
+  - timestamps are monotonically non-decreasing per (pid, tid);
+  - begin/end phases balance per thread (every E has an open B) unless
+    --allow-unbalanced is given (ring wraparound can drop the opening
+    B of a span that was in flight when the ring overflowed).
+
+Usage: validate_trace.py TRACE.json [--allow-unbalanced]
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+KNOWN_PHASES = {"B", "E", "X", "i"}
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path, allow_unbalanced):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    for key in ("schemaVersion", "displayTimeUnit", "traceEvents"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if not isinstance(doc["traceEvents"], list):
+        fail("traceEvents is not a list")
+
+    last_ts = {}
+    open_spans = {}
+    for index, event in enumerate(doc["traceEvents"]):
+        where = f"event #{index}"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        missing = REQUIRED_KEYS - event.keys()
+        if missing:
+            fail(f"{where} missing keys {sorted(missing)}")
+        if event["ph"] not in KNOWN_PHASES:
+            fail(f"{where} has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)):
+            fail(f"{where} ts is not numeric")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"{where} is a complete event without dur")
+
+        thread = (event["pid"], event["tid"])
+        if thread in last_ts and event["ts"] < last_ts[thread]:
+            fail(f"{where} ts {event['ts']} goes backwards on "
+                 f"pid/tid {thread} (prev {last_ts[thread]})")
+        last_ts[thread] = event["ts"]
+
+        if event["ph"] == "B":
+            open_spans.setdefault(thread, []).append(event["name"])
+        elif event["ph"] == "E":
+            stack = open_spans.get(thread, [])
+            if stack:
+                stack.pop()
+            elif not allow_unbalanced:
+                fail(f"{where} ends a span with none open on "
+                     f"pid/tid {thread}")
+
+    total = len(doc["traceEvents"])
+    threads = len(last_ts)
+    print(f"validate_trace: OK: {total} events across {threads} "
+          f"thread(s), schema v{doc['schemaVersion']}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = set(sys.argv[1:]) - set(args)
+    unknown = flags - {"--allow-unbalanced"}
+    if unknown or len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate(args[0], "--allow-unbalanced" in flags)
+
+
+if __name__ == "__main__":
+    main()
