@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fuzzer throughput: sustained differential executions per second on
+ * the clean tree, with and without MIR lockstep, plus the fuzz
+ * campaign shards' aggregate rate.  A clean tree must produce zero
+ * divergences — the bench double-checks the oracles' false-positive
+ * rate while measuring.  Writes BENCH_fuzz.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_report.hh"
+#include "check/campaign.hh"
+#include "fuzz/fuzzer.hh"
+
+using namespace hev;
+using namespace hev::fuzz;
+
+namespace
+{
+
+struct RunMetrics
+{
+    u64 execs = 0;
+    double elapsed = 0.0;
+    u64 corpusEntries = 0;
+    u64 featuresCovered = 0;
+    u64 divergences = 0;
+};
+
+RunMetrics
+measure(u64 execs, bool mir_lockstep)
+{
+    FuzzConfig cfg;
+    cfg.seed = 0xbe9c;
+    cfg.maxExecs = execs;
+    cfg.exec.mirLockstep = mir_lockstep;
+    Fuzzer fuzzer(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    const auto failure = fuzzer.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    RunMetrics metrics;
+    metrics.execs = fuzzer.stats().execs;
+    metrics.elapsed = elapsed.count();
+    metrics.corpusEntries = fuzzer.stats().corpusEntries;
+    metrics.featuresCovered = fuzzer.stats().featuresCovered;
+    metrics.divergences = fuzzer.stats().divergences;
+    if (failure)
+        std::printf("UNEXPECTED DIVERGENCE: %s\n",
+                    failure->result.detail.c_str());
+    return metrics;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Differential fuzzer throughput ===\n\n");
+
+    u64 execs = 3000;
+    if (const char *env = std::getenv("HEV_BENCH_FUZZ_EXECS"))
+        execs = std::strtoull(env, nullptr, 0);
+
+    bench::JsonReport report("fuzz");
+    report.metric("execs", execs);
+
+    const RunMetrics full = measure(execs, true);
+    if (full.divergences != 0)
+        return 1;
+    std::printf("full oracle set:  %6llu execs in %6.2f s = %8.0f "
+                "execs/s\n",
+                (unsigned long long)full.execs, full.elapsed,
+                double(full.execs) / full.elapsed);
+    std::printf("                  corpus %llu, features %llu, "
+                "divergences %llu\n",
+                (unsigned long long)full.corpusEntries,
+                (unsigned long long)full.featuresCovered,
+                (unsigned long long)full.divergences);
+    report.metric("elapsed_seconds", full.elapsed);
+    report.metric("execs_per_sec", double(full.execs) / full.elapsed);
+    report.metric("corpus_entries", full.corpusEntries);
+    report.metric("features_covered", full.featuresCovered);
+    report.metric("divergences", full.divergences);
+
+    const RunMetrics concrete = measure(execs, false);
+    if (concrete.divergences != 0)
+        return 1;
+    std::printf("without MIR:      %6llu execs in %6.2f s = %8.0f "
+                "execs/s\n",
+                (unsigned long long)concrete.execs, concrete.elapsed,
+                double(concrete.execs) / concrete.elapsed);
+    report.metric("execs_per_sec_no_mir",
+                  double(concrete.execs) / concrete.elapsed);
+
+    // The campaign packaging: shards through the parallel runner.
+    FuzzCampaignOptions opts;
+    opts.shards = 4;
+    opts.execsPerShard = execs / 8;
+    check::CampaignConfig cfg;
+    cfg.seed = 0xbe9c;
+    cfg.threads = 4;
+    check::Campaign campaign(cfg);
+    campaign.add(fuzzScenarios(opts));
+    const check::CampaignReport camp = campaign.run();
+    if (camp.failures != 0) {
+        std::printf("UNEXPECTED CAMPAIGN FAILURE: %s\n",
+                    camp.first->detail.c_str());
+        return 1;
+    }
+    std::printf("campaign shards:  %6llu execs in %6.2f s = %8.0f "
+                "execs/s (4 shards, 4 threads)\n",
+                (unsigned long long)camp.checks, camp.elapsedSeconds,
+                camp.checksPerSecond);
+    report.metric("campaign_execs_per_sec", camp.checksPerSecond);
+
+    if (!report.write())
+        return 1;
+    std::printf("\nreport written to BENCH_fuzz.json\n");
+    return 0;
+}

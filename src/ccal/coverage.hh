@@ -17,7 +17,9 @@
 #define HEV_CCAL_COVERAGE_HH
 
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/types.hh"
@@ -63,6 +65,35 @@ struct CoverageReport
  * (raw pointer casts, RData internals, metadata accessors, memcpy).
  */
 CoverageReport currentCoverage();
+
+/**
+ * The source paper's Table as a static record: 49 of the 77
+ * memory-module functions verified, 28 trusted, each trusted entry
+ * carrying the paper's reason for leaving it in the TCB.  Unlike
+ * currentCoverage() this does not consult the MIR registry — it is the
+ * fixed target the reproduction is converging on.
+ */
+CoverageReport paperCoverage();
+
+/** Parsed summary of a renderCoverageJson document. */
+struct CoverageSummary
+{
+    u64 verified = 0;
+    u64 trusted = 0;
+    /** layer -> {verified, trusted} */
+    std::map<int, std::pair<u64, u64>> byLayer;
+    std::vector<std::string> trustedFunctions;
+};
+
+/**
+ * Parse the output of renderCoverageJson (standalone, or the
+ * "coverage" section cut out of a campaign report) back into a
+ * summary; nullopt if the expected keys are missing.  Together with
+ * renderCoverageJson this gives the round-trip the coverage tests
+ * assert.
+ */
+std::optional<CoverageSummary>
+parseCoverageSummary(const std::string &json);
 
 /** Render the report as the Sec. 4.4-style accounting table. */
 std::string renderCoverage(const CoverageReport &report);

@@ -107,8 +107,11 @@ renderResultJson(const CampaignReport &report)
         out << "    \"scenario\": \"" << jsonEscape(report.first->scenario)
             << "\",\n";
         out << "    \"detail\": \"" << jsonEscape(report.first->detail)
-            << "\"\n";
-        out << "  }\n";
+            << "\"";
+        if (!report.first->artifact.empty())
+            out << ",\n    \"artifact\": \""
+                << jsonEscape(report.first->artifact) << "\"";
+        out << "\n  }\n";
     } else {
         out << "  \"first_counterexample\": null\n";
     }
@@ -214,7 +217,8 @@ Campaign::run() const
                                 scenario.name.c_str(), shard,
                                 ctx.checks());
                 local.record(Counterexample{shard, ctx.checks(),
-                                            scenario.name, *detail});
+                                            scenario.name, *detail,
+                                            ctx.artifact()});
                 // CAS-min so later shards can be skipped.
                 u64 seen = lowestFailingShard.load();
                 while (shard < seen &&

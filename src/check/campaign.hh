@@ -41,6 +41,7 @@ struct Counterexample
     u64 iteration = 0;    //!< check count within the scenario
     std::string scenario; //!< scenario name
     std::string detail;   //!< what diverged
+    std::string artifact; //!< optional repro file the scenario wrote
 
     /** Deterministic ordering used by the aggregator. */
     bool
@@ -68,12 +69,23 @@ class ShardContext
 
     /** Record one executed check. */
     void tick() { ++checksRun; }
+    /** Record a batch of executed checks at once (fuzz executions). */
+    void tick(u64 checks) { checksRun += checks; }
     u64 checks() const { return checksRun; }
+
+    /**
+     * Attach a repro artifact (a file path the body wrote) to the
+     * failure this body is about to report; it rides along on the
+     * Counterexample into the campaign report.
+     */
+    void attachArtifact(std::string path) { artifactPath = std::move(path); }
+    const std::string &artifact() const { return artifactPath; }
 
   private:
     u64 id;
     Rng stream;
     u64 checksRun = 0;
+    std::string artifactPath;
 };
 
 /**

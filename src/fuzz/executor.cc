@@ -1,0 +1,1087 @@
+#include "fuzz/executor.hh"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "ccal/checker.hh"
+#include "ccal/specs.hh"
+#include "ccal/tree_state.hh"
+#include "hv/hv_invariants.hh"
+#include "hv/machine.hh"
+#include "sec/invariants.hh"
+
+namespace hev::fuzz
+{
+
+namespace
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+using hv::AddPageKind;
+using hv::EnclaveConfig;
+using hv::Machine;
+
+mir::Value
+iv(i64 v)
+{
+    return mir::Value::intVal(v);
+}
+
+mir::Value
+uv(u64 v)
+{
+    return mir::Value::intVal(i64(v));
+}
+
+/**
+ * Coarse error classes shared by the concrete monitor and the specs
+ * (same table as tests/integration/test_differential.cc), plus Skipped
+ * for ops the executor declined to run (resource guard, wrong mode).
+ */
+enum class Rc : u8
+{
+    Ok = 0,
+    Invalid,
+    Isolation,
+    Conflict,
+    Resource,
+    NoSuch,
+    Skipped,
+};
+
+constexpr u32 rcCount = 7;
+
+Rc
+classifyHv(HvError error)
+{
+    switch (error) {
+      case HvError::None: return Rc::Ok;
+      case HvError::InvalidParam:
+      case HvError::NotAligned: return Rc::Invalid;
+      case HvError::IsolationViolation:
+      case HvError::PermissionDenied: return Rc::Isolation;
+      case HvError::AlreadyMapped:
+      case HvError::BadEnclaveState:
+      case HvError::EpcmConflict: return Rc::Conflict;
+      case HvError::OutOfMemory:
+      case HvError::OutOfEpc: return Rc::Resource;
+      case HvError::NoSuchEnclave:
+      case HvError::NotMapped: return Rc::NoSuch;
+      default: return Rc::Invalid;
+    }
+}
+
+Rc
+classifySpec(i64 code)
+{
+    switch (code) {
+      case 0: return Rc::Ok;
+      case errInvalidParam:
+      case errNotAligned: return Rc::Invalid;
+      case errIsolation: return Rc::Isolation;
+      case errAlreadyMapped:
+      case errBadState: return Rc::Conflict;
+      case errOutOfMemory:
+      case errOutOfEpc: return Rc::Resource;
+      case errNoSuchEnclave:
+      case errNotMapped: return Rc::NoSuch;
+      default: return Rc::Invalid;
+    }
+}
+
+const char *
+rcName(Rc rc)
+{
+    switch (rc) {
+      case Rc::Ok: return "ok";
+      case Rc::Invalid: return "invalid";
+      case Rc::Isolation: return "isolation";
+      case Rc::Conflict: return "conflict";
+      case Rc::Resource: return "resource";
+      case Rc::NoSuch: return "no-such";
+      case Rc::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+/** The abstract geometry matching an hv layout (same addresses). */
+Geometry
+geometryOf(const hv::MonitorConfig &cfg)
+{
+    Geometry geo;
+    geo.frameBase = cfg.layout.secureBase();
+    geo.frameCount = cfg.layout.ptAreaBytes / pageSize;
+    geo.epcBase = cfg.layout.epcRange().start.value;
+    geo.epcCount = cfg.layout.epcBytes / pageSize;
+    geo.normalLimit = cfg.layout.secureBase();
+    return geo;
+}
+
+constexpr u64 fnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 fnvPrime = 0x100000001b3ull;
+
+u64
+fnvStep(u64 hash, u64 value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= fnvPrime;
+    }
+    return hash;
+}
+
+/** Everything needed to run one trace; fresh per execution. */
+class Executor
+{
+  public:
+    explicit Executor(const ExecOptions &options)
+        : opts(options), machine(options.monitor),
+          specState(geometryOf(options.monitor)),
+          mirFlat(geometryOf(options.monitor))
+    {
+        // One staging page in normal memory feeds every add_page; a
+        // fresh machine cannot fail this allocation.
+        auto stage = machine.os().allocPage();
+        stagePage = stage ? *stage : Gpa(0);
+    }
+
+    ExecResult
+    run(const Trace &trace)
+    {
+        ExecResult result;
+        u64 signature = fnvOffset;
+        for (u64 i = 0; i < trace.ops.size() && i < opts.maxOps; ++i) {
+            const Op &op = trace.ops[i];
+            lastRc = Rc::Skipped;
+            const auto failure = dispatch(op);
+            ++result.opsExecuted;
+
+            // Coverage features: (op, outcome), the 2-gram edge with
+            // the previous op, and a coarse state-shape bucket.
+            const u32 sig = u32(op.kind) * rcCount + u32(lastRc);
+            addFeature(0x1000 + sig);
+            addFeature(pairFeature(prevSig, sig));
+            prevSig = sig;
+            addFeature(
+                0x4000 +
+                u32(machine.monitor().liveEnclaves() % 8) * 32 +
+                u32(machine.monitor().ptAlloc().usedFrames() / 16));
+            signature = fnvStep(signature, u64(op.kind));
+            signature = fnvStep(signature, u64(lastRc));
+
+            if (failure) {
+                result.divergence = true;
+                result.failedOp = i;
+                std::ostringstream detail;
+                detail << "op " << i << " (" << opKindName(op.kind)
+                       << "): " << *failure;
+                result.detail = detail.str();
+                break;
+            }
+        }
+        signature = fnvStep(signature, result.divergence ? 1 : 0);
+        result.signature = signature;
+        result.features.assign(featureSet.begin(), featureSet.end());
+        return result;
+    }
+
+  private:
+    using Fail = std::optional<std::string>;
+
+    Fail
+    dispatch(const Op &op)
+    {
+        switch (op.kind) {
+          case OpKind::HcInit: return opHcInit(op);
+          case OpKind::HcAddPage: return opHcAddPage(op);
+          case OpKind::HcInitFinish: return opHcInitFinish(op);
+          case OpKind::HcRemove: return opHcRemove(op);
+          case OpKind::Enter: return opEnter(op);
+          case OpKind::Exit: return opExit(op);
+          case OpKind::MemLoad:
+          case OpKind::MemStore: return opMemAccess(op);
+          case OpKind::OsUnmap: return opOsUnmap(op);
+          case OpKind::OsMap: return opOsMap(op);
+          case OpKind::QueryVa: return opQueryVa(op);
+          case OpKind::LayerMap: return opLayerMap(op);
+          case OpKind::LayerUnmap: return opLayerUnmap(op);
+          case OpKind::LayerQuery: return opLayerQuery(op);
+        }
+        return std::nullopt;
+    }
+
+    /// @name Hypercall ops
+    /// @{
+
+    Fail
+    opHcInit(const Op &op)
+    {
+        if (lowOnFrames())
+            return std::nullopt;
+        u64 el_start = 0x10'0000ull * (1 + op.a % 4);
+        const u64 el_pages = 1 + op.b % 4;
+        const u64 el_end = el_start + el_pages * pageSize;
+        const u64 mbuf_pages = 1 + op.c % 2;
+        u64 mbuf_gva = el_end + pageSize;
+        const u64 twist = op.d % 8;
+
+        u64 backing;
+        if (twist == 7) {
+            // Secure-region backing: both sides must reject.
+            backing = opts.monitor.layout.secureBase();
+        } else {
+            std::vector<Gpa> pages;
+            for (u64 i = 0; i < mbuf_pages; ++i) {
+                auto page = machine.os().allocPage();
+                if (!page)
+                    break;
+                pages.push_back(*page);
+            }
+            bool contiguous = pages.size() == mbuf_pages;
+            for (u64 i = 1; contiguous && i < pages.size(); ++i)
+                contiguous =
+                    pages[i].value == pages[0].value + i * pageSize;
+            if (!contiguous) {
+                for (const Gpa page : pages)
+                    (void)machine.os().freePage(page);
+                return std::nullopt; // guest pool frontier; skip
+            }
+            backing = pages[0].value;
+        }
+        if (twist == 5)
+            el_start += 0x100; // misaligned ELRANGE start
+        if (twist == 6)
+            mbuf_gva = el_start; // mbuf overlaps ELRANGE
+
+        EnclaveConfig cfg;
+        cfg.elrange = {Gva(el_start), Gva(el_end)};
+        cfg.mbufGva = Gva(mbuf_gva);
+        cfg.mbufPages = mbuf_pages;
+        cfg.mbufBacking = Gpa(backing);
+        cfg.creatorGptRoot = machine.vcpu().gptRoot;
+        auto hv_id = machine.monitor().hcEnclaveInit(cfg);
+
+        const IntResult spec_id = specHcInit(
+            specState, el_start, el_end, mbuf_gva, mbuf_pages, backing);
+
+        if (hv_id.ok() != spec_id.isOk) {
+            std::ostringstream msg;
+            msg << "init verdicts differ: hv="
+                << (hv_id.ok() ? "ok" : hvErrorName(hv_id.error()))
+                << " spec="
+                << (spec_id.isOk ? i64(0) : spec_id.errCode);
+            return msg.str();
+        }
+        if (!hv_id.ok() &&
+            classifyHv(hv_id.error()) != classifySpec(spec_id.errCode)) {
+            std::ostringstream msg;
+            msg << "init error classes differ: hv="
+                << hvErrorName(hv_id.error())
+                << " spec=" << spec_id.errCode;
+            return msg.str();
+        }
+        lastRc = hv_id.ok() ? Rc::Ok : classifyHv(hv_id.error());
+
+        if (auto f = mirAgree("hc_init", harness14(), "hc_init",
+                              {uv(el_start), uv(el_end), uv(mbuf_gva),
+                               uv(mbuf_pages), uv(backing)},
+                              encodeIntResult(spec_id)))
+            return f;
+
+        if (hv_id.ok()) {
+            idMap[*hv_id] = i64(spec_id.value);
+            created.push_back(*hv_id);
+            const AbsEnclave &abs =
+                specState.enclaves.at(i64(spec_id.value));
+            gptTrees.emplace(
+                *hv_id,
+                treeFromFlat(specState, specState.rootOf(abs.gptHandle)));
+            if (auto f = treeAgree("init gpt", gptTrees.at(*hv_id),
+                                   abs.gptHandle))
+                return f;
+        }
+        if (auto f = invariantsAgree("init"))
+            return f;
+        return epcmAgree("init");
+    }
+
+    Fail
+    opHcAddPage(const Op &op)
+    {
+        if (lowOnFrames())
+            return std::nullopt;
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const u64 twist = op.c % 8;
+
+        u64 gva;
+        const auto abs_it = specState.enclaves.find(spec_id);
+        if (abs_it != specState.enclaves.end() &&
+            abs_it->second.state != enclStateDead) {
+            const AbsEnclave &abs = abs_it->second;
+            const u64 el_pages = (abs.elEnd - abs.elStart) / pageSize;
+            // +2 slots reach exactly elEnd (the off-by-one boundary)
+            // and one page beyond.
+            gva = abs.elStart + (op.b % (el_pages + 2)) * pageSize;
+        } else {
+            gva = 0x10'0000 + (op.b % 8) * pageSize;
+        }
+        if (twist == 6)
+            gva += 0x100; // misaligned
+        const u64 src = twist == 7 ? opts.monitor.layout.secureBase()
+                                   : stagePage.value;
+        const bool tcs = (op.c >> 3) & 1;
+        const i64 kind_code = tcs ? epcStateTcs : epcStateReg;
+
+        auto st = machine.monitor().hcEnclaveAddPage(
+            hv_id, Gva(gva), Gpa(src),
+            tcs ? AddPageKind::Tcs : AddPageKind::Reg);
+        const i64 rc =
+            specHcAddPage(specState, spec_id, gva, src, kind_code);
+
+        if (auto f = verdictsAgree("add_page", st, rc))
+            return f;
+        if (auto f = mirAgree("hc_add_page", harness14(), "hc_add_page",
+                              {iv(spec_id), uv(gva), uv(src),
+                               iv(kind_code)},
+                              iv(rc)))
+            return f;
+
+        if (st.ok()) {
+            const AbsEnclave &abs = specState.enclaves.at(spec_id);
+            const u64 gpa = specState.geo.epcGpaBase +
+                            (abs.addedPages - 1) * pageSize;
+            u64 flags = pteRwFlags;
+            if (opts.treeSkewBug)
+                flags &= ~pteFlagW;
+            TreeState &tree = gptTrees.at(hv_id);
+            const i64 tree_rc = treeMap(tree, gva, gpa, flags);
+            if (tree_rc != 0) {
+                std::ostringstream msg;
+                msg << "tree map failed (rc " << tree_rc
+                    << ") where the flat spec succeeded";
+                return msg.str();
+            }
+            if (auto f = treeAgree("add_page gpt", tree, abs.gptHandle))
+                return f;
+        }
+        if (auto f = invariantsAgree("add_page"))
+            return f;
+        return epcmAgree("add_page");
+    }
+
+    Fail
+    opHcInitFinish(const Op &op)
+    {
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        auto st = machine.monitor().hcEnclaveInitFinish(hv_id);
+        const i64 rc = specHcInitFinish(specState, spec_id);
+        if (auto f = verdictsAgree("init_finish", st, rc))
+            return f;
+        if (auto f = mirAgree("hc_init_finish", harness14(),
+                              "hc_init_finish", {iv(spec_id)}, iv(rc)))
+            return f;
+        return invariantsAgree("init_finish");
+    }
+
+    Fail
+    opHcRemove(const Op &op)
+    {
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+
+        if (inEnclave && hv_id == curEnclave) {
+            // The spec has no notion of an executing vCPU; the monitor
+            // must reject removal of the active enclave on its own.
+            auto st = machine.monitor().hcEnclaveRemove(hv_id);
+            if (st.ok())
+                return "hv removed the enclave the vCPU is executing in";
+            lastRc = classifyHv(st.error());
+            return invariantsAgree("remove-active");
+        }
+
+        auto st = machine.monitor().hcEnclaveRemove(hv_id);
+        const i64 rc = specHcRemove(specState, spec_id);
+        if (auto f = verdictsAgree("remove", st, rc))
+            return f;
+        if (auto f = mirAgree("hc_remove", harness14(), "hc_remove",
+                              {iv(spec_id)}, iv(rc)))
+            return f;
+        if (st.ok()) {
+            removesHappened = true;
+            gptTrees.erase(hv_id);
+        }
+        return invariantsAgree("remove");
+    }
+
+    Fail
+    opEnter(const Op &op)
+    {
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const auto abs_it = specState.enclaves.find(spec_id);
+        const bool expect_ok =
+            !inEnclave && abs_it != specState.enclaves.end() &&
+            abs_it->second.state == enclStateInitialized;
+        auto st =
+            machine.monitor().hcEnclaveEnter(hv_id, machine.vcpu());
+        if (st.ok() != expect_ok) {
+            std::ostringstream msg;
+            msg << "enter verdict: hv="
+                << (st.ok() ? "ok" : hvErrorName(st.error()))
+                << " but the abstract lifecycle says "
+                << (expect_ok ? "ok" : "reject");
+            return msg.str();
+        }
+        lastRc = st.ok() ? Rc::Ok : classifyHv(st.error());
+        if (st.ok()) {
+            inEnclave = true;
+            curEnclave = hv_id;
+        }
+        return invariantsAgree("enter");
+    }
+
+    Fail
+    opExit(const Op &)
+    {
+        auto st = machine.monitor().hcEnclaveExit(machine.vcpu());
+        if (st.ok() != inEnclave) {
+            std::ostringstream msg;
+            msg << "exit verdict: hv="
+                << (st.ok() ? "ok" : hvErrorName(st.error()))
+                << " but vCPU is " << (inEnclave ? "inside" : "outside");
+            return msg.str();
+        }
+        lastRc = st.ok() ? Rc::Ok : classifyHv(st.error());
+        if (st.ok()) {
+            inEnclave = false;
+            curEnclave = invalidEnclave;
+        }
+        return invariantsAgree("exit");
+    }
+
+    /// @}
+    /// @name Memory-access ops
+    /// @{
+
+    Fail
+    opMemAccess(const Op &op)
+    {
+        const bool is_write = op.kind == OpKind::MemStore;
+        const u64 va = decodeMemVa(op);
+        hv::VCpu &cpu = machine.vcpu();
+        hv::Monitor &mon = machine.monitor();
+
+        // Uncached reference walk through the live tables.
+        auto walk = inEnclave
+                        ? mon.translateEnclaveUncached(
+                              cpu.gptRoot, cpu.eptRoot, Gva(va), is_write)
+                        : mon.translateUncached(cpu.gptRoot, cpu.eptRoot,
+                                                Gva(va), is_write);
+
+        const u64 hits_before = mon.tlb().hits();
+        const u64 misses_before = mon.tlb().misses();
+        bool access_ok;
+        HvError access_err = HvError::None;
+        u64 loaded = 0;
+        if (is_write) {
+            auto st = machine.memStore(Gva(va), op.d);
+            access_ok = st.ok();
+            access_err = st.error();
+        } else {
+            auto ld = machine.memLoad(Gva(va));
+            access_ok = ld.ok();
+            access_err = ld.error();
+            if (ld.ok())
+                loaded = *ld;
+        }
+        addFeature(0x3000 + u32(op.kind) * 4 +
+                   (mon.tlb().hits() > hits_before ? 2u : 0u) +
+                   (mon.tlb().misses() > misses_before ? 1u : 0u));
+
+        // The TLB-assisted path and the uncached walk must agree: a
+        // cached translation surviving an unmap is exactly the
+        // stale-TLB isolation hole.
+        if (access_ok != walk.ok()) {
+            std::ostringstream msg;
+            msg << (is_write ? "store" : "load") << " at va " << std::hex
+                << va << ": cached path "
+                << (access_ok ? "succeeded" : hvErrorName(access_err))
+                << " but uncached walk "
+                << (walk.ok() ? "succeeded" : hvErrorName(walk.error()));
+            return msg.str();
+        }
+        if (access_ok && !is_write &&
+            loaded != mon.mem().read(*walk)) {
+            std::ostringstream msg;
+            msg << "load at va " << std::hex << va
+                << ": cached translation reads a different page than "
+                   "the uncached walk";
+            return msg.str();
+        }
+        lastRc = access_ok ? Rc::Ok : classifyHv(access_err);
+
+        // In enclave mode, the L15 spec translation is a third oracle.
+        if (inEnclave) {
+            const AbsEnclave &abs =
+                specState.enclaves.at(idMap.at(curEnclave));
+            const QueryResult sq =
+                specMemTranslate(specState, abs.gptHandle, abs.eptHandle,
+                                 va, is_write);
+            if (auto f = translationAgree(
+                    is_write ? "store" : "load", va, walk, sq))
+                return f;
+        }
+        return invariantsAgree("mem");
+    }
+
+    Fail
+    opOsUnmap(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt; // guest PT management is a normal-mode op
+        const u64 va = topRegionPage(op.a);
+        auto st = machine.os().gptUnmap(machine.kernelGptRoot(), va);
+        lastRc = st.ok() ? Rc::Ok : classifyHv(st.error());
+        // MOV CR3 reload: the architectural point where stale entries
+        // must die.
+        (void)machine.monitor().guestSetGptRoot(machine.vcpu(),
+                                                machine.vcpu().gptRoot);
+        return invariantsAgree("os_unmap");
+    }
+
+    Fail
+    opOsMap(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt;
+        const u64 va = topRegionPage(op.a);
+        auto st = machine.os().gptMap(machine.kernelGptRoot(), va,
+                                      Gpa(va), hv::PteFlags::userRw());
+        lastRc = st.ok() ? Rc::Ok : classifyHv(st.error());
+        (void)machine.monitor().guestSetGptRoot(machine.vcpu(),
+                                                machine.vcpu().gptRoot);
+        return invariantsAgree("os_map");
+    }
+
+    Fail
+    opQueryVa(const Op &op)
+    {
+        std::vector<EnclaveId> live;
+        for (const EnclaveId id : created) {
+            const auto it = specState.enclaves.find(idMap.at(id));
+            if (machine.monitor().findEnclave(id) &&
+                it != specState.enclaves.end() &&
+                it->second.state != enclStateDead)
+                live.push_back(id);
+        }
+        if (live.empty())
+            return std::nullopt;
+        const EnclaveId hv_id = live[op.a % live.size()];
+        const hv::Enclave *enc = machine.monitor().findEnclave(hv_id);
+        const AbsEnclave &abs = specState.enclaves.at(idMap.at(hv_id));
+
+        u64 va;
+        const u64 el_pages = (abs.elEnd - abs.elStart) / pageSize;
+        if (op.c % 3 == 2)
+            va = abs.mbufGva + (op.b % abs.mbufPages) * pageSize;
+        else
+            va = abs.elStart + (op.b % (el_pages + 2)) * pageSize;
+
+        lastRc = Rc::Ok;
+        for (const bool is_write : {false, true}) {
+            auto walk = machine.monitor().translateEnclaveUncached(
+                enc->gptRoot, enc->eptRoot, Gva(va), is_write);
+            const QueryResult sq =
+                specMemTranslate(specState, abs.gptHandle, abs.eptHandle,
+                                 va, is_write);
+            if (auto f = translationAgree(
+                    is_write ? "query(w)" : "query(r)", va, walk, sq))
+                return f;
+            if (!walk.ok())
+                lastRc = classifyHv(walk.error());
+            if (auto f = mirAgree("mem_translate", harness15(),
+                                  "mem_translate",
+                                  {encodeHandle(abs.gptHandle),
+                                   encodeHandle(abs.eptHandle), uv(va),
+                                   iv(is_write ? 1 : 0)},
+                                  encodeQueryResult(sq)))
+                return f;
+        }
+        return std::nullopt;
+    }
+
+    /// @}
+    /// @name Layer ops (spec vs tree vs MIR on the scratch AS)
+    /// @{
+
+    Fail
+    opLayerMap(const Op &op)
+    {
+        if (lowOnFrames())
+            return std::nullopt;
+        if (auto f = ensureScratch())
+            return f;
+        if (!scratchHandle)
+            return std::nullopt;
+        const u64 va = (op.a % 32) * pageSize;
+        const u64 pa = (op.b % 64) * pageSize;
+        // Only non-huge leaf flags: the incremental tree mirror models
+        // 4 KiB mappings, like the enclave tables.
+        const u64 flags =
+            op.c % 2 ? pteRwFlags : (pteFlagP | pteFlagU);
+
+        const i64 rc = specAsMap(specState, *scratchHandle, va, pa, flags);
+        u64 tree_flags = flags;
+        if (opts.treeSkewBug)
+            tree_flags &= ~pteFlagW;
+        const i64 tree_rc = treeMap(scratchTree, va, pa, tree_flags);
+        lastRc = classifySpec(rc);
+        if (rc != tree_rc) {
+            std::ostringstream msg;
+            msg << "as_map rc: flat spec " << rc << " vs tree view "
+                << tree_rc;
+            return msg.str();
+        }
+        if (auto f = mirAgree("as_map", harness11(), "as_map",
+                              {encodeHandle(*scratchHandle), uv(va),
+                               uv(pa), uv(flags)},
+                              iv(rc)))
+            return f;
+        return treeAgree("as_map", scratchTree, *scratchHandle);
+    }
+
+    Fail
+    opLayerUnmap(const Op &op)
+    {
+        if (lowOnFrames())
+            return std::nullopt;
+        if (auto f = ensureScratch())
+            return f;
+        if (!scratchHandle)
+            return std::nullopt;
+        const u64 va = (op.a % 32) * pageSize;
+        const i64 rc = specAsUnmap(specState, *scratchHandle, va);
+        const i64 tree_rc = treeUnmap(scratchTree, va);
+        lastRc = classifySpec(rc);
+        if (rc != tree_rc) {
+            std::ostringstream msg;
+            msg << "as_unmap rc: flat spec " << rc << " vs tree view "
+                << tree_rc;
+            return msg.str();
+        }
+        if (auto f = mirAgree("as_unmap", harness11(), "as_unmap",
+                              {encodeHandle(*scratchHandle), uv(va)},
+                              iv(rc)))
+            return f;
+        return treeAgree("as_unmap", scratchTree, *scratchHandle);
+    }
+
+    Fail
+    opLayerQuery(const Op &op)
+    {
+        if (lowOnFrames())
+            return std::nullopt;
+        if (auto f = ensureScratch())
+            return f;
+        if (!scratchHandle)
+            return std::nullopt;
+        const u64 va = (op.a % 32) * pageSize + (op.b % 64) * 8;
+        const QueryResult sq = specAsQuery(specState, *scratchHandle, va);
+        const QueryResult tq = treeQuery(scratchTree, va);
+        lastRc = sq.isSome ? Rc::Ok : Rc::NoSuch;
+        if (!(sq == tq)) {
+            std::ostringstream msg;
+            msg << "as_query at va " << std::hex << va
+                << ": flat spec and tree view disagree";
+            return msg.str();
+        }
+        return mirAgree("as_query", harness11(), "as_query",
+                        {encodeHandle(*scratchHandle), uv(va)},
+                        encodeQueryResult(sq));
+    }
+
+    /// @}
+    /// @name Shared oracles
+    /// @{
+
+    Fail
+    verdictsAgree(const char *what, const Status &st, i64 rc)
+    {
+        if (st.ok() != (rc == 0)) {
+            std::ostringstream msg;
+            msg << what << " verdicts differ: hv="
+                << (st.ok() ? "ok" : hvErrorName(st.error()))
+                << " spec=" << rc;
+            return msg.str();
+        }
+        if (!st.ok() && classifyHv(st.error()) != classifySpec(rc)) {
+            std::ostringstream msg;
+            msg << what << " error classes differ: hv="
+                << hvErrorName(st.error()) << " ("
+                << rcName(classifyHv(st.error())) << ") vs spec " << rc
+                << " (" << rcName(classifySpec(rc)) << ")";
+            return msg.str();
+        }
+        lastRc = st.ok() ? Rc::Ok : classifyHv(st.error());
+        return std::nullopt;
+    }
+
+    /** hv uncached walk vs specMemTranslate on the same va. */
+    Fail
+    translationAgree(const char *what, u64 va, const Expected<Hpa> &walk,
+                     const QueryResult &sq)
+    {
+        if (walk.ok() != sq.isSome) {
+            std::ostringstream msg;
+            msg << what << " at va " << std::hex << va << ": hv walk "
+                << (walk.ok() ? "succeeded" : hvErrorName(walk.error()))
+                << " but spec mem_translate "
+                << (sq.isSome ? "succeeded" : "missed");
+            return msg.str();
+        }
+        if (!walk.ok())
+            return std::nullopt;
+        const u64 hv_page = walk->value & ~(pageSize - 1);
+        const u64 spec_page = sq.physAddr & ~(pageSize - 1);
+        if (specState.geo.inEpc(spec_page)) {
+            if (!machine.monitor().epcm().isEpc(Hpa(hv_page))) {
+                std::ostringstream msg;
+                msg << what << " at va " << std::hex << va
+                    << ": spec resolves into the EPC, hv to " << hv_page;
+                return msg.str();
+            }
+            if (!removesHappened && hv_page != spec_page) {
+                std::ostringstream msg;
+                msg << what << " at va " << std::hex << va
+                    << ": EPC page skew (hv " << hv_page << " vs spec "
+                    << spec_page << ")";
+                return msg.str();
+            }
+        } else if (hv_page != spec_page) {
+            std::ostringstream msg;
+            msg << what << " at va " << std::hex << va
+                << ": hv resolves to " << hv_page << ", spec to "
+                << spec_page;
+            return msg.str();
+        }
+        return std::nullopt;
+    }
+
+    /** Run the MIR model in lockstep and require exact agreement. */
+    Fail
+    mirAgree(const char *what, LayerHarness &harness,
+             const std::string &fn, std::vector<mir::Value> args,
+             const mir::Value &expect)
+    {
+        if (!opts.mirLockstep)
+            return std::nullopt;
+        auto out = harness.run(fn, std::move(args));
+        if (!out.ok())
+            return std::string(what) +
+                   ": MIR model trapped: " + out.trap().message;
+        if (!(*out == expect))
+            return std::string(what) +
+                   ": MIR result differs from the spec";
+        if (!(mirFlat == specState))
+            return std::string(what) + ": MIR state diverged: " +
+                   diffStates(mirFlat, specState);
+        return std::nullopt;
+    }
+
+    /** Sec. 5.2 invariants on both the concrete and abstract states. */
+    Fail
+    invariantsAgree(const char *where)
+    {
+        const auto hv_viol =
+            hv::checkMonitorInvariants(machine.monitor());
+        if (!hv_viol.empty())
+            return std::string(where) + ": monitor invariant broken: " +
+                   hv_viol.front();
+        const auto spec_viol = sec::checkInvariants(specState);
+        if (!spec_viol.empty())
+            return std::string(where) + ": abstract invariant broken: " +
+                   spec_viol.front().detail;
+        return std::nullopt;
+    }
+
+    /** Index-aligned EPCM agreement (exact until the first remove). */
+    Fail
+    epcmAgree(const char *where)
+    {
+        if (removesHappened)
+            return std::nullopt;
+        const hv::Epcm &hv_epcm = machine.monitor().epcm();
+        const u64 epc_base = hv_epcm.range().start.value;
+        const u64 count =
+            std::min(hv_epcm.totalPages(), u64(specState.epcm.size()));
+        for (u64 i = 0; i < count; ++i) {
+            const hv::EpcmEntry &he =
+                hv_epcm.entryFor(Hpa(epc_base + i * pageSize));
+            const AbsEpcmEntry &se = specState.epcm[i];
+            const i64 hv_state =
+                he.state == hv::EpcPageState::Free ? epcStateFree
+                : he.state == hv::EpcPageState::Reg ? epcStateReg
+                                                    : epcStateTcs;
+            std::ostringstream msg;
+            msg << where << ": EPCM entry " << i << " differs: ";
+            if (hv_state != se.state) {
+                msg << "state hv=" << hv_state << " spec=" << se.state;
+                return msg.str();
+            }
+            if (hv_state == epcStateFree)
+                continue;
+            const auto owner_it = idMap.find(he.owner);
+            const i64 hv_owner =
+                owner_it == idMap.end() ? -1 : owner_it->second;
+            if (hv_owner != se.owner) {
+                msg << "owner hv=" << hv_owner << " spec=" << se.owner;
+                return msg.str();
+            }
+            if (he.linAddr.value != se.linAddr) {
+                msg << "linear address hv=" << std::hex
+                    << he.linAddr.value << " spec=" << se.linAddr;
+                return msg.str();
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Refinement relation R between a tree mirror and the flat table. */
+    Fail
+    treeAgree(const char *what, const TreeState &tree, i64 handle)
+    {
+        const auto viol = sec::checkTreeRefinement(
+            tree, specState, specState.rootOf(handle));
+        if (viol.empty())
+            return std::nullopt;
+        return std::string(what) +
+               ": refinement R broken: " + viol.front().detail;
+    }
+
+    /// @}
+    /// @name Decoding helpers
+    /// @{
+
+    void
+    pickEnclave(u64 sel, EnclaveId &hv_id, i64 &spec_id)
+    {
+        if (created.empty()) {
+            // No enclave ever created: probe unknown ids (both sides
+            // number identically from 1).
+            hv_id = EnclaveId(1 + sel % 3);
+            spec_id = i64(hv_id);
+            return;
+        }
+        hv_id = created[sel % created.size()];
+        spec_id = idMap.at(hv_id);
+    }
+
+    u64
+    decodeMemVa(const Op &op) const
+    {
+        const u64 off = 8 * (op.c % 512);
+        if (inEnclave) {
+            const AbsEnclave &abs =
+                specState.enclaves.at(idMap.at(curEnclave));
+            const u64 el_pages = (abs.elEnd - abs.elStart) / pageSize;
+            switch (op.a % 4) {
+              case 0:
+              case 1:
+                return abs.elStart +
+                       (op.b % (el_pages + 2)) * pageSize + off;
+              case 2:
+                return abs.mbufGva +
+                       (op.b % abs.mbufPages) * pageSize + off;
+              default:
+                return abs.elEnd + pageSize + off;
+            }
+        }
+        return topRegionPage(op.a) + off;
+    }
+
+    /**
+     * Normal-mode accesses stay in the top quarter of normal memory:
+     * the OS pool is first-fit from the bottom, so page-table frames,
+     * staging and mbuf backings never live up here and a random store
+     * cannot legitimately invalidate a cached translation.
+     */
+    u64
+    topRegionPage(u64 sel) const
+    {
+        const u64 normal_pages =
+            opts.monitor.layout.secureBase() / pageSize;
+        const u64 top_base = normal_pages * 3 / 4;
+        const u64 top_count = normal_pages - top_base;
+        return (top_base + sel % top_count) * pageSize;
+    }
+
+    /**
+     * Resource guard: near the allocator frontier hv and spec diverge
+     * legitimately (the monitor's normal EPT costs a few frames the
+     * abstract machine does not model), so allocating ops back off
+     * while any side has fewer than 16 free frames.
+     */
+    bool
+    lowOnFrames()
+    {
+        const auto &fa = machine.monitor().ptAlloc();
+        if (fa.totalFrames() - fa.usedFrames() < 16)
+            return true;
+        u64 free_spec = 0;
+        for (const bool used : specState.allocated)
+            free_spec += used ? 0 : 1;
+        return free_spec < 16;
+    }
+
+    Fail
+    ensureScratch()
+    {
+        if (scratchHandle || scratchFailed)
+            return std::nullopt;
+        const IntResult res = specAsCreate(specState);
+        if (auto f = mirAgree("as_create", harness11(), "as_create", {},
+                              encodeHandleResult(res)))
+            return f;
+        if (!res.isOk) {
+            scratchFailed = true;
+            return std::nullopt;
+        }
+        scratchHandle = i64(res.value);
+        scratchTree = TreeState{};
+        return std::nullopt;
+    }
+
+    /// @}
+
+    LayerHarness &
+    harness11()
+    {
+        if (!h11)
+            h11 = std::make_unique<LayerHarness>(11, mirFlat);
+        return *h11;
+    }
+
+    LayerHarness &
+    harness14()
+    {
+        if (!h14)
+            h14 = std::make_unique<LayerHarness>(14, mirFlat);
+        return *h14;
+    }
+
+    LayerHarness &
+    harness15()
+    {
+        if (!h15)
+            h15 = std::make_unique<LayerHarness>(15, mirFlat);
+        return *h15;
+    }
+
+    void
+    addFeature(u32 feature)
+    {
+        featureSet.insert(feature & 0xFFFF);
+    }
+
+    static u32
+    pairFeature(u32 prev, u32 cur)
+    {
+        u32 x = prev * 211 + cur * 7 + 0x9e37;
+        x ^= x >> 7;
+        return 0x8000 | (x & 0x7FFF);
+    }
+
+    const ExecOptions &opts;
+    Machine machine;
+    FlatState specState;
+    FlatState mirFlat;
+    std::unique_ptr<LayerHarness> h11, h14, h15;
+    std::map<EnclaveId, i64> idMap;
+    std::map<EnclaveId, TreeState> gptTrees;
+    std::vector<EnclaveId> created;
+    bool removesHappened = false;
+    bool inEnclave = false;
+    EnclaveId curEnclave = invalidEnclave;
+    std::optional<i64> scratchHandle;
+    bool scratchFailed = false;
+    TreeState scratchTree;
+    Gpa stagePage{};
+    Rc lastRc = Rc::Skipped;
+    u32 prevSig = 0;
+    std::set<u32> featureSet;
+};
+
+} // namespace
+
+ExecOptions
+ExecOptions::standard()
+{
+    ExecOptions opts;
+    opts.monitor.layout.totalBytes = 4 * 1024 * 1024;
+    opts.monitor.layout.ptAreaBytes = 1 * 1024 * 1024;
+    opts.monitor.layout.epcBytes = 1 * 1024 * 1024;
+    return opts;
+}
+
+std::vector<std::string>
+plantedBugNames()
+{
+    return {"elrange-off-by-one", "epcm-owner-skip",  "stale-tlb",
+            "wrong-perm-mask",    "frame-double-free", "tree-skew"};
+}
+
+bool
+applyPlantedBug(ExecOptions &opts, const std::string &name)
+{
+    if (name == "elrange-off-by-one")
+        opts.monitor.planted.elrangeOffByOne = true;
+    else if (name == "epcm-owner-skip")
+        opts.monitor.planted.skipEpcmOwnerCheck = true;
+    else if (name == "stale-tlb")
+        opts.monitor.planted.staleTlbOnUnmap = true;
+    else if (name == "wrong-perm-mask")
+        opts.monitor.planted.wrongPermMask = true;
+    else if (name == "frame-double-free")
+        opts.monitor.planted.frameDoubleFree = true;
+    else if (name == "tree-skew")
+        opts.treeSkewBug = true;
+    else
+        return false;
+    return true;
+}
+
+ExecResult
+executeTrace(const ExecOptions &opts, const Trace &trace)
+{
+    Executor executor(opts);
+    return executor.run(trace);
+}
+
+std::string
+renderExecResult(const ExecResult &result)
+{
+    std::ostringstream out;
+    out << "result: " << (result.divergence ? "divergence" : "clean")
+        << "\n";
+    out << "ops: " << result.opsExecuted << "\n";
+    out << "signature: 0x" << std::hex << result.signature << std::dec
+        << "\n";
+    out << "features: " << result.features.size() << "\n";
+    if (result.divergence) {
+        out << "failed_op: " << result.failedOp << "\n";
+        out << "detail: " << result.detail << "\n";
+    }
+    return out.str();
+}
+
+} // namespace hev::fuzz

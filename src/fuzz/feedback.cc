@@ -1,0 +1,103 @@
+#include "fuzz/feedback.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace hev::fuzz
+{
+
+bool
+FeatureMap::observe(const std::vector<u32> &features)
+{
+    bool interesting = false;
+    for (const u32 feature : features) {
+        const u32 index = feature & (featureSpace - 1);
+        const u8 before = hits[index];
+        if (before == 0)
+            ++coveredCount;
+        const u8 after = before == 0xFF ? before : u8(before + 1);
+        hits[index] = after;
+        // A feature is only ever counted once per run (the executor
+        // dedups), so bucket transitions happen exactly at the
+        // thresholds 1, 2, 3, 4 and 8.
+        if (bucketOf(after) != bucketOf(before))
+            interesting = true;
+    }
+    return interesting;
+}
+
+u64
+Corpus::add(CorpusEntry entry)
+{
+    const u64 index = entries.size();
+    if (!mirrorDir.empty()) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "t%06llu-%016llx.trace",
+                      (unsigned long long)index,
+                      (unsigned long long)entry.signature);
+        writeTraceFile(entry.trace, mirrorDir + "/" + name);
+    }
+    entries.push_back(std::move(entry));
+    return index;
+}
+
+bool
+Corpus::mirrorTo(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!std::filesystem::is_directory(dir, ec))
+        return false;
+    mirrorDir = dir;
+    return true;
+}
+
+u64
+Corpus::loadFrom(const std::string &dir)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec))
+        return 0;
+    std::vector<std::string> files;
+    for (const auto &entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string path = entry.path().string();
+        if (entry.path().extension() == ".trace")
+            files.push_back(path);
+    }
+    std::sort(files.begin(), files.end());
+
+    u64 loaded = 0;
+    for (const std::string &path : files) {
+        const auto trace = readTraceFile(path);
+        if (!trace)
+            continue;
+        CorpusEntry entry;
+        entry.trace = *trace;
+        // Recover the signature from t<index>-<sig>.trace names.
+        const std::string stem = std::filesystem::path(path).stem().string();
+        const size_t dash = stem.find('-');
+        if (dash != std::string::npos) {
+            u64 sig = 0;
+            bool valid = dash + 1 < stem.size();
+            for (size_t i = dash + 1; valid && i < stem.size(); ++i) {
+                const char c = stem[i];
+                if (c >= '0' && c <= '9')
+                    sig = (sig << 4) | u64(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    sig = (sig << 4) | u64(c - 'a' + 10);
+                else
+                    valid = false;
+            }
+            if (valid)
+                entry.signature = sig;
+        }
+        entries.push_back(std::move(entry));
+        ++loaded;
+    }
+    return loaded;
+}
+
+} // namespace hev::fuzz

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Coverage feedback and corpus management.
+ *
+ * The executor reports each run's touched 16-bit features (op/outcome
+ * signatures, op 2-grams, TLB hit/miss shapes, state-shape buckets).
+ * The FeatureMap keeps a hit counter per feature, bucketed libFuzzer
+ * style (1, 2, 3, 4..7, 8+ hits): a trace is *interesting* — worth
+ * keeping in the corpus — iff it moves at least one feature into a
+ * bucket never reached before.  The corpus is an append-only in-memory
+ * list with an optional on-disk mirror; on-disk entries load in sorted
+ * filename order so a (seed, corpus directory) pair replays
+ * bit-identically.
+ */
+
+#ifndef HEV_FUZZ_FEEDBACK_HH
+#define HEV_FUZZ_FEEDBACK_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fuzz/trace.hh"
+
+namespace hev::fuzz
+{
+
+/** Number of distinct coverage features (16-bit feature ids). */
+constexpr u32 featureSpace = 1u << 16;
+
+/** Bucketed per-feature hit counters. */
+class FeatureMap
+{
+  public:
+    /**
+     * Account one run's feature set; true iff any feature reached a
+     * bucket it had never reached (the "keep this trace" signal).
+     */
+    bool observe(const std::vector<u32> &features);
+
+    /** Features hit at least once. */
+    u64 covered() const { return coveredCount; }
+
+    void
+    reset()
+    {
+        hits.fill(0);
+        coveredCount = 0;
+    }
+
+  private:
+    /** Bucket index of a saturating hit count. */
+    static u32
+    bucketOf(u32 count)
+    {
+        if (count <= 3)
+            return count; // 0, 1, 2, 3
+        return count < 8 ? 4 : 5;
+    }
+
+    std::array<u8, featureSpace> hits{};
+    u64 coveredCount = 0;
+};
+
+/** One kept test case. */
+struct CorpusEntry
+{
+    Trace trace;
+    u64 signature = 0;    //!< executor outcome signature
+    u64 newFeatures = 0;  //!< features that were new when it was kept
+};
+
+/**
+ * The interesting-trace store.  Purely append-only; entry order is
+ * part of the fuzzer's deterministic state.
+ */
+class Corpus
+{
+  public:
+    /** Append a kept trace; returns its corpus index. */
+    u64 add(CorpusEntry entry);
+
+    u64 size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+    const CorpusEntry &operator[](u64 i) const { return entries[i]; }
+
+    /**
+     * Mirror every future add() into `dir` as
+     * `t<index(06)>-<signature(016x)>.trace` files; creates the
+     * directory.  False if the directory cannot be created.
+     */
+    bool mirrorTo(const std::string &dir);
+
+    /**
+     * Load every *.trace file of `dir` in sorted filename order,
+     * appending each as an entry (signature parsed from the name when
+     * present).  Returns the number loaded; unparsable files are
+     * skipped.  A missing directory loads zero entries.
+     */
+    u64 loadFrom(const std::string &dir);
+
+  private:
+    std::vector<CorpusEntry> entries;
+    std::string mirrorDir;
+};
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_FEEDBACK_HH

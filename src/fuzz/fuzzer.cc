@@ -1,0 +1,217 @@
+#include "fuzz/fuzzer.hh"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "fuzz/mutate.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace hev::fuzz
+{
+
+namespace
+{
+
+const obs::Counter statExecs("fuzz.execs");
+const obs::Counter statCorpusAdds("fuzz.corpus_adds");
+const obs::Counter statDivergences("fuzz.divergences");
+
+} // namespace
+
+Fuzzer::Fuzzer(FuzzConfig config) : cfg(std::move(config)) {}
+
+std::optional<FuzzFailure>
+Fuzzer::executeOne(const Trace &trace)
+{
+    const ExecResult result = executeTrace(cfg.exec, trace);
+    const u64 index = statCounters.execs++;
+    statExecs.inc();
+    obs::traceEvent(obs::EventType::FuzzExec, "fuzz_exec", index,
+                    result.opsExecuted);
+
+    if (result.divergence) {
+        ++statCounters.divergences;
+        statDivergences.inc();
+        obs::traceEvent(obs::EventType::FuzzDivergence, "fuzz_divergence",
+                        index, result.failedOp);
+        FuzzFailure failure;
+        failure.trace = trace;
+        failure.result = result;
+        failure.execIndex = index;
+        return failure;
+    }
+
+    if (features.observe(result.features)) {
+        CorpusEntry entry;
+        entry.trace = trace;
+        entry.signature = result.signature;
+        entry.newFeatures = result.features.size();
+        corpusStore.add(std::move(entry));
+        statCorpusAdds.inc();
+        obs::traceEvent(obs::EventType::FuzzCorpusAdd, "fuzz_corpus_add",
+                        corpusStore.size(), features.covered());
+    }
+    statCounters.corpusEntries = corpusStore.size();
+    statCounters.featuresCovered = features.covered();
+    return std::nullopt;
+}
+
+std::optional<FuzzFailure>
+Fuzzer::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto outOfBudget = [&] {
+        if (cfg.maxExecs && statCounters.execs >= cfg.maxExecs)
+            return true;
+        if (cfg.maxSeconds > 0.0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            if (elapsed.count() >= cfg.maxSeconds)
+                return true;
+        }
+        return false;
+    };
+
+    // Phase 1: the deterministic starting set — built-in skeletons,
+    // then any on-disk corpus (sorted order).
+    std::vector<Trace> starters;
+    if (cfg.useSeedTraces)
+        starters = seedTraces();
+    Corpus loaded;
+    if (!cfg.corpusDir.empty()) {
+        loaded.loadFrom(cfg.corpusDir);
+        for (u64 i = 0; i < loaded.size(); ++i)
+            starters.push_back(loaded[i].trace);
+        corpusStore.mirrorTo(cfg.corpusDir);
+    }
+    for (const Trace &trace : starters) {
+        if (outOfBudget())
+            return std::nullopt;
+        if (auto failure = executeOne(trace))
+            return failure;
+    }
+
+    // Phase 2: the mutation loop.
+    Rng rng(cfg.seed);
+    while (!outOfBudget()) {
+        Trace candidate;
+        if (corpusStore.empty()) {
+            candidate.ops.push_back(randomOp(rng));
+            candidate = mutateTrace(candidate, rng, cfg.maxOps);
+        } else if (corpusStore.size() >= 2 && rng.chance(1, 8)) {
+            const CorpusEntry &a = corpusStore[rng.below(corpusStore.size())];
+            const CorpusEntry &b = corpusStore[rng.below(corpusStore.size())];
+            candidate = spliceTraces(a.trace, b.trace, rng, cfg.maxOps);
+        } else {
+            const CorpusEntry &base =
+                corpusStore[rng.below(corpusStore.size())];
+            candidate = mutateTrace(base.trace, rng, cfg.maxOps);
+        }
+        if (auto failure = executeOne(candidate))
+            return failure;
+    }
+    return std::nullopt;
+}
+
+std::vector<check::Scenario>
+fuzzScenarios(const FuzzCampaignOptions &opts)
+{
+    std::vector<check::Scenario> scenarios;
+    for (int shard = 0; shard < opts.shards; ++shard) {
+        check::Scenario scenario;
+        std::ostringstream name;
+        name << "fuzz/differential-run-" << shard;
+        scenario.name = name.str();
+        scenario.kind = "fuzz";
+        scenario.layer = 0;
+        const std::string artifact_dir = opts.artifactDir;
+        const u64 execs = opts.execsPerShard;
+        const u32 max_ops = opts.maxOps;
+        scenario.body =
+            [artifact_dir, execs,
+             max_ops](check::ShardContext &ctx) -> std::optional<std::string> {
+            FuzzConfig cfg;
+            cfg.seed = ctx.rng().next();
+            cfg.maxExecs = execs;
+            cfg.maxOps = max_ops;
+            Fuzzer fuzzer(cfg);
+            const auto failure = fuzzer.run();
+            ctx.tick(fuzzer.stats().execs);
+            if (!failure)
+                return std::nullopt;
+            std::ostringstream path;
+            path << artifact_dir << "/fuzz-shard-" << ctx.shard()
+                 << ".trace";
+            if (writeTraceFile(failure->trace, path.str()))
+                ctx.attachArtifact(path.str());
+            return "fuzz divergence at exec " +
+                   std::to_string(failure->execIndex) + ": " +
+                   failure->result.detail;
+        };
+        scenarios.push_back(std::move(scenario));
+    }
+    return scenarios;
+}
+
+std::vector<ReplayOutcome>
+replayFiles(const std::vector<std::string> &files, const ExecOptions &opts,
+            unsigned threads)
+{
+    std::vector<ReplayOutcome> outcomes(files.size());
+    if (threads == 0)
+        threads = 1;
+    std::atomic<u64> nextIndex{0};
+    const auto worker = [&] {
+        while (true) {
+            const u64 i = nextIndex.fetch_add(1);
+            if (i >= files.size())
+                return;
+            ReplayOutcome &out = outcomes[i];
+            out.path = files[i];
+            std::string error;
+            const auto trace = readTraceFile(files[i], &error);
+            if (!trace) {
+                out.parsed = false;
+                out.parseError = error;
+                continue;
+            }
+            out.parsed = true;
+            out.result = executeTrace(opts, *trace);
+        }
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return outcomes;
+}
+
+std::string
+renderReplayReport(const std::vector<ReplayOutcome> &outcomes)
+{
+    std::ostringstream out;
+    u64 divergences = 0;
+    for (const ReplayOutcome &outcome : outcomes) {
+        out << "=== " << outcome.path << "\n";
+        if (!outcome.parsed) {
+            out << "parse error: " << outcome.parseError << "\n";
+            continue;
+        }
+        out << renderExecResult(outcome.result);
+        if (outcome.result.divergence)
+            ++divergences;
+    }
+    out << "=== total " << outcomes.size() << " trace(s), " << divergences
+        << " divergence(s)\n";
+    return out.str();
+}
+
+} // namespace hev::fuzz

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The coverage-guided differential fuzzing loop.
+ *
+ * A run is a pure function of (config.seed, corpus directory
+ * contents): seeds and loaded corpus entries execute first in a fixed
+ * order, then the mutation loop picks parents, mutates and splices
+ * using only the run's private Rng stream.  Interesting traces (new
+ * coverage bucket, see feedback.hh) join the corpus; the first
+ * divergence stops the run and is returned for shrinking.
+ *
+ * fuzzScenarios() packages runs as campaign shards — each shard its
+ * own Fuzzer with a seed split from the campaign stream — so fuzzing
+ * rides the same parallel runner, JSON report and determinism
+ * guarantees as the conformance sweeps.  replayFiles() re-executes
+ * saved traces across a thread pool and proves bit-identical results
+ * at any thread count.
+ */
+
+#ifndef HEV_FUZZ_FUZZER_HH
+#define HEV_FUZZ_FUZZER_HH
+
+#include <optional>
+
+#include "check/campaign.hh"
+#include "fuzz/executor.hh"
+#include "fuzz/feedback.hh"
+
+namespace hev::fuzz
+{
+
+/** Sizing and wiring of one fuzzing run. */
+struct FuzzConfig
+{
+    /** Root of the run's deterministic randomness. */
+    u64 seed = 1;
+    /** Stop after this many trace executions (0 = no exec bound). */
+    u64 maxExecs = 2000;
+    /**
+     * Wall-clock cutoff in seconds, checked between executions; 0
+     * disables it.  Using it trades determinism of the *stop point*
+     * (never of any individual result) for bounded runtime.
+     */
+    double maxSeconds = 0.0;
+    /** Cap on generated trace length (executor may cap lower). */
+    u32 maxOps = 24;
+    /** Machine and oracle options for every execution. */
+    ExecOptions exec = ExecOptions::standard();
+    /** Optional corpus directory: loaded first, new finds mirrored. */
+    std::string corpusDir;
+    /** Start from the built-in seed skeletons (mutate.hh). */
+    bool useSeedTraces = true;
+};
+
+/** A divergence the loop found. */
+struct FuzzFailure
+{
+    Trace trace;
+    ExecResult result;
+    u64 execIndex = 0; //!< which execution of the run found it
+};
+
+/** Aggregate counters of one run. */
+struct FuzzStats
+{
+    u64 execs = 0;
+    u64 corpusEntries = 0;
+    u64 featuresCovered = 0;
+    u64 divergences = 0;
+};
+
+/** One fuzzing run. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(FuzzConfig config);
+
+    /**
+     * Execute the run; returns the first divergence, nullopt if the
+     * budget drained clean.
+     */
+    std::optional<FuzzFailure> run();
+
+    const FuzzStats &stats() const { return statCounters; }
+    const Corpus &corpus() const { return corpusStore; }
+
+  private:
+    std::optional<FuzzFailure> executeOne(const Trace &trace);
+
+    FuzzConfig cfg;
+    FuzzStats statCounters;
+    FeatureMap features;
+    Corpus corpusStore;
+};
+
+/** Sizing of the fuzz campaign workload. */
+struct FuzzCampaignOptions
+{
+    int shards = 4;             //!< independent fuzzing runs
+    u64 execsPerShard = 400;    //!< executions per shard
+    u32 maxOps = 24;            //!< generated trace length cap
+    /** Directory for failure artifacts (repro trace files). */
+    std::string artifactDir = ".";
+};
+
+/**
+ * Fuzzing runs as campaign shards (kind "fuzz").  Each shard seeds
+ * its Fuzzer from the shard's RNG stream, ticks once per execution,
+ * and on divergence writes the failing trace to artifactDir and
+ * attaches it to the counterexample.
+ */
+std::vector<check::Scenario>
+fuzzScenarios(const FuzzCampaignOptions &opts = {});
+
+/** Result of replaying one saved trace file. */
+struct ReplayOutcome
+{
+    std::string path;
+    bool parsed = false;
+    std::string parseError;
+    ExecResult result;
+};
+
+/**
+ * Re-execute saved traces across `threads` workers.  Outcomes are
+ * returned in input order and depend only on (opts, file contents) —
+ * never on the thread count; the replay CLI and the determinism tests
+ * compare renderings across thread counts byte-for-byte.
+ */
+std::vector<ReplayOutcome>
+replayFiles(const std::vector<std::string> &files, const ExecOptions &opts,
+            unsigned threads);
+
+/** Stable text rendering of a replay batch (for byte comparison). */
+std::string renderReplayReport(const std::vector<ReplayOutcome> &outcomes);
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_FUZZER_HH

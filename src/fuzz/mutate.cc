@@ -1,0 +1,223 @@
+#include "fuzz/mutate.hh"
+
+#include <algorithm>
+
+namespace hev::fuzz
+{
+
+namespace
+{
+
+/** Arguments are mostly small (dense decode domains), sometimes wild. */
+u64
+randomArg(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0: return rng.below(4);
+      case 1: return rng.below(16);
+      case 2: return rng.below(512);
+      default: return rng.next();
+    }
+}
+
+void
+havocArg(Op &op, Rng &rng)
+{
+    u64 *args[4] = {&op.a, &op.b, &op.c, &op.d};
+    u64 &arg = *args[rng.below(4)];
+    switch (rng.below(4)) {
+      case 0: arg = randomArg(rng); break;
+      case 1: arg += 1; break;
+      case 2: arg -= 1; break;
+      default: arg = 0; break;
+    }
+}
+
+} // namespace
+
+Op
+randomOp(Rng &rng)
+{
+    Op op;
+    op.kind = OpKind(rng.below(opKindCount));
+    op.a = randomArg(rng);
+    op.b = randomArg(rng);
+    op.c = randomArg(rng);
+    op.d = randomArg(rng);
+    return op;
+}
+
+Trace
+mutateTrace(const Trace &base, Rng &rng, u32 maxOps)
+{
+    Trace out = base;
+    const u64 rounds = 1 + rng.below(4);
+    for (u64 round = 0; round < rounds; ++round) {
+        const u64 choice = rng.below(6);
+        switch (choice) {
+          case 0: { // insert
+            if (out.ops.size() >= maxOps)
+                break;
+            const u64 at = rng.below(out.ops.size() + 1);
+            out.ops.insert(out.ops.begin() + i64(at), randomOp(rng));
+            break;
+          }
+          case 1: { // delete
+            if (out.ops.empty())
+                break;
+            const u64 at = rng.below(out.ops.size());
+            out.ops.erase(out.ops.begin() + i64(at));
+            break;
+          }
+          case 2: { // swap
+            if (out.ops.size() < 2)
+                break;
+            const u64 i = rng.below(out.ops.size());
+            const u64 j = rng.below(out.ops.size());
+            std::swap(out.ops[i], out.ops[j]);
+            break;
+          }
+          case 3: { // duplicate
+            if (out.ops.empty() || out.ops.size() >= maxOps)
+                break;
+            const u64 at = rng.below(out.ops.size());
+            out.ops.insert(out.ops.begin() + i64(at), out.ops[at]);
+            break;
+          }
+          case 4: { // replace the kind, keep the arguments
+            if (out.ops.empty())
+                break;
+            out.ops[rng.below(out.ops.size())].kind =
+                OpKind(rng.below(opKindCount));
+            break;
+          }
+          default: { // argument havoc
+            if (out.ops.empty())
+                break;
+            havocArg(out.ops[rng.below(out.ops.size())], rng);
+            break;
+          }
+        }
+    }
+    if (out.ops.empty())
+        out.ops.push_back(randomOp(rng));
+    if (out.ops.size() > maxOps)
+        out.ops.resize(maxOps);
+    return out;
+}
+
+Trace
+spliceTraces(const Trace &a, const Trace &b, Rng &rng, u32 maxOps)
+{
+    Trace out;
+    const u64 cutA = a.ops.empty() ? 0 : rng.below(a.ops.size() + 1);
+    const u64 cutB = b.ops.empty() ? 0 : rng.below(b.ops.size() + 1);
+    out.ops.assign(a.ops.begin(), a.ops.begin() + i64(cutA));
+    out.ops.insert(out.ops.end(), b.ops.begin() + i64(cutB), b.ops.end());
+    if (out.ops.empty())
+        out.ops.push_back(randomOp(rng));
+    if (out.ops.size() > maxOps)
+        out.ops.resize(maxOps);
+    return out;
+}
+
+std::vector<Trace>
+seedTraces()
+{
+    const auto trace = [](std::vector<Op> ops) {
+        Trace t;
+        t.ops = std::move(ops);
+        return t;
+    };
+    using K = OpKind;
+    std::vector<Trace> seeds;
+
+    // The happy-path enclave life cycle.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 1, 8, 0}, // TCS page
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::Enter, 0, 0, 0, 0},
+        {K::MemLoad, 0, 0, 0, 0},
+        {K::MemStore, 2, 0, 1, 42}, // marshalling buffer
+        {K::Exit, 0, 0, 0, 0},
+        {K::HcRemove, 0, 0, 0, 0},
+    }));
+
+    // ELRANGE boundary probe: with one enclave page, gva selector 1
+    // lands exactly on ELRANGE.end.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 1, 0, 0},
+    }));
+
+    // Load / unmap / load over the same normal page (TLB churn).
+    seeds.push_back(trace({
+        {K::MemLoad, 5, 0, 0, 0},
+        {K::OsUnmap, 5, 0, 0, 0},
+        {K::MemLoad, 5, 0, 0, 0},
+        {K::OsMap, 5, 0, 0, 0},
+        {K::MemLoad, 5, 0, 0, 0},
+    }));
+
+    // Translation probes straight after an add (both walk directions).
+    seeds.push_back(trace({
+        {K::HcInit, 1, 1, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::QueryVa, 0, 0, 0, 0},
+        {K::QueryVa, 0, 1, 2, 0},
+    }));
+
+    // A scratch address-space workout (L11 spec vs MIR vs tree).
+    seeds.push_back(trace({
+        {K::LayerMap, 1, 2, 1, 0},
+        {K::LayerQuery, 1, 0, 0, 0},
+        {K::LayerMap, 1, 3, 1, 0},
+        {K::LayerMap, 2, 4, 0, 0},
+        {K::LayerUnmap, 1, 0, 0, 0},
+        {K::LayerQuery, 1, 0, 0, 0},
+        {K::LayerQuery, 2, 0, 0, 0},
+    }));
+
+    // Lifecycle churn: create, populate, remove, create again.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::HcRemove, 0, 0, 0, 0},
+        {K::HcInit, 2, 1, 0, 0},
+        {K::HcAddPage, 1, 0, 0, 0},
+        {K::Enter, 1, 0, 0, 0},
+        {K::Exit, 0, 0, 0, 0},
+    }));
+
+    // Rejection paths: every init/add twist the decoder exposes.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 0, 0, 5},  // misaligned ELRANGE
+        {K::HcInit, 0, 0, 0, 6},  // mbuf overlaps ELRANGE
+        {K::HcInit, 0, 0, 0, 7},  // secure-region backing
+        {K::HcInit, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 0, 6, 0}, // misaligned gva
+        {K::HcAddPage, 0, 0, 7, 0}, // secure-region source
+        {K::HcRemove, 3, 0, 0, 0},  // unknown enclave
+    }));
+
+    // In-enclave memory probing across all decode regions.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 1, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 1, 0, 0},
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::Enter, 0, 0, 0, 0},
+        {K::MemLoad, 0, 0, 3, 0},
+        {K::MemLoad, 3, 0, 0, 0}, // beyond ELRANGE.end
+        {K::MemStore, 2, 0, 0, 7}, // marshalling buffer
+        {K::QueryVa, 0, 0, 0, 0},
+        {K::Exit, 0, 0, 0, 0},
+    }));
+
+    return seeds;
+}
+
+} // namespace hev::fuzz

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic trace mutation and the seed skeletons.
+ *
+ * Every mutator draws randomness only from the Rng stream it is
+ * handed, so a fuzzing run is a pure function of (seed, corpus):
+ * replaying with the same seed reproduces every generated trace
+ * bit-identically.  Because the executor decodes arguments modulo
+ * state-dependent domains, mutators can havoc arguments freely —
+ * every u64 is meaningful — and no mutation can produce an invalid
+ * trace.
+ */
+
+#ifndef HEV_FUZZ_MUTATE_HH
+#define HEV_FUZZ_MUTATE_HH
+
+#include "fuzz/trace.hh"
+#include "support/rng.hh"
+
+namespace hev::fuzz
+{
+
+/** A uniformly random op. */
+Op randomOp(Rng &rng);
+
+/**
+ * Mutate `base` with one to four stacked operators (op insertion,
+ * deletion, swap, duplication, kind replacement, argument havoc:
+ * fresh value / ±1 / zero).  The result has at least one op and at
+ * most maxOps.
+ */
+Trace mutateTrace(const Trace &base, Rng &rng, u32 maxOps);
+
+/** Crossover: a prefix of `a` followed by a suffix of `b`. */
+Trace spliceTraces(const Trace &a, const Trace &b, Rng &rng, u32 maxOps);
+
+/**
+ * Hand-written skeleton traces seeding the corpus: the happy-path
+ * enclave life cycle plus one skeleton per planted-bug trigger region
+ * (ELRANGE boundary add, post-add translation probes, unmap/load
+ * pairs, layer-op runs, remove/re-init churn).
+ */
+std::vector<Trace> seedTraces();
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_MUTATE_HH

@@ -1,0 +1,197 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hev::fuzz
+{
+
+namespace
+{
+
+/** Budgeted "does it still diverge?" predicate. */
+class Reducer
+{
+  public:
+    Reducer(const ExecOptions &options, u64 budget)
+        : opts(options), maxExecs(budget)
+    {}
+
+    bool
+    stillFails(const Trace &trace, ExecResult *out = nullptr)
+    {
+        if (execs >= maxExecs)
+            return false; // budget drained: treat as "don't take it"
+        ++execs;
+        const ExecResult result = executeTrace(opts, trace);
+        if (result.divergence && out)
+            *out = result;
+        return result.divergence;
+    }
+
+    bool exhausted() const { return execs >= maxExecs; }
+    u64 spent() const { return execs; }
+
+  private:
+    const ExecOptions &opts;
+    u64 maxExecs;
+    u64 execs = 0;
+};
+
+/** Remove ops [at, at+len) from a trace. */
+Trace
+without(const Trace &trace, u64 at, u64 len)
+{
+    Trace out;
+    out.ops.reserve(trace.ops.size() - len);
+    for (u64 i = 0; i < trace.ops.size(); ++i)
+        if (i < at || i >= at + len)
+            out.ops.push_back(trace.ops[i]);
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkTrace(const ExecOptions &opts, const Trace &failing, u64 maxExecs)
+{
+    Reducer reducer(opts, maxExecs);
+    ShrinkResult shrunk;
+    shrunk.trace = failing;
+    // Re-establish the failure so result always matches trace.
+    if (!reducer.stillFails(shrunk.trace, &shrunk.result)) {
+        shrunk.execsUsed = reducer.spent();
+        return shrunk; // not a failing trace (or zero budget): identity
+    }
+
+    // Stage 1: ddmin chunk removal with halving granularity.
+    u64 chunk = shrunk.trace.ops.size() / 2;
+    while (chunk >= 1) {
+        bool removedAny = false;
+        u64 at = 0;
+        while (at < shrunk.trace.ops.size()) {
+            const u64 len =
+                std::min<u64>(chunk, shrunk.trace.ops.size() - at);
+            if (len == shrunk.trace.ops.size()) {
+                ++at;
+                continue; // never try the empty trace
+            }
+            Trace candidate = without(shrunk.trace, at, len);
+            ExecResult result;
+            if (reducer.stillFails(candidate, &result)) {
+                shrunk.trace = std::move(candidate);
+                shrunk.result = result;
+                removedAny = true;
+                // Same position now holds the next chunk.
+            } else {
+                at += len;
+            }
+        }
+        if (chunk == 1 && !removedAny)
+            break;
+        chunk = chunk > 1 ? chunk / 2 : 1;
+        if (reducer.exhausted())
+            break;
+    }
+
+    // Stage 2: single-op removal to a true fixpoint (1-minimality).
+    bool fixpoint = false;
+    while (!fixpoint && !reducer.exhausted()) {
+        fixpoint = true;
+        for (u64 at = 0;
+             at < shrunk.trace.ops.size() && shrunk.trace.ops.size() > 1;
+             ) {
+            Trace candidate = without(shrunk.trace, at, 1);
+            ExecResult result;
+            if (reducer.stillFails(candidate, &result)) {
+                shrunk.trace = std::move(candidate);
+                shrunk.result = result;
+                fixpoint = false;
+            } else {
+                ++at;
+            }
+        }
+    }
+    shrunk.oneMinimal = fixpoint && !reducer.exhausted();
+
+    // Stage 3: canonicalize arguments toward zero (reader-friendlier
+    // repros; cannot break 1-minimality, which is about op count).
+    for (u64 at = 0; at < shrunk.trace.ops.size(); ++at) {
+        for (int arg = 0; arg < 4; ++arg) {
+            Trace candidate = shrunk.trace;
+            Op &op = candidate.ops[at];
+            u64 *slots[4] = {&op.a, &op.b, &op.c, &op.d};
+            if (*slots[arg] == 0)
+                continue;
+            *slots[arg] = 0;
+            ExecResult result;
+            if (reducer.stillFails(candidate, &result)) {
+                shrunk.trace = std::move(candidate);
+                shrunk.result = result;
+            }
+        }
+    }
+
+    shrunk.execsUsed = reducer.spent();
+    return shrunk;
+}
+
+std::string
+renderReproFile(const ShrinkResult &shrunk,
+                const std::vector<std::string> &bugNames)
+{
+    std::ostringstream out;
+    out << "# hev_fuzz shrunk repro\n";
+    out << "# divergence: " << shrunk.result.detail << "\n";
+    out << "# signature: 0x" << std::hex << shrunk.result.signature
+        << std::dec << "\n";
+    if (!bugNames.empty()) {
+        out << "# planted bugs:";
+        for (const std::string &name : bugNames)
+            out << " " << name;
+        out << "\n";
+    }
+    out << "# replay: hev_fuzz replay";
+    for (const std::string &name : bugNames)
+        out << " --bug " << name;
+    out << " <this-file>\n";
+    out << serializeTrace(shrunk.trace);
+    return out.str();
+}
+
+std::string
+renderRegressionTestBody(const ShrinkResult &shrunk,
+                         const std::vector<std::string> &bugNames)
+{
+    std::ostringstream out;
+    out << "// Shrunk fuzzer counterexample (" << shrunk.trace.ops.size()
+        << " ops).\n";
+    out << "// Divergence: " << shrunk.result.detail << "\n";
+    out << "fuzz::ExecOptions opts = fuzz::ExecOptions::standard();\n";
+    for (const std::string &name : bugNames)
+        out << "ASSERT_TRUE(fuzz::applyPlantedBug(opts, \"" << name
+            << "\"));\n";
+    out << "fuzz::Trace trace;\n";
+    for (const Op &op : shrunk.trace.ops) {
+        out << "trace.ops.push_back({fuzz::OpKind::";
+        // The enum names mirror the serialized names in UpperCamel.
+        const std::string snake = opKindName(op.kind);
+        bool upper = true;
+        for (const char c : snake) {
+            if (c == '_') {
+                upper = true;
+                continue;
+            }
+            out << char(upper ? c - 'a' + 'A' : c);
+            upper = false;
+        }
+        out << ", " << op.a << ", " << op.b << ", " << op.c << ", "
+            << op.d << "});\n";
+    }
+    out << "const fuzz::ExecResult result = "
+           "fuzz::executeTrace(opts, trace);\n";
+    out << "EXPECT_TRUE(result.divergence);\n";
+    return out.str();
+}
+
+} // namespace hev::fuzz

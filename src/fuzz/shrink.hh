@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Delta-debugging trace shrinking and repro rendering.
+ *
+ * shrinkTrace() reduces a failing trace with classic ddmin: chunked
+ * op removal with halving granularity, then single-op removal to a
+ * fixpoint, then per-argument canonicalization toward zero.  The
+ * reduction predicate is "still diverges under the same options" (any
+ * divergence counts, not just byte-identical detail — shrinking may
+ * legitimately surface the same bug through an earlier oracle).  The
+ * procedure is deterministic — no randomness at all — and emits a
+ * locally-1-minimal result: removing any single remaining op makes
+ * the failure vanish.
+ *
+ * renderReproFile() and renderRegressionTestBody() turn the result
+ * into a self-contained .trace artifact and a ready-to-paste C++ test
+ * body for the regression suite.
+ */
+
+#ifndef HEV_FUZZ_SHRINK_HH
+#define HEV_FUZZ_SHRINK_HH
+
+#include "fuzz/executor.hh"
+
+namespace hev::fuzz
+{
+
+/** Outcome of shrinking one failing trace. */
+struct ShrinkResult
+{
+    /** The reduced trace (still failing). */
+    Trace trace;
+    /** Execution result of the reduced trace. */
+    ExecResult result;
+    /** Trace executions the shrinker spent. */
+    u64 execsUsed = 0;
+    /**
+     * True iff verified locally 1-minimal: every single-op removal
+     * was tried and passed (only false when the exec budget ran out).
+     */
+    bool oneMinimal = false;
+};
+
+/**
+ * Shrink `failing` (which must diverge under `opts`) to a locally
+ * 1-minimal counterexample, spending at most maxExecs executions.
+ */
+ShrinkResult shrinkTrace(const ExecOptions &opts, const Trace &failing,
+                         u64 maxExecs = 20000);
+
+/**
+ * A self-contained repro file: the trace in the standard format plus
+ * `#` comment lines recording the divergence detail, signature and
+ * the planted-bug set (replayable with `hev_fuzz replay`).
+ */
+std::string renderReproFile(const ShrinkResult &shrunk,
+                            const std::vector<std::string> &bugNames = {});
+
+/**
+ * A ready-to-paste C++ regression test body asserting the trace
+ * still diverges (for tests/fuzz/).
+ */
+std::string
+renderRegressionTestBody(const ShrinkResult &shrunk,
+                         const std::vector<std::string> &bugNames = {});
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_SHRINK_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The fuzzer's test-case representation: a serializable trace of ops.
+ *
+ * A trace is a flat list of (kind, a, b, c, d) tuples.  The arguments
+ * are raw 64-bit words; the executor decodes them modulo small,
+ * state-dependent domains (enclave selectors, VA slots, twist codes),
+ * so every u64 assignment names a valid op and mutation can havoc
+ * arguments freely without a validity oracle.  The text format is
+ * line-oriented and diff-friendly — one op per line — because shrunk
+ * repro files get checked into tests/fuzz/corpus/ and pasted into bug
+ * reports.
+ */
+
+#ifndef HEV_FUZZ_TRACE_HH
+#define HEV_FUZZ_TRACE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace hev::fuzz
+{
+
+/** The op vocabulary (paper Sec. 5.1 steps plus layer ops). */
+enum class OpKind : u8
+{
+    HcInit,        //!< hypercall init; a=ELRANGE sel, b=pages, c=mbuf, d=twist
+    HcAddPage,     //!< hypercall add_page; a=enclave sel, b=gva sel, c=twist/kind
+    HcInitFinish,  //!< hypercall init_finish; a=enclave sel
+    HcRemove,      //!< hypercall remove; a=enclave sel
+    Enter,         //!< hypercall enter; a=enclave sel
+    Exit,          //!< hypercall exit
+    MemLoad,       //!< mem_load by the running principal; a/b=va sel, c=offset
+    MemStore,      //!< mem_store; a/b=va sel, c=offset, d=value
+    OsUnmap,       //!< guest unmaps a kernel GPT page + CR3 reload; a=page sel
+    OsMap,         //!< guest restores an identity mapping + CR3 reload; a=page sel
+    QueryVa,       //!< uncached differential translation probe; a/b/c=va sel
+    LayerMap,      //!< as_map on the scratch AS (spec/MIR/tree); a=va, b=pa, c=flags
+    LayerUnmap,    //!< as_unmap on the scratch AS; a=va
+    LayerQuery,    //!< as_query on the scratch AS; a=va
+};
+
+constexpr u32 opKindCount = 14;
+
+/** Stable lower-snake name ("hc_init", "mem_load", ...). */
+const char *opKindName(OpKind kind);
+
+/** Inverse of opKindName. */
+std::optional<OpKind> opKindFromName(const std::string &name);
+
+/** One op of a trace. */
+struct Op
+{
+    OpKind kind = OpKind::MemLoad;
+    u64 a = 0;
+    u64 b = 0;
+    u64 c = 0;
+    u64 d = 0;
+
+    bool operator==(const Op &) const = default;
+};
+
+/** One test case. */
+struct Trace
+{
+    std::vector<Op> ops;
+
+    bool operator==(const Trace &) const = default;
+};
+
+/**
+ * Text serialization:
+ *
+ *     hev-trace v1
+ *     # optional comments
+ *     op hc_init 1 2 0 0
+ *     op mem_load 0 3 8 0
+ *
+ * Blank lines and `#` comments are ignored by the parser; numbers may
+ * be decimal or 0x-hex.  serialize/parse round-trip exactly.
+ */
+std::string serializeTrace(const Trace &trace);
+
+/** Parse the text format; on failure returns nullopt and sets *error. */
+std::optional<Trace> parseTrace(const std::string &text,
+                                std::string *error = nullptr);
+
+/** Write serializeTrace(trace) to a file. */
+bool writeTraceFile(const Trace &trace, const std::string &path);
+
+/** Read + parse a trace file. */
+std::optional<Trace> readTraceFile(const std::string &path,
+                                   std::string *error = nullptr);
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_TRACE_HH

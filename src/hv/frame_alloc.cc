@@ -51,6 +51,18 @@ FrameAllocator::free(Hpa frame)
     return okStatus();
 }
 
+void
+FrameAllocator::debugForceFree(Hpa frame)
+{
+    if (!inArea(frame) || !frame.pageAligned())
+        return;
+    const u64 idx = indexOf(frame);
+    if (bitmap[idx])
+        --used;
+    bitmap[idx] = false;
+    searchHint = idx;
+}
+
 bool
 FrameAllocator::allocated(Hpa frame) const
 {

@@ -48,6 +48,14 @@ class FrameAllocator
     /** True iff the frame is currently allocated. */
     bool allocated(Hpa frame) const;
 
+    /**
+     * Test hook for the fuzzer's planted double-free bug: release the
+     * frame unconditionally (even if it is already free) and rewind the
+     * search hint so the very next alloc() hands it out again.  Never
+     * called on the production paths.
+     */
+    void debugForceFree(Hpa frame);
+
     /** True iff hpa lies inside the managed area. */
     bool
     inArea(Hpa hpa) const

@@ -46,6 +46,28 @@ report(std::vector<std::string> &violations, const std::string &what)
     violations.push_back(what);
 }
 
+/**
+ * Visit every table frame reachable from a root (the root itself and
+ * all intermediate tables).  Out-of-area frames are not followed —
+ * escapes are walkContained's family to report.
+ */
+void
+forEachTableFrame(const Monitor &mon, const PageTable &pt, Hpa table,
+                  int level, const std::function<void(Hpa)> &visit)
+{
+    if (!mon.ptAlloc().inArea(table))
+        return;
+    visit(table);
+    if (level == 1)
+        return;
+    for (u64 index = 0; index < entriesPerTable; ++index) {
+        const Pte entry = pt.entryAt(table, index);
+        if (!entry.present() || entry.huge())
+            continue;
+        forEachTableFrame(mon, pt, Hpa(entry.addr()), level - 1, visit);
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -205,6 +227,34 @@ checkMonitorInvariants(const Monitor &mon)
             report(violations, msg.str());
         }
     });
+
+    // --- Allocator consistency: every table frame reachable from a
+    // live root must still be marked allocated.  A reachable-but-free
+    // frame means the next alloc() will zero a table under a live
+    // mapping (the use-after-free the frameDoubleFree planted bug
+    // manufactures).
+    {
+        const auto audit = [&](const std::string &what, Hpa root) {
+            const PageTable pt(mem, nullptr, root);
+            forEachTableFrame(
+                mon, pt, root, pagingLevels, [&](Hpa frame) {
+                    if (!mon.ptAlloc().allocated(frame)) {
+                        std::ostringstream msg;
+                        msg << what << ": table frame " << std::hex
+                            << frame.value
+                            << " is reachable but not allocated";
+                        report(violations, msg.str());
+                    }
+                });
+        };
+        audit("normal EPT", mon.normalEptRoot());
+        mon.forEachEnclave([&](const Enclave &enclave) {
+            std::ostringstream who;
+            who << "enclave " << enclave.id;
+            audit(who.str() + " GPT", enclave.gptRoot);
+            audit(who.str() + " EPT", enclave.eptRoot);
+        });
+    }
 
     return violations;
 }

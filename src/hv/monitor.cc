@@ -267,7 +267,12 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
     if (!page_gva.pageAligned() || src.value % pageSize != 0)
         return scope.fail(HvError::NotAligned);
     // Enclave invariant: EPC pages appear exactly at ELRANGE addresses.
-    if (!enclave.cfg.elrange.contains(page_gva))
+    const bool gva_in_elrange =
+        cfg.planted.elrangeOffByOne
+            ? page_gva.value >= enclave.cfg.elrange.start.value &&
+                  page_gva.value <= enclave.cfg.elrange.end.value
+            : enclave.cfg.elrange.contains(page_gva);
+    if (!gva_in_elrange)
         return scope.fail(HvError::IsolationViolation);
     const HpaRange src_range = {Hpa(src.value),
                                 Hpa(src.value + pageSize)};
@@ -282,14 +287,17 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
         return scope.fail(st.error());
 
     auto epc_page = epcMap.allocPage(
-        id, page_gva,
+        id, cfg.planted.skipEpcmOwnerCheck ? Gva(0) : page_gva,
         kind == AddPageKind::Tcs ? EpcPageState::Tcs : EpcPageState::Reg);
     if (!epc_page) {
         (void)gpt.unmap(page_gva.value);
         return scope.fail(epc_page.error());
     }
 
-    if (auto st = ept.map(gpa, epc_page->value, PteFlags::userRw()); !st) {
+    const PteFlags epc_flags = cfg.planted.wrongPermMask
+                                   ? PteFlags::userRo()
+                                   : PteFlags::userRw();
+    if (auto st = ept.map(gpa, epc_page->value, epc_flags); !st) {
         (void)gpt.unmap(page_gva.value);
         (void)epcMap.freePage(*epc_page);
         return scope.fail(st.error());
@@ -309,6 +317,21 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
             enclave.entryPoint = physMem.read(*epc_page);
         ++enclave.tcsPages;
     }
+    if (cfg.planted.frameDoubleFree) {
+        // Planted bug: hand the leaf GPT table frame back to the
+        // allocator while the tree still points at it.  The next table
+        // allocation zeroes it in place under the live mapping.
+        Hpa table = enclave.gptRoot;
+        for (int level = pagingLevels; level >= 2; --level) {
+            const Pte entry = gpt.entryAt(table, page_gva.tableIndex(level));
+            if (!entry.present() || entry.huge())
+                break;
+            table = Hpa(entry.addr());
+            if (level == 2)
+                frameAlloc.debugForceFree(table);
+        }
+    }
+
     ++enclave.addedPages;
     ++statCounters.pagesAdded;
     statPagesAdded.inc();
@@ -533,8 +556,11 @@ Monitor::guestSetGptRoot(VCpu &vcpu, Hpa new_root)
     if (vcpu.mode != CpuMode::GuestNormal)
         return HvError::PermissionDenied;
     vcpu.gptRoot = new_root;
-    // MOV CR3 flushes the non-global TLB entries of the domain.
-    tlbModel.flushDomain(vcpu.domain);
+    // MOV CR3 flushes the non-global TLB entries of the domain (the
+    // staleTlbOnUnmap planted bug forgets this, so cached translations
+    // survive a guest unmap).
+    if (!cfg.planted.staleTlbOnUnmap)
+        tlbModel.flushDomain(vcpu.domain);
     return okStatus();
 }
 

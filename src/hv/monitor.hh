@@ -33,6 +33,33 @@
 namespace hev::hv
 {
 
+/**
+ * Deliberately plantable monitor bugs, all off by default.  These are
+ * the fuzzer kill-suite targets (tests/fuzz/test_fuzz_kills.cc): each
+ * one is a realistic slip the differential fuzzer must detect via a
+ * spec divergence or an invariant violation, never via a crash.
+ */
+struct PlantedBugs
+{
+    /** add_page accepts page_gva == ELRANGE.end (off-by-one bound). */
+    bool elrangeOffByOne = false;
+    /** add_page records linear address 0 in the EPCM entry. */
+    bool skipEpcmOwnerCheck = false;
+    /** MOV CR3 skips the TLB domain flush (stale entries survive). */
+    bool staleTlbOnUnmap = false;
+    /** add_page maps the EPC page read-only in the enclave's EPT. */
+    bool wrongPermMask = false;
+    /** add_page force-frees the leaf GPT table frame it just used. */
+    bool frameDoubleFree = false;
+
+    bool
+    any() const
+    {
+        return elrangeOffByOne || skipEpcmOwnerCheck || staleTlbOnUnmap ||
+               wrongPermMask || frameDoubleFree;
+    }
+};
+
 /** Build-time configuration of the monitor. */
 struct MonitorConfig
 {
@@ -44,6 +71,8 @@ struct MonitorConfig
     bool shallowCopyBug = false;
     /** Map the normal VM's EPT with 2 MiB pages where possible. */
     bool hugeNormalEpt = true;
+    /** Injected bugs for the fuzzer kill suite (all off by default). */
+    PlantedBugs planted;
 };
 
 /** Kind of page being added by the add_page hypercall. */

@@ -27,6 +27,9 @@ eventTypeName(EventType type)
       case EventType::ScenarioFinish: return "scenario_finish";
       case EventType::CounterexampleFound: return "counterexample_found";
       case EventType::TimerScope: return "timer_scope";
+      case EventType::FuzzExec: return "fuzz_exec";
+      case EventType::FuzzCorpusAdd: return "fuzz_corpus_add";
+      case EventType::FuzzDivergence: return "fuzz_divergence";
     }
     return "unknown";
 }
@@ -46,6 +49,9 @@ eventTypeCategory(EventType type)
       case EventType::ScenarioFinish:
       case EventType::CounterexampleFound: return "campaign";
       case EventType::TimerScope: return "timer";
+      case EventType::FuzzExec:
+      case EventType::FuzzCorpusAdd:
+      case EventType::FuzzDivergence: return "fuzz";
     }
     return "misc";
 }

@@ -50,9 +50,12 @@ enum class EventType : u8
     ScenarioFinish,       //!< duration end; arg0 = shard, arg1 = checks
     CounterexampleFound,  //!< instant; arg0 = shard, arg1 = iteration
     TimerScope,           //!< complete (has dur); from ScopedTimer
+    FuzzExec,             //!< instant; arg0 = exec index, arg1 = ops
+    FuzzCorpusAdd,        //!< instant; arg0 = corpus size, arg1 = features
+    FuzzDivergence,       //!< instant; arg0 = exec index, arg1 = failing op
 };
 
-constexpr u32 eventTypeCount = 11;
+constexpr u32 eventTypeCount = 14;
 
 /** Stable lower-case name ("hypercall_enter", ...). */
 const char *eventTypeName(EventType type);

@@ -224,6 +224,43 @@ checkInvariants(const FlatState &s)
     return violations;
 }
 
+std::vector<Violation>
+checkTreeRefinement(const ccal::TreeState &t, const FlatState &s,
+                    u64 root)
+{
+    std::vector<Violation> violations;
+    if (ccal::refinesFlat(t, s, root))
+        return violations;
+
+    // R is broken; localize by probing every flat terminal mapping
+    // through the tree.  Cap the detail list — one mismatch is enough
+    // for a counterexample, the rest is noise.
+    u64 reported = 0;
+    forEachFlatMapping(s, root, [&](u64 va, u64 pa, u64 flags, int) {
+        if (reported >= 4)
+            return;
+        const ccal::spec::QueryResult q = ccal::treeQuery(t, va);
+        if (!q.isSome || q.physAddr != pa || q.flags != flags) {
+            std::ostringstream msg;
+            msg << "va " << std::hex << va << ": flat maps to pa " << pa
+                << " flags " << flags << " but tree view ";
+            if (!q.isSome)
+                msg << "has no mapping";
+            else
+                msg << "maps to pa " << q.physAddr << " flags "
+                    << q.flags;
+            violations.push_back({"tree refinement R", msg.str()});
+            ++reported;
+        }
+    });
+    if (violations.empty())
+        violations.push_back(
+            {"tree refinement R",
+             "tree view does not refine the flat table (extra or "
+             "structurally different entries)"});
+    return violations;
+}
+
 std::string
 describeViolations(const std::vector<Violation> &violations)
 {

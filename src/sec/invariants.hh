@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ccal/flat_state.hh"
+#include "ccal/tree_state.hh"
 
 namespace hev::sec
 {
@@ -52,6 +53,16 @@ bool forEachFlatMapping(
 
 /** Check every invariant family; empty result = all hold. */
 std::vector<Violation> checkInvariants(const FlatState &s);
+
+/**
+ * Check the refinement relation R between a tree view and the flat
+ * table rooted at `root`: empty result iff refinesFlat holds.  On a
+ * mismatch, the violations localize it by comparing the flat table's
+ * terminal mappings against treeQuery (the fuzzer uses this to turn
+ * "refinement broke" into an addressable counterexample).
+ */
+std::vector<Violation> checkTreeRefinement(const ccal::TreeState &t,
+                                           const FlatState &s, u64 root);
 
 /** Render violations for a test failure message. */
 std::string describeViolations(const std::vector<Violation> &violations);

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "ccal/coverage.hh"
+#include "check/campaign.hh"
 #include "mirmodels/registry.hh"
 
 namespace hev::ccal
@@ -75,6 +76,91 @@ TEST(CoverageTest, RenderMentionsEveryFunction)
         EXPECT_NE(rendered.find(fn.name), std::string::npos);
     EXPECT_NE(rendered.find("verified"), std::string::npos);
     EXPECT_NE(rendered.find("TRUSTED"), std::string::npos);
+}
+
+TEST(CoverageTest, PaperTableSplitIs49Of77)
+{
+    // The paper's Table: 49 verified functions, 28 trusted, 77 total.
+    const CoverageReport report = paperCoverage();
+    EXPECT_EQ(report.verified, 49u);
+    EXPECT_EQ(report.trusted, 28u);
+    EXPECT_EQ(report.functions.size(), 77u);
+    EXPECT_NEAR(report.verifiedShare(), 49.0 / 77.0, 1e-9);
+}
+
+TEST(CoverageTest, PaperTrustedEntriesAllStateReasons)
+{
+    const CoverageReport report = paperCoverage();
+    std::set<std::string> names;
+    for (const FnCoverage &fn : report.functions) {
+        EXPECT_TRUE(names.insert(fn.name).second)
+            << "duplicate row " << fn.name;
+        if (fn.status == FnStatus::Trusted) {
+            EXPECT_EQ(fn.layer, 1) << fn.name;
+            EXPECT_FALSE(fn.reason.empty())
+                << fn.name << " is trusted without a stated reason";
+        } else {
+            EXPECT_GE(fn.layer, 2) << fn.name;
+            EXPECT_LE(fn.layer, 14) << fn.name;
+        }
+    }
+}
+
+/** Round-trip a report through render -> parse and compare. */
+void
+expectJsonRoundTrip(const CoverageReport &report)
+{
+    const std::string json = renderCoverageJson(report);
+    const auto summary = parseCoverageSummary(json);
+    ASSERT_TRUE(summary.has_value());
+    EXPECT_EQ(summary->verified, report.verified);
+    EXPECT_EQ(summary->trusted, report.trusted);
+
+    std::map<int, std::pair<u64, u64>> byLayer;
+    std::vector<std::string> trustedNames;
+    for (const FnCoverage &fn : report.functions) {
+        if (fn.status == FnStatus::Verified)
+            ++byLayer[fn.layer].first;
+        else {
+            ++byLayer[fn.layer].second;
+            trustedNames.push_back(fn.name);
+        }
+    }
+    EXPECT_EQ(summary->byLayer, byLayer);
+    EXPECT_EQ(summary->trustedFunctions, trustedNames);
+}
+
+TEST(CoverageTest, JsonRoundTripsForCurrentCoverage)
+{
+    expectJsonRoundTrip(currentCoverage());
+}
+
+TEST(CoverageTest, JsonRoundTripsForPaperCoverage)
+{
+    expectJsonRoundTrip(paperCoverage());
+}
+
+TEST(CoverageTest, CampaignReportCoverageSectionParses)
+{
+    // The "coverage" object embedded in a full campaign JSON report
+    // must parse back to exactly currentCoverage()'s accounting.
+    check::Campaign campaign;
+    campaign.add({"coverage-probe", "conformance", 0,
+                  [](check::ShardContext &ctx) {
+                      ctx.tick();
+                      return std::optional<std::string>{};
+                  }});
+    const check::CampaignReport report = campaign.run();
+    const std::string json = check::renderJson(report);
+
+    const size_t at = json.find("\"coverage\"");
+    ASSERT_NE(at, std::string::npos);
+    const auto summary = parseCoverageSummary(json.substr(at));
+    ASSERT_TRUE(summary.has_value());
+    const CoverageReport current = currentCoverage();
+    EXPECT_EQ(summary->verified, current.verified);
+    EXPECT_EQ(summary->trusted, current.trusted);
+    EXPECT_EQ(summary->trustedFunctions.size(), current.trusted);
 }
 
 } // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Coverage feedback, corpus management, the golden corpus replay and
+ * whole-run determinism of the fuzzing loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutate.hh"
+
+namespace hev::fuzz
+{
+namespace
+{
+
+std::string
+goldenCorpusDir()
+{
+    return std::string(HEV_SOURCE_DIR) + "/tests/fuzz/corpus";
+}
+
+TEST(FuzzFeedback, FirstHitIsInteresting)
+{
+    FeatureMap map;
+    EXPECT_TRUE(map.observe({1, 2, 3}));
+    EXPECT_EQ(map.covered(), 3u);
+    // Second and third hits move buckets (1->2, 2->3)...
+    EXPECT_TRUE(map.observe({1, 2, 3}));
+    EXPECT_TRUE(map.observe({1, 2, 3}));
+    // ...then 4 hits bucket together (4..7): 4th is new, 5th..7th not.
+    EXPECT_TRUE(map.observe({1, 2, 3}));
+    EXPECT_FALSE(map.observe({1, 2, 3}));
+    EXPECT_FALSE(map.observe({1, 2, 3}));
+    EXPECT_FALSE(map.observe({1, 2, 3}));
+    // The 8th hit opens the final bucket; after that, never again.
+    EXPECT_TRUE(map.observe({1, 2, 3}));
+    for (int i = 0; i < 300; ++i)
+        EXPECT_FALSE(map.observe({1, 2, 3}));
+    EXPECT_EQ(map.covered(), 3u);
+
+    // A new feature alongside old ones still registers.
+    EXPECT_TRUE(map.observe({1, 4}));
+    EXPECT_EQ(map.covered(), 4u);
+}
+
+TEST(FuzzFeedback, FeatureIdsAreMasked)
+{
+    FeatureMap map;
+    EXPECT_TRUE(map.observe({featureSpace + 5}));
+    EXPECT_EQ(map.covered(), 1u);
+    // The aliased id is the same feature: a second hit is a bucket
+    // transition (1 -> 2), not new coverage.
+    EXPECT_TRUE(map.observe({5}));
+    EXPECT_EQ(map.covered(), 1u);
+}
+
+TEST(FuzzCorpus, MirrorAndLoadRoundTrip)
+{
+    const std::string dir =
+        testing::TempDir() + "/hev_fuzz_corpus_roundtrip";
+    std::filesystem::remove_all(dir);
+
+    Corpus corpus;
+    ASSERT_TRUE(corpus.mirrorTo(dir));
+    Rng rng(3);
+    std::vector<CorpusEntry> written;
+    for (int i = 0; i < 5; ++i) {
+        CorpusEntry entry;
+        entry.trace.ops.push_back(randomOp(rng));
+        entry.trace.ops.push_back(randomOp(rng));
+        entry.signature = rng.next();
+        written.push_back(entry);
+        corpus.add(entry);
+    }
+
+    Corpus loaded;
+    EXPECT_EQ(loaded.loadFrom(dir), 5u);
+    ASSERT_EQ(loaded.size(), 5u);
+    for (u64 i = 0; i < 5; ++i) {
+        EXPECT_EQ(loaded[i].trace, written[i].trace) << i;
+        EXPECT_EQ(loaded[i].signature, written[i].signature) << i;
+    }
+
+    EXPECT_EQ(Corpus{}.loadFrom(dir + "/no-such-dir"), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzCorpus, GoldenCorpusRepliesClean)
+{
+    Corpus corpus;
+    const u64 loaded = corpus.loadFrom(goldenCorpusDir());
+    ASSERT_GE(loaded, 10u) << "golden corpus missing from "
+                           << goldenCorpusDir();
+    const ExecOptions opts = ExecOptions::standard();
+    for (u64 i = 0; i < corpus.size(); ++i) {
+        const ExecResult result = executeTrace(opts, corpus[i].trace);
+        EXPECT_FALSE(result.divergence)
+            << "golden trace " << i << ": " << result.detail;
+        EXPECT_GT(result.opsExecuted, 0u);
+    }
+}
+
+TEST(FuzzCorpus, GoldenCorpusSignaturesMatchFilenames)
+{
+    // The signature embedded in each golden filename was produced by
+    // the executor that first kept the trace; re-execution must still
+    // produce exactly that outcome signature (replay stability across
+    // code evolution is the point of checking the corpus in).
+    Corpus corpus;
+    ASSERT_GE(corpus.loadFrom(goldenCorpusDir()), 10u);
+    const ExecOptions opts = ExecOptions::standard();
+    for (u64 i = 0; i < corpus.size(); ++i) {
+        const ExecResult result = executeTrace(opts, corpus[i].trace);
+        EXPECT_EQ(result.signature, corpus[i].signature)
+            << "golden trace " << i << " drifted";
+    }
+}
+
+TEST(FuzzLoop, RunIsDeterministicForFixedSeed)
+{
+    FuzzConfig cfg;
+    cfg.seed = 99;
+    cfg.maxExecs = 150;
+    Fuzzer a(cfg), b(cfg);
+    const auto fa = a.run();
+    const auto fb = b.run();
+    ASSERT_EQ(fa.has_value(), fb.has_value());
+    EXPECT_EQ(a.stats().execs, b.stats().execs);
+    EXPECT_EQ(a.stats().corpusEntries, b.stats().corpusEntries);
+    EXPECT_EQ(a.stats().featuresCovered, b.stats().featuresCovered);
+    ASSERT_EQ(a.corpus().size(), b.corpus().size());
+    for (u64 i = 0; i < a.corpus().size(); ++i) {
+        EXPECT_EQ(a.corpus()[i].trace, b.corpus()[i].trace) << i;
+        EXPECT_EQ(a.corpus()[i].signature, b.corpus()[i].signature) << i;
+    }
+}
+
+TEST(FuzzLoop, CleanTreeFindsNoDivergence)
+{
+    FuzzConfig cfg;
+    cfg.seed = 5;
+    cfg.maxExecs = 400;
+    Fuzzer fuzzer(cfg);
+    const auto failure = fuzzer.run();
+    EXPECT_FALSE(failure.has_value())
+        << failure->result.detail << "\n"
+        << serializeTrace(failure->trace);
+    EXPECT_EQ(fuzzer.stats().execs, 400u);
+    EXPECT_GT(fuzzer.stats().featuresCovered, 100u);
+    EXPECT_GT(fuzzer.stats().corpusEntries, 0u);
+}
+
+TEST(FuzzLoop, CampaignShardsRunAndTick)
+{
+    FuzzCampaignOptions opts;
+    opts.shards = 2;
+    opts.execsPerShard = 60;
+    opts.artifactDir = testing::TempDir();
+    check::CampaignConfig cfg;
+    cfg.seed = 0x5eed;
+    check::Campaign campaign(cfg);
+    campaign.add(fuzzScenarios(opts));
+    const check::CampaignReport report = campaign.run();
+    EXPECT_EQ(report.scenarios, 2u);
+    EXPECT_EQ(report.failures, 0u) << report.first->detail;
+    EXPECT_EQ(report.checks, 120u);
+    EXPECT_EQ(report.scenariosByKind.at("fuzz"), 2u);
+}
+
+} // namespace
+} // namespace hev::fuzz

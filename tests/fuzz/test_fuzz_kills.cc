@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The planted-bug kill suite (the fuzzer's reason to exist).
+ *
+ * Six realistic bugs are injected one at a time — an off-by-one
+ * ELRANGE bound, a skipped EPCM ownership record, a stale TLB on
+ * unmap, a wrong permission mask, a frame double-free behind a test
+ * hook, and a flat/tree refinement skew.  For each, the
+ * coverage-guided fuzzer must find a divergence within a bounded
+ * budget, and the shrinker must reduce the finding to at most 8 ops
+ * that still fail and are locally 1-minimal.  A control run asserts
+ * that with no bug planted the same budget finds nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/shrink.hh"
+
+namespace hev::fuzz
+{
+namespace
+{
+
+/** CI budget: every planted bug must die within this many execs. */
+constexpr u64 killBudget = 1500;
+
+void
+expectKilled(const std::string &bug)
+{
+    FuzzConfig cfg;
+    cfg.seed = 0xdead0 + std::hash<std::string>{}(bug) % 16;
+    cfg.maxExecs = killBudget;
+    ASSERT_TRUE(applyPlantedBug(cfg.exec, bug)) << bug;
+
+    Fuzzer fuzzer(cfg);
+    const auto failure = fuzzer.run();
+    ASSERT_TRUE(failure.has_value())
+        << bug << " survived " << killBudget << " execs";
+    EXPECT_TRUE(failure->result.divergence);
+    EXPECT_LT(failure->execIndex, killBudget);
+
+    // Shrink: <= 8 ops, still failing, locally 1-minimal.
+    const ShrinkResult shrunk = shrinkTrace(cfg.exec, failure->trace);
+    EXPECT_TRUE(shrunk.result.divergence) << bug;
+    EXPECT_LE(shrunk.trace.ops.size(), 8u)
+        << bug << " repro did not shrink:\n"
+        << serializeTrace(shrunk.trace);
+    EXPECT_TRUE(shrunk.oneMinimal) << bug;
+    for (u64 at = 0; at < shrunk.trace.ops.size(); ++at) {
+        Trace candidate = shrunk.trace;
+        candidate.ops.erase(candidate.ops.begin() + i64(at));
+        EXPECT_FALSE(executeTrace(cfg.exec, candidate).divergence)
+            << bug << ": removing op " << at << " still fails";
+    }
+
+    // The same shrunk trace is clean without the bug: the divergence
+    // is attributable to the planted defect, not to the oracles.
+    const ExecOptions clean = ExecOptions::standard();
+    EXPECT_FALSE(executeTrace(clean, shrunk.trace).divergence)
+        << bug << " repro also fails on the clean tree:\n"
+        << shrunk.result.detail;
+}
+
+TEST(FuzzKills, ElrangeOffByOne) { expectKilled("elrange-off-by-one"); }
+
+TEST(FuzzKills, EpcmOwnerSkip) { expectKilled("epcm-owner-skip"); }
+
+TEST(FuzzKills, StaleTlb) { expectKilled("stale-tlb"); }
+
+TEST(FuzzKills, WrongPermMask) { expectKilled("wrong-perm-mask"); }
+
+TEST(FuzzKills, FrameDoubleFree) { expectKilled("frame-double-free"); }
+
+TEST(FuzzKills, TreeSkew) { expectKilled("tree-skew"); }
+
+TEST(FuzzKills, BugNamesAreExhaustive)
+{
+    const auto names = plantedBugNames();
+    EXPECT_EQ(names.size(), 6u);
+    for (const std::string &name : names) {
+        ExecOptions opts = ExecOptions::standard();
+        EXPECT_TRUE(applyPlantedBug(opts, name)) << name;
+        EXPECT_TRUE(opts.monitor.planted.any() || opts.treeSkewBug)
+            << name;
+    }
+    ExecOptions opts = ExecOptions::standard();
+    EXPECT_FALSE(applyPlantedBug(opts, "no-such-bug"));
+}
+
+TEST(FuzzKills, ControlRunStaysClean)
+{
+    FuzzConfig cfg;
+    cfg.seed = 0xc0ffee;
+    cfg.maxExecs = killBudget;
+    Fuzzer fuzzer(cfg);
+    const auto failure = fuzzer.run();
+    EXPECT_FALSE(failure.has_value())
+        << "clean tree diverged: " << failure->result.detail << "\n"
+        << serializeTrace(failure->trace);
+}
+
+} // namespace
+} // namespace hev::fuzz

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shrinker properties: the reduced trace still fails, shrinking is
+ * deterministic and idempotent, the result is locally 1-minimal, and
+ * replay is bit-identical across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutate.hh"
+#include "fuzz/shrink.hh"
+
+namespace hev::fuzz
+{
+namespace
+{
+
+/** A failing trace: padded elrange-off-by-one trigger. */
+Trace
+paddedFailingTrace()
+{
+    Trace trace;
+    using K = OpKind;
+    trace.ops = {
+        {K::MemLoad, 3, 0, 0, 0},   {K::LayerMap, 1, 2, 1, 0},
+        {K::HcInit, 0, 0, 0, 0},    {K::MemStore, 7, 0, 1, 9},
+        {K::HcAddPage, 0, 0, 0, 0}, {K::HcAddPage, 0, 1, 0, 0},
+        {K::QueryVa, 0, 0, 0, 0},   {K::OsUnmap, 9, 0, 0, 0},
+    };
+    return trace;
+}
+
+ExecOptions
+buggyOptions()
+{
+    ExecOptions opts = ExecOptions::standard();
+    EXPECT_TRUE(applyPlantedBug(opts, "elrange-off-by-one"));
+    return opts;
+}
+
+TEST(FuzzShrink, OutputStillFailsAndIsSmaller)
+{
+    const ExecOptions opts = buggyOptions();
+    const Trace failing = paddedFailingTrace();
+    ASSERT_TRUE(executeTrace(opts, failing).divergence);
+
+    const ShrinkResult shrunk = shrinkTrace(opts, failing);
+    EXPECT_TRUE(shrunk.result.divergence);
+    EXPECT_LT(shrunk.trace.ops.size(), failing.ops.size());
+    EXPECT_LE(shrunk.trace.ops.size(), 8u);
+    EXPECT_TRUE(shrunk.oneMinimal);
+    EXPECT_GT(shrunk.execsUsed, 0u);
+
+    // The stored result matches a fresh execution of the stored trace.
+    const ExecResult fresh = executeTrace(opts, shrunk.trace);
+    EXPECT_TRUE(fresh.divergence);
+    EXPECT_EQ(fresh.signature, shrunk.result.signature);
+    EXPECT_EQ(fresh.detail, shrunk.result.detail);
+}
+
+TEST(FuzzShrink, OneMinimality)
+{
+    const ExecOptions opts = buggyOptions();
+    const ShrinkResult shrunk = shrinkTrace(opts, paddedFailingTrace());
+    ASSERT_TRUE(shrunk.result.divergence);
+    ASSERT_TRUE(shrunk.oneMinimal);
+    // Removing any single op must make the failure vanish.
+    for (u64 at = 0; at < shrunk.trace.ops.size(); ++at) {
+        Trace candidate = shrunk.trace;
+        candidate.ops.erase(candidate.ops.begin() + i64(at));
+        EXPECT_FALSE(executeTrace(opts, candidate).divergence)
+            << "removing op " << at << " still fails: not 1-minimal";
+    }
+}
+
+TEST(FuzzShrink, DeterministicAndIdempotent)
+{
+    const ExecOptions opts = buggyOptions();
+    const ShrinkResult a = shrinkTrace(opts, paddedFailingTrace());
+    const ShrinkResult b = shrinkTrace(opts, paddedFailingTrace());
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.execsUsed, b.execsUsed);
+    EXPECT_EQ(a.result.signature, b.result.signature);
+
+    // Shrinking an already-shrunk trace is a fixpoint.
+    const ShrinkResult again = shrinkTrace(opts, a.trace);
+    EXPECT_EQ(again.trace, a.trace);
+}
+
+TEST(FuzzShrink, NonFailingTraceIsReturnedUnchanged)
+{
+    const ExecOptions opts = ExecOptions::standard();
+    Trace clean;
+    clean.ops = {{OpKind::HcInit, 0, 0, 0, 0}};
+    const ShrinkResult shrunk = shrinkTrace(opts, clean);
+    EXPECT_FALSE(shrunk.result.divergence);
+    EXPECT_EQ(shrunk.trace, clean);
+}
+
+TEST(FuzzShrink, ReproFileReplaysStandalone)
+{
+    const ExecOptions opts = buggyOptions();
+    const ShrinkResult shrunk = shrinkTrace(opts, paddedFailingTrace());
+    const std::string repro =
+        renderReproFile(shrunk, {"elrange-off-by-one"});
+
+    // The repro is a valid trace file despite the comment header.
+    const auto parsed = parseTrace(repro);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, shrunk.trace);
+    EXPECT_NE(repro.find("elrange-off-by-one"), std::string::npos);
+
+    const std::string body =
+        renderRegressionTestBody(shrunk, {"elrange-off-by-one"});
+    EXPECT_NE(body.find("fuzz::OpKind::HcAddPage"), std::string::npos);
+    EXPECT_NE(body.find("EXPECT_TRUE(result.divergence)"),
+              std::string::npos);
+}
+
+TEST(FuzzShrink, ReplayBitIdenticalAcrossThreadCounts)
+{
+    // A mixed batch: golden corpus traces plus a failing repro.
+    std::vector<std::string> files;
+    const std::string dir = std::string(HEV_SOURCE_DIR) +
+                            "/tests/fuzz/corpus";
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".trace")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 10u);
+
+    const ExecOptions opts = ExecOptions::standard();
+    const std::string report1 =
+        renderReplayReport(replayFiles(files, opts, 1));
+    const std::string report4 =
+        renderReplayReport(replayFiles(files, opts, 4));
+    const std::string report8 =
+        renderReplayReport(replayFiles(files, opts, 8));
+    EXPECT_EQ(report1, report4);
+    EXPECT_EQ(report1, report8);
+    EXPECT_NE(report1.find("0 divergence(s)"), std::string::npos);
+}
+
+} // namespace
+} // namespace hev::fuzz

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer fuzz smoke: build the fuzzing CLI with ASan+UBSan and fuzz
+# the clean tree for a bounded wall-clock budget.  Fails (non-zero) on
+# any oracle divergence, sanitizer report, or build error.  Intended
+# as a CI job: ./tools/fuzz_smoke.sh [seconds] [build-dir]
+set -euo pipefail
+
+SECONDS_BUDGET="${1:-30}"
+BUILD_DIR="${2:-build-fuzz-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== configuring ${BUILD_DIR} with HEV_SANITIZE=address,undefined"
+cmake -B "${BUILD_DIR}" -S "${SRC_DIR}" \
+    -DHEV_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+echo "== building hev_fuzz"
+cmake --build "${BUILD_DIR}" --target hev_fuzz_cli -j > /dev/null
+
+echo "== fuzzing the clean tree for ${SECONDS_BUDGET}s under ASan+UBSan"
+# halt_on_error makes any sanitizer report fatal -> non-zero exit.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+"${BUILD_DIR}/tools/hev_fuzz" run \
+    --seed "$(date +%Y%m%d)" \
+    --execs 0 \
+    --seconds "${SECONDS_BUDGET}"
+
+echo "== fuzz smoke passed (no divergence, no sanitizer report)"

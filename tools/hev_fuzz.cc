@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The fuzzing CLI: run / replay / shrink / corpus-stats.
+ *
+ *   hev_fuzz run [--seed N] [--execs N] [--seconds S] [--max-ops N]
+ *                [--corpus DIR] [--bug a,b,...] [--out FILE]
+ *       Coverage-guided fuzzing; on divergence shrinks the trace,
+ *       writes a self-contained repro file and prints a ready-to-
+ *       paste C++ regression test body.  Exit 1 iff a divergence.
+ *
+ *   hev_fuzz replay [--threads N] [--bug a,b,...] FILE...
+ *       Re-execute saved traces; the report is byte-identical at any
+ *       --threads value.  Exit 1 iff any trace diverges.
+ *
+ *   hev_fuzz shrink [--bug a,b,...] [--out FILE] FILE
+ *       Delta-debug a failing trace to a locally-1-minimal repro.
+ *
+ *   hev_fuzz corpus-stats DIR
+ *       Execute every corpus trace and summarize coverage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutate.hh"
+#include "fuzz/shrink.hh"
+
+using namespace hev;
+using namespace hev::fuzz;
+
+namespace
+{
+
+struct Cli
+{
+    u64 seed = 1;
+    u64 execs = 20000;
+    double seconds = 0.0;
+    u32 maxOps = 24;
+    unsigned threads = 1;
+    std::string corpusDir;
+    std::string outFile;
+    std::vector<std::string> bugs;
+    std::vector<std::string> positional;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: hev_fuzz run|replay|shrink|corpus-stats "
+                 "[options] [files]\n"
+                 "  --seed N --execs N --seconds S --max-ops N\n"
+                 "  --corpus DIR --threads N --out FILE --bug a,b,...\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Cli &cli)
+{
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--execs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.execs = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--seconds") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.seconds = std::strtod(v, nullptr);
+        } else if (arg == "--max-ops") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.maxOps = u32(std::strtoul(v, nullptr, 0));
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.threads = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (arg == "--corpus") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.corpusDir = v;
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.outFile = v;
+        } else if (arg == "--bug") {
+            const char *v = next();
+            if (!v)
+                return false;
+            std::string list = v;
+            size_t start = 0;
+            while (start <= list.size()) {
+                const size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!name.empty())
+                    cli.bugs.push_back(name);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return false;
+        } else {
+            cli.positional.push_back(arg);
+        }
+    }
+    return true;
+}
+
+bool
+applyBugs(ExecOptions &opts, const std::vector<std::string> &bugs)
+{
+    for (const std::string &name : bugs) {
+        if (!applyPlantedBug(opts, name)) {
+            std::fprintf(stderr, "unknown planted bug '%s'; known:",
+                         name.c_str());
+            for (const std::string &known : plantedBugNames())
+                std::fprintf(stderr, " %s", known.c_str());
+            std::fprintf(stderr, "\n");
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    FuzzConfig cfg;
+    cfg.seed = cli.seed;
+    cfg.maxExecs = cli.execs;
+    cfg.maxSeconds = cli.seconds;
+    cfg.maxOps = cli.maxOps;
+    cfg.corpusDir = cli.corpusDir;
+    if (!applyBugs(cfg.exec, cli.bugs))
+        return 2;
+
+    Fuzzer fuzzer(cfg);
+    const auto failure = fuzzer.run();
+    const FuzzStats &stats = fuzzer.stats();
+    std::printf("execs:    %llu\n", (unsigned long long)stats.execs);
+    std::printf("corpus:   %llu\n",
+                (unsigned long long)stats.corpusEntries);
+    std::printf("features: %llu\n",
+                (unsigned long long)stats.featuresCovered);
+    if (!failure) {
+        std::printf("no divergence found\n");
+        return 0;
+    }
+
+    std::printf("\nDIVERGENCE at exec %llu:\n%s\n",
+                (unsigned long long)failure->execIndex,
+                failure->result.detail.c_str());
+    std::printf("shrinking %zu ops...\n", failure->trace.ops.size());
+    const ShrinkResult shrunk = shrinkTrace(cfg.exec, failure->trace);
+    std::printf("shrunk to %zu ops in %llu execs (%s1-minimal)\n\n",
+                shrunk.trace.ops.size(),
+                (unsigned long long)shrunk.execsUsed,
+                shrunk.oneMinimal ? "" : "not verified ");
+
+    const std::string repro = renderReproFile(shrunk, cli.bugs);
+    const std::string out_path =
+        cli.outFile.empty() ? "hev-fuzz-repro.trace" : cli.outFile;
+    FILE *out = std::fopen(out_path.c_str(), "w");
+    if (out) {
+        std::fwrite(repro.data(), 1, repro.size(), out);
+        std::fclose(out);
+        std::printf("repro written to %s\n\n", out_path.c_str());
+    }
+    std::printf("--- regression test body ---\n%s",
+                renderRegressionTestBody(shrunk, cli.bugs).c_str());
+    return 1;
+}
+
+int
+cmdReplay(const Cli &cli)
+{
+    if (cli.positional.empty()) {
+        std::fprintf(stderr, "replay: no trace files given\n");
+        return 2;
+    }
+    ExecOptions opts = ExecOptions::standard();
+    if (!applyBugs(opts, cli.bugs))
+        return 2;
+    const auto outcomes =
+        replayFiles(cli.positional, opts, cli.threads);
+    const std::string report = renderReplayReport(outcomes);
+    std::fputs(report.c_str(), stdout);
+    for (const ReplayOutcome &outcome : outcomes)
+        if (!outcome.parsed || outcome.result.divergence)
+            return 1;
+    return 0;
+}
+
+int
+cmdShrink(const Cli &cli)
+{
+    if (cli.positional.size() != 1) {
+        std::fprintf(stderr, "shrink: exactly one trace file\n");
+        return 2;
+    }
+    ExecOptions opts = ExecOptions::standard();
+    if (!applyBugs(opts, cli.bugs))
+        return 2;
+    std::string error;
+    const auto trace = readTraceFile(cli.positional[0], &error);
+    if (!trace) {
+        std::fprintf(stderr, "cannot read %s: %s\n",
+                     cli.positional[0].c_str(), error.c_str());
+        return 2;
+    }
+    const ShrinkResult shrunk = shrinkTrace(opts, *trace);
+    if (!shrunk.result.divergence) {
+        std::printf("trace does not diverge; nothing to shrink\n");
+        return 1;
+    }
+    std::printf("shrunk %zu -> %zu ops in %llu execs (%s1-minimal)\n",
+                trace->ops.size(), shrunk.trace.ops.size(),
+                (unsigned long long)shrunk.execsUsed,
+                shrunk.oneMinimal ? "" : "not verified ");
+    const std::string repro = renderReproFile(shrunk, cli.bugs);
+    if (!cli.outFile.empty()) {
+        FILE *out = std::fopen(cli.outFile.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         cli.outFile.c_str());
+            return 2;
+        }
+        std::fwrite(repro.data(), 1, repro.size(), out);
+        std::fclose(out);
+    } else {
+        std::fputs(repro.c_str(), stdout);
+    }
+    std::printf("--- regression test body ---\n%s",
+                renderRegressionTestBody(shrunk, cli.bugs).c_str());
+    return 0;
+}
+
+int
+cmdCorpusStats(const Cli &cli)
+{
+    if (cli.positional.size() != 1) {
+        std::fprintf(stderr, "corpus-stats: exactly one directory\n");
+        return 2;
+    }
+    Corpus corpus;
+    const u64 loaded = corpus.loadFrom(cli.positional[0]);
+    std::printf("corpus: %llu trace(s) in %s\n",
+                (unsigned long long)loaded, cli.positional[0].c_str());
+    ExecOptions opts = ExecOptions::standard();
+    if (!applyBugs(opts, cli.bugs))
+        return 2;
+    std::set<u32> features;
+    std::set<u64> signatures;
+    u64 total_ops = 0;
+    u64 divergences = 0;
+    for (u64 i = 0; i < corpus.size(); ++i) {
+        const ExecResult result = executeTrace(opts, corpus[i].trace);
+        features.insert(result.features.begin(), result.features.end());
+        signatures.insert(result.signature);
+        total_ops += result.opsExecuted;
+        divergences += result.divergence ? 1 : 0;
+    }
+    std::printf("ops executed:      %llu\n",
+                (unsigned long long)total_ops);
+    std::printf("distinct features: %zu\n", features.size());
+    std::printf("distinct outcomes: %zu\n", signatures.size());
+    std::printf("divergences:       %llu\n",
+                (unsigned long long)divergences);
+    return divergences ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    Cli cli;
+    if (!parseArgs(argc, argv, cli))
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(cli);
+    if (cmd == "replay")
+        return cmdReplay(cli);
+    if (cmd == "shrink")
+        return cmdShrink(cli);
+    if (cmd == "corpus-stats")
+        return cmdCorpusStats(cli);
+    return usage();
+}
