@@ -9,6 +9,7 @@
 #include "ccal/checker.hh"
 #include "ccal/specs.hh"
 #include "ccal/tree_state.hh"
+#include "fuzz/smp_executor.hh"
 #include "hv/hv_invariants.hh"
 #include "hv/machine.hh"
 #include "sec/invariants.hh"
@@ -1036,8 +1037,9 @@ ExecOptions::standard()
 std::vector<std::string>
 plantedBugNames()
 {
-    return {"elrange-off-by-one", "epcm-owner-skip",  "stale-tlb",
-            "wrong-perm-mask",    "frame-double-free", "tree-skew"};
+    return {"elrange-off-by-one", "epcm-owner-skip",   "stale-tlb",
+            "wrong-perm-mask",    "frame-double-free", "tree-skew",
+            "skip-shootdown-ack"};
 }
 
 bool
@@ -1055,7 +1057,10 @@ applyPlantedBug(ExecOptions &opts, const std::string &name)
         opts.monitor.planted.frameDoubleFree = true;
     else if (name == "tree-skew")
         opts.treeSkewBug = true;
-    else
+    else if (name == "skip-shootdown-ack") {
+        opts.smpFuzz = true;
+        opts.skipShootdownAckBug = true;
+    } else
         return false;
     return true;
 }
@@ -1063,6 +1068,8 @@ applyPlantedBug(ExecOptions &opts, const std::string &name)
 ExecResult
 executeTrace(const ExecOptions &opts, const Trace &trace)
 {
+    if (needsSmpExecutor(opts, trace))
+        return executeSmpTrace(opts, trace);
     Executor executor(opts);
     return executor.run(trace);
 }

@@ -51,6 +51,19 @@ struct ExecOptions
     bool mirLockstep = true;
     /** Hard cap on ops executed per trace. */
     u32 maxOps = 64;
+    /**
+     * Route every trace through the SMP executor (src/smp/) with this
+     * many vCPUs.  Traces that carry SMP data themselves (a nonzero
+     * vcpu field or schedule seed) take that route even when this is
+     * off; see fuzz/smp_executor.hh.
+     */
+    bool smpFuzz = false;
+    u32 smpVcpus = 2;
+    /**
+     * Planted SMP bug: the shootdown initiator skips the ack wait, so
+     * remote vCPUs keep stale TLB entries past unmap/downgrade.
+     */
+    bool skipShootdownAckBug = false;
 
     /** The standard small fuzzing machine (4 MiB, 256+256 frames). */
     static ExecOptions standard();
@@ -62,7 +75,9 @@ std::vector<std::string> plantedBugNames();
 /**
  * Enable one planted bug by name ("elrange-off-by-one",
  * "epcm-owner-skip", "stale-tlb", "wrong-perm-mask",
- * "frame-double-free", "tree-skew"); false if the name is unknown.
+ * "frame-double-free", "tree-skew", "skip-shootdown-ack"); false if
+ * the name is unknown.  "skip-shootdown-ack" also turns on smpFuzz
+ * (the bug lives in the SMP shootdown protocol).
  */
 bool applyPlantedBug(ExecOptions &opts, const std::string &name);
 

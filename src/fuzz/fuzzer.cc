@@ -77,9 +77,10 @@ Fuzzer::run()
 
     // Phase 1: the deterministic starting set — built-in skeletons,
     // then any on-disk corpus (sorted order).
+    const u32 vcpus = cfg.exec.smpFuzz ? cfg.exec.smpVcpus : 1;
     std::vector<Trace> starters;
     if (cfg.useSeedTraces)
-        starters = seedTraces();
+        starters = cfg.exec.smpFuzz ? smpSeedTraces(vcpus) : seedTraces();
     Corpus loaded;
     if (!cfg.corpusDir.empty()) {
         loaded.loadFrom(cfg.corpusDir);
@@ -99,8 +100,8 @@ Fuzzer::run()
     while (!outOfBudget()) {
         Trace candidate;
         if (corpusStore.empty()) {
-            candidate.ops.push_back(randomOp(rng));
-            candidate = mutateTrace(candidate, rng, cfg.maxOps);
+            candidate.ops.push_back(randomOp(rng, vcpus));
+            candidate = mutateTrace(candidate, rng, cfg.maxOps, vcpus);
         } else if (corpusStore.size() >= 2 && rng.chance(1, 8)) {
             const CorpusEntry &a = corpusStore[rng.below(corpusStore.size())];
             const CorpusEntry &b = corpusStore[rng.below(corpusStore.size())];
@@ -108,7 +109,7 @@ Fuzzer::run()
         } else {
             const CorpusEntry &base =
                 corpusStore[rng.below(corpusStore.size())];
-            candidate = mutateTrace(base.trace, rng, cfg.maxOps);
+            candidate = mutateTrace(base.trace, rng, cfg.maxOps, vcpus);
         }
         if (auto failure = executeOne(candidate))
             return failure;

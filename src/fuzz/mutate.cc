@@ -36,7 +36,7 @@ havocArg(Op &op, Rng &rng)
 } // namespace
 
 Op
-randomOp(Rng &rng)
+randomOp(Rng &rng, u32 vcpus)
 {
     Op op;
     op.kind = OpKind(rng.below(opKindCount));
@@ -44,22 +44,27 @@ randomOp(Rng &rng)
     op.b = randomArg(rng);
     op.c = randomArg(rng);
     op.d = randomArg(rng);
+    if (vcpus > 1)
+        op.vcpu = u32(rng.below(vcpus));
     return op;
 }
 
 Trace
-mutateTrace(const Trace &base, Rng &rng, u32 maxOps)
+mutateTrace(const Trace &base, Rng &rng, u32 maxOps, u32 vcpus)
 {
     Trace out = base;
     const u64 rounds = 1 + rng.below(4);
     for (u64 round = 0; round < rounds; ++round) {
-        const u64 choice = rng.below(6);
+        // SMP runs get two extra operators; single-vCPU streams keep
+        // the original draw sequence exactly.
+        const u64 choice = rng.below(vcpus > 1 ? 8 : 6);
         switch (choice) {
           case 0: { // insert
             if (out.ops.size() >= maxOps)
                 break;
             const u64 at = rng.below(out.ops.size() + 1);
-            out.ops.insert(out.ops.begin() + i64(at), randomOp(rng));
+            out.ops.insert(out.ops.begin() + i64(at),
+                           randomOp(rng, vcpus));
             break;
           }
           case 1: { // delete
@@ -91,16 +96,27 @@ mutateTrace(const Trace &base, Rng &rng, u32 maxOps)
                 OpKind(rng.below(opKindCount));
             break;
           }
-          default: { // argument havoc
+          case 5: { // argument havoc
             if (out.ops.empty())
                 break;
             havocArg(out.ops[rng.below(out.ops.size())], rng);
             break;
           }
+          case 6: { // reassign an op to another vCPU (SMP only)
+            if (out.ops.empty())
+                break;
+            out.ops[rng.below(out.ops.size())].vcpu =
+                u32(rng.below(vcpus));
+            break;
+          }
+          default: { // schedule-seed havoc (SMP only)
+            out.scheduleSeed = rng.chance(1, 4) ? 0 : rng.next();
+            break;
+          }
         }
     }
     if (out.ops.empty())
-        out.ops.push_back(randomOp(rng));
+        out.ops.push_back(randomOp(rng, vcpus));
     if (out.ops.size() > maxOps)
         out.ops.resize(maxOps);
     return out;
@@ -215,6 +231,67 @@ seedTraces()
         {K::MemStore, 2, 0, 0, 7}, // marshalling buffer
         {K::QueryVa, 0, 0, 0, 0},
         {K::Exit, 0, 0, 0, 0},
+    }));
+
+    return seeds;
+}
+
+std::vector<Trace>
+smpSeedTraces(u32 vcpus)
+{
+    const auto trace = [](u64 schedule_seed, std::vector<Op> ops) {
+        Trace t;
+        t.scheduleSeed = schedule_seed;
+        t.ops = std::move(ops);
+        return t;
+    };
+    const auto on = [vcpus](u32 v, Op op) {
+        op.vcpu = vcpus > 1 ? v % vcpus : 0;
+        return op;
+    };
+    using K = OpKind;
+    std::vector<Trace> seeds;
+
+    // The shootdown skeleton: vCPU 1 caches a translation, vCPU 0
+    // unmaps the page.  With the protocol intact the second load on
+    // vCPU 1 faults; with skip-shootdown-ack it reads through the
+    // stale entry and the coherence oracle fires.
+    seeds.push_back(trace(1, {
+        on(1, {K::MemLoad, 0, 0, 0, 0}),
+        on(0, {K::OsUnmap, 0, 0, 0, 0}),
+        on(1, {K::MemLoad, 0, 0, 0, 0}),
+    }));
+
+    // Two vCPUs through one enclave: second enter is bounced by the
+    // single-TCS occupancy bound, contexts stay per vCPU.
+    seeds.push_back(trace(2, {
+        on(0, {K::Enter, 0, 0, 0, 0}),
+        on(1, {K::Enter, 0, 0, 0, 0}),
+        on(0, {K::MemStore, 0, 0, 1, 77}),
+        on(0, {K::MemLoad, 0, 0, 1, 0}),
+        on(0, {K::Exit, 0, 0, 0, 0}),
+        on(1, {K::Enter, 0, 0, 0, 0}),
+        on(1, {K::Exit, 0, 0, 0, 0}),
+    }));
+
+    // Permission downgrade: vCPU 1 holds a writable entry while vCPU 0
+    // remaps the slot read-only (LayerMap decodes to protect-ro).
+    seeds.push_back(trace(3, {
+        on(1, {K::MemStore, 2, 0, 0, 5}),
+        on(0, {K::LayerMap, 2, 0, 0, 0}),
+        on(1, {K::MemStore, 2, 0, 0, 6}),
+        on(1, {K::MemLoad, 2, 0, 0, 0}),
+    }));
+
+    // Destroy under residency: the destroy must bounce until the
+    // resident vCPU exits, then retire the domain everywhere.
+    seeds.push_back(trace(4, {
+        on(1, {K::Enter, 0, 0, 0, 0}),
+        on(1, {K::MemLoad, 0, 0, 2, 0}),
+        on(0, {K::HcRemove, 0, 0, 0, 0}),
+        on(1, {K::Exit, 0, 0, 0, 0}),
+        on(0, {K::HcRemove, 0, 0, 0, 0}),
+        on(0, {K::HcInit, 0, 0, 0, 0}),
     }));
 
     return seeds;

@@ -20,16 +20,21 @@
 namespace hev::fuzz
 {
 
-/** A uniformly random op. */
-Op randomOp(Rng &rng);
+/**
+ * A uniformly random op.  With vcpus > 1 the op is attributed to a
+ * random vCPU (SMP fuzzing); the default draws no extra randomness,
+ * so single-vCPU streams are unchanged.
+ */
+Op randomOp(Rng &rng, u32 vcpus = 1);
 
 /**
  * Mutate `base` with one to four stacked operators (op insertion,
  * deletion, swap, duplication, kind replacement, argument havoc:
- * fresh value / ±1 / zero).  The result has at least one op and at
- * most maxOps.
+ * fresh value / ±1 / zero; with vcpus > 1 also vcpu reassignment and
+ * schedule-seed havoc).  The result has at least one op and at most
+ * maxOps.
  */
-Trace mutateTrace(const Trace &base, Rng &rng, u32 maxOps);
+Trace mutateTrace(const Trace &base, Rng &rng, u32 maxOps, u32 vcpus = 1);
 
 /** Crossover: a prefix of `a` followed by a suffix of `b`. */
 Trace spliceTraces(const Trace &a, const Trace &b, Rng &rng, u32 maxOps);
@@ -41,6 +46,14 @@ Trace spliceTraces(const Trace &a, const Trace &b, Rng &rng, u32 maxOps);
  * pairs, layer-op runs, remove/re-init churn).
  */
 std::vector<Trace> seedTraces();
+
+/**
+ * Seed skeletons for SMP fuzzing (fuzz/smp_executor.hh): cross-vCPU
+ * load / unmap / load triples around the shootdown protocol, a
+ * two-vCPU enclave life cycle, and a permission-downgrade probe.
+ * Ops are attributed across `vcpus` vCPUs.
+ */
+std::vector<Trace> smpSeedTraces(u32 vcpus);
 
 } // namespace hev::fuzz
 

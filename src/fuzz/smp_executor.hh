@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Differential execution of one fuzz trace on the SMP monitor.
+ *
+ * Multi-vCPU traces (any op carrying a nonzero vcpu, a nonzero
+ * schedule seed, or ExecOptions::smpFuzz) run here instead of the
+ * single-vCPU lockstep executor: ops execute on an smp::SmpMonitor,
+ * attributed to their vcpu, with IPI servicing interleaved between
+ * ops from a stream derived from the trace's schedule seed.  The
+ * oracles are the SMP ones — per-op TLB coherence over all vCPUs
+ * (cached-vs-authoritative), structural vCPU-table invariants, loaded
+ * values cross-checked against TLB-less walks, and the concrete
+ * monitor invariant families periodically — so the planted
+ * skip-shootdown-ack bug surfaces as a divergence, never a crash.
+ *
+ * Execution is bit-deterministic in (options, trace), like the
+ * single-vCPU path: replay and shrinking work unchanged.
+ */
+
+#ifndef HEV_FUZZ_SMP_EXECUTOR_HH
+#define HEV_FUZZ_SMP_EXECUTOR_HH
+
+#include "fuzz/executor.hh"
+
+namespace hev::fuzz
+{
+
+/** True iff the trace needs the SMP executor under these options. */
+bool needsSmpExecutor(const ExecOptions &opts, const Trace &trace);
+
+/** Execute one trace on the SMP monitor; deterministic. */
+ExecResult executeSmpTrace(const ExecOptions &opts, const Trace &trace);
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_SMP_EXECUTOR_HH

@@ -73,9 +73,15 @@ serializeTrace(const Trace &trace)
 {
     std::ostringstream out;
     out << traceHeader << "\n";
-    for (const Op &op : trace.ops)
+    if (trace.scheduleSeed != 0)
+        out << "schedule-seed " << trace.scheduleSeed << "\n";
+    for (const Op &op : trace.ops) {
         out << "op " << opKindName(op.kind) << " " << op.a << " " << op.b
-            << " " << op.c << " " << op.d << "\n";
+            << " " << op.c << " " << op.d;
+        if (op.vcpu != 0)
+            out << " vcpu=" << op.vcpu;
+        out << "\n";
+    }
     return out.str();
 }
 
@@ -118,6 +124,18 @@ parseTrace(const std::string &text, std::string *error)
         std::istringstream fields(line);
         std::string tag, name;
         fields >> tag >> name;
+        if (tag == "schedule-seed") {
+            const auto value = parseNumber(name);
+            if (!value)
+                return fail("line " + std::to_string(lineNo) +
+                            ": bad schedule seed '" + name + "'");
+            std::string extra;
+            if (fields >> extra)
+                return fail("line " + std::to_string(lineNo) +
+                            ": trailing token '" + extra + "'");
+            trace.scheduleSeed = *value;
+            continue;
+        }
         if (tag != "op")
             return fail("line " + std::to_string(lineNo) +
                         ": expected 'op', got '" + tag + "'");
@@ -140,9 +158,20 @@ parseTrace(const std::string &text, std::string *error)
             *arg = *value;
         }
         std::string extra;
-        if (fields >> extra)
-            return fail("line " + std::to_string(lineNo) +
-                        ": trailing token '" + extra + "'");
+        if (fields >> extra) {
+            if (extra.rfind("vcpu=", 0) != 0)
+                return fail("line " + std::to_string(lineNo) +
+                            ": trailing token '" + extra + "'");
+            const auto value = parseNumber(extra.substr(5));
+            if (!value)
+                return fail("line " + std::to_string(lineNo) +
+                            ": bad vcpu '" + extra + "'");
+            op.vcpu = u32(*value);
+            std::string more;
+            if (fields >> more)
+                return fail("line " + std::to_string(lineNo) +
+                            ": trailing token '" + more + "'");
+        }
         trace.ops.push_back(op);
     }
     if (!sawHeader)

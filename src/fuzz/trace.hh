@@ -59,6 +59,12 @@ struct Op
     u64 b = 0;
     u64 c = 0;
     u64 d = 0;
+    /**
+     * Issuing vCPU (SMP fuzzing, src/smp/).  0 is also what the
+     * single-vCPU executor runs as, so the serializer omits the field
+     * when it is 0 and the whole pre-SMP corpus remains byte-identical.
+     */
+    u32 vcpu = 0;
 
     bool operator==(const Op &) const = default;
 };
@@ -67,6 +73,13 @@ struct Op
 struct Trace
 {
     std::vector<Op> ops;
+    /**
+     * Seed of the SMP interleaving schedule (0 = none): with a nonzero
+     * seed the SMP executor threads IPI servicing between ops from a
+     * stream derived from it.  Serialized as a `schedule-seed` line
+     * only when nonzero, keeping pre-SMP corpus files unchanged.
+     */
+    u64 scheduleSeed = 0;
 
     bool operator==(const Trace &) const = default;
 };
@@ -76,11 +89,15 @@ struct Trace
  *
  *     hev-trace v1
  *     # optional comments
+ *     schedule-seed 7
  *     op hc_init 1 2 0 0
- *     op mem_load 0 3 8 0
+ *     op mem_load 0 3 8 0 vcpu=2
  *
  * Blank lines and `#` comments are ignored by the parser; numbers may
- * be decimal or 0x-hex.  serialize/parse round-trip exactly.
+ * be decimal or 0x-hex.  The `schedule-seed` line and the `vcpu=`
+ * field are optional (both default to 0 and are omitted when 0, so
+ * single-vCPU traces serialize exactly as before SMP existed).
+ * serialize/parse round-trip exactly.
  */
 std::string serializeTrace(const Trace &trace);
 

@@ -85,11 +85,14 @@ struct Enclave
     RegFile savedEnclaveRegs;
     bool hasSavedEnclaveRegs = false;
     /**
-     * True while a vCPU executes inside the enclave.  The model has
-     * one TCS, so at most one vCPU may be inside; entry by a second
-     * vCPU and removal while active are both rejected.
+     * Number of vCPUs currently executing inside the enclave.  Each
+     * resident vCPU occupies one TCS, so occupancy is bounded by
+     * tcsPages; the single-vCPU Monitor additionally keeps it at most
+     * one (its saved contexts live in this struct), while the SMP
+     * monitor saves contexts per vCPU and allows up to tcsPages.
+     * Removal while any vCPU is inside is rejected.
      */
-    bool active = false;
+    u32 activeVcpus = 0;
 
     /** The marshalling buffer range in the enclave's VA space. */
     GvaRange

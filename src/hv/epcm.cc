@@ -38,6 +38,7 @@ Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state)
 {
     if (owner == invalidEnclave || state == EpcPageState::Free)
         return HvError::InvalidParam;
+    std::lock_guard<std::mutex> guard(lock);
     const u64 n = table.size();
     for (u64 probe = 0; probe < n; ++probe) {
         const u64 idx = (searchHint + probe) % n;
@@ -56,12 +57,20 @@ Epcm::freePage(Hpa page)
 {
     if (!isEpc(page) || !page.pageAligned())
         return HvError::InvalidParam;
+    std::lock_guard<std::mutex> guard(lock);
     EpcmEntry &entry = table[indexOf(page)];
     if (entry.state == EpcPageState::Free)
         return HvError::EpcmConflict;
     entry = EpcmEntry{};
     ++freeCount;
     return okStatus();
+}
+
+u64
+Epcm::freePages() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return freeCount;
 }
 
 const EpcmEntry &

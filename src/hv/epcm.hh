@@ -16,6 +16,7 @@
 #define HEV_HV_EPCM_HH
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "support/result.hh"
@@ -76,7 +77,7 @@ class Epcm
         const std::function<void(Hpa, const EpcmEntry &)> &visit) const;
 
     /** Pages currently free. */
-    u64 freePages() const { return freeCount; }
+    u64 freePages() const;
 
     /** Total EPC pages. */
     u64 totalPages() const { return table.size(); }
@@ -88,6 +89,12 @@ class Epcm
     u64 indexOf(Hpa hpa) const;
 
     HpaRange epcRange;
+    /**
+     * Serializes alloc/free from concurrent vCPUs.  Reads via
+     * entryFor/forEachUsed are quiescent-only (invariant checkers and
+     * exclusive-locked teardown) and stay lock free.
+     */
+    mutable std::mutex lock;
     std::vector<EpcmEntry> table;
     u64 freeCount = 0;
     u64 searchHint = 0;

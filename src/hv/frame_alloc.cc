@@ -12,6 +12,7 @@ FrameAllocator::FrameAllocator(PhysMem &mem, HpaRange area)
     if (!area.start.pageAligned() || !area.end.pageAligned())
         fatal("frame area must be page aligned");
     bitmap.assign(area.size() / pageSize, false);
+    totalCount = bitmap.size();
 }
 
 u64
@@ -21,7 +22,7 @@ FrameAllocator::indexOf(Hpa frame) const
 }
 
 Expected<Hpa>
-FrameAllocator::alloc()
+FrameAllocator::allocLocked()
 {
     const u64 n = bitmap.size();
     for (u64 probe = 0; probe < n; ++probe) {
@@ -38,11 +39,34 @@ FrameAllocator::alloc()
     return HvError::OutOfMemory;
 }
 
+Expected<Hpa>
+FrameAllocator::alloc()
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return allocLocked();
+}
+
+u64
+FrameAllocator::allocBatch(u64 count, std::vector<Hpa> &out)
+{
+    std::lock_guard<std::mutex> guard(lock);
+    u64 got = 0;
+    while (got < count) {
+        auto frame = allocLocked();
+        if (!frame)
+            break;
+        out.push_back(*frame);
+        ++got;
+    }
+    return got;
+}
+
 Status
 FrameAllocator::free(Hpa frame)
 {
     if (!inArea(frame) || !frame.pageAligned())
         return HvError::InvalidParam;
+    std::lock_guard<std::mutex> guard(lock);
     const u64 idx = indexOf(frame);
     if (!bitmap[idx])
         return HvError::InvalidParam;
@@ -52,10 +76,26 @@ FrameAllocator::free(Hpa frame)
 }
 
 void
+FrameAllocator::freeBatch(const std::vector<Hpa> &frames)
+{
+    std::lock_guard<std::mutex> guard(lock);
+    for (Hpa frame : frames) {
+        if (!inArea(frame) || !frame.pageAligned())
+            continue;
+        const u64 idx = indexOf(frame);
+        if (bitmap[idx]) {
+            bitmap[idx] = false;
+            --used;
+        }
+    }
+}
+
+void
 FrameAllocator::debugForceFree(Hpa frame)
 {
     if (!inArea(frame) || !frame.pageAligned())
         return;
+    std::lock_guard<std::mutex> guard(lock);
     const u64 idx = indexOf(frame);
     if (bitmap[idx])
         --used;
@@ -68,7 +108,15 @@ FrameAllocator::allocated(Hpa frame) const
 {
     if (!inArea(frame) || !frame.pageAligned())
         return false;
+    std::lock_guard<std::mutex> guard(lock);
     return bitmap[indexOf(frame)];
+}
+
+u64
+FrameAllocator::usedFrames() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return used;
 }
 
 } // namespace hev::hv

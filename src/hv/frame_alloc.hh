@@ -9,11 +9,19 @@
  * also protected, because they are allocated in a disjoint range of
  * physical memory which is never in the range of a guest mapping"
  * (Sec. 5.2).
+ *
+ * FrameSource abstracts "where page-table frames come from" so the SMP
+ * monitor can interpose per-CPU free-list caches (src/smp/cpu_cache.hh)
+ * between the page-table code and this global allocator.  The global
+ * allocator itself is internally locked; the batch entry points exist so
+ * a cache refill/drain pays for the lock and the bitmap scan once per
+ * batch instead of once per frame.
  */
 
 #ifndef HEV_HV_FRAME_ALLOC_HH
 #define HEV_HV_FRAME_ALLOC_HH
 
+#include <mutex>
 #include <vector>
 
 #include "hv/mem_layout.hh"
@@ -25,8 +33,35 @@ namespace hev::hv
 
 class PhysMem;
 
-/** First-fit bitmap allocator over a page-aligned physical range. */
-class FrameAllocator
+/**
+ * Supplier of zeroed page-table frames.  Implemented by the global
+ * FrameAllocator and by the SMP per-CPU caches layered on top of it.
+ */
+class FrameSource
+{
+  public:
+    virtual ~FrameSource() = default;
+
+    /** Allocate one zeroed frame. */
+    virtual Expected<Hpa> allocFrame() = 0;
+
+    /** Return a previously allocated frame. */
+    virtual Status freeFrame(Hpa frame) = 0;
+
+    /**
+     * True iff the frame is currently handed out by the underlying
+     * allocator (used by PageTable::destroy to skip foreign frames).
+     */
+    virtual bool owns(Hpa frame) const = 0;
+};
+
+/**
+ * First-fit bitmap allocator over a page-aligned physical range.
+ *
+ * Thread safe: every public entry point takes the internal mutex, so
+ * concurrent vCPUs (and their caches) can hit it directly.
+ */
+class FrameAllocator final : public FrameSource
 {
   public:
     /**
@@ -44,6 +79,25 @@ class FrameAllocator
 
     /** Return a frame to the pool; must have been allocated. */
     Status free(Hpa frame);
+
+    /**
+     * Allocate up to `count` zeroed frames in one bitmap pass,
+     * appending them to `out`.
+     *
+     * @return the number of frames actually allocated (may be short
+     *         when the pool runs dry; never an error).
+     */
+    u64 allocBatch(u64 count, std::vector<Hpa> &out);
+
+    /** Return a batch of frames; each must have been allocated. */
+    void freeBatch(const std::vector<Hpa> &frames);
+
+    /// @name FrameSource
+    /// @{
+    Expected<Hpa> allocFrame() override { return alloc(); }
+    Status freeFrame(Hpa frame) override { return free(frame); }
+    bool owns(Hpa frame) const override { return allocated(frame); }
+    /// @}
 
     /** True iff the frame is currently allocated. */
     bool allocated(Hpa frame) const;
@@ -64,10 +118,10 @@ class FrameAllocator
     }
 
     /** Frames currently handed out. */
-    u64 usedFrames() const { return used; }
+    u64 usedFrames() const;
 
     /** Total frames managed. */
-    u64 totalFrames() const { return bitmap.size(); }
+    u64 totalFrames() const { return totalCount; }
 
     /** The managed physical range. */
     HpaRange area() const { return managedArea; }
@@ -76,8 +130,13 @@ class FrameAllocator
     /** Bitmap index of a frame base, assuming it is in the area. */
     u64 indexOf(Hpa frame) const;
 
+    /** One first-fit probe under the lock; nullopt when full. */
+    Expected<Hpa> allocLocked();
+
     PhysMem &physMem;
     HpaRange managedArea;
+    u64 totalCount = 0;
+    mutable std::mutex lock;
     std::vector<bool> bitmap;
     u64 used = 0;
     u64 searchHint = 0;

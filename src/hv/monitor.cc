@@ -131,6 +131,15 @@ Monitor::findEnclave(EnclaveId id) const
     return &it->second;
 }
 
+Enclave *
+Monitor::findEnclaveMutable(EnclaveId id)
+{
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return nullptr;
+    return &it->second;
+}
+
 u64
 Monitor::liveEnclaves() const
 {
@@ -255,9 +264,10 @@ Monitor::hcEnclaveInit(const EnclaveConfig &config)
 
 Status
 Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
-                          AddPageKind kind)
+                          AddPageKind kind, FrameSource *frames)
 {
     HypercallScope scope(statCounters, "hc_enclave_add_page", id);
+    FrameSource &tableFrames = frames ? *frames : frameAlloc;
     auto it = enclaves.find(id);
     if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
         return scope.fail(HvError::NoSuchEnclave);
@@ -279,8 +289,8 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
     if (!cfg.layout.normalRange().containsRange(src_range))
         return scope.fail(HvError::IsolationViolation);
 
-    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
-    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    PageTable gpt(physMem, &tableFrames, enclave.gptRoot);
+    PageTable ept(physMem, &tableFrames, enclave.eptRoot);
 
     const u64 gpa = enclaveEpcGpaBase + enclave.addedPages * pageSize;
     if (auto st = gpt.map(page_gva.value, gpa, PteFlags::userRw()); !st)
@@ -370,11 +380,13 @@ Monitor::hcEnclaveEnter(EnclaveId id, VCpu &vcpu)
     Enclave &enclave = it->second;
     if (enclave.state != EnclaveState::Initialized)
         return scope.fail(HvError::BadEnclaveState);
-    // One TCS: a second vCPU cannot enter while one is inside (its
-    // saved contexts would be clobbered).
-    if (enclave.active)
+    // The saved contexts live in the Enclave record, so the single-vCPU
+    // monitor admits one resident vCPU at a time; a second entry would
+    // clobber them.  (The SMP monitor saves contexts per vCPU and
+    // admits up to tcsPages — see src/smp/smp_monitor.cc.)
+    if (enclave.activeVcpus > 0)
         return scope.fail(HvError::BadEnclaveState);
-    enclave.active = true;
+    ++enclave.activeVcpus;
 
     enclave.savedAppRegs = vcpu.regs;
     enclave.savedAppGptRoot = vcpu.gptRoot;
@@ -412,7 +424,8 @@ Monitor::hcEnclaveExit(VCpu &vcpu)
 
     enclave.savedEnclaveRegs = vcpu.regs;
     enclave.hasSavedEnclaveRegs = true;
-    enclave.active = false;
+    if (enclave.activeVcpus > 0)
+        --enclave.activeVcpus;
 
     // Restore the application context; scrub what the enclave left in
     // the register file by overwriting all of it.
@@ -437,8 +450,8 @@ Monitor::hcEnclaveRemove(EnclaveId id)
         return scope.fail(HvError::NoSuchEnclave);
     Enclave &enclave = it->second;
     // Tearing down an enclave a vCPU is executing in would scrub the
-    // pages under its feet: reject until it exits.
-    if (enclave.active)
+    // pages under its feet: reject until every resident vCPU exits.
+    if (enclave.activeVcpus > 0)
         return scope.fail(HvError::BadEnclaveState);
 
     // Scrub and free every EPC page the enclave owns.
@@ -462,6 +475,24 @@ Monitor::hcEnclaveRemove(EnclaveId id)
     statLiveEnclaves.set(i64(liveEnclaves()));
     inform("removed (%zu epc pages scrubbed)", owned.size());
     return okStatus();
+}
+
+Expected<EnclaveReport>
+Monitor::hcEnclaveReport(const VCpu &vcpu)
+{
+    HypercallScope scope(statCounters, "hc_enclave_report",
+                         vcpu.currentEnclave);
+    if (vcpu.mode != CpuMode::GuestEnclave)
+        return scope.fail(HvError::BadEnclaveState);
+    const Enclave *enclave = findEnclave(vcpu.currentEnclave);
+    if (!enclave)
+        return scope.fail(HvError::NoSuchEnclave);
+    EnclaveReport report;
+    report.id = enclave->id;
+    report.measurement = enclave->measurement;
+    report.addedPages = enclave->addedPages;
+    ++statCounters.reports;
+    return report;
 }
 
 void

@@ -18,6 +18,7 @@
 #ifndef HEV_HV_MONITOR_HH
 #define HEV_HV_MONITOR_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 
@@ -82,15 +83,30 @@ enum class AddPageKind : u8
     Tcs,  //!< thread control structure (entry-point) page
 };
 
-/** Statistics counters exposed for the benches. */
+/**
+ * Statistics counters exposed for the benches.  Atomic so concurrent
+ * hypercalls from multiple vCPUs (src/smp/) can bump them without a
+ * lock; single-vCPU readers just see plain integers.
+ */
 struct MonitorStats
 {
-    u64 hypercalls = 0;
-    u64 enclavesCreated = 0;
-    u64 pagesAdded = 0;
-    u64 enters = 0;
-    u64 exits = 0;
-    u64 rejectedRequests = 0;
+    std::atomic<u64> hypercalls{0};
+    std::atomic<u64> enclavesCreated{0};
+    std::atomic<u64> pagesAdded{0};
+    std::atomic<u64> enters{0};
+    std::atomic<u64> exits{0};
+    std::atomic<u64> reports{0};
+    std::atomic<u64> rejectedRequests{0};
+};
+
+/** What the report hypercall hands back (EREPORT stub). */
+struct EnclaveReport
+{
+    EnclaveId id = invalidEnclave;
+    u64 measurement = 0;  //!< the enclave's rolling measurement
+    u64 addedPages = 0;   //!< EPC pages folded into the measurement
+
+    bool operator==(const EnclaveReport &) const = default;
 };
 
 /** The trusted monitor. */
@@ -120,6 +136,14 @@ class Monitor
 
     /** Look up a live (non-dead) enclave; null if unknown. */
     const Enclave *findEnclave(EnclaveId id) const;
+
+    /**
+     * Mutable enclave lookup for the SMP layer (src/smp/), which
+     * manages occupancy counts and per-vCPU contexts itself.  Callers
+     * must hold whatever lock discipline they impose on the enclave
+     * table; the single-vCPU paths never need this.
+     */
+    Enclave *findEnclaveMutable(EnclaveId id);
 
     /** Number of live enclaves. */
     u64 liveEnclaves() const;
@@ -154,9 +178,12 @@ class Monitor
      * @param src guest-physical source of the initial contents; must be
      *            normal memory.
      * @param kind Reg or Tcs.
+     * @param frames optional frame source for the page-table frames the
+     *               mapping needs (a per-CPU cache under SMP); defaults
+     *               to the global allocator.
      */
     Status hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
-                            AddPageKind kind);
+                            AddPageKind kind, FrameSource *frames = nullptr);
 
     /**
      * init_finish (EINIT analogue): finalize the measurement and make
@@ -184,6 +211,14 @@ class Monitor
      * is inside the enclave.
      */
     Status hcEnclaveRemove(EnclaveId id);
+
+    /**
+     * report (EREPORT analogue): local attestation of the calling
+     * enclave.  Only callable from enclave mode; reads fields that are
+     * immutable once the enclave is Initialized, so concurrent callers
+     * need no enclave lock.
+     */
+    Expected<EnclaveReport> hcEnclaveReport(const VCpu &vcpu);
 
     /// @}
 

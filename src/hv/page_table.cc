@@ -36,7 +36,7 @@ noteWalk(int resolved_level, u64 va)
 
 } // namespace
 
-PageTable::PageTable(PhysMem &mem, FrameAllocator *alloc, Hpa root)
+PageTable::PageTable(PhysMem &mem, FrameSource *alloc, Hpa root)
     : physMem(mem), frameAlloc(alloc), rootFrame(root)
 {
     if (!root.pageAligned())
@@ -45,9 +45,9 @@ PageTable::PageTable(PhysMem &mem, FrameAllocator *alloc, Hpa root)
 }
 
 Expected<PageTable>
-PageTable::create(PhysMem &mem, FrameAllocator &alloc)
+PageTable::create(PhysMem &mem, FrameSource &alloc)
 {
-    auto root = alloc.alloc();
+    auto root = alloc.allocFrame();
     if (!root)
         return root.error();
     return PageTable(mem, &alloc, *root);
@@ -89,7 +89,7 @@ PageTable::walkToLeafTable(u64 va, bool alloc_missing)
                 return HvError::NotMapped;
             if (!frameAlloc)
                 return HvError::Unsupported;
-            auto frame = frameAlloc->alloc();
+            auto frame = frameAlloc->allocFrame();
             if (!frame)
                 return frame.error();
             entry = Pte::make(frame->value, PteFlags::tableLink());
@@ -139,7 +139,7 @@ PageTable::mapHuge(u64 va, u64 pa, PteFlags flags, int level)
         if (!entry.present()) {
             if (!frameAlloc)
                 return HvError::Unsupported;
-            auto frame = frameAlloc->alloc();
+            auto frame = frameAlloc->allocFrame();
             if (!frame)
                 return frame.error();
             entry = Pte::make(frame->value, PteFlags::tableLink());
@@ -258,7 +258,7 @@ visitTable(const PageTable &pt, Hpa table, int level, u64 va_prefix,
 }
 
 void
-freeTables(PageTable &pt, FrameAllocator &alloc, Hpa table, int level)
+freeTables(PageTable &pt, FrameSource &alloc, Hpa table, int level)
 {
     if (level > 1) {
         for (u64 index = 0; index < entriesPerTable; ++index) {
@@ -270,8 +270,8 @@ freeTables(PageTable &pt, FrameAllocator &alloc, Hpa table, int level)
     // Frames outside the allocator's area (e.g. acquired through the
     // shallow-copy bug) are deliberately skipped; the invariant checker
     // flags them elsewhere.
-    if (alloc.allocated(table))
-        (void)alloc.free(table);
+    if (alloc.owns(table))
+        (void)alloc.freeFrame(table);
 }
 
 u64

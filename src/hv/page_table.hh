@@ -50,14 +50,15 @@ class PageTable
      * Bind to an existing root frame.
      *
      * @param mem backing physical memory.
-     * @param alloc frame allocator for intermediate tables; may be null
-     *              for read-only use (e.g. walking a guest-built tree).
+     * @param alloc frame source for intermediate tables (the global
+     *              allocator or a per-CPU cache); may be null for
+     *              read-only use (e.g. walking a guest-built tree).
      * @param root physical address of the level-4 table.
      */
-    PageTable(PhysMem &mem, FrameAllocator *alloc, Hpa root);
+    PageTable(PhysMem &mem, FrameSource *alloc, Hpa root);
 
     /** Allocate a fresh zeroed root and bind to it. */
-    static Expected<PageTable> create(PhysMem &mem, FrameAllocator &alloc);
+    static Expected<PageTable> create(PhysMem &mem, FrameSource &alloc);
 
     /** Physical address of the level-4 (root) table. */
     Hpa root() const { return rootFrame; }
@@ -136,7 +137,7 @@ class PageTable
     Expected<Hpa> walkToLeafTable(u64 va, bool alloc_missing);
 
     PhysMem &physMem;
-    FrameAllocator *frameAlloc;
+    FrameSource *frameAlloc;
     Hpa rootFrame;
 };
 

@@ -59,6 +59,36 @@ Tlb::flushDomain(DomainId domain)
 }
 
 void
+Tlb::invalidatePage(DomainId domain, u64 va)
+{
+    if (entries.erase(keyOf(domain, va)) > 0) {
+        ++flushCount;
+        statFlushes.inc();
+        statEntries.set(i64(entries.size()));
+    }
+}
+
+u64
+Tlb::countDomain(DomainId domain) const
+{
+    u64 count = 0;
+    for (const auto &[key, entry] : entries) {
+        if ((key >> 52) == domain)
+            ++count;
+    }
+    return count;
+}
+
+void
+Tlb::forEach(
+    const std::function<void(DomainId, u64, const TlbEntry &)> &visit) const
+{
+    for (const auto &[key, entry] : entries)
+        visit(DomainId(key >> 52), (key & ((1ull << 52) - 1)) << pageShift,
+              entry);
+}
+
+void
 Tlb::flushAll()
 {
     ++flushCount;

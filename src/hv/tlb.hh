@@ -12,6 +12,7 @@
 #ifndef HEV_HV_TLB_HH
 #define HEV_HV_TLB_HH
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -51,11 +52,21 @@ class Tlb
     /** Drop all entries tagged with the domain. */
     void flushDomain(DomainId domain);
 
+    /** Drop the single entry for (domain, va's page) — INVLPG. */
+    void invalidatePage(DomainId domain, u64 va);
+
     /** Drop everything. */
     void flushAll();
 
     /** Number of live entries. */
     u64 size() const { return entries.size(); }
+
+    /** Number of live entries tagged with the domain. */
+    u64 countDomain(DomainId domain) const;
+
+    /** Visit every live entry: f(domain, va_page_base, entry). */
+    void forEach(const std::function<void(DomainId, u64, const TlbEntry &)>
+                     &visit) const;
 
     u64 hits() const { return hitCount; }
     u64 misses() const { return missCount; }

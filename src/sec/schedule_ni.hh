@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Noninterference over vCPU-style schedules.
+ *
+ * Theorem 5.1 quantifies over all executions; the lockstep sweeps in
+ * src/check/ draw those executions action by action.  Under SMP the
+ * execution is additionally parameterized by the *schedule*: which
+ * principal runs each step, with Enter/Exit world switches stitching
+ * the slices together.  checkNiOverSchedules draws whole schedules
+ * from a seeded stream (the same Rng::split discipline the
+ * interleaving scheduler in src/smp/ uses), materializes each as a
+ * SecMachine trace whose interleaving is dictated by the schedule
+ * alone, and checks Theorem 5.1 for every observer over every
+ * schedule: security must hold for all interleavings, not just the
+ * one the single-vCPU sweeps happen to draw.
+ */
+
+#ifndef HEV_SEC_SCHEDULE_NI_HH
+#define HEV_SEC_SCHEDULE_NI_HH
+
+#include "sec/noninterference.hh"
+
+namespace hev::sec
+{
+
+/** Sizing of one scheduled-noninterference check. */
+struct ScheduleNiOptions
+{
+    int rounds = 4;         //!< independent schedules per call
+    int stepsPerRound = 60; //!< actions per schedule
+    /** Reciprocal world-switch probability per schedule point. */
+    int switchChance = 4;
+};
+
+/**
+ * Build `rounds` random schedules over the two-enclave scene and check
+ * the Theorem 5.1 trace property for every observer (the OS and both
+ * enclaves) on each.
+ *
+ * @param rng the shard's RNG stream; sole source of randomness.
+ * @return the first violation, nullopt if every schedule checks out.
+ */
+std::optional<NiViolation>
+checkNiOverSchedules(Rng &rng, const ScheduleNiOptions &opts = {});
+
+/**
+ * The shared two-enclave scene (one mapped OS page, two one-page
+ * enclaves with marshalling buffers); ids receives the enclave ids.
+ */
+SecState scheduleNiScene(std::vector<i64> &ids);
+
+} // namespace hev::sec
+
+#endif // HEV_SEC_SCHEDULE_NI_HH

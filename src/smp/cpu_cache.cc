@@ -1,0 +1,95 @@
+#include "smp/cpu_cache.hh"
+
+#include "hv/phys_mem.hh"
+#include "obs/stats.hh"
+
+namespace hev::smp
+{
+
+namespace
+{
+
+const obs::Counter statRefills("smp.cache.refills");
+const obs::Counter statDrains("smp.cache.drains");
+const obs::Counter statLocalHits("smp.cache.local_hits");
+
+} // namespace
+
+CpuFrameCache::CpuFrameCache(hv::PhysMem &mem, hv::FrameAllocator &galloc,
+                             u32 cache_capacity)
+    : physMem(mem), global(galloc), capacity(cache_capacity)
+{
+    frames.reserve(capacity);
+}
+
+CpuFrameCache::~CpuFrameCache()
+{
+    drainAll();
+}
+
+Expected<Hpa>
+CpuFrameCache::allocFrame()
+{
+    if (capacity == 0)
+        return global.alloc();
+    if (frames.empty()) {
+        // One global-lock acquisition and one bitmap pass buy half a
+        // capacity of frames.
+        const u64 want = capacity / 2 + 1;
+        if (global.allocBatch(want, frames) == 0)
+            return HvError::OutOfMemory;
+        ++refillCount;
+        statRefills.inc();
+    } else {
+        ++hitCount;
+        statLocalHits.inc();
+    }
+    const Hpa frame = frames.back();
+    frames.pop_back();
+    // Frames parked here may carry stale table contents from a freeing
+    // tree; the FrameSource contract hands out zeroed frames.
+    physMem.zeroPage(frame);
+    return frame;
+}
+
+Status
+CpuFrameCache::freeFrame(Hpa frame)
+{
+    if (capacity == 0)
+        return global.free(frame);
+    if (!global.inArea(frame) || !frame.pageAligned())
+        return HvError::InvalidParam;
+    frames.push_back(frame);
+    if (frames.size() > capacity) {
+        // Drain the oldest half back in one batch.
+        const u64 keep = capacity / 2;
+        const std::vector<Hpa> excess(frames.begin(),
+                                      frames.end() - i64(keep));
+        global.freeBatch(excess);
+        frames.erase(frames.begin(), frames.end() - i64(keep));
+        ++drainCount;
+        statDrains.inc();
+    }
+    return okStatus();
+}
+
+bool
+CpuFrameCache::owns(Hpa frame) const
+{
+    // Cached frames are still marked allocated in the global bitmap, so
+    // delegating covers both live table frames and parked ones.
+    return global.allocated(frame);
+}
+
+void
+CpuFrameCache::drainAll()
+{
+    if (frames.empty())
+        return;
+    global.freeBatch(frames);
+    frames.clear();
+    ++drainCount;
+    statDrains.inc();
+}
+
+} // namespace hev::smp

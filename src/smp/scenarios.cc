@@ -1,0 +1,226 @@
+#include "smp/scenarios.hh"
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hv/hv_invariants.hh"
+#include "sec/schedule_ni.hh"
+#include "smp/sched.hh"
+#include "smp/smp_invariants.hh"
+#include "smp/smp_monitor.hh"
+
+namespace hev::smp
+{
+namespace
+{
+
+/** ELRANGE bases the coherence shards rotate enclaves through. */
+constexpr u64 elrangeBases[] = {0x10'0000, 0x30'0000};
+/** Base of the normal-VM VA slots the OS actors map and unmap. */
+constexpr u64 slotVaBase = 0x50'0000;
+constexpr u64 slotCount = 4;
+
+std::string
+shardName(const std::string &prefix, int block)
+{
+    return prefix + "/s" + std::to_string(block);
+}
+
+std::string
+joinViolations(const char *oracle, u64 step,
+               const std::vector<std::string> &violations)
+{
+    std::ostringstream os;
+    os << oracle << " after step " << step << ": " << violations.front();
+    if (violations.size() > 1)
+        os << " (+" << violations.size() - 1 << " more)";
+    return os.str();
+}
+
+/**
+ * One scheduled multi-vCPU program with per-step oracle sweeps.
+ * Returns the first violation's detail, nullopt on a clean run.
+ */
+std::optional<std::string>
+coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
+{
+    SmpConfig cfg;
+    cfg.vcpus = opts.vcpus;
+    cfg.cacheCapacity = 8;
+    cfg.planted = opts.planted;
+    SmpMonitor smp(cfg);
+    // Single-threaded runs must retire IPIs themselves: the driver
+    // services every vCPU while an initiator waits for acks.
+    smp.setIpiDriver([&smp](VcpuId, u64) {
+        for (VcpuId w = 0; w < smp.vcpuCount(); ++w)
+            smp.serviceIpis(w);
+    });
+
+    std::vector<hv::EnclaveHandle> enclaves;
+    for (const u64 base : elrangeBases) {
+        auto handle = smp.machine().setupEnclave(base, 2, 1, base);
+        if (!handle)
+            return std::string("scene setup failed: ") +
+                   hvErrorName(handle.error());
+        enclaves.push_back(*handle);
+    }
+
+    std::vector<Gpa> backing;
+    for (u64 i = 0; i < slotCount; ++i) {
+        auto page = smp.machine().os().allocPage();
+        if (!page)
+            return std::string("slot backing allocation failed");
+        backing.push_back(*page);
+        // Half the slots start mapped so early loads can cache entries.
+        if (i % 2 == 0)
+            (void)smp.osMap(0, slotVaBase + i * pageSize, *page);
+    }
+
+    std::optional<std::string> failure;
+    auto sweep = [&](u64 step) {
+        if (failure)
+            return;
+        auto violations = checkTlbCoherence(smp);
+        if (!violations.empty()) {
+            failure = joinViolations("tlb-coherence", step, violations);
+            return;
+        }
+        violations = checkSmpInvariants(smp);
+        if (!violations.empty())
+            failure = joinViolations("smp-invariants", step, violations);
+    };
+
+    Rng &rng = ctx.rng();
+    InterleavingScheduler sched(rng.split(1));
+    const u64 stepsEach = u64(opts.stepsPerShard) / opts.vcpus + 1;
+
+    for (VcpuId v = 0; v < smp.vcpuCount(); ++v) {
+        sched.addActor("vcpu" + std::to_string(v), [&, v](u64 step) {
+            if (failure)
+                return StepOutcome::Done;
+            if (smp.archOf(v).mode == hv::CpuMode::GuestEnclave) {
+                const hv::EnclaveHandle *handle = nullptr;
+                for (const auto &e : enclaves)
+                    if (e.id == smp.archOf(v).currentEnclave)
+                        handle = &e;
+                const u64 word =
+                    handle ? handle->elrange.start.value +
+                                 rng.below(16) * sizeof(u64)
+                           : 0;
+                switch (rng.below(4)) {
+                  case 0:
+                    (void)smp.hcEnclaveExit(v);
+                    break;
+                  case 1:
+                    (void)smp.memLoad(v, Gva(word));
+                    break;
+                  case 2:
+                    (void)smp.memStore(v, Gva(word), step);
+                    break;
+                  default: {
+                    auto report = smp.hcEnclaveReport(v);
+                    if (report &&
+                        report->id != smp.archOf(v).currentEnclave)
+                        failure = "report named the wrong enclave";
+                    break;
+                  }
+                }
+            } else {
+                const u64 slot = rng.below(slotCount);
+                const u64 va = slotVaBase + slot * pageSize;
+                switch (rng.below(8)) {
+                  case 0:
+                    (void)smp.hcEnclaveEnter(
+                        v, enclaves[rng.below(enclaves.size())].id);
+                    break;
+                  case 1:
+                  case 2:
+                    (void)smp.memLoad(v, Gva(va + rng.below(8) * 8));
+                    break;
+                  case 3:
+                    (void)smp.memStore(v, Gva(va + rng.below(8) * 8),
+                                       step);
+                    break;
+                  case 4:
+                    (void)smp.osUnmap(v, va);
+                    break;
+                  case 5:
+                    (void)smp.osMap(v, va, backing[slot]);
+                    break;
+                  case 6:
+                    (void)smp.osProtectRo(v, va, backing[slot]);
+                    break;
+                  default:
+                    if (rng.chance(1, 8)) {
+                        // Rare full teardown: destroy (fails while any
+                        // vCPU is resident) and rebuild on success.
+                        const u64 j = rng.below(enclaves.size());
+                        if (smp.hcEnclaveDestroy(v, enclaves[j].id)) {
+                            auto fresh = smp.machine().setupEnclave(
+                                elrangeBases[j], 2, 1, step + 1);
+                            if (fresh)
+                                enclaves[j] = *fresh;
+                        }
+                    } else {
+                        smp.serviceIpis(v);
+                    }
+                }
+            }
+            smp.serviceIpis(v);
+            ctx.tick();
+            sweep(step);
+            return failure || step >= stepsEach * smp.vcpuCount()
+                       ? StepOutcome::Done
+                       : StepOutcome::Ran;
+        });
+    }
+
+    (void)sched.run(u64(opts.stepsPerShard));
+    if (failure)
+        return failure;
+
+    const auto structural =
+        hv::checkMonitorInvariants(smp.monitor());
+    if (!structural.empty())
+        return "monitor invariants after run: " + structural.front();
+    return std::nullopt;
+}
+
+/** One noninterference-over-schedules shard. */
+std::optional<std::string>
+niScheduleShard(check::ShardContext &ctx)
+{
+    sec::ScheduleNiOptions opts;
+    const auto violation = sec::checkNiOverSchedules(ctx.rng(), opts);
+    ctx.tick(u64(opts.rounds) * 3);
+    if (violation)
+        return violation->lemma + ": " + violation->detail;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<check::Scenario>
+smpScenarios(const SmpScenarioOptions &opts)
+{
+    std::vector<check::Scenario> scenarios;
+    for (int block = 0; block < opts.coherenceShards; ++block) {
+        scenarios.push_back(check::Scenario{
+            shardName("smp/coherence", block), "smp", 0,
+            [opts](check::ShardContext &ctx) {
+                return coherenceShard(ctx, opts);
+            }});
+    }
+    for (int block = 0; block < opts.niShards; ++block) {
+        scenarios.push_back(check::Scenario{
+            shardName("smp/ni-schedule", block), "smp", 0,
+            [](check::ShardContext &ctx) {
+                return niScheduleShard(ctx);
+            }});
+    }
+    return scenarios;
+}
+
+} // namespace hev::smp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * SMP campaign shards: randomized multi-vCPU programs driven by the
+ * deterministic interleaving scheduler, with the TLB-coherence and
+ * structural oracles checked after every step, plus scheduled
+ * noninterference shards (Theorem 5.1 over schedules).
+ *
+ * Shards follow the campaign discipline (src/check/): all randomness
+ * comes from the shard's RNG stream, so any counterexample replays
+ * bit-identically from (campaign seed, shard id) at any thread count.
+ */
+
+#ifndef HEV_SMP_SCENARIOS_HH
+#define HEV_SMP_SCENARIOS_HH
+
+#include "check/campaign.hh"
+#include "smp/smp.hh"
+
+namespace hev::smp
+{
+
+/** Sizing of the SMP campaign workload. */
+struct SmpScenarioOptions
+{
+    int coherenceShards = 6; //!< scheduled multi-vCPU program shards
+    int niShards = 4;        //!< scheduled-noninterference shards
+    int stepsPerShard = 160; //!< scheduler decisions per coherence shard
+    u32 vcpus = 3;           //!< vCPU table size in coherence shards
+    /** Injected SMP bugs; the kill suite runs shards with these on. */
+    SmpPlantedBugs planted;
+};
+
+/**
+ * The SMP campaign: `coherenceShards` scheduled multi-vCPU programs
+ * (enter/exit/load/store/map/unmap with per-step oracle sweeps) and
+ * `niShards` noninterference-over-schedules shards.
+ */
+std::vector<check::Scenario>
+smpScenarios(const SmpScenarioOptions &opts = {});
+
+} // namespace hev::smp
+
+#endif // HEV_SMP_SCENARIOS_HH

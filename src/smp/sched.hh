@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic interleaving scheduler.
+ *
+ * Concurrency bugs live in the interleavings, and interleavings picked
+ * by the host OS scheduler are unrepeatable.  The InterleavingScheduler
+ * instead drives a set of actors (one per vCPU) step by step, choosing
+ * the next actor from a seeded RNG stream: the whole schedule is a
+ * function of (actors, seed), so any failing interleaving replays
+ * bit-identically from its seed — the same property the campaign
+ * runner (src/check/) guarantees for its shards, extended to thread
+ * interleavings.
+ */
+
+#ifndef HEV_SMP_SCHED_HH
+#define HEV_SMP_SCHED_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace hev::smp
+{
+
+/** What one actor step did. */
+enum class StepOutcome : u8
+{
+    Ran,      //!< made progress
+    Blocked,  //!< could not progress now (retried later)
+    Done,     //!< actor finished; never scheduled again
+};
+
+/** Result of one scheduled run. */
+struct SchedResult
+{
+    u64 steps = 0;        //!< scheduling decisions taken
+    u64 signature = 0;    //!< FNV hash of the decision sequence
+    bool allDone = false; //!< every actor reached Done
+    std::vector<u64> stepsPerActor;
+};
+
+/** The seeded round-robin-free scheduler. */
+class InterleavingScheduler
+{
+  public:
+    using StepFn = std::function<StepOutcome(u64 step)>;
+
+    /** @param stream schedule randomness; derive via Rng::split. */
+    explicit InterleavingScheduler(Rng stream) : rng(std::move(stream)) {}
+
+    /** Register an actor; scheduled until its step returns Done. */
+    void
+    addActor(std::string name, StepFn step)
+    {
+        actors.push_back({std::move(name), std::move(step), false});
+    }
+
+    u64 actorCount() const { return actors.size(); }
+
+    /**
+     * Run until every actor is Done or max_steps decisions were taken.
+     * Blocked steps still consume a decision (they are real schedule
+     * points), so a livelocked run terminates with allDone == false.
+     */
+    SchedResult run(u64 max_steps);
+
+  private:
+    struct Actor
+    {
+        std::string name;
+        StepFn step;
+        bool done = false;
+    };
+
+    Rng rng;
+    std::vector<Actor> actors;
+};
+
+} // namespace hev::smp
+
+#endif // HEV_SMP_SCHED_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared types of the SMP subsystem.
+ *
+ * The paper's transition system (Sec. 5) interleaves principals, and a
+ * production enclave hypervisor runs them on real CPUs concurrently.
+ * src/smp/ models that: a vCPU table owned by the monitor, per-vCPU
+ * tagged TLBs, an epoch-based TLB shootdown protocol, per-CPU frame
+ * caches, and a deterministic interleaving scheduler so every schedule
+ * the checkers explore is replayable from a seed.
+ */
+
+#ifndef HEV_SMP_SMP_HH
+#define HEV_SMP_SMP_HH
+
+#include "hv/monitor.hh"
+#include "support/types.hh"
+
+namespace hev::smp
+{
+
+/** Index into the SMP monitor's vCPU table. */
+using VcpuId = u32;
+
+/**
+ * Deliberately plantable SMP bugs, off by default.  Like
+ * hv::PlantedBugs these are kill-suite targets: each must be caught by
+ * the SMP campaign/fuzz oracles, never by a crash.
+ */
+struct SmpPlantedBugs
+{
+    /**
+     * The shootdown initiator declares completion without waiting for
+     * the target vCPUs to ack their IPIs: remote TLBs keep translating
+     * through the just-removed mapping.
+     */
+    bool skipShootdownAck = false;
+
+    bool
+    any() const
+    {
+        return skipShootdownAck;
+    }
+};
+
+/** Build-time configuration of the SMP monitor. */
+struct SmpConfig
+{
+    /** The underlying machine (monitor + primary OS). */
+    hv::MonitorConfig monitor;
+    /** Number of vCPUs in the table. */
+    u32 vcpus = 4;
+    /**
+     * Per-CPU frame-cache capacity in frames; refills/drains move
+     * half a capacity per batch.  0 disables the caches (every
+     * allocation goes straight to the global allocator).
+     */
+    u32 cacheCapacity = 32;
+    /** Injected SMP bugs for the kill suite (all off by default). */
+    SmpPlantedBugs planted;
+};
+
+} // namespace hev::smp
+
+#endif // HEV_SMP_SMP_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The SMP oracles: TLB coherence across vCPUs and structural sanity of
+ * the vCPU table.
+ *
+ * The coherence oracle is the property the shootdown protocol exists
+ * for: every entry cached in *any* vCPU's TLB must still agree with
+ * what the authoritative tables translate to — unless a shootdown of
+ * that entry's domain is still in flight, which is the only window a
+ * stale entry is architecturally excused in.  The planted
+ * skipShootdownAck bug clears the in-flight marker without retiring
+ * remote entries, so it leaves exactly the inexcusable kind of
+ * staleness these checks flag.
+ *
+ * Both checkers assume the machine is quiescent (no vCPU mid-step):
+ * the deterministic scheduler calls them between steps, and threaded
+ * tests call them after joining.
+ */
+
+#ifndef HEV_SMP_SMP_INVARIANTS_HH
+#define HEV_SMP_SMP_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "smp/smp_monitor.hh"
+
+namespace hev::smp
+{
+
+/**
+ * Check every cached translation of every vCPU against the
+ * authoritative tables.  A violation is:
+ *  - an entry whose domain's enclave is dead,
+ *  - an entry the tables no longer translate (unmapped underneath),
+ *  - an entry translating to a different frame than the tables,
+ *  - a writable entry the tables only allow read-only,
+ * in each case with no shootdown of that domain in flight.
+ *
+ * @return human-readable violations; empty means coherent.
+ */
+std::vector<std::string> checkTlbCoherence(const SmpMonitor &smp);
+
+/**
+ * Structural invariants of the vCPU table:
+ *  - mode/domain/currentEnclave/root consistency per vCPU,
+ *  - every resident vCPU's enclave is live,
+ *  - per-enclave occupancy counts match the vCPU table exactly and
+ *    never exceed the enclave's TCS count.
+ */
+std::vector<std::string> checkSmpInvariants(const SmpMonitor &smp);
+
+} // namespace hev::smp
+
+#endif // HEV_SMP_SMP_INVARIANTS_HH

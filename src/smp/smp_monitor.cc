@@ -1,0 +1,517 @@
+#include "smp/smp_monitor.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/stats.hh"
+#include "support/logging.hh"
+
+namespace hev::smp
+{
+
+namespace
+{
+
+const obs::Counter statShootdowns("smp.shootdowns");
+const obs::Counter statIpisSent("smp.ipis_sent");
+const obs::Counter statIpisAcked("smp.ipis_acked");
+const obs::Counter statSmpEnters("smp.enters");
+const obs::Counter statSmpExits("smp.exits");
+const obs::Counter statSmpDestroys("smp.destroys");
+const obs::Histogram statShootdownNs("smp.shootdown_ns");
+const obs::Histogram statShootdownWaitSpins("smp.shootdown_wait_spins");
+
+u64
+nowNs()
+{
+    return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count());
+}
+
+} // namespace
+
+SmpMonitor::SmpMonitor(const SmpConfig &config)
+    : cfg(config), mach(config.monitor)
+{
+    if (cfg.vcpus == 0)
+        fatal("SMP monitor needs at least one vCPU");
+    // The default driver just yields: real target threads poll their
+    // mailboxes via serviceIpis().
+    ipiDriver = [](VcpuId, u64) { std::this_thread::yield(); };
+
+    for (u32 v = 0; v < cfg.vcpus; ++v) {
+        auto cpu = std::make_unique<SmpVcpu>();
+        // Every vCPU boots in the normal VM on the kernel's tables,
+        // like the Machine's own boot vCPU.
+        cpu->arch = mach.vcpu();
+        cpus.push_back(std::move(cpu));
+        caches.push_back(std::make_unique<CpuFrameCache>(
+            monitor().mem(), monitor().ptAlloc(), cfg.cacheCapacity));
+    }
+}
+
+void
+SmpMonitor::setIpiDriver(IpiDriver driver)
+{
+    ipiDriver = std::move(driver);
+}
+
+void
+SmpMonitor::lockExclusiveServicing(std::shared_mutex &m, VcpuId v)
+{
+    while (!m.try_lock()) {
+        serviceIpis(v);
+        std::this_thread::yield();
+    }
+}
+
+void
+SmpMonitor::lockSharedServicing(std::shared_mutex &m, VcpuId v)
+{
+    while (!m.try_lock_shared()) {
+        serviceIpis(v);
+        std::this_thread::yield();
+    }
+}
+
+void
+SmpMonitor::lockServicing(std::mutex &m, VcpuId v)
+{
+    while (!m.try_lock()) {
+        serviceIpis(v);
+        std::this_thread::yield();
+    }
+}
+
+std::mutex *
+SmpMonitor::enclaveLock(EnclaveId id)
+{
+    std::lock_guard<std::mutex> guard(enclaveLocksTableLock);
+    auto it = enclaveLocks.find(id);
+    if (it == enclaveLocks.end())
+        it = enclaveLocks.emplace(id, std::make_unique<std::mutex>())
+                 .first;
+    return it->second.get();
+}
+
+void
+SmpMonitor::serviceIpis(VcpuId v)
+{
+    SmpVcpu &cpu = *cpus[v];
+    std::vector<IpiRequest> todo;
+    {
+        std::lock_guard<std::mutex> guard(cpu.mailboxLock);
+        todo.swap(cpu.mailbox);
+    }
+    if (todo.empty())
+        return;
+    u64 top = 0;
+    for (const IpiRequest &req : todo) {
+        cpu.tlb.flushDomain(req.domain);
+        top = std::max(top, req.gen);
+    }
+    statCounters.ipisAcked += todo.size();
+    statIpisAcked.add(todo.size());
+    // Flushes above must be visible before the ack is (release pairs
+    // with the initiator's acquire load).
+    u64 prev = cpu.ackGen.load(std::memory_order_relaxed);
+    while (prev < top &&
+           !cpu.ackGen.compare_exchange_weak(prev, top,
+                                             std::memory_order_release)) {
+    }
+}
+
+bool
+SmpMonitor::ipiPending(VcpuId v) const
+{
+    SmpVcpu &cpu = *cpus[v];
+    std::lock_guard<std::mutex> guard(cpu.mailboxLock);
+    return !cpu.mailbox.empty();
+}
+
+bool
+SmpMonitor::shootdownInFlight(hv::DomainId domain) const
+{
+    return inFlightDomainPlus1.load(std::memory_order_acquire) ==
+           u64(domain) + 1;
+}
+
+void
+SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
+{
+    lockServicing(shootdownLock, initiator);
+    const u64 gen = epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+    inFlightDomainPlus1.store(u64(domain) + 1, std::memory_order_release);
+
+    for (VcpuId w = 0; w < vcpuCount(); ++w) {
+        if (w == initiator)
+            continue;
+        SmpVcpu &target = *cpus[w];
+        {
+            std::lock_guard<std::mutex> guard(target.mailboxLock);
+            target.mailbox.push_back({gen, domain});
+        }
+        ++statCounters.ipisSent;
+        statIpisSent.inc();
+    }
+    cpus[initiator]->tlb.flushDomain(domain);
+    ++statCounters.shootdowns;
+    statShootdowns.inc();
+
+    if (cfg.planted.skipShootdownAck) {
+        // PLANTED BUG: declare completion without the ack wait.  The
+        // IPIs stay posted, remote TLBs stay stale, and the in-flight
+        // marker is cleared — so the coherence oracle has no excuse
+        // left and must flag any remote entry of this domain.
+        inFlightDomainPlus1.store(0, std::memory_order_release);
+        shootdownLock.unlock();
+        return;
+    }
+
+    const u64 start = nowNs();
+    u64 spins = 0;
+    for (;;) {
+        bool all_acked = true;
+        for (VcpuId w = 0; w < vcpuCount(); ++w) {
+            if (w == initiator)
+                continue;
+            if (cpus[w]->ackGen.load(std::memory_order_acquire) < gen) {
+                all_acked = false;
+                break;
+            }
+        }
+        if (all_acked)
+            break;
+        ++spins;
+        // Keep draining our own mailbox (interrupts stay enabled while
+        // spinning) and let the driver make targets progress.
+        serviceIpis(initiator);
+        ipiDriver(initiator, gen);
+    }
+    statShootdownNs.record(nowNs() - start);
+    statShootdownWaitSpins.record(spins);
+    inFlightDomainPlus1.store(0, std::memory_order_release);
+    shootdownLock.unlock();
+}
+
+Expected<EnclaveId>
+SmpMonitor::hcEnclaveInit(VcpuId v, const hv::EnclaveConfig &config)
+{
+    lockExclusiveServicing(structuralLock, v);
+    std::unique_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    auto id = monitor().hcEnclaveInit(config);
+    if (id)
+        enclaveLock(*id); // materialize the per-enclave mutex
+    return id;
+}
+
+Status
+SmpMonitor::hcEnclaveAddPage(VcpuId v, EnclaveId id, Gva page_gva, Gpa src,
+                             hv::AddPageKind kind)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    std::mutex *lock = enclaveLock(id);
+    lockServicing(*lock, v);
+    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    return monitor().hcEnclaveAddPage(id, page_gva, src, kind,
+                                      caches[v].get());
+}
+
+Status
+SmpMonitor::hcEnclaveInitFinish(VcpuId v, EnclaveId id)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    std::mutex *lock = enclaveLock(id);
+    lockServicing(*lock, v);
+    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    return monitor().hcEnclaveInitFinish(id);
+}
+
+Status
+SmpMonitor::hcEnclaveEnter(VcpuId v, EnclaveId id)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    SmpVcpu &cpu = *cpus[v];
+    if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+        return HvError::BadEnclaveState;
+    hv::Enclave *enclave = monitor().findEnclaveMutable(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    std::mutex *lock = enclaveLock(id);
+    {
+        lockServicing(*lock, v);
+        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        if (enclave->state != hv::EnclaveState::Initialized)
+            return HvError::BadEnclaveState;
+        // Multi-occupancy: one TCS per resident vCPU.
+        if (u64(enclave->activeVcpus) >= enclave->tcsPages)
+            return HvError::BadEnclaveState;
+        ++enclave->activeVcpus;
+    }
+
+    cpu.savedAppRegs = cpu.arch.regs;
+    cpu.savedAppGptRoot = cpu.arch.gptRoot;
+    auto ctx = cpu.enclaveCtx.find(id);
+    if (ctx != cpu.enclaveCtx.end()) {
+        cpu.arch.regs = ctx->second;
+    } else {
+        // First entry on this vCPU: scrubbed registers, TCS entry point.
+        cpu.arch.regs = hv::RegFile{};
+        cpu.arch.regs.rip = enclave->entryPoint;
+    }
+    cpu.arch.mode = hv::CpuMode::GuestEnclave;
+    cpu.arch.currentEnclave = id;
+    cpu.arch.domain = id;
+    cpu.arch.gptRoot = enclave->gptRoot;
+    cpu.arch.eptRoot = enclave->eptRoot;
+    cpu.tlb.flushDomain(id);
+    ++statCounters.enters;
+    statSmpEnters.inc();
+    return okStatus();
+}
+
+Status
+SmpMonitor::hcEnclaveExit(VcpuId v)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    SmpVcpu &cpu = *cpus[v];
+    if (cpu.arch.mode != hv::CpuMode::GuestEnclave)
+        return HvError::BadEnclaveState;
+    const EnclaveId id = cpu.arch.currentEnclave;
+    hv::Enclave *enclave = monitor().findEnclaveMutable(id);
+    if (!enclave)
+        panic("vCPU %u inside unknown enclave %u", v, id);
+
+    cpu.enclaveCtx[id] = cpu.arch.regs;
+    cpu.arch.regs = cpu.savedAppRegs;
+    cpu.arch.mode = hv::CpuMode::GuestNormal;
+    cpu.arch.currentEnclave = invalidEnclave;
+    cpu.arch.domain = hv::normalVmDomain;
+    cpu.arch.gptRoot = cpu.savedAppGptRoot;
+    cpu.arch.eptRoot = monitor().normalEptRoot();
+    // Paper Sec. 2.1: exit invalidates exactly the enclave's tags in
+    // *this* vCPU's TLB; guest-normal entries survive, and other
+    // vCPUs resident in the enclave keep theirs.
+    cpu.tlb.flushDomain(id);
+
+    std::mutex *lock = enclaveLock(id);
+    {
+        lockServicing(*lock, v);
+        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        if (enclave->activeVcpus > 0)
+            --enclave->activeVcpus;
+    }
+    ++statCounters.exits;
+    statSmpExits.inc();
+    return okStatus();
+}
+
+Status
+SmpMonitor::hcEnclaveDestroy(VcpuId v, EnclaveId id)
+{
+    lockExclusiveServicing(structuralLock, v);
+    std::unique_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    hv::Enclave *enclave = monitor().findEnclaveMutable(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    // The SMP-correct residency check: every vCPU in the table, not
+    // just the caller.  A single-vCPU check here would scrub EPC pages
+    // under a sibling vCPU still executing inside the enclave.
+    for (VcpuId w = 0; w < vcpuCount(); ++w) {
+        if (cpus[w]->arch.mode == hv::CpuMode::GuestEnclave &&
+            cpus[w]->arch.currentEnclave == id)
+            return HvError::BadEnclaveState;
+    }
+    // Retire every remote translation of the dying domain before the
+    // backing frames are scrubbed and recycled.
+    shootdown(v, id);
+    auto st = monitor().hcEnclaveRemove(id);
+    if (st) {
+        for (auto &cpu : cpus)
+            cpu->enclaveCtx.erase(id);
+        ++statCounters.destroys;
+        statSmpDestroys.inc();
+    }
+    return st;
+}
+
+Expected<hv::EnclaveReport>
+SmpMonitor::hcEnclaveReport(VcpuId v)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    return monitor().hcEnclaveReport(cpus[v]->arch);
+}
+
+Status
+SmpMonitor::osUnmap(VcpuId v, u64 va)
+{
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        SmpVcpu &cpu = *cpus[v];
+        if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        lockExclusiveServicing(osPtLock, v);
+        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
+                                                     std::adopt_lock);
+        if (auto st = mach.os().gptUnmap(Gpa(cpu.arch.gptRoot.value), va);
+            !st)
+            return st;
+        cpu.tlb.invalidatePage(hv::normalVmDomain, va);
+    }
+    // All locks dropped: the ack wait must not block targets that need
+    // osPtLock or structuralLock to make progress.
+    shootdown(v, hv::normalVmDomain);
+    return okStatus();
+}
+
+Status
+SmpMonitor::osMap(VcpuId v, u64 va, Gpa target)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    SmpVcpu &cpu = *cpus[v];
+    if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+        return HvError::PermissionDenied;
+    lockExclusiveServicing(osPtLock, v);
+    std::unique_lock<std::shared_mutex> pt_guard(osPtLock, std::adopt_lock);
+    return mach.os().gptMap(Gpa(cpu.arch.gptRoot.value), va, target,
+                            hv::PteFlags::userRw());
+}
+
+Status
+SmpMonitor::osProtectRo(VcpuId v, u64 va, Gpa target)
+{
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        SmpVcpu &cpu = *cpus[v];
+        if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        lockExclusiveServicing(osPtLock, v);
+        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
+                                                     std::adopt_lock);
+        const Gpa root = Gpa(cpu.arch.gptRoot.value);
+        if (auto st = mach.os().gptUnmap(root, va); !st)
+            return st;
+        if (auto st = mach.os().gptMap(root, va, target,
+                                       hv::PteFlags::userRo()); !st)
+            return st;
+        cpu.tlb.invalidatePage(hv::normalVmDomain, va);
+    }
+    // A stale writable entry elsewhere would defeat the downgrade.
+    shootdown(v, hv::normalVmDomain);
+    return okStatus();
+}
+
+Status
+SmpMonitor::setGptRoot(VcpuId v, Hpa new_root)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    SmpVcpu &cpu = *cpus[v];
+    if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+        return HvError::PermissionDenied;
+    cpu.arch.gptRoot = new_root;
+    // MOV CR3 is CPU local: flush this vCPU's normal-VM tags only.
+    cpu.tlb.flushDomain(hv::normalVmDomain);
+    return okStatus();
+}
+
+Expected<Hpa>
+SmpMonitor::translate(VcpuId v, Gva va, bool is_write)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    SmpVcpu &cpu = *cpus[v];
+    if (auto hit = cpu.tlb.lookup(cpu.arch.domain, va.value)) {
+        if (!is_write || hit->writable)
+            return Hpa(hit->hpaPage + va.pageOffset());
+    }
+
+    Expected<Hpa> hpa = HvError::NotMapped;
+    if (cpu.arch.mode == hv::CpuMode::GuestEnclave) {
+        // Enclave tables only change shape before the enclave is
+        // enterable (add_page) or at destroy, which this vCPU's own
+        // residency blocks — no extra lock needed for the walk.
+        hpa = monitor().translateEnclaveUncached(cpu.arch.gptRoot,
+                                                 cpu.arch.eptRoot, va,
+                                                 is_write);
+    } else {
+        // Normal-mode walks read guest-managed tables that osUnmap /
+        // osMap / osProtectRo mutate under the exclusive side.
+        lockSharedServicing(osPtLock, v);
+        std::shared_lock<std::shared_mutex> pt_guard(osPtLock,
+                                                     std::adopt_lock);
+        hpa = monitor().translateUncached(cpu.arch.gptRoot,
+                                          cpu.arch.eptRoot, va, is_write);
+    }
+    if (!hpa)
+        return hpa.error();
+    cpu.tlb.insert(cpu.arch.domain, va.value,
+                   {hpa->pageBase().value, is_write});
+    return *hpa;
+}
+
+Expected<Hpa>
+SmpMonitor::translateAuthoritative(VcpuId v, hv::DomainId domain, Gva va,
+                                   bool is_write) const
+{
+    const SmpVcpu &cpu = *cpus[v];
+    if (domain == hv::normalVmDomain) {
+        const Hpa gpt = cpu.arch.mode == hv::CpuMode::GuestNormal
+                            ? cpu.arch.gptRoot
+                            : cpu.savedAppGptRoot;
+        return monitor().translateUncached(gpt, monitor().normalEptRoot(),
+                                           va, is_write);
+    }
+    const hv::Enclave *enclave = monitor().findEnclave(domain);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    return monitor().translateEnclaveUncached(enclave->gptRoot,
+                                              enclave->eptRoot, va,
+                                              is_write);
+}
+
+Expected<u64>
+SmpMonitor::memLoad(VcpuId v, Gva va)
+{
+    if (va.value % sizeof(u64) != 0)
+        return HvError::NotAligned;
+    auto hpa = translate(v, va, false);
+    if (!hpa)
+        return hpa.error();
+    return monitor().mem().read(*hpa);
+}
+
+Status
+SmpMonitor::memStore(VcpuId v, Gva va, u64 value)
+{
+    if (va.value % sizeof(u64) != 0)
+        return HvError::NotAligned;
+    auto hpa = translate(v, va, true);
+    if (!hpa)
+        return hpa.error();
+    monitor().mem().write(*hpa, value);
+    return okStatus();
+}
+
+} // namespace hev::smp

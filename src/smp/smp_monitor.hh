@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The multi-vCPU monitor: vCPU table, per-vCPU TLBs, fine-grained
+ * locking, and the epoch-based TLB shootdown protocol.
+ *
+ * SmpMonitor wraps an hv::Machine with an N-entry vCPU table.  Each
+ * vCPU owns its architectural state (hv::VCpu), its own tagged TLB and
+ * a per-CPU frame cache; the single-vCPU monitor's global TLB is
+ * unused here.  Hypercalls delegate to hv::Monitor for the isolation
+ * logic but manage occupancy, contexts and TLBs per vCPU.
+ *
+ * Locking (acquire strictly in this order, release in any):
+ *   1. structuralLock — shared for ordinary hypercalls and memory
+ *      accesses, exclusive for enclave create/destroy (the enclave
+ *      table itself changes shape).
+ *   2. per-enclave mutex — serializes occupancy and add_page on one
+ *      enclave; different enclaves proceed in parallel.
+ *   3. osPtLock — exclusive for primary-OS page-table edits and guest
+ *      pool operations, shared for normal-mode TLB-miss walks.
+ *   4. shootdownLock — at most one shootdown in flight.
+ * No lock is ever held across a shootdown's ack wait except
+ * shootdownLock itself (and structuralLock during destroy), and every
+ * blocking acquisition by a vCPU services that vCPU's own IPIs while
+ * it spins — the software analogue of spinning with interrupts
+ * enabled, and what makes the wait deadlock free.
+ *
+ * Shootdown protocol (unmap / permission downgrade / destroy):
+ *   initiate: bump the global epoch to G, post {G, domain} into every
+ *             other vCPU's IPI mailbox, flush the initiator's own TLB.
+ *   service:  a vCPU (always on its own thread) drains its mailbox,
+ *             flushes the requested domains from its TLB, and
+ *             publishes G as its ack generation.
+ *   complete: the initiator returns only once every target's ack
+ *             generation has reached G.  The planted skipShootdownAck
+ *             bug returns without waiting — remote vCPUs keep
+ *             translating through the dead mapping, which the
+ *             coherence oracle (smp_invariants.hh) flags.
+ */
+
+#ifndef HEV_SMP_SMP_MONITOR_HH
+#define HEV_SMP_SMP_MONITOR_HH
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "hv/machine.hh"
+#include "smp/cpu_cache.hh"
+#include "smp/smp.hh"
+
+namespace hev::smp
+{
+
+/** One posted-but-unserviced remote flush request. */
+struct IpiRequest
+{
+    u64 gen = 0;              //!< shootdown generation
+    hv::DomainId domain = 0;  //!< domain to flush
+};
+
+/** One slot of the vCPU table. */
+struct SmpVcpu
+{
+    /** Architectural state; touched only by the owning thread. */
+    hv::VCpu arch;
+    /** This vCPU's private tagged TLB. */
+    hv::Tlb tlb;
+    /** App context saved by enter, restored by exit (per vCPU). */
+    hv::RegFile savedAppRegs;
+    Hpa savedAppGptRoot{};
+    /** Per-enclave enclave-side contexts (one TCS per resident vCPU). */
+    std::map<EnclaveId, hv::RegFile> enclaveCtx;
+
+    /** IPI mailbox: written by initiators, drained by the owner. */
+    std::mutex mailboxLock;
+    std::vector<IpiRequest> mailbox;
+    /** Highest shootdown generation this vCPU has acked. */
+    std::atomic<u64> ackGen{0};
+};
+
+/** Counters of the SMP machinery (the hv ones keep counting too). */
+struct SmpStats
+{
+    std::atomic<u64> shootdowns{0};
+    std::atomic<u64> ipisSent{0};
+    std::atomic<u64> ipisAcked{0};
+    std::atomic<u64> enters{0};
+    std::atomic<u64> exits{0};
+    std::atomic<u64> destroys{0};
+};
+
+/** The SMP monitor. */
+class SmpMonitor
+{
+  public:
+    /**
+     * Hook the shootdown ack wait spins on.  The deterministic
+     * scheduler installs a driver that picks an unacked target and
+     * services its IPIs on the spot (replayable from the schedule
+     * seed); the default driver yields the thread so real target
+     * threads get scheduled to poll their mailboxes.
+     */
+    using IpiDriver = std::function<void(VcpuId initiator, u64 gen)>;
+
+    explicit SmpMonitor(const SmpConfig &config);
+
+    SmpMonitor(const SmpMonitor &) = delete;
+    SmpMonitor &operator=(const SmpMonitor &) = delete;
+
+    /// @name Component access
+    /// @{
+    hv::Machine &machine() { return mach; }
+    const hv::Machine &machine() const { return mach; }
+    hv::Monitor &monitor() { return mach.monitor(); }
+    const hv::Monitor &monitor() const { return mach.monitor(); }
+    u32 vcpuCount() const { return u32(cpus.size()); }
+    hv::VCpu &archOf(VcpuId v) { return cpus[v]->arch; }
+    const hv::VCpu &archOf(VcpuId v) const { return cpus[v]->arch; }
+    const hv::Tlb &tlbOf(VcpuId v) const { return cpus[v]->tlb; }
+    CpuFrameCache &cacheOf(VcpuId v) { return *caches[v]; }
+    const SmpStats &stats() const { return statCounters; }
+    const SmpConfig &config() const { return cfg; }
+    /// @}
+
+    /** Replace the ack-wait driver (see IpiDriver). */
+    void setIpiDriver(IpiDriver driver);
+
+    /// @name Hypercalls, issued by a specific vCPU
+    /// @{
+
+    Expected<EnclaveId> hcEnclaveInit(VcpuId v,
+                                      const hv::EnclaveConfig &config);
+
+    Status hcEnclaveAddPage(VcpuId v, EnclaveId id, Gva page_gva, Gpa src,
+                            hv::AddPageKind kind);
+
+    Status hcEnclaveInitFinish(VcpuId v, EnclaveId id);
+
+    /**
+     * Multi-occupancy enter: up to tcsPages vCPUs may be resident at
+     * once; each saves its app context in its own vCPU slot.
+     */
+    Status hcEnclaveEnter(VcpuId v, EnclaveId id);
+
+    /**
+     * Exit back to the normal VM, flushing exactly this vCPU's TLB
+     * entries of the enclave's domain (paper Sec. 2.1) — guest-normal
+     * entries survive.
+     */
+    Status hcEnclaveExit(VcpuId v);
+
+    /**
+     * Destroy: rejected while *any* vCPU in the table is inside the
+     * enclave (not merely the calling one), then a shootdown of the
+     * enclave's domain retires every remote stale translation before
+     * the EPC pages are scrubbed and the table frames freed.
+     */
+    Status hcEnclaveDestroy(VcpuId v, EnclaveId id);
+
+    /** EREPORT analogue for the enclave this vCPU is resident in. */
+    Expected<hv::EnclaveReport> hcEnclaveReport(VcpuId v);
+
+    /// @}
+
+    /// @name Primary-OS page-table operations with coherent shootdown
+    /// @{
+
+    /**
+     * Unmap va from this vCPU's current guest page table, then run the
+     * shootdown protocol over the normal-VM domain.
+     */
+    Status osUnmap(VcpuId v, u64 va);
+
+    /** Map va -> target; no shootdown (no stale positive entry). */
+    Status osMap(VcpuId v, u64 va, Gpa target);
+
+    /**
+     * Permission downgrade: remap va read-only onto `target`, then
+     * shootdown (a stale writable entry would be a coherence hole).
+     */
+    Status osProtectRo(VcpuId v, u64 va, Gpa target);
+
+    /** MOV CR3 on one vCPU: local domain flush only, no shootdown. */
+    Status setGptRoot(VcpuId v, Hpa new_root);
+
+    /// @}
+
+    /// @name Memory accesses through the per-vCPU TLB
+    /// @{
+
+    Expected<u64> memLoad(VcpuId v, Gva va);
+
+    Status memStore(VcpuId v, Gva va, u64 value);
+
+    /** Translation via this vCPU's TLB (fills it on miss). */
+    Expected<Hpa> translate(VcpuId v, Gva va, bool is_write);
+
+    /**
+     * TLB-less authoritative translation of (vCPU, domain, va): what
+     * the tables say right now.  The coherence oracle compares every
+     * cached entry against this.
+     */
+    Expected<Hpa> translateAuthoritative(VcpuId v, hv::DomainId domain,
+                                         Gva va, bool is_write) const;
+
+    /// @}
+
+    /// @name The shootdown machinery
+    /// @{
+
+    /**
+     * Drain this vCPU's IPI mailbox: flush the requested domains from
+     * its TLB and publish the ack generation.  Must be called from the
+     * vCPU's driving thread; scheduler steps call it after each op and
+     * worker threads poll it.
+     */
+    void serviceIpis(VcpuId v);
+
+    /** True iff the vCPU has unserviced IPI requests. */
+    bool ipiPending(VcpuId v) const;
+
+    /** Current shootdown epoch (generations issued so far). */
+    u64 shootdownEpoch() const { return epoch.load(); }
+
+    /**
+     * True while a shootdown of the domain has begun but not yet
+     * completed.  The coherence oracle excuses stale entries of such a
+     * domain; after completion there is no excuse.
+     */
+    bool shootdownInFlight(hv::DomainId domain) const;
+
+    /// @}
+
+  private:
+    /** Run the full shootdown protocol for one domain. */
+    void shootdown(VcpuId initiator, hv::DomainId domain);
+
+    /** Blocking lock acquisitions that keep servicing own IPIs. */
+    void lockExclusiveServicing(std::shared_mutex &m, VcpuId v);
+    void lockSharedServicing(std::shared_mutex &m, VcpuId v);
+    void lockServicing(std::mutex &m, VcpuId v);
+
+    /**
+     * The per-enclave mutex, created on first use (enclaves can also
+     * be created behind the SMP monitor's back through the wrapped
+     * Machine's own hypercall path) and kept until teardown.
+     */
+    std::mutex *enclaveLock(EnclaveId id);
+
+    SmpConfig cfg;
+    hv::Machine mach;
+    std::vector<std::unique_ptr<SmpVcpu>> cpus;
+    std::vector<std::unique_ptr<CpuFrameCache>> caches;
+
+    /** Lock 1: enclave-table shape (see file header). */
+    std::shared_mutex structuralLock;
+    /** Lock 2 lives in enclaveLocks, one mutex per enclave. */
+    std::map<EnclaveId, std::unique_ptr<std::mutex>> enclaveLocks;
+    /** Guards the enclaveLocks table itself (held only inside
+     *  enclaveLock, never across another acquisition). */
+    mutable std::mutex enclaveLocksTableLock;
+    /** Lock 3: primary-OS page tables and guest page pool. */
+    std::shared_mutex osPtLock;
+    /** Lock 4: one shootdown in flight at a time. */
+    std::mutex shootdownLock;
+
+    std::atomic<u64> epoch{0};
+    /** Domain+1 of the in-flight shootdown; 0 = none. */
+    std::atomic<u64> inFlightDomainPlus1{0};
+
+    IpiDriver ipiDriver;
+    SmpStats statCounters;
+};
+
+} // namespace hev::smp
+
+#endif // HEV_SMP_SMP_MONITOR_HH

@@ -2,10 +2,11 @@
  * @file
  * The planted-bug kill suite (the fuzzer's reason to exist).
  *
- * Six realistic bugs are injected one at a time — an off-by-one
+ * Seven realistic bugs are injected one at a time — an off-by-one
  * ELRANGE bound, a skipped EPCM ownership record, a stale TLB on
  * unmap, a wrong permission mask, a frame double-free behind a test
- * hook, and a flat/tree refinement skew.  For each, the
+ * hook, a flat/tree refinement skew, and an SMP shootdown that skips
+ * the ack wait.  For each, the
  * coverage-guided fuzzer must find a divergence within a bounded
  * budget, and the shrinker must reduce the finding to at most 8 ops
  * that still fail and are locally 1-minimal.  A control run asserts
@@ -74,14 +75,17 @@ TEST(FuzzKills, FrameDoubleFree) { expectKilled("frame-double-free"); }
 
 TEST(FuzzKills, TreeSkew) { expectKilled("tree-skew"); }
 
+TEST(FuzzKills, SkipShootdownAck) { expectKilled("skip-shootdown-ack"); }
+
 TEST(FuzzKills, BugNamesAreExhaustive)
 {
     const auto names = plantedBugNames();
-    EXPECT_EQ(names.size(), 6u);
+    EXPECT_EQ(names.size(), 7u);
     for (const std::string &name : names) {
         ExecOptions opts = ExecOptions::standard();
         EXPECT_TRUE(applyPlantedBug(opts, name)) << name;
-        EXPECT_TRUE(opts.monitor.planted.any() || opts.treeSkewBug)
+        EXPECT_TRUE(opts.monitor.planted.any() || opts.treeSkewBug ||
+                    opts.skipShootdownAckBug)
             << name;
     }
     ExecOptions opts = ExecOptions::standard();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SMP fuzzing integration: the vcpu= / schedule-seed trace-format
+ * extension round-trips, every pre-SMP golden corpus file serializes
+ * byte-identically, executor dispatch picks the right machine, and
+ * the SMP seed skeletons run clean on a correct monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/executor.hh"
+#include "fuzz/mutate.hh"
+#include "fuzz/smp_executor.hh"
+#include "fuzz/trace.hh"
+
+using namespace hev;
+using namespace hev::fuzz;
+
+TEST(FuzzSmpFormat, VcpuAndScheduleSeedRoundTrip)
+{
+    Trace trace;
+    trace.scheduleSeed = 0xabc123;
+    trace.ops.push_back({OpKind::MemLoad, 1, 2, 3, 4, 0});
+    trace.ops.push_back({OpKind::OsUnmap, 0, 0, 0, 0, 2});
+    trace.ops.push_back({OpKind::Enter, 7, 0, 0, 0, 1});
+
+    const std::string text = serializeTrace(trace);
+    EXPECT_NE(text.find("schedule-seed"), std::string::npos);
+    EXPECT_NE(text.find("vcpu=2"), std::string::npos);
+    EXPECT_NE(text.find("vcpu=1"), std::string::npos);
+    // vcpu 0 is the default and must not be written out.
+    EXPECT_EQ(text.find("vcpu=0"), std::string::npos);
+
+    std::string error;
+    const auto parsed = parseTrace(text, &error);
+    ASSERT_TRUE(parsed) << error;
+    ASSERT_EQ(parsed->ops.size(), 3u);
+    EXPECT_EQ(parsed->scheduleSeed, 0xabc123u);
+    EXPECT_EQ(parsed->ops[0].vcpu, 0u);
+    EXPECT_EQ(parsed->ops[1].vcpu, 2u);
+    EXPECT_EQ(parsed->ops[2].vcpu, 1u);
+    EXPECT_EQ(serializeTrace(*parsed), text);
+}
+
+TEST(FuzzSmpFormat, SingleVcpuTracesSerializeAsBefore)
+{
+    Trace trace;
+    trace.ops.push_back({OpKind::MemLoad, 5, 0, 0, 0});
+    const std::string text = serializeTrace(trace);
+    EXPECT_EQ(text.find("vcpu="), std::string::npos);
+    EXPECT_EQ(text.find("schedule-seed"), std::string::npos);
+}
+
+TEST(FuzzSmpFormat, RejectsMalformedVcpuFields)
+{
+    const std::string header = "hev-trace v1\n";
+    std::string error;
+    EXPECT_FALSE(parseTrace(header + "op mem_load 1 2 3 4 vcpu=x\n",
+                            &error));
+    EXPECT_FALSE(parseTrace(header + "op mem_load 1 2 3 4 vcpu=1 extra\n",
+                            &error));
+    EXPECT_FALSE(parseTrace(header + "schedule-seed\n", &error));
+    EXPECT_FALSE(parseTrace(header + "schedule-seed 3 extra\n", &error));
+    EXPECT_TRUE(parseTrace(header + "op mem_load 1 2 3 4 vcpu=1\n",
+                           &error))
+        << error;
+}
+
+/**
+ * Satellite guarantee: every golden corpus file written before the
+ * vcpu extension must parse and re-serialize to the exact same bytes.
+ */
+TEST(FuzzSmpFormat, GoldenCorpusFilesAreByteIdentical)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(HEV_SOURCE_DIR) / "tests" / "fuzz" /
+        "corpus";
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+    u64 files = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        ++files;
+        std::ifstream in(entry.path());
+        std::ostringstream content;
+        content << in.rdbuf();
+        std::string error;
+        const auto trace = parseTrace(content.str(), &error);
+        ASSERT_TRUE(trace) << entry.path() << ": " << error;
+        EXPECT_EQ(serializeTrace(*trace), content.str())
+            << entry.path() << " no longer round-trips byte-identically";
+    }
+    EXPECT_GT(files, 0u);
+}
+
+TEST(FuzzSmpExec, DispatchRoutesOnVcpuScheduleSeedOrOption)
+{
+    ExecOptions opts;
+    Trace plain;
+    plain.ops.push_back({OpKind::MemLoad, 0, 0, 0, 0});
+    EXPECT_FALSE(needsSmpExecutor(opts, plain));
+
+    Trace withVcpu = plain;
+    withVcpu.ops[0].vcpu = 1;
+    EXPECT_TRUE(needsSmpExecutor(opts, withVcpu));
+
+    Trace withSeed = plain;
+    withSeed.scheduleSeed = 9;
+    EXPECT_TRUE(needsSmpExecutor(opts, withSeed));
+
+    ExecOptions smpOpts;
+    smpOpts.smpFuzz = true;
+    EXPECT_TRUE(needsSmpExecutor(smpOpts, plain));
+}
+
+TEST(FuzzSmpExec, SeedSkeletonsRunCleanOnCorrectMonitor)
+{
+    ExecOptions opts;
+    opts.smpFuzz = true;
+    opts.smpVcpus = 3;
+    for (const Trace &seed : smpSeedTraces(3)) {
+        const ExecResult result = executeTrace(opts, seed);
+        EXPECT_FALSE(result.divergence) << result.detail;
+        EXPECT_EQ(result.opsExecuted, seed.ops.size());
+        EXPECT_FALSE(result.features.empty());
+    }
+}
+
+TEST(FuzzSmpExec, DeterministicAcrossRuns)
+{
+    ExecOptions opts;
+    opts.smpFuzz = true;
+    opts.smpVcpus = 3;
+    const auto seeds = smpSeedTraces(3);
+    const ExecResult a = executeTrace(opts, seeds[0]);
+    const ExecResult b = executeTrace(opts, seeds[0]);
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.features, b.features);
+}
+
+TEST(FuzzSmpExec, MutationKeepsVcpusInRange)
+{
+    Rng rng(0x7777);
+    Trace trace;
+    trace.ops.push_back(randomOp(rng, 4));
+    for (int round = 0; round < 50; ++round) {
+        trace = mutateTrace(trace, rng, 24, 4);
+        for (const Op &op : trace.ops)
+            EXPECT_LT(op.vcpu, 4u);
+    }
+    // randomOp with a single vCPU must never tag ops.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(randomOp(rng, 1).vcpu, 0u);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers of the SMP test suites: a small machine config, the
+ * single-threaded service-everyone IPI driver, and a multi-TCS
+ * enclave builder (Machine::setupEnclave only adds one TCS page).
+ */
+
+#ifndef HEV_TESTS_SMP_SMP_TEST_UTIL_HH
+#define HEV_TESTS_SMP_SMP_TEST_UTIL_HH
+
+#include "smp/smp_monitor.hh"
+
+namespace hev::smp::test
+{
+
+inline SmpConfig
+smallConfig(u32 vcpus)
+{
+    SmpConfig cfg;
+    cfg.monitor.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.monitor.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.monitor.layout.epcBytes = 8 * 1024 * 1024;
+    cfg.vcpus = vcpus;
+    cfg.cacheCapacity = 8;
+    return cfg;
+}
+
+/**
+ * Single-threaded tests drive every vCPU from one thread, so the ack
+ * wait must service the targets itself or it would spin forever.
+ */
+inline void
+installServiceAllDriver(SmpMonitor &smp)
+{
+    smp.setIpiDriver([&smp](VcpuId, u64) {
+        for (VcpuId w = 0; w < smp.vcpuCount(); ++w)
+            smp.serviceIpis(w);
+    });
+}
+
+/**
+ * Build an enclave with `tcs_count` TCS pages through the SMP
+ * hypercall paths, issued by vCPU `v`, so up to tcs_count vCPUs can
+ * be resident at once.  The primary-OS page-pool calls in here are
+ * not synchronized — concurrent callers must serialize externally.
+ */
+inline Expected<EnclaveId>
+makeMultiTcsEnclave(SmpMonitor &smp, VcpuId v, u64 base, u64 reg_pages,
+                    u64 tcs_count, u64 fill = 0x5e7)
+{
+    hv::PrimaryOs &os = smp.machine().os();
+    auto mbuf = os.allocPage();
+    if (!mbuf)
+        return mbuf.error();
+
+    hv::EnclaveConfig config;
+    config.elrange = {Gva(base),
+                      Gva(base + (reg_pages + tcs_count) * pageSize)};
+    config.mbufGva = Gva(base + 64 * pageSize);
+    config.mbufPages = 1;
+    config.mbufBacking = *mbuf;
+
+    auto id = smp.hcEnclaveInit(v, config);
+    if (!id)
+        return id.error();
+
+    auto stage = os.allocPage();
+    if (!stage)
+        return stage.error();
+    for (u64 i = 0; i < reg_pages; ++i) {
+        for (u64 w = 0; w < pageSize / sizeof(u64); ++w)
+            (void)os.physWrite(*stage + w * sizeof(u64),
+                               fill + i * 1000 + w);
+        if (auto st = smp.hcEnclaveAddPage(v, *id,
+                                           Gva(base + i * pageSize),
+                                           *stage, hv::AddPageKind::Reg);
+            !st)
+            return st.error();
+    }
+    for (u64 j = 0; j < tcs_count; ++j) {
+        (void)os.zeroPage(*stage);
+        (void)os.physWrite(*stage, base); // entry point
+        if (auto st = smp.hcEnclaveAddPage(
+                v, *id, Gva(base + (reg_pages + j) * pageSize), *stage,
+                hv::AddPageKind::Tcs);
+            !st)
+            return st.error();
+    }
+    (void)os.freePage(*stage);
+
+    if (auto st = smp.hcEnclaveInitFinish(v, *id); !st)
+        return st.error();
+    return *id;
+}
+
+} // namespace hev::smp::test
+
+#endif // HEV_TESTS_SMP_SMP_TEST_UTIL_HH

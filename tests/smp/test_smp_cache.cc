@@ -1,0 +1,153 @@
+/**
+ * @file
+ * CpuFrameCache: batched refill/drain against the global allocator,
+ * zeroed handouts, pass-through mode, drainAll accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/monitor.hh"
+#include "smp/cpu_cache.hh"
+
+using namespace hev;
+using namespace hev::smp;
+
+namespace
+{
+
+hv::MonitorConfig
+smallMonitorConfig()
+{
+    hv::MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SmpCache, RefillIsBatched)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 8);
+    const u64 usedBefore = mon.ptAlloc().usedFrames();
+
+    // First allocation pulls a half-capacity-plus-one batch: one frame
+    // handed out, the rest parked locally.
+    const auto first = cache.allocFrame();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(cache.refills(), 1u);
+    EXPECT_EQ(cache.cached(), 4u);
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore + 5);
+
+    // The next four come from the local list without touching the
+    // global allocator.
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(cache.allocFrame());
+    EXPECT_EQ(cache.refills(), 1u);
+    EXPECT_EQ(cache.localHits(), 4u);
+    EXPECT_EQ(cache.cached(), 0u);
+
+    // And the sixth triggers the second batch.
+    ASSERT_TRUE(cache.allocFrame());
+    EXPECT_EQ(cache.refills(), 2u);
+}
+
+TEST(SmpCache, FreeDrainsInBatches)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 8);
+
+    // Nine allocations pull two 5-frame batches, so one frame is still
+    // parked locally when the free phase starts.
+    std::vector<Hpa> held;
+    for (int i = 0; i < 9; ++i) {
+        const auto frame = cache.allocFrame();
+        ASSERT_TRUE(frame);
+        held.push_back(*frame);
+    }
+    ASSERT_EQ(cache.cached(), 1u);
+    const u64 usedBefore = mon.ptAlloc().usedFrames();
+
+    // Freeing up to capacity just parks frames locally.
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(cache.freeFrame(held[size_t(i)]));
+    EXPECT_EQ(cache.cached(), 8u);
+    EXPECT_EQ(cache.drains(), 0u);
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore);
+
+    // The next free overflows and drains down to half capacity.
+    ASSERT_TRUE(cache.freeFrame(held[7]));
+    EXPECT_EQ(cache.drains(), 1u);
+    EXPECT_EQ(cache.cached(), 4u);
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore - 5);
+
+    // The last free parks again: no second drain until overflow.
+    ASSERT_TRUE(cache.freeFrame(held[8]));
+    EXPECT_EQ(cache.drains(), 1u);
+    EXPECT_EQ(cache.cached(), 5u);
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore - 5);
+}
+
+TEST(SmpCache, HandsOutZeroedFrames)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 8);
+
+    const auto frame = cache.allocFrame();
+    ASSERT_TRUE(frame);
+    mon.mem().write(*frame, 0xdeadbeef);
+    mon.mem().write(*frame + 8, 0xdeadbeef);
+    ASSERT_TRUE(cache.freeFrame(*frame));
+
+    // The LIFO hands the dirty frame straight back — zeroed.
+    const auto again = cache.allocFrame();
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->value, frame->value);
+    EXPECT_EQ(mon.mem().read(*again), 0u);
+    EXPECT_EQ(mon.mem().read(*again + 8), 0u);
+}
+
+TEST(SmpCache, ZeroCapacityIsPassThrough)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 0);
+    const u64 usedBefore = mon.ptAlloc().usedFrames();
+
+    const auto frame = cache.allocFrame();
+    ASSERT_TRUE(frame);
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore + 1);
+    EXPECT_EQ(cache.cached(), 0u);
+    ASSERT_TRUE(cache.freeFrame(*frame));
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore);
+    EXPECT_EQ(cache.cached(), 0u);
+}
+
+TEST(SmpCache, OwnsDelegatesToTheGlobalAllocator)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 8);
+    const auto frame = cache.allocFrame();
+    ASSERT_TRUE(frame);
+    EXPECT_TRUE(cache.owns(*frame));
+    EXPECT_FALSE(cache.owns(Hpa(0)));
+}
+
+TEST(SmpCache, DrainAllReturnsEverything)
+{
+    hv::Monitor mon(smallMonitorConfig());
+    const u64 usedBefore = mon.ptAlloc().usedFrames();
+    {
+        CpuFrameCache cache(mon.mem(), mon.ptAlloc(), 8);
+        const auto frame = cache.allocFrame();
+        ASSERT_TRUE(frame);
+        EXPECT_GT(cache.cached(), 0u);
+        ASSERT_TRUE(cache.freeFrame(*frame));
+        cache.drainAll();
+        EXPECT_EQ(cache.cached(), 0u);
+        EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore);
+        // Destruction with an empty list must not double-free.
+    }
+    EXPECT_EQ(mon.ptAlloc().usedFrames(), usedBefore);
+}

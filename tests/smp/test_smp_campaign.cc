@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The smpScenarios campaign shards: clean protocol passes at any
+ * thread count, the planted skip-shootdown-ack bug is caught, and the
+ * first counterexample is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/campaign.hh"
+#include "smp/scenarios.hh"
+
+using namespace hev;
+using namespace hev::smp;
+
+namespace
+{
+
+SmpScenarioOptions
+quickOptions()
+{
+    SmpScenarioOptions opts;
+    opts.coherenceShards = 3;
+    opts.niShards = 1;
+    opts.stepsPerShard = 80;
+    opts.vcpus = 3;
+    return opts;
+}
+
+check::CampaignReport
+runCampaign(const SmpScenarioOptions &opts, u64 seed, unsigned threads)
+{
+    check::CampaignConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    check::Campaign campaign(cfg);
+    campaign.add(smpScenarios(opts));
+    return campaign.run();
+}
+
+} // namespace
+
+TEST(SmpCampaign, CleanProtocolPasses)
+{
+    const check::CampaignReport report = runCampaign(quickOptions(), 42, 2);
+    EXPECT_EQ(report.failures, 0u) << (report.first ? report.first->detail
+                                                    : "");
+    EXPECT_EQ(report.scenarios, 4u);
+    EXPECT_GT(report.checks, 0u);
+    ASSERT_TRUE(report.scenariosByKind.count("smp"));
+    EXPECT_EQ(report.scenariosByKind.at("smp"), 4u);
+}
+
+TEST(SmpCampaign, ResultsAreThreadCountInvariant)
+{
+    const check::CampaignReport one = runCampaign(quickOptions(), 42, 1);
+    const check::CampaignReport four = runCampaign(quickOptions(), 42, 4);
+    EXPECT_EQ(check::renderResultJson(one), check::renderResultJson(four));
+}
+
+TEST(SmpCampaign, PlantedSkipAckIsCaught)
+{
+    SmpScenarioOptions opts = quickOptions();
+    opts.niShards = 0; // the coherence shards are the oracle here
+    opts.planted.skipShootdownAck = true;
+    const check::CampaignReport report = runCampaign(opts, 42, 2);
+    EXPECT_GT(report.failures, 0u);
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_NE(report.first->scenario.find("smp/coherence"),
+              std::string::npos);
+}
+
+TEST(SmpCampaign, PlantedBugCounterexampleIsDeterministic)
+{
+    SmpScenarioOptions opts = quickOptions();
+    opts.niShards = 0;
+    opts.planted.skipShootdownAck = true;
+    const check::CampaignReport a = runCampaign(opts, 7, 1);
+    const check::CampaignReport b = runCampaign(opts, 7, 4);
+    ASSERT_TRUE(a.first.has_value());
+    ASSERT_TRUE(b.first.has_value());
+    EXPECT_EQ(a.first->shard, b.first->shard);
+    EXPECT_EQ(a.first->iteration, b.first->iteration);
+    EXPECT_EQ(a.first->detail, b.first->detail);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TLB flush-on-exit semantics (paper Sec. 2.1): leaving an enclave
+ * invalidates exactly the enclave's TLB entries on the exiting vCPU —
+ * normal-VM entries survive, and other vCPUs' entries are untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/machine.hh"
+#include "smp/smp_invariants.hh"
+#include "smp/smp_monitor.hh"
+#include "smp_test_util.hh"
+
+using namespace hev;
+using namespace hev::smp;
+using namespace hev::smp::test;
+
+TEST(SmpExitFlush, ExitInvalidatesExactlyTheEnclaveDomain)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto handle = smp.machine().setupEnclave(0x10'0000, 2, 1, 0x5e);
+    ASSERT_TRUE(handle);
+
+    // Warm a normal-VM entry on vCPU 0, then enclave entries.
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x1000)));
+    const u64 normalBefore = smp.tlbOf(0).countDomain(hv::normalVmDomain);
+    ASSERT_GT(normalBefore, 0u);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, handle->id));
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x10'0000)));
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x10'1000)));
+    const hv::DomainId dom = hv::DomainId(handle->id);
+    EXPECT_EQ(smp.tlbOf(0).countDomain(dom), 2u);
+
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+    EXPECT_EQ(smp.tlbOf(0).countDomain(dom), 0u);
+    EXPECT_EQ(smp.tlbOf(0).countDomain(hv::normalVmDomain), normalBefore);
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
+
+TEST(SmpExitFlush, ExitLeavesSiblingVcpuEntriesIntact)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto id = makeMultiTcsEnclave(smp, 0, 0x10'0000, 2, 2);
+    ASSERT_TRUE(id);
+    const hv::DomainId dom = hv::DomainId(*id);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, *id));
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, *id));
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x10'0000)));
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x10'0000)));
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x10'1000)));
+    EXPECT_EQ(smp.tlbOf(0).countDomain(dom), 1u);
+    EXPECT_EQ(smp.tlbOf(1).countDomain(dom), 2u);
+
+    // vCPU 0's exit is local: vCPU 1 is still resident and its
+    // translations stay cached.
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+    EXPECT_EQ(smp.tlbOf(0).countDomain(dom), 0u);
+    EXPECT_EQ(smp.tlbOf(1).countDomain(dom), 2u);
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+}
+
+/**
+ * The single-vCPU regression on the plain hv::Machine path: the same
+ * flush discipline must hold without any SMP machinery involved.
+ */
+TEST(SmpExitFlush, SingleVcpuMonitorRegression)
+{
+    hv::MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    hv::Machine machine(cfg);
+    const auto handle = machine.setupEnclave(0x10'0000, 2, 1, 0x5e);
+    ASSERT_TRUE(handle);
+
+    ASSERT_TRUE(machine.memLoad(Gva(0x1000)));
+    const u64 normalBefore =
+        machine.monitor().tlb().countDomain(hv::normalVmDomain);
+    ASSERT_GT(normalBefore, 0u);
+
+    ASSERT_TRUE(machine.monitor().hcEnclaveEnter(handle->id,
+                                                 machine.vcpu()));
+    ASSERT_TRUE(machine.memLoad(Gva(0x10'0000)));
+    ASSERT_TRUE(machine.memLoad(Gva(0x10'1000)));
+    const hv::DomainId dom = hv::DomainId(handle->id);
+    EXPECT_GT(machine.monitor().tlb().countDomain(dom), 0u);
+
+    ASSERT_TRUE(machine.monitor().hcEnclaveExit(machine.vcpu()));
+    EXPECT_EQ(machine.monitor().tlb().countDomain(dom), 0u);
+    EXPECT_EQ(machine.monitor().tlb().countDomain(hv::normalVmDomain),
+              normalBefore);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * SmpMonitor lifecycle: boot state, independent residency across
+ * vCPUs, per-vCPU context save/restore, multi-TCS occupancy, report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "smp/smp_invariants.hh"
+#include "smp/smp_monitor.hh"
+#include "smp_test_util.hh"
+
+using namespace hev;
+using namespace hev::smp;
+using namespace hev::smp::test;
+
+TEST(SmpMonitor, BootState)
+{
+    SmpMonitor smp(smallConfig(4));
+    installServiceAllDriver(smp);
+    EXPECT_EQ(smp.vcpuCount(), 4u);
+    for (VcpuId v = 0; v < 4; ++v) {
+        const hv::VCpu &cpu = smp.archOf(v);
+        EXPECT_EQ(cpu.mode, hv::CpuMode::GuestNormal);
+        EXPECT_EQ(cpu.domain, hv::normalVmDomain);
+        EXPECT_EQ(cpu.gptRoot.value, smp.machine().kernelGptRoot().value);
+        EXPECT_EQ(cpu.eptRoot.value, smp.monitor().normalEptRoot().value);
+        EXPECT_EQ(smp.tlbOf(v).size(), 0u);
+    }
+    EXPECT_TRUE(checkSmpInvariants(smp).empty());
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
+
+TEST(SmpMonitor, IndependentResidencyAcrossVcpus)
+{
+    SmpMonitor smp(smallConfig(3));
+    installServiceAllDriver(smp);
+    const auto e1 = smp.machine().setupEnclave(0x10'0000, 2, 1, 0x111);
+    const auto e2 = smp.machine().setupEnclave(0x30'0000, 2, 1, 0x222);
+    ASSERT_TRUE(e1);
+    ASSERT_TRUE(e2);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, e1->id));
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, e2->id));
+    EXPECT_EQ(smp.archOf(0).mode, hv::CpuMode::GuestEnclave);
+    EXPECT_EQ(smp.archOf(0).currentEnclave, e1->id);
+    EXPECT_EQ(smp.archOf(1).currentEnclave, e2->id);
+    EXPECT_EQ(smp.archOf(2).mode, hv::CpuMode::GuestNormal);
+    EXPECT_EQ(smp.monitor().findEnclave(e1->id)->activeVcpus, 1u);
+    EXPECT_EQ(smp.monitor().findEnclave(e2->id)->activeVcpus, 1u);
+
+    // Each resident vCPU reads its own enclave's pages.
+    const auto l0 = smp.memLoad(0, Gva(0x10'0000));
+    const auto l1 = smp.memLoad(1, Gva(0x30'0000));
+    ASSERT_TRUE(l0);
+    ASSERT_TRUE(l1);
+    EXPECT_EQ(*l0, 0x111u);
+    EXPECT_EQ(*l1, 0x222u);
+
+    EXPECT_TRUE(checkSmpInvariants(smp).empty());
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+    EXPECT_EQ(smp.monitor().findEnclave(e1->id)->activeVcpus, 0u);
+    EXPECT_EQ(smp.stats().enters.load(), 2u);
+    EXPECT_EQ(smp.stats().exits.load(), 2u);
+}
+
+TEST(SmpMonitor, PerVcpuContextsSurviveReentry)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto handle = smp.machine().setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(handle);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, handle->id));
+    EXPECT_EQ(smp.archOf(0).regs.rip, 0x10'0000u); // entry point
+    smp.archOf(0).regs.gpr[3] = 0xfeed;
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+
+    // The enclave context is per vCPU: re-entry on the same vCPU
+    // restores it, entry on another vCPU starts at the entry point.
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, handle->id));
+    EXPECT_EQ(smp.archOf(0).regs.gpr[3], 0xfeedu);
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, handle->id));
+    EXPECT_EQ(smp.archOf(1).regs.gpr[3], 0u);
+    EXPECT_EQ(smp.archOf(1).regs.rip, 0x10'0000u);
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+}
+
+TEST(SmpMonitor, AppContextRestoredOnExit)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto handle = smp.machine().setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(handle);
+
+    smp.archOf(1).regs.gpr[0] = 0xabc;
+    smp.archOf(1).regs.rip = 0x4444;
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, handle->id));
+    EXPECT_NE(smp.archOf(1).regs.rip, 0x4444u); // scrubbed on entry
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+    EXPECT_EQ(smp.archOf(1).regs.gpr[0], 0xabcu);
+    EXPECT_EQ(smp.archOf(1).regs.rip, 0x4444u);
+    EXPECT_EQ(smp.archOf(1).gptRoot.value,
+              smp.machine().kernelGptRoot().value);
+}
+
+TEST(SmpMonitor, MultiTcsOccupancyBound)
+{
+    SmpMonitor smp(smallConfig(3));
+    installServiceAllDriver(smp);
+    const auto id = makeMultiTcsEnclave(smp, 0, 0x10'0000, 2, 2);
+    ASSERT_TRUE(id);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, *id));
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, *id));
+    EXPECT_EQ(smp.monitor().findEnclave(*id)->activeVcpus, 2u);
+
+    // Third vCPU: no free TCS.
+    const auto st = smp.hcEnclaveEnter(2, *id);
+    ASSERT_FALSE(st);
+    EXPECT_EQ(st.error(), HvError::BadEnclaveState);
+
+    EXPECT_TRUE(checkSmpInvariants(smp).empty());
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+    ASSERT_TRUE(smp.hcEnclaveEnter(2, *id)); // TCS freed up
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+    ASSERT_TRUE(smp.hcEnclaveExit(2));
+}
+
+TEST(SmpMonitor, ReportIdentifiesResidentEnclave)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto handle = smp.machine().setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(handle);
+
+    const auto bad = smp.hcEnclaveReport(1);
+    ASSERT_FALSE(bad);
+
+    ASSERT_TRUE(smp.hcEnclaveEnter(1, handle->id));
+    const auto report = smp.hcEnclaveReport(1);
+    ASSERT_TRUE(report);
+    EXPECT_EQ(report->id, handle->id);
+    EXPECT_FALSE(smp.hcEnclaveExit(0)); // v0 is not inside
+    ASSERT_TRUE(smp.hcEnclaveExit(1));
+}
+
+TEST(SmpMonitor, RejectsBadVcpuTransitions)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto handle = smp.machine().setupEnclave(0x10'0000, 1, 1, 7);
+    ASSERT_TRUE(handle);
+
+    EXPECT_FALSE(smp.hcEnclaveExit(0)); // not inside
+    ASSERT_TRUE(smp.hcEnclaveEnter(0, handle->id));
+    EXPECT_FALSE(smp.hcEnclaveEnter(0, handle->id)); // already inside
+    EXPECT_FALSE(smp.hcEnclaveReport(1));            // wrong vCPU
+    ASSERT_TRUE(smp.hcEnclaveExit(0));
+
+    EXPECT_FALSE(smp.hcEnclaveEnter(0, EnclaveId(777)));
+    EXPECT_TRUE(checkSmpInvariants(smp).empty());
+}

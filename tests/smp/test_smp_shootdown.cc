@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The epoch-based TLB shootdown protocol: unmap and permission
+ * downgrade retire remote stale entries before returning, and the
+ * planted skip-shootdown-ack bug leaves exactly the staleness the
+ * coherence oracle flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "smp/smp_invariants.hh"
+#include "smp/smp_monitor.hh"
+#include "smp_test_util.hh"
+
+using namespace hev;
+using namespace hev::smp;
+using namespace hev::smp::test;
+
+TEST(SmpShootdown, UnmapRetiresRemoteEntries)
+{
+    SmpMonitor smp(smallConfig(3));
+    installServiceAllDriver(smp);
+
+    // Warm the same normal-VM translation on two remote vCPUs.
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x2000)));
+    ASSERT_TRUE(smp.memLoad(2, Gva(0x2000)));
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x2000)));
+
+    const u64 epochBefore = smp.shootdownEpoch();
+    ASSERT_TRUE(smp.osUnmap(0, 0x2000));
+    EXPECT_EQ(smp.shootdownEpoch(), epochBefore + 1);
+    EXPECT_EQ(smp.stats().shootdowns.load(), 1u);
+    EXPECT_EQ(smp.stats().ipisSent.load(), 2u);
+    EXPECT_EQ(smp.stats().ipisAcked.load(), 2u);
+    EXPECT_FALSE(smp.shootdownInFlight(hv::normalVmDomain));
+    for (VcpuId v = 0; v < smp.vcpuCount(); ++v)
+        EXPECT_FALSE(smp.ipiPending(v));
+
+    // Every vCPU now faults instead of reading through a stale entry.
+    for (VcpuId v = 0; v < smp.vcpuCount(); ++v) {
+        const auto load = smp.memLoad(v, Gva(0x2000));
+        ASSERT_FALSE(load);
+        EXPECT_EQ(load.error(), HvError::NotMapped);
+    }
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
+
+TEST(SmpShootdown, ProtectRoDowngradeIsCoherent)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto page = smp.machine().os().allocPage();
+    ASSERT_TRUE(page);
+    ASSERT_TRUE(smp.osMap(0, 0x300'0000, *page));
+
+    // vCPU 1 caches a writable entry.
+    ASSERT_TRUE(smp.memStore(1, Gva(0x300'0000), 0x11));
+    ASSERT_TRUE(smp.osProtectRo(0, 0x300'0000, *page));
+
+    // The downgrade must be visible on vCPU 1 immediately.
+    const auto st = smp.memStore(1, Gva(0x300'0000), 0x22);
+    ASSERT_FALSE(st);
+    EXPECT_EQ(st.error(), HvError::PermissionDenied);
+    const auto load = smp.memLoad(1, Gva(0x300'0000));
+    ASSERT_TRUE(load);
+    EXPECT_EQ(*load, 0x11u);
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
+
+TEST(SmpShootdown, MapRequiresNoShootdown)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto page = smp.machine().os().allocPage();
+    ASSERT_TRUE(page);
+    const u64 before = smp.shootdownEpoch();
+    ASSERT_TRUE(smp.osMap(0, 0x300'0000, *page));
+    EXPECT_EQ(smp.shootdownEpoch(), before);
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x300'0000)));
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
+
+TEST(SmpShootdown, PlantedSkipAckLeavesInexcusableStaleEntry)
+{
+    SmpConfig cfg = smallConfig(3);
+    cfg.planted.skipShootdownAck = true;
+    SmpMonitor smp(cfg);
+    installServiceAllDriver(smp);
+
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x2000)));
+    ASSERT_TRUE(smp.osUnmap(0, 0x2000));
+
+    // The buggy initiator returned without waiting: IPIs were posted
+    // but never serviced, and the in-flight window is already closed.
+    EXPECT_EQ(smp.stats().ipisSent.load(), 2u);
+    EXPECT_EQ(smp.stats().ipisAcked.load(), 0u);
+    EXPECT_FALSE(smp.shootdownInFlight(hv::normalVmDomain));
+    EXPECT_TRUE(smp.ipiPending(1));
+
+    // vCPU 1 reads through the dead mapping...
+    EXPECT_TRUE(smp.memLoad(1, Gva(0x2000)));
+    // ...and the coherence oracle calls it out.
+    const auto violations = checkTlbCoherence(smp);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations[0].find("vcpu 1"), std::string::npos);
+
+    // Once the victim finally services its mailbox the staleness is
+    // gone — the bug is purely the missing wait.
+    smp.serviceIpis(1);
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+    const auto load = smp.memLoad(1, Gva(0x2000));
+    ASSERT_FALSE(load);
+    EXPECT_EQ(load.error(), HvError::NotMapped);
+}
+
+TEST(SmpShootdown, EpochIsMonotonicAcrossMixedOperations)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    const auto page = smp.machine().os().allocPage();
+    ASSERT_TRUE(page);
+
+    u64 last = smp.shootdownEpoch();
+    ASSERT_TRUE(smp.osMap(0, 0x300'0000, *page));
+    EXPECT_EQ(smp.shootdownEpoch(), last); // map: no shootdown
+    ASSERT_TRUE(smp.osProtectRo(0, 0x300'0000, *page));
+    EXPECT_EQ(smp.shootdownEpoch(), last + 1);
+    ASSERT_TRUE(smp.osUnmap(0, 0x300'0000));
+    EXPECT_EQ(smp.shootdownEpoch(), last + 2);
+    EXPECT_EQ(smp.stats().shootdowns.load(), 2u);
+    EXPECT_EQ(smp.stats().ipisAcked.load(), smp.stats().ipisSent.load());
+}
+
+TEST(SmpShootdown, SetGptRootFlushesOnlyTheLocalNormalDomain)
+{
+    SmpMonitor smp(smallConfig(2));
+    installServiceAllDriver(smp);
+    ASSERT_TRUE(smp.memLoad(0, Gva(0x2000)));
+    ASSERT_TRUE(smp.memLoad(1, Gva(0x2000)));
+    const u64 epochBefore = smp.shootdownEpoch();
+
+    ASSERT_TRUE(smp.setGptRoot(
+        0, Hpa(smp.machine().kernelGptRoot().value)));
+    EXPECT_EQ(smp.shootdownEpoch(), epochBefore); // local, no shootdown
+    EXPECT_EQ(smp.tlbOf(0).countDomain(hv::normalVmDomain), 0u);
+    EXPECT_GT(smp.tlbOf(1).countDomain(hv::normalVmDomain), 0u);
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+}
