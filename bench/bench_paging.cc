@@ -1,0 +1,209 @@
+/**
+ * @file
+ * EWB/ELD paging harness.
+ *
+ * Three sections, all written to BENCH_paging.json:
+ *
+ * 1. Round-trip throughput: evict+reload cycles per second on a single
+ *    monitor, cycling over an enclave's pages.  Each cycle seals a page
+ *    (content copy + MAC), scrubs and frees the frame, then verifies
+ *    and restores it — so the figure bounds how fast the monitor could
+ *    demand-page under EPC pressure.
+ * 2. Cost split: p50/p99 wall time of the evict and the reload half
+ *    separately.  Evict carries the TLB flush and the scrub; reload
+ *    carries the MAC check and the two-stage re-map.
+ * 3. SMP evict latency at 4 vCPUs, where each evict pays the full
+ *    epoch-bump / IPI-post / ack-wait shootdown protocol, against the
+ *    single-vCPU figure from section 2 — the difference is the
+ *    shootdown tax.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hh"
+#include "smp/smp_monitor.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+constexpr u64 roundTrips = 20'000;
+constexpr u64 latencySamples = 4'000;
+constexpr u64 enclavePages = 8;
+
+MonitorConfig
+monitorConfig()
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+Percentiles
+percentiles(std::vector<double> &ns)
+{
+    std::sort(ns.begin(), ns.end());
+    return {ns[ns.size() / 2], ns[ns.size() * 99 / 100]};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== EWB/ELD paging cost ===\n\n");
+    bench::JsonReport report("paging");
+    report.metric("enclave_pages", enclavePages);
+
+    // 1. Round-trip throughput, cycling across the enclave's pages.
+    {
+        Machine machine(monitorConfig());
+        auto enclave =
+            machine.setupEnclave(0x10'0000, enclavePages, 1, 0xbe11c);
+        if (!enclave) {
+            std::printf("FAILURE: setupEnclave: %s\n",
+                        hvErrorName(enclave.error()));
+            return 1;
+        }
+        Monitor &mon = machine.monitor();
+        const auto start = std::chrono::steady_clock::now();
+        for (u64 i = 0; i < roundTrips; ++i) {
+            const Gva gva{0x10'0000 + (i % enclavePages) * pageSize};
+            auto blob = mon.hcEnclaveEvictPage(enclave->id, gva);
+            if (!blob) {
+                std::printf("FAILURE: evict %llu: %s\n",
+                            (unsigned long long)i,
+                            hvErrorName(blob.error()));
+                return 1;
+            }
+            if (auto r = mon.hcEnclaveReloadPage(enclave->id, *blob);
+                !r) {
+                std::printf("FAILURE: reload %llu: %s\n",
+                            (unsigned long long)i,
+                            hvErrorName(r.error()));
+                return 1;
+            }
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        const double rtps = double(roundTrips) / elapsed.count();
+        if (mon.stats().pagesEvicted.load() != roundTrips ||
+            mon.stats().pagesReloaded.load() != roundTrips) {
+            std::printf("FAILURE: stats disagree with the loop count\n");
+            return 1;
+        }
+        std::printf("%llu evict+reload round trips in %.3f s "
+                    "(%.0f/s)\n",
+                    (unsigned long long)roundTrips, elapsed.count(),
+                    rtps);
+        report.metric("round_trips", roundTrips);
+        report.metric("round_trips_per_second", rtps);
+        report.metric("elapsed_seconds", elapsed.count());
+    }
+
+    // 2. Cost split: evict vs reload, one page, single vCPU.
+    double evict_p50 = 0.0;
+    {
+        Machine machine(monitorConfig());
+        auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x591);
+        if (!enclave) {
+            std::printf("FAILURE: setupEnclave (split): %s\n",
+                        hvErrorName(enclave.error()));
+            return 1;
+        }
+        Monitor &mon = machine.monitor();
+        std::vector<double> evict_ns, reload_ns;
+        evict_ns.reserve(latencySamples);
+        reload_ns.reserve(latencySamples);
+        for (u64 i = 0; i < latencySamples; ++i) {
+            const Gva gva{0x10'0000};
+            const auto t0 = std::chrono::steady_clock::now();
+            auto blob = mon.hcEnclaveEvictPage(enclave->id, gva);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!blob ||
+                !mon.hcEnclaveReloadPage(enclave->id, *blob)) {
+                std::printf("FAILURE: split sample %llu\n",
+                            (unsigned long long)i);
+                return 1;
+            }
+            const auto t2 = std::chrono::steady_clock::now();
+            evict_ns.push_back(
+                std::chrono::duration<double, std::nano>(t1 - t0)
+                    .count());
+            reload_ns.push_back(
+                std::chrono::duration<double, std::nano>(t2 - t1)
+                    .count());
+        }
+        const Percentiles ev = percentiles(evict_ns);
+        const Percentiles re = percentiles(reload_ns);
+        evict_p50 = ev.p50;
+        std::printf("evict  (1 vCPU): p50 %.0f ns, p99 %.0f ns\n",
+                    ev.p50, ev.p99);
+        std::printf("reload (1 vCPU): p50 %.0f ns, p99 %.0f ns\n",
+                    re.p50, re.p99);
+        report.metric("evict_p50_ns", ev.p50);
+        report.metric("evict_p99_ns", ev.p99);
+        report.metric("reload_p50_ns", re.p50);
+        report.metric("reload_p99_ns", re.p99);
+    }
+
+    // 3. Evict under the 4-vCPU shootdown protocol.
+    {
+        smp::SmpConfig cfg;
+        cfg.monitor = monitorConfig();
+        cfg.vcpus = 4;
+        smp::SmpMonitor smp(cfg);
+        smp.setIpiDriver([&smp](smp::VcpuId, u64) {
+            for (smp::VcpuId w = 0; w < smp.vcpuCount(); ++w)
+                smp.serviceIpis(w);
+        });
+        auto enclave =
+            smp.machine().setupEnclave(0x10'0000, 2, 1, 0x4c9);
+        if (!enclave) {
+            std::printf("FAILURE: setupEnclave (smp): %s\n",
+                        hvErrorName(enclave.error()));
+            return 1;
+        }
+        std::vector<double> ns;
+        ns.reserve(latencySamples);
+        for (u64 i = 0; i < latencySamples; ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto blob =
+                smp.hcEnclaveEvictPage(0, enclave->id, Gva(0x10'0000));
+            const std::chrono::duration<double, std::nano> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (!blob ||
+                !smp.hcEnclaveReloadPage(0, enclave->id, *blob)) {
+                std::printf("FAILURE: smp sample %llu\n",
+                            (unsigned long long)i);
+                return 1;
+            }
+            ns.push_back(dt.count());
+        }
+        const Percentiles p = percentiles(ns);
+        std::printf("evict  (4 vCPU): p50 %.0f ns, p99 %.0f ns "
+                    "(shootdown tax p50 %.0f ns)\n",
+                    p.p50, p.p99, p.p50 - evict_p50);
+        report.metric("smp_vcpus", u64(4));
+        report.metric("smp_evict_p50_ns", p.p50);
+        report.metric("smp_evict_p99_ns", p.p99);
+        report.metric("smp_ipis_acked", smp.stats().ipisAcked.load());
+    }
+
+    report.write();
+    std::printf("report written to BENCH_paging.json\n");
+    return 0;
+}

@@ -39,6 +39,24 @@ struct AbsEpcmEntry
     bool operator==(const AbsEpcmEntry &) const = default;
 };
 
+/**
+ * Abstract descriptor of one evicted (sealed) enclave page.  This is
+ * the spec-side image of hv::SealedBlob minus the MAC: authenticity is
+ * a concrete-monitor concern, while the abstract machine records what a
+ * genuine blob would restore — the stage-1 slot, the EPCM kind, the
+ * anti-rollback version and the content token.
+ */
+struct AbsSealedPage
+{
+    u64 gpaSlot = 0;        //!< stage-1 slot in the EPC GPA window
+    i64 kind = epcStateReg; //!< epcStateReg or epcStateTcs
+    u64 version = 0;        //!< anti-rollback counter
+    u64 content = 0;        //!< content token (valid iff hasContent)
+    bool hasContent = false;
+
+    bool operator==(const AbsSealedPage &) const = default;
+};
+
 /** Enclave metadata held by the hypercall layers. */
 struct AbsEnclave
 {
@@ -52,6 +70,10 @@ struct AbsEnclave
     i64 eptHandle = 0;  //!< address-space handle of the enclave EPT
     u64 addedPages = 0;
     u64 tcsPages = 0;
+    /** Evicted pages by enclave-linear address (non-resident state). */
+    std::map<u64, AbsSealedPage> evicted;
+    /** Next version counter an eviction will seal. */
+    u64 nextSealVersion = 1;
 
     bool operator==(const AbsEnclave &) const = default;
 };

@@ -92,6 +92,8 @@ constexpr i64 errIsolation = 8;
 constexpr i64 errBadState = 9;
 constexpr i64 errNoSuchEnclave = 10;
 constexpr i64 errForeignHandle = 11;
+constexpr i64 errSealAuth = 12;
+constexpr i64 errSealRollback = 13;
 
 /// @}
 

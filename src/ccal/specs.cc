@@ -286,6 +286,26 @@ specEpcmFree(FlatState &s, u64 page)
     return 0;
 }
 
+IntResult
+specEpcmLookup(const FlatState &s, u64 page)
+{
+    if (page % pageSize != 0 || !s.geo.inEpc(page))
+        return IntResult::err(errInvalidParam);
+    const u64 index = (page - s.geo.epcBase) / pageSize;
+    return IntResult::ok(u64(s.epcm[index].state));
+}
+
+IntResult
+specEpcmOwner(const FlatState &s, u64 page)
+{
+    if (page % pageSize != 0 || !s.geo.inEpc(page))
+        return IntResult::err(errInvalidParam);
+    const u64 index = (page - s.geo.epcBase) / pageSize;
+    if (s.epcm[index].state == epcStateFree)
+        return IntResult::err(errNotMapped);
+    return IntResult::ok(u64(s.epcm[index].owner));
+}
+
 i64
 specMbufMap(FlatState &s, i64 gpt_handle, i64 ept_handle, u64 mbuf_gva,
             u64 gpa_window, u64 backing, u64 pages)
@@ -300,6 +320,30 @@ specMbufMap(FlatState &s, i64 gpt_handle, i64 ept_handle, u64 mbuf_gva,
                        pteRwFlags);
         if (rc != 0)
             return rc;
+    }
+    return 0;
+}
+
+i64
+specMbufCheck(const FlatState &s, i64 gpt_handle, i64 ept_handle,
+              u64 mbuf_gva, u64 gpa_window, u64 backing, u64 pages)
+{
+    for (u64 i = 0; i < pages; ++i) {
+        const u64 off = i * pageSize;
+        const QueryResult stage1 =
+            specAsQuery(s, gpt_handle, mbuf_gva + off);
+        if (!stage1.isSome)
+            return errNotMapped;
+        if (stage1.physAddr != gpa_window + off ||
+            !(stage1.flags & pteFlagW))
+            return errIsolation;
+        const QueryResult stage2 =
+            specAsQuery(s, ept_handle, gpa_window + off);
+        if (!stage2.isSome)
+            return errNotMapped;
+        if (stage2.physAddr != backing + off ||
+            !(stage2.flags & pteFlagW))
+            return errIsolation;
     }
     return 0;
 }
@@ -421,6 +465,98 @@ specHcRemove(FlatState &s, i64 id)
     (void)specAsDestroy(s, enclave.gptHandle);
     (void)specAsDestroy(s, enclave.eptHandle);
     enclave.state = enclStateDead;
+    return 0;
+}
+
+IntResult
+specHcEvictPage(FlatState &s, i64 id, u64 gva)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return IntResult::err(errNoSuchEnclave);
+    AbsEnclave &enclave = it->second;
+    if (enclave.state != enclStateInitialized)
+        return IntResult::err(errBadState);
+    if (gva % pageSize != 0)
+        return IntResult::err(errNotAligned);
+    if (!(enclave.elStart <= gva && gva + pageSize <= enclave.elEnd))
+        return IntResult::err(errIsolation);
+
+    const QueryResult stage1 = specAsQuery(s, enclave.gptHandle, gva);
+    if (!stage1.isSome)
+        return IntResult::err(errNotMapped);
+    const u64 gpa_slot = stage1.physAddr & ~(pageSize - 1);
+    const QueryResult stage2 =
+        specAsQuery(s, enclave.eptHandle, gpa_slot);
+    if (!stage2.isSome)
+        return IntResult::err(errNotMapped);
+    const u64 page = stage2.physAddr & ~(pageSize - 1);
+    if (!s.geo.inEpc(page))
+        return IntResult::err(errIsolation);
+    const u64 index = (page - s.geo.epcBase) / pageSize;
+    if (s.epcm[index].state == epcStateFree ||
+        s.epcm[index].owner != id)
+        return IntResult::err(errIsolation);
+
+    AbsSealedPage sealed;
+    sealed.gpaSlot = gpa_slot;
+    sealed.kind = s.epcm[index].state;
+    sealed.version = enclave.nextSealVersion++;
+    const auto content = s.pageContents.find(page);
+    if (content != s.pageContents.end()) {
+        sealed.content = content->second;
+        sealed.hasContent = true;
+    }
+
+    (void)specAsUnmap(s, enclave.gptHandle, gva);
+    (void)specAsUnmap(s, enclave.eptHandle, gpa_slot);
+    (void)specEpcmFree(s, page);
+    s.pageContents.erase(page);
+    enclave.evicted[gva] = sealed;
+    return IntResult::ok(sealed.version);
+}
+
+i64
+specHcReloadPage(FlatState &s, i64 id, i64 blob_owner, u64 gva,
+                 u64 blob_version)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return errNoSuchEnclave;
+    AbsEnclave &enclave = it->second;
+    if (enclave.state != enclStateInitialized)
+        return errBadState;
+    // Cross-enclave replay: a blob sealed for another enclave fails
+    // authenticity, exactly as the monitor's MAC+owner check does.
+    if (blob_owner != id)
+        return errSealAuth;
+    const auto rec = enclave.evicted.find(gva);
+    if (rec == enclave.evicted.end())
+        return errNotMapped;
+    if (blob_version != rec->second.version)
+        return errSealRollback;
+    const AbsSealedPage sealed = rec->second;
+
+    // Mirror add_page's map/alloc/map order (and hv's reload).
+    i64 rc = specAsMap(s, enclave.gptHandle, gva, sealed.gpaSlot,
+                       pteRwFlags);
+    if (rc != 0)
+        return rc;
+    const IntResult page = specEpcmAlloc(s, id, gva, sealed.kind);
+    if (!page.isOk) {
+        (void)specAsUnmap(s, enclave.gptHandle, gva);
+        return page.errCode;
+    }
+    rc = specAsMap(s, enclave.eptHandle, sealed.gpaSlot, page.value,
+                   pteRwFlags);
+    if (rc != 0) {
+        (void)specAsUnmap(s, enclave.gptHandle, gva);
+        (void)specEpcmFree(s, page.value);
+        return rc;
+    }
+    if (sealed.hasContent)
+        s.pageContents[page.value] = sealed.content;
+    enclave.evicted.erase(gva);
     return 0;
 }
 

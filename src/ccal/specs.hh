@@ -194,6 +194,12 @@ IntResult specEpcmAlloc(FlatState &s, i64 owner, u64 lin_addr, i64 kind);
 
 i64 specEpcmFree(FlatState &s, u64 page);
 
+/** State code (epcStateFree/Reg/Tcs) of an EPC page. */
+IntResult specEpcmLookup(const FlatState &s, u64 page);
+
+/** Owner id of a used EPC page; errNotMapped when free. */
+IntResult specEpcmOwner(const FlatState &s, u64 page);
+
 /// @}
 
 /// @name L13 — marshalling buffer
@@ -201,6 +207,15 @@ i64 specEpcmFree(FlatState &s, u64 page);
 
 i64 specMbufMap(FlatState &s, i64 gpt_handle, i64 ept_handle,
                 u64 mbuf_gva, u64 gpa_window, u64 backing, u64 pages);
+
+/**
+ * Audit a marshalling buffer's two-stage mappings: every page of the
+ * window must still translate gva -> window -> backing with read-write
+ * flags on both stages.  errNotMapped on a missing stage, errIsolation
+ * on a retargeted one.
+ */
+i64 specMbufCheck(const FlatState &s, i64 gpt_handle, i64 ept_handle,
+                  u64 mbuf_gva, u64 gpa_window, u64 backing, u64 pages);
 
 /// @}
 
@@ -222,6 +237,23 @@ i64 specHcInitFinish(FlatState &s, i64 id);
  * both its address spaces, and retire the enclave id.
  */
 i64 specHcRemove(FlatState &s, i64 id);
+
+/**
+ * evict_page (EWB): seal a resident ELRANGE page into an abstract
+ * sealed record, unmap it from both stages, free its EPCM entry and
+ * erase its content token.  Value is the sealed version counter.
+ */
+IntResult specHcEvictPage(FlatState &s, i64 id, u64 gva);
+
+/**
+ * reload_page (ELD): restore an evicted page from its sealed record.
+ * `blob_owner` and `blob_version` are the fields of the blob the OS
+ * presents; the spec rejects a foreign owner with errSealAuth and a
+ * stale version with errSealRollback, mirroring the monitor's typed
+ * verdicts.
+ */
+i64 specHcReloadPage(FlatState &s, i64 id, i64 blob_owner, u64 gva,
+                     u64 blob_version);
 
 /// @}
 

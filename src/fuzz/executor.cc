@@ -52,9 +52,11 @@ enum class Rc : u8
     Resource,
     NoSuch,
     Skipped,
+    SealAuth,     //!< sealed-blob MAC / ownership rejection
+    SealRollback, //!< sealed-blob anti-rollback rejection
 };
 
-constexpr u32 rcCount = 7;
+constexpr u32 rcCount = 9;
 
 Rc
 classifyHv(HvError error)
@@ -72,6 +74,8 @@ classifyHv(HvError error)
       case HvError::OutOfEpc: return Rc::Resource;
       case HvError::NoSuchEnclave:
       case HvError::NotMapped: return Rc::NoSuch;
+      case HvError::SealAuthFailed: return Rc::SealAuth;
+      case HvError::SealRollback: return Rc::SealRollback;
       default: return Rc::Invalid;
     }
 }
@@ -90,6 +94,8 @@ classifySpec(i64 code)
       case errOutOfEpc: return Rc::Resource;
       case errNoSuchEnclave:
       case errNotMapped: return Rc::NoSuch;
+      case errSealAuth: return Rc::SealAuth;
+      case errSealRollback: return Rc::SealRollback;
       default: return Rc::Invalid;
     }
 }
@@ -105,6 +111,8 @@ rcName(Rc rc)
       case Rc::Resource: return "resource";
       case Rc::NoSuch: return "no-such";
       case Rc::Skipped: return "skipped";
+      case Rc::SealAuth: return "seal-auth";
+      case Rc::SealRollback: return "seal-rollback";
     }
     return "?";
 }
@@ -211,6 +219,8 @@ class Executor
           case OpKind::LayerMap: return opLayerMap(op);
           case OpKind::LayerUnmap: return opLayerUnmap(op);
           case OpKind::LayerQuery: return opLayerQuery(op);
+          case OpKind::EvictPage: return opEvictPage(op);
+          case OpKind::ReloadPage: return opReloadPage(op);
         }
         return std::nullopt;
     }
@@ -421,6 +431,152 @@ class Executor
             gptTrees.erase(hv_id);
         }
         return invariantsAgree("remove");
+    }
+
+    Fail
+    opEvictPage(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt; // management hypercall, normal mode only
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+
+        u64 gva;
+        const auto abs_it = specState.enclaves.find(spec_id);
+        if (abs_it != specState.enclaves.end() &&
+            abs_it->second.state != enclStateDead) {
+            const AbsEnclave &abs = abs_it->second;
+            const u64 el_pages = (abs.elEnd - abs.elStart) / pageSize;
+            gva = abs.elStart + (op.b % (el_pages + 2)) * pageSize;
+        } else {
+            gva = 0x10'0000 + (op.b % 8) * pageSize;
+        }
+
+        auto blob = machine.monitor().hcEnclaveEvictPage(hv_id, Gva(gva));
+        const IntResult r = specHcEvictPage(specState, spec_id, gva);
+        if (opts.mirLockstep) {
+            // No L14 MIR model for evict yet; the spec transition is
+            // applied to the MIR shadow state so lockstep equality of
+            // the *next* modeled call still holds.
+            (void)specHcEvictPage(mirFlat, spec_id, gva);
+        }
+
+        if (blob.ok() != r.isOk) {
+            std::ostringstream msg;
+            msg << "evict verdicts differ: hv="
+                << (blob.ok() ? "ok" : hvErrorName(blob.error()))
+                << " spec=" << (r.isOk ? i64(0) : r.errCode);
+            return msg.str();
+        }
+        if (!blob.ok() &&
+            classifyHv(blob.error()) != classifySpec(r.errCode)) {
+            std::ostringstream msg;
+            msg << "evict error classes differ: hv="
+                << hvErrorName(blob.error()) << " ("
+                << rcName(classifyHv(blob.error())) << ") vs spec "
+                << r.errCode << " (" << rcName(classifySpec(r.errCode))
+                << ")";
+            return msg.str();
+        }
+        lastRc = blob.ok() ? Rc::Ok : classifyHv(blob.error());
+
+        if (blob.ok()) {
+            if (blob->version != r.value) {
+                std::ostringstream msg;
+                msg << "evict version skew: hv " << blob->version
+                    << " vs spec " << r.value;
+                return msg.str();
+            }
+            // Blob history is append-only, like real OS custody: stale
+            // versions stay presentable, which is what gives the
+            // anti-rollback check something to reject.
+            sealedBlobs.push_back({*blob, spec_id, gva, r.value});
+            TreeState &tree = gptTrees.at(hv_id);
+            const i64 tree_rc = treeUnmap(tree, gva);
+            if (tree_rc != 0) {
+                std::ostringstream msg;
+                msg << "tree unmap failed (rc " << tree_rc
+                    << ") where the flat spec evicted";
+                return msg.str();
+            }
+            if (auto f = treeAgree(
+                    "evict gpt", tree,
+                    specState.enclaves.at(spec_id).gptHandle))
+                return f;
+        }
+        if (auto f = invariantsAgree("evict_page"))
+            return f;
+        return epcmAgree("evict_page");
+    }
+
+    Fail
+    opReloadPage(const Op &op)
+    {
+        if (inEnclave || sealedBlobs.empty())
+            return std::nullopt;
+        if (lowOnFrames())
+            return std::nullopt; // reload re-maps and may need frames
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const SealedPair &pair = sealedBlobs[op.c % sealedBlobs.size()];
+
+        auto st =
+            machine.monitor().hcEnclaveReloadPage(hv_id, pair.hvBlob);
+        const i64 rc = specHcReloadPage(specState, spec_id,
+                                        pair.specOwner, pair.gva,
+                                        pair.version);
+        if (opts.mirLockstep)
+            (void)specHcReloadPage(mirFlat, spec_id, pair.specOwner,
+                                   pair.gva, pair.version);
+        if (auto f = verdictsAgree("reload_page", st, rc))
+            return f;
+
+        if (st.ok()) {
+            const AbsEnclave &abs = specState.enclaves.at(spec_id);
+            const QueryResult back =
+                specAsQuery(specState, abs.gptHandle, pair.gva);
+            if (!back.isSome)
+                return "reload succeeded but the spec stage-1 slot is "
+                       "empty";
+            u64 flags = pteRwFlags;
+            if (opts.treeSkewBug)
+                flags &= ~pteFlagW;
+            TreeState &tree = gptTrees.at(hv_id);
+            const i64 tree_rc =
+                treeMap(tree, pair.gva,
+                        back.physAddr & ~(pageSize - 1), flags);
+            if (tree_rc != 0) {
+                std::ostringstream msg;
+                msg << "tree map failed (rc " << tree_rc
+                    << ") where the flat spec reloaded";
+                return msg.str();
+            }
+            if (auto f = treeAgree("reload gpt", tree, abs.gptHandle))
+                return f;
+
+            // The reloaded frame must hold the sealed content
+            // bit-identically.
+            const hv::Enclave *enc = machine.monitor().findEnclave(hv_id);
+            auto walk = machine.monitor().translateEnclaveUncached(
+                enc->gptRoot, enc->eptRoot, Gva(pair.gva), false);
+            if (!walk.ok())
+                return "reload succeeded but the page does not "
+                       "translate";
+            const u64 page = walk->value & ~(pageSize - 1);
+            for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+                if (machine.monitor().mem().read(Hpa(page + off)) !=
+                    pair.hvBlob.words[off / sizeof(u64)]) {
+                    std::ostringstream msg;
+                    msg << "reload content mismatch at offset " << off;
+                    return msg.str();
+                }
+            }
+        }
+        if (auto f = invariantsAgree("reload_page"))
+            return f;
+        return epcmAgree("reload_page");
     }
 
     Fail
@@ -1002,6 +1158,15 @@ class Executor
         return 0x8000 | (x & 0x7FFF);
     }
 
+    /** One sealed blob in (modeled) OS custody: hv + spec images. */
+    struct SealedPair
+    {
+        hv::SealedBlob hvBlob;
+        i64 specOwner = 0;
+        u64 gva = 0;
+        u64 version = 0;
+    };
+
     const ExecOptions &opts;
     Machine machine;
     FlatState specState;
@@ -1010,6 +1175,7 @@ class Executor
     std::map<EnclaveId, i64> idMap;
     std::map<EnclaveId, TreeState> gptTrees;
     std::vector<EnclaveId> created;
+    std::vector<SealedPair> sealedBlobs;
     bool removesHappened = false;
     bool inEnclave = false;
     EnclaveId curEnclave = invalidEnclave;
@@ -1039,7 +1205,7 @@ plantedBugNames()
 {
     return {"elrange-off-by-one", "epcm-owner-skip",   "stale-tlb",
             "wrong-perm-mask",    "frame-double-free", "tree-skew",
-            "skip-shootdown-ack"};
+            "skip-shootdown-ack", "seal-rollback-accept"};
 }
 
 bool
@@ -1060,7 +1226,9 @@ applyPlantedBug(ExecOptions &opts, const std::string &name)
     else if (name == "skip-shootdown-ack") {
         opts.smpFuzz = true;
         opts.skipShootdownAckBug = true;
-    } else
+    } else if (name == "seal-rollback-accept")
+        opts.monitor.planted.acceptSealRollback = true;
+    else
         return false;
     return true;
 }

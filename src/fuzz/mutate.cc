@@ -219,11 +219,25 @@ seedTraces()
         {K::HcRemove, 3, 0, 0, 0},  // unknown enclave
     }));
 
+    // Paging round-trip plus a stale-blob presentation: the last
+    // reload offers the superseded v1 blob and must draw the
+    // anti-rollback verdict.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 1, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 1, 8, 0}, // TCS page, or init_finish fails
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::EvictPage, 0, 0, 0, 0},
+        {K::ReloadPage, 0, 0, 0, 0},
+        {K::EvictPage, 0, 0, 0, 0},
+        {K::ReloadPage, 0, 0, 0, 0},
+    }));
+
     // In-enclave memory probing across all decode regions.
     seeds.push_back(trace({
         {K::HcInit, 0, 1, 0, 0},
         {K::HcAddPage, 0, 0, 0, 0},
-        {K::HcAddPage, 0, 1, 0, 0},
+        {K::HcAddPage, 0, 1, 8, 0}, // TCS page, or init_finish fails
         {K::HcInitFinish, 0, 0, 0, 0},
         {K::Enter, 0, 0, 0, 0},
         {K::MemLoad, 0, 0, 3, 0},

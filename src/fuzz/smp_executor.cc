@@ -74,6 +74,8 @@ class SmpExecutor
     Rng sched;
     std::array<std::optional<hv::EnclaveHandle>, 2> enclaves;
     std::array<Gpa, slotCount> backing{};
+    /** Sealed blobs in (modeled) OS custody, append-only. */
+    std::vector<hv::SealedBlob> blobs;
 };
 
 u64
@@ -191,6 +193,22 @@ SmpExecutor::applyOp(const Op &op)
         return codeOf(smp.osProtectRo(v, slotVa, backing[slot]));
       case OpKind::LayerUnmap:
         return codeOf(smp.osUnmap(v, slotVa));
+      case OpKind::EvictPage: {
+        const u64 id = enclaveIdOf(op.a);
+        const u64 gva = elrangeBases[op.a % 2] + (op.b % 4) * pageSize;
+        auto blob = smp.hcEnclaveEvictPage(v, EnclaveId(id), Gva(gva));
+        if (!blob)
+            return u64(blob.error()) + 1;
+        blobs.push_back(*blob);
+        return 0;
+      }
+      case OpKind::ReloadPage: {
+        if (blobs.empty())
+            return 99; // nothing in custody; deterministic no-op code
+        const hv::SealedBlob &blob = blobs[op.c % blobs.size()];
+        return codeOf(smp.hcEnclaveReloadPage(
+            v, EnclaveId(enclaveIdOf(op.a)), blob));
+      }
     }
     return 0;
 }

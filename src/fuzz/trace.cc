@@ -15,7 +15,7 @@ constexpr const char *kindNames[opKindCount] = {
     "hc_init",     "hc_add_page", "hc_init_finish", "hc_remove",
     "enter",       "exit",        "mem_load",       "mem_store",
     "os_unmap",    "os_map",      "query_va",       "layer_map",
-    "layer_unmap", "layer_query",
+    "layer_unmap", "layer_query", "evict_page",     "reload_page",
 };
 
 /** Parse a decimal or 0x-hex u64. */

@@ -41,9 +41,11 @@ enum class OpKind : u8
     LayerMap,      //!< as_map on the scratch AS (spec/MIR/tree); a=va, b=pa, c=flags
     LayerUnmap,    //!< as_unmap on the scratch AS; a=va
     LayerQuery,    //!< as_query on the scratch AS; a=va
+    EvictPage,     //!< hypercall evict (EWB); a=enclave sel, b=gva sel
+    ReloadPage,    //!< hypercall reload (ELD); a=enclave sel, b=gva sel, c=blob sel
 };
 
-constexpr u32 opKindCount = 14;
+constexpr u32 opKindCount = 16;
 
 /** Stable lower-snake name ("hc_init", "mem_load", ...). */
 const char *opKindName(OpKind kind);

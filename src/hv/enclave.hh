@@ -12,6 +12,8 @@
 #ifndef HEV_HV_ENCLAVE_HH
 #define HEV_HV_ENCLAVE_HH
 
+#include <map>
+
 #include "hv/vcpu.hh"
 #include "support/types.hh"
 
@@ -93,6 +95,17 @@ struct Enclave
      * Removal while any vCPU is inside is rejected.
      */
     u32 activeVcpus = 0;
+
+    /**
+     * Pages evicted (EWB analogue) and not yet reloaded, keyed by their
+     * enclave-linear address.  The value is the version counter sealed
+     * into the blob; reload accepts exactly this version, which is what
+     * makes replaying an older blob for the same address fail
+     * (anti-rollback).
+     */
+    std::map<u64, u64> evictedPages;
+    /** Next version counter to seal into an evicted page's blob. */
+    u64 nextSealVersion = 1;
 
     /** The marshalling buffer range in the enclave's VA space. */
     GvaRange

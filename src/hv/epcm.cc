@@ -39,13 +39,16 @@ Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state)
     if (owner == invalidEnclave || state == EpcPageState::Free)
         return HvError::InvalidParam;
     std::lock_guard<std::mutex> guard(lock);
+    // First fit, deliberately: the functional spec (specEpcmAlloc) and
+    // the MIR model (epcm_alloc) both scan from index 0, and the
+    // conformance oracles compare the tables index-aligned.  A
+    // rotating hint would hand reload_page a different frame than the
+    // one evict_page freed and silently break that alignment.
     const u64 n = table.size();
-    for (u64 probe = 0; probe < n; ++probe) {
-        const u64 idx = (searchHint + probe) % n;
+    for (u64 idx = 0; idx < n; ++idx) {
         if (table[idx].state == EpcPageState::Free) {
             table[idx] = {state, owner, lin_addr};
             --freeCount;
-            searchHint = (idx + 1) % n;
             return epcRange.start + idx * pageSize;
         }
     }

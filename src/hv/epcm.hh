@@ -97,7 +97,6 @@ class Epcm
     mutable std::mutex lock;
     std::vector<EpcmEntry> table;
     u64 freeCount = 0;
-    u64 searchHint = 0;
 };
 
 } // namespace hev::hv

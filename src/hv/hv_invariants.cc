@@ -226,6 +226,47 @@ checkMonitorInvariants(const Monitor &mon)
                    "(shallow-copy-style state)";
             report(violations, msg.str());
         }
+
+        // Sealed pages (EPCM invariant family extended to non-resident
+        // pages): an evicted record must name an ELRANGE page that is
+        // genuinely non-resident — no stage-1 mapping and no EPCM entry
+        // — and carry a version the counter has actually issued.
+        for (const auto &[gva, version] : enclave.evictedPages) {
+            if (!enclave.cfg.elrange.contains(Gva(gva))) {
+                std::ostringstream msg;
+                msg << "enclave " << enclave.id << ": evicted gva "
+                    << std::hex << gva << " outside ELRANGE";
+                report(violations, msg.str());
+            }
+            if (gpt.query(gva)) {
+                std::ostringstream msg;
+                msg << "enclave " << enclave.id << ": evicted gva "
+                    << std::hex << gva << " is still GPT-mapped";
+                report(violations, msg.str());
+            }
+            if (version == 0 || version >= enclave.nextSealVersion) {
+                std::ostringstream msg;
+                msg << "enclave " << enclave.id << ": evicted gva "
+                    << std::hex << gva << " has version " << std::dec
+                    << version << " outside [1, "
+                    << enclave.nextSealVersion << ")";
+                report(violations, msg.str());
+            }
+            const HpaRange epc = layout.epcRange();
+            for (u64 page = epc.start.value; page < epc.end.value;
+                 page += pageSize) {
+                const EpcmEntry &record = mon.epcm().entryFor(Hpa(page));
+                if (record.state != EpcPageState::Free &&
+                    record.owner == enclave.id &&
+                    record.linAddr == Gva(gva)) {
+                    std::ostringstream msg;
+                    msg << "enclave " << enclave.id << ": evicted gva "
+                        << std::hex << gva
+                        << " still has a live EPCM entry";
+                    report(violations, msg.str());
+                }
+            }
+        }
     });
 
     // --- Allocator consistency: every table frame reachable from a

@@ -23,6 +23,8 @@ const obs::Counter statEnclavesCreated("hv.enclaves_created");
 const obs::Counter statPagesAdded("hv.pages_added");
 const obs::Counter statEnters("hv.enclave_enters");
 const obs::Counter statExits("hv.enclave_exits");
+const obs::Counter statPagesEvicted("hv.pages_evicted");
+const obs::Counter statPagesReloaded("hv.pages_reloaded");
 const obs::Counter statTranslations("hv.translations");
 const obs::Histogram statHypercallNs("hv.hypercall_ns");
 const obs::Gauge statLiveEnclaves("hv.live_enclaves");
@@ -74,6 +76,28 @@ class HypercallScope
     ScopedLogContext logCtx;
     obs::ScopedTimer timer;
 };
+
+/**
+ * Sealing MAC over everything the OS could usefully tamper with.  A
+ * keyed FNV-1a stands in for AES-GCM: the model needs unforgeability
+ * relative to the checkers (which never try to forge), not
+ * cryptographic strength.
+ */
+constexpr u64 sealKeyConst = 0x5ea1'ab1e'0ff1'ce42ull;
+
+u64
+sealMac(const SealedBlob &blob)
+{
+    u64 acc = sealKeyConst;
+    acc = measureStep(acc, u64(blob.owner));
+    acc = measureStep(acc, blob.gva.value);
+    acc = measureStep(acc, u64(blob.kind));
+    acc = measureStep(acc, blob.gpaSlot.value);
+    acc = measureStep(acc, blob.version);
+    for (const u64 word : blob.words)
+        acc = measureStep(acc, word);
+    return acc;
+}
 
 } // namespace
 
@@ -493,6 +517,118 @@ Monitor::hcEnclaveReport(const VCpu &vcpu)
     report.addedPages = enclave->addedPages;
     ++statCounters.reports;
     return report;
+}
+
+Expected<SealedBlob>
+Monitor::hcEnclaveEvictPage(EnclaveId id, Gva page_gva)
+{
+    HypercallScope scope(statCounters, "hc_enclave_evict_page", id);
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
+    Enclave &enclave = it->second;
+    // Paging is a post-launch activity: while the enclave is still
+    // Adding, the OS controls residency through add_page itself.
+    if (enclave.state != EnclaveState::Initialized)
+        return scope.fail(HvError::BadEnclaveState);
+    if (!page_gva.pageAligned())
+        return scope.fail(HvError::NotAligned);
+    // Only ELRANGE pages are pageable; the marshalling buffer mapping
+    // is fixed for the enclave's entire life cycle.
+    if (!enclave.cfg.elrange.contains(page_gva))
+        return scope.fail(HvError::IsolationViolation);
+
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    auto stage1 = gpt.query(page_gva.value);
+    if (!stage1)
+        return scope.fail(HvError::NotMapped);
+    const u64 gpa_slot = stage1->physAddr & ~(pageSize - 1);
+    auto stage2 = ept.query(gpa_slot);
+    if (!stage2)
+        return scope.fail(HvError::NotMapped);
+    const Hpa epc_page = Hpa(stage2->physAddr & ~(pageSize - 1));
+    const EpcmEntry &entry = epcMap.entryFor(epc_page);
+    if (entry.state == EpcPageState::Free || entry.owner != id)
+        return scope.fail(HvError::IsolationViolation);
+
+    SealedBlob blob;
+    blob.owner = id;
+    blob.gva = page_gva;
+    blob.kind = entry.state == EpcPageState::Tcs ? AddPageKind::Tcs
+                                                 : AddPageKind::Reg;
+    blob.gpaSlot = Gpa(gpa_slot);
+    blob.version = enclave.nextSealVersion++;
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        blob.words[off / sizeof(u64)] = physMem.read(epc_page + off);
+    blob.mac = sealMac(blob);
+
+    (void)gpt.unmap(page_gva.value);
+    (void)ept.unmap(gpa_slot);
+    scrubPage(epc_page);
+    (void)epcMap.freePage(epc_page);
+    // A resident vCPU may hold cached translations for the page; they
+    // must die with the mapping or a stale hit reads the scrubbed (or
+    // later re-allocated) frame.
+    tlbModel.flushDomain(id);
+    enclave.evictedPages[page_gva.value] = blob.version;
+    ++statCounters.pagesEvicted;
+    statPagesEvicted.inc();
+    return blob;
+}
+
+Status
+Monitor::hcEnclaveReloadPage(EnclaveId id, const SealedBlob &blob,
+                             FrameSource *frames)
+{
+    HypercallScope scope(statCounters, "hc_enclave_reload_page", id);
+    FrameSource &tableFrames = frames ? *frames : frameAlloc;
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Initialized)
+        return scope.fail(HvError::BadEnclaveState);
+    // Authenticity first: a tampered blob and a genuine blob presented
+    // to the wrong enclave (cross-enclave replay) are rejected
+    // identically, before any state is inspected.
+    if (blob.mac != sealMac(blob) || blob.owner != id)
+        return scope.fail(HvError::SealAuthFailed);
+    const auto rec = enclave.evictedPages.find(blob.gva.value);
+    if (rec == enclave.evictedPages.end())
+        return scope.fail(HvError::NotMapped);
+    if (!cfg.planted.acceptSealRollback && blob.version != rec->second)
+        return scope.fail(HvError::SealRollback);
+
+    PageTable gpt(physMem, &tableFrames, enclave.gptRoot);
+    PageTable ept(physMem, &tableFrames, enclave.eptRoot);
+
+    // Mirror add_page's map/alloc/map order exactly so the abstract
+    // machine's allocator state stays index-aligned with ours.
+    if (auto st = gpt.map(blob.gva.value, blob.gpaSlot.value,
+                          PteFlags::userRw()); !st)
+        return scope.fail(st.error());
+    auto epc_page = epcMap.allocPage(id, blob.gva,
+                                     blob.kind == AddPageKind::Tcs
+                                         ? EpcPageState::Tcs
+                                         : EpcPageState::Reg);
+    if (!epc_page) {
+        (void)gpt.unmap(blob.gva.value);
+        return scope.fail(epc_page.error());
+    }
+    if (auto st = ept.map(blob.gpaSlot.value, epc_page->value,
+                          PteFlags::userRw()); !st) {
+        (void)gpt.unmap(blob.gva.value);
+        (void)epcMap.freePage(*epc_page);
+        return scope.fail(st.error());
+    }
+
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        physMem.write(*epc_page + off, blob.words[off / sizeof(u64)]);
+    enclave.evictedPages.erase(rec);
+    ++statCounters.pagesReloaded;
+    statPagesReloaded.inc();
+    return okStatus();
 }
 
 void

@@ -18,6 +18,7 @@
 #ifndef HEV_HV_MONITOR_HH
 #define HEV_HV_MONITOR_HH
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -52,12 +53,14 @@ struct PlantedBugs
     bool wrongPermMask = false;
     /** add_page force-frees the leaf GPT table frame it just used. */
     bool frameDoubleFree = false;
+    /** reload_page skips the version check (accepts rolled-back blobs). */
+    bool acceptSealRollback = false;
 
     bool
     any() const
     {
         return elrangeOffByOne || skipEpcmOwnerCheck || staleTlbOnUnmap ||
-               wrongPermMask || frameDoubleFree;
+               wrongPermMask || frameDoubleFree || acceptSealRollback;
     }
 };
 
@@ -84,6 +87,33 @@ enum class AddPageKind : u8
 };
 
 /**
+ * An evicted EPC page sealed for untrusted custody (EWB analogue).
+ *
+ * The monitor hands this whole structure to the primary OS, which may
+ * store it anywhere and present it back at reload time.  Everything the
+ * OS could usefully tamper with — owner, linear address, page kind, the
+ * guest-physical slot, the anti-rollback version and the page contents —
+ * is covered by the MAC, so the only freedom the OS has is to present a
+ * stale-but-genuine blob, and the per-address version counter closes
+ * exactly that (see Enclave::evictedPages).  In real EWB the words would
+ * be AES-GCM ciphertext; this model declassifies the sealed image as an
+ * opaque blob (src/sec treats its ciphertext as OS-observable and the
+ * plaintext as secret).
+ */
+struct SealedBlob
+{
+    EnclaveId owner = invalidEnclave;
+    Gva gva{};                //!< enclave-linear address of the page
+    AddPageKind kind = AddPageKind::Reg;
+    Gpa gpaSlot{};            //!< stage-1 slot in the EPC GPA window
+    u64 version = 0;          //!< anti-rollback counter
+    std::array<u64, pageSize / sizeof(u64)> words{};
+    u64 mac = 0;
+
+    bool operator==(const SealedBlob &) const = default;
+};
+
+/**
  * Statistics counters exposed for the benches.  Atomic so concurrent
  * hypercalls from multiple vCPUs (src/smp/) can bump them without a
  * lock; single-vCPU readers just see plain integers.
@@ -97,6 +127,8 @@ struct MonitorStats
     std::atomic<u64> exits{0};
     std::atomic<u64> reports{0};
     std::atomic<u64> rejectedRequests{0};
+    std::atomic<u64> pagesEvicted{0};
+    std::atomic<u64> pagesReloaded{0};
 };
 
 /** What the report hypercall hands back (EREPORT stub). */
@@ -219,6 +251,26 @@ class Monitor
      * need no enclave lock.
      */
     Expected<EnclaveReport> hcEnclaveReport(const VCpu &vcpu);
+
+    /**
+     * evict_page (EWB analogue): seal a resident enclave page — its
+     * contents, EPCM metadata and a fresh anti-rollback version — into
+     * an OS-held blob, then unmap it from the enclave's GPT/EPT, scrub
+     * the EPC frame and release it.  The caller (the untrusted OS,
+     * under memory pressure) keeps the blob; the enclave must be
+     * Initialized and the page resident at an ELRANGE address.
+     */
+    Expected<SealedBlob> hcEnclaveEvictPage(EnclaveId id, Gva page_gva);
+
+    /**
+     * reload_page (ELD analogue): verify a sealed blob's MAC, owner and
+     * version, then restore the page — same EPC GPA slot, same EPCM
+     * metadata, bit-identical contents.  A tampered or cross-enclave
+     * blob fails with SealAuthFailed; a genuine-but-stale blob fails
+     * with SealRollback.
+     */
+    Status hcEnclaveReloadPage(EnclaveId id, const SealedBlob &blob,
+                               FrameSource *frames = nullptr);
 
     /// @}
 

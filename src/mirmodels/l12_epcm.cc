@@ -127,6 +127,95 @@ makeEpcmFree(const Geometry &geo)
     return fb.build();
 }
 
+/**
+ * Shared prologue of the read-only accessors: validate page alignment
+ * and EPC bounds, then land in `have_entry` with `ptr` aimed at the
+ * page's EPCM entry.  Returns the error block for reuse.
+ */
+BlockId
+epcmAccessPrologue(FunctionBuilder &fb, const Geometry &geo, VarId cond,
+                   VarId idx, VarId ptr, BlockId have_entry)
+{
+    const BlockId align_ok = fb.newBlock();
+    const BlockId low_ok = fb.newBlock();
+    const BlockId high_ok = fb.newBlock();
+    const BlockId err_invalid = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(cond),
+                mir::bin(BinOp::BitAnd, v(1), c(i64(pageSize - 1))))
+        .switchInt(v(cond), {{0, align_ok}}, err_invalid);
+    fb.atBlock(align_ok)
+        .assign(p(cond), mir::bin(BinOp::Ge, v(1), cu(geo.epcBase)))
+        .switchInt(v(cond), {{0, err_invalid}}, low_ok);
+    fb.atBlock(low_ok)
+        .assign(p(cond),
+                mir::bin(BinOp::Lt, v(1),
+                         cu(geo.epcBase + geo.epcCount * pageSize)))
+        .switchInt(v(cond), {{0, err_invalid}}, high_ok);
+    fb.atBlock(high_ok)
+        .assign(p(idx), mir::bin(BinOp::Sub, v(1), cu(geo.epcBase)))
+        .assign(p(idx), mir::bin(BinOp::Shr, v(idx), c(12)))
+        .callFn("epcm_ptr", {v(idx)}, p(ptr), have_entry);
+    fb.atBlock(err_invalid)
+        .assign(ret(),
+                mir::makeAggregate(1, {c(ccal::errInvalidParam)}))
+        .ret();
+    return err_invalid;
+}
+
+/** fn epcm_lookup(page) -> Result<u64, i64> */
+mir::Function
+makeEpcmLookup(const Geometry &geo)
+{
+    FunctionBuilder fb("epcm_lookup", 1);
+    const VarId cond = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId entry = fb.newVar();
+    const VarId st = fb.newVar();
+
+    const BlockId have_entry = fb.newBlock();
+    epcmAccessPrologue(fb, geo, cond, idx, ptr, have_entry);
+    // The state code is reported for free pages too.
+    fb.atBlock(have_entry)
+        .assign(p(entry), mir::use(Operand::copy(p(ptr).deref())))
+        .assign(p(st), mir::use(vf(entry, 0)))
+        .assign(ret(), mir::makeAggregate(0, {v(st)}))
+        .ret();
+    return fb.build();
+}
+
+/** fn epcm_owner(page) -> Result<u64, i64> */
+mir::Function
+makeEpcmOwner(const Geometry &geo)
+{
+    FunctionBuilder fb("epcm_owner", 1);
+    const VarId cond = fb.newVar();
+    const VarId idx = fb.newVar();
+    const VarId ptr = fb.newVar();
+    const VarId entry = fb.newVar();
+    const VarId st = fb.newVar();
+    const VarId owner = fb.newVar();
+
+    const BlockId have_entry = fb.newBlock();
+    const BlockId used = fb.newBlock();
+    const BlockId err_free = fb.newBlock();
+    epcmAccessPrologue(fb, geo, cond, idx, ptr, have_entry);
+    fb.atBlock(have_entry)
+        .assign(p(entry), mir::use(Operand::copy(p(ptr).deref())))
+        .assign(p(st), mir::use(vf(entry, 0)))
+        .switchInt(v(st), {{0, err_free}}, used);
+    fb.atBlock(used)
+        .assign(p(owner), mir::use(vf(entry, 1)))
+        .assign(ret(), mir::makeAggregate(0, {v(owner)}))
+        .ret();
+    fb.atBlock(err_free)
+        .assign(ret(), mir::makeAggregate(1, {c(ccal::errNotMapped)}))
+        .ret();
+    return fb.build();
+}
+
 } // namespace
 
 void
@@ -134,6 +223,8 @@ addLayer12(Program &prog, const Geometry &geo)
 {
     prog.add(makeEpcmAlloc(geo));
     prog.add(makeEpcmFree(geo));
+    prog.add(makeEpcmLookup(geo));
+    prog.add(makeEpcmOwner(geo));
 }
 
 } // namespace hev::mirmodels

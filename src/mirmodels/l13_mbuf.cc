@@ -69,12 +69,104 @@ makeMbufMap()
     return fb.build();
 }
 
+/**
+ * fn mbuf_check(gpt_h, ept_h, mbuf_gva, gpa_window, backing, pages)
+ *     -> i64
+ *
+ * Audit of the fixed mappings: each window page must still translate
+ * gva -> window -> backing with the write bit on both stages.
+ * Conforms to specMbufCheck.
+ */
+mir::Function
+makeMbufCheck()
+{
+    FunctionBuilder fb("mbuf_check", 6);
+    const VarId i = fb.newVar();
+    const VarId cond = fb.newVar();
+    const VarId off = fb.newVar();
+    const VarId a_gva = fb.newVar();
+    const VarId a_win = fb.newVar();
+    const VarId a_back = fb.newVar();
+    const VarId q = fb.newVar();
+    const VarId d = fb.newVar();
+    const VarId pair = fb.newVar();
+    const VarId pa = fb.newVar();
+    const VarId fl = fb.newVar();
+
+    const BlockId head = fb.newBlock();
+    const BlockId body = fb.newBlock();
+    const BlockId have_s1 = fb.newBlock();
+    const BlockId s1_some = fb.newBlock();
+    const BlockId s1_flags = fb.newBlock();
+    const BlockId stage2 = fb.newBlock();
+    const BlockId have_s2 = fb.newBlock();
+    const BlockId s2_some = fb.newBlock();
+    const BlockId s2_flags = fb.newBlock();
+    const BlockId next = fb.newBlock();
+    const BlockId success = fb.newBlock();
+    const BlockId err_unmapped = fb.newBlock();
+    const BlockId err_iso = fb.newBlock();
+
+    fb.atBlock(0)
+        .assign(p(i), mir::use(c(0)))
+        .jump(head);
+    fb.atBlock(head)
+        .assign(p(cond), mir::bin(BinOp::Lt, v(i), v(6)))
+        .switchInt(v(cond), {{0, success}}, body);
+    fb.atBlock(body)
+        .assign(p(off), mir::bin(BinOp::Mul, v(i), c(i64(pageSize))))
+        .assign(p(a_gva), mir::bin(BinOp::Add, v(3), v(off)))
+        .assign(p(a_win), mir::bin(BinOp::Add, v(4), v(off)))
+        .assign(p(a_back), mir::bin(BinOp::Add, v(5), v(off)))
+        .callFn("as_query", {v(1), v(a_gva)}, p(q), have_s1);
+    fb.atBlock(have_s1)
+        .assign(p(d), mir::discriminantOf(p(q)))
+        .switchInt(v(d), {{0, err_unmapped}}, s1_some);
+    fb.atBlock(s1_some)
+        .assign(p(pair), mir::use(vf(q, 0)))
+        .assign(p(pa), mir::use(Operand::copy(p(pair).field(0))))
+        .assign(p(cond), mir::bin(BinOp::Eq, v(pa), v(a_win)))
+        .switchInt(v(cond), {{0, err_iso}}, s1_flags);
+    fb.atBlock(s1_flags)
+        .assign(p(fl), mir::use(Operand::copy(p(pair).field(1))))
+        .assign(p(fl), mir::bin(BinOp::Shr, v(fl), c(1)))
+        .assign(p(fl), mir::bin(BinOp::BitAnd, v(fl), c(1)))
+        .switchInt(v(fl), {{0, err_iso}}, stage2);
+    fb.atBlock(stage2)
+        .callFn("as_query", {v(2), v(a_win)}, p(q), have_s2);
+    fb.atBlock(have_s2)
+        .assign(p(d), mir::discriminantOf(p(q)))
+        .switchInt(v(d), {{0, err_unmapped}}, s2_some);
+    fb.atBlock(s2_some)
+        .assign(p(pair), mir::use(vf(q, 0)))
+        .assign(p(pa), mir::use(Operand::copy(p(pair).field(0))))
+        .assign(p(cond), mir::bin(BinOp::Eq, v(pa), v(a_back)))
+        .switchInt(v(cond), {{0, err_iso}}, s2_flags);
+    fb.atBlock(s2_flags)
+        .assign(p(fl), mir::use(Operand::copy(p(pair).field(1))))
+        .assign(p(fl), mir::bin(BinOp::Shr, v(fl), c(1)))
+        .assign(p(fl), mir::bin(BinOp::BitAnd, v(fl), c(1)))
+        .switchInt(v(fl), {{0, err_iso}}, next);
+    fb.atBlock(next)
+        .assign(p(i), mir::bin(BinOp::Add, v(i), c(1)))
+        .jump(head);
+    fb.atBlock(success).assign(ret(), mir::use(c(0))).ret();
+    fb.atBlock(err_unmapped)
+        .assign(ret(), mir::use(c(ccal::errNotMapped)))
+        .ret();
+    fb.atBlock(err_iso)
+        .assign(ret(), mir::use(c(ccal::errIsolation)))
+        .ret();
+    return fb.build();
+}
+
 } // namespace
 
 void
 addLayer13(Program &prog, const Geometry &)
 {
     prog.add(makeMbufMap());
+    prog.add(makeMbufCheck());
 }
 
 } // namespace hev::mirmodels

@@ -42,8 +42,8 @@ const LayerInfo layerTable[] = {
     {"unmap", {"pt_unmap", "pt_destroy"}},
     {"address spaces (RData)",
      {"as_create", "as_map", "as_query", "as_unmap", "as_destroy"}},
-    {"EPCM", {"epcm_alloc", "epcm_free"}},
-    {"marshalling buffer", {"mbuf_map"}},
+    {"EPCM", {"epcm_alloc", "epcm_free", "epcm_lookup", "epcm_owner"}},
+    {"marshalling buffer", {"mbuf_map", "mbuf_check"}},
     {"hypercalls",
      {"hc_init", "hc_add_page", "hc_init_finish", "hc_remove"}},
     {"memory isolation", {"mem_translate"}},

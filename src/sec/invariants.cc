@@ -203,6 +203,44 @@ checkInvariants(const FlatState &s)
         }
     }
 
+    // --- EPCM invariant extended to non-resident (sealed) pages: an
+    // evicted record names an ELRANGE page that is genuinely gone —
+    // no stage-1 mapping, no EPCM entry — whose stage-1 slot lies in
+    // the allocated EPC GPA window and whose version the counter has
+    // actually issued.
+    for (const auto &[id, enclave] : s.enclaves) {
+        if (enclave.state == enclStateDead)
+            continue;
+        for (const auto &[gva, sealed] : enclave.evicted) {
+            const auto blame = [&](const std::string &what) {
+                std::ostringstream msg;
+                msg << "enclave " << id << ": evicted gva " << std::hex
+                    << gva << " " << what;
+                violations.push_back({"EPCM invariant", msg.str()});
+            };
+            if (!(enclave.elStart <= gva &&
+                  gva + pageSize <= enclave.elEnd))
+                blame("outside ELRANGE");
+            if (specAsQuery(s, enclave.gptHandle, gva).isSome)
+                blame("is still stage-1 mapped");
+            if (sealed.gpaSlot < s.geo.epcGpaBase ||
+                sealed.gpaSlot >= s.geo.epcGpaBase +
+                                      enclave.addedPages * pageSize)
+                blame("has a stage-1 slot outside the EPC GPA window");
+            if (sealed.version == 0 ||
+                sealed.version >= enclave.nextSealVersion)
+                blame("has a version the counter never issued");
+            if (sealed.kind != epcStateReg && sealed.kind != epcStateTcs)
+                blame("has an invalid page kind");
+            for (u64 index = 0; index < s.geo.epcCount; ++index) {
+                if (s.epcm[index].state != epcStateFree &&
+                    s.epcm[index].owner == id &&
+                    s.epcm[index].linAddr == gva)
+                    blame("still has a live EPCM entry");
+            }
+        }
+    }
+
     // --- ELRANGE memory isolation: EPC pages never shared between
     // enclaves.
     std::map<u64, i64> epc_owner_by_mapping;

@@ -225,6 +225,80 @@ SecMachine::step(SecState &s, const Action &action, DataOracle &oracle)
         s.active = osPrincipal;
         break;
       }
+      case Action::Kind::Evict: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        // Resolve the page before the spec unmaps it: the plaintext
+        // must move from data memory into the sealed record, and the
+        // EPC frame is scrubbed (its words vanish from s.mem).
+        u64 hpa = ~0ull;
+        auto it = s.mon.enclaves.find(action.enclave);
+        if (it != s.mon.enclaves.end() &&
+            it->second.state != enclStateDead) {
+            const QueryResult q =
+                specMemTranslate(s.mon, it->second.gptHandle,
+                                 it->second.eptHandle, action.va, false);
+            if (q.isSome)
+                hpa = q.physAddr;
+        }
+        const IntResult r =
+            specHcEvictPage(s.mon, action.enclave, action.va);
+        result.faulted = !r.isOk;
+        result.code = r.isOk ? i64(r.value) : r.errCode;
+        if (r.isOk) {
+            SealRecord rec;
+            rec.owner = action.enclave;
+            rec.gva = action.va;
+            rec.version = r.value;
+            // The sealed image the OS takes custody of is declassified
+            // by construction: it comes from the oracle stream, so two
+            // lockstep runs agree on it regardless of the plaintext.
+            rec.ciphertext = oracle.next();
+            if (hpa != ~0ull) {
+                for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+                    auto word = s.mem.find(hpa + off);
+                    if (word != s.mem.end()) {
+                        rec.plain[off] = word->second;
+                        s.mem.erase(word);
+                    }
+                }
+            }
+            s.seals.push_back(rec);
+            result.value = rec.ciphertext;
+        }
+        break;
+      }
+      case Action::Kind::Reload: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        if (s.seals.empty()) {
+            result.faulted = true;
+            break;
+        }
+        // The OS presents one of the blobs it holds — possibly a stale
+        // version or one sealed for a different enclave; the spec's
+        // typed verdicts sort those out.
+        const SealRecord &rec = s.seals[action.a % s.seals.size()];
+        const i64 rc = specHcReloadPage(s.mon, action.enclave, rec.owner,
+                                        rec.gva, rec.version);
+        result.faulted = rc != 0;
+        result.code = rc;
+        if (rc == 0) {
+            const auto &enclave = s.mon.enclaves.at(action.enclave);
+            const QueryResult q =
+                specMemTranslate(s.mon, enclave.gptHandle,
+                                 enclave.eptHandle, rec.gva, false);
+            if (q.isSome) {
+                for (const auto &[off, word] : rec.plain)
+                    s.mem[q.physAddr + off] = word;
+            }
+        }
+        break;
+      }
     }
     return result;
 }

@@ -79,6 +79,8 @@ struct Action
         HcRemove,   //!< hypercall: tear an enclave down (scrubs EPC)
         Enter,      //!< world switch into an enclave
         Exit,       //!< world switch back to the OS
+        Evict,      //!< hypercall: seal + evict an enclave page (EWB)
+        Reload,     //!< hypercall: reload a sealed page (ELD); a = index
     };
 
     Kind kind = Kind::Compute;
@@ -99,6 +101,26 @@ struct StepResult
     bool operator==(const StepResult &) const = default;
 };
 
+/**
+ * One sealed blob in untrusted custody (the security-model image of
+ * hv::SealedBlob).  The record splits the blob into what the OS can
+ * see — owner, address, version, and the sealed image itself, modeled
+ * as a single oracle-drawn ciphertext token — and what it cannot: the
+ * page's plaintext words, kept here only so a verified reload can
+ * restore them.  The observation function puts the first group in the
+ * OS's view and the second only in the owner's (sealed-blob oracle).
+ */
+struct SealRecord
+{
+    Principal owner = 0;
+    u64 gva = 0;
+    u64 version = 0;
+    u64 ciphertext = 0;      //!< declassified sealed image (OS-visible)
+    std::map<u64, u64> plain; //!< page-offset -> word (owner-visible)
+
+    bool operator==(const SealRecord &) const = default;
+};
+
 /** The whole abstract machine state. */
 struct SecState
 {
@@ -110,6 +132,12 @@ struct SecState
     std::map<Principal, bool> everEntered;
     /** The OS's own page table: VA page -> GPA page (guest-managed). */
     std::map<u64, u64> osPageTable;
+    /**
+     * Every blob ever sealed, in eviction order; reload never removes a
+     * record (the OS may keep stale copies, which is exactly what the
+     * anti-rollback check exists for).
+     */
+    std::vector<SealRecord> seals;
 
     explicit SecState(const ccal::Geometry &geo = ccal::Geometry{})
         : mon(geo)

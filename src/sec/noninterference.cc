@@ -113,7 +113,7 @@ randomAction(const SecState &s, Rng &rng)
         return rng.below(1024) * 8 * rng.between(1, 64);
     };
 
-    const u64 pick = rng.below(is_os ? 11 : 4);
+    const u64 pick = rng.below(is_os ? 13 : 4);
     switch (pick) {
       case 0:
         action.kind = Action::Kind::Load;
@@ -171,6 +171,33 @@ randomAction(const SecState &s, Rng &rng)
         action.enclave = live.empty() || live.back() <= 2
                              ? i64(100 + rng.below(4))
                              : live.back();
+        break;
+      case 11: {
+        // Evict a page of some live enclave; unmapped VAs and bad ids
+        // just produce typed failures, identical on both runs.
+        action.kind = Action::Kind::Evict;
+        action.enclave =
+            live.empty() ? i64(rng.below(4)) : rng.pick(live);
+        auto it = s.mon.enclaves.find(action.enclave);
+        if (it != s.mon.enclaves.end()) {
+            const u64 span =
+                (it->second.elEnd - it->second.elStart) / pageSize;
+            action.va = it->second.elStart +
+                        rng.below(span ? span : 1) * pageSize;
+        } else {
+            action.va = rng.below(512) * pageSize;
+        }
+        break;
+      }
+      case 12:
+        // Present one of the blobs in OS custody for reload — possibly
+        // a stale version (rollback) or one sealed for a different
+        // enclave (replay); both get the same typed rejection on the
+        // two lockstep runs.
+        action.kind = Action::Kind::Reload;
+        action.enclave =
+            live.empty() ? i64(rng.below(4)) : rng.pick(live);
+        action.a = rng.next();
         break;
       default:
         action.kind = Action::Kind::Enter;

@@ -13,10 +13,17 @@ using namespace ccal::spec;
 namespace
 {
 
-/** Collect (va -> hpa/flags) and the reachable non-shared pages. */
+/**
+ * Collect the principal's logical mappings and the physical pages
+ * backing them.  Mappings target the stage-1 (guest-physical) address;
+ * `pages` holds the host-physical page bases whose contents belong to
+ * the view, and `page_va` (when given) their virtual page bases, so
+ * the caller can re-key enclave memory by VA.
+ */
 void
 collectPrincipalMappings(const SecState &s, Principal p, View &view,
-                         std::set<u64> &pages)
+                         std::set<u64> &pages,
+                         std::map<u64, u64> *page_va = nullptr)
 {
     if (p == osPrincipal) {
         // The OS owns its page table verbatim; it reaches all of
@@ -43,10 +50,29 @@ collectPrincipalMappings(const SecState &s, Principal p, View &view,
             const QueryResult stage2 =
                 specAsQuery(s.mon, enclave.eptHandle, gpa);
             const u64 hpa = stage2.isSome ? stage2.physAddr : ~0ull;
-            view.mappings[va] = {hpa, flags};
-            if (hpa != ~0ull && !SecMachine::inAnyMbufBacking(s, hpa))
+            view.mappings[va] = {gpa, flags};
+            if (hpa != ~0ull && !SecMachine::inAnyMbufBacking(s, hpa)) {
                 pages.insert(hpa & ~(pageSize - 1));
+                if (page_va)
+                    (*page_va)[hpa & ~(pageSize - 1)] =
+                        va & ~(pageSize - 1);
+            }
         });
+    // Evicted pages stay in the logical view: same slot, same flags as
+    // the resident mapping they replace, so V(p) is paging-invariant.
+    for (const auto &[gva, sealed] : enclave.evicted)
+        view.mappings[gva] = {sealed.gpaSlot, pteRwFlags};
+}
+
+/** The sealed plaintext of (owner, version), if recorded. */
+const SealRecord *
+findSeal(const SecState &s, Principal owner, u64 version)
+{
+    for (const SealRecord &rec : s.seals) {
+        if (rec.owner == owner && rec.version == version)
+            return &rec;
+    }
+    return nullptr;
 }
 
 } // namespace
@@ -65,13 +91,48 @@ observe(const SecState &s, Principal p)
     }
 
     std::set<u64> pages;
-    collectPrincipalMappings(s, p, view, pages);
+    std::map<u64, u64> page_va;
+    collectPrincipalMappings(s, p, view, pages,
+                             p == osPrincipal ? nullptr : &page_va);
 
+    if (p == osPrincipal) {
+        for (const auto &[addr, value] : s.mem) {
+            if (value == 0)
+                continue; // absent and zero are the same memory
+            if (pages.count(addr & ~(pageSize - 1)))
+                view.memory.emplace(addr, value);
+        }
+        // The sealed-blob ledger: metadata and ciphertext, never the
+        // plaintext.
+        for (const SealRecord &rec : s.seals)
+            view.seals.push_back(
+                {rec.owner, rec.gva, rec.version, rec.ciphertext});
+        return view;
+    }
+
+    // Enclave memory is keyed by virtual address, so the view is
+    // unchanged when a reload lands a page in a different EPC frame.
     for (const auto &[addr, value] : s.mem) {
         if (value == 0)
             continue; // absent and zero are the same memory
-        if (pages.count(addr & ~(pageSize - 1)))
-            view.memory.emplace(addr, value);
+        auto it = page_va.find(addr & ~(pageSize - 1));
+        if (it != page_va.end())
+            view.memory.emplace(it->second + (addr & (pageSize - 1)),
+                                value);
+    }
+    // Evicted pages read through their current sealed plaintext.
+    auto enc = s.mon.enclaves.find(p);
+    if (enc != s.mon.enclaves.end() &&
+        enc->second.state != enclStateDead) {
+        for (const auto &[gva, sealed] : enc->second.evicted) {
+            const SealRecord *rec = findSeal(s, p, sealed.version);
+            if (!rec)
+                continue;
+            for (const auto &[off, word] : rec->plain) {
+                if (word != 0)
+                    view.memory.emplace(gva + off, word);
+            }
+        }
     }
     return view;
 }
@@ -129,6 +190,22 @@ perturbUnobservable(SecState &s, Principal p, Rng &rng)
         s.cpu.regs[rng.below(4)] = rng.next();
         s.cpu.pc = rng.next();
     }
+
+    // Sealed blobs: the plaintext of another principal's record is
+    // never in p's view, and the ciphertext/metadata side is only in
+    // the OS's.  (Records owned by p are left alone even when stale —
+    // conservative, and cheap.)
+    for (SealRecord &rec : s.seals) {
+        if (rec.owner != p && !rec.plain.empty() && rng.chance(1, 2)) {
+            u64 skip = rng.below(rec.plain.size());
+            auto word = rec.plain.begin();
+            while (skip--)
+                ++word;
+            word->second = rng.next();
+        }
+        if (p != osPrincipal && rng.chance(1, 2))
+            rec.ciphertext = rng.next();
+    }
 }
 
 std::string
@@ -144,6 +221,8 @@ diffViews(const View &a, const View &b)
         out << "saved context differs; ";
     if (a.mappings != b.mappings)
         out << "page-table mappings differ; ";
+    if (a.seals != b.seals)
+        out << "seal ledger differs; ";
     if (a.memory != b.memory) {
         out << "memory differs";
         for (const auto &[addr, value] : a.memory) {

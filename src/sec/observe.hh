@@ -23,26 +23,56 @@
 namespace hev::sec
 {
 
-/** One composed mapping as the principal sees it. */
+/** One mapping as the principal sees it. */
 struct ViewMapping
 {
-    u64 hpa = 0;
+    u64 hpa = 0;  //!< guest-physical target (the principal's own frame
+                  //!< numbering; host-physical placement is invisible)
     u64 flags = 0;
 
     bool operator==(const ViewMapping &) const = default;
 };
 
-/** V(p, sigma). */
+/** What the OS sees of one sealed blob in its custody. */
+struct ViewSeal
+{
+    Principal owner = 0;
+    u64 gva = 0;
+    u64 version = 0;
+    u64 ciphertext = 0;  //!< the sealed image (declassified)
+
+    bool operator==(const ViewSeal &) const = default;
+};
+
+/**
+ * V(p, sigma).
+ *
+ * An enclave's view is *logical*: mappings are keyed by enclave-linear
+ * address and target the stage-1 (guest-physical) slot, and memory is
+ * keyed by virtual address.  This makes the view invariant under
+ * paging — evicting a page and reloading it (possibly into a different
+ * EPC frame) leaves V(enclave) unchanged, which is what lets the OS
+ * run evict/reload as management steps without breaking Lemma 5.2.
+ * Evicted pages still appear: their mapping from the sealed record,
+ * their contents from the sealed plaintext.  The OS additionally sees
+ * the seal ledger — every blob's metadata and ciphertext, never the
+ * plaintext (the sealed-blob data oracle).
+ */
 struct View
 {
     bool isActive = false;
     AbsContext activeRegs;   //!< meaningful iff isActive
     bool hasSaved = false;
     AbsContext savedRegs;    //!< meaningful iff hasSaved
-    /** va -> (hpa, flags) for the principal's own tables. */
+    /** va -> (gpa, flags) for the principal's own tables. */
     std::map<u64, ViewMapping> mappings;
-    /** word addr -> value over the principal's non-shared pages. */
+    /**
+     * Contents the principal can reach and does not share: keyed by
+     * word address for the OS, by virtual address for an enclave.
+     */
     std::map<u64, u64> memory;
+    /** The sealed-blob ledger (OS view only). */
+    std::vector<ViewSeal> seals;
 
     bool operator==(const View &) const = default;
 };

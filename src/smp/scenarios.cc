@@ -1,5 +1,7 @@
 #include "smp/scenarios.hh"
 
+#include <array>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -78,6 +80,10 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
             (void)smp.osMap(0, slotVaBase + i * pageSize, *page);
     }
 
+    /** Sealed blobs in (modeled) OS custody, append-only: later reloads
+     *  may present stale versions, which must fail typed. */
+    std::vector<hv::SealedBlob> custody;
+
     std::optional<std::string> failure;
     auto sweep = [&](u64 step) {
         if (failure)
@@ -130,7 +136,7 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
             } else {
                 const u64 slot = rng.below(slotCount);
                 const u64 va = slotVaBase + slot * pageSize;
-                switch (rng.below(8)) {
+                switch (rng.below(10)) {
                   case 0:
                     (void)smp.hcEnclaveEnter(
                         v, enclaves[rng.below(enclaves.size())].id);
@@ -151,6 +157,28 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
                     break;
                   case 6:
                     (void)smp.osProtectRo(v, va, backing[slot]);
+                    break;
+                  case 7: {
+                    // EWB: evict a page of some live enclave; failures
+                    // (unmapped VA, resident sibling races) are typed.
+                    const u64 j = rng.below(enclaves.size());
+                    const Gva gva{enclaves[j].elrange.start.value +
+                                  rng.below(3) * pageSize};
+                    auto blob = smp.hcEnclaveEvictPage(
+                        v, enclaves[j].id, gva);
+                    if (blob)
+                        custody.push_back(*blob);
+                    break;
+                  }
+                  case 8:
+                    // ELD: present any blob in custody — possibly stale
+                    // (rollback) or aimed at the wrong enclave
+                    // (replay); both must be rejected, not crash.
+                    if (!custody.empty()) {
+                        (void)smp.hcEnclaveReloadPage(
+                            v, enclaves[rng.below(enclaves.size())].id,
+                            custody[rng.below(custody.size())]);
+                    }
                     break;
                   default:
                     if (rng.chance(1, 8)) {
@@ -188,6 +216,122 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
     return std::nullopt;
 }
 
+/**
+ * One evict/reload round-trip property shard.  Every successful
+ * evict -> reload pair must restore bit-identical page content and the
+ * same EPCM metadata (owner, kind, linear address) at the — possibly
+ * different — destination frame; a superseded blob must fail with
+ * SealRollback and a cross-enclave blob with SealAuthFailed; the
+ * monitor invariants hold after every paging hypercall.
+ */
+std::optional<std::string>
+pagingShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
+{
+    SmpConfig cfg;
+    cfg.vcpus = opts.vcpus;
+    cfg.cacheCapacity = 8;
+    SmpMonitor smp(cfg);
+    smp.setIpiDriver([&smp](VcpuId, u64) {
+        for (VcpuId w = 0; w < smp.vcpuCount(); ++w)
+            smp.serviceIpis(w);
+    });
+
+    std::vector<hv::EnclaveHandle> enclaves;
+    for (const u64 base : elrangeBases) {
+        auto handle = smp.machine().setupEnclave(base, 2, 1,
+                                                 base ^ 0x5eed);
+        if (!handle)
+            return std::string("scene setup failed: ") +
+                   hvErrorName(handle.error());
+        enclaves.push_back(*handle);
+    }
+
+    hv::Monitor &mon = smp.monitor();
+    const auto pageOf = [&](EnclaveId id, u64 gva) -> std::optional<Hpa> {
+        const hv::Enclave *enc = mon.findEnclave(id);
+        if (!enc)
+            return std::nullopt;
+        auto walk = mon.translateEnclaveUncached(enc->gptRoot,
+                                                 enc->eptRoot, Gva(gva),
+                                                 false);
+        if (!walk.ok())
+            return std::nullopt;
+        return Hpa(walk->value & ~(pageSize - 1));
+    };
+
+    // The last blob each (enclave slot, page) round-trip used: once its
+    // page has been evicted again, it is superseded and must roll back.
+    std::map<std::pair<u64, u64>, hv::SealedBlob> superseded;
+
+    Rng &rng = ctx.rng();
+    for (int step = 0; step < opts.stepsPerShard; ++step) {
+        ctx.tick();
+        const u64 j = rng.below(enclaves.size());
+        const EnclaveId id = enclaves[j].id;
+        const u64 gva = enclaves[j].elrange.start.value +
+                        rng.below(3) * pageSize;
+        const auto before = pageOf(id, gva);
+        if (!before)
+            continue;
+        std::array<u64, pageSize / sizeof(u64)> snapshot{};
+        for (u64 off = 0; off < pageSize; off += sizeof(u64))
+            snapshot[off / sizeof(u64)] =
+                mon.mem().read(Hpa(before->value + off));
+        const hv::EpcmEntry entry = mon.epcm().entryFor(*before);
+
+        auto blob = smp.hcEnclaveEvictPage(0, id, Gva(gva));
+        if (!blob)
+            return std::string("evict of a resident page failed: ") +
+                   hvErrorName(blob.error());
+        if (blob->words != snapshot)
+            return "sealed blob does not capture the page content";
+        auto violations = hv::checkMonitorInvariants(mon);
+        if (!violations.empty())
+            return joinViolations("post-evict invariants", u64(step),
+                                  violations);
+
+        // Cross-enclave replay: the sibling must reject on authenticity.
+        if (rng.chance(1, 3)) {
+            const auto replay = smp.hcEnclaveReloadPage(
+                0, enclaves[1 - j].id, *blob);
+            if (replay || replay.error() != HvError::SealAuthFailed)
+                return "cross-enclave replay was not rejected with "
+                       "SealAuthFailed";
+        }
+        // Anti-rollback: a blob superseded by this evict's fresh
+        // version must be rejected.
+        const auto key = std::make_pair(j, gva);
+        auto stale = superseded.find(key);
+        if (stale != superseded.end()) {
+            const auto rollback =
+                smp.hcEnclaveReloadPage(0, id, stale->second);
+            if (rollback ||
+                rollback.error() != HvError::SealRollback)
+                return "stale blob was not rejected with SealRollback";
+        }
+
+        const auto reloaded = smp.hcEnclaveReloadPage(0, id, *blob);
+        if (!reloaded)
+            return std::string("reload of a fresh blob failed: ") +
+                   hvErrorName(reloaded.error());
+        const auto after = pageOf(id, gva);
+        if (!after)
+            return "reloaded page does not translate";
+        for (u64 off = 0; off < pageSize; off += sizeof(u64))
+            if (mon.mem().read(Hpa(after->value + off)) !=
+                snapshot[off / sizeof(u64)])
+                return "reload did not restore bit-identical content";
+        if (!(mon.epcm().entryFor(*after) == entry))
+            return "reload did not restore the EPCM metadata";
+        violations = hv::checkMonitorInvariants(mon);
+        if (!violations.empty())
+            return joinViolations("post-reload invariants", u64(step),
+                                  violations);
+        superseded[key] = *blob;
+    }
+    return std::nullopt;
+}
+
 /** One noninterference-over-schedules shard. */
 std::optional<std::string>
 niScheduleShard(check::ShardContext &ctx)
@@ -211,6 +355,13 @@ smpScenarios(const SmpScenarioOptions &opts)
             shardName("smp/coherence", block), "smp", 0,
             [opts](check::ShardContext &ctx) {
                 return coherenceShard(ctx, opts);
+            }});
+    }
+    for (int block = 0; block < opts.pagingShards; ++block) {
+        scenarios.push_back(check::Scenario{
+            shardName("smp/paging-roundtrip", block), "smp", 0,
+            [opts](check::ShardContext &ctx) {
+                return pagingShard(ctx, opts);
             }});
     }
     for (int block = 0; block < opts.niShards; ++block) {

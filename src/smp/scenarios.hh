@@ -24,6 +24,7 @@ struct SmpScenarioOptions
 {
     int coherenceShards = 6; //!< scheduled multi-vCPU program shards
     int niShards = 4;        //!< scheduled-noninterference shards
+    int pagingShards = 4;    //!< evict/reload round-trip property shards
     int stepsPerShard = 160; //!< scheduler decisions per coherence shard
     u32 vcpus = 3;           //!< vCPU table size in coherence shards
     /** Injected SMP bugs; the kill suite runs shards with these on. */
@@ -32,8 +33,10 @@ struct SmpScenarioOptions
 
 /**
  * The SMP campaign: `coherenceShards` scheduled multi-vCPU programs
- * (enter/exit/load/store/map/unmap with per-step oracle sweeps) and
- * `niShards` noninterference-over-schedules shards.
+ * (enter/exit/load/store/map/unmap/evict/reload with per-step oracle
+ * sweeps), `niShards` noninterference-over-schedules shards, and
+ * `pagingShards` evict/reload round-trip property shards (bit-identical
+ * restore, EPCM re-established, rollback and replay rejected).
  */
 std::vector<check::Scenario>
 smpScenarios(const SmpScenarioOptions &opts = {});

@@ -355,6 +355,46 @@ SmpMonitor::hcEnclaveReport(VcpuId v)
     return monitor().hcEnclaveReport(cpus[v]->arch);
 }
 
+Expected<hv::SealedBlob>
+SmpMonitor::hcEnclaveEvictPage(VcpuId v, EnclaveId id, Gva page_gva)
+{
+    Expected<hv::SealedBlob> blob = HvError::PermissionDenied;
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        std::mutex *lock = enclaveLock(id);
+        lockServicing(*lock, v);
+        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        blob = monitor().hcEnclaveEvictPage(id, page_gva);
+        if (!blob)
+            return blob;
+        cpus[v]->tlb.invalidatePage(id, page_gva.value);
+    }
+    // All locks dropped before the ack wait, exactly like osUnmap: a
+    // resident sibling vCPU may hold a cached translation of the
+    // evicted page and needs structuralLock to make progress.
+    shootdown(v, id);
+    return blob;
+}
+
+Status
+SmpMonitor::hcEnclaveReloadPage(VcpuId v, EnclaveId id,
+                                const hv::SealedBlob &blob)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
+        return HvError::PermissionDenied;
+    std::mutex *lock = enclaveLock(id);
+    lockServicing(*lock, v);
+    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    return monitor().hcEnclaveReloadPage(id, blob, caches[v].get());
+}
+
 Status
 SmpMonitor::osUnmap(VcpuId v, u64 va)
 {

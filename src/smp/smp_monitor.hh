@@ -164,6 +164,23 @@ class SmpMonitor
     /** EREPORT analogue for the enclave this vCPU is resident in. */
     Expected<hv::EnclaveReport> hcEnclaveReport(VcpuId v);
 
+    /**
+     * EWB analogue: seal + evict one resident enclave page, then run
+     * the shootdown protocol over the enclave's domain with all locks
+     * dropped (the osUnmap pattern) — a sibling vCPU resident in the
+     * enclave may hold a cached translation of the page.
+     */
+    Expected<hv::SealedBlob> hcEnclaveEvictPage(VcpuId v, EnclaveId id,
+                                                Gva page_gva);
+
+    /**
+     * ELD analogue: verify + reload a sealed blob.  No shootdown — the
+     * page had no live translations while evicted, so reload creates
+     * no stale positive entry anywhere.
+     */
+    Status hcEnclaveReloadPage(VcpuId v, EnclaveId id,
+                               const hv::SealedBlob &blob);
+
     /// @}
 
     /// @name Primary-OS page-table operations with coherent shootdown

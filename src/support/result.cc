@@ -20,6 +20,8 @@ hvErrorName(HvError e)
       case HvError::NoSuchEnclave: return "NoSuchEnclave";
       case HvError::IsolationViolation: return "IsolationViolation";
       case HvError::Unsupported: return "Unsupported";
+      case HvError::SealAuthFailed: return "SealAuthFailed";
+      case HvError::SealRollback: return "SealRollback";
     }
     return "Unknown";
 }

@@ -35,6 +35,8 @@ enum class HvError
     NoSuchEnclave,      //!< unknown enclave id
     IsolationViolation, //!< request would break spatial isolation
     Unsupported,        //!< operation outside the modeled subset
+    SealAuthFailed,     //!< sealed-blob MAC / ownership check failed
+    SealRollback,       //!< sealed-blob version is stale (anti-rollback)
 };
 
 /** Human-readable name for an HvError. */

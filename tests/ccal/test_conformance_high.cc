@@ -294,6 +294,110 @@ TEST(ConformL12, EpcmAllocToExhaustionAndFree)
     EXPECT_STATES_AGREE(dual);
 }
 
+TEST(ConformL12, EpcmLookupAndOwnerAgree)
+{
+    DualState dual;
+    const Geometry &geo = dual.mirSide.geo;
+    dual.setup([](FlatState &s) {
+        ASSERT_TRUE(specEpcmAlloc(s, 7, 0x10'0000, epcStateReg).isOk);
+        ASSERT_TRUE(specEpcmAlloc(s, 9, 0x10'1000, epcStateTcs).isOk);
+    });
+    LayerHarness harness(12, dual.mirSide);
+
+    const u64 probes[] = {
+        geo.epcBase,                              // used, Reg, owner 7
+        geo.epcBase + pageSize,                   // used, Tcs, owner 9
+        geo.epcBase + 2 * pageSize,               // free
+        geo.epcBase + 1,                          // unaligned
+        0x1000,                                   // below the EPC
+        geo.epcBase + geo.epcCount * pageSize,    // one past the EPC
+    };
+    for (const u64 page : probes) {
+        auto looked = harness.run("epcm_lookup", {uv(page)});
+        ASSERT_VALUE_AGREES(
+            looked, encodeIntResult(specEpcmLookup(dual.specSide, page)));
+        auto owned = harness.run("epcm_owner", {uv(page)});
+        ASSERT_VALUE_AGREES(
+            owned, encodeIntResult(specEpcmOwner(dual.specSide, page)));
+        EXPECT_STATES_AGREE(dual) << "read-only accessors mutated state";
+    }
+    // Directed expectations on top of the agreement: the free page is
+    // visible to lookup but has no owner.
+    EXPECT_TRUE(specEpcmLookup(dual.specSide,
+                               geo.epcBase + 2 * pageSize).isOk);
+    EXPECT_EQ(specEpcmOwner(dual.specSide, geo.epcBase + 2 * pageSize)
+                  .errCode,
+              errNotMapped);
+}
+
+TEST(ConformL13, MbufCheckAuditsBothStages)
+{
+    DualState dual;
+    const u64 gva = 0x20'0000;
+    const u64 window = dual.mirSide.geo.mbufGpaBase;
+    const u64 backing = 0x8000;
+    i64 gpt = 0, ept = 0;
+    dual.setup([&](FlatState &s) {
+        gpt = i64(specAsCreate(s).value);
+        ept = i64(specAsCreate(s).value);
+        ASSERT_EQ(specMbufMap(s, gpt, ept, gva, window, backing, 3), 0);
+    });
+    LayerHarness harness(13, dual.mirSide);
+
+    const auto audit = [&](i64 expected) {
+        auto out = harness.run(
+            "mbuf_check", {encodeHandle(gpt), encodeHandle(ept),
+                           uv(gva), uv(window), uv(backing), uv(3)});
+        const i64 rc = specMbufCheck(dual.specSide, gpt, ept, gva,
+                                     window, backing, 3);
+        ASSERT_VALUE_AGREES(out, iv(rc));
+        EXPECT_EQ(rc, expected);
+        EXPECT_STATES_AGREE(dual) << "the audit must not mutate";
+    };
+    /** Apply the same mutation to both sides. */
+    const auto mutate = [&](auto &&f) {
+        f(dual.mirSide);
+        f(dual.specSide);
+    };
+
+    audit(0); // fresh mbuf mappings must pass the audit
+
+    // Missing stage 1 on the middle page.
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsUnmap(s, gpt, gva + pageSize), 0);
+    });
+    audit(errNotMapped);
+    // Retargeted stage 1: maps, but to the wrong window slot.
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsMap(s, gpt, gva + pageSize,
+                            window + 2 * pageSize, pteRwFlags), 0);
+    });
+    audit(errIsolation);
+    // Right slot but read-only: the write bit is part of the contract.
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsUnmap(s, gpt, gva + pageSize), 0);
+        ASSERT_EQ(specAsMap(s, gpt, gva + pageSize, window + pageSize,
+                            pteFlagP), 0);
+    });
+    audit(errIsolation);
+    // Restore stage 1, then break stage 2 the same two ways.
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsUnmap(s, gpt, gva + pageSize), 0);
+        ASSERT_EQ(specAsMap(s, gpt, gva + pageSize, window + pageSize,
+                            pteRwFlags), 0);
+    });
+    audit(0);
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsUnmap(s, ept, window + 2 * pageSize), 0);
+    });
+    audit(errNotMapped);
+    mutate([&](FlatState &s) {
+        ASSERT_EQ(specAsMap(s, ept, window + 2 * pageSize, backing,
+                            pteRwFlags), 0);
+    });
+    audit(errIsolation); // a retargeted backing page must be flagged
+}
+
 TEST(ConformL13, MbufMapMultiPage)
 {
     for (const u64 pages : {1ull, 2ull, 3ull}) {

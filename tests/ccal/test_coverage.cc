@@ -106,6 +106,32 @@ TEST(CoverageTest, PaperTrustedEntriesAllStateReasons)
     }
 }
 
+TEST(CoverageTest, RegistryCoversTwentyFourPaperFunctions)
+{
+    // Conformance progress against the paper's Table: the MIR registry
+    // must model (under the same name) at least 24 of the 49 verified
+    // memory-module functions, including the EPCM accessors and the
+    // mbuf audit added with the paging subsystem.
+    std::set<std::string> paper;
+    for (const FnCoverage &fn : paperCoverage().functions)
+        if (fn.status == FnStatus::Verified)
+            paper.insert(fn.name);
+
+    std::set<std::string> shared;
+    for (int layer = 2; layer <= mirmodels::layerCount; ++layer)
+        for (const std::string &name : mirmodels::layerFunctions(layer))
+            if (paper.count(name))
+                shared.insert(name);
+
+    EXPECT_EQ(shared.size(), 24u)
+        << "update this count when modeling more paper functions";
+    for (const char *name :
+         {"epcm_lookup", "epcm_owner", "mbuf_check"}) {
+        EXPECT_TRUE(shared.count(name))
+            << name << " missing from the modeled paper surface";
+    }
+}
+
 /** Round-trip a report through render -> parse and compare. */
 void
 expectJsonRoundTrip(const CoverageReport &report)

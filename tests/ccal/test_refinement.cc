@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "ccal/checker.hh"
 #include "ccal/tree_state.hh"
 #include "support/rng.hh"
@@ -198,6 +200,55 @@ TEST(RefinementTest, QueryAgreementExhaustiveSmallTable)
     // One past the covered region misses identically.
     ASSERT_EQ(specPtQuery(flat, root, entriesPerTable * pageSize),
               treeQuery(tree, entriesPerTable * pageSize));
+}
+
+TEST(RefinementTest, EvictReloadSimulation)
+{
+    // Paging extends R to non-resident pages: an evict is an unmap of
+    // the enclave GPT at the high level, a reload re-maps the recorded
+    // stage-1 slot.  The mirrored tree must refine the flat GPT after
+    // every hypercall, and every probe must translate identically.
+    FlatState s;
+    const IntResult id =
+        specHcInit(s, 0x10'0000, 0x14'0000, 0x20'0000, 1, 0x8000);
+    ASSERT_TRUE(id.isOk);
+    const i64 e = i64(id.value);
+    for (u64 p = 0; p < 3; ++p) {
+        ASSERT_EQ(specHcAddPage(s, e, 0x10'0000 + p * pageSize,
+                                0x4000 + p * 0x1000,
+                                p == 2 ? epcStateTcs : epcStateReg),
+                  0);
+    }
+    ASSERT_EQ(specHcInitFinish(s, e), 0);
+    const AbsEnclave &enclave = s.enclaves.at(e);
+    const u64 root = s.rootOf(enclave.gptHandle);
+    ASSERT_NE(root, 0u);
+    TreeState tree = treeFromFlat(s, root);
+    ASSERT_TRUE(refinesFlat(tree, s, root));
+
+    Rng rng(2024);
+    std::map<u64, AbsSealedPage> seals; // current seal per evicted gva
+    for (int step = 0; step < 200; ++step) {
+        const u64 gva = 0x10'0000 + rng.below(3) * pageSize;
+        if (seals.count(gva)) {
+            const AbsSealedPage sealed = seals.at(gva);
+            ASSERT_EQ(specHcReloadPage(s, e, e, gva, sealed.version), 0);
+            ASSERT_EQ(treeMap(tree, gva, sealed.gpaSlot, pteRwFlags), 0)
+                << "reload must re-map the sealed stage-1 slot";
+            seals.erase(gva);
+        } else {
+            ASSERT_TRUE(specHcEvictPage(s, e, gva).isOk);
+            ASSERT_EQ(treeUnmap(tree, gva), 0)
+                << "evict must unmap a resident page";
+            seals[gva] = enclave.evicted.at(gva);
+        }
+        ASSERT_TRUE(refinesFlat(tree, s, root))
+            << "R broken at step " << step;
+        for (u64 p = 0; p < 4; ++p) {
+            const u64 va = 0x10'0000 + p * pageSize + 8;
+            ASSERT_EQ(specPtQuery(s, root, va), treeQuery(tree, va));
+        }
+    }
 }
 
 } // namespace

@@ -276,6 +276,112 @@ TEST(SpecMemTranslateTest, WritePermissionEnforcedAtBothStages)
                                   0x5000, false).isSome);
 }
 
+/** A finished two-page enclave for the paging spec tests. */
+i64
+pagedEnclave(FlatState &s, u64 el_base, u64 backing)
+{
+    const IntResult id = specHcInit(s, el_base, el_base + 0x4000,
+                                    el_base + 0x40'0000, 1, backing);
+    EXPECT_TRUE(id.isOk);
+    const i64 e = i64(id.value);
+    EXPECT_EQ(specHcAddPage(s, e, el_base, 0x4000, epcStateReg), 0);
+    EXPECT_EQ(specHcAddPage(s, e, el_base + pageSize, 0x5000,
+                            epcStateTcs), 0);
+    EXPECT_EQ(specHcInitFinish(s, e), 0);
+    return e;
+}
+
+TEST(SpecHcEvictPageTest, SealsUnmapsAndValidates)
+{
+    FlatState s;
+    const i64 e = pagedEnclave(s, 0x10'0000, 0x8000);
+    const AbsEnclave &enclave = s.enclaves.at(e);
+
+    EXPECT_EQ(specHcEvictPage(s, 99, 0x10'0000).errCode,
+              errNoSuchEnclave);
+    EXPECT_EQ(specHcEvictPage(s, e, 0x10'0008).errCode, errNotAligned);
+    EXPECT_EQ(specHcEvictPage(s, e, 0x50'0000).errCode, errIsolation);
+
+    const QueryResult before = specMemTranslate(
+        s, enclave.gptHandle, enclave.eptHandle, 0x10'0000, false);
+    ASSERT_TRUE(before.isSome);
+    const u64 old_page = before.physAddr & ~(pageSize - 1);
+    const u64 content = s.pageContents.at(old_page);
+
+    const IntResult r = specHcEvictPage(s, e, 0x10'0000);
+    ASSERT_TRUE(r.isOk) << "err " << r.errCode;
+    EXPECT_EQ(r.value, 1u) << "first seal version";
+    // Unmapped at stage 1, EPCM slot freed, contents moved to the seal.
+    EXPECT_FALSE(specAsQuery(s, enclave.gptHandle, 0x10'0000).isSome);
+    EXPECT_EQ(s.epcm[(old_page - s.geo.epcBase) / pageSize].state,
+              epcStateFree);
+    EXPECT_EQ(s.pageContents.count(old_page), 0u);
+    const AbsSealedPage &sealed = enclave.evicted.at(0x10'0000);
+    EXPECT_EQ(sealed.version, 1u);
+    EXPECT_EQ(sealed.kind, epcStateReg);
+    EXPECT_TRUE(sealed.hasContent);
+    EXPECT_EQ(sealed.content, content);
+
+    // The now-absent page can neither be evicted again nor re-added.
+    EXPECT_EQ(specHcEvictPage(s, e, 0x10'0000).errCode, errNotMapped);
+    EXPECT_EQ(specHcAddPage(s, e, 0x10'0000, 0x4000, epcStateReg),
+              errBadState) << "paging never reopens the build phase";
+}
+
+TEST(SpecHcReloadPageTest, RoundTripRollbackAndReplay)
+{
+    FlatState s;
+    const i64 e1 = pagedEnclave(s, 0x10'0000, 0x8000);
+    const i64 e2 = pagedEnclave(s, 0x30'0000, 0xa000);
+    const AbsEnclave &enclave = s.enclaves.at(e1);
+
+    const QueryResult before = specMemTranslate(
+        s, enclave.gptHandle, enclave.eptHandle, 0x10'0000, false);
+    ASSERT_TRUE(before.isSome);
+    const u64 gpa_slot = specAsQuery(s, enclave.gptHandle,
+                                     0x10'0000).physAddr &
+                         ~(pageSize - 1);
+    const u64 content =
+        s.pageContents.at(before.physAddr & ~(pageSize - 1));
+
+    const IntResult v1 = specHcEvictPage(s, e1, 0x10'0000);
+    ASSERT_TRUE(v1.isOk);
+
+    // Cross-enclave replay and rollback-order: authenticity first.
+    EXPECT_EQ(specHcReloadPage(s, e2, e1, 0x10'0000, v1.value),
+              errSealAuth);
+    // Never-evicted page: no seal record.
+    EXPECT_EQ(specHcReloadPage(s, e1, e1, 0x10'1000, v1.value),
+              errNotMapped);
+
+    ASSERT_EQ(specHcReloadPage(s, e1, e1, 0x10'0000, v1.value), 0);
+    // Restored: same stage-1 slot, same content, EPCM re-established.
+    const QueryResult after = specMemTranslate(
+        s, enclave.gptHandle, enclave.eptHandle, 0x10'0000, false);
+    ASSERT_TRUE(after.isSome);
+    EXPECT_EQ(specAsQuery(s, enclave.gptHandle, 0x10'0000).physAddr &
+                  ~(pageSize - 1),
+              gpa_slot);
+    const u64 new_page = after.physAddr & ~(pageSize - 1);
+    EXPECT_EQ(s.pageContents.at(new_page), content);
+    const AbsEpcmEntry &entry =
+        s.epcm[(new_page - s.geo.epcBase) / pageSize];
+    EXPECT_EQ(entry.owner, e1);
+    EXPECT_EQ(entry.linAddr, 0x10'0000ull);
+    EXPECT_EQ(entry.state, epcStateReg);
+    // The seal record is consumed.
+    EXPECT_EQ(specHcReloadPage(s, e1, e1, 0x10'0000, v1.value),
+              errNotMapped);
+
+    // Genuine-but-stale seal: superseded by a fresh evict.
+    const IntResult v2 = specHcEvictPage(s, e1, 0x10'0000);
+    ASSERT_TRUE(v2.isOk);
+    EXPECT_GT(v2.value, v1.value) << "versions are monotonic";
+    EXPECT_EQ(specHcReloadPage(s, e1, e1, 0x10'0000, v1.value),
+              errSealRollback);
+    EXPECT_EQ(specHcReloadPage(s, e1, e1, 0x10'0000, v2.value), 0);
+}
+
 /** Property: the spec page table agrees with a shadow map model. */
 class SpecShadowProperty : public ::testing::TestWithParam<u64>
 {

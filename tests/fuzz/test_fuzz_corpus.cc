@@ -92,15 +92,23 @@ TEST(FuzzCorpus, GoldenCorpusRepliesClean)
 {
     Corpus corpus;
     const u64 loaded = corpus.loadFrom(goldenCorpusDir());
-    ASSERT_GE(loaded, 10u) << "golden corpus missing from "
+    ASSERT_GE(loaded, 11u) << "golden corpus missing from "
                            << goldenCorpusDir();
     const ExecOptions opts = ExecOptions::standard();
+    u64 evicts = 0, reloads = 0;
     for (u64 i = 0; i < corpus.size(); ++i) {
         const ExecResult result = executeTrace(opts, corpus[i].trace);
         EXPECT_FALSE(result.divergence)
             << "golden trace " << i << ": " << result.detail;
         EXPECT_GT(result.opsExecuted, 0u);
+        for (const Op &op : corpus[i].trace.ops) {
+            evicts += op.kind == OpKind::EvictPage;
+            reloads += op.kind == OpKind::ReloadPage;
+        }
     }
+    // The smoke corpus must exercise the paging hypercalls.
+    EXPECT_GT(evicts, 0u) << "no evict_page op in the golden corpus";
+    EXPECT_GT(reloads, 0u) << "no reload_page op in the golden corpus";
 }
 
 TEST(FuzzCorpus, GoldenCorpusSignaturesMatchFilenames)
@@ -110,7 +118,7 @@ TEST(FuzzCorpus, GoldenCorpusSignaturesMatchFilenames)
     // produce exactly that outcome signature (replay stability across
     // code evolution is the point of checking the corpus in).
     Corpus corpus;
-    ASSERT_GE(corpus.loadFrom(goldenCorpusDir()), 10u);
+    ASSERT_GE(corpus.loadFrom(goldenCorpusDir()), 11u);
     const ExecOptions opts = ExecOptions::standard();
     for (u64 i = 0; i < corpus.size(); ++i) {
         const ExecResult result = executeTrace(opts, corpus[i].trace);

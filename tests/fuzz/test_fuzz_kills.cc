@@ -2,11 +2,12 @@
  * @file
  * The planted-bug kill suite (the fuzzer's reason to exist).
  *
- * Seven realistic bugs are injected one at a time — an off-by-one
+ * Eight realistic bugs are injected one at a time — an off-by-one
  * ELRANGE bound, a skipped EPCM ownership record, a stale TLB on
  * unmap, a wrong permission mask, a frame double-free behind a test
- * hook, a flat/tree refinement skew, and an SMP shootdown that skips
- * the ack wait.  For each, the
+ * hook, a flat/tree refinement skew, an SMP shootdown that skips
+ * the ack wait, and a reload path that accepts stale sealed blobs
+ * (a broken version-counter anti-rollback check).  For each, the
  * coverage-guided fuzzer must find a divergence within a bounded
  * budget, and the shrinker must reduce the finding to at most 8 ops
  * that still fail and are locally 1-minimal.  A control run asserts
@@ -77,10 +78,15 @@ TEST(FuzzKills, TreeSkew) { expectKilled("tree-skew"); }
 
 TEST(FuzzKills, SkipShootdownAck) { expectKilled("skip-shootdown-ack"); }
 
+TEST(FuzzKills, SealRollbackAccept)
+{
+    expectKilled("seal-rollback-accept");
+}
+
 TEST(FuzzKills, BugNamesAreExhaustive)
 {
     const auto names = plantedBugNames();
-    EXPECT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.size(), 8u);
     for (const std::string &name : names) {
         ExecOptions opts = ExecOptions::standard();
         EXPECT_TRUE(applyPlantedBug(opts, name)) << name;

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the EWB/ELD-style paging hypercalls: evict seals,
+ * scrubs and unmaps; reload verifies authenticity and the anti-rollback
+ * version counter, then restores the page bit-identically — possibly
+ * into a different EPC frame — with its EPCM metadata re-established.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hv/hv_invariants.hh"
+#include "hv/machine.hh"
+#include "hv/monitor.hh"
+
+namespace hev::hv
+{
+namespace
+{
+
+MonitorConfig
+smallConfig()
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+/** Host-physical page base currently backing gva, if mapped. */
+std::optional<Hpa>
+pageOf(Monitor &mon, EnclaveId id, u64 gva)
+{
+    const Enclave *enclave = mon.findEnclave(id);
+    if (!enclave)
+        return std::nullopt;
+    auto walk = mon.translateEnclaveUncached(enclave->gptRoot,
+                                             enclave->eptRoot, Gva(gva),
+                                             false);
+    if (!walk.ok())
+        return std::nullopt;
+    return Hpa(walk->value & ~(pageSize - 1));
+}
+
+TEST(PagingTest, EvictValidatesItsTarget)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x111);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    EXPECT_EQ(mon.hcEnclaveEvictPage(99, Gva(0x10'0000)).error(),
+              HvError::NoSuchEnclave);
+    EXPECT_EQ(mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0008)).error(),
+              HvError::NotAligned);
+    // Outside the ELRANGE: the marshalling buffer is not pageable.
+    EXPECT_EQ(
+        mon.hcEnclaveEvictPage(enclave->id,
+                               enclave->mbufGva).error(),
+        HvError::IsolationViolation);
+
+    // Paging is post-launch only: a still-building enclave refuses.
+    EnclaveConfig cfg;
+    cfg.elrange = {Gva(0x30'0000), Gva(0x34'0000)};
+    cfg.mbufGva = Gva(0x40'0000);
+    cfg.mbufPages = 1;
+    cfg.mbufBacking = Gpa(0x8000);
+    auto adding = mon.hcEnclaveInit(cfg);
+    ASSERT_TRUE(adding.ok());
+    EXPECT_EQ(mon.hcEnclaveEvictPage(*adding, Gva(0x30'0000)).error(),
+              HvError::BadEnclaveState);
+}
+
+TEST(PagingTest, EvictSealsScrubsAndUnmaps)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x222);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    const auto before = pageOf(mon, enclave->id, 0x10'0000);
+    ASSERT_TRUE(before.has_value());
+    std::array<u64, pageSize / sizeof(u64)> snapshot{};
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        snapshot[off / sizeof(u64)] = mon.mem().read(*before + off);
+    const u64 free_before = mon.epcm().freePages();
+
+    auto blob = mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0000));
+    ASSERT_TRUE(blob.ok()) << hvErrorName(blob.error());
+    EXPECT_EQ(blob->owner, enclave->id);
+    EXPECT_EQ(blob->gva.value, 0x10'0000ull);
+    EXPECT_EQ(blob->kind, AddPageKind::Reg);
+    EXPECT_EQ(blob->version, 1u);
+    EXPECT_EQ(blob->words, snapshot)
+        << "the seal must capture the page content";
+
+    // The page is gone: no translation, frame scrubbed and freed.
+    EXPECT_FALSE(pageOf(mon, enclave->id, 0x10'0000).has_value());
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        ASSERT_EQ(mon.mem().read(*before + off), 0ull)
+            << "EPC frame not scrubbed on evict";
+    EXPECT_EQ(mon.epcm().freePages(), free_before + 1);
+    EXPECT_EQ(mon.stats().pagesEvicted.load(), 1u);
+
+    // A second evict of the now-absent page fails typed.
+    EXPECT_EQ(mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0000)).error(),
+              HvError::NotMapped);
+
+    EXPECT_TRUE(checkMonitorInvariants(mon).empty());
+}
+
+TEST(PagingTest, ReloadRestoresContentAndEpcmBitIdentically)
+{
+    Machine machine(smallConfig());
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x333);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    // Stamp recognizable content through the architectural path.
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    ASSERT_TRUE(machine.memStore(Gva(0x10'0008), 0xfeed'f00d).ok());
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+
+    const auto before = pageOf(mon, enclave->id, 0x10'0000);
+    ASSERT_TRUE(before.has_value());
+    const EpcmEntry entry_before = mon.epcm().entryFor(*before);
+
+    auto blob = mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0000));
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(mon.hcEnclaveReloadPage(enclave->id, *blob).ok());
+
+    const auto after = pageOf(mon, enclave->id, 0x10'0000);
+    ASSERT_TRUE(after.has_value()) << "reloaded page must translate";
+    for (u64 off = 0; off < pageSize; off += sizeof(u64))
+        ASSERT_EQ(mon.mem().read(*after + off),
+                  blob->words[off / sizeof(u64)])
+            << "content not bit-identical at offset " << off;
+    EXPECT_TRUE(mon.epcm().entryFor(*after) == entry_before)
+        << "EPCM metadata (owner, kind, linear address) must survive";
+    EXPECT_EQ(mon.stats().pagesReloaded.load(), 1u);
+
+    // The architectural read-back sees the stamped value.
+    ASSERT_TRUE(mon.hcEnclaveEnter(enclave->id, machine.vcpu()).ok());
+    const auto value = machine.memLoad(Gva(0x10'0008));
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, 0xfeed'f00dull);
+    ASSERT_TRUE(mon.hcEnclaveExit(machine.vcpu()).ok());
+
+    EXPECT_TRUE(checkMonitorInvariants(mon).empty());
+}
+
+TEST(PagingTest, ReloadRejectsTamperReplayRollbackAndDoubleReload)
+{
+    Machine machine(smallConfig());
+    auto first = machine.setupEnclave(0x10'0000, 2, 1, 0x444);
+    auto second = machine.setupEnclave(0x30'0000, 2, 1, 0x555);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    Monitor &mon = machine.monitor();
+
+    auto blob = mon.hcEnclaveEvictPage(first->id, Gva(0x10'0000));
+    ASSERT_TRUE(blob.ok());
+
+    // Tampered content breaks the MAC.
+    SealedBlob forged = *blob;
+    forged.words[3] ^= 1;
+    EXPECT_EQ(mon.hcEnclaveReloadPage(first->id, forged).error(),
+              HvError::SealAuthFailed);
+    // So does a forged version: rollback by edit is an authenticity
+    // failure, not a version failure.
+    forged = *blob;
+    forged.version += 1;
+    EXPECT_EQ(mon.hcEnclaveReloadPage(first->id, forged).error(),
+              HvError::SealAuthFailed);
+    // Cross-enclave replay of a genuine blob.
+    EXPECT_EQ(mon.hcEnclaveReloadPage(second->id, *blob).error(),
+              HvError::SealAuthFailed);
+    // A page that was never evicted has no seal record.
+    auto other = mon.hcEnclaveEvictPage(second->id, Gva(0x30'1000));
+    ASSERT_TRUE(other.ok());
+    SealedBlob wrong_page = *other;
+    EXPECT_EQ(mon.hcEnclaveReloadPage(second->id, *other).ok(), true);
+    EXPECT_EQ(mon.hcEnclaveReloadPage(second->id, wrong_page).error(),
+              HvError::NotMapped) << "double reload must fail";
+
+    // Genuine-but-stale blob: evict again, then present the old seal.
+    ASSERT_TRUE(mon.hcEnclaveReloadPage(first->id, *blob).ok());
+    auto fresh = mon.hcEnclaveEvictPage(first->id, Gva(0x10'0000));
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_GT(fresh->version, blob->version);
+    EXPECT_EQ(mon.hcEnclaveReloadPage(first->id, *blob).error(),
+              HvError::SealRollback);
+    // The current seal still reloads after the rejected rollback.
+    EXPECT_TRUE(mon.hcEnclaveReloadPage(first->id, *fresh).ok());
+
+    EXPECT_TRUE(checkMonitorInvariants(mon).empty());
+}
+
+TEST(PagingTest, VersionCountersArePerEnclaveAndMonotonic)
+{
+    Machine machine(smallConfig());
+    auto first = machine.setupEnclave(0x10'0000, 2, 1, 0x666);
+    auto second = machine.setupEnclave(0x30'0000, 2, 1, 0x777);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    Monitor &mon = machine.monitor();
+
+    for (u64 round = 1; round <= 3; ++round) {
+        auto blob = mon.hcEnclaveEvictPage(first->id, Gva(0x10'1000));
+        ASSERT_TRUE(blob.ok());
+        EXPECT_EQ(blob->version, round);
+        ASSERT_TRUE(mon.hcEnclaveReloadPage(first->id, *blob).ok());
+    }
+    // The sibling's counter is independent.
+    auto blob = mon.hcEnclaveEvictPage(second->id, Gva(0x30'0000));
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(blob->version, 1u);
+    ASSERT_TRUE(mon.hcEnclaveReloadPage(second->id, *blob).ok());
+
+    EXPECT_TRUE(checkMonitorInvariants(mon).empty());
+}
+
+TEST(PagingTest, PlantedRollbackAcceptanceIsObservable)
+{
+    // The 8th planted bug: with acceptSealRollback the monitor takes a
+    // superseded blob, which the differential fuzzer must flag.  Here
+    // the unit-level symptom: stale content resurrects.
+    MonitorConfig cfg = smallConfig();
+    cfg.planted.acceptSealRollback = true;
+    Machine machine(cfg);
+    auto enclave = machine.setupEnclave(0x10'0000, 2, 1, 0x888);
+    ASSERT_TRUE(enclave.ok());
+    Monitor &mon = machine.monitor();
+
+    auto stale = mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0000));
+    ASSERT_TRUE(stale.ok());
+    ASSERT_TRUE(mon.hcEnclaveReloadPage(enclave->id, *stale).ok());
+    auto fresh = mon.hcEnclaveEvictPage(enclave->id, Gva(0x10'0000));
+    ASSERT_TRUE(fresh.ok());
+    // The buggy monitor accepts the rolled-back seal.
+    EXPECT_TRUE(mon.hcEnclaveReloadPage(enclave->id, *stale).ok());
+}
+
+} // namespace
+} // namespace hev::hv

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The sealed-blob data oracle under the NI lemmas: eviction hands the
+ * OS a declassified ciphertext while the plaintext stays out of every
+ * view but the owner's; the owner's *logical* view is invariant under
+ * evict/reload; rollback and cross-enclave replay are rejected with
+ * typed verdicts identical across lockstep runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+
+namespace hev::sec
+{
+namespace
+{
+
+/** Two initialized enclaves plus some OS mappings. */
+SecState
+scene(std::vector<i64> &ids)
+{
+    SecState s;
+    DataOracle oracle(11);
+    s.mem[0x4000] = 0xaaa;
+    s.mem[0x4008] = 0xa11a;
+    s.mem[0x5000] = 0xbbb;
+    Action map;
+    map.kind = Action::Kind::OsMap;
+    map.va = 0x40'0000;
+    map.a = 0x6000;
+    (void)SecMachine::step(s, map, oracle);
+    ids.push_back(SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                           0x8000, 0x4000));
+    ids.push_back(SecMachine::setupEnclave(s, oracle, 0x30'0000, 1, 1,
+                                           0xa000, 0x5000));
+    EXPECT_GT(ids[0], 0);
+    EXPECT_GT(ids[1], 0);
+    return s;
+}
+
+Action
+evictAction(i64 id, u64 gva)
+{
+    Action a;
+    a.kind = Action::Kind::Evict;
+    a.enclave = id;
+    a.va = gva;
+    return a;
+}
+
+Action
+reloadAction(i64 id, u64 seal_index)
+{
+    Action a;
+    a.kind = Action::Kind::Reload;
+    a.enclave = id;
+    a.a = seal_index;
+    return a;
+}
+
+TEST(PagingOracleTest, EvictReloadRoundTripPreservesOwnerView)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(31);
+    const u64 gva = 0x10'0000;
+
+    const u64 hpa_before = SecMachine::translate(s, ids[0], gva, false);
+    ASSERT_NE(hpa_before, ~0ull);
+    std::map<u64, u64> content_before;
+    for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
+        auto it = s.mem.find(hpa_before + off);
+        if (it != s.mem.end())
+            content_before[off] = it->second;
+    }
+    ASSERT_EQ(content_before.count(0), 1u);
+
+    const View owner_before = observe(s, ids[0]);
+
+    const StepResult evicted =
+        SecMachine::step(s, evictAction(ids[0], gva), oracle);
+    ASSERT_FALSE(evicted.faulted) << "evict rc=" << evicted.code;
+    EXPECT_EQ(SecMachine::translate(s, ids[0], gva, false), ~0ull)
+        << "evicted page still translates";
+    EXPECT_TRUE(checkInvariants(s.mon).empty())
+        << describeViolations(checkInvariants(s.mon));
+
+    // The EPC frame was scrubbed: its words left data memory.
+    for (const auto &[off, word] : content_before)
+        EXPECT_EQ(s.mem.count(hpa_before + off), 0u);
+
+    // The owner's logical view is untouched by the eviction.
+    EXPECT_EQ(diffViews(owner_before, observe(s, ids[0])), "");
+
+    const StepResult reloaded =
+        SecMachine::step(s, reloadAction(ids[0], 0), oracle);
+    ASSERT_FALSE(reloaded.faulted) << "reload rc=" << reloaded.code;
+    EXPECT_TRUE(checkInvariants(s.mon).empty())
+        << describeViolations(checkInvariants(s.mon));
+
+    // Bit-identical contents at the (possibly new) frame.
+    const u64 hpa_after = SecMachine::translate(s, ids[0], gva, false);
+    ASSERT_NE(hpa_after, ~0ull);
+    for (const auto &[off, word] : content_before)
+        EXPECT_EQ(s.mem[hpa_after + off], word) << "offset " << off;
+
+    EXPECT_EQ(diffViews(owner_before, observe(s, ids[0])), "");
+}
+
+TEST(PagingOracleTest, OsSeesCiphertextAndMetadataNotPlaintext)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(37);
+    ASSERT_FALSE(
+        SecMachine::step(s, evictAction(ids[0], 0x10'0000), oracle)
+            .faulted);
+
+    const View os_view = observe(s, osPrincipal);
+    ASSERT_EQ(os_view.seals.size(), 1u);
+    EXPECT_EQ(os_view.seals[0].owner, ids[0]);
+    EXPECT_EQ(os_view.seals[0].gva, 0x10'0000ull);
+    EXPECT_EQ(os_view.seals[0].version, 1u);
+
+    // Plaintext is not in the OS view: mutating it preserves OS
+    // indistinguishability...
+    ASSERT_FALSE(s.seals[0].plain.empty());
+    SecState s2 = s;
+    s2.seals[0].plain.begin()->second ^= 0xff;
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal));
+    // ...but it IS in the owner's (the page still reads through it).
+    EXPECT_FALSE(indistinguishable(s, s2, ids[0]));
+
+    // The ciphertext is the opposite: OS-observable, owner-invisible.
+    SecState s3 = s;
+    s3.seals[0].ciphertext ^= 0xff;
+    EXPECT_FALSE(indistinguishable(s, s3, osPrincipal));
+    EXPECT_TRUE(indistinguishable(s, s3, ids[0]));
+}
+
+TEST(PagingOracleTest, RollbackIsRejectedWithTypedVerdict)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(41);
+    const u64 gva = 0x10'0000;
+
+    ASSERT_FALSE(
+        SecMachine::step(s, evictAction(ids[0], gva), oracle).faulted);
+    ASSERT_FALSE(
+        SecMachine::step(s, reloadAction(ids[0], 0), oracle).faulted);
+    // Second round: version 2 is now current, seals[0] is stale.
+    ASSERT_FALSE(
+        SecMachine::step(s, evictAction(ids[0], gva), oracle).faulted);
+
+    const StepResult stale =
+        SecMachine::step(s, reloadAction(ids[0], 0), oracle);
+    EXPECT_TRUE(stale.faulted);
+    EXPECT_EQ(stale.code, ccal::errSealRollback);
+    EXPECT_TRUE(checkInvariants(s.mon).empty());
+
+    // The current blob still reloads fine.
+    EXPECT_FALSE(
+        SecMachine::step(s, reloadAction(ids[0], 1), oracle).faulted);
+}
+
+TEST(PagingOracleTest, CrossEnclaveReplayIsRejected)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(43);
+    ASSERT_FALSE(
+        SecMachine::step(s, evictAction(ids[0], 0x10'0000), oracle)
+            .faulted);
+
+    // Presenting A's blob on behalf of B fails authentication.
+    const StepResult replay =
+        SecMachine::step(s, reloadAction(ids[1], 0), oracle);
+    EXPECT_TRUE(replay.faulted);
+    EXPECT_EQ(replay.code, ccal::errSealAuth);
+    EXPECT_TRUE(checkInvariants(s.mon).empty());
+}
+
+TEST(PagingOracleTest, IntegrityHoldsForPagingSteps)
+{
+    // Evicting or reloading an enclave's page is an OS management step
+    // that must not change ANY enclave's view — including the owner's
+    // (Lemma 5.2 over the logical view).
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(47);
+    const std::vector<Action> script = {
+        evictAction(ids[0], 0x10'0000), reloadAction(ids[0], 0),
+        evictAction(ids[1], 0x30'1000), evictAction(ids[0], 0x10'1000),
+        reloadAction(ids[1], 1),        reloadAction(ids[0], 2),
+    };
+    int step = 0;
+    for (const Action &action : script) {
+        for (const i64 p : ids) {
+            auto violation = checkIntegrityStep(s, p, action, step);
+            ASSERT_FALSE(violation.has_value())
+                << "step " << step << " observer " << p << ": "
+                << violation->lemma << ": " << violation->detail;
+        }
+        const StepResult r = SecMachine::step(s, action, oracle);
+        ASSERT_FALSE(r.faulted) << "step " << step << " rc=" << r.code;
+        ++step;
+    }
+}
+
+TEST(PagingOracleTest, ConfidentialityHoldsUnderPagingActions)
+{
+    std::vector<i64> ids;
+    const SecState base = scene(ids);
+    Rng rng(59);
+
+    for (const Principal p :
+         {osPrincipal, Principal(ids[0]), Principal(ids[1])}) {
+        SecState s1 = base;
+        DataOracle warmup(61);
+        // Put some sealed blobs (incl. a stale one) in custody first.
+        ASSERT_FALSE(
+            SecMachine::step(s1, evictAction(ids[0], 0x10'0000), warmup)
+                .faulted);
+        ASSERT_FALSE(
+            SecMachine::step(s1, reloadAction(ids[0], 0), warmup)
+                .faulted);
+        ASSERT_FALSE(
+            SecMachine::step(s1, evictAction(ids[0], 0x10'0000), warmup)
+                .faulted);
+        for (int round = 0; round < 120; ++round) {
+            SecState s2 = s1;
+            perturbUnobservable(s2, p, rng);
+            Action action;
+            if (rng.chance(1, 2)) {
+                action = evictAction(rng.pick(ids),
+                                     (rng.chance(1, 2) ? 0x10'0000
+                                                       : 0x30'0000) +
+                                         rng.below(2) * pageSize);
+            } else {
+                action = reloadAction(rng.pick(ids), rng.next());
+            }
+            auto violation =
+                checkStepPair(s1, s2, p, action, 2000 + round);
+            ASSERT_FALSE(violation.has_value())
+                << "p=" << p << " round " << round << " "
+                << violation->lemma << ": " << violation->detail;
+            // Advance s1 along the real run half the time.
+            if (rng.chance(1, 2)) {
+                DataOracle oracle(2000 + round);
+                (void)SecMachine::step(s1, action, oracle);
+            }
+        }
+    }
+}
+
+TEST(PagingOracleTest, InvariantsHoldAfterEveryPagingHypercall)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    Rng rng(67);
+    DataOracle oracle(71);
+    for (int step = 0; step < 400; ++step) {
+        Action action;
+        if (rng.chance(1, 2)) {
+            action = evictAction(rng.pick(ids),
+                                 (rng.chance(1, 2) ? 0x10'0000
+                                                   : 0x30'0000) +
+                                     rng.below(3) * pageSize);
+        } else {
+            action = reloadAction(rng.pick(ids), rng.next());
+        }
+        (void)SecMachine::step(s, action, oracle);
+        const auto violations = checkInvariants(s.mon);
+        ASSERT_TRUE(violations.empty())
+            << "step " << step << ":\n"
+            << describeViolations(violations);
+    }
+}
+
+} // namespace
+} // namespace hev::sec

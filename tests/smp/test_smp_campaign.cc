@@ -22,6 +22,7 @@ quickOptions()
     SmpScenarioOptions opts;
     opts.coherenceShards = 3;
     opts.niShards = 1;
+    opts.pagingShards = 1;
     opts.stepsPerShard = 80;
     opts.vcpus = 3;
     return opts;
@@ -45,10 +46,10 @@ TEST(SmpCampaign, CleanProtocolPasses)
     const check::CampaignReport report = runCampaign(quickOptions(), 42, 2);
     EXPECT_EQ(report.failures, 0u) << (report.first ? report.first->detail
                                                     : "");
-    EXPECT_EQ(report.scenarios, 4u);
+    EXPECT_EQ(report.scenarios, 5u); // 3 coherence + 1 paging + 1 ni
     EXPECT_GT(report.checks, 0u);
     ASSERT_TRUE(report.scenariosByKind.count("smp"));
-    EXPECT_EQ(report.scenariosByKind.at("smp"), 4u);
+    EXPECT_EQ(report.scenariosByKind.at("smp"), 5u);
 }
 
 TEST(SmpCampaign, ResultsAreThreadCountInvariant)
@@ -62,6 +63,7 @@ TEST(SmpCampaign, PlantedSkipAckIsCaught)
 {
     SmpScenarioOptions opts = quickOptions();
     opts.niShards = 0; // the coherence shards are the oracle here
+    opts.pagingShards = 0;
     opts.planted.skipShootdownAck = true;
     const check::CampaignReport report = runCampaign(opts, 42, 2);
     EXPECT_GT(report.failures, 0u);

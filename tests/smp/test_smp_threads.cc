@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -112,6 +113,124 @@ TEST(SmpThreads, ConcurrentHypercallStormStaysCoherent)
         const auto value = smp.memLoad(t, Gva(elbase + u64(t) * 8));
         ASSERT_TRUE(value);
         EXPECT_EQ(*value, 0x2000 + u64(rounds - 1));
+        ASSERT_TRUE(smp.hcEnclaveExit(t));
+    }
+}
+
+TEST(SmpThreads, PagingStormStaysCoherent)
+{
+    // Evict/reload interleaved with shootdown-heavy OS page-table edits
+    // and enclave occupancy on real threads.  Each thread round-trips
+    // its own enclave page (disjoint from its sibling's) so success is
+    // deterministic; the cross-enclave and rollback probes exercise the
+    // typed rejections concurrently with everything else.
+    constexpr u32 vcpus = 4;
+    constexpr int rounds = 30;
+    SmpMonitor smp(smallConfig(vcpus)); // default yield IPI driver
+
+    const auto encA = makeMultiTcsEnclave(smp, 0, 0x10'0000, 2, 2);
+    const auto encB = makeMultiTcsEnclave(smp, 0, 0x30'0000, 2, 2);
+    ASSERT_TRUE(encA);
+    ASSERT_TRUE(encB);
+
+    std::vector<Gpa> backing;
+    for (u32 t = 0; t < vcpus; ++t) {
+        const auto page = smp.machine().os().allocPage();
+        ASSERT_TRUE(page);
+        backing.push_back(*page);
+    }
+
+    std::atomic<u32> active{vcpus};
+    std::atomic<u32> failures{0};
+
+    const auto worker = [&](VcpuId t) {
+        const EnclaveId enc = (t % 2 == 0) ? *encA : *encB;
+        const EnclaveId other = (t % 2 == 0) ? *encB : *encA;
+        const u64 elbase = (t % 2 == 0) ? 0x10'0000 : 0x30'0000;
+        // Threads t and t+2 share an enclave; each owns one page of it.
+        const u64 pageGva = elbase + (t / 2) * pageSize;
+        const u64 word = pageGva + u64(t) * 8;
+        const u64 slotVa = 0x300'0000 + u64(t) * pageSize;
+        std::optional<hv::SealedBlob> stale;
+        for (int i = 0; i < rounds; ++i) {
+            bool ok = true;
+            // Shootdown-heavy OS churn concurrent with the paging.
+            ok = ok && bool(smp.osMap(t, slotVa, backing[t]));
+            ok = ok && bool(smp.memStore(t, Gva(slotVa), 0x1000 + t));
+            if (i % 8 == 3) {
+                ok = ok && bool(smp.osProtectRo(t, slotVa, backing[t]));
+                ok = ok && !smp.memStore(t, Gva(slotVa), 1);
+            }
+            ok = ok && bool(smp.osUnmap(t, slotVa));
+
+            // Stamp this round's value into the thread's own page.
+            ok = ok && bool(smp.hcEnclaveEnter(t, enc));
+            ok = ok && bool(smp.memStore(t, Gva(word), 0x7000 + u64(i)));
+            ok = ok && bool(smp.hcEnclaveExit(t));
+
+            // EWB: the resident page seals and unmaps.
+            auto blob = smp.hcEnclaveEvictPage(t, enc, Gva(pageGva));
+            ok = ok && bool(blob);
+            if (blob) {
+                // Replay to the sibling enclave: authenticity failure.
+                const auto replay =
+                    smp.hcEnclaveReloadPage(t, other, *blob);
+                ok = ok && !replay &&
+                     replay.error() == HvError::SealAuthFailed;
+                // A blob superseded by this evict must roll back.
+                if (stale) {
+                    const auto rollback =
+                        smp.hcEnclaveReloadPage(t, enc, *stale);
+                    ok = ok && !rollback &&
+                         rollback.error() == HvError::SealRollback;
+                }
+                // ELD: the fresh blob restores the page.
+                ok = ok && bool(smp.hcEnclaveReloadPage(t, enc, *blob));
+                stale = *blob;
+            }
+
+            // The restored page holds this round's stamp.
+            ok = ok && bool(smp.hcEnclaveEnter(t, enc));
+            const auto readback = smp.memLoad(t, Gva(word));
+            ok = ok && readback && *readback == 0x7000 + u64(i);
+            ok = ok && bool(smp.hcEnclaveExit(t));
+
+            if (!ok)
+                failures.fetch_add(1);
+            smp.serviceIpis(t);
+        }
+        active.fetch_sub(1);
+        while (active.load() != 0) {
+            smp.serviceIpis(t);
+            std::this_thread::yield();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < vcpus; ++t)
+        pool.emplace_back(worker, VcpuId(t));
+    for (std::thread &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_TRUE(checkSmpInvariants(smp).empty());
+    EXPECT_TRUE(checkTlbCoherence(smp).empty());
+
+    const hv::MonitorStats &mon = smp.monitor().stats();
+    EXPECT_EQ(mon.pagesEvicted.load(), u64(vcpus) * rounds);
+    EXPECT_EQ(mon.pagesReloaded.load(), u64(vcpus) * rounds);
+    EXPECT_EQ(smp.stats().ipisAcked.load(), smp.stats().ipisSent.load());
+    for (VcpuId v = 0; v < vcpus; ++v)
+        EXPECT_FALSE(smp.ipiPending(v));
+
+    // Every thread's page survived its last round-trip intact.
+    for (u32 t = 0; t < vcpus; ++t) {
+        ASSERT_TRUE(smp.hcEnclaveEnter(t, (t % 2 == 0) ? *encA : *encB));
+        const u64 elbase = (t % 2 == 0) ? 0x10'0000 : 0x30'0000;
+        const u64 word = elbase + (t / 2) * pageSize + u64(t) * 8;
+        const auto value = smp.memLoad(t, Gva(word));
+        ASSERT_TRUE(value);
+        EXPECT_EQ(*value, 0x7000 + u64(rounds - 1));
         ASSERT_TRUE(smp.hcEnclaveExit(t));
     }
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Sanitizer fuzz smoke: build the fuzzing CLI with ASan+UBSan and fuzz
-# the clean tree for a bounded wall-clock budget.  Fails (non-zero) on
-# any oracle divergence, sanitizer report, or build error.  Intended
-# as a CI job: ./tools/fuzz_smoke.sh [seconds] [build-dir]
+# Sanitizer fuzz smoke: build the fuzzing CLI with ASan+UBSan, replay
+# the golden corpus (which includes evict/reload paging traces), then
+# fuzz the clean tree for a bounded wall-clock budget.  Fails
+# (non-zero) on any oracle divergence, sanitizer report, or build
+# error — the sanitizer builds use -fno-sanitize-recover, so a UBSan
+# finding aborts the run instead of printing a warning and passing.
+# Intended as a CI job: ./tools/fuzz_smoke.sh [seconds] [build-dir]
 set -euo pipefail
 
 SECONDS_BUDGET="${1:-30}"
@@ -17,10 +20,14 @@ cmake -B "${BUILD_DIR}" -S "${SRC_DIR}" \
 echo "== building hev_fuzz"
 cmake --build "${BUILD_DIR}" --target hev_fuzz_cli -j > /dev/null
 
-echo "== fuzzing the clean tree for ${SECONDS_BUDGET}s under ASan+UBSan"
 # halt_on_error makes any sanitizer report fatal -> non-zero exit.
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+echo "== replaying the golden corpus (incl. evict/reload) under ASan+UBSan"
+"${BUILD_DIR}/tools/hev_fuzz" replay "${SRC_DIR}"/tests/fuzz/corpus/*.trace
+
+echo "== fuzzing the clean tree for ${SECONDS_BUDGET}s under ASan+UBSan"
 "${BUILD_DIR}/tools/hev_fuzz" run \
     --seed "$(date +%Y%m%d)" \
     --execs 0 \

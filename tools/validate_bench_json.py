@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json reports written by the bench harnesses.
+
+Every report must carry the fixed provenance header stamped by
+bench::JsonReport plus at least one bench-specific metric.  Checks,
+exiting 0 on success and 1 on the first violation:
+  - the file parses as a JSON object;
+  - "bench" matches the BENCH_<name>.json filename;
+  - "schema_version" equals the known schema version (1);
+  - "git_sha" is a non-empty hex string ("unknown" only accepted with
+    --allow-unknown-sha, for builds outside a git checkout);
+  - "build_type" is a non-empty string and "hardware_threads" a
+    positive integer;
+  - a "benchmarks" section, when present (google-benchmark binaries),
+    is a list of objects each carrying name/real_time/cpu_time/unit/
+    iterations with sane types;
+  - at least one metric beyond the provenance header is present.
+
+Usage: validate_bench_json.py [--allow-unknown-sha] PATH...
+Each PATH is a BENCH_*.json file or a directory to scan for them; a
+directory containing none is a failure (the bench did not run).
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+HEADER_KEYS = {
+    "bench",
+    "schema_version",
+    "git_sha",
+    "build_type",
+    "build_flags",
+    "hardware_threads",
+    "trace_compiled_in",
+}
+BENCHMARK_ENTRY_KEYS = {"name", "real_time", "cpu_time", "unit",
+                        "iterations"}
+
+
+def fail(message):
+    print(f"validate_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path, allow_unknown_sha):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    for key in HEADER_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing provenance key {key!r}")
+
+    expected = f"BENCH_{doc['bench']}.json"
+    if path.name != expected:
+        fail(f"{path}: bench {doc['bench']!r} implies filename "
+             f"{expected!r}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {doc['schema_version']!r}, "
+             f"expected {SCHEMA_VERSION}")
+
+    sha = doc["git_sha"]
+    if not isinstance(sha, str) or not sha:
+        fail(f"{path}: git_sha must be a non-empty string")
+    if sha == "unknown":
+        if not allow_unknown_sha:
+            fail(f"{path}: git_sha is 'unknown' (built outside git?)")
+    elif not all(c in "0123456789abcdef" for c in sha):
+        fail(f"{path}: git_sha {sha!r} is not a hex revision")
+
+    if not isinstance(doc["build_type"], str) or not doc["build_type"]:
+        fail(f"{path}: build_type must be a non-empty string")
+    threads = doc["hardware_threads"]
+    if not isinstance(threads, int) or threads <= 0:
+        fail(f"{path}: hardware_threads must be a positive integer")
+
+    if "benchmarks" in doc:
+        runs = doc["benchmarks"]
+        if not isinstance(runs, list):
+            fail(f"{path}: 'benchmarks' is not a list")
+        for i, run in enumerate(runs):
+            if not isinstance(run, dict):
+                fail(f"{path}: benchmarks[{i}] is not an object")
+            missing = BENCHMARK_ENTRY_KEYS - run.keys()
+            if missing:
+                fail(f"{path}: benchmarks[{i}] missing {sorted(missing)}")
+            if not isinstance(run["name"], str) or not run["name"]:
+                fail(f"{path}: benchmarks[{i}] has an empty name")
+            for key in ("real_time", "cpu_time"):
+                if not isinstance(run[key], (int, float)):
+                    fail(f"{path}: benchmarks[{i}].{key} is not numeric")
+
+    metrics = set(doc) - HEADER_KEYS
+    if not metrics:
+        fail(f"{path}: no metrics beyond the provenance header")
+    print(f"validate_bench_json: OK: {path} "
+          f"(git {sha}, {len(metrics)} metric(s))")
+
+
+def main(argv):
+    allow_unknown_sha = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--allow-unknown-sha":
+            allow_unknown_sha = True
+        elif arg.startswith("-"):
+            fail(f"unknown option {arg!r}")
+        else:
+            paths.append(pathlib.Path(arg))
+    if not paths:
+        fail("usage: validate_bench_json.py [--allow-unknown-sha] "
+             "PATH...")
+
+    reports = []
+    for path in paths:
+        if path.is_dir():
+            found = sorted(path.glob("BENCH_*.json"))
+            if not found:
+                fail(f"{path}: no BENCH_*.json report found")
+            reports.extend(found)
+        else:
+            reports.append(path)
+    for report in reports:
+        validate(report, allow_unknown_sha)
+    print(f"validate_bench_json: {len(reports)} report(s) valid")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
