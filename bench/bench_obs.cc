@@ -4,13 +4,16 @@
  * switch position: counters and histograms with stats on and off,
  * trace events with tracing off (the fast-path check every
  * instrumented site pays), on (ring push + interning), and a scoped
- * timer fully disabled.  The disabled numbers are the ones the ≤2%
+ * timer fully disabled, and the flight recorder in both switch
+ * positions (the always-on ring is budgeted at roughly one cache-line
+ * write per op).  The disabled numbers are the ones the ≤2%
  * campaign-overhead budget rests on.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "gbench_json.hh"
+#include "obs/flight.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -77,6 +80,31 @@ BM_TraceEventEnabled(benchmark::State &state)
     obs::clearTrace();
 }
 BENCHMARK(BM_TraceEventEnabled);
+
+void
+BM_FlightRecordDisabled(benchmark::State &state)
+{
+    obs::setFlightEnabled(false);
+    for (auto _ : state)
+        obs::flightRecord(1, 2, 3, 4, 5, 6, 7, 8);
+    obs::setFlightEnabled(true);
+}
+BENCHMARK(BM_FlightRecordDisabled);
+
+void
+BM_FlightRecordEnabled(benchmark::State &state)
+{
+    if (!obs::flightCompiledIn) {
+        state.SkipWithError(
+            "flight recorder compiled out (HEV_OBS_FLIGHT=0)");
+        return;
+    }
+    obs::setFlightEnabled(true);
+    u16 step = 0;
+    for (auto _ : state)
+        obs::flightRecord(1, 2, 3, 4, 5, 6, step++, 8);
+}
+BENCHMARK(BM_FlightRecordEnabled);
 
 void
 BM_ScopedTimerDisabled(benchmark::State &state)

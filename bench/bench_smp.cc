@@ -16,7 +16,10 @@
  *
  * 2. Shootdown latency: p50/p99 wall time of osUnmap's full
  *    epoch-bump / IPI-post / ack-wait protocol at 4 vCPUs, with the
- *    service-everyone driver standing in for the target threads.
+ *    service-everyone driver standing in for the target threads,
+ *    plus the per-phase breakdown (post→deliver, deliver→ack,
+ *    ack→resume) read back from the monitor's own smp.ipi_*
+ *    histograms via the log2-bucket percentile estimator.
  */
 
 #include <algorithm>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "bench_report.hh"
+#include "obs/stats.hh"
 #include "smp/smp_monitor.hh"
 
 using namespace hev;
@@ -196,6 +200,10 @@ main()
         std::printf("FAILURE: allocPage for the shootdown slot\n");
         return 1;
     }
+    // Snapshot the stats registry around the loop so the per-phase
+    // shootdown histograms (smp.ipi_*_ns) cover exactly these unmaps.
+    obs::setStatsEnabled(true);
+    const obs::Snapshot statsBefore = obs::snapshotStats();
     std::vector<double> ns;
     ns.reserve(shootdownSamples);
     for (u64 i = 0; i < shootdownSamples; ++i) {
@@ -225,6 +233,31 @@ main()
     report.metric("shootdown_p99_ns", p99);
     report.metric("shootdowns_acked",
                   smp.stats().ipisAcked.load());
+
+    // Per-phase breakdown from the monitor's own histograms
+    // (post→deliver, deliver→ack, ack→resume), estimated with the
+    // log2-bucket percentile helper over this loop's delta.
+    const obs::Snapshot phases =
+        obs::snapshotStats().minus(statsBefore);
+    std::printf("\nshootdown phases (from smp.ipi_* histograms):\n");
+    for (const auto &[name, key] :
+         {std::pair<const char *, const char *>{
+              "smp.ipi_post_to_deliver_ns", "ipi_post_to_deliver"},
+          {"smp.ipi_deliver_to_ack_ns", "ipi_deliver_to_ack"},
+          {"smp.ipi_ack_to_resume_ns", "ipi_ack_to_resume"}}) {
+        const auto it = phases.histograms.find(name);
+        if (it == phases.histograms.end() || it->second.count == 0) {
+            std::printf("FAILURE: histogram %s is empty\n", name);
+            return 1;
+        }
+        const double phase50 = it->second.percentile(50.0);
+        const double phase99 = it->second.percentile(99.0);
+        std::printf("  %-28s p50 %8.0f ns  p99 %8.0f ns  (%llu)\n",
+                    name, phase50, phase99,
+                    (unsigned long long)it->second.count);
+        report.metric(std::string(key) + "_p50_ns", phase50);
+        report.metric(std::string(key) + "_p99_ns", phase99);
+    }
 
     report.write();
     std::printf("report written to BENCH_smp.json\n");

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "ccal/coverage.hh"
+#include "obs/flight.hh"
 #include "obs/trace.hh"
 
 namespace hev::check
@@ -275,6 +276,18 @@ Campaign::run() const
         const u64 before = it == eventsBefore.end() ? 0 : it->second;
         if (count > before)
             report.eventsByType[type] = count - before;
+    }
+    const std::string forensics =
+        obs::forensicsPathOrEnv(cfg.forensicsPath);
+    if (report.first && !forensics.empty()) {
+        obs::ForensicsBundle bundle;
+        bundle.kind = "campaign";
+        bundle.scenario = report.first->scenario;
+        bundle.detail = report.first->detail;
+        bundle.failedOp = report.first->iteration;
+        bundle.digests["shard"] = report.first->shard;
+        bundle.tail = obs::flightTail(0, 64);
+        obs::writeForensicsBundle(bundle, forensics);
     }
     return report;
 }

@@ -114,6 +114,14 @@ struct CampaignConfig
      * deterministic report section is only byte-stable with this off.
      */
     bool stopOnFailure = false;
+    /**
+     * Where to write a forensics bundle when the campaign ends with a
+     * counterexample ("" = fall back to $HEV_FORENSICS, then stay
+     * silent).  The bundle carries the merged flight-recorder tail of
+     * every worker; scenario bodies that know their machine state
+     * (fuzz shards, SMP scenarios) write richer bundles themselves.
+     */
+    std::string forensicsPath;
 };
 
 /** Aggregated result of one campaign run. */

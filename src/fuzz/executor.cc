@@ -9,9 +9,11 @@
 #include "ccal/checker.hh"
 #include "ccal/specs.hh"
 #include "ccal/tree_state.hh"
+#include "fuzz/forensics.hh"
 #include "fuzz/smp_executor.hh"
 #include "hv/hv_invariants.hh"
 #include "hv/machine.hh"
+#include "obs/flight.hh"
 #include "sec/invariants.hh"
 
 namespace hev::fuzz
@@ -163,11 +165,15 @@ class Executor
     {
         ExecResult result;
         u64 signature = fnvOffset;
+        const u16 runTag = obs::newFlightRunTag();
         for (u64 i = 0; i < trace.ops.size() && i < opts.maxOps; ++i) {
             const Op &op = trace.ops[i];
             lastRc = Rc::Skipped;
             const auto failure = dispatch(op);
             ++result.opsExecuted;
+            obs::flightRecord(u16(op.kind), op.a, op.b, op.c, op.d,
+                              u64(lastRc), u16(i), runTag, u8(op.vcpu),
+                              obs::flightReplayable);
 
             // Coverage features: (op, outcome), the 2-gram edge with
             // the previous op, and a coarse state-shape bucket.
@@ -189,6 +195,21 @@ class Executor
                 detail << "op " << i << " (" << opKindName(op.kind)
                        << "): " << *failure;
                 result.detail = detail.str();
+                const std::string path =
+                    obs::forensicsPathOrEnv(opts.forensicsPath);
+                if (!path.empty()) {
+                    ForensicsInput in;
+                    in.kind = "fuzz";
+                    in.detail = result.detail;
+                    in.failedOp = i;
+                    in.runTag = runTag;
+                    in.scheduleSeed = trace.scheduleSeed;
+                    in.digests["epcm"] =
+                        hv::epcmDigest(machine.monitor().epcm());
+                    in.digests["tlb"] =
+                        hv::tlbDigest(machine.monitor().tlb());
+                    emitForensics(path, in);
+                }
                 break;
             }
         }

@@ -64,6 +64,12 @@ struct ExecOptions
      * remote vCPUs keep stale TLB entries past unmap/downgrade.
      */
     bool skipShootdownAckBug = false;
+    /**
+     * Where to write a forensics bundle when an oracle fails ("" =
+     * fall back to $HEV_FORENSICS, then stay silent).  Emission is a
+     * write-only side effect: ExecResult stays bit-deterministic.
+     */
+    std::string forensicsPath;
 
     /** The standard small fuzzing machine (4 MiB, 256+256 frames). */
     static ExecOptions standard();

@@ -1,0 +1,55 @@
+#include "fuzz/forensics.hh"
+
+#include "obs/flight.hh"
+
+namespace hev::fuzz
+{
+
+Trace
+flightTailToTrace(u16 run_tag, u64 schedule_seed)
+{
+    Trace trace;
+    trace.scheduleSeed = schedule_seed;
+    for (const obs::FlightRecord &record : obs::flightTail(run_tag)) {
+        if (!(record.flags & obs::flightReplayable))
+            continue;
+        if (record.op >= opKindCount)
+            continue;
+        Op op;
+        op.kind = OpKind(record.op);
+        op.a = record.a;
+        op.b = record.b;
+        op.c = record.c;
+        op.d = record.d;
+        op.vcpu = record.vcpu;
+        trace.ops.push_back(op);
+    }
+    return trace;
+}
+
+std::string
+fuzzOpLabel(u16 op)
+{
+    if (op < opKindCount)
+        return opKindName(OpKind(op));
+    return "";
+}
+
+bool
+emitForensics(const std::string &path, const ForensicsInput &in)
+{
+    obs::ForensicsBundle bundle;
+    bundle.kind = in.kind;
+    bundle.detail = in.detail;
+    bundle.scenario = in.scenario;
+    bundle.failedOp = in.failedOp;
+    bundle.digests = in.digests;
+    bundle.tail = obs::flightTail(in.runTag);
+    bundle.opName = fuzzOpLabel;
+    const Trace tail = flightTailToTrace(in.runTag, in.scheduleSeed);
+    if (!tail.ops.empty())
+        bundle.traceTail = serializeTrace(tail);
+    return obs::writeForensicsBundle(bundle, path);
+}
+
+} // namespace hev::fuzz

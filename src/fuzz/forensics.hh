@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fuzz-side forensics: turn the obs flight recorder's tail back into
+ * a replayable trace and emit failure bundles.
+ *
+ * The executors record every dispatched op into the flight ring with
+ * its raw arguments and the run's tag (obs/flight.hh).  When an
+ * oracle fails, the tail of that run *is* the repro: re-serialized as
+ * `hev-trace v1` text it feeds hev_fuzz replay/shrink unchanged.  The
+ * bundle writer here is the one place that marries the generic obs
+ * bundle with the fuzz op vocabulary (names, trace serialization).
+ */
+
+#ifndef HEV_FUZZ_FORENSICS_HH
+#define HEV_FUZZ_FORENSICS_HH
+
+#include <map>
+#include <string>
+
+#include "fuzz/trace.hh"
+
+namespace hev::fuzz
+{
+
+/** Failure coordinates an executor hands to emitForensics. */
+struct ForensicsInput
+{
+    std::string kind;     //!< "fuzz" | "smp-fuzz" | ...
+    std::string detail;   //!< the oracle's failure message
+    std::string scenario; //!< optional source label (corpus file, ...)
+    u64 failedOp = 0;     //!< index of the failing op
+    u16 runTag = 0;       //!< the failing execution's flight tag
+    u64 scheduleSeed = 0; //!< carried into the replay trace
+    std::map<std::string, u64> digests; //!< state digests at failure
+};
+
+/**
+ * Reassemble the flight tail of one tagged run into a Trace: every
+ * replayable record, in recorded (= execution) order, with the raw op
+ * arguments and vcpu restored.  Exact as long as the run fit in the
+ * ring (maxOps <= flightRingCapacity, which the default 64 does).
+ */
+Trace flightTailToTrace(u16 run_tag, u64 schedule_seed);
+
+/** Pretty printer for flight op ids (fuzz ops by name). */
+std::string fuzzOpLabel(u16 op);
+
+/**
+ * Write the forensics bundle for a failed execution to `path` (plus
+ * `path`.trace with the replayable tail).  False on I/O failure; the
+ * caller's ExecResult is never affected.
+ */
+bool emitForensics(const std::string &path, const ForensicsInput &in);
+
+} // namespace hev::fuzz
+
+#endif // HEV_FUZZ_FORENSICS_HH

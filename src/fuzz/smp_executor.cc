@@ -5,7 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "fuzz/forensics.hh"
 #include "hv/hv_invariants.hh"
+#include "obs/flight.hh"
 #include "smp/smp_invariants.hh"
 #include "smp/smp_monitor.hh"
 #include "support/rng.hh"
@@ -232,6 +234,7 @@ SmpExecutor::run(const ExecOptions &opts, const Trace &trace)
         return result;
     }
 
+    const u16 runTag = obs::newFlightRunTag();
     const u64 cap = std::min<u64>(trace.ops.size(), opts.maxOps);
     for (u64 i = 0; i < cap; ++i) {
         const Op &op = trace.ops[i];
@@ -241,6 +244,9 @@ SmpExecutor::run(const ExecOptions &opts, const Trace &trace)
         fold(v);
         fold(code);
         ++result.opsExecuted;
+        obs::flightRecord(u16(op.kind), op.a, op.b, op.c, op.d, code,
+                          u16(i), runTag, u8(op.vcpu),
+                          obs::flightReplayable);
         featureSet.insert((u32(op.kind) << 8) | u32(code & 0xff));
         featureSet.insert(0x8000u | (u32(op.kind) << 4) | v);
 
@@ -260,6 +266,22 @@ SmpExecutor::run(const ExecOptions &opts, const Trace &trace)
                << " vcpu " << v << "): " << violations.front();
             result.detail = os.str();
             featureSet.insert(0xffffu);
+            const std::string path =
+                obs::forensicsPathOrEnv(opts.forensicsPath);
+            if (!path.empty()) {
+                ForensicsInput in;
+                in.kind = "smp-fuzz";
+                in.detail = result.detail;
+                in.failedOp = i;
+                in.runTag = runTag;
+                in.scheduleSeed = trace.scheduleSeed;
+                in.digests["epcm"] =
+                    hv::epcmDigest(smp.monitor().epcm());
+                for (VcpuId w = 0; w < smp.vcpuCount(); ++w)
+                    in.digests["tlb.v" + std::to_string(w)] =
+                        hv::tlbDigest(smp.tlbOf(w));
+                emitForensics(path, in);
+            }
             break;
         }
 

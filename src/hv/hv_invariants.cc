@@ -300,6 +300,51 @@ checkMonitorInvariants(const Monitor &mon)
     return violations;
 }
 
+namespace
+{
+
+/** FNV-1a over a few words, one hash per digested entry. */
+u64
+fnvWords(std::initializer_list<u64> words)
+{
+    constexpr u64 fnvOffset = 0xcbf29ce484222325ull;
+    constexpr u64 fnvPrime = 0x100000001b3ull;
+    u64 hash = fnvOffset;
+    for (u64 word : words) {
+        for (u32 byte = 0; byte < 8; ++byte) {
+            hash ^= (word >> (byte * 8)) & 0xff;
+            hash *= fnvPrime;
+        }
+    }
+    return hash;
+}
+
+} // namespace
+
+u64
+epcmDigest(const Epcm &epcm)
+{
+    // Summing per-entry hashes keeps the digest independent of the
+    // visit order, so it is comparable across container reshuffles.
+    u64 digest = 0;
+    epcm.forEachUsed([&](Hpa page, const EpcmEntry &entry) {
+        digest += fnvWords({page.value, u64(entry.state),
+                            u64(entry.owner), entry.linAddr.value});
+    });
+    return digest;
+}
+
+u64
+tlbDigest(const Tlb &tlb)
+{
+    u64 digest = 0;
+    tlb.forEach([&](DomainId domain, u64 va_page, const TlbEntry &entry) {
+        digest += fnvWords({u64(domain), va_page, entry.hpaPage,
+                            u64(entry.writable)});
+    });
+    return digest;
+}
+
 std::string
 describeMonitorViolations(const std::vector<std::string> &violations)
 {

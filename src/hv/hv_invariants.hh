@@ -33,6 +33,16 @@ namespace hev::hv
 /** Check every family; empty result = all hold. */
 std::vector<std::string> checkMonitorInvariants(const Monitor &mon);
 
+/**
+ * Order-independent digest of the EPCM contents (per-entry FNV-1a
+ * hashes combined commutatively), for forensics bundles: two states
+ * digest equal iff their used pages carry the same metadata.
+ */
+u64 epcmDigest(const Epcm &epcm);
+
+/** Order-independent digest of a TLB's live entries (same scheme). */
+u64 tlbDigest(const Tlb &tlb);
+
 /** Render violations for diagnostics. */
 std::string describeMonitorViolations(
     const std::vector<std::string> &violations);

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The crash flight recorder: an always-on, lock-free per-thread ring
+ * of the most recent operations, plus the forensics-bundle dump path
+ * used when an invariant, oracle or refinement check fails.
+ *
+ * Unlike the event tracer (opt-in, detailed, wide rings), the flight
+ * recorder is *on by default* and deliberately tiny: one 64-byte
+ * record — a single cache-line store — per operation, 256 records per
+ * thread.  Its job is not profiling but forensics: when a failure
+ * surfaces deep inside a campaign, fuzz run or SMP storm, the ring
+ * still holds the last few hundred operations that led there, with
+ * raw arguments, so the tail can be re-serialized as a fuzz trace and
+ * replayed/shrunk directly.
+ *
+ * Records carry a 16-bit run tag: each executor run draws a fresh tag
+ * from newFlightRunTag() and stamps every record with it, so a tail
+ * reconstruction never picks up records of an earlier execution that
+ * happen to survive in the ring.  Writers only ever touch their own
+ * ring (plain stores + one release store of the head); collection
+ * walks every ring — live and retired — under the registry mutex,
+ * exactly like the tracer.
+ *
+ * Compile-out via -DHEV_OBS_FLIGHT=0 mirrors HEV_OBS_TRACE; the
+ * runtime default is merely *enabled* (one relaxed load when off).
+ */
+
+#ifndef HEV_OBS_FLIGHT_HH
+#define HEV_OBS_FLIGHT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hh"
+
+namespace hev::obs
+{
+
+/** Version of the forensics-bundle JSON schema. */
+constexpr int forensicsSchemaVersion = 1;
+
+/** Records per thread ring; wraparound drops the oldest. */
+constexpr u32 flightRingCapacity = 256;
+
+/** FlightRecord::flags bit: the record re-serializes as a fuzz op. */
+constexpr u8 flightReplayable = 0x1;
+
+/**
+ * First op id of the informational (non-fuzz) id space.  Ids below
+ * this are fuzz OpKind values and replayable; ids at or above it name
+ * subsystem-private steps (SMP scenario actor moves, campaign marks).
+ */
+constexpr u16 flightOpBase = 0x40;
+
+/** One recorded operation: exactly one cache line. */
+struct alignas(64) FlightRecord
+{
+    u64 ts = 0;     //!< ns since the trace epoch (traceNowNs)
+    u64 a = 0;      //!< raw op arguments — kept raw so the tail
+    u64 b = 0;      //!< re-serializes as a replayable fuzz trace;
+    u64 c = 0;      //!< the JSON dump adds an FNV digest over them
+    u64 d = 0;
+    u64 result = 0; //!< folded outcome code of the op
+    u16 op = 0;     //!< fuzz OpKind, or flightOpBase+ subsystem id
+    u16 step = 0;   //!< op index / schedule step within the run
+    u16 runTag = 0; //!< execution tag from newFlightRunTag()
+    u8 vcpu = 0;    //!< issuing vCPU
+    u8 flags = 0;   //!< flightReplayable, ...
+};
+
+static_assert(sizeof(FlightRecord) == 64,
+              "a flight record must be one cache-line store");
+
+/** One thread's collected slice of the flight ring. */
+struct FlightDump
+{
+    u32 tid = 0;     //!< small stable id, assigned per thread
+    u64 dropped = 0; //!< records lost to ring wraparound
+    std::vector<FlightRecord> records; //!< in emission order
+};
+
+namespace detail
+{
+void flightRecordSlow(const FlightRecord &record);
+} // namespace detail
+
+/**
+ * Draw a fresh nonzero run tag (wraps within 16 bits, skipping 0).
+ * One per trace execution / scenario body.
+ */
+u16 newFlightRunTag();
+
+/** Record one operation (no-op unless the recorder is enabled). */
+inline void
+flightRecord(u16 op, u64 a, u64 b, u64 c, u64 d, u64 result, u16 step,
+             u16 run_tag, u8 vcpu = 0, u8 flags = 0)
+{
+#if HEV_OBS_FLIGHT
+    if (flightEnabled()) {
+        FlightRecord record;
+        record.a = a;
+        record.b = b;
+        record.c = c;
+        record.d = d;
+        record.result = result;
+        record.op = op;
+        record.step = step;
+        record.runTag = run_tag;
+        record.vcpu = vcpu;
+        record.flags = flags;
+        detail::flightRecordSlow(record);
+    }
+#else
+    (void)op; (void)a; (void)b; (void)c; (void)d; (void)result;
+    (void)step; (void)run_tag; (void)vcpu; (void)flags;
+#endif
+}
+
+/** Snapshot every ring (live and retired), per thread in order. */
+std::vector<FlightDump> collectFlight();
+
+/** Drop all recorded operations (live rings and retired ones). */
+void clearFlight();
+
+/**
+ * The recorded tail: records of every ring filtered by run tag (0 =
+ * keep all), capped at the newest `last_per_thread` per ring (0 = no
+ * cap), merged across threads in timestamp order (stable, so a
+ * thread's own records keep their emission order on ties).
+ */
+std::vector<FlightRecord> flightTail(u16 run_tag = 0,
+                                     u64 last_per_thread = 0);
+
+/** FNV-1a digest over a record's four raw arguments. */
+u64 flightArgsDigest(const FlightRecord &record);
+
+/**
+ * A self-contained failure dump.  Rendered as one JSON object
+ * carrying provenance (schema version, git SHA), the failure
+ * coordinates, state digests computed by the caller at the failure
+ * site, the current stats snapshot, the merged flight tail, and — for
+ * executor failures — a replayable `hev-trace v1` serialization of
+ * the tail that hev_fuzz replay/shrink consume directly.
+ */
+struct ForensicsBundle
+{
+    std::string kind;     //!< "fuzz" | "smp-fuzz" | "campaign" | ...
+    std::string detail;   //!< the oracle's failure message
+    std::string scenario; //!< scenario / trace-source name (optional)
+    u64 failedOp = 0;     //!< index of the failing op
+    /** Caller-computed state digests ("epcm", "tlb.v0", ...). */
+    std::map<std::string, u64> digests;
+    /** The merged flight tail (see flightTail). */
+    std::vector<FlightRecord> tail;
+    /** Replayable trace text ("hev-trace v1\n..."); may be empty. */
+    std::string traceTail;
+    /** Optional op-id pretty printer; ids print as "op<N>" without. */
+    std::function<std::string(u16)> opName;
+};
+
+/** Render the bundle as JSON (stats snapshot taken here). */
+std::string renderForensicsJson(const ForensicsBundle &bundle);
+
+/**
+ * Write the bundle to `path` and, when traceTail is nonempty, the
+ * raw trace text to `path + ".trace"` so the tail replays without any
+ * JSON unwrapping:  hev_fuzz replay <path>.trace
+ */
+bool writeForensicsBundle(const ForensicsBundle &bundle,
+                          const std::string &path);
+
+/**
+ * The forensics destination: `configured` if nonempty, else the
+ * HEV_FORENSICS environment variable, else "" (emission disabled).
+ * Lets campaigns and tests opt whole process trees in without
+ * threading a path through every options struct.
+ */
+std::string forensicsPathOrEnv(const std::string &configured);
+
+} // namespace hev::obs
+
+#endif // HEV_OBS_FLIGHT_HH

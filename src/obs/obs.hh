@@ -23,6 +23,11 @@
 #define HEV_OBS_TRACE 1
 #endif
 
+/** Compile-time kill switch for the flight recorder (1 = in). */
+#ifndef HEV_OBS_FLIGHT
+#define HEV_OBS_FLIGHT 1
+#endif
+
 namespace hev::obs
 {
 
@@ -30,10 +35,14 @@ namespace detail
 {
 extern std::atomic<bool> statsFlag;
 extern std::atomic<bool> traceFlag;
+extern std::atomic<bool> flightFlag;
 } // namespace detail
 
 /** Whether the tracer exists in this build at all. */
 constexpr bool traceCompiledIn = HEV_OBS_TRACE != 0;
+
+/** Whether the flight recorder exists in this build at all. */
+constexpr bool flightCompiledIn = HEV_OBS_FLIGHT != 0;
 
 /** Stats recording switch (default on; counters are near-free). */
 inline bool
@@ -56,6 +65,23 @@ traceEnabled()
 }
 
 void setTraceEnabled(bool on);
+
+/**
+ * Flight-recorder switch (default on: the ring is the crash history
+ * and must already be populated when a failure surfaces; the cost per
+ * op is one cache-line store).  The check is one relaxed load.
+ */
+inline bool
+flightEnabled()
+{
+#if HEV_OBS_FLIGHT
+    return detail::flightFlag.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+void setFlightEnabled(bool on);
 
 } // namespace hev::obs
 

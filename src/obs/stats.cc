@@ -14,6 +14,7 @@ namespace detail
 {
 std::atomic<bool> statsFlag{true};
 std::atomic<bool> traceFlag{false};
+std::atomic<bool> flightFlag{true};
 } // namespace detail
 
 void
@@ -30,6 +31,18 @@ setTraceEnabled(bool on)
 #else
     if (on)
         warn("tracing requested but compiled out (HEV_OBS_TRACE=0)");
+#endif
+}
+
+void
+setFlightEnabled(bool on)
+{
+#if HEV_OBS_FLIGHT
+    detail::flightFlag.store(on, std::memory_order_relaxed);
+#else
+    if (on)
+        warn("flight recorder requested but compiled out "
+             "(HEV_OBS_FLIGHT=0)");
 #endif
 }
 
@@ -51,6 +64,43 @@ HistogramData::bucketHigh(u32 bucket)
     if (bucket == 0)
         return 1;
     return bucket >= 64 ? 0 : 1ull << bucket;
+}
+
+double
+HistogramData::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return double(min);
+    if (p >= 100.0)
+        return double(max);
+    // Rank of the requested sample, 1-based, in [1, count].
+    const double rank = p / 100.0 * double(count);
+    u64 seen = 0;
+    for (u32 b = 0; b < histBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const u64 before = seen;
+        seen += buckets[b];
+        if (double(seen) < rank)
+            continue;
+        const double low = double(bucketLow(b));
+        const double high = bucketHigh(b) == 0
+                                ? 18446744073709551616.0 // 2^64
+                                : double(bucketHigh(b));
+        const double within =
+            (rank - double(before)) / double(buckets[b]);
+        double value = low + (high - low) * within;
+        // The true extremes are recorded exactly; use them to clamp
+        // away the interpolation slack at the edge buckets.
+        if (value < double(min))
+            value = double(min);
+        if (value > double(max))
+            value = double(max);
+        return value;
+    }
+    return double(max);
 }
 
 void
@@ -188,8 +238,9 @@ intern(std::vector<std::string> &names, const char *name, u32 cap,
             return i;
     }
     if (names.size() >= cap)
-        panic("too many %s stats (%u); raise the obs shard capacity",
-              what, cap);
+        panic("too many %s stats (%u): cannot intern '%s'; raise the "
+              "obs shard capacity",
+              what, cap, name);
     names.emplace_back(name);
     return u32(names.size() - 1);
 }

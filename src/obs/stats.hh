@@ -77,6 +77,14 @@ struct HistogramData
         return count ? double(sum) / double(count) : 0.0;
     }
 
+    /**
+     * The p-th percentile (p in [0, 100]) estimated from the log2
+     * buckets: linear interpolation inside the bucket holding the
+     * p-th sample, clamped to the recorded [min, max].  Exact at the
+     * extremes; within one bucket (a factor of 2) elsewhere.
+     */
+    double percentile(double p) const;
+
     bool operator==(const HistogramData &) const = default;
 };
 

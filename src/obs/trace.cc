@@ -30,6 +30,11 @@ eventTypeName(EventType type)
       case EventType::FuzzExec: return "fuzz_exec";
       case EventType::FuzzCorpusAdd: return "fuzz_corpus_add";
       case EventType::FuzzDivergence: return "fuzz_divergence";
+      case EventType::ShootdownBegin: return "shootdown_begin";
+      case EventType::ShootdownEnd: return "shootdown_end";
+      case EventType::IpiPost: return "ipi_post";
+      case EventType::IpiDeliver: return "ipi_deliver";
+      case EventType::IpiAck: return "ipi_ack";
     }
     return "unknown";
 }
@@ -52,6 +57,11 @@ eventTypeCategory(EventType type)
       case EventType::FuzzExec:
       case EventType::FuzzCorpusAdd:
       case EventType::FuzzDivergence: return "fuzz";
+      case EventType::ShootdownBegin:
+      case EventType::ShootdownEnd:
+      case EventType::IpiPost:
+      case EventType::IpiDeliver:
+      case EventType::IpiAck: return "smp";
     }
     return "misc";
 }
@@ -237,11 +247,16 @@ phaseOf(EventType type)
     switch (type) {
       case EventType::HypercallEnter:
       case EventType::MirCall:
-      case EventType::ScenarioStart: return 'B';
+      case EventType::ScenarioStart:
+      case EventType::ShootdownBegin: return 'B';
       case EventType::HypercallExit:
       case EventType::MirReturn:
-      case EventType::ScenarioFinish: return 'E';
+      case EventType::ScenarioFinish:
+      case EventType::ShootdownEnd: return 'E';
       case EventType::TimerScope: return 'X';
+      case EventType::IpiPost: return 's';
+      case EventType::IpiDeliver: return 't';
+      case EventType::IpiAck: return 'f';
       default: return 'i';
     }
 }
@@ -262,6 +277,12 @@ renderEvent(std::ostringstream &out, const TraceEvent &event, u32 tid)
             << (event.dur % 1000 < 10 ? "0" : "") << event.dur % 1000;
     if (phase == 'i')
         out << ", \"s\": \"t\"";
+    // Flow events bind by id; "bp": "e" attaches the finish to the
+    // enclosing slice rather than the next one.
+    if (phase == 's' || phase == 't' || phase == 'f')
+        out << ", \"id\": " << event.arg0;
+    if (phase == 'f')
+        out << ", \"bp\": \"e\"";
     out << ", \"args\": {\"type\": \"" << eventTypeName(event.type)
         << "\", \"arg0\": " << event.arg0 << ", \"arg1\": " << event.arg1
         << "}}";

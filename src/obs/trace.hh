@@ -30,8 +30,8 @@
 namespace hev::obs
 {
 
-/** Version of the exported trace-event schema. */
-constexpr int traceSchemaVersion = 1;
+/** Version of the exported trace-event schema (2: SMP flow events). */
+constexpr int traceSchemaVersion = 2;
 
 /** Events per thread ring; wraparound drops the oldest. */
 constexpr u32 traceRingCapacity = 16384;
@@ -53,9 +53,14 @@ enum class EventType : u8
     FuzzExec,             //!< instant; arg0 = exec index, arg1 = ops
     FuzzCorpusAdd,        //!< instant; arg0 = corpus size, arg1 = features
     FuzzDivergence,       //!< instant; arg0 = exec index, arg1 = failing op
+    ShootdownBegin,       //!< duration begin; arg0 = domain, arg1 = gen
+    ShootdownEnd,         //!< duration end; arg0 = domain, arg1 = gen
+    IpiPost,              //!< flow start "s"; arg0 = span id, arg1 = target
+    IpiDeliver,           //!< flow step "t"; arg0 = span id, arg1 = target
+    IpiAck,               //!< flow finish "f"; arg0 = span id, arg1 = gen
 };
 
-constexpr u32 eventTypeCount = 14;
+constexpr u32 eventTypeCount = 19;
 
 /** Stable lower-case name ("hypercall_enter", ...). */
 const char *eventTypeName(EventType type);
@@ -138,8 +143,10 @@ std::map<std::string, u64> traceEventTotals();
 /**
  * Render Chrome trace_event JSON: {"schemaVersion", "displayTimeUnit",
  * "traceEvents": [...]}.  Begin/end types map to "B"/"E" phases,
- * instants to "i", TimerScope to complete "X" events; `ts` is
- * microseconds with ns precision, monotonic per tid.
+ * instants to "i", TimerScope to complete "X" events, and the IPI
+ * causality events to flow phases "s"/"t"/"f" carrying their span in
+ * "id" (so chrome://tracing draws initiator -> IPI -> ack arrows);
+ * `ts` is microseconds with ns precision, monotonic per tid.
  */
 std::string renderChromeTrace(const std::vector<ThreadTrace> &trace);
 

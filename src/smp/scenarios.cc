@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hv/hv_invariants.hh"
+#include "obs/flight.hh"
 #include "sec/schedule_ni.hh"
 #include "smp/sched.hh"
 #include "smp/smp_invariants.hh"
@@ -30,6 +31,39 @@ shardName(const std::string &prefix, int block)
     return prefix + "/s" + std::to_string(block);
 }
 
+/** Flight-recorder op ids of the scenario steps (informational). */
+constexpr u16 flightOpCoherenceStep = obs::flightOpBase + 0;
+constexpr u16 flightOpPagingStep = obs::flightOpBase + 1;
+
+/** Bundle a failing shard's state: oracle detail + machine digests. */
+void
+emitScenarioForensics(const std::string &configured_path,
+                      const SmpMonitor &smp, const std::string &scenario,
+                      const std::string &detail, u64 step, u16 run_tag)
+{
+    const std::string path = obs::forensicsPathOrEnv(configured_path);
+    if (path.empty())
+        return;
+    obs::ForensicsBundle bundle;
+    bundle.kind = "smp-scenario";
+    bundle.scenario = scenario;
+    bundle.detail = detail;
+    bundle.failedOp = step;
+    bundle.digests["epcm"] = hv::epcmDigest(smp.monitor().epcm());
+    for (VcpuId w = 0; w < smp.vcpuCount(); ++w)
+        bundle.digests["tlb.v" + std::to_string(w)] =
+            hv::tlbDigest(smp.tlbOf(w));
+    bundle.tail = obs::flightTail(run_tag);
+    bundle.opName = [](u16 op) -> std::string {
+        switch (op) {
+          case flightOpCoherenceStep: return "coherence_step";
+          case flightOpPagingStep: return "paging_step";
+          default: return "";
+        }
+    };
+    obs::writeForensicsBundle(bundle, path);
+}
+
 std::string
 joinViolations(const char *oracle, u64 step,
                const std::vector<std::string> &violations)
@@ -48,6 +82,7 @@ joinViolations(const char *oracle, u64 step,
 std::optional<std::string>
 coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
 {
+    const u16 runTag = obs::newFlightRunTag();
     SmpConfig cfg;
     cfg.vcpus = opts.vcpus;
     cfg.cacheCapacity = 8;
@@ -85,9 +120,11 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
     std::vector<hv::SealedBlob> custody;
 
     std::optional<std::string> failure;
+    u64 failureStep = 0;
     auto sweep = [&](u64 step) {
         if (failure)
             return;
+        failureStep = step;
         auto violations = checkTlbCoherence(smp);
         if (!violations.empty()) {
             failure = joinViolations("tlb-coherence", step, violations);
@@ -199,6 +236,9 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
             smp.serviceIpis(v);
             ctx.tick();
             sweep(step);
+            obs::flightRecord(flightOpCoherenceStep, v, step, 0, 0,
+                              failure ? 1 : 0, u16(step), runTag,
+                              u8(v));
             return failure || step >= stepsEach * smp.vcpuCount()
                        ? StepOutcome::Done
                        : StepOutcome::Ran;
@@ -206,13 +246,23 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
     }
 
     (void)sched.run(u64(opts.stepsPerShard));
-    if (failure)
+    if (failure) {
+        emitScenarioForensics(opts.forensicsPath, smp,
+                              "smp/coherence", *failure, failureStep,
+                              runTag);
         return failure;
+    }
 
     const auto structural =
         hv::checkMonitorInvariants(smp.monitor());
-    if (!structural.empty())
-        return "monitor invariants after run: " + structural.front();
+    if (!structural.empty()) {
+        const std::string detail =
+            "monitor invariants after run: " + structural.front();
+        emitScenarioForensics(opts.forensicsPath, smp,
+                              "smp/coherence", detail, failureStep,
+                              runTag);
+        return detail;
+    }
     return std::nullopt;
 }
 
@@ -227,6 +277,7 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
 std::optional<std::string>
 pagingShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
 {
+    const u16 runTag = obs::newFlightRunTag();
     SmpConfig cfg;
     cfg.vcpus = opts.vcpus;
     cfg.cacheCapacity = 8;
@@ -270,6 +321,14 @@ pagingShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
         const EnclaveId id = enclaves[j].id;
         const u64 gva = enclaves[j].elrange.start.value +
                         rng.below(3) * pageSize;
+        obs::flightRecord(flightOpPagingStep, j, gva, 0, 0, 0,
+                          u16(step), runTag);
+        const auto fail = [&](std::string detail) {
+            emitScenarioForensics(opts.forensicsPath, smp,
+                                  "smp/paging-roundtrip", detail,
+                                  u64(step), runTag);
+            return detail;
+        };
         const auto before = pageOf(id, gva);
         if (!before)
             continue;
@@ -281,22 +340,22 @@ pagingShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
 
         auto blob = smp.hcEnclaveEvictPage(0, id, Gva(gva));
         if (!blob)
-            return std::string("evict of a resident page failed: ") +
-                   hvErrorName(blob.error());
+            return fail(std::string("evict of a resident page failed: ") +
+                        hvErrorName(blob.error()));
         if (blob->words != snapshot)
-            return "sealed blob does not capture the page content";
+            return fail("sealed blob does not capture the page content");
         auto violations = hv::checkMonitorInvariants(mon);
         if (!violations.empty())
-            return joinViolations("post-evict invariants", u64(step),
-                                  violations);
+            return fail(joinViolations("post-evict invariants", u64(step),
+                                       violations));
 
         // Cross-enclave replay: the sibling must reject on authenticity.
         if (rng.chance(1, 3)) {
             const auto replay = smp.hcEnclaveReloadPage(
                 0, enclaves[1 - j].id, *blob);
             if (replay || replay.error() != HvError::SealAuthFailed)
-                return "cross-enclave replay was not rejected with "
-                       "SealAuthFailed";
+                return fail("cross-enclave replay was not rejected with "
+                            "SealAuthFailed");
         }
         // Anti-rollback: a blob superseded by this evict's fresh
         // version must be rejected.
@@ -307,26 +366,26 @@ pagingShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
                 smp.hcEnclaveReloadPage(0, id, stale->second);
             if (rollback ||
                 rollback.error() != HvError::SealRollback)
-                return "stale blob was not rejected with SealRollback";
+                return fail("stale blob was not rejected with SealRollback");
         }
 
         const auto reloaded = smp.hcEnclaveReloadPage(0, id, *blob);
         if (!reloaded)
-            return std::string("reload of a fresh blob failed: ") +
-                   hvErrorName(reloaded.error());
+            return fail(std::string("reload of a fresh blob failed: ") +
+                        hvErrorName(reloaded.error()));
         const auto after = pageOf(id, gva);
         if (!after)
-            return "reloaded page does not translate";
+            return fail("reloaded page does not translate");
         for (u64 off = 0; off < pageSize; off += sizeof(u64))
             if (mon.mem().read(Hpa(after->value + off)) !=
                 snapshot[off / sizeof(u64)])
-                return "reload did not restore bit-identical content";
+                return fail("reload did not restore bit-identical content");
         if (!(mon.epcm().entryFor(*after) == entry))
-            return "reload did not restore the EPCM metadata";
+            return fail("reload did not restore the EPCM metadata");
         violations = hv::checkMonitorInvariants(mon);
         if (!violations.empty())
-            return joinViolations("post-reload invariants", u64(step),
-                                  violations);
+            return fail(joinViolations("post-reload invariants", u64(step),
+                                       violations));
         superseded[key] = *blob;
     }
     return std::nullopt;

@@ -29,6 +29,13 @@ struct SmpScenarioOptions
     u32 vcpus = 3;           //!< vCPU table size in coherence shards
     /** Injected SMP bugs; the kill suite runs shards with these on. */
     SmpPlantedBugs planted;
+    /**
+     * Where a failing shard writes its forensics bundle ("" = fall
+     * back to $HEV_FORENSICS, then stay silent): the oracle's detail,
+     * EPCM + per-vCPU TLB digests at the failure point, and the
+     * flight-recorder tail of the shard's scheduled steps.
+     */
+    std::string forensicsPath;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace hev::smp
@@ -20,6 +21,21 @@ const obs::Counter statSmpExits("smp.exits");
 const obs::Counter statSmpDestroys("smp.destroys");
 const obs::Histogram statShootdownNs("smp.shootdown_ns");
 const obs::Histogram statShootdownWaitSpins("smp.shootdown_wait_spins");
+// Shootdown phase latencies, one histogram per causal hop.
+const obs::Histogram statIpiPostToDeliverNs("smp.ipi_post_to_deliver_ns");
+const obs::Histogram statIpiDeliverToAckNs("smp.ipi_deliver_to_ack_ns");
+const obs::Histogram statIpiAckToResumeNs("smp.ipi_ack_to_resume_ns");
+
+/**
+ * Flow-span id of one posted IPI: the shootdown generation keyed by
+ * the target, so every initiator->deliver->ack arrow is unique and
+ * both ends can recompute it without shipping extra state.
+ */
+u64
+ipiSpanId(u64 gen, VcpuId target)
+{
+    return (gen << 8) | u64(target & 0xff);
+}
 
 u64
 nowNs()
@@ -106,10 +122,16 @@ SmpMonitor::serviceIpis(VcpuId v)
     }
     if (todo.empty())
         return;
+    const bool timing = obs::statsEnabled() || obs::traceEnabled();
+    const u64 deliverTs = timing ? nowNs() : 0;
     u64 top = 0;
     for (const IpiRequest &req : todo) {
+        obs::traceEvent(obs::EventType::IpiDeliver, "ipi",
+                        ipiSpanId(req.gen, v), req.gen);
         cpu.tlb.flushDomain(req.domain);
         top = std::max(top, req.gen);
+        if (req.postNs && deliverTs > req.postNs)
+            statIpiPostToDeliverNs.record(deliverTs - req.postNs);
     }
     statCounters.ipisAcked += todo.size();
     statIpisAcked.add(todo.size());
@@ -120,6 +142,15 @@ SmpMonitor::serviceIpis(VcpuId v)
            !cpu.ackGen.compare_exchange_weak(prev, top,
                                              std::memory_order_release)) {
     }
+    if (timing) {
+        const u64 ackTs = nowNs();
+        if (ackTs > deliverTs)
+            statIpiDeliverToAckNs.record(ackTs - deliverTs);
+        cpu.ackNs.store(ackTs, std::memory_order_relaxed);
+    }
+    for (const IpiRequest &req : todo)
+        obs::traceEvent(obs::EventType::IpiAck, "ipi",
+                        ipiSpanId(req.gen, v), req.gen);
 }
 
 bool
@@ -143,15 +174,21 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
     lockServicing(shootdownLock, initiator);
     const u64 gen = epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
     inFlightDomainPlus1.store(u64(domain) + 1, std::memory_order_release);
+    obs::traceEvent(obs::EventType::ShootdownBegin, "shootdown",
+                    u64(domain), gen);
 
+    const bool timing = obs::statsEnabled() || obs::traceEnabled();
     for (VcpuId w = 0; w < vcpuCount(); ++w) {
         if (w == initiator)
             continue;
         SmpVcpu &target = *cpus[w];
+        const u64 postTs = timing ? nowNs() : 0;
         {
             std::lock_guard<std::mutex> guard(target.mailboxLock);
-            target.mailbox.push_back({gen, domain});
+            target.mailbox.push_back({gen, domain, postTs});
         }
+        obs::traceEvent(obs::EventType::IpiPost, "ipi",
+                        ipiSpanId(gen, w), w);
         ++statCounters.ipisSent;
         statIpisSent.inc();
     }
@@ -165,6 +202,8 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
         // marker is cleared — so the coherence oracle has no excuse
         // left and must flag any remote entry of this domain.
         inFlightDomainPlus1.store(0, std::memory_order_release);
+        obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
+                        u64(domain), gen);
         shootdownLock.unlock();
         return;
     }
@@ -189,9 +228,25 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
         serviceIpis(initiator);
         ipiDriver(initiator, gen);
     }
-    statShootdownNs.record(nowNs() - start);
+    const u64 resume = nowNs();
+    statShootdownNs.record(resume - start);
     statShootdownWaitSpins.record(spins);
+    if (timing) {
+        // The resume tax: how long after the *last* target published
+        // its ack the initiator actually noticed and moved on.
+        u64 lastAck = 0;
+        for (VcpuId w = 0; w < vcpuCount(); ++w) {
+            if (w == initiator)
+                continue;
+            lastAck = std::max(
+                lastAck, cpus[w]->ackNs.load(std::memory_order_relaxed));
+        }
+        if (lastAck && resume > lastAck)
+            statIpiAckToResumeNs.record(resume - lastAck);
+    }
     inFlightDomainPlus1.store(0, std::memory_order_release);
+    obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
+                    u64(domain), gen);
     shootdownLock.unlock();
 }
 

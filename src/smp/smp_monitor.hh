@@ -60,6 +60,7 @@ struct IpiRequest
 {
     u64 gen = 0;              //!< shootdown generation
     hv::DomainId domain = 0;  //!< domain to flush
+    u64 postNs = 0;           //!< post timestamp (0 = timing off)
 };
 
 /** One slot of the vCPU table. */
@@ -80,6 +81,12 @@ struct SmpVcpu
     std::vector<IpiRequest> mailbox;
     /** Highest shootdown generation this vCPU has acked. */
     std::atomic<u64> ackGen{0};
+    /**
+     * When the last ack was published (0 = never / timing off).  Read
+     * by the initiator after its acquire of ackGen, so a plain store
+     * next to the ack CAS suffices; used for the ack->resume phase.
+     */
+    std::atomic<u64> ackNs{0};
 };
 
 /** Counters of the SMP machinery (the hv ones keep counting too). */

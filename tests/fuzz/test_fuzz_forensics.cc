@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fuzz forensics tests: the flight tail reassembles into a replayable
+ * Trace, the emitted bundle carries the fuzz op vocabulary, and — the
+ * acceptance property — a planted-bug divergence writes a bundle whose
+ * sibling .trace file replays through the executor and reproduces the
+ * same divergence.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/executor.hh"
+#include "fuzz/forensics.hh"
+#include "obs/flight.hh"
+
+using namespace hev;
+using namespace hev::fuzz;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** The minimal stale-TLB counterexample: load, unmap, stale load. */
+Trace
+staleTlbTrace()
+{
+    Trace trace;
+    trace.ops.push_back({OpKind::MemLoad, 5});
+    trace.ops.push_back({OpKind::OsUnmap, 5});
+    trace.ops.push_back({OpKind::MemLoad, 5});
+    return trace;
+}
+
+} // namespace
+
+TEST(FuzzForensics, FlightTailReassemblesAsTrace)
+{
+    if (!obs::flightCompiledIn)
+        GTEST_SKIP()
+            << "flight recorder compiled out (HEV_OBS_FLIGHT=0)";
+    obs::clearFlight();
+    const u16 tag = obs::newFlightRunTag();
+    obs::flightRecord(u16(OpKind::MemLoad), 0x11, 0, 0, 0, 0, 0, tag,
+                      1, obs::flightReplayable);
+    // Informational records and other runs' records must not leak in.
+    obs::flightRecord(obs::flightOpBase, 9, 9, 9, 9, 0, 1, tag);
+    obs::flightRecord(u16(OpKind::OsUnmap), 0x22, 0, 0, 0, 0, 0,
+                      u16(tag + 1), 0, obs::flightReplayable);
+    obs::flightRecord(u16(OpKind::MemStore), 0x33, 4, 0, 0, 0, 2, tag,
+                      0, obs::flightReplayable);
+
+    const Trace trace = flightTailToTrace(tag, 77);
+    EXPECT_EQ(trace.scheduleSeed, 77u);
+    ASSERT_EQ(trace.ops.size(), 2u);
+    EXPECT_EQ(trace.ops[0].kind, OpKind::MemLoad);
+    EXPECT_EQ(trace.ops[0].a, 0x11u);
+    EXPECT_EQ(trace.ops[0].vcpu, 1u);
+    EXPECT_EQ(trace.ops[1].kind, OpKind::MemStore);
+    EXPECT_EQ(trace.ops[1].b, 4u);
+    obs::clearFlight();
+}
+
+TEST(FuzzForensics, OpLabelsUseTheFuzzVocabulary)
+{
+    EXPECT_EQ(fuzzOpLabel(u16(OpKind::MemLoad)), "mem_load");
+    EXPECT_EQ(fuzzOpLabel(u16(OpKind::OsUnmap)), "os_unmap");
+    // Beyond the vocabulary the generic "op<N>" fallback applies.
+    EXPECT_EQ(fuzzOpLabel(obs::flightOpBase), "");
+}
+
+TEST(FuzzForensics, DivergenceBundleReplaysAndReproduces)
+{
+    if (!obs::flightCompiledIn)
+        GTEST_SKIP()
+            << "flight recorder compiled out (HEV_OBS_FLIGHT=0)";
+    obs::clearFlight();
+    const std::string path = "test_fuzz_bundle.forensics.json";
+
+    ExecOptions opts = ExecOptions::standard();
+    ASSERT_TRUE(applyPlantedBug(opts, "stale-tlb"));
+    opts.forensicsPath = path;
+    const ExecResult failed = executeTrace(opts, staleTlbTrace());
+    ASSERT_TRUE(failed.divergence) << failed.detail;
+
+    // The bundle names the failure and digests the failing state.
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("\"kind\": \"fuzz\""), std::string::npos);
+    EXPECT_NE(json.find("\"epcm\": "), std::string::npos);
+    EXPECT_NE(json.find("\"tlb\": "), std::string::npos);
+    EXPECT_NE(json.find("\"mem_load\""), std::string::npos);
+
+    // The sibling .trace replays to the same divergence — the bundle
+    // is the repro, not just a description of it.
+    std::string error;
+    const auto replayed = readTraceFile(path + ".trace", &error);
+    ASSERT_TRUE(replayed) << error;
+    EXPECT_EQ(*replayed, staleTlbTrace());
+    opts.forensicsPath.clear();
+    const ExecResult again = executeTrace(opts, *replayed);
+    EXPECT_TRUE(again.divergence);
+    EXPECT_EQ(again.failedOp, failed.failedOp);
+    EXPECT_EQ(again.detail, failed.detail);
+    EXPECT_EQ(again.signature, failed.signature);
+
+    // Emission is a write-only side effect: the result of the run
+    // with forensics on was bit-identical to the run with it off.
+    EXPECT_EQ(renderExecResult(again), renderExecResult(failed));
+
+    std::remove(path.c_str());
+    std::remove((path + ".trace").c_str());
+    obs::clearFlight();
+}
+
+TEST(FuzzForensics, CleanRunEmitsNothing)
+{
+    const std::string path = "test_fuzz_none.forensics.json";
+    std::remove(path.c_str());
+    ExecOptions opts = ExecOptions::standard();
+    opts.forensicsPath = path;
+    Trace trace;
+    trace.ops.push_back({OpKind::MemLoad, 5});
+    const ExecResult result = executeTrace(opts, trace);
+    EXPECT_FALSE(result.divergence) << result.detail;
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Flight-recorder tests: record geometry, ring wraparound, run-tag
+ * filtering, the cross-thread timestamp-ordered tail, the runtime
+ * switch, the args digest, and the forensics bundle (JSON schema,
+ * sibling .trace file, path resolution).  Each test clears the rings
+ * first; the suite is serial (gtest runs cases in one thread).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight.hh"
+
+using namespace hev;
+using namespace hev::obs;
+
+namespace
+{
+
+class FlightTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!flightCompiledIn)
+            GTEST_SKIP()
+                << "flight recorder compiled out (HEV_OBS_FLIGHT=0)";
+        clearFlight();
+        setFlightEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setFlightEnabled(true);
+        clearFlight();
+    }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(FlightSwitch, DisabledRecordsNothing)
+{
+    if (!flightCompiledIn)
+        GTEST_SKIP()
+            << "flight recorder compiled out (HEV_OBS_FLIGHT=0)";
+    clearFlight();
+    setFlightEnabled(false);
+    flightRecord(1, 2, 3, 4, 5, 6, 0, 9);
+    setFlightEnabled(true);
+    EXPECT_TRUE(flightTail().empty());
+    clearFlight();
+}
+
+TEST(FlightMeta, RunTagsAreFreshAndNonzero)
+{
+    const u16 a = newFlightRunTag();
+    const u16 b = newFlightRunTag();
+    EXPECT_NE(a, 0);
+    EXPECT_NE(b, 0);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(FlightTest, RecordsRoundTripWithFields)
+{
+    const u16 tag = newFlightRunTag();
+    flightRecord(3, 0x1000, 0x2000, 7, 0, 42, 5, tag, 2,
+                 flightReplayable);
+    const auto tail = flightTail(tag);
+    ASSERT_EQ(tail.size(), 1u);
+    const FlightRecord &r = tail[0];
+    EXPECT_EQ(r.op, 3);
+    EXPECT_EQ(r.a, 0x1000u);
+    EXPECT_EQ(r.b, 0x2000u);
+    EXPECT_EQ(r.c, 7u);
+    EXPECT_EQ(r.d, 0u);
+    EXPECT_EQ(r.result, 42u);
+    EXPECT_EQ(r.step, 5);
+    EXPECT_EQ(r.runTag, tag);
+    EXPECT_EQ(r.vcpu, 2);
+    EXPECT_EQ(r.flags, flightReplayable);
+    EXPECT_GT(r.ts, 0u);
+    // The digest depends only on the four raw arguments.
+    FlightRecord sameArgs;
+    sameArgs.a = 0x1000;
+    sameArgs.b = 0x2000;
+    sameArgs.c = 7;
+    EXPECT_EQ(flightArgsDigest(r), flightArgsDigest(sameArgs));
+}
+
+TEST_F(FlightTest, RingWrapsKeepingNewestAndCountingDropped)
+{
+    const u16 tag = newFlightRunTag();
+    const u64 emitted = flightRingCapacity + 50;
+    for (u64 i = 0; i < emitted; ++i)
+        flightRecord(1, i, 0, 0, 0, 0, u16(i), tag);
+
+    const auto dumps = collectFlight();
+    ASSERT_EQ(dumps.size(), 1u);
+    EXPECT_EQ(dumps[0].records.size(), size_t(flightRingCapacity));
+    EXPECT_EQ(dumps[0].dropped, 50u);
+    // The survivors are the newest `capacity` records, oldest first.
+    EXPECT_EQ(dumps[0].records.front().a, 50u);
+    EXPECT_EQ(dumps[0].records.back().a, emitted - 1);
+}
+
+TEST_F(FlightTest, TailFiltersByRunTagAndCapsPerThread)
+{
+    const u16 old_tag = newFlightRunTag();
+    const u16 new_tag = newFlightRunTag();
+    for (u64 i = 0; i < 10; ++i)
+        flightRecord(1, i, 0, 0, 0, 0, u16(i), old_tag);
+    for (u64 i = 0; i < 10; ++i)
+        flightRecord(2, i, 0, 0, 0, 0, u16(i), new_tag);
+
+    // Tag filtering keeps only the current execution's records.
+    const auto tagged = flightTail(new_tag);
+    ASSERT_EQ(tagged.size(), 10u);
+    for (const FlightRecord &r : tagged)
+        EXPECT_EQ(r.runTag, new_tag);
+
+    // The per-thread cap keeps the newest records.
+    const auto capped = flightTail(new_tag, 4);
+    ASSERT_EQ(capped.size(), 4u);
+    EXPECT_EQ(capped.front().a, 6u);
+    EXPECT_EQ(capped.back().a, 9u);
+
+    // No filter sees both executions.
+    EXPECT_EQ(flightTail().size(), 20u);
+}
+
+TEST_F(FlightTest, TailMergesThreadsInTimestampOrder)
+{
+    const u16 tag = newFlightRunTag();
+    // Two phases with a worker thread between them: the worker's
+    // records land in its own ring (retired on join) but must sort
+    // between the main thread's early and late records.
+    flightRecord(1, 100, 0, 0, 0, 0, 0, tag);
+    std::thread worker([&] {
+        for (u64 i = 0; i < 5; ++i)
+            flightRecord(2, 200 + i, 0, 0, 0, 0, u16(i), tag);
+    });
+    worker.join();
+    flightRecord(1, 101, 0, 0, 0, 0, 1, tag);
+
+    const auto tail = flightTail(tag);
+    ASSERT_EQ(tail.size(), 7u);
+    for (size_t i = 1; i < tail.size(); ++i)
+        EXPECT_GE(tail[i].ts, tail[i - 1].ts);
+    EXPECT_EQ(tail.front().a, 100u);
+    EXPECT_EQ(tail.back().a, 101u);
+}
+
+TEST_F(FlightTest, ArgsDigestSeparatesArguments)
+{
+    FlightRecord r;
+    r.a = 1;
+    FlightRecord s;
+    s.b = 1;
+    // Same multiset of words in different argument slots must not
+    // collide: the digest is positional, unlike the state digests.
+    EXPECT_NE(flightArgsDigest(r), flightArgsDigest(s));
+}
+
+TEST_F(FlightTest, ForensicsJsonCarriesSchemaAndRecords)
+{
+    const u16 tag = newFlightRunTag();
+    flightRecord(2, 0x5000, 0, 0, 0, 1, 0, tag, 1, flightReplayable);
+    flightRecord(flightOpBase + 1, 3, 4, 0, 0, 0, 1, tag);
+
+    ForensicsBundle bundle;
+    bundle.kind = "test";
+    bundle.detail = "oracle said \"no\"";
+    bundle.scenario = "unit";
+    bundle.failedOp = 1;
+    bundle.digests["epcm"] = 0xabcd;
+    bundle.tail = flightTail(tag);
+    bundle.opName = [](u16 op) {
+        return op == 2 ? std::string("mem_load") : std::string();
+    };
+
+    const std::string json = renderForensicsJson(bundle);
+    EXPECT_NE(json.find("\"forensics_schema_version\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"git_sha\": "), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"test\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"no\\\""), std::string::npos); // escaped
+    EXPECT_NE(json.find("\"epcm\": 43981"), std::string::npos);
+    EXPECT_NE(json.find("\"mem_load\""), std::string::npos);
+    EXPECT_NE(json.find("\"replayable\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"replayable\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+TEST_F(FlightTest, WriteBundleEmitsSiblingTraceFile)
+{
+    ForensicsBundle bundle;
+    bundle.kind = "test";
+    bundle.detail = "detail";
+    bundle.traceTail = "hev-trace v1\nseed 1\nop mem_load 5 0 0 0\n";
+    const std::string path = "test_flight_bundle.forensics.json";
+    ASSERT_TRUE(writeForensicsBundle(bundle, path));
+    EXPECT_NE(slurp(path).find("\"trace_tail\""), std::string::npos);
+    EXPECT_EQ(slurp(path + ".trace"), bundle.traceTail);
+    std::remove(path.c_str());
+    std::remove((path + ".trace").c_str());
+
+    // Without a trace tail no sibling file appears.
+    bundle.traceTail.clear();
+    ASSERT_TRUE(writeForensicsBundle(bundle, path));
+    EXPECT_TRUE(slurp(path + ".trace").empty());
+    std::remove(path.c_str());
+}
+
+TEST(FlightPath, ForensicsPathPrefersConfiguredOverEnv)
+{
+    EXPECT_EQ(forensicsPathOrEnv("explicit.json"), "explicit.json");
+    unsetenv("HEV_FORENSICS");
+    EXPECT_EQ(forensicsPathOrEnv(""), "");
+    setenv("HEV_FORENSICS", "from_env.json", 1);
+    EXPECT_EQ(forensicsPathOrEnv(""), "from_env.json");
+    EXPECT_EQ(forensicsPathOrEnv("explicit.json"), "explicit.json");
+    unsetenv("HEV_FORENSICS");
+}

@@ -1,10 +1,14 @@
 /**
  * @file
- * Stats-registry tests: histogram bucket geometry, merge-on-snapshot
- * equalling the sum over per-thread shards, the snapshot diff, gauge
- * semantics, the runtime enable switch, and JSON rendering.
+ * Stats-registry tests: histogram bucket geometry and the percentile
+ * estimator, merge-on-snapshot equalling the sum over per-thread
+ * shards, the snapshot diff (including across thread retirement),
+ * gauge semantics, the runtime enable switch, intern-overflow
+ * diagnostics, and JSON rendering.
  */
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,6 +54,57 @@ TEST(HistogramData, BucketEdges)
         if (high)
             EXPECT_EQ(HistogramData::bucketOf(high - 1), bucket);
     }
+}
+
+TEST(HistogramData, BucketEdgeExtremes)
+{
+    // The smallest nonzero value sits alone at the bottom of bucket 1.
+    EXPECT_EQ(HistogramData::bucketOf(1), 1u);
+    EXPECT_EQ(HistogramData::bucketLow(1), 1u);
+    EXPECT_EQ(HistogramData::bucketHigh(1), 2u);
+
+    // The top bucket holds [2^63, 2^64); its exclusive upper edge
+    // does not fit in a u64 and is encoded as 0.
+    EXPECT_EQ(HistogramData::bucketOf(1ull << 63), 64u);
+    EXPECT_EQ(HistogramData::bucketOf(~0ull), 64u);
+    EXPECT_EQ(HistogramData::bucketLow(64), 1ull << 63);
+    EXPECT_EQ(HistogramData::bucketHigh(64), 0u);
+}
+
+TEST(HistogramData, PercentileFromBuckets)
+{
+    const HistogramData empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+
+    // A single sample answers every percentile exactly: the edge
+    // buckets interpolate coarsely but clamp to the recorded min/max.
+    HistogramData one;
+    one.record(1000);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 1000.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50.0), 1000.0);
+    EXPECT_DOUBLE_EQ(one.percentile(100.0), 1000.0);
+
+    // Uniform 0..1023: extremes are exact, the interior is within the
+    // log2-bucket resolution (a factor of two), and the estimate is
+    // monotone in p.
+    HistogramData h;
+    for (u64 v = 0; v < 1024; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1023.0);
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_GE(h.percentile(99.0), p50);
+
+    // The top bucket's open upper edge ("2^64") interpolates without
+    // overflowing and stays inside the recorded range.
+    HistogramData top;
+    top.record(1ull << 63);
+    top.record(~0ull);
+    EXPECT_DOUBLE_EQ(top.percentile(100.0), double(~0ull));
+    EXPECT_GE(top.percentile(50.0), double(1ull << 63));
+    EXPECT_LE(top.percentile(50.0), double(~0ull));
 }
 
 TEST(HistogramData, RecordTracksMoments)
@@ -99,6 +154,67 @@ TEST(Stats, SnapshotMergesAllThreadShards)
     EXPECT_EQ(h.sum, u64(threads) * (perThread * (perThread - 1) / 2));
     EXPECT_EQ(h.min, 0u);
     EXPECT_EQ(h.max, perThread - 1);
+}
+
+TEST(Stats, SnapshotMinusAcrossThreadRetirement)
+{
+    static const Counter counter("test.stats.retire");
+    static const Histogram hist("test.stats.retire_hist");
+    const Snapshot before = snapshotStats();
+
+    std::atomic<bool> recorded{false};
+    std::atomic<bool> release{false};
+    std::thread worker([&] {
+        for (u64 i = 0; i < 100; ++i) {
+            counter.inc();
+            hist.record(i);
+        }
+        recorded.store(true);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    while (!recorded.load())
+        std::this_thread::yield();
+
+    // `mid` reads the worker's activity out of its live shard...
+    const Snapshot mid = snapshotStats();
+    EXPECT_EQ(counterValue(mid.minus(before), "test.stats.retire"),
+              100u);
+
+    // ...then the worker exits, folding that shard into the retired
+    // accumulator.  A diff spanning the retirement must be empty —
+    // the move between pools is not activity — and the full span must
+    // still sum to exactly the worker's increments.
+    release.store(true);
+    worker.join();
+    const Snapshot after = snapshotStats();
+    EXPECT_EQ(counterValue(after.minus(mid), "test.stats.retire"), 0u);
+    const auto it =
+        after.minus(mid).histograms.find("test.stats.retire_hist");
+    if (it != after.minus(mid).histograms.end())
+        EXPECT_EQ(it->second.count, 0u);
+    const Snapshot span = after.minus(before);
+    EXPECT_EQ(counterValue(span, "test.stats.retire"), 100u);
+    const HistogramData &spanned =
+        span.histograms.at("test.stats.retire_hist");
+    EXPECT_EQ(spanned.count, 100u);
+    EXPECT_EQ(spanned.sum, 100u * 99u / 2u);
+}
+
+TEST(StatsDeathTest, InternOverflowNamesTheOffender)
+{
+    // Exhausting the gauge slots must die loudly, naming the stat
+    // that could not be interned — not corrupt the shard arrays.
+    EXPECT_DEATH(
+        {
+            for (u32 i = 0; i <= maxGauges; ++i) {
+                const std::string name =
+                    "test.stats.overflow." + std::to_string(i);
+                const Gauge gauge(name.c_str());
+                gauge.set(1);
+            }
+        },
+        "cannot intern 'test\\.stats\\.overflow\\.");
 }
 
 TEST(Stats, CounterAddAccumulates)

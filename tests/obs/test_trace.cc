@@ -137,7 +137,7 @@ TEST_F(TraceTest, ChromeJsonShapeAndMonotonicTimestamps)
     traceEvent(EventType::ScenarioFinish, "s0", 0, 1);
 
     const std::string json = renderChromeTrace(collectTrace());
-    EXPECT_NE(json.find("\"schemaVersion\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
@@ -156,6 +156,32 @@ TEST_F(TraceTest, ChromeJsonShapeAndMonotonicTimestamps)
         ++seen;
     }
     EXPECT_EQ(seen, 4);
+}
+
+TEST_F(TraceTest, FlowEventsCarrySpanIds)
+{
+    // The IPI span: post starts the flow, deliver is a step, ack
+    // finishes it.  arg0 is the span id and must surface as "id";
+    // the finish additionally binds to the enclosing slice ("bp":"e")
+    // so Perfetto draws the arrow to the ack point, not past it.
+    const u64 span = (7ull << 8) | 2;
+    traceEvent(EventType::IpiPost, "ipi", span, 2);
+    traceEvent(EventType::IpiDeliver, "ipi", span, 2);
+    traceEvent(EventType::IpiAck, "ipi", span, 2);
+
+    const std::string json = renderChromeTrace(collectTrace());
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+    const std::string id = "\"id\": " + std::to_string(span);
+    size_t pos = 0;
+    int ids = 0;
+    while ((pos = json.find(id, pos)) != std::string::npos) {
+        pos += id.size();
+        ++ids;
+    }
+    EXPECT_EQ(ids, 3);
 }
 
 TEST_F(TraceTest, ClearTraceResetsRingsAndTotals)

@@ -2,8 +2,11 @@
  * @file
  * Fixture binary for the trace-validation test: runs a small but real
  * workload (a few monitor hypercalls and page walks) under tracing
- * from two threads and exports sample_trace.json, which
- * tools/validate_trace.py then checks for well-formedness.
+ * from two threads, plus a handful of SMP TLB shootdowns so the
+ * export carries IPI flow spans (ph s/t/f), and exports
+ * sample_trace.json, which tools/validate_trace.py then checks for
+ * well-formedness — including that every flow id starts, steps and
+ * finishes.
  */
 
 #include <cstdio>
@@ -11,6 +14,7 @@
 
 #include "hv/machine.hh"
 #include "obs/trace.hh"
+#include "smp/smp_monitor.hh"
 
 using namespace hev;
 using namespace hev::hv;
@@ -35,6 +39,32 @@ workload(int salt)
     (void)mon.hcEnclaveExit(machine.vcpu());
 }
 
+/** A few osMap/osUnmap rounds: each unmap posts IPIs to the other
+ *  vCPUs and waits for acks, emitting one flow span per IPI. */
+void
+smpShootdowns()
+{
+    smp::SmpConfig cfg;
+    cfg.monitor.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.monitor.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.monitor.layout.epcBytes = 8 * 1024 * 1024;
+    cfg.vcpus = 3;
+    smp::SmpMonitor smp(cfg);
+    smp.setIpiDriver([&smp](smp::VcpuId, u64) {
+        for (smp::VcpuId w = 0; w < smp.vcpuCount(); ++w)
+            smp.serviceIpis(w);
+    });
+    const u64 slotVa = 0x300'0000;
+    const auto backing = smp.machine().os().allocPage();
+    if (!backing)
+        return;
+    for (int i = 0; i < 8; ++i) {
+        if (!smp.osMap(0, slotVa, *backing) ||
+            !smp.osUnmap(0, slotVa))
+            return;
+    }
+}
+
 } // namespace
 
 int
@@ -51,6 +81,7 @@ main(int argc, char **argv)
     std::thread other(workload, 1);
     workload(0);
     other.join();
+    smpShootdowns();
 
     obs::setTraceEnabled(false);
     if (!obs::writeChromeTrace(path)) {

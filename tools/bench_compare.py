@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Compare current BENCH_*.json reports against checked-in baselines.
+
+The perf-regression gate: bench/baselines/ holds one reference
+BENCH_<name>.json per gated bench; after the bench fixtures export
+fresh reports, this script re-reads both sides and flags any metric
+that left its tolerance band.  Exits 0 when every gated metric is in
+band, 1 on the first report whose metrics are not.
+
+Comparison rules, per metric (top-level keys beyond the provenance
+header, plus real_time/cpu_time of every google-benchmark entry,
+matched by benchmark name):
+  - time-like metrics (name ends in _ns/_us/_ms/_seconds, contains
+    per_second, or is real_time/cpu_time) must satisfy
+    baseline/ratio <= current <= baseline*ratio, where ratio is the
+    per-metric override or the default (CI machines vary widely, so
+    the default band is deliberately generous);
+  - all other metrics are workload shape (page counts, vCPU counts,
+    deterministic op totals) and must match the baseline exactly;
+  - a metric present in the baseline but missing from the current
+    report is a failure; new metrics in the current report are fine
+    (they become gated when the baseline is refreshed).
+
+Tolerances file (--tolerances, JSON):
+    {"default_ratio": 4.0,
+     "metrics": {"obs/BM_TraceEventEnabled.real_time": {"ratio": 8.0},
+                 "paging/round_trips": {"ratio": 1.5}}}
+A "ratio" override on a non-time metric turns its exact check into a
+band check (for counts that legitimately wobble).
+
+--self-test additionally perturbs one time-like metric of every
+baseline by 100x in memory and asserts the comparison catches it —
+the negative test proving the gate can fail.  (The ctest wiring runs
+the script twice: once as the gate, once with --self-test.)
+
+Usage: bench_compare.py --baseline-dir DIR --current-dir DIR
+                        [--tolerances FILE] [--self-test]
+"""
+
+import json
+import pathlib
+import sys
+
+HEADER_KEYS = {
+    "bench",
+    "schema_version",
+    "git_sha",
+    "build_type",
+    "build_flags",
+    "hardware_threads",
+    "trace_compiled_in",
+}
+DEFAULT_RATIO = 4.0
+TIME_SUFFIXES = ("_ns", "_us", "_ms", "_seconds")
+
+
+def fail(message):
+    print(f"bench_compare: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    return doc
+
+
+def is_time_metric(name):
+    leaf = name.rsplit(".", 1)[-1]
+    return (leaf.endswith(TIME_SUFFIXES) or "per_second" in leaf
+            or leaf in ("real_time", "cpu_time"))
+
+
+def metrics_of(doc, where):
+    """Flatten a report into {metric path: numeric value}."""
+    out = {}
+    for key, value in doc.items():
+        if key in HEADER_KEYS:
+            continue
+        if key == "benchmarks":
+            if not isinstance(value, list):
+                fail(f"{where}: 'benchmarks' is not a list")
+            for entry in value:
+                name = entry.get("name")
+                if not isinstance(name, str) or not name:
+                    fail(f"{where}: benchmark entry without a name")
+                for field in ("real_time", "cpu_time"):
+                    if isinstance(entry.get(field), (int, float)):
+                        out[f"{name}.{field}"] = entry[field]
+        elif isinstance(value, (int, float)) and not isinstance(value,
+                                                                bool):
+            out[key] = value
+    return out
+
+
+def compare(bench, base, cur, tolerances):
+    """Violation strings for one report pair (empty = in band)."""
+    default_ratio = tolerances.get("default_ratio", DEFAULT_RATIO)
+    overrides = tolerances.get("metrics", {})
+    violations = []
+    for name, base_value in sorted(base.items()):
+        if name not in cur:
+            violations.append(f"{bench}/{name}: missing from the "
+                              f"current report (baseline "
+                              f"{base_value})")
+            continue
+        cur_value = cur[name]
+        override = overrides.get(f"{bench}/{name}", {})
+        ratio = override.get("ratio")
+        if ratio is None and is_time_metric(name):
+            ratio = default_ratio
+        if ratio is not None:
+            low, high = base_value / ratio, base_value * ratio
+            if not (low <= cur_value <= high):
+                violations.append(
+                    f"{bench}/{name}: {cur_value} outside "
+                    f"[{low:.6g}, {high:.6g}] "
+                    f"(baseline {base_value}, ratio {ratio}x)")
+        elif cur_value != base_value:
+            violations.append(
+                f"{bench}/{name}: {cur_value} != baseline "
+                f"{base_value} (exact metric; add a ratio override "
+                f"if it may wobble)")
+    return violations
+
+
+def self_test(bench, base, tolerances):
+    """Perturb one time metric 100x; the gate must catch it."""
+    for name, value in sorted(base.items()):
+        if is_time_metric(name) and value > 0:
+            perturbed = dict(base)
+            perturbed[name] = value * 100.0
+            if not compare(bench, base, perturbed, tolerances):
+                fail(f"self-test: {bench}/{name} perturbed 100x was "
+                     f"not flagged — the gate cannot fail")
+            print(f"bench_compare: self-test OK: {bench}/{name} "
+                  f"perturbation flagged")
+            return
+    fail(f"self-test: {bench} has no positive time-like metric to "
+         f"perturb")
+
+
+def main(argv):
+    baseline_dir = current_dir = tolerances_path = None
+    run_self_test = False
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--baseline-dir":
+            baseline_dir = pathlib.Path(next(it, ""))
+        elif arg == "--current-dir":
+            current_dir = pathlib.Path(next(it, ""))
+        elif arg == "--tolerances":
+            tolerances_path = pathlib.Path(next(it, ""))
+        elif arg == "--self-test":
+            run_self_test = True
+        else:
+            fail(f"unknown option {arg!r}")
+    if not baseline_dir or not current_dir:
+        fail("usage: bench_compare.py --baseline-dir DIR "
+             "--current-dir DIR [--tolerances FILE] [--self-test]")
+
+    tolerances = {}
+    if tolerances_path:
+        tolerances = load(tolerances_path)
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        fail(f"{baseline_dir}: no BENCH_*.json baselines found")
+
+    all_violations = []
+    compared = 0
+    for baseline_path in baselines:
+        bench = load(baseline_path).get("bench")
+        if not isinstance(bench, str) or not bench:
+            fail(f"{baseline_path}: missing 'bench' name")
+        current_path = current_dir / baseline_path.name
+        if not current_path.is_file():
+            fail(f"{current_path}: gated report was not produced "
+                 f"(baseline {baseline_path})")
+        base = metrics_of(load(baseline_path), baseline_path)
+        cur = metrics_of(load(current_path), current_path)
+        if run_self_test:
+            self_test(bench, base, tolerances)
+            continue
+        violations = compare(bench, base, cur, tolerances)
+        compared += len(base)
+        if violations:
+            all_violations.extend(violations)
+        else:
+            print(f"bench_compare: OK: {current_path.name} "
+                  f"({len(base)} metric(s) in band)")
+
+    if run_self_test:
+        print(f"bench_compare: self-test passed for "
+              f"{len(baselines)} baseline(s)")
+        return
+    if all_violations:
+        for violation in all_violations:
+            print(f"bench_compare: REGRESSION: {violation}",
+                  file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_compare: {len(baselines)} report(s), {compared} "
+          f"metric(s) within tolerance")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

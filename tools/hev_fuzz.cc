@@ -4,6 +4,7 @@
  *
  *   hev_fuzz run [--seed N] [--execs N] [--seconds S] [--max-ops N]
  *                [--corpus DIR] [--bug a,b,...] [--out FILE]
+ *                [--forensics FILE]
  *       Coverage-guided fuzzing; on divergence shrinks the trace,
  *       writes a self-contained repro file and prints a ready-to-
  *       paste C++ regression test body.  Exit 1 iff a divergence.
@@ -47,6 +48,7 @@ struct Cli
     std::string corpusDir;
     std::string outFile;
     std::vector<std::string> bugs;
+    std::string forensicsPath;
     std::vector<std::string> positional;
 };
 
@@ -57,7 +59,9 @@ usage()
                  "usage: hev_fuzz run|replay|shrink|corpus-stats "
                  "[options] [files]\n"
                  "  --seed N --execs N --seconds S --max-ops N\n"
-                 "  --corpus DIR --threads N --out FILE --bug a,b,...\n");
+                 "  --corpus DIR --threads N --out FILE --bug a,b,...\n"
+                 "  --forensics FILE (bundle on divergence; also via\n"
+                 "                    $HEV_FORENSICS)\n");
     return 2;
 }
 
@@ -104,6 +108,11 @@ parseArgs(int argc, char **argv, Cli &cli)
             if (!v)
                 return false;
             cli.outFile = v;
+        } else if (arg == "--forensics") {
+            const char *v = next();
+            if (!v)
+                return false;
+            cli.forensicsPath = v;
         } else if (arg == "--bug") {
             const char *v = next();
             if (!v)
@@ -156,6 +165,7 @@ cmdRun(const Cli &cli)
     cfg.maxSeconds = cli.seconds;
     cfg.maxOps = cli.maxOps;
     cfg.corpusDir = cli.corpusDir;
+    cfg.exec.forensicsPath = cli.forensicsPath;
     if (!applyBugs(cfg.exec, cli.bugs))
         return 2;
 
@@ -204,6 +214,7 @@ cmdReplay(const Cli &cli)
         return 2;
     }
     ExecOptions opts = ExecOptions::standard();
+    opts.forensicsPath = cli.forensicsPath;
     if (!applyBugs(opts, cli.bugs))
         return 2;
     const auto outcomes =

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate forensics bundles written by the obs flight recorder.
+
+A bundle is the self-contained JSON dump emitted when an invariant,
+oracle, or refinement check fails (see docs/OBSERVABILITY.md).  Checks,
+exiting 0 on success and 1 on the first violation:
+  - the file parses as a JSON object with every schema key present
+    (forensics_schema_version, git_sha, kind, scenario, detail,
+    failed_op, digests, flight, stats, trace_tail);
+  - "forensics_schema_version" equals the known version (1);
+  - "git_sha" is a non-empty hex string ("unknown" only accepted with
+    --allow-unknown-sha, for builds outside a git checkout);
+  - "kind" and "detail" are non-empty strings;
+  - "digests" maps names to integers;
+  - every "flight" record carries ts/op/opcode/vcpu/step/args/
+    args_digest/result/replayable with sane types, timestamps are
+    non-decreasing (the tail is merged in timestamp order), and args
+    is exactly four integers;
+  - "stats" has the snapshot shape (counters/gauges/histograms);
+  - a non-empty "trace_tail" starts with the `hev-trace v1` magic and
+    its op count matches the replayable flight records.
+
+Usage: validate_forensics.py [--allow-unknown-sha] PATH...
+Each PATH is a bundle file or a directory to scan for *.forensics.json;
+a directory containing none is a failure (the dump did not happen).
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+BUNDLE_KEYS = {
+    "forensics_schema_version",
+    "git_sha",
+    "kind",
+    "scenario",
+    "detail",
+    "failed_op",
+    "digests",
+    "flight",
+    "stats",
+    "trace_tail",
+}
+FLIGHT_KEYS = {"ts", "op", "opcode", "vcpu", "step", "args",
+               "args_digest", "result", "replayable"}
+TRACE_MAGIC = "hev-trace v1"
+
+
+def fail(message):
+    print(f"validate_forensics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path, allow_unknown_sha):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    missing = BUNDLE_KEYS - doc.keys()
+    if missing:
+        fail(f"{path}: missing schema keys {sorted(missing)}")
+
+    if doc["forensics_schema_version"] != SCHEMA_VERSION:
+        fail(f"{path}: forensics_schema_version "
+             f"{doc['forensics_schema_version']!r}, expected "
+             f"{SCHEMA_VERSION}")
+
+    sha = doc["git_sha"]
+    if not isinstance(sha, str) or not sha:
+        fail(f"{path}: git_sha must be a non-empty string")
+    if sha == "unknown":
+        if not allow_unknown_sha:
+            fail(f"{path}: git_sha is 'unknown' (built outside git?)")
+    elif not all(c in "0123456789abcdef" for c in sha):
+        fail(f"{path}: git_sha {sha!r} is not a hex revision")
+
+    for key in ("kind", "detail"):
+        if not isinstance(doc[key], str) or not doc[key]:
+            fail(f"{path}: {key} must be a non-empty string")
+    if not isinstance(doc["failed_op"], int) or doc["failed_op"] < 0:
+        fail(f"{path}: failed_op must be a non-negative integer")
+
+    if not isinstance(doc["digests"], dict):
+        fail(f"{path}: digests is not an object")
+    for name, value in doc["digests"].items():
+        if not isinstance(value, int):
+            fail(f"{path}: digest {name!r} is not an integer")
+
+    if not isinstance(doc["flight"], list):
+        fail(f"{path}: flight is not a list")
+    last_ts = 0
+    replayable = 0
+    for i, record in enumerate(doc["flight"]):
+        where = f"{path}: flight[{i}]"
+        if not isinstance(record, dict):
+            fail(f"{where} is not an object")
+        lost = FLIGHT_KEYS - record.keys()
+        if lost:
+            fail(f"{where} missing keys {sorted(lost)}")
+        for key in ("ts", "opcode", "vcpu", "step", "args_digest",
+                    "result"):
+            if not isinstance(record[key], int):
+                fail(f"{where}.{key} is not an integer")
+        if not isinstance(record["op"], str) or not record["op"]:
+            fail(f"{where}.op is not a non-empty string")
+        if record["ts"] < last_ts:
+            fail(f"{where} ts {record['ts']} goes backwards "
+                 f"(prev {last_ts}); the tail must be merged in "
+                 f"timestamp order")
+        last_ts = record["ts"]
+        args = record["args"]
+        if (not isinstance(args, list) or len(args) != 4 or
+                not all(isinstance(a, int) for a in args)):
+            fail(f"{where}.args is not a list of four integers")
+        if not isinstance(record["replayable"], bool):
+            fail(f"{where}.replayable is not a boolean")
+        replayable += record["replayable"]
+
+    stats = doc["stats"]
+    if not isinstance(stats, dict):
+        fail(f"{path}: stats is not an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in stats or not isinstance(stats[section], dict):
+            fail(f"{path}: stats.{section} missing or not an object")
+
+    tail = doc["trace_tail"]
+    if not isinstance(tail, str):
+        fail(f"{path}: trace_tail is not a string")
+    if tail:
+        if not tail.startswith(TRACE_MAGIC):
+            fail(f"{path}: trace_tail does not start with "
+                 f"{TRACE_MAGIC!r}")
+        ops = sum(1 for line in tail.splitlines()
+                  if line.startswith("op "))
+        if ops != replayable:
+            fail(f"{path}: trace_tail has {ops} op(s) but the flight "
+                 f"tail has {replayable} replayable record(s)")
+
+    print(f"validate_forensics: OK: {path} (git {sha}, "
+          f"kind {doc['kind']!r}, {len(doc['flight'])} record(s), "
+          f"{replayable} replayable)")
+
+
+def main(argv):
+    allow_unknown_sha = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--allow-unknown-sha":
+            allow_unknown_sha = True
+        elif arg.startswith("-"):
+            fail(f"unknown option {arg!r}")
+        else:
+            paths.append(pathlib.Path(arg))
+    if not paths:
+        fail("usage: validate_forensics.py [--allow-unknown-sha] "
+             "PATH...")
+
+    bundles = []
+    for path in paths:
+        if path.is_dir():
+            found = sorted(path.glob("*.forensics.json"))
+            if not found:
+                fail(f"{path}: no *.forensics.json bundle found")
+            bundles.extend(found)
+        else:
+            bundles.append(path)
+    for bundle in bundles:
+        validate(bundle, allow_unknown_sha)
+    print(f"validate_forensics: {len(bundles)} bundle(s) valid")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -9,7 +9,11 @@ Checks, exiting 0 on success and 1 on the first violation:
   - timestamps are monotonically non-decreasing per (pid, tid);
   - begin/end phases balance per thread (every E has an open B) unless
     --allow-unbalanced is given (ring wraparound can drop the opening
-    B of a span that was in flight when the ring overflowed).
+    B of a span that was in flight when the ring overflowed);
+  - flow events (phases "s"/"t"/"f", the SMP IPI causality arrows)
+    carry a numeric "id", every step/finish id was started by an "s"
+    record, and every started flow is finished by an "f" unless
+    --allow-unbalanced is given (same wraparound caveat).
 
 Usage: validate_trace.py TRACE.json [--allow-unbalanced]
 """
@@ -18,7 +22,8 @@ import json
 import sys
 
 REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
-KNOWN_PHASES = {"B", "E", "X", "i"}
+KNOWN_PHASES = {"B", "E", "X", "i", "s", "t", "f"}
+FLOW_PHASES = {"s", "t", "f"}
 
 
 def fail(message):
@@ -43,6 +48,7 @@ def validate(path, allow_unbalanced):
 
     last_ts = {}
     open_spans = {}
+    flow_ids = {"s": set(), "t": set(), "f": set()}
     for index, event in enumerate(doc["traceEvents"]):
         where = f"event #{index}"
         if not isinstance(event, dict):
@@ -56,6 +62,10 @@ def validate(path, allow_unbalanced):
             fail(f"{where} ts is not numeric")
         if event["ph"] == "X" and "dur" not in event:
             fail(f"{where} is a complete event without dur")
+        if event["ph"] in FLOW_PHASES:
+            if not isinstance(event.get("id"), int):
+                fail(f"{where} is a flow event without a numeric id")
+            flow_ids[event["ph"]].add(event["id"])
 
         thread = (event["pid"], event["tid"])
         if thread in last_ts and event["ts"] < last_ts[thread]:
@@ -73,10 +83,22 @@ def validate(path, allow_unbalanced):
                 fail(f"{where} ends a span with none open on "
                      f"pid/tid {thread}")
 
+    for phase in ("t", "f"):
+        orphans = flow_ids[phase] - flow_ids["s"]
+        if orphans:
+            fail(f"flow phase {phase!r} ids {sorted(orphans)[:4]} "
+                 f"were never started by an 's' record")
+    unfinished = flow_ids["s"] - flow_ids["f"]
+    if unfinished and not allow_unbalanced:
+        fail(f"flow ids {sorted(unfinished)[:4]} started but never "
+             f"finished by an 'f' record")
+
     total = len(doc["traceEvents"])
     threads = len(last_ts)
+    flows = len(flow_ids["s"])
     print(f"validate_trace: OK: {total} events across {threads} "
-          f"thread(s), schema v{doc['schemaVersion']}")
+          f"thread(s), {flows} flow span(s), "
+          f"schema v{doc['schemaVersion']}")
 
 
 def main():
