@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Batched-hypercall launch-throughput harness.
+ *
+ * Three sections, all written to BENCH_batch.json:
+ *
+ * 1. Launch throughput: pages/s filling a 512-page ELRANGE through
+ *    hcEnclaveAddPagesBatch at batch sizes 1, 64 and 512, against 512
+ *    single hcEnclaveAddPage calls.  The batch amortizes the leaf-walk
+ *    (one cursor per 2 MiB run), the EPCM allocation scan front and
+ *    the page-copy/measurement fold; the harness *asserts* the
+ *    512-element batch reaches at least 3x the single-call pages/s.
+ * 2. Evict throughput: the same shape for hcEnclaveEvictPagesBatch
+ *    over the enclave's resident Reg pages (seal + scrub per element,
+ *    TLB maintenance once per batch instead of once per call).
+ * 3. Shootdown amortization at 4 vCPUs: ack generations and IPIs for
+ *    one 512-page osUnmapBatch against 512 single osUnmap calls —
+ *    deterministic protocol counts (1 generation and vcpus-1 IPIs per
+ *    batch), gated exactly by bench_compare.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hh"
+#include "smp/smp_monitor.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+constexpr u64 launchPages = 512;
+constexpr u64 addRounds = 24;
+constexpr u64 evictRounds = 8;
+constexpr u64 elStart = 0x10'0000;
+constexpr double requiredSpeedup = 3.0;
+
+MonitorConfig
+monitorConfig()
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+/** ELRANGE sized for the 512 timed pages plus one TCS for initFinish. */
+EnclaveConfig
+launchConfig()
+{
+    EnclaveConfig cfg;
+    cfg.elrange = {Gva(elStart),
+                   Gva(elStart + (launchPages + 1) * pageSize)};
+    cfg.mbufGva = Gva(0x80'0000);
+    cfg.mbufPages = 1;
+    cfg.mbufBacking = Gpa(0x8000);
+    return cfg;
+}
+
+/** The 512 Reg-page requests every launch variant replays. */
+std::vector<AddPageRequest>
+launchRequests(Monitor &mon)
+{
+    std::vector<AddPageRequest> reqs;
+    reqs.reserve(launchPages);
+    for (u64 i = 0; i < launchPages; ++i) {
+        const Gpa src(0x4'0000 + (i % 8) * pageSize);
+        reqs.push_back({Gva(elStart + i * pageSize), src,
+                        AddPageKind::Reg});
+    }
+    for (u64 s = 0; s < 8; ++s)
+        for (u64 off = 0; off < pageSize; off += 8)
+            mon.mem().write(Hpa(0x4'0000 + s * pageSize + off),
+                            0x6a7c4 + s * 0x1000 + off);
+    return reqs;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Pages/s for one launch variant: `chunk` elements per batched call,
+ * or 512 single hcEnclaveAddPage calls when chunk == 0.  Only the add
+ * calls are timed; enclave create/remove bracket each round untimed.
+ */
+double
+launchVariant(const char *label, u64 chunk)
+{
+    Monitor mon(monitorConfig());
+    double secs = 0.0;
+    for (u64 round = 0; round < addRounds; ++round) {
+        auto id = mon.hcEnclaveInit(launchConfig());
+        if (!id) {
+            std::printf("FAILURE: %s init: %s\n", label,
+                        hvErrorName(id.error()));
+            return -1.0;
+        }
+        const auto reqs = launchRequests(mon);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (chunk == 0) {
+            for (const AddPageRequest &req : reqs) {
+                if (!mon.hcEnclaveAddPage(*id, req.gva, req.src,
+                                          req.kind)) {
+                    std::printf("FAILURE: %s add\n", label);
+                    return -1.0;
+                }
+            }
+        } else {
+            for (u64 base = 0; base < reqs.size(); base += chunk) {
+                const u64 end = std::min(base + chunk, reqs.size());
+                const std::vector<AddPageRequest> slice(
+                    reqs.begin() + base, reqs.begin() + end);
+                if (!mon.hcEnclaveAddPagesBatch(*id, slice)) {
+                    std::printf("FAILURE: %s batch add\n", label);
+                    return -1.0;
+                }
+            }
+        }
+        secs += secondsSince(t0);
+        if (!mon.hcEnclaveRemove(*id)) {
+            std::printf("FAILURE: %s remove\n", label);
+            return -1.0;
+        }
+    }
+    const double pps = double(addRounds * launchPages) / secs;
+    std::printf("add    %-12s %8.0f pages/s\n", label, pps);
+    return pps;
+}
+
+/**
+ * Pages/s for one evict variant over a live enclave's 512 Reg pages:
+ * one 512-element hcEnclaveEvictPagesBatch when batched, else 512
+ * hcEnclaveEvictPage calls.  Reloads between rounds are untimed.
+ */
+double
+evictVariant(const char *label, bool batched)
+{
+    Monitor mon(monitorConfig());
+    auto id = mon.hcEnclaveInit(launchConfig());
+    if (!id) {
+        std::printf("FAILURE: %s init\n", label);
+        return -1.0;
+    }
+    const auto reqs = launchRequests(mon);
+    if (!mon.hcEnclaveAddPagesBatch(*id, reqs) ||
+        !mon.hcEnclaveAddPage(*id,
+                              Gva(elStart + launchPages * pageSize),
+                              Gpa(0x4'0000), AddPageKind::Tcs) ||
+        !mon.hcEnclaveInitFinish(*id)) {
+        std::printf("FAILURE: %s launch\n", label);
+        return -1.0;
+    }
+    std::vector<Gva> gvas;
+    gvas.reserve(launchPages);
+    for (u64 i = 0; i < launchPages; ++i)
+        gvas.push_back(Gva(elStart + i * pageSize));
+
+    double secs = 0.0;
+    for (u64 round = 0; round < evictRounds; ++round) {
+        std::vector<SealedBlob> blobs;
+        blobs.reserve(launchPages);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (batched) {
+            auto batch = mon.hcEnclaveEvictPagesBatch(*id, gvas);
+            if (!batch) {
+                std::printf("FAILURE: %s evict batch\n", label);
+                return -1.0;
+            }
+            blobs = std::move(*batch);
+        } else {
+            for (const Gva gva : gvas) {
+                auto blob = mon.hcEnclaveEvictPage(*id, gva);
+                if (!blob) {
+                    std::printf("FAILURE: %s evict\n", label);
+                    return -1.0;
+                }
+                blobs.push_back(*blob);
+            }
+        }
+        secs += secondsSince(t0);
+        for (const SealedBlob &blob : blobs) {
+            if (!mon.hcEnclaveReloadPage(*id, blob)) {
+                std::printf("FAILURE: %s reload\n", label);
+                return -1.0;
+            }
+        }
+    }
+    const double pps = double(evictRounds * launchPages) / secs;
+    std::printf("evict  %-12s %8.0f pages/s\n", label, pps);
+    return pps;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== batched hypercall launch throughput ===\n\n");
+    bench::JsonReport report("batch");
+    report.metric("pages_per_launch", launchPages);
+    report.metric("add_rounds", addRounds);
+    report.metric("evict_rounds", evictRounds);
+
+    // 1. Launch throughput across batch sizes.
+    const double addSingle = launchVariant("single", 0);
+    const double addBatch1 = launchVariant("batch-1", 1);
+    const double addBatch64 = launchVariant("batch-64", 64);
+    const double addBatch512 = launchVariant("batch-512", 512);
+    if (addSingle <= 0 || addBatch1 <= 0 || addBatch64 <= 0 ||
+        addBatch512 <= 0)
+        return 1;
+    const double addSpeedup = addBatch512 / addSingle;
+    std::printf("add    batch-512 speedup over singles: %.2fx\n\n",
+                addSpeedup);
+    report.metric("add_single_pages_per_second", addSingle);
+    report.metric("add_batch1_pages_per_second", addBatch1);
+    report.metric("add_batch64_pages_per_second", addBatch64);
+    report.metric("add_batch512_pages_per_second", addBatch512);
+    report.metric("add_batch512_speedup_x", addSpeedup);
+    if (addSpeedup < requiredSpeedup) {
+        std::printf("FAILURE: 512-page add batch speedup %.2fx is "
+                    "below the required %.1fx\n",
+                    addSpeedup, requiredSpeedup);
+        return 1;
+    }
+
+    // 2. Evict throughput, batched vs folded.
+    const double evictSingle = evictVariant("single", false);
+    const double evictBatch = evictVariant("batch-512", true);
+    if (evictSingle <= 0 || evictBatch <= 0)
+        return 1;
+    const double evictSpeedup = evictBatch / evictSingle;
+    std::printf("evict  batch-512 speedup over singles: %.2fx\n\n",
+                evictSpeedup);
+    report.metric("evict_single_pages_per_second", evictSingle);
+    report.metric("evict_batch512_pages_per_second", evictBatch);
+    report.metric("evict_batch512_speedup_x", evictSpeedup);
+
+    // 3. Shootdown protocol counts for a 512-page unmap at 4 vCPUs.
+    {
+        smp::SmpConfig cfg;
+        cfg.monitor = monitorConfig();
+        cfg.vcpus = 4;
+        smp::SmpMonitor smp(cfg);
+        smp.setIpiDriver([&smp](smp::VcpuId, u64) {
+            for (smp::VcpuId w = 0; w < smp.vcpuCount(); ++w)
+                smp.serviceIpis(w);
+        });
+        auto mapSlots = [&smp]() {
+            std::vector<u64> vas;
+            for (u64 i = 0; i < launchPages; ++i) {
+                const u64 va = 0x300'0000 + i * pageSize;
+                const auto page = smp.machine().os().allocPage();
+                if (!page || !smp.osMap(0, va, *page) ||
+                    !smp.memLoad(1, Gva(va)))
+                    return std::vector<u64>{};
+                vas.push_back(va);
+            }
+            return vas;
+        };
+
+        std::vector<u64> vas = mapSlots();
+        if (vas.empty()) {
+            std::printf("FAILURE: smp slot setup\n");
+            return 1;
+        }
+        u64 epoch0 = smp.shootdownEpoch();
+        u64 ipis0 = smp.stats().ipisSent.load();
+        for (const u64 va : vas) {
+            if (!smp.osUnmap(0, va)) {
+                std::printf("FAILURE: single unmap\n");
+                return 1;
+            }
+        }
+        const u64 singleGens = smp.shootdownEpoch() - epoch0;
+        const u64 singleIpis = smp.stats().ipisSent.load() - ipis0;
+
+        vas = mapSlots();
+        if (vas.empty()) {
+            std::printf("FAILURE: smp slot re-setup\n");
+            return 1;
+        }
+        epoch0 = smp.shootdownEpoch();
+        ipis0 = smp.stats().ipisSent.load();
+        if (!smp.osUnmapBatch(0, vas)) {
+            std::printf("FAILURE: batched unmap\n");
+            return 1;
+        }
+        const u64 batchGens = smp.shootdownEpoch() - epoch0;
+        const u64 batchIpis = smp.stats().ipisSent.load() - ipis0;
+
+        std::printf("unmap  512 singles:   %llu ack generations, "
+                    "%llu IPIs\n",
+                    (unsigned long long)singleGens,
+                    (unsigned long long)singleIpis);
+        std::printf("unmap  1x 512-batch:  %llu ack generation(s), "
+                    "%llu IPIs\n",
+                    (unsigned long long)batchGens,
+                    (unsigned long long)batchIpis);
+        report.metric("smp_vcpus", u64(4));
+        report.metric("unmap_single512_ack_generations", singleGens);
+        report.metric("unmap_single512_ipis", singleIpis);
+        report.metric("unmap_batch512_ack_generations", batchGens);
+        report.metric("unmap_batch512_ipis", batchIpis);
+        if (batchGens != 1) {
+            std::printf("FAILURE: batched unmap burned %llu ack "
+                        "generations, expected exactly 1\n",
+                        (unsigned long long)batchGens);
+            return 1;
+        }
+    }
+
+    report.write();
+    std::printf("report written to BENCH_batch.json\n");
+    return 0;
+}

@@ -1,5 +1,9 @@
 #include "ccal/specs.hh"
 
+#include <utility>
+
+#include "ccal/tree_state.hh"
+
 namespace hev::ccal::spec
 {
 
@@ -558,6 +562,177 @@ specHcReloadPage(FlatState &s, i64 id, i64 blob_owner, u64 gva,
         s.pageContents[page.value] = sealed.content;
     enclave.evicted.erase(gva);
     return 0;
+}
+
+i64
+specHcAddPagesBatch(FlatState &s, i64 id,
+                    const std::vector<SpecAddPageOp> &ops)
+{
+    // Single-pass fold over a scratch copy, committed on success.  A
+    // validate-everything-first shape cannot reproduce the fold's
+    // error channel: element k may be valid against the pre-state yet
+    // fail in the fold because element j < k consumed the last EPC
+    // page or mapped the same gva first.
+    FlatState scratch = s;
+    for (const SpecAddPageOp &op : ops) {
+        if (const i64 rc =
+                specHcAddPage(scratch, id, op.gva, op.src, op.kind);
+            rc != 0)
+            return rc;
+    }
+    s = std::move(scratch);
+    return 0;
+}
+
+IntResult
+specHcEvictPagesBatch(FlatState &s, i64 id, const std::vector<u64> &gvas,
+                      std::vector<u64> *versions)
+{
+    FlatState scratch = s;
+    std::vector<u64> sealed;
+    sealed.reserve(gvas.size());
+    for (const u64 gva : gvas) {
+        const IntResult r = specHcEvictPage(scratch, id, gva);
+        if (!r.isOk)
+            return r;
+        sealed.push_back(r.value);
+    }
+    s = std::move(scratch);
+    if (versions)
+        *versions = std::move(sealed);
+    return IntResult::ok(u64(gvas.size()));
+}
+
+namespace
+{
+
+/**
+ * Shared tail of the two batch≡fold checkers: compare the batch
+ * outcome against the fold outcome, then (on success) re-establish
+ * refinement R over the enclave's lifted page tables and check that
+ * the tree-level batch `tree_ops` applied to the *pre* GPT lands on
+ * the lift of the flat batch result.
+ */
+BatchEquivalence
+compareBatchAgainstFold(const FlatState &pre, i64 id, i64 batch_rc,
+                        const FlatState &batch_s, i64 fold_rc,
+                        u64 fold_failed_index, const FlatState &fold_s,
+                        const std::vector<TreeBatchOp> &tree_ops)
+{
+    if (fold_rc != 0) {
+        if (batch_rc != fold_rc)
+            return {false,
+                    "error mismatch: batch " + std::to_string(batch_rc) +
+                        " vs fold " + std::to_string(fold_rc) +
+                        " at element " +
+                        std::to_string(fold_failed_index)};
+        if (!(batch_s == pre))
+            return {false, "failed batch left residue (fold failed at "
+                               "element " +
+                               std::to_string(fold_failed_index) + ")"};
+        return {};
+    }
+    if (batch_rc != 0)
+        return {false, "batch failed (" + std::to_string(batch_rc) +
+                           ") where the fold succeeded"};
+    if (!(batch_s == fold_s))
+        return {false, "state mismatch after successful batch"};
+
+    const auto it = batch_s.enclaves.find(id);
+    if (it == batch_s.enclaves.end())
+        return {};
+    const u64 gpt_root = batch_s.rootOf(it->second.gptHandle);
+    const u64 ept_root = batch_s.rootOf(it->second.eptHandle);
+    for (const u64 root : {gpt_root, ept_root}) {
+        if (root == 0)
+            continue;
+        if (!refinesFlat(treeFromFlat(batch_s, root), batch_s, root))
+            return {false, "refinement R broken after batch for root " +
+                               std::to_string(root)};
+    }
+    if (gpt_root != 0) {
+        const u64 pre_root =
+            pre.enclaves.count(id)
+                ? pre.rootOf(pre.enclaves.at(id).gptHandle)
+                : 0;
+        if (pre_root != 0) {
+            TreeState tree = treeFromFlat(pre, pre_root);
+            if (const i64 rc = treeApplyBatch(tree, tree_ops); rc != 0)
+                return {false, "tree batch failed (" +
+                                   std::to_string(rc) +
+                                   ") where the flat batch succeeded"};
+            if (!treesEqual(tree, treeFromFlat(batch_s, gpt_root)))
+                return {false, "tree batch diverges from the lift of "
+                               "the flat batch result"};
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+BatchEquivalence
+checkAddBatchFold(const FlatState &pre, i64 id,
+                  const std::vector<SpecAddPageOp> &ops)
+{
+    FlatState batch_s = pre;
+    const i64 batch_rc = specHcAddPagesBatch(batch_s, id, ops);
+
+    FlatState fold_s = pre;
+    i64 fold_rc = 0;
+    u64 failed = 0;
+    for (u64 i = 0; i < ops.size(); ++i) {
+        fold_rc =
+            specHcAddPage(fold_s, id, ops[i].gva, ops[i].src, ops[i].kind);
+        if (fold_rc != 0) {
+            failed = i;
+            break;
+        }
+    }
+
+    // The tree-level image of the batch on the enclave GPT: element i
+    // maps gva -> epcGpaBase + (addedPages_pre + i) * pageSize, the
+    // same slot assignment specHcAddPage makes.
+    std::vector<TreeBatchOp> tree_ops;
+    if (pre.enclaves.count(id)) {
+        const u64 base = pre.enclaves.at(id).addedPages;
+        tree_ops.reserve(ops.size());
+        for (u64 i = 0; i < ops.size(); ++i)
+            tree_ops.push_back(
+                {true, ops[i].gva,
+                 pre.geo.epcGpaBase + (base + i) * pageSize,
+                 pteRwFlags});
+    }
+    return compareBatchAgainstFold(pre, id, batch_rc, batch_s, fold_rc,
+                                   failed, fold_s, tree_ops);
+}
+
+BatchEquivalence
+checkEvictBatchFold(const FlatState &pre, i64 id,
+                    const std::vector<u64> &gvas)
+{
+    FlatState batch_s = pre;
+    const IntResult batch = specHcEvictPagesBatch(batch_s, id, gvas);
+    const i64 batch_rc = batch.isOk ? 0 : batch.errCode;
+
+    FlatState fold_s = pre;
+    i64 fold_rc = 0;
+    u64 failed = 0;
+    for (u64 i = 0; i < gvas.size(); ++i) {
+        const IntResult r = specHcEvictPage(fold_s, id, gvas[i]);
+        if (!r.isOk) {
+            fold_rc = r.errCode;
+            failed = i;
+            break;
+        }
+    }
+
+    std::vector<TreeBatchOp> tree_ops;
+    tree_ops.reserve(gvas.size());
+    for (const u64 gva : gvas)
+        tree_ops.push_back({false, gva, 0, 0});
+    return compareBatchAgainstFold(pre, id, batch_rc, batch_s, fold_rc,
+                                   failed, fold_s, tree_ops);
 }
 
 QueryResult

@@ -30,6 +30,9 @@
 #ifndef HEV_CCAL_SPECS_HH
 #define HEV_CCAL_SPECS_HH
 
+#include <string>
+#include <vector>
+
 #include "ccal/flat_state.hh"
 
 namespace hev::ccal::spec
@@ -254,6 +257,68 @@ IntResult specHcEvictPage(FlatState &s, i64 id, u64 gva);
  */
 i64 specHcReloadPage(FlatState &s, i64 id, i64 blob_owner, u64 gva,
                      u64 blob_version);
+
+/// @}
+
+/// @name L14b — batched hypercalls
+/// @{
+
+/** One element of an add_pages batch (one EADD request). */
+struct SpecAddPageOp
+{
+    u64 gva = 0;
+    u64 src = 0;
+    i64 kind = epcStateReg;
+
+    bool operator==(const SpecAddPageOp &) const = default;
+};
+
+/**
+ * add_pages_batch: all-or-nothing fold of specHcAddPage.  Returns 0 and
+ * commits every element, or returns the error the fold's *first*
+ * failing element produces and leaves `s` exactly as it was.  Realized
+ * as a single-pass fold over a scratch copy committed on success — the
+ * only spec shape that preserves the fold's error channel (a
+ * validate-everything-first pass can report a later element's error
+ * when an earlier one only fails against intermediate state; see
+ * docs/BATCHING.md).
+ */
+i64 specHcAddPagesBatch(FlatState &s, i64 id,
+                        const std::vector<SpecAddPageOp> &ops);
+
+/**
+ * evict_pages_batch: all-or-nothing fold of specHcEvictPage.  On
+ * success the value is the element count and `versions`, when non-null,
+ * receives the sealed version of each element in batch order.  On
+ * failure the fold's first error is returned, `s` is untouched and
+ * `versions` is not written.
+ */
+IntResult specHcEvictPagesBatch(FlatState &s, i64 id,
+                                const std::vector<u64> &gvas,
+                                std::vector<u64> *versions = nullptr);
+
+/** Verdict of a batch≡fold equivalence check. */
+struct BatchEquivalence
+{
+    bool equivalent = true;
+    std::string detail;  //!< first divergence found, for diagnostics
+};
+
+/**
+ * The batch≡fold theorem for add_pages, checked executably from `pre`:
+ *  - fold succeeds  => batch succeeds and the states are equal;
+ *  - fold fails at element k with error e => batch fails with exactly
+ *    e and leaves the state equal to `pre` (all-or-nothing);
+ *  - on success, refinement R holds of the enclave's lifted page
+ *    tables, and the tree-level batch (treeApplyBatch of the implied
+ *    gpt mappings) lands on the lift of the flat batch result.
+ */
+BatchEquivalence checkAddBatchFold(const FlatState &pre, i64 id,
+                                   const std::vector<SpecAddPageOp> &ops);
+
+/** The batch≡fold theorem for evict_pages; same obligations. */
+BatchEquivalence checkEvictBatchFold(const FlatState &pre, i64 id,
+                                     const std::vector<u64> &gvas);
 
 /// @}
 

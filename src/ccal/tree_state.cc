@@ -225,6 +225,21 @@ treeUnmap(TreeState &t, u64 va)
     return 0;
 }
 
+i64
+treeApplyBatch(TreeState &t, const std::vector<TreeBatchOp> &ops)
+{
+    TreeState scratch = t.clone();
+    for (const TreeBatchOp &op : ops) {
+        const i64 rc = op.isMap
+                           ? treeMap(scratch, op.va, op.pa, op.flags)
+                           : treeUnmap(scratch, op.va);
+        if (rc != 0)
+            return rc;
+    }
+    t = std::move(scratch);
+    return 0;
+}
+
 bool
 treesEqual(const TreeState &a, const TreeState &b)
 {

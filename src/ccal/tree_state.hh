@@ -114,6 +114,28 @@ i64 treeUnmap(TreeState &t, u64 va);
 
 /// @}
 
+/// @name Batched high-spec operations
+/// @{
+
+/** One element of a tree-level batch. */
+struct TreeBatchOp
+{
+    bool isMap = true;  //!< map when true, unmap when false
+    u64 va = 0;
+    u64 pa = 0;         //!< map only
+    u64 flags = 0;      //!< map only
+};
+
+/**
+ * All-or-nothing fold of treeMap/treeUnmap: applies every op to a
+ * clone and commits only when all succeed; otherwise returns the
+ * fold's first error and leaves `t` untouched.  The tree-level image
+ * of the flat batch specs, used by the batch≡fold checkers.
+ */
+i64 treeApplyBatch(TreeState &t, const std::vector<TreeBatchOp> &ops);
+
+/// @}
+
 /**
  * Structural equality of two trees (same present entries, flags,
  * terminal addresses, recursively).  Empty intermediate tables are NOT

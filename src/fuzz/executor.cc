@@ -242,6 +242,8 @@ class Executor
           case OpKind::LayerQuery: return opLayerQuery(op);
           case OpKind::EvictPage: return opEvictPage(op);
           case OpKind::ReloadPage: return opReloadPage(op);
+          case OpKind::AddPagesBatch: return opAddPagesBatch(op);
+          case OpKind::EvictPagesBatch: return opEvictPagesBatch(op);
         }
         return std::nullopt;
     }
@@ -598,6 +600,192 @@ class Executor
         if (auto f = invariantsAgree("reload_page"))
             return f;
         return epcmAgree("reload_page");
+    }
+
+    /** Element gvas of a batch: a contiguous selector window so that a
+     *  batch of 1 decodes exactly like the single-op form. */
+    u64
+    batchGva(i64 spec_id, u64 b_sel, u64 index) const
+    {
+        const auto abs_it = specState.enclaves.find(spec_id);
+        if (abs_it != specState.enclaves.end() &&
+            abs_it->second.state != enclStateDead) {
+            const AbsEnclave &abs = abs_it->second;
+            const u64 el_pages = (abs.elEnd - abs.elStart) / pageSize;
+            return abs.elStart +
+                   ((b_sel + index) % (el_pages + 2)) * pageSize;
+        }
+        return 0x10'0000 + ((b_sel + index) % 8) * pageSize;
+    }
+
+    Fail
+    opAddPagesBatch(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt; // management hypercall, normal mode only
+        if (lowOnFrames())
+            return std::nullopt;
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const u64 count = 1 + op.d % 4;
+        const u64 twist = op.c % 8;
+        const bool tcs = (op.c >> 3) & 1;
+
+        std::vector<hv::AddPageRequest> reqs;
+        std::vector<SpecAddPageOp> spec_ops;
+        for (u64 i = 0; i < count; ++i) {
+            u64 gva = batchGva(spec_id, op.b, i);
+            if (twist == 6 && i == count / 2)
+                gva += 0x100; // misaligned mid-batch element
+            const u64 src = twist == 7
+                                ? opts.monitor.layout.secureBase()
+                                : stagePage.value;
+            // At most the final element is a TCS, so the entry-point
+            // bookkeeping matches the equivalent single-op sequence.
+            const bool el_tcs = tcs && i + 1 == count;
+            reqs.push_back({Gva(gva), Gpa(src),
+                            el_tcs ? AddPageKind::Tcs
+                                   : AddPageKind::Reg});
+            spec_ops.push_back(
+                {gva, src, el_tcs ? epcStateTcs : epcStateReg});
+        }
+
+        // The batch≡fold theorem, checked from the live abstract state
+        // before either side moves.
+        const BatchEquivalence eq =
+            checkAddBatchFold(specState, spec_id, spec_ops);
+        if (!eq.equivalent)
+            return "add_pages_batch batch/fold equivalence broken: " +
+                   eq.detail;
+
+        auto st =
+            machine.monitor().hcEnclaveAddPagesBatch(hv_id, reqs);
+        const i64 rc =
+            specHcAddPagesBatch(specState, spec_id, spec_ops);
+        if (opts.mirLockstep) {
+            // No L14 MIR model for the batch; apply the spec transition
+            // to the MIR shadow state, as evict does.
+            (void)specHcAddPagesBatch(mirFlat, spec_id, spec_ops);
+        }
+        if (auto f = verdictsAgree("add_pages_batch", st, rc))
+            return f;
+
+        if (st.ok()) {
+            const AbsEnclave &abs = specState.enclaves.at(spec_id);
+            u64 flags = pteRwFlags;
+            if (opts.treeSkewBug)
+                flags &= ~pteFlagW;
+            std::vector<TreeBatchOp> tree_ops;
+            for (u64 i = 0; i < spec_ops.size(); ++i)
+                tree_ops.push_back(
+                    {true, spec_ops[i].gva,
+                     specState.geo.epcGpaBase +
+                         (abs.addedPages - spec_ops.size() + i) *
+                             pageSize,
+                     flags});
+            TreeState &tree = gptTrees.at(hv_id);
+            const i64 tree_rc = treeApplyBatch(tree, tree_ops);
+            if (tree_rc != 0) {
+                std::ostringstream msg;
+                msg << "tree batch map failed (rc " << tree_rc
+                    << ") where the flat spec succeeded";
+                return msg.str();
+            }
+            if (auto f = treeAgree("add_pages_batch gpt", tree,
+                                   abs.gptHandle))
+                return f;
+        }
+        if (auto f = invariantsAgree("add_pages_batch"))
+            return f;
+        return epcmAgree("add_pages_batch");
+    }
+
+    Fail
+    opEvictPagesBatch(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt; // management hypercall, normal mode only
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const u64 count = 1 + op.d % 4;
+
+        std::vector<Gva> gvas;
+        std::vector<u64> raw;
+        for (u64 i = 0; i < count; ++i) {
+            const u64 gva = batchGva(spec_id, op.b, i);
+            gvas.push_back(Gva(gva));
+            raw.push_back(gva);
+        }
+
+        const BatchEquivalence eq =
+            checkEvictBatchFold(specState, spec_id, raw);
+        if (!eq.equivalent)
+            return "evict_pages_batch batch/fold equivalence broken: " +
+                   eq.detail;
+
+        auto blobs =
+            machine.monitor().hcEnclaveEvictPagesBatch(hv_id, gvas);
+        std::vector<u64> versions;
+        const IntResult r =
+            specHcEvictPagesBatch(specState, spec_id, raw, &versions);
+        if (opts.mirLockstep)
+            (void)specHcEvictPagesBatch(mirFlat, spec_id, raw);
+
+        if (blobs.ok() != r.isOk) {
+            std::ostringstream msg;
+            msg << "evict batch verdicts differ: hv="
+                << (blobs.ok() ? "ok" : hvErrorName(blobs.error()))
+                << " spec=" << (r.isOk ? i64(0) : r.errCode);
+            return msg.str();
+        }
+        if (!blobs.ok() &&
+            classifyHv(blobs.error()) != classifySpec(r.errCode)) {
+            std::ostringstream msg;
+            msg << "evict batch error classes differ: hv="
+                << hvErrorName(blobs.error()) << " ("
+                << rcName(classifyHv(blobs.error())) << ") vs spec "
+                << r.errCode << " (" << rcName(classifySpec(r.errCode))
+                << ")";
+            return msg.str();
+        }
+        lastRc = blobs.ok() ? Rc::Ok : classifyHv(blobs.error());
+
+        if (blobs.ok()) {
+            if (blobs->size() != raw.size() ||
+                versions.size() != raw.size())
+                return "evict batch arity skew between hv and spec";
+            for (u64 i = 0; i < raw.size(); ++i) {
+                if ((*blobs)[i].version != versions[i]) {
+                    std::ostringstream msg;
+                    msg << "evict batch version skew at element " << i
+                        << ": hv " << (*blobs)[i].version << " vs spec "
+                        << versions[i];
+                    return msg.str();
+                }
+                sealedBlobs.push_back(
+                    {(*blobs)[i], spec_id, raw[i], versions[i]});
+            }
+            std::vector<TreeBatchOp> tree_ops;
+            for (const u64 gva : raw)
+                tree_ops.push_back({false, gva, 0, 0});
+            TreeState &tree = gptTrees.at(hv_id);
+            const i64 tree_rc = treeApplyBatch(tree, tree_ops);
+            if (tree_rc != 0) {
+                std::ostringstream msg;
+                msg << "tree batch unmap failed (rc " << tree_rc
+                    << ") where the flat spec evicted";
+                return msg.str();
+            }
+            if (auto f = treeAgree(
+                    "evict_pages_batch gpt", tree,
+                    specState.enclaves.at(spec_id).gptHandle))
+                return f;
+        }
+        if (auto f = invariantsAgree("evict_pages_batch"))
+            return f;
+        return epcmAgree("evict_pages_batch");
     }
 
     Fail
@@ -1226,7 +1414,8 @@ plantedBugNames()
 {
     return {"elrange-off-by-one", "epcm-owner-skip",   "stale-tlb",
             "wrong-perm-mask",    "frame-double-free", "tree-skew",
-            "skip-shootdown-ack", "seal-rollback-accept"};
+            "skip-shootdown-ack", "seal-rollback-accept",
+            "batch-skip-middle-invalidate"};
 }
 
 bool
@@ -1249,7 +1438,14 @@ applyPlantedBug(ExecOptions &opts, const std::string &name)
         opts.skipShootdownAckBug = true;
     } else if (name == "seal-rollback-accept")
         opts.monitor.planted.acceptSealRollback = true;
-    else
+    else if (name == "batch-skip-middle-invalidate") {
+        // Enter/exit flush the whole domain in the single-vCPU TLB
+        // model, so the skipped middle invalidation is only observable
+        // through a *sibling* vCPU's cache: fuzz it on the SMP machine,
+        // where the coherence oracle sees the surviving entry.
+        opts.smpFuzz = true;
+        opts.monitor.planted.batchSkipMiddleInvalidate = true;
+    } else
         return false;
     return true;
 }

@@ -233,6 +233,20 @@ seedTraces()
         {K::ReloadPage, 0, 0, 0, 0},
     }));
 
+    // Batched lifecycle: a mid-batch misaligned element must roll the
+    // whole batch back, then one clean batch builds the enclave
+    // (TCS-last), a two-page batched evict seals both pages in one
+    // call, and single reloads bring them back.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 2, 0, 0},
+        {K::AddPagesBatch, 0, 0, 6, 2},   // misaligned middle: rollback
+        {K::AddPagesBatch, 0, 0, 8, 2},   // Reg, Reg, TCS-last
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::EvictPagesBatch, 0, 0, 0, 1}, // pages 0 and 1 in one batch
+        {K::ReloadPage, 0, 0, 0, 0},
+        {K::ReloadPage, 0, 0, 1, 0},
+    }));
+
     // In-enclave memory probing across all decode regions.
     seeds.push_back(trace({
         {K::HcInit, 0, 1, 0, 0},
@@ -306,6 +320,18 @@ smpSeedTraces(u32 vcpus)
         on(1, {K::Exit, 0, 0, 0, 0}),
         on(0, {K::HcRemove, 0, 0, 0, 0}),
         on(0, {K::HcInit, 0, 0, 0, 0}),
+    }));
+
+    // Batched evict with a resident reader: vCPU 1 caches the middle
+    // page of a three-page run, vCPU 0 evicts all three in one batch.
+    // The vectored shootdown must name every page; the planted
+    // skip-middle bug leaves vCPU 1's page-1 entry alive and the
+    // coherence oracle fires right after the batch.
+    seeds.push_back(trace(5, {
+        on(1, {K::Enter, 0, 0, 0, 0}),
+        on(1, {K::MemLoad, 0, 1, 0, 0}),        // cache ELRANGE page 1
+        on(0, {K::EvictPagesBatch, 0, 0, 0, 2}), // evict pages 0..2
+        on(1, {K::MemLoad, 0, 1, 0, 0}),
     }));
 
     return seeds;

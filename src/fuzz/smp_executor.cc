@@ -92,7 +92,10 @@ SmpExecutor::enclaveIdOf(u64 sel) const
 bool
 SmpExecutor::setupScene(std::string *detail)
 {
-    auto first = smp.machine().setupEnclave(elrangeBases[0], 2, 1, 0x111);
+    // Three Reg pages (plus the TCS at page 3) so a batched evict can
+    // cover a run of three evictable pages — the minimum where the
+    // skip-middle planted bug has a middle page to forget.
+    auto first = smp.machine().setupEnclave(elrangeBases[0], 3, 1, 0x111);
     if (!first) {
         *detail = std::string("scene enclave setup failed: ") +
                   hvErrorName(first.error());
@@ -130,7 +133,10 @@ SmpExecutor::applyOp(const Op &op)
         for (const auto &slot_handle : enclaves)
             if (slot_handle && slot_handle->id == current)
                 base = slot_handle->elrange.start.value;
-        va = base + (op.c % 32) * 8;
+        // Page index from op.b so a resident vCPU can cache any page
+        // of its ELRANGE (including the middle page of a batch); every
+        // pre-batch seed uses b=0, which degenerates to the old decode.
+        va = base + (op.b % 4) * pageSize + (op.c % 32) * 8;
     }
 
     switch (op.kind) {
@@ -210,6 +216,32 @@ SmpExecutor::applyOp(const Op &op)
         const hv::SealedBlob &blob = blobs[op.c % blobs.size()];
         return codeOf(smp.hcEnclaveReloadPage(
             v, EnclaveId(enclaveIdOf(op.a)), blob));
+      }
+      case OpKind::AddPagesBatch: {
+        const u64 id = enclaveIdOf(op.a);
+        const u64 count = 1 + op.d % 3;
+        std::vector<hv::AddPageRequest> reqs;
+        for (u64 i = 0; i < count; ++i)
+            reqs.push_back({Gva(elrangeBases[op.a % 2] +
+                                ((op.b + i) % 4) * pageSize),
+                            Gpa(backing[op.c % slotCount]),
+                            hv::AddPageKind::Reg});
+        return codeOf(
+            smp.hcEnclaveAddPagesBatch(v, EnclaveId(id), reqs));
+      }
+      case OpKind::EvictPagesBatch: {
+        const u64 id = enclaveIdOf(op.a);
+        const u64 count = 1 + op.d % 3;
+        std::vector<Gva> gvas;
+        for (u64 i = 0; i < count; ++i)
+            gvas.push_back(Gva(elrangeBases[op.a % 2] +
+                               ((op.b + i) % 4) * pageSize));
+        auto out = smp.hcEnclaveEvictPagesBatch(v, EnclaveId(id), gvas);
+        if (!out)
+            return u64(out.error()) + 1;
+        for (const hv::SealedBlob &blob : *out)
+            blobs.push_back(blob);
+        return 0;
       }
     }
     return 0;

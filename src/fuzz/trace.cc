@@ -16,6 +16,7 @@ constexpr const char *kindNames[opKindCount] = {
     "enter",       "exit",        "mem_load",       "mem_store",
     "os_unmap",    "os_map",      "query_va",       "layer_map",
     "layer_unmap", "layer_query", "evict_page",     "reload_page",
+    "add_pages_batch", "evict_pages_batch",
 };
 
 /** Parse a decimal or 0x-hex u64. */

@@ -43,9 +43,11 @@ enum class OpKind : u8
     LayerQuery,    //!< as_query on the scratch AS; a=va
     EvictPage,     //!< hypercall evict (EWB); a=enclave sel, b=gva sel
     ReloadPage,    //!< hypercall reload (ELD); a=enclave sel, b=gva sel, c=blob sel
+    AddPagesBatch,   //!< batched add_page; a=enclave sel, b=gva sel, c=twist/kind, d=count
+    EvictPagesBatch, //!< batched evict; a=enclave sel, b=gva sel, d=count
 };
 
-constexpr u32 opKindCount = 16;
+constexpr u32 opKindCount = 18;
 
 /** Stable lower-snake name ("hc_init", "mem_load", ...). */
 const char *opKindName(OpKind kind);

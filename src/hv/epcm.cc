@@ -55,6 +55,45 @@ Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state)
     return HvError::OutOfEpc;
 }
 
+Expected<Hpa>
+Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state,
+                u64 &scan_hint)
+{
+    if (owner == invalidEnclave || state == EpcPageState::Free)
+        return HvError::InvalidParam;
+    std::lock_guard<std::mutex> guard(lock);
+    // With no frees since the last grant, every index below the hint is
+    // still occupied, so resuming there finds the same slot a scan from
+    // 0 would.
+    const u64 n = table.size();
+    for (u64 idx = scan_hint < n ? scan_hint : n; idx < n; ++idx) {
+        if (table[idx].state == EpcPageState::Free) {
+            table[idx] = {state, owner, lin_addr};
+            --freeCount;
+            scan_hint = idx + 1;
+            return epcRange.start + idx * pageSize;
+        }
+    }
+    scan_hint = n;
+    return HvError::OutOfEpc;
+}
+
+Status
+Epcm::restorePage(Hpa page, EnclaveId owner, Gva lin_addr,
+                  EpcPageState state)
+{
+    if (!isEpc(page) || !page.pageAligned() || owner == invalidEnclave ||
+        state == EpcPageState::Free)
+        return HvError::InvalidParam;
+    std::lock_guard<std::mutex> guard(lock);
+    EpcmEntry &entry = table[indexOf(page)];
+    if (entry.state != EpcPageState::Free)
+        return HvError::EpcmConflict;
+    entry = {state, owner, lin_addr};
+    --freeCount;
+    return okStatus();
+}
+
 Status
 Epcm::freePage(Hpa page)
 {

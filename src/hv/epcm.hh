@@ -66,6 +66,26 @@ class Epcm
     Expected<Hpa> allocPage(EnclaveId owner, Gva lin_addr,
                             EpcPageState state);
 
+    /**
+     * allocPage with a caller-held scan cursor: scanning resumes at
+     * @p scan_hint (a table index) instead of 0, and the hint advances
+     * past each grant.  Equivalent to first-fit-from-0 *only while no
+     * page is freed between grants* — exactly the situation inside one
+     * all-or-nothing add batch, where it turns k grants over an n-page
+     * EPC from O(n*k) scans into O(n+k).
+     */
+    Expected<Hpa> allocPage(EnclaveId owner, Gva lin_addr,
+                            EpcPageState state, u64 &scan_hint);
+
+    /**
+     * Re-occupy a specific page with the given metadata (rollback of a
+     * mid-batch eviction).  Unlike allocPage this does not pick a slot:
+     * the page must currently be Free, and it gets exactly the entry it
+     * held before, keeping the EPCM index-aligned with the spec's.
+     */
+    Status restorePage(Hpa page, EnclaveId owner, Gva lin_addr,
+                       EpcPageState state);
+
     /** Release a page back to Free; must be allocated. */
     Status freePage(Hpa page);
 

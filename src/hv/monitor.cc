@@ -1,5 +1,7 @@
 #include "hv/monitor.hh"
 
+#include <cstring>
+
 #include "obs/timer.hh"
 #include "support/logging.hh"
 
@@ -15,6 +17,36 @@ measureStep(u64 acc, u64 word)
 {
     acc ^= word;
     return acc * 0x100000001b3ull;
+}
+
+/**
+ * Fold one page's address and initial contents into the measurement.
+ *
+ * Four interleaved FNV lanes instead of one serial chain: the 512
+ * dependent multiplies, not memory bandwidth, bound enclave launch
+ * throughput, and splitting the words across independent lanes that
+ * re-join the chain in fixed order keeps every word feeding exactly
+ * one multiply chain (any bit flip still changes the result) while
+ * letting the CPU overlap the multiplies.  Both the single add_page
+ * call and the batched path share this helper, so batch ≡ fold holds
+ * over the measurement by construction.
+ */
+u64
+measurePage(u64 acc, u64 page_gva, const u64 *words)
+{
+    acc = measureStep(acc, page_gva);
+    u64 lanes[4] = {measureStep(acc, 0), measureStep(acc, 1),
+                    measureStep(acc, 2), measureStep(acc, 3)};
+    static_assert(pageSize / sizeof(u64) % 4 == 0);
+    for (u64 w = 0; w < pageSize / sizeof(u64); w += 4) {
+        lanes[0] = measureStep(lanes[0], words[w]);
+        lanes[1] = measureStep(lanes[1], words[w + 1]);
+        lanes[2] = measureStep(lanes[2], words[w + 2]);
+        lanes[3] = measureStep(lanes[3], words[w + 3]);
+    }
+    for (const u64 lane : lanes)
+        acc = measureStep(acc, lane);
+    return acc;
 }
 
 const obs::Counter statHypercalls("hv.hypercalls");
@@ -340,11 +372,9 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
     // Copy the initial contents out of normal memory and fold them into
     // the measurement.
     physMem.copyPage(*epc_page, Hpa(src.value));
-    enclave.measurement = measureStep(enclave.measurement, page_gva.value);
-    for (u64 off = 0; off < pageSize; off += sizeof(u64)) {
-        enclave.measurement =
-            measureStep(enclave.measurement, physMem.read(*epc_page + off));
-    }
+    enclave.measurement = measurePage(enclave.measurement,
+                                      page_gva.value,
+                                      physMem.pageWords(*epc_page));
 
     if (kind == AddPageKind::Tcs) {
         if (enclave.tcsPages == 0)
@@ -370,6 +400,154 @@ Monitor::hcEnclaveAddPage(EnclaveId id, Gva page_gva, Gpa src,
     ++statCounters.pagesAdded;
     statPagesAdded.inc();
     return okStatus();
+}
+
+Status
+Monitor::hcEnclaveAddPagesBatch(EnclaveId id,
+                                const std::vector<AddPageRequest> &reqs,
+                                FrameSource *frames)
+{
+    HypercallScope scope(statCounters, "hc_enclave_add_pages_batch", id);
+    if (reqs.empty())
+        return okStatus(); // fold over nothing is the identity
+    FrameSource &tableFrames = frames ? *frames : frameAlloc;
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
+    Enclave &enclave = it->second;
+    // add_page never changes the lifecycle state, so checking it once
+    // is the same check the fold would repeat per element.
+    if (enclave.state != EnclaveState::Adding)
+        return scope.fail(HvError::BadEnclaveState);
+
+    PageTable gpt(physMem, &tableFrames, enclave.gptRoot);
+    PageTable ept(physMem, &tableFrames, enclave.eptRoot);
+
+    // Snapshot of everything an element mutates besides the tables,
+    // EPCM and page contents, for the all-or-nothing rollback.
+    const u64 saved_measurement = enclave.measurement;
+    const u64 saved_added = enclave.addedPages;
+    const u64 saved_tcs = enclave.tcsPages;
+    const u64 saved_entry = enclave.entryPoint;
+
+    struct Applied
+    {
+        u64 gva;
+        u64 gpa;
+        Hpa epcPage;
+    };
+    std::vector<Applied> applied;
+    applied.reserve(reqs.size());
+
+    // One walk per 2 MiB run and one EPCM scan front amortized over the
+    // whole batch; both are observationally identical to the per-call
+    // walk/scan because nothing is freed between elements.
+    PageTable::LeafCursor gpt_cursor, ept_cursor;
+    u64 epc_hint = 0;
+
+    const PteFlags epc_flags = cfg.planted.wrongPermMask
+                                   ? PteFlags::userRo()
+                                   : PteFlags::userRw();
+
+    HvError batch_error = HvError::None;
+    for (const AddPageRequest &req : reqs) {
+        // Per-element validation in fold order, so the error reported
+        // is exactly the one the failing single call would raise.
+        if (!req.gva.pageAligned() || req.src.value % pageSize != 0) {
+            batch_error = HvError::NotAligned;
+            break;
+        }
+        const bool gva_in_elrange =
+            cfg.planted.elrangeOffByOne
+                ? req.gva.value >= enclave.cfg.elrange.start.value &&
+                      req.gva.value <= enclave.cfg.elrange.end.value
+                : enclave.cfg.elrange.contains(req.gva);
+        if (!gva_in_elrange) {
+            batch_error = HvError::IsolationViolation;
+            break;
+        }
+        const HpaRange src_range = {Hpa(req.src.value),
+                                    Hpa(req.src.value + pageSize)};
+        if (!cfg.layout.normalRange().containsRange(src_range)) {
+            batch_error = HvError::IsolationViolation;
+            break;
+        }
+
+        const u64 gpa = enclaveEpcGpaBase + enclave.addedPages * pageSize;
+        if (auto st = gpt.map(req.gva.value, gpa, PteFlags::userRw(),
+                              gpt_cursor); !st) {
+            batch_error = st.error();
+            break;
+        }
+        auto epc_page = epcMap.allocPage(
+            id, cfg.planted.skipEpcmOwnerCheck ? Gva(0) : req.gva,
+            req.kind == AddPageKind::Tcs ? EpcPageState::Tcs
+                                         : EpcPageState::Reg,
+            epc_hint);
+        if (!epc_page) {
+            (void)gpt.unmap(req.gva.value);
+            batch_error = epc_page.error();
+            break;
+        }
+        if (auto st = ept.map(gpa, epc_page->value, epc_flags,
+                              ept_cursor); !st) {
+            (void)gpt.unmap(req.gva.value);
+            (void)epcMap.freePage(*epc_page);
+            batch_error = st.error();
+            break;
+        }
+
+        // Bulk copy + the shared measurement fold over raw page words:
+        // bit-identical to the single call's measurePage by sharing it.
+        const u64 *src_words = physMem.pageWords(Hpa(req.src.value));
+        u64 *dst_words = physMem.pageWordsMut(*epc_page);
+        std::memcpy(dst_words, src_words, pageSize);
+        enclave.measurement = measurePage(enclave.measurement,
+                                          req.gva.value, dst_words);
+
+        if (req.kind == AddPageKind::Tcs) {
+            if (enclave.tcsPages == 0)
+                enclave.entryPoint = dst_words[0];
+            ++enclave.tcsPages;
+        }
+        if (cfg.planted.frameDoubleFree) {
+            Hpa table = enclave.gptRoot;
+            for (int level = pagingLevels; level >= 2; --level) {
+                const Pte entry =
+                    gpt.entryAt(table, req.gva.tableIndex(level));
+                if (!entry.present() || entry.huge())
+                    break;
+                table = Hpa(entry.addr());
+                if (level == 2)
+                    frameAlloc.debugForceFree(table);
+            }
+        }
+        ++enclave.addedPages;
+        applied.push_back({req.gva.value, gpa, *epc_page});
+    }
+
+    if (batch_error == HvError::None) {
+        statCounters.pagesAdded += applied.size();
+        for (u64 i = 0; i < applied.size(); ++i)
+            statPagesAdded.inc();
+        return okStatus();
+    }
+
+    // All-or-nothing: unwind every applied element in reverse, putting
+    // the state back exactly where the batch found it (intermediate
+    // table frames stay linked into the trees, as after a failed
+    // single call).
+    for (auto rit = applied.rbegin(); rit != applied.rend(); ++rit) {
+        (void)gpt.unmap(rit->gva);
+        (void)ept.unmap(rit->gpa);
+        scrubPage(rit->epcPage);
+        (void)epcMap.freePage(rit->epcPage);
+    }
+    enclave.measurement = saved_measurement;
+    enclave.addedPages = saved_added;
+    enclave.tcsPages = saved_tcs;
+    enclave.entryPoint = saved_entry;
+    return scope.fail(batch_error);
 }
 
 Status
@@ -575,6 +753,130 @@ Monitor::hcEnclaveEvictPage(EnclaveId id, Gva page_gva)
     ++statCounters.pagesEvicted;
     statPagesEvicted.inc();
     return blob;
+}
+
+Expected<std::vector<SealedBlob>>
+Monitor::hcEnclaveEvictPagesBatch(EnclaveId id,
+                                  const std::vector<Gva> &gvas)
+{
+    HypercallScope scope(statCounters, "hc_enclave_evict_pages_batch", id);
+    if (gvas.empty())
+        return std::vector<SealedBlob>{};
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Initialized)
+        return scope.fail(HvError::BadEnclaveState);
+
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    PageTable::LeafCursor gpt_cursor, ept_cursor;
+    const u64 saved_seal_version = enclave.nextSealVersion;
+
+    /** Everything needed to put one sealed page back on rollback. */
+    struct Applied
+    {
+        u64 gva;
+        u64 gpaSlot;
+        Hpa epcPage;
+        PteFlags gptFlags;
+        PteFlags eptFlags;
+        EpcPageState epcState;
+        Gva epcLinAddr;
+        u64 blobIndex;
+    };
+    std::vector<Applied> applied;
+    applied.reserve(gvas.size());
+    std::vector<SealedBlob> blobs;
+    blobs.reserve(gvas.size());
+
+    HvError batch_error = HvError::None;
+    for (const Gva page_gva : gvas) {
+        if (!page_gva.pageAligned()) {
+            batch_error = HvError::NotAligned;
+            break;
+        }
+        if (!enclave.cfg.elrange.contains(page_gva)) {
+            batch_error = HvError::IsolationViolation;
+            break;
+        }
+        auto stage1 = gpt.query(page_gva.value);
+        if (!stage1) {
+            batch_error = HvError::NotMapped;
+            break;
+        }
+        const u64 gpa_slot = stage1->physAddr & ~(pageSize - 1);
+        auto stage2 = ept.query(gpa_slot);
+        if (!stage2) {
+            batch_error = HvError::NotMapped;
+            break;
+        }
+        const Hpa epc_page = Hpa(stage2->physAddr & ~(pageSize - 1));
+        const EpcmEntry entry = epcMap.entryFor(epc_page);
+        if (entry.state == EpcPageState::Free || entry.owner != id) {
+            batch_error = HvError::IsolationViolation;
+            break;
+        }
+
+        SealedBlob blob;
+        blob.owner = id;
+        blob.gva = page_gva;
+        blob.kind = entry.state == EpcPageState::Tcs ? AddPageKind::Tcs
+                                                     : AddPageKind::Reg;
+        blob.gpaSlot = Gpa(gpa_slot);
+        blob.version = enclave.nextSealVersion++;
+        const u64 *page_words = physMem.pageWords(epc_page);
+        std::memcpy(blob.words.data(), page_words, pageSize);
+        blob.mac = sealMac(blob);
+
+        (void)gpt.unmap(page_gva.value, gpt_cursor);
+        (void)ept.unmap(gpa_slot, ept_cursor);
+        scrubPage(epc_page);
+        (void)epcMap.freePage(epc_page);
+        enclave.evictedPages[page_gva.value] = blob.version;
+
+        applied.push_back({page_gva.value, gpa_slot, epc_page,
+                           stage1->flags, stage2->flags, entry.state,
+                           entry.linAddr, blobs.size()});
+        blobs.push_back(std::move(blob));
+    }
+
+    if (batch_error == HvError::None) {
+        // One TLB maintenance pass for the whole batch: per-page
+        // invalidations instead of the single call's per-call domain
+        // flush (under SMP this becomes one vectored shootdown).  The
+        // planted batch bug forgets every middle page, so stale
+        // translations survive only in batches of three or more.
+        for (u64 i = 0; i < applied.size(); ++i) {
+            if (cfg.planted.batchSkipMiddleInvalidate && i > 0 &&
+                i + 1 < applied.size())
+                continue;
+            tlbModel.invalidatePage(id, applied[i].gva);
+        }
+        statCounters.pagesEvicted += applied.size();
+        for (u64 i = 0; i < applied.size(); ++i)
+            statPagesEvicted.inc();
+        return blobs;
+    }
+
+    // All-or-nothing: restore every sealed page in reverse — same EPCM
+    // slot (restorePage pins the index), same mapping flags, same
+    // contents — and rewind the anti-rollback ledger.  A mapped page
+    // can have no pre-batch evictedPages record (reload erases it), so
+    // erasing our insertions is exact.
+    for (auto rit = applied.rbegin(); rit != applied.rend(); ++rit) {
+        (void)epcMap.restorePage(rit->epcPage, id, rit->epcLinAddr,
+                                 rit->epcState);
+        (void)gpt.map(rit->gva, rit->gpaSlot, rit->gptFlags);
+        (void)ept.map(rit->gpaSlot, rit->epcPage.value, rit->eptFlags);
+        u64 *dst_words = physMem.pageWordsMut(rit->epcPage);
+        std::memcpy(dst_words, blobs[rit->blobIndex].words.data(),
+                    pageSize);
+        enclave.evictedPages.erase(rit->gva);
+    }
+    enclave.nextSealVersion = saved_seal_version;
+    return scope.fail(batch_error);
 }
 
 Status

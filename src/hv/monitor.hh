@@ -22,6 +22,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "hv/enclave.hh"
 #include "hv/epcm.hh"
@@ -55,12 +56,20 @@ struct PlantedBugs
     bool frameDoubleFree = false;
     /** reload_page skips the version check (accepts rolled-back blobs). */
     bool acceptSealRollback = false;
+    /**
+     * evict_pages_batch skips the TLB invalidation of every *middle*
+     * page (indices 0 < i < n-1) of the batch: the endpoints still get
+     * invalidated, so single- and two-element batches behave correctly
+     * and only batches of three or more leak stale translations.
+     */
+    bool batchSkipMiddleInvalidate = false;
 
     bool
     any() const
     {
         return elrangeOffByOne || skipEpcmOwnerCheck || staleTlbOnUnmap ||
-               wrongPermMask || frameDoubleFree || acceptSealRollback;
+               wrongPermMask || frameDoubleFree || acceptSealRollback ||
+               batchSkipMiddleInvalidate;
     }
 };
 
@@ -129,6 +138,16 @@ struct MonitorStats
     std::atomic<u64> rejectedRequests{0};
     std::atomic<u64> pagesEvicted{0};
     std::atomic<u64> pagesReloaded{0};
+};
+
+/** One element of an add_pages_batch hypercall. */
+struct AddPageRequest
+{
+    Gva gva{};                       //!< enclave-linear target address
+    Gpa src{};                       //!< normal-memory source page
+    AddPageKind kind = AddPageKind::Reg;
+
+    bool operator==(const AddPageRequest &) const = default;
 };
 
 /** What the report hypercall hands back (EREPORT stub). */
@@ -271,6 +290,33 @@ class Monitor
      */
     Status hcEnclaveReloadPage(EnclaveId id, const SealedBlob &blob,
                                FrameSource *frames = nullptr);
+
+    /**
+     * add_pages_batch: the fold of hcEnclaveAddPage over @p reqs with
+     * one hypercall's worth of fixed overhead and all-or-nothing
+     * semantics.  Elements are validated and applied one at a time in
+     * order; on the first failure every already-applied element is
+     * rolled back (pages unmapped, EPC frames scrubbed and freed, the
+     * measurement and page counters restored) and the error returned is
+     * exactly the error the failing single call would have produced, so
+     * batch(ops) ≡ fold(single, ops) including the error channel.
+     */
+    Status hcEnclaveAddPagesBatch(EnclaveId id,
+                                  const std::vector<AddPageRequest> &reqs,
+                                  FrameSource *frames = nullptr);
+
+    /**
+     * evict_pages_batch: the fold of hcEnclaveEvictPage over @p gvas
+     * with one hypercall's worth of overhead and all-or-nothing
+     * semantics.  Per-page TLB invalidation replaces the per-call
+     * domain flush (the SMP layer turns this into one vectored
+     * shootdown); on the first failure every already-sealed page is
+     * restored — contents, EPCM slot (same index), stage-1/2 mappings
+     * and the anti-rollback ledger — leaving the state bit-identical to
+     * the pre-batch state.
+     */
+    Expected<std::vector<SealedBlob>>
+    hcEnclaveEvictPagesBatch(EnclaveId id, const std::vector<Gva> &gvas);
 
     /// @}
 

@@ -120,6 +120,30 @@ PageTable::map(u64 va, u64 pa, PteFlags flags)
 }
 
 Status
+PageTable::map(u64 va, u64 pa, PteFlags flags, LeafCursor &cursor)
+{
+    if (va % pageSize != 0 || pa % pageSize != 0)
+        return HvError::NotAligned;
+    if (!flags.present)
+        return HvError::InvalidParam;
+    flags.huge = false;
+    const u64 span_base = va & ~(levelPageSize(2) - 1);
+    if (cursor.vaBase != span_base) {
+        auto leaf = walkToLeafTable(va, true);
+        if (!leaf)
+            return leaf.error();
+        cursor.vaBase = span_base;
+        cursor.table = *leaf;
+    }
+    const u64 index = Gva(va).tableIndex(1);
+    if (entryAt(cursor.table, index).present())
+        return HvError::AlreadyMapped;
+    setEntryAt(cursor.table, index, Pte::make(pa, flags));
+    statMaps.inc();
+    return okStatus();
+}
+
+Status
 PageTable::mapHuge(u64 va, u64 pa, PteFlags flags, int level)
 {
     if (level < 2 || level > 3)
@@ -168,6 +192,27 @@ PageTable::unmap(u64 va)
     if (!entryAt(*leaf, index).present())
         return HvError::NotMapped;
     setEntryAt(*leaf, index, Pte::empty());
+    statUnmaps.inc();
+    return okStatus();
+}
+
+Status
+PageTable::unmap(u64 va, LeafCursor &cursor)
+{
+    if (va % pageSize != 0)
+        return HvError::NotAligned;
+    const u64 span_base = va & ~(levelPageSize(2) - 1);
+    if (cursor.vaBase != span_base) {
+        auto leaf = walkToLeafTable(va, false);
+        if (!leaf)
+            return leaf.error();
+        cursor.vaBase = span_base;
+        cursor.table = *leaf;
+    }
+    const u64 index = Gva(va).tableIndex(1);
+    if (!entryAt(cursor.table, index).present())
+        return HvError::NotMapped;
+    setEntryAt(cursor.table, index, Pte::empty());
     statUnmaps.inc();
     return okStatus();
 }

@@ -47,6 +47,20 @@ class PageTable
 {
   public:
     /**
+     * Cached result of one walk to a level-1 table, valid for every
+     * 4 KiB mapping inside the same 2 MiB leaf-table span.  Batched
+     * map/unmap runs hand the same cursor to consecutive calls so a
+     * 512-page run costs one walk instead of 512; a cursor must not
+     * outlive structural changes to the tree (destroy, huge remaps).
+     */
+    struct LeafCursor
+    {
+        u64 vaBase = ~0ull;  //!< leaf-span base the cached table covers
+        Hpa table{};         //!< its level-1 table frame
+    };
+
+
+    /**
      * Bind to an existing root frame.
      *
      * @param mem backing physical memory.
@@ -71,6 +85,9 @@ class PageTable
      */
     Status map(u64 va, u64 pa, PteFlags flags);
 
+    /** map() reusing (and refreshing) a cached leaf-table walk. */
+    Status map(u64 va, u64 pa, PteFlags flags, LeafCursor &cursor);
+
     /**
      * Install a huge terminal mapping at the given level
      * (2 = 2 MiB, 3 = 1 GiB).  Alignment of va and pa must match the
@@ -80,6 +97,9 @@ class PageTable
 
     /** Remove the terminal mapping covering va (4 KiB only). */
     Status unmap(u64 va);
+
+    /** unmap() reusing (and refreshing) a cached leaf-table walk. */
+    Status unmap(u64 va, LeafCursor &cursor);
 
     /**
      * Fetch the terminal entry covering va without permission checks.

@@ -60,6 +60,26 @@ PhysMem::dmaWrite(Hpa hpa, u64 value)
     return okStatus();
 }
 
+const u64 *
+PhysMem::pageWords(Hpa page_base) const
+{
+    if (!page_base.pageAligned() ||
+        page_base.value + pageSize > memLayout.totalBytes)
+        panic("pageWords of invalid page %#llx",
+              (unsigned long long)page_base.value);
+    return &words[page_base.value / sizeof(u64)];
+}
+
+u64 *
+PhysMem::pageWordsMut(Hpa page_base)
+{
+    if (!page_base.pageAligned() ||
+        page_base.value + pageSize > memLayout.totalBytes)
+        panic("pageWords of invalid page %#llx",
+              (unsigned long long)page_base.value);
+    return &words[page_base.value / sizeof(u64)];
+}
+
 void
 PhysMem::zeroPage(Hpa page_base)
 {

@@ -55,6 +55,18 @@ class PhysMem
     /** DMA store; blocked for secure-region targets. */
     Status dmaWrite(Hpa hpa, u64 value);
 
+    /**
+     * Raw word view of one whole page, for bulk paths (batched page
+     * copies and measurement folds) that would otherwise pay an
+     * out-of-line read/write per word.  The pointer stays valid until
+     * the PhysMem is destroyed; page_base must be page aligned and in
+     * range.
+     */
+    const u64 *pageWords(Hpa page_base) const;
+
+    /** Mutable variant of pageWords(). */
+    u64 *pageWordsMut(Hpa page_base);
+
     /** Zero an entire page. */
     void zeroPage(Hpa page_base);
 

@@ -87,6 +87,7 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
     cfg.vcpus = opts.vcpus;
     cfg.cacheCapacity = 8;
     cfg.planted = opts.planted;
+    cfg.monitor.planted = opts.monitorPlanted;
     SmpMonitor smp(cfg);
     // Single-threaded runs must retire IPIs themselves: the driver
     // services every vCPU while an initiator waits for acks.
@@ -156,9 +157,15 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
                   case 0:
                     (void)smp.hcEnclaveExit(v);
                     break;
-                  case 1:
-                    (void)smp.memLoad(v, Gva(word));
+                  case 1: {
+                    // Loads span all three ELRANGE pages so this vCPU's
+                    // TLB can hold the *middle* page of a later batched
+                    // evict — exactly the entry the planted skip-middle
+                    // bug forgets to shoot down.
+                    const u64 page = rng.below(3) * pageSize;
+                    (void)smp.memLoad(v, Gva(word + page));
                     break;
+                  }
                   case 2:
                     (void)smp.memStore(v, Gva(word), step);
                     break;
@@ -173,7 +180,7 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
             } else {
                 const u64 slot = rng.below(slotCount);
                 const u64 va = slotVaBase + slot * pageSize;
-                switch (rng.below(10)) {
+                switch (rng.below(12)) {
                   case 0:
                     (void)smp.hcEnclaveEnter(
                         v, enclaves[rng.below(enclaves.size())].id);
@@ -208,15 +215,73 @@ coherenceShard(check::ShardContext &ctx, const SmpScenarioOptions &opts)
                     break;
                   }
                   case 8:
-                    // ELD: present any blob in custody — possibly stale
-                    // (rollback) or aimed at the wrong enclave
-                    // (replay); both must be rejected, not crash.
+                    // ELD: half the time present the freshest blob to
+                    // its true owner (restoring the page keeps later
+                    // batched evicts viable), otherwise any blob to any
+                    // enclave — possibly stale (rollback) or aimed at
+                    // the wrong enclave (replay); rejections are typed.
                     if (!custody.empty()) {
-                        (void)smp.hcEnclaveReloadPage(
-                            v, enclaves[rng.below(enclaves.size())].id,
-                            custody[rng.below(custody.size())]);
+                        if (rng.chance(1, 2)) {
+                            const hv::SealedBlob &fresh = custody.back();
+                            (void)smp.hcEnclaveReloadPage(
+                                v, fresh.owner, fresh);
+                        } else {
+                            (void)smp.hcEnclaveReloadPage(
+                                v,
+                                enclaves[rng.below(enclaves.size())].id,
+                                custody[rng.below(custody.size())]);
+                        }
                     }
                     break;
+                  case 9: {
+                    // Batched EWB: the whole three-page ELRANGE run in
+                    // one hypercall, retired by ONE vectored shootdown.
+                    // Prefer the enclave someone is currently running —
+                    // paging out a live enclave is the case where the
+                    // remote-invalidation vector earns its keep (and
+                    // where a skipped middle page leaves a stale entry).
+                    // Failures (already-evicted pages, resident races)
+                    // roll the batch back typed; successful blobs enter
+                    // custody like their single-evict cousins.
+                    u64 j = rng.below(enclaves.size());
+                    for (VcpuId w = 0; w < smp.vcpuCount(); ++w) {
+                        if (smp.archOf(w).mode !=
+                            hv::CpuMode::GuestEnclave)
+                            continue;
+                        for (u64 e = 0; e < enclaves.size(); ++e)
+                            if (enclaves[e].id ==
+                                smp.archOf(w).currentEnclave)
+                                j = e;
+                        break;
+                    }
+                    std::vector<Gva> gvas;
+                    for (u64 p = 0; p < 3; ++p)
+                        gvas.push_back(
+                            Gva(enclaves[j].elrange.start.value +
+                                p * pageSize));
+                    auto blobs = smp.hcEnclaveEvictPagesBatch(
+                        v, enclaves[j].id, gvas);
+                    if (blobs)
+                        for (const hv::SealedBlob &b : *blobs)
+                            custody.push_back(b);
+                    break;
+                  }
+                  case 10: {
+                    // Batched OS page-table maintenance over a slot
+                    // pair: unmap or read-only downgrade, one ack
+                    // generation per batch either way.
+                    const u64 s1 = (slot + 1) % slotCount;
+                    const std::vector<u64> vas = {
+                        va, slotVaBase + s1 * pageSize};
+                    if (rng.chance(1, 2)) {
+                        (void)smp.osUnmapBatch(v, vas);
+                    } else {
+                        (void)smp.osProtectRoBatch(
+                            v, {{vas[0], backing[slot]},
+                                {vas[1], backing[s1]}});
+                    }
+                    break;
+                  }
                   default:
                     if (rng.chance(1, 8)) {
                         // Rare full teardown: destroy (fails while any

@@ -30,6 +30,12 @@ struct SmpScenarioOptions
     /** Injected SMP bugs; the kill suite runs shards with these on. */
     SmpPlantedBugs planted;
     /**
+     * Injected monitor-level bugs (e.g. the batched evict that skips
+     * invalidating middle pages): forwarded to the shard's
+     * SmpConfig::monitor so the coherence oracle can hunt them.
+     */
+    hv::PlantedBugs monitorPlanted;
+    /**
      * Where a failing shard writes its forensics bundle ("" = fall
      * back to $HEV_FORENSICS, then stay silent): the oracle's detail,
      * EPCM + per-vCPU TLB digests at the failure point, and the

@@ -128,7 +128,14 @@ SmpMonitor::serviceIpis(VcpuId v)
     for (const IpiRequest &req : todo) {
         obs::traceEvent(obs::EventType::IpiDeliver, "ipi",
                         ipiSpanId(req.gen, v), req.gen);
-        cpu.tlb.flushDomain(req.domain);
+        if (req.pageVas.empty()) {
+            cpu.tlb.flushDomain(req.domain);
+        } else {
+            // Vectored request from a batched unmap/evict: INVLPG each
+            // listed page instead of nuking the whole domain.
+            for (const u64 va : req.pageVas)
+                cpu.tlb.invalidatePage(req.domain, va);
+        }
         top = std::max(top, req.gen);
         if (req.postNs && deliverTs > req.postNs)
             statIpiPostToDeliverNs.record(deliverTs - req.postNs);
@@ -168,12 +175,33 @@ SmpMonitor::shootdownInFlight(hv::DomainId domain) const
            u64(domain) + 1;
 }
 
+bool
+SmpMonitor::shootdownPageInFlight(u64 va) const
+{
+    std::lock_guard<std::mutex> guard(inFlightPagesLock);
+    return inFlightPageVas.count(va & ~(pageSize - 1)) != 0;
+}
+
 void
 SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
+{
+    shootdown(initiator, domain, {});
+}
+
+void
+SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
+                      const std::vector<u64> &page_vas)
 {
     lockServicing(shootdownLock, initiator);
     const u64 gen = epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
     inFlightDomainPlus1.store(u64(domain) + 1, std::memory_order_release);
+    if (!page_vas.empty()) {
+        // Register the batch's pages: until the ack wait completes a
+        // stale translation of any of them may still be live on a
+        // remote vCPU, so reload_page refuses to re-establish them.
+        std::lock_guard<std::mutex> guard(inFlightPagesLock);
+        inFlightPageVas.insert(page_vas.begin(), page_vas.end());
+    }
     obs::traceEvent(obs::EventType::ShootdownBegin, "shootdown",
                     u64(domain), gen);
 
@@ -185,22 +213,36 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
         const u64 postTs = timing ? nowNs() : 0;
         {
             std::lock_guard<std::mutex> guard(target.mailboxLock);
-            target.mailbox.push_back({gen, domain, postTs});
+            target.mailbox.push_back({gen, domain, postTs, page_vas});
         }
         obs::traceEvent(obs::EventType::IpiPost, "ipi",
                         ipiSpanId(gen, w), w);
         ++statCounters.ipisSent;
         statIpisSent.inc();
     }
-    cpus[initiator]->tlb.flushDomain(domain);
+    if (page_vas.empty()) {
+        cpus[initiator]->tlb.flushDomain(domain);
+    } else {
+        for (const u64 va : page_vas)
+            cpus[initiator]->tlb.invalidatePage(domain, va);
+    }
     ++statCounters.shootdowns;
     statShootdowns.inc();
+
+    const auto clearInFlightPages = [&] {
+        if (page_vas.empty())
+            return;
+        std::lock_guard<std::mutex> guard(inFlightPagesLock);
+        for (const u64 va : page_vas)
+            inFlightPageVas.erase(va);
+    };
 
     if (cfg.planted.skipShootdownAck) {
         // PLANTED BUG: declare completion without the ack wait.  The
         // IPIs stay posted, remote TLBs stay stale, and the in-flight
         // marker is cleared — so the coherence oracle has no excuse
         // left and must flag any remote entry of this domain.
+        clearInFlightPages();
         inFlightDomainPlus1.store(0, std::memory_order_release);
         obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
                         u64(domain), gen);
@@ -244,6 +286,7 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain)
         if (lastAck && resume > lastAck)
             statIpiAckToResumeNs.record(resume - lastAck);
     }
+    clearInFlightPages();
     inFlightDomainPlus1.store(0, std::memory_order_release);
     obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
                     u64(domain), gen);
@@ -447,7 +490,168 @@ SmpMonitor::hcEnclaveReloadPage(VcpuId v, EnclaveId id,
     std::mutex *lock = enclaveLock(id);
     lockServicing(*lock, v);
     std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    // A page still inside an in-flight batched shootdown must not be
+    // re-established: a target vCPU that has not acked yet could keep a
+    // cached translation of the *old* frame while the reload installs a
+    // new one.  Reject with a typed error before any EPCM/page-table
+    // state is touched; the caller retries after the batch completes.
+    if (shootdownPageInFlight(blob.gva.value))
+        return HvError::ShootdownInFlight;
     return monitor().hcEnclaveReloadPage(id, blob, caches[v].get());
+}
+
+Status
+SmpMonitor::hcEnclaveAddPagesBatch(VcpuId v, EnclaveId id,
+                                   const std::vector<hv::AddPageRequest> &reqs)
+{
+    lockSharedServicing(structuralLock, v);
+    std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    std::mutex *lock = enclaveLock(id);
+    lockServicing(*lock, v);
+    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    return monitor().hcEnclaveAddPagesBatch(id, reqs, caches[v].get());
+}
+
+Expected<std::vector<hv::SealedBlob>>
+SmpMonitor::hcEnclaveEvictPagesBatch(VcpuId v, EnclaveId id,
+                                     const std::vector<Gva> &gvas)
+{
+    Expected<std::vector<hv::SealedBlob>> blobs =
+        HvError::PermissionDenied;
+    std::vector<u64> vas;
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        std::mutex *lock = enclaveLock(id);
+        lockServicing(*lock, v);
+        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        blobs = monitor().hcEnclaveEvictPagesBatch(id, gvas);
+        if (!blobs)
+            return blobs;
+        const bool skip_middle =
+            monitor().config().planted.batchSkipMiddleInvalidate;
+        vas.reserve(gvas.size());
+        for (u64 i = 0; i < gvas.size(); ++i) {
+            if (skip_middle && i > 0 && i + 1 < gvas.size())
+                continue;
+            cpus[v]->tlb.invalidatePage(id, gvas[i].value);
+            vas.push_back(gvas[i].value);
+        }
+    }
+    // One vectored shootdown for the whole batch — the amortization this
+    // layer exists for.  Locks are dropped first, same as the
+    // single-page path: targets may need structuralLock to ack.
+    if (!vas.empty())
+        shootdown(v, id, vas);
+    return blobs;
+}
+
+Status
+SmpMonitor::osUnmapBatch(VcpuId v, const std::vector<u64> &vas)
+{
+    if (vas.empty())
+        return okStatus();
+    std::vector<u64> inval;
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        SmpVcpu &cpu = *cpus[v];
+        if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        lockExclusiveServicing(osPtLock, v);
+        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
+                                                     std::adopt_lock);
+        // Validate the whole batch before touching any entry: the OS
+        // page table has no frame pressure on the unmap path, so unlike
+        // the enclave batches nothing can fail after this point and
+        // validate-then-apply gives all-or-nothing without a rollback.
+        std::set<u64> seen;
+        for (const u64 va : vas) {
+            if (va % pageSize != 0)
+                return HvError::NotAligned;
+            if (!seen.insert(va).second)
+                return HvError::InvalidParam;
+            if (auto hpa = monitor().translateUncached(
+                    cpu.arch.gptRoot, cpu.arch.eptRoot, Gva(va), false);
+                !hpa)
+                return hpa.error();
+        }
+        const Gpa root(cpu.arch.gptRoot.value);
+        const bool skip_middle =
+            monitor().config().planted.batchSkipMiddleInvalidate;
+        inval.reserve(vas.size());
+        for (u64 i = 0; i < vas.size(); ++i) {
+            if (auto st = mach.os().gptUnmap(root, vas[i]); !st)
+                return st; // unreachable: validated above
+            if (skip_middle && i > 0 && i + 1 < vas.size())
+                continue;
+            cpu.tlb.invalidatePage(hv::normalVmDomain, vas[i]);
+            inval.push_back(vas[i]);
+        }
+    }
+    // All locks dropped, one shootdown, one ack generation per batch.
+    shootdown(v, hv::normalVmDomain, inval);
+    return okStatus();
+}
+
+Status
+SmpMonitor::osProtectRoBatch(VcpuId v,
+                             const std::vector<std::pair<u64, Gpa>> &elems)
+{
+    if (elems.empty())
+        return okStatus();
+    std::vector<u64> inval;
+    {
+        lockSharedServicing(structuralLock, v);
+        std::shared_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        SmpVcpu &cpu = *cpus[v];
+        if (cpu.arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        lockExclusiveServicing(osPtLock, v);
+        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
+                                                     std::adopt_lock);
+        std::set<u64> seen;
+        for (const auto &[va, target] : elems) {
+            (void)target;
+            if (va % pageSize != 0)
+                return HvError::NotAligned;
+            if (!seen.insert(va).second)
+                return HvError::InvalidParam;
+            if (auto hpa = monitor().translateUncached(
+                    cpu.arch.gptRoot, cpu.arch.eptRoot, Gva(va), false);
+                !hpa)
+                return hpa.error();
+        }
+        const Gpa root(cpu.arch.gptRoot.value);
+        const bool skip_middle =
+            monitor().config().planted.batchSkipMiddleInvalidate;
+        inval.reserve(elems.size());
+        for (u64 i = 0; i < elems.size(); ++i) {
+            const auto &[va, target] = elems[i];
+            if (auto st = mach.os().gptUnmap(root, va); !st)
+                return st; // unreachable: validated above
+            // Remap in place: the leaf table survives the unmap, so the
+            // map cannot need a fresh frame and cannot fail mid-batch.
+            if (auto st = mach.os().gptMap(root, va, target,
+                                           hv::PteFlags::userRo());
+                !st)
+                return st;
+            if (skip_middle && i > 0 && i + 1 < elems.size())
+                continue;
+            cpu.tlb.invalidatePage(hv::normalVmDomain, va);
+            inval.push_back(va);
+        }
+    }
+    // A stale writable entry elsewhere would defeat the downgrade; one
+    // vectored shootdown retires them all in a single ack generation.
+    shootdown(v, hv::normalVmDomain, inval);
+    return okStatus();
 }
 
 Status

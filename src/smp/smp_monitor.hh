@@ -45,7 +45,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "hv/machine.hh"
@@ -55,12 +57,18 @@
 namespace hev::smp
 {
 
-/** One posted-but-unserviced remote flush request. */
+/**
+ * One posted-but-unserviced remote flush request.  An empty pageVas
+ * means "flush the whole domain" (the pre-batching behavior); a
+ * non-empty one carries the per-page invalidation vector of a batched
+ * unmap/evict, amortizing one ack generation over the whole batch.
+ */
 struct IpiRequest
 {
     u64 gen = 0;              //!< shootdown generation
     hv::DomainId domain = 0;  //!< domain to flush
     u64 postNs = 0;           //!< post timestamp (0 = timing off)
+    std::vector<u64> pageVas; //!< page vas to invalidate; empty = all
 };
 
 /** One slot of the vCPU table. */
@@ -145,6 +153,14 @@ class SmpMonitor
     Status hcEnclaveAddPage(VcpuId v, EnclaveId id, Gva page_gva, Gpa src,
                             hv::AddPageKind kind);
 
+    /**
+     * Batched EADD: one hypercall, one lock round-trip and this vCPU's
+     * frame cache for the whole vector, with the monitor's
+     * all-or-nothing semantics (see hv::Monitor::hcEnclaveAddPagesBatch).
+     */
+    Status hcEnclaveAddPagesBatch(VcpuId v, EnclaveId id,
+                                  const std::vector<hv::AddPageRequest> &reqs);
+
     Status hcEnclaveInitFinish(VcpuId v, EnclaveId id);
 
     /**
@@ -188,6 +204,16 @@ class SmpMonitor
     Status hcEnclaveReloadPage(VcpuId v, EnclaveId id,
                                const hv::SealedBlob &blob);
 
+    /**
+     * Batched EWB: seal + evict a whole vector of resident pages under
+     * one lock round-trip, then run **one** shootdown whose IPI carries
+     * the per-page invalidation vector — one ack generation per batch
+     * instead of one per page.
+     */
+    Expected<std::vector<hv::SealedBlob>>
+    hcEnclaveEvictPagesBatch(VcpuId v, EnclaveId id,
+                             const std::vector<Gva> &gvas);
+
     /// @}
 
     /// @name Primary-OS page-table operations with coherent shootdown
@@ -207,6 +233,26 @@ class SmpMonitor
      * shootdown (a stale writable entry would be a coherence hole).
      */
     Status osProtectRo(VcpuId v, u64 va, Gpa target);
+
+    /**
+     * Batched unmap: validate the whole batch first (every va aligned,
+     * mapped, and unique), then unmap all of them under one osPtLock
+     * hold and retire remote translations with **one** vectored
+     * shootdown (one ack generation for the whole batch).  A failed
+     * validation leaves the tables untouched.  While the shootdown is
+     * in flight the batch's vas are registered, and
+     * hcEnclaveReloadPage of a blob targeting one of them fails with
+     * ShootdownInFlight.
+     */
+    Status osUnmapBatch(VcpuId v, const std::vector<u64> &vas);
+
+    /**
+     * Batched permission downgrade: same all-or-nothing validation and
+     * single vectored shootdown as osUnmapBatch, remapping each
+     * (va, target) pair read-only.
+     */
+    Status osProtectRoBatch(VcpuId v,
+                            const std::vector<std::pair<u64, Gpa>> &elems);
 
     /** MOV CR3 on one vCPU: local domain flush only, no shootdown. */
     Status setGptRoot(VcpuId v, Hpa new_root);
@@ -257,11 +303,27 @@ class SmpMonitor
      */
     bool shootdownInFlight(hv::DomainId domain) const;
 
+    /**
+     * True while a *batched* shootdown whose invalidation vector
+     * contains this page va is in flight.  Reload of a sealed blob
+     * targeting such a va is refused (ShootdownInFlight) so a stale
+     * entry being retired can never alias a freshly reloaded mapping.
+     */
+    bool shootdownPageInFlight(u64 va) const;
+
     /// @}
 
   private:
     /** Run the full shootdown protocol for one domain. */
     void shootdown(VcpuId initiator, hv::DomainId domain);
+
+    /**
+     * Vectored variant: the IPIs carry @p page_vas so targets
+     * invalidate exactly those pages instead of the whole domain;
+     * still one generation and one ack wait for the entire vector.
+     */
+    void shootdown(VcpuId initiator, hv::DomainId domain,
+                   const std::vector<u64> &page_vas);
 
     /** Blocking lock acquisitions that keep servicing own IPIs. */
     void lockExclusiveServicing(std::shared_mutex &m, VcpuId v);
@@ -295,6 +357,10 @@ class SmpMonitor
     std::atomic<u64> epoch{0};
     /** Domain+1 of the in-flight shootdown; 0 = none. */
     std::atomic<u64> inFlightDomainPlus1{0};
+    /** Page vas of the in-flight batched shootdown (empty when none or
+     *  when the in-flight shootdown is a whole-domain flush). */
+    mutable std::mutex inFlightPagesLock;
+    std::set<u64> inFlightPageVas;
 
     IpiDriver ipiDriver;
     SmpStats statCounters;

@@ -22,6 +22,7 @@ hvErrorName(HvError e)
       case HvError::Unsupported: return "Unsupported";
       case HvError::SealAuthFailed: return "SealAuthFailed";
       case HvError::SealRollback: return "SealRollback";
+      case HvError::ShootdownInFlight: return "ShootdownInFlight";
     }
     return "Unknown";
 }

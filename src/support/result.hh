@@ -37,6 +37,7 @@ enum class HvError
     Unsupported,        //!< operation outside the modeled subset
     SealAuthFailed,     //!< sealed-blob MAC / ownership check failed
     SealRollback,       //!< sealed-blob version is stale (anti-rollback)
+    ShootdownInFlight,  //!< page is inside an in-flight batched shootdown
 };
 
 /** Human-readable name for an HvError. */

@@ -95,7 +95,7 @@ TEST(FuzzCorpus, GoldenCorpusRepliesClean)
     ASSERT_GE(loaded, 11u) << "golden corpus missing from "
                            << goldenCorpusDir();
     const ExecOptions opts = ExecOptions::standard();
-    u64 evicts = 0, reloads = 0;
+    u64 evicts = 0, reloads = 0, addBatches = 0, evictBatches = 0;
     for (u64 i = 0; i < corpus.size(); ++i) {
         const ExecResult result = executeTrace(opts, corpus[i].trace);
         EXPECT_FALSE(result.divergence)
@@ -104,11 +104,18 @@ TEST(FuzzCorpus, GoldenCorpusRepliesClean)
         for (const Op &op : corpus[i].trace.ops) {
             evicts += op.kind == OpKind::EvictPage;
             reloads += op.kind == OpKind::ReloadPage;
+            addBatches += op.kind == OpKind::AddPagesBatch;
+            evictBatches += op.kind == OpKind::EvictPagesBatch;
         }
     }
-    // The smoke corpus must exercise the paging hypercalls.
+    // The smoke corpus must exercise the paging hypercalls and both
+    // batched forms (success and rollback paths alike).
     EXPECT_GT(evicts, 0u) << "no evict_page op in the golden corpus";
     EXPECT_GT(reloads, 0u) << "no reload_page op in the golden corpus";
+    EXPECT_GT(addBatches, 0u)
+        << "no add_pages_batch op in the golden corpus";
+    EXPECT_GT(evictBatches, 0u)
+        << "no evict_pages_batch op in the golden corpus";
 }
 
 TEST(FuzzCorpus, GoldenCorpusSignaturesMatchFilenames)

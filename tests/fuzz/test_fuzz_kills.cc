@@ -2,12 +2,13 @@
  * @file
  * The planted-bug kill suite (the fuzzer's reason to exist).
  *
- * Eight realistic bugs are injected one at a time — an off-by-one
+ * Nine realistic bugs are injected one at a time — an off-by-one
  * ELRANGE bound, a skipped EPCM ownership record, a stale TLB on
  * unmap, a wrong permission mask, a frame double-free behind a test
  * hook, a flat/tree refinement skew, an SMP shootdown that skips
- * the ack wait, and a reload path that accepts stale sealed blobs
- * (a broken version-counter anti-rollback check).  For each, the
+ * the ack wait, a reload path that accepts stale sealed blobs
+ * (a broken version-counter anti-rollback check), and a batched
+ * evict whose TLB maintenance forgets every middle page.  For each, the
  * coverage-guided fuzzer must find a divergence within a bounded
  * budget, and the shrinker must reduce the finding to at most 8 ops
  * that still fail and are locally 1-minimal.  A control run asserts
@@ -83,10 +84,15 @@ TEST(FuzzKills, SealRollbackAccept)
     expectKilled("seal-rollback-accept");
 }
 
+TEST(FuzzKills, BatchSkipMiddleInvalidate)
+{
+    expectKilled("batch-skip-middle-invalidate");
+}
+
 TEST(FuzzKills, BugNamesAreExhaustive)
 {
     const auto names = plantedBugNames();
-    EXPECT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.size(), 9u);
     for (const std::string &name : names) {
         ExecOptions opts = ExecOptions::standard();
         EXPECT_TRUE(applyPlantedBug(opts, name)) << name;

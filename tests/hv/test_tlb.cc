@@ -82,5 +82,68 @@ TEST(TlbTest, InsertOverwritesExisting)
     EXPECT_EQ(tlb.size(), 1ull);
 }
 
+TEST(TlbTest, InvalidatePageOnNonPresentEntryIsANoOp)
+{
+    Tlb tlb;
+    // On an empty TLB...
+    tlb.invalidatePage(normalVmDomain, 0x1000);
+    EXPECT_EQ(tlb.size(), 0ull);
+
+    // ...and on a miss next to live entries: neither the same page in
+    // another domain nor another page in the same domain is touched.
+    tlb.insert(3, 0x1000, {0x9000, true});
+    tlb.insert(normalVmDomain, 0x2000, {0xa000, false});
+    tlb.invalidatePage(normalVmDomain, 0x1000);
+    EXPECT_EQ(tlb.size(), 2ull);
+    EXPECT_TRUE(tlb.lookup(3, 0x1000).has_value());
+    EXPECT_TRUE(tlb.lookup(normalVmDomain, 0x2000).has_value());
+}
+
+TEST(TlbTest, InvalidatePageLeavesSiblingPagesOfTheDomain)
+{
+    // The batched-evict maintenance discipline: per-page invalidation
+    // drops exactly the named page, unlike flushDomain.
+    Tlb tlb;
+    for (u64 page = 0; page < 4; ++page)
+        tlb.insert(5, 0x10'0000 + page * pageSize, {0x9000, true});
+    tlb.invalidatePage(5, 0x10'1000 + 0x2c0); // offset within the page
+    EXPECT_EQ(tlb.countDomain(5), 3ull);
+    EXPECT_FALSE(tlb.lookup(5, 0x10'1000).has_value());
+    EXPECT_TRUE(tlb.lookup(5, 0x10'0000).has_value());
+    EXPECT_TRUE(tlb.lookup(5, 0x10'2000).has_value());
+    EXPECT_TRUE(tlb.lookup(5, 0x10'3000).has_value());
+}
+
+TEST(TlbTest, DomainTagReuseAfterFlushStartsEmpty)
+{
+    // If a domain tag were ever recycled (the monitor's enclave ids are
+    // monotonic, but the model must not depend on that), a flush must
+    // leave nothing for the next tenant to inherit.
+    Tlb tlb;
+    tlb.insert(9, 0x1000, {0x9000, true});
+    tlb.insert(9, 0x2000, {0xa000, false});
+    tlb.flushDomain(9);
+    EXPECT_EQ(tlb.countDomain(9), 0ull);
+    EXPECT_FALSE(tlb.lookup(9, 0x1000).has_value());
+
+    // The reused tag accumulates only its own fresh entries.
+    tlb.insert(9, 0x3000, {0xb000, true});
+    EXPECT_EQ(tlb.countDomain(9), 1ull);
+    EXPECT_FALSE(tlb.lookup(9, 0x1000).has_value());
+    auto hit = tlb.lookup(9, 0x3000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->hpaPage, 0xb000ull);
+}
+
+TEST(TlbTest, FlushDomainOnEmptyDomainCountsNoFlushWork)
+{
+    Tlb tlb;
+    tlb.insert(2, 0x1000, {0x9000, true});
+    const u64 size_before = tlb.size();
+    tlb.flushDomain(7); // no entries tagged 7
+    EXPECT_EQ(tlb.size(), size_before);
+    EXPECT_TRUE(tlb.lookup(2, 0x1000).has_value());
+}
+
 } // namespace
 } // namespace hev::hv

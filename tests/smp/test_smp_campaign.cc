@@ -72,6 +72,23 @@ TEST(SmpCampaign, PlantedSkipAckIsCaught)
               std::string::npos);
 }
 
+TEST(SmpCampaign, PlantedBatchSkipMiddleInvalidateIsCaught)
+{
+    SmpScenarioOptions opts = quickOptions();
+    opts.niShards = 0; // the coherence shards are the oracle here
+    opts.pagingShards = 0;
+    opts.coherenceShards = 4;
+    opts.stepsPerShard = 160;
+    opts.monitorPlanted.batchSkipMiddleInvalidate = true;
+    const check::CampaignReport report = runCampaign(opts, 42, 2);
+    EXPECT_GT(report.failures, 0u)
+        << "batched evict skipping middle-page invalidation survived "
+           "the coherence campaign";
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_NE(report.first->scenario.find("smp/coherence"),
+              std::string::npos);
+}
+
 TEST(SmpCampaign, PlantedBugCounterexampleIsDeterministic)
 {
     SmpScenarioOptions opts = quickOptions();
