@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Snapshot/restore and live-migration harness.
+ *
+ * Three sections, all written to BENCH_migrate.json:
+ *
+ * 1. Image round-trip throughput: fork-snapshot an enclave into an
+ *    EnclaveImage and restore it on a twin host, cycling — each trip
+ *    pays the full seal-every-page fold (content copy + MAC + digest)
+ *    plus the verify-and-rebuild on the twin, so pages/s bounds how
+ *    fast a whole enclave could be cloned across hosts.
+ * 2. Live migration on a write-skewed workload: iterative pre-copy
+ *    with dirty-bit tracking, reporting pre-copy round counts and the
+ *    stop-the-world downtime (wire time for the final dirty set) at
+ *    p50/p99.
+ * 3. The same workload schedule under stop-and-copy, which hauls
+ *    every resident page inside the pause.  The downtime-pages ratio
+ *    stop/live is the figure pre-copy exists to maximize; the bench
+ *    FAILS if it drops below 2x on this workload (the gate promised
+ *    in docs/MIGRATION.md).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.hh"
+#include "migrate/migrate.hh"
+
+using namespace hev;
+using namespace hev::hv;
+
+namespace
+{
+
+constexpr u64 imageTrips = 400;
+constexpr u64 migrateSamples = 60;
+constexpr u64 enclavePages = 32;
+constexpr u64 elStart = 0x10'0000;
+
+MonitorConfig
+monitorConfig()
+{
+    MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+Percentiles
+percentiles(std::vector<double> &ns)
+{
+    std::sort(ns.begin(), ns.end());
+    return {ns[ns.size() / 2], ns[ns.size() * 99 / 100]};
+}
+
+/** Write-skewed workload: every round rewrites words of one hot page. */
+void
+hotPageWrites(Machine &machine, EnclaveId id, u64 round)
+{
+    for (u64 k = 0; k < 4; ++k) {
+        const u64 va = elStart + k * sizeof(u64);
+        (void)machine.monitor().enclaveStore(id, Gva(va),
+                                             0x9000'0000 + round * 16 +
+                                                 k);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== enclave snapshot/restore + live migration ===\n\n");
+    bench::JsonReport report("migrate");
+    report.metric("enclave_pages", enclavePages);
+
+    // 1. Fork-snapshot + twin-restore round trips.
+    {
+        Machine src(monitorConfig());
+        Machine twin(monitorConfig());
+        auto enclave =
+            src.setupEnclave(elStart, enclavePages, 1, 0x516a);
+        if (!enclave) {
+            std::printf("FAILURE: setupEnclave: %s\n",
+                        hvErrorName(enclave.error()));
+            return 1;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        for (u64 i = 0; i < imageTrips; ++i) {
+            auto image = src.monitor().hcEnclaveSnapshot(
+                enclave->id, SnapshotMode::Fork);
+            if (!image) {
+                std::printf("FAILURE: snapshot %llu: %s\n",
+                            (unsigned long long)i,
+                            hvErrorName(image.error()));
+                return 1;
+            }
+            auto restored = twin.monitor().hcEnclaveRestoreImage(*image);
+            if (!restored) {
+                std::printf("FAILURE: restore %llu: %s\n",
+                            (unsigned long long)i,
+                            hvErrorName(restored.error()));
+                return 1;
+            }
+            // Retire the twin copy so the next trip has room; the
+            // anti-rollback ledger accepts the next image because each
+            // fork consumes fresh seal versions.
+            if (!twin.monitor().hcEnclaveRemove(*restored).ok()) {
+                std::printf("FAILURE: twin remove %llu\n",
+                            (unsigned long long)i);
+                return 1;
+            }
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        const u64 pages = imageTrips * (enclavePages + 1);
+        const double pps = double(pages) / elapsed.count();
+        std::printf("%llu snapshot+restore trips (%llu pages) in "
+                    "%.3f s (%.0f pages/s)\n",
+                    (unsigned long long)imageTrips,
+                    (unsigned long long)pages, elapsed.count(), pps);
+        report.metric("image_trips", imageTrips);
+        report.metric("image_pages_per_second", pps);
+        report.metric("image_elapsed_seconds", elapsed.count());
+    }
+
+    // 2. Live migration, write-skewed workload, downtime percentiles.
+    u64 live_downtime_pages = 0;
+    u64 live_workload_steps = 0;
+    {
+        std::vector<double> downtime_ns, switchover_ns;
+        u64 rounds_total = 0, pages_total = 0;
+        double wire_seconds = 0.0;
+        for (u64 s = 0; s < migrateSamples; ++s) {
+            Machine src(monitorConfig());
+            Machine dst(monitorConfig());
+            auto enclave =
+                src.setupEnclave(elStart, enclavePages, 1, 0x713b);
+            if (!enclave) {
+                std::printf("FAILURE: setupEnclave (live): %s\n",
+                            hvErrorName(enclave.error()));
+                return 1;
+            }
+            migrate::MigrateOptions opts;
+            opts.mode = SnapshotMode::Move;
+            opts.maxPrecopyRounds = 4;
+            const EnclaveId id = enclave->id;
+            auto result = migrate::migrateLive(
+                src, id, dst,
+                [&src, id](u64 round) { hotPageWrites(src, id, round); },
+                opts);
+            if (!result) {
+                std::printf("FAILURE: migrateLive %llu: %s\n",
+                            (unsigned long long)s,
+                            hvErrorName(result.error()));
+                return 1;
+            }
+            downtime_ns.push_back(double(result->downtimeNs));
+            switchover_ns.push_back(double(result->switchoverNs));
+            rounds_total += result->precopyRounds;
+            pages_total += result->totalPagesCopied;
+            live_downtime_pages = result->downtimePages;
+            live_workload_steps = result->workloadSteps;
+            for (const u64 ns : result->roundNs)
+                wire_seconds += double(ns) * 1e-9;
+        }
+        const Percentiles down = percentiles(downtime_ns);
+        const Percentiles sw = percentiles(switchover_ns);
+        const double pps = double(pages_total) / wire_seconds;
+        std::printf("live: %llu samples, %.1f pre-copy rounds avg, "
+                    "downtime p50 %.0f ns p99 %.0f ns, %.0f pages/s "
+                    "wire\n",
+                    (unsigned long long)migrateSamples,
+                    double(rounds_total) / double(migrateSamples),
+                    down.p50, down.p99, pps);
+        report.metric("live_samples", migrateSamples);
+        report.metric("live_precopy_rounds_total", rounds_total);
+        report.metric("live_workload_steps", live_workload_steps);
+        report.metric("live_downtime_pages", live_downtime_pages);
+        report.metric("live_downtime_p50_ns", down.p50);
+        report.metric("live_downtime_p99_ns", down.p99);
+        report.metric("live_switchover_p50_ns", sw.p50);
+        report.metric("live_switchover_p99_ns", sw.p99);
+        report.metric("live_wire_pages_per_second", pps);
+    }
+
+    // 3. Stop-and-copy under the identical workload schedule, and the
+    //    downtime-pages ratio gate.
+    {
+        std::vector<double> downtime_ns;
+        u64 stop_downtime_pages = 0;
+        for (u64 s = 0; s < migrateSamples; ++s) {
+            Machine src(monitorConfig());
+            Machine dst(monitorConfig());
+            auto enclave =
+                src.setupEnclave(elStart, enclavePages, 1, 0x713b);
+            if (!enclave) {
+                std::printf("FAILURE: setupEnclave (stop): %s\n",
+                            hvErrorName(enclave.error()));
+                return 1;
+            }
+            migrate::MigrateOptions opts;
+            opts.mode = SnapshotMode::Move;
+            opts.maxPrecopyRounds = 4;
+            const EnclaveId id = enclave->id;
+            // Match the live run's workload schedule so both twins see
+            // the identical final source state.
+            auto result = migrate::migrateStopAndCopy(
+                src, id, dst,
+                [&src, id](u64 round) { hotPageWrites(src, id, round); },
+                live_workload_steps, opts);
+            if (!result) {
+                std::printf("FAILURE: stopAndCopy %llu: %s\n",
+                            (unsigned long long)s,
+                            hvErrorName(result.error()));
+                return 1;
+            }
+            downtime_ns.push_back(double(result->downtimeNs));
+            stop_downtime_pages = result->downtimePages;
+        }
+        const Percentiles down = percentiles(downtime_ns);
+        const double ratio = double(stop_downtime_pages) /
+                             double(std::max(live_downtime_pages,
+                                             u64(1)));
+        std::printf("stop-and-copy: downtime p50 %.0f ns p99 %.0f ns, "
+                    "%llu pages in the pause (live paused for %llu — "
+                    "%.1fx)\n",
+                    down.p50, down.p99,
+                    (unsigned long long)stop_downtime_pages,
+                    (unsigned long long)live_downtime_pages, ratio);
+        report.metric("stop_downtime_pages", stop_downtime_pages);
+        report.metric("stop_downtime_p50_ns", down.p50);
+        report.metric("stop_downtime_p99_ns", down.p99);
+        report.metric("downtime_pages_ratio", ratio);
+        if (ratio < 2.0) {
+            std::printf("FAILURE: pre-copy downtime advantage %.2fx "
+                        "is below the 2x gate on a write-skewed "
+                        "workload\n",
+                        ratio);
+            return 1;
+        }
+    }
+
+    report.write();
+    std::printf("report written to BENCH_migrate.json\n");
+    return 0;
+}

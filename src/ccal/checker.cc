@@ -464,6 +464,8 @@ diffStates(const FlatState &a, const FlatState &b)
         out << "enclave metadata differs; ";
     if (a.pageContents != b.pageContents)
         out << "page contents differ; ";
+    if (a.imageLedger != b.imageLedger)
+        out << "image ledgers differ; ";
     return out.str();
 }
 

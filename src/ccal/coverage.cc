@@ -127,8 +127,8 @@ paperCoverage()
         {2, "pte_flags_new"},   {2, "pte_flags_check"},
         {2, "pte_flags_union"}, {2, "flag_is_present"},
         {3, "pte_new"},         {3, "pte_addr"},
-        {3, "pte_flags"},       {3, "pte_set"},
-        {3, "pte_clear"},       {3, "pte_is_huge"},
+        {3, "pte_flags"},       {3, "pte_set_dirty"},
+        {3, "pte_clear_dirty"}, {3, "pte_is_huge"},
         {4, "bitmap_get"},      {4, "bitmap_set"},
         {4, "bitmap_clear"},    {4, "bitmap_find_free"},
         {5, "frame_alloc"},     {5, "frame_free"},

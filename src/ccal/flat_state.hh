@@ -57,6 +57,44 @@ struct AbsSealedPage
     bool operator==(const AbsSealedPage &) const = default;
 };
 
+/** One page of an abstract enclave image: the sealed record plus the
+ *  enclave-linear address it restores at. */
+struct AbsImagePage
+{
+    u64 gva = 0;
+    AbsSealedPage sealed;
+
+    bool operator==(const AbsImagePage &) const = default;
+};
+
+/**
+ * Abstract enclave image — the spec-side view of hv::EnclaveImage.
+ * The concrete image binds everything under a MAC; abstractly the MAC
+ * collapses to the `authentic` flag (what a verifier would conclude),
+ * and the measurement is an opaque token used only as the anti-rollback
+ * ledger key.  Pages are in ascending gva order, sealed at
+ * versionBase + i — the same version consumption an evict-all fold
+ * performs, which is what the migration ≡ quiesced-fold equivalence
+ * rests on.
+ */
+struct AbsImage
+{
+    i64 sourceId = 0;
+    u64 measurement = 0;  //!< opaque token (ledger key)
+    u64 elStart = 0;
+    u64 elEnd = 0;
+    u64 mbufGva = 0;
+    u64 mbufPages = 0;
+    u64 mbufBacking = 0;
+    u64 addedPages = 0;   //!< header page count (truncation check)
+    u64 tcsPages = 0;
+    u64 versionBase = 0;
+    std::vector<AbsImagePage> pages;
+    bool authentic = true;  //!< abstraction of the MAC verdict
+
+    bool operator==(const AbsImage &) const = default;
+};
+
 /** Enclave metadata held by the hypercall layers. */
 struct AbsEnclave
 {
@@ -101,6 +139,12 @@ struct FlatState
      * copies must be tracked for the security model).
      */
     std::map<u64, u64> pageContents;
+    /**
+     * Anti-rollback ledger of restored enclave images: measurement
+     * token -> highest versionBase accepted.  A second restore of the
+     * same measurement must strictly advance the version vector.
+     */
+    std::map<u64, u64> imageLedger;
 
     explicit FlatState(const Geometry &geometry = Geometry{});
 

@@ -71,6 +71,8 @@ constexpr u64 pteAddrMask = 0x000f'ffff'ffff'f000ull;
 constexpr u64 pteFlagP = 1ull << 0;
 constexpr u64 pteFlagW = 1ull << 1;
 constexpr u64 pteFlagU = 1ull << 2;
+constexpr u64 pteFlagAccessed = 1ull << 5;
+constexpr u64 pteFlagDirty = 1ull << 6;
 constexpr u64 pteFlagHuge = 1ull << 7;
 /** Flags of an intermediate table link. */
 constexpr u64 pteLinkFlags = pteFlagP | pteFlagW | pteFlagU;
@@ -94,6 +96,9 @@ constexpr i64 errNoSuchEnclave = 10;
 constexpr i64 errForeignHandle = 11;
 constexpr i64 errSealAuth = 12;
 constexpr i64 errSealRollback = 13;
+constexpr i64 errImageAuth = 14;
+constexpr i64 errImageRollback = 15;
+constexpr i64 errImageTruncated = 16;
 
 /// @}
 

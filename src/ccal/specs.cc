@@ -1,7 +1,9 @@
 #include "ccal/specs.hh"
 
+#include <algorithm>
 #include <utility>
 
+#include "ccal/checker.hh"
 #include "ccal/tree_state.hh"
 
 namespace hev::ccal::spec
@@ -84,6 +86,18 @@ bool
 specPteWritable(u64 entry)
 {
     return entry & pteFlagW;
+}
+
+u64
+specPteSetDirty(u64 entry)
+{
+    return entry | pteFlagDirty;
+}
+
+u64
+specPteClearDirty(u64 entry)
+{
+    return entry & ~pteFlagDirty;
 }
 
 u64
@@ -733,6 +747,327 @@ checkEvictBatchFold(const FlatState &pre, i64 id,
         tree_ops.push_back({false, gva, 0, 0});
     return compareBatchAgainstFold(pre, id, batch_rc, batch_s, fold_rc,
                                    failed, fold_s, tree_ops);
+}
+
+i64
+specHcSnapshot(FlatState &s, i64 id, bool move_source, u64 measurement,
+               AbsImage *out)
+{
+    auto it = s.enclaves.find(id);
+    if (it == s.enclaves.end() || it->second.state == enclStateDead)
+        return errNoSuchEnclave;
+    AbsEnclave &enclave = it->second;
+    if (enclave.state != enclStateInitialized)
+        return errBadState;
+    // Evicted pages are in OS custody; the monitor cannot summon them
+    // into the image, so the enclave must be fully resident first.
+    if (!enclave.evicted.empty())
+        return errBadState;
+
+    // Resident pages in ascending enclave-linear order, read off the
+    // EPCM (the marshalling buffer is backed by normal memory and has
+    // no EPCM entries, so this is exactly the ELRANGE residency set).
+    std::vector<std::pair<u64, u64>> resident;  // (linAddr, epc page)
+    for (u64 index = 0; index < s.geo.epcCount; ++index) {
+        if (s.epcm[index].state == epcStateFree ||
+            s.epcm[index].owner != id)
+            continue;
+        resident.push_back(
+            {s.epcm[index].linAddr, s.geo.epcBase + index * pageSize});
+    }
+    std::sort(resident.begin(), resident.end());
+    if (resident.size() != enclave.addedPages)
+        return errBadState;
+
+    AbsImage img;
+    img.sourceId = id;
+    img.measurement = measurement;
+    img.elStart = enclave.elStart;
+    img.elEnd = enclave.elEnd;
+    img.mbufGva = enclave.mbufGva;
+    img.mbufPages = enclave.mbufPages;
+    img.mbufBacking = enclave.mbufBacking;
+    img.addedPages = enclave.addedPages;
+    img.tcsPages = enclave.tcsPages;
+    // The image consumes the version vector exactly as an evict-all
+    // fold would: page i seals at versionBase + i and the counter
+    // advances past the run.
+    img.versionBase = enclave.nextSealVersion;
+    img.pages.reserve(resident.size());
+    if (move_source) {
+        // Move semantics IS evict-all + remove: evicting page i mints
+        // the sealed record at versionBase + i, which goes straight
+        // into the image, and the emptied source is torn down.  Being
+        // literally the fold makes the migration ≡ quiesced-fold
+        // equality hold by construction on this side.
+        for (const auto &[gva, page] : resident) {
+            (void)page;
+            if (!specHcEvictPage(s, id, gva).isOk)
+                return errBadState; // unreachable past the quiesce
+            AbsImagePage image_page;
+            image_page.gva = gva;
+            image_page.sealed = s.enclaves.at(id).evicted.at(gva);
+            img.pages.push_back(image_page);
+        }
+        (void)specHcRemove(s, id);
+    } else {
+        // Fork reads the pages without disturbing them; only the
+        // version counter advances, exactly as the evict run would
+        // have moved it.
+        for (u64 i = 0; i < resident.size(); ++i) {
+            const u64 gva = resident[i].first;
+            const u64 page = resident[i].second;
+            const QueryResult stage1 =
+                specAsQuery(s, enclave.gptHandle, gva);
+            if (!stage1.isSome)
+                return errNotMapped;
+            AbsImagePage image_page;
+            image_page.gva = gva;
+            image_page.sealed.gpaSlot =
+                stage1.physAddr & ~(pageSize - 1);
+            image_page.sealed.kind =
+                s.epcm[(page - s.geo.epcBase) / pageSize].state;
+            image_page.sealed.version = img.versionBase + i;
+            const auto content = s.pageContents.find(page);
+            if (content != s.pageContents.end()) {
+                image_page.sealed.content = content->second;
+                image_page.sealed.hasContent = true;
+            }
+            img.pages.push_back(image_page);
+        }
+        enclave.nextSealVersion += resident.size();
+    }
+    if (out)
+        *out = img;
+    return 0;
+}
+
+IntResult
+specHcRestoreImage(FlatState &s, const AbsImage &img)
+{
+    // Structural honesty first, then authenticity, then freshness —
+    // the monitor's verification order.
+    if (img.pages.size() != img.addedPages)
+        return IntResult::err(errImageTruncated);
+    if (!img.authentic)
+        return IntResult::err(errImageAuth);
+    for (u64 i = 0; i < img.pages.size(); ++i)
+        if (img.pages[i].sealed.version != img.versionBase + i)
+            return IntResult::err(errImageAuth);
+    if (const auto led = s.imageLedger.find(img.measurement);
+        led != s.imageLedger.end() && img.versionBase <= led->second)
+        return IntResult::err(errImageRollback);
+
+    // All-or-nothing build on a scratch copy committed on success (the
+    // batch idiom): init on this host's geometry, then install every
+    // page at its recorded slot in image order.
+    FlatState scratch = s;
+    const IntResult created =
+        specHcInit(scratch, img.elStart, img.elEnd, img.mbufGva,
+                   img.mbufPages, img.mbufBacking);
+    if (!created.isOk)
+        return created;
+    const i64 id = i64(created.value);
+    AbsEnclave &enclave = scratch.enclaves[id];
+    for (const AbsImagePage &image_page : img.pages) {
+        i64 rc = specAsMap(scratch, enclave.gptHandle, image_page.gva,
+                           image_page.sealed.gpaSlot, pteRwFlags);
+        if (rc != 0)
+            return IntResult::err(rc);
+        const IntResult page = specEpcmAlloc(scratch, id, image_page.gva,
+                                             image_page.sealed.kind);
+        if (!page.isOk)
+            return page;
+        rc = specAsMap(scratch, enclave.eptHandle,
+                       image_page.sealed.gpaSlot, page.value, pteRwFlags);
+        if (rc != 0)
+            return IntResult::err(rc);
+        if (image_page.sealed.hasContent)
+            scratch.pageContents[page.value] = image_page.sealed.content;
+        ++enclave.addedPages;
+        if (image_page.sealed.kind == epcStateTcs)
+            ++enclave.tcsPages;
+    }
+    enclave.state = enclStateInitialized;
+    // Continue past the image's vector: the twin can never re-mint a
+    // version the image already spent.
+    enclave.nextSealVersion = img.versionBase + img.pages.size();
+    scratch.imageLedger[img.measurement] = img.versionBase;
+    s = std::move(scratch);
+    return IntResult::ok(u64(id));
+}
+
+BatchEquivalence
+checkMigrateQuiescedFold(const FlatState &src_pre, const FlatState &dst_pre,
+                         i64 id, bool move_source, u64 measurement)
+{
+    // --- Migration path: snapshot on the source, restore on the twin.
+    FlatState src_m = src_pre;
+    FlatState dst_m = dst_pre;
+    AbsImage img;
+    const i64 snap_rc =
+        specHcSnapshot(src_m, id, move_source, measurement, &img);
+    IntResult restore;
+    if (snap_rc == 0)
+        restore = specHcRestoreImage(dst_m, img);
+
+    // --- Quiesce preconditions of the reference semantics, in the
+    // monitor's rejection order.
+    i64 pre_rc = 0;
+    const auto pre_it = src_pre.enclaves.find(id);
+    if (pre_it == src_pre.enclaves.end() ||
+        pre_it->second.state == enclStateDead)
+        pre_rc = errNoSuchEnclave;
+    else if (pre_it->second.state != enclStateInitialized ||
+             !pre_it->second.evicted.empty())
+        pre_rc = errBadState;
+
+    if (pre_rc != 0) {
+        if (snap_rc != pre_rc)
+            return {false, "precondition error mismatch: snapshot " +
+                               std::to_string(snap_rc) +
+                               " vs quiesce contract " +
+                               std::to_string(pre_rc)};
+        if (!(src_m == src_pre) || !(dst_m == dst_pre))
+            return {false, "rejected snapshot left residue"};
+        return {};
+    }
+    if (snap_rc != 0)
+        return {false, "snapshot failed (" + std::to_string(snap_rc) +
+                           ") where the quiesce contract holds"};
+
+    // --- Source side of the fold: evict every resident page in
+    // ascending gva order; with move semantics, then remove.
+    FlatState src_f = src_pre;
+    std::vector<u64> gvas;
+    for (u64 index = 0; index < src_pre.geo.epcCount; ++index) {
+        if (src_pre.epcm[index].state == epcStateFree ||
+            src_pre.epcm[index].owner != id)
+            continue;
+        gvas.push_back(src_pre.epcm[index].linAddr);
+    }
+    std::sort(gvas.begin(), gvas.end());
+    std::map<u64, AbsSealedPage> sealed;
+    for (u64 i = 0; i < gvas.size(); ++i) {
+        const IntResult r = specHcEvictPage(src_f, id, gvas[i]);
+        if (!r.isOk)
+            return {false, "evict-all fold failed (" +
+                               std::to_string(r.errCode) +
+                               ") at element " + std::to_string(i) +
+                               " where the snapshot succeeded"};
+    }
+    sealed = src_f.enclaves.at(id).evicted;
+    if (move_source) {
+        (void)specHcRemove(src_f, id);
+    } else {
+        // Fork leaves the source resident: the reference post-state is
+        // the pre-state with the version vector consumed.
+        src_f = src_pre;
+        src_f.enclaves.at(id).nextSealVersion += u64(gvas.size());
+    }
+    if (!(src_m == src_f))
+        return {false, "source state diverges from the quiesced fold: " +
+                           diffStates(src_m, src_f)};
+
+    // --- Destination side of the fold: init a twin, hand it the
+    // transported metadata (the evicted set, counters and state the
+    // image carries), then a reload-all fold materializes residency.
+    FlatState dst_f = dst_pre;
+    FlatState dst_init_only;
+    i64 dst_fold_rc = 0;
+    u64 dst_failed = 0;
+    i64 twin_id = 0;
+    // The freshness contract is part of the quiesced reference too:
+    // a destination whose ledger already records this lineage at or
+    // past the image's version vector must reject the whole fold.
+    if (const auto led = dst_pre.imageLedger.find(measurement);
+        led != dst_pre.imageLedger.end() && img.versionBase <= led->second)
+        dst_fold_rc = errImageRollback;
+    IntResult twin;
+    if (dst_fold_rc == 0)
+        twin = specHcInit(dst_f, img.elStart, img.elEnd, img.mbufGva,
+                          img.mbufPages, img.mbufBacking);
+    if (dst_fold_rc != 0) {
+        // rejected before the init: nothing to fold
+    } else if (!twin.isOk) {
+        dst_fold_rc = twin.errCode;
+    } else {
+        twin_id = i64(twin.value);
+        dst_init_only = dst_f;
+        AbsEnclave &twin_enclave = dst_f.enclaves.at(twin_id);
+        twin_enclave.evicted = sealed;
+        twin_enclave.state = enclStateInitialized;
+        twin_enclave.addedPages = img.addedPages;
+        twin_enclave.tcsPages = img.tcsPages;
+        twin_enclave.nextSealVersion =
+            img.versionBase + img.pages.size();
+        u64 i = 0;
+        for (const auto &[gva, rec] : sealed) {
+            const i64 rc = specHcReloadPage(dst_f, twin_id, twin_id,
+                                            gva, rec.version);
+            if (rc != 0) {
+                dst_fold_rc = rc;
+                dst_failed = i;
+                break;
+            }
+            ++i;
+        }
+        if (dst_fold_rc == 0)
+            dst_f.imageLedger[measurement] = img.versionBase;
+    }
+
+    if (dst_fold_rc != 0) {
+        const i64 restore_rc = restore.isOk ? 0 : restore.errCode;
+        if (restore_rc != dst_fold_rc)
+            return {false, "error mismatch: restore " +
+                               std::to_string(restore_rc) +
+                               " vs destination fold " +
+                               std::to_string(dst_fold_rc) +
+                               " at element " +
+                               std::to_string(dst_failed)};
+        if (!(dst_m == dst_pre))
+            return {false,
+                    "failed restore left residue on the destination"};
+        return {};
+    }
+    if (!restore.isOk)
+        return {false, "restore failed (" +
+                           std::to_string(restore.errCode) +
+                           ") where the destination fold succeeded"};
+    if (i64(restore.value) != twin_id)
+        return {false, "restored id diverges from the fold's twin"};
+    if (!(dst_m == dst_f))
+        return {false,
+                "destination state diverges from the quiesced fold"};
+
+    // --- Refinement R + tree lift on the twin.
+    const AbsEnclave &twin_enclave = dst_m.enclaves.at(twin_id);
+    const u64 gpt_root = dst_m.rootOf(twin_enclave.gptHandle);
+    const u64 ept_root = dst_m.rootOf(twin_enclave.eptHandle);
+    for (const u64 root : {gpt_root, ept_root}) {
+        if (root == 0)
+            continue;
+        if (!refinesFlat(treeFromFlat(dst_m, root), dst_m, root))
+            return {false, "refinement R broken on the twin for root " +
+                               std::to_string(root)};
+    }
+    if (gpt_root != 0) {
+        const u64 init_root = dst_init_only.rootOf(
+            dst_init_only.enclaves.at(twin_id).gptHandle);
+        TreeState tree = treeFromFlat(dst_init_only, init_root);
+        std::vector<TreeBatchOp> tree_ops;
+        tree_ops.reserve(img.pages.size());
+        for (const AbsImagePage &image_page : img.pages)
+            tree_ops.push_back({true, image_page.gva,
+                                image_page.sealed.gpaSlot, pteRwFlags});
+        if (const i64 rc = treeApplyBatch(tree, tree_ops); rc != 0)
+            return {false, "tree install failed (" + std::to_string(rc) +
+                               ") where the restore succeeded"};
+        if (!treesEqual(tree, treeFromFlat(dst_m, gpt_root)))
+            return {false, "tree install diverges from the lift of the "
+                           "restored GPT"};
+    }
+    return {};
 }
 
 QueryResult

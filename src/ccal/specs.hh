@@ -111,6 +111,10 @@ u64 specPteFlags(u64 entry);
 bool specPtePresent(u64 entry);
 bool specPteHuge(u64 entry);
 bool specPteWritable(u64 entry);
+/** Entry with the walker's dirty bit set (write-fault stamping). */
+u64 specPteSetDirty(u64 entry);
+/** Entry with the dirty bit cleared (pre-copy round reset). */
+u64 specPteClearDirty(u64 entry);
 
 /// @}
 
@@ -319,6 +323,61 @@ BatchEquivalence checkAddBatchFold(const FlatState &pre, i64 id,
 /** The batch≡fold theorem for evict_pages; same obligations. */
 BatchEquivalence checkEvictBatchFold(const FlatState &pre, i64 id,
                                      const std::vector<u64> &gvas);
+
+/// @}
+
+/// @name L14c — snapshot / restore (migration)
+/// @{
+
+/**
+ * snapshot: fold a quiesced enclave's resident pages into an abstract
+ * image.  Pages are enumerated in ascending enclave-linear order and
+ * sealed at versionBase + i with versionBase = nextSealVersion; the
+ * counter advances past the run, exactly as an evict-all fold would
+ * consume it.  `measurement` is the opaque token the concrete monitor
+ * computes (the fold over page contents); the abstract machine treats
+ * it as data.  With `move_source` the source's pages move into its
+ * evicted set and the enclave is torn down (evict-all + remove);
+ * without it the source keeps running untouched (fork).  Rejected with
+ * errBadState while the enclave is un-initialized or has evicted
+ * pages in OS custody.  Returns 0 and fills *out on success.
+ */
+i64 specHcSnapshot(FlatState &s, i64 id, bool move_source,
+                   u64 measurement, AbsImage *out);
+
+/**
+ * restore_image: rebuild an enclave from an abstract image on this
+ * host.  Typed rejections in monitor order: errImageTruncated when the
+ * page vector contradicts the header, errImageAuth when the image is
+ * not authentic (the MAC verdict, abstracted), errImageRollback when
+ * the ledger has already accepted this measurement at an equal-or-
+ * later versionBase.  The build itself is all-or-nothing: a mid-build
+ * failure (EPC or frame exhaustion on this host) leaves the state
+ * exactly as it was.  Value is the new enclave id.
+ */
+IntResult specHcRestoreImage(FlatState &s, const AbsImage &img);
+
+/**
+ * The migration ≡ quiesced-fold theorem, checked executably from the
+ * two hosts' pre-states: migrating enclave `id` from `src_pre` to
+ * `dst_pre` (snapshot + restore_image) must agree with the quiesced
+ * copy semantics — an evict-all fold on the source (plus remove when
+ * moving) and an init + reload-all fold of the sealed records on the
+ * destination:
+ *  - the quiesce preconditions reject with the same error both ways;
+ *  - a destination-side fold failure at element k with error e means
+ *    restore fails with exactly e and leaves the destination equal to
+ *    `dst_pre` (all-or-nothing), while the source still committed the
+ *    same post-state both ways;
+ *  - on success both hosts' states are equal pairwise across the two
+ *    paths, refinement R holds of the twin's lifted tables, and the
+ *    tree-level image of the page installs lands on the lift of the
+ *    restored GPT.
+ */
+BatchEquivalence checkMigrateQuiescedFold(const FlatState &src_pre,
+                                          const FlatState &dst_pre,
+                                          i64 id, bool move_source,
+                                          u64 measurement);
 
 /// @}
 

@@ -153,6 +153,10 @@ sweepPteOps(ShardContext &ctx, int iters)
             {"pte_huge", {uv(entry)}, Value::boolVal(specPteHuge(entry))},
             {"pte_writable", {uv(entry)},
              Value::boolVal(specPteWritable(entry))},
+            {"pte_set_dirty", {uv(entry)},
+             uv(specPteSetDirty(entry))},
+            {"pte_clear_dirty", {uv(entry)},
+             uv(specPteClearDirty(entry))},
         };
         for (const Probe &probe : probes) {
             auto out = harness.run(probe.fn, probe.args);

@@ -13,6 +13,7 @@
 #include "fuzz/smp_executor.hh"
 #include "hv/hv_invariants.hh"
 #include "hv/machine.hh"
+#include "migrate/migrate.hh"
 #include "obs/flight.hh"
 #include "sec/invariants.hh"
 
@@ -76,8 +77,11 @@ classifyHv(HvError error)
       case HvError::OutOfEpc: return Rc::Resource;
       case HvError::NoSuchEnclave:
       case HvError::NotMapped: return Rc::NoSuch;
-      case HvError::SealAuthFailed: return Rc::SealAuth;
-      case HvError::SealRollback: return Rc::SealRollback;
+      case HvError::SealAuthFailed:
+      case HvError::ImageAuthFailed: return Rc::SealAuth;
+      case HvError::SealRollback:
+      case HvError::ImageRollback: return Rc::SealRollback;
+      case HvError::ImageTruncated: return Rc::Invalid;
       default: return Rc::Invalid;
     }
 }
@@ -96,8 +100,11 @@ classifySpec(i64 code)
       case errOutOfEpc: return Rc::Resource;
       case errNoSuchEnclave:
       case errNotMapped: return Rc::NoSuch;
-      case errSealAuth: return Rc::SealAuth;
-      case errSealRollback: return Rc::SealRollback;
+      case errSealAuth:
+      case errImageAuth: return Rc::SealAuth;
+      case errSealRollback:
+      case errImageRollback: return Rc::SealRollback;
+      case errImageTruncated: return Rc::Invalid;
       default: return Rc::Invalid;
     }
 }
@@ -152,7 +159,8 @@ class Executor
     explicit Executor(const ExecOptions &options)
         : opts(options), machine(options.monitor),
           specState(geometryOf(options.monitor)),
-          mirFlat(geometryOf(options.monitor))
+          mirFlat(geometryOf(options.monitor)),
+          twinState(geometryOf(options.monitor))
     {
         // One staging page in normal memory feeds every add_page; a
         // fresh machine cannot fail this allocation.
@@ -244,6 +252,9 @@ class Executor
           case OpKind::ReloadPage: return opReloadPage(op);
           case OpKind::AddPagesBatch: return opAddPagesBatch(op);
           case OpKind::EvictPagesBatch: return opEvictPagesBatch(op);
+          case OpKind::Snapshot: return opSnapshot(op);
+          case OpKind::RestoreImage: return opRestoreImage(op);
+          case OpKind::MigrateLive: return opMigrateLive(op);
         }
         return std::nullopt;
     }
@@ -786,6 +797,405 @@ class Executor
         if (auto f = invariantsAgree("evict_pages_batch"))
             return f;
         return epcmAgree("evict_pages_batch");
+    }
+
+    Fail
+    opSnapshot(const Op &op)
+    {
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        const bool move = op.b & 1;
+        const hv::SnapshotMode mode =
+            move ? hv::SnapshotMode::Move : hv::SnapshotMode::Fork;
+
+        if (inEnclave && hv_id == curEnclave) {
+            // The spec has no notion of an executing vCPU; the monitor
+            // must refuse to snapshot the enclave it is running on its
+            // own (a resident vCPU keeps state outside the image).
+            auto image = machine.monitor().hcEnclaveSnapshot(hv_id, mode);
+            if (image.ok())
+                return "hv snapshotted the enclave the vCPU is "
+                       "executing in";
+            lastRc = classifyHv(image.error());
+            return invariantsAgree("snapshot-active");
+        }
+
+        auto image = machine.monitor().hcEnclaveSnapshot(hv_id, mode);
+        // The spec's measurement is an opaque ledger token; use the
+        // monitor's so the two anti-rollback ledgers stay key-aligned.
+        const u64 meas = image.ok() ? image->measurement : 0;
+
+        // The migration ≡ quiesced-fold theorem, checked from the live
+        // pre-states (pure: both states are copied).  Gated to a
+        // deterministic quarter of successful snapshots for throughput.
+        if (image.ok() && (op.d & 3) == 0) {
+            const BatchEquivalence eq = checkMigrateQuiescedFold(
+                specState, twinState, spec_id, move, meas);
+            if (!eq.equivalent)
+                return "snapshot quiesced-fold equivalence broken: " +
+                       eq.detail;
+        }
+
+        AbsImage abs;
+        const i64 rc =
+            specHcSnapshot(specState, spec_id, move, meas, &abs);
+        if (opts.mirLockstep) {
+            // No L14 MIR model for snapshot; apply the spec transition
+            // to the MIR shadow state, as evict does.
+            (void)specHcSnapshot(mirFlat, spec_id, move, meas, nullptr);
+        }
+
+        if (image.ok() != (rc == 0)) {
+            std::ostringstream msg;
+            msg << "snapshot verdicts differ: hv="
+                << (image.ok() ? "ok" : hvErrorName(image.error()))
+                << " spec=" << rc;
+            return msg.str();
+        }
+        if (!image.ok() && classifyHv(image.error()) != classifySpec(rc)) {
+            std::ostringstream msg;
+            msg << "snapshot error classes differ: hv="
+                << hvErrorName(image.error()) << " ("
+                << rcName(classifyHv(image.error())) << ") vs spec "
+                << rc << " (" << rcName(classifySpec(rc)) << ")";
+            return msg.str();
+        }
+        lastRc = image.ok() ? Rc::Ok : classifyHv(image.error());
+
+        if (image.ok()) {
+            // Image shape agreement: same pages, same gva order, the
+            // same evict-all version vector.
+            if (image->pages.size() != abs.pages.size() ||
+                image->versionBase != abs.versionBase) {
+                std::ostringstream msg;
+                msg << "snapshot image skew: hv " << image->pages.size()
+                    << " pages from version " << image->versionBase
+                    << " vs spec " << abs.pages.size() << " from "
+                    << abs.versionBase;
+                return msg.str();
+            }
+            for (u64 i = 0; i < abs.pages.size(); ++i) {
+                if (image->pages[i].gva.value != abs.pages[i].gva ||
+                    image->pages[i].version !=
+                        abs.pages[i].sealed.version) {
+                    std::ostringstream msg;
+                    msg << "snapshot page " << i << " skew: hv gva "
+                        << std::hex << image->pages[i].gva.value << " v"
+                        << std::dec << image->pages[i].version
+                        << " vs spec gva " << std::hex
+                        << abs.pages[i].gva << " v" << std::dec
+                        << abs.pages[i].sealed.version;
+                    return msg.str();
+                }
+            }
+            images.push_back({*image, abs});
+            if (move) {
+                removesHappened = true;
+                gptTrees.erase(hv_id);
+            } else if (auto f = treeAgree(
+                           "snapshot gpt", gptTrees.at(hv_id),
+                           specState.enclaves.at(spec_id).gptHandle)) {
+                return f;
+            }
+        }
+        if (auto f = invariantsAgree("snapshot"))
+            return f;
+        return epcmAgree("snapshot");
+    }
+
+    Fail
+    opRestoreImage(const Op &op)
+    {
+        if (images.empty())
+            return std::nullopt;
+        ensureTwin();
+        if (twinLowOnFrames())
+            return std::nullopt;
+        const ImagePair &pair = images[op.a % images.size()];
+        hv::EnclaveImage hv_img = pair.hvImage;
+        AbsImage abs_img = pair.absImage;
+
+        // OS-side tampering before presentation: the concrete image is
+        // corrupted for real, the abstract one records what a verifier
+        // would conclude.
+        switch (op.c % 4) {
+          case 0: // presented verbatim (replays draw ImageRollback)
+            break;
+          case 1: // header MAC flip
+            hv_img.mac ^= 1;
+            abs_img.authentic = false;
+            break;
+          case 2: // truncate: the page vector contradicts the header
+            hv_img.pages.pop_back();
+            hv_img.pageMeta.pop_back();
+            abs_img.pages.pop_back();
+            break;
+          default: // content tamper under the original blob MAC
+            hv_img.pages[0].words[0] ^= 1;
+            abs_img.authentic = false;
+            break;
+        }
+
+        auto twin_id = twin->monitor().hcEnclaveRestoreImage(hv_img);
+        const IntResult rc = specHcRestoreImage(twinState, abs_img);
+
+        if (twin_id.ok() != rc.isOk) {
+            std::ostringstream msg;
+            msg << "restore verdicts differ: hv="
+                << (twin_id.ok() ? "ok" : hvErrorName(twin_id.error()))
+                << " spec=" << (rc.isOk ? i64(0) : rc.errCode);
+            return msg.str();
+        }
+        if (!twin_id.ok() &&
+            classifyHv(twin_id.error()) != classifySpec(rc.errCode)) {
+            std::ostringstream msg;
+            msg << "restore error classes differ: hv="
+                << hvErrorName(twin_id.error()) << " ("
+                << rcName(classifyHv(twin_id.error())) << ") vs spec "
+                << rc.errCode << " ("
+                << rcName(classifySpec(rc.errCode)) << ")";
+            return msg.str();
+        }
+        lastRc = twin_id.ok() ? Rc::Ok : classifyHv(twin_id.error());
+
+        if (twin_id.ok()) {
+            // Only restores create enclaves on the twin, so ids stay
+            // aligned between the concrete and abstract hosts.
+            if (u64(*twin_id) != u64(rc.value)) {
+                std::ostringstream msg;
+                msg << "twin enclave id skew: hv " << u64(*twin_id)
+                    << " vs spec " << rc.value;
+                return msg.str();
+            }
+            // Ledger agreement on the key both sides just accepted.
+            const auto hv_led = twin->monitor().restoredImageLedger();
+            const auto hv_it = hv_led.find(hv_img.measurement);
+            const auto sp_it =
+                twinState.imageLedger.find(abs_img.measurement);
+            if (hv_it == hv_led.end() ||
+                sp_it == twinState.imageLedger.end() ||
+                hv_it->second != sp_it->second) {
+                std::ostringstream msg;
+                msg << "twin ledger skew for measurement " << std::hex
+                    << hv_img.measurement;
+                return msg.str();
+            }
+            // Content: every restored page equals its sealed payload.
+            std::array<u64, pageSize / sizeof(u64)> words{};
+            for (const hv::SealedBlob &blob : hv_img.pages) {
+                if (!twin->monitor()
+                         .enclaveReadPage(*twin_id, blob.gva,
+                                          words.data())
+                         .ok())
+                    return "restored page does not read back";
+                if (words != blob.words) {
+                    std::ostringstream msg;
+                    msg << "restore content mismatch at gva " << std::hex
+                        << blob.gva.value;
+                    return msg.str();
+                }
+            }
+        }
+        return twinInvariants("restore_image");
+    }
+
+    Fail
+    opMigrateLive(const Op &op)
+    {
+        if (inEnclave)
+            return std::nullopt; // the engine quiesces the source itself
+        if (lowOnFrames())
+            return std::nullopt;
+        EnclaveId hv_id;
+        i64 spec_id;
+        pickEnclave(op.a, hv_id, spec_id);
+        ensureTwin();
+        if (twinLowOnFrames())
+            return std::nullopt;
+
+        const hv::Enclave *enc = machine.monitor().findEnclave(hv_id);
+        const bool move = op.c & 1;
+        const u64 meas = enc ? enc->measurement : 0;
+
+        // Deterministic dirty injection between rounds: each workload
+        // step rewrites one resident page through the stamping path.
+        std::vector<Gva> resident;
+        if (auto r = machine.monitor().enclaveResidentPages(hv_id))
+            resident = std::move(*r);
+        const u64 salt = op.d;
+        const auto workload = [&](u64 round) {
+            for (u64 t = 0; t < 4 && t < resident.size(); ++t) {
+                const Gva va =
+                    resident[(salt + round + t) % resident.size()];
+                if (machine.monitor()
+                        .enclaveStore(hv_id, va,
+                                      0xd117'0000 + salt * 16 + round)
+                        .ok())
+                    break;
+            }
+        };
+
+        migrate::MigrateOptions mopts;
+        mopts.mode = move ? hv::SnapshotMode::Move
+                          : hv::SnapshotMode::Fork;
+        mopts.maxPrecopyRounds = 1 + op.b % 3;
+        auto result =
+            migrate::migrateLive(machine, hv_id, *twin, workload, mopts);
+
+        // Mirror the spec on a scratch copy: the source-side fold
+        // commits exactly when the engine got past sealFromStaging —
+        // i.e. on success, or on a restore-stage failure (the twin ran
+        // dry or its ledger refused the lineage).
+        FlatState scratch = specState;
+        AbsImage abs;
+        const i64 rc = specHcSnapshot(scratch, spec_id, move, meas, &abs);
+
+        if (result.ok()) {
+            lastRc = Rc::Ok;
+            if (rc != 0) {
+                std::ostringstream msg;
+                msg << "migrate_live succeeded but the spec source fold "
+                       "failed with "
+                    << rc;
+                return msg.str();
+            }
+            commitMigrateFold(scratch, hv_id, move);
+            const IntResult rr = specHcRestoreImage(twinState, abs);
+            if (!rr.isOk) {
+                std::ostringstream msg;
+                msg << "migrate_live restored on the twin but the spec "
+                       "restore failed with "
+                    << rr.errCode;
+                return msg.str();
+            }
+            if (u64(result->dstId) != u64(rr.value)) {
+                std::ostringstream msg;
+                msg << "migrated twin id skew: hv " << u64(result->dstId)
+                    << " vs spec " << rr.value;
+                return msg.str();
+            }
+            if (!move) {
+                // The content oracle: after a fork migration the twin
+                // must hold exactly what the source holds now — this is
+                // what catches skip-dirty-on-final-round, whose stale
+                // pages ship under freshly recomputed, valid MACs.
+                std::array<u64, pageSize / sizeof(u64)> src_words{};
+                std::array<u64, pageSize / sizeof(u64)> dst_words{};
+                for (const Gva gva : resident) {
+                    if (!machine.monitor()
+                             .enclaveReadPage(hv_id, gva,
+                                              src_words.data())
+                             .ok() ||
+                        !twin->monitor()
+                             .enclaveReadPage(result->dstId, gva,
+                                              dst_words.data())
+                             .ok())
+                        return "migrated page does not read back";
+                    if (src_words != dst_words) {
+                        std::ostringstream msg;
+                        msg << "migrate content oracle: twin diverges "
+                               "at gva "
+                            << std::hex << gva.value;
+                        return msg.str();
+                    }
+                }
+            } else if (machine.monitor().findEnclave(hv_id)) {
+                return "move migration left the source enclave alive";
+            }
+        } else {
+            const HvError e = result.error();
+            lastRc = classifyHv(e);
+            const bool fold_committed =
+                e == HvError::ImageRollback || e == HvError::OutOfEpc ||
+                e == HvError::OutOfMemory ||
+                e == HvError::ImageAuthFailed ||
+                e == HvError::ImageTruncated;
+            if (fold_committed) {
+                if (rc != 0) {
+                    std::ostringstream msg;
+                    msg << "migrate_live failed on the twin (restore "
+                           "stage) but the spec source fold failed "
+                           "upstream with "
+                        << rc;
+                    return msg.str();
+                }
+                commitMigrateFold(scratch, hv_id, move);
+                const IntResult rr = specHcRestoreImage(twinState, abs);
+                if (rr.isOk ||
+                    classifySpec(rr.errCode) != classifyHv(e)) {
+                    std::ostringstream msg;
+                    msg << "migrate restore-failure classes differ: hv="
+                        << hvErrorName(e) << " vs spec "
+                        << (rr.isOk ? i64(0) : rr.errCode);
+                    return msg.str();
+                }
+            } else if (rc == 0 || classifySpec(rc) != classifyHv(e)) {
+                std::ostringstream msg;
+                msg << "migrate quiesce-failure classes differ: hv="
+                    << hvErrorName(e) << " vs spec " << rc;
+                return msg.str();
+            }
+        }
+        if (auto f = invariantsAgree("migrate_live"))
+            return f;
+        if (auto f = twinInvariants("migrate_live"))
+            return f;
+        return epcmAgree("migrate_live");
+    }
+
+    /** Commit a scratch spec fold after migrateLive moved the source. */
+    void
+    commitMigrateFold(FlatState &scratch, EnclaveId hv_id, bool move)
+    {
+        specState = std::move(scratch);
+        if (opts.mirLockstep) {
+            // Keep the MIR shadow equal to the committed spec state
+            // (no L14 model for the migration fold).
+            mirFlat = specState;
+        }
+        if (move) {
+            removesHappened = true;
+            gptTrees.erase(hv_id);
+        }
+    }
+
+    /** Invariants of the twin host, both concrete and abstract. */
+    Fail
+    twinInvariants(const char *where)
+    {
+        const auto hv_viol =
+            hv::checkMonitorInvariants(twin->monitor());
+        if (!hv_viol.empty())
+            return std::string(where) +
+                   ": twin monitor invariant broken: " + hv_viol.front();
+        const auto spec_viol = sec::checkInvariants(twinState);
+        if (!spec_viol.empty())
+            return std::string(where) +
+                   ": twin abstract invariant broken: " +
+                   spec_viol.front().detail;
+        return std::nullopt;
+    }
+
+    /** The restore/migration target host, created on first use. */
+    void
+    ensureTwin()
+    {
+        if (!twin)
+            twin = std::make_unique<Machine>(opts.monitor);
+    }
+
+    /** The twin-side analogue of lowOnFrames (same model gap). */
+    bool
+    twinLowOnFrames() const
+    {
+        const auto &fa = twin->monitor().ptAlloc();
+        if (fa.totalFrames() - fa.usedFrames() < 16)
+            return true;
+        u64 free_spec = 0;
+        for (const bool used : twinState.allocated)
+            free_spec += used ? 0 : 1;
+        return free_spec < 16;
     }
 
     Fail
@@ -1376,6 +1786,15 @@ class Executor
         u64 version = 0;
     };
 
+    /** One enclave image in (modeled) OS custody, append-only like the
+     *  blob history: stale images stay presentable, which is what the
+     *  anti-rollback ledger has to reject. */
+    struct ImagePair
+    {
+        hv::EnclaveImage hvImage;
+        AbsImage absImage;
+    };
+
     const ExecOptions &opts;
     Machine machine;
     FlatState specState;
@@ -1385,6 +1804,10 @@ class Executor
     std::map<EnclaveId, TreeState> gptTrees;
     std::vector<EnclaveId> created;
     std::vector<SealedPair> sealedBlobs;
+    std::vector<ImagePair> images;
+    /** The restore/migration target host (lazy) and its spec shadow. */
+    std::unique_ptr<Machine> twin;
+    FlatState twinState;
     bool removesHappened = false;
     bool inEnclave = false;
     EnclaveId curEnclave = invalidEnclave;
@@ -1415,7 +1838,8 @@ plantedBugNames()
     return {"elrange-off-by-one", "epcm-owner-skip",   "stale-tlb",
             "wrong-perm-mask",    "frame-double-free", "tree-skew",
             "skip-shootdown-ack", "seal-rollback-accept",
-            "batch-skip-middle-invalidate"};
+            "batch-skip-middle-invalidate",
+            "skip-dirty-page-on-final-round"};
 }
 
 bool
@@ -1445,6 +1869,11 @@ applyPlantedBug(ExecOptions &opts, const std::string &name)
         // where the coherence oracle sees the surviving entry.
         opts.smpFuzz = true;
         opts.monitor.planted.batchSkipMiddleInvalidate = true;
+    } else if (name == "skip-dirty-page-on-final-round") {
+        // Silent at the protocol level: the stale staged pages ship
+        // under freshly recomputed, valid MACs, so only the
+        // migrate_live content oracle on the restored twin catches it.
+        opts.monitor.planted.skipDirtyOnFinalRound = true;
     } else
         return false;
     return true;

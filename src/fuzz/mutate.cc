@@ -247,6 +247,37 @@ seedTraces()
         {K::ReloadPage, 0, 0, 1, 0},
     }));
 
+    // Migration skeleton: build an enclave, fork-snapshot it (d=0 also
+    // runs the quiesced-fold checker), restore the image on the twin
+    // host, replay it (ImageRollback both sides), then a fork live
+    // migration whose injected workload keeps pages hot — the shape
+    // that corners skip-dirty-page-on-final-round.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 1, 0, 0},
+        {K::HcAddPage, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 1, 8, 0}, // TCS page, or init_finish fails
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::Snapshot, 0, 0, 0, 0},     // fork
+        {K::RestoreImage, 0, 0, 0, 0}, // clean restore on the twin
+        {K::RestoreImage, 0, 0, 0, 0}, // replay: rollback both sides
+        {K::MigrateLive, 0, 1, 0, 0},  // fork, two pre-copy rounds
+    }));
+
+    // Image tampering and retirement: every corrupted presentation
+    // draws its typed rejection, then a move snapshot retires the
+    // source and its image restores once.
+    seeds.push_back(trace({
+        {K::HcInit, 0, 0, 0, 0},
+        {K::HcAddPage, 0, 0, 8, 0}, // single TCS page
+        {K::HcInitFinish, 0, 0, 0, 0},
+        {K::Snapshot, 0, 0, 0, 0},     // fork first (source survives)
+        {K::RestoreImage, 0, 0, 1, 0}, // header MAC flip
+        {K::RestoreImage, 0, 0, 2, 0}, // truncated page vector
+        {K::RestoreImage, 0, 0, 3, 0}, // content forgery
+        {K::Snapshot, 0, 1, 0, 0},     // move: source retired
+        {K::RestoreImage, 1, 0, 0, 0}, // the moved image lands
+    }));
+
     // In-enclave memory probing across all decode regions.
     seeds.push_back(trace({
         {K::HcInit, 0, 1, 0, 0},

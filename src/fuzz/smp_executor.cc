@@ -78,6 +78,8 @@ class SmpExecutor
     std::array<Gpa, slotCount> backing{};
     /** Sealed blobs in (modeled) OS custody, append-only. */
     std::vector<hv::SealedBlob> blobs;
+    /** Enclave images in (modeled) OS custody, append-only. */
+    std::vector<hv::EnclaveImage> images;
 };
 
 u64
@@ -243,6 +245,29 @@ SmpExecutor::applyOp(const Op &op)
             blobs.push_back(blob);
         return 0;
       }
+      case OpKind::Snapshot: {
+        const u64 which = op.a % enclaves.size();
+        auto image = smp.hcEnclaveSnapshot(
+            v, EnclaveId(enclaveIdOf(op.a)),
+            op.b & 1 ? hv::SnapshotMode::Move : hv::SnapshotMode::Fork);
+        if (!image)
+            return u64(image.error()) + 1;
+        if (op.b & 1)
+            enclaves[which].reset(); // move retired the source
+        images.push_back(std::move(*image));
+        return 0;
+      }
+      case OpKind::RestoreImage: {
+        if (images.empty())
+            return 98; // nothing in custody; deterministic no-op code
+        auto twin = smp.hcEnclaveRestoreImage(
+            v, images[op.c % images.size()]);
+        return twin ? 0 : u64(twin.error()) + 1;
+      }
+      case OpKind::MigrateLive:
+        // The live-migration engine drives a Machine pair, not an
+        // SmpMonitor; the SMP stream folds it to a deterministic no-op.
+        return 97;
     }
     return 0;
 }

@@ -17,6 +17,7 @@ constexpr const char *kindNames[opKindCount] = {
     "os_unmap",    "os_map",      "query_va",       "layer_map",
     "layer_unmap", "layer_query", "evict_page",     "reload_page",
     "add_pages_batch", "evict_pages_batch",
+    "snapshot",    "restore_image", "migrate_live",
 };
 
 /** Parse a decimal or 0x-hex u64. */

@@ -45,9 +45,12 @@ enum class OpKind : u8
     ReloadPage,    //!< hypercall reload (ELD); a=enclave sel, b=gva sel, c=blob sel
     AddPagesBatch,   //!< batched add_page; a=enclave sel, b=gva sel, c=twist/kind, d=count
     EvictPagesBatch, //!< batched evict; a=enclave sel, b=gva sel, d=count
+    Snapshot,        //!< whole-enclave snapshot; a=enclave sel, b=mode (odd=Move)
+    RestoreImage,    //!< restore on the twin host; a=image sel, c=corruption sel
+    MigrateLive,     //!< live pre-copy migration to the twin; a=enclave sel, b=rounds, c=mode
 };
 
-constexpr u32 opKindCount = 18;
+constexpr u32 opKindCount = 21;
 
 /** Stable lower-snake name ("hc_init", "mem_load", ...). */
 const char *opKindName(OpKind kind);

@@ -1,5 +1,6 @@
 #include "hv/monitor.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "obs/timer.hh"
@@ -58,6 +59,8 @@ const obs::Counter statExits("hv.enclave_exits");
 const obs::Counter statPagesEvicted("hv.pages_evicted");
 const obs::Counter statPagesReloaded("hv.pages_reloaded");
 const obs::Counter statTranslations("hv.translations");
+const obs::Counter statImagesSnapshotted("hv.images_snapshotted");
+const obs::Counter statImagesRestored("hv.images_restored");
 const obs::Histogram statHypercallNs("hv.hypercall_ns");
 const obs::Gauge statLiveEnclaves("hv.live_enclaves");
 
@@ -131,7 +134,71 @@ sealMac(const SealedBlob &blob)
     return acc;
 }
 
+/** FNV digest over one page's words (image per-page digests). */
+u64
+pageWordsDigest(const u64 *words)
+{
+    u64 acc = 0xcbf29ce484222325ull;
+    for (u64 w = 0; w < pageSize / sizeof(u64); ++w)
+        acc = measureStep(acc, words[w]);
+    return acc;
+}
+
+/**
+ * Stamp the accessed+dirty bits a hardware walker would leave behind
+ * after a successful enclave write: the GPT terminal entry (what the
+ * migration engine's dirty scan reads) and the EPT entry of the slot.
+ */
+void
+stampEnclaveDirty(PhysMem &mem, Hpa gpt_root, Hpa ept_root, Gva va)
+{
+    PageTable gpt(mem, nullptr, gpt_root);
+    (void)gpt.stampAccessedDirty(va.value, true);
+    if (auto stage1 = gpt.query(va.value)) {
+        PageTable ept(mem, nullptr, ept_root);
+        (void)ept.stampAccessedDirty(stage1->physAddr, true);
+    }
+}
+
 } // namespace
+
+u64
+sealedBlobMac(const SealedBlob &blob)
+{
+    return sealMac(blob);
+}
+
+u64
+enclavePageDigest(const u64 *words)
+{
+    return pageWordsDigest(words);
+}
+
+u64
+enclaveImageMac(const EnclaveImage &image)
+{
+    u64 acc = sealKeyConst ^ 0x1'0a6e'0000ull;
+    acc = measureStep(acc, u64(image.sourceId));
+    acc = measureStep(acc, image.cfg.elrange.start.value);
+    acc = measureStep(acc, image.cfg.elrange.end.value);
+    acc = measureStep(acc, image.cfg.mbufGva.value);
+    acc = measureStep(acc, image.cfg.mbufPages);
+    acc = measureStep(acc, image.cfg.mbufBacking.value);
+    acc = measureStep(acc, image.measurement);
+    acc = measureStep(acc, image.addedPages);
+    acc = measureStep(acc, image.tcsPages);
+    acc = measureStep(acc, image.entryPoint);
+    acc = measureStep(acc, image.versionBase);
+    for (const ImagePageMeta &meta : image.pageMeta) {
+        acc = measureStep(acc, meta.gva.value);
+        acc = measureStep(acc, u64(meta.kind));
+        acc = measureStep(acc, meta.version);
+        acc = measureStep(acc, meta.digest);
+    }
+    for (const SealedBlob &blob : image.pages)
+        acc = measureStep(acc, blob.mac);
+    return acc;
+}
 
 const char *
 enclaveStateName(EnclaveState state)
@@ -933,6 +1000,367 @@ Monitor::hcEnclaveReloadPage(EnclaveId id, const SealedBlob &blob,
     return okStatus();
 }
 
+Expected<EnclaveImage>
+Monitor::hcEnclaveSnapshot(EnclaveId id, SnapshotMode mode)
+{
+    HypercallScope scope(statCounters, "hc_enclave_snapshot", id);
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return scope.fail(HvError::NoSuchEnclave);
+    Enclave &enclave = it->second;
+    // Snapshotting a half-built or resident enclave would capture a
+    // state no restore could reconstruct: the measurement fold is
+    // incomplete while Adding, and a resident vCPU keeps register and
+    // TLB state outside the image.  Quiesce first.
+    if (enclave.state != EnclaveState::Initialized)
+        return scope.fail(HvError::BadEnclaveState);
+    if (enclave.activeVcpus > 0)
+        return scope.fail(HvError::BadEnclaveState);
+    // Evicted pages live in OS-held blobs the monitor cannot summon;
+    // the OS must reload them (it has the blobs) before snapshotting.
+    if (!enclave.evictedPages.empty())
+        return scope.fail(HvError::BadEnclaveState);
+
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+
+    // Enumerate resident ELRANGE pages in ascending gva order (the
+    // walk visits indices in order).  The marshalling buffer mapping is
+    // per-host plumbing, not enclave state: restore re-creates it.
+    struct Resident
+    {
+        u64 gva;
+        u64 gpaSlot;
+    };
+    std::vector<Resident> resident;
+    gpt.forEachMapping([&](u64 va, Pte entry, int level) {
+        if (level != 1)
+            return;
+        if (!enclave.cfg.elrange.contains(Gva(va)))
+            return;
+        resident.push_back({va, entry.addr() & ~(pageSize - 1)});
+    });
+    if (resident.size() != enclave.addedPages)
+        return scope.fail(HvError::BadEnclaveState);
+
+    EnclaveImage image;
+    image.sourceId = id;
+    image.cfg = enclave.cfg;
+    image.measurement = enclave.measurement;
+    image.addedPages = enclave.addedPages;
+    image.tcsPages = enclave.tcsPages;
+    image.entryPoint = enclave.entryPoint;
+    // The image consumes the version vector exactly as an evict-all
+    // fold would: page i seals at versionBase + i and the counter
+    // advances past the whole run.  This is what makes the executable
+    // migration ≡ quiesced-fold equivalence hold on the source side.
+    image.versionBase = enclave.nextSealVersion;
+    image.pageMeta.reserve(resident.size());
+    image.pages.reserve(resident.size());
+
+    for (u64 i = 0; i < resident.size(); ++i) {
+        auto stage2 = ept.query(resident[i].gpaSlot);
+        if (!stage2)
+            return scope.fail(HvError::NotMapped);
+        const Hpa epc_page = Hpa(stage2->physAddr & ~(pageSize - 1));
+        if (!epcMap.isEpc(epc_page))
+            return scope.fail(HvError::IsolationViolation);
+        const EpcmEntry entry = epcMap.entryFor(epc_page);
+        if (entry.state == EpcPageState::Free || entry.owner != id)
+            return scope.fail(HvError::IsolationViolation);
+
+        SealedBlob blob;
+        blob.owner = id;
+        blob.gva = Gva(resident[i].gva);
+        blob.kind = entry.state == EpcPageState::Tcs ? AddPageKind::Tcs
+                                                     : AddPageKind::Reg;
+        blob.gpaSlot = Gpa(resident[i].gpaSlot);
+        blob.version = image.versionBase + i;
+        std::memcpy(blob.words.data(), physMem.pageWords(epc_page),
+                    pageSize);
+        blob.mac = sealMac(blob);
+
+        image.pageMeta.push_back({blob.gva, blob.kind, blob.version,
+                                  pageWordsDigest(blob.words.data())});
+        image.pages.push_back(std::move(blob));
+    }
+    enclave.nextSealVersion += resident.size();
+    image.mac = enclaveImageMac(image);
+
+    // One TLB maintenance action quiesces every cached translation of
+    // the domain (the SMP wrapper turns this into a single vectored
+    // shootdown across resident cores).
+    tlbModel.flushDomain(id);
+
+    if (mode == SnapshotMode::Move) {
+        // Move semantics is evict-all + remove: the pages migrate into
+        // the evicted set (they now live in the image the OS holds),
+        // then the source is torn down like hc_enclave_remove.
+        for (const ImagePageMeta &meta : image.pageMeta)
+            enclave.evictedPages[meta.gva.value] = meta.version;
+        std::vector<Hpa> owned;
+        epcMap.forEachUsed([&](Hpa page, const EpcmEntry &entry) {
+            if (entry.owner == id)
+                owned.push_back(page);
+        });
+        for (Hpa page : owned) {
+            scrubPage(page);
+            (void)epcMap.freePage(page);
+        }
+        (void)gpt.destroy();
+        (void)ept.destroy();
+        enclave.state = EnclaveState::Dead;
+        statLiveEnclaves.set(i64(liveEnclaves()));
+    }
+
+    ++statCounters.imagesSnapshotted;
+    statImagesSnapshotted.inc();
+    inform("snapshotted (%zu pages, mode=%s)", image.pages.size(),
+           mode == SnapshotMode::Move ? "move" : "fork");
+    return image;
+}
+
+Expected<EnclaveId>
+Monitor::hcEnclaveRestoreImage(const EnclaveImage &image)
+{
+    HypercallScope scope(statCounters, "hc_enclave_restore_image",
+                         u64(image.sourceId));
+    // Structural honesty first: the page vectors must match the header
+    // they claim to implement before any cryptographic check — a
+    // truncated image would otherwise "verify" over the bytes present.
+    if (image.pages.size() != image.pageMeta.size() ||
+        image.pages.size() != image.addedPages)
+        return scope.fail(HvError::ImageTruncated);
+    if (image.mac != enclaveImageMac(image))
+        return scope.fail(HvError::ImageAuthFailed);
+    for (u64 i = 0; i < image.pages.size(); ++i) {
+        const SealedBlob &blob = image.pages[i];
+        const ImagePageMeta &meta = image.pageMeta[i];
+        if (blob.mac != sealMac(blob) || blob.owner != image.sourceId)
+            return scope.fail(HvError::ImageAuthFailed);
+        if (blob.gva != meta.gva || blob.kind != meta.kind ||
+            blob.version != meta.version ||
+            blob.version != image.versionBase + i ||
+            pageWordsDigest(blob.words.data()) != meta.digest)
+            return scope.fail(HvError::ImageAuthFailed);
+    }
+    // Anti-rollback: an image of this measurement may only move the
+    // version vector forward.  Replaying the image just restored is a
+    // rollback too — the restored twin has kept running since.
+    if (auto led = imageLedger.find(image.measurement);
+        led != imageLedger.end() && image.versionBase <= led->second)
+        return scope.fail(HvError::ImageRollback);
+
+    // Build the twin through the init path (validates geometry against
+    // this host's layout and maps the marshalling buffer), then reload
+    // every page from its blob.  Everything after init lands in the
+    // undo set: restore is all-or-nothing.
+    auto new_id = hcEnclaveInit(image.cfg);
+    if (!new_id)
+        return scope.fail(new_id.error());
+    Enclave &enclave = enclaves.at(*new_id);
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    PageTable ept(physMem, &frameAlloc, enclave.eptRoot);
+    PageTable::LeafCursor gpt_cursor, ept_cursor;
+
+    /** Everything needed to unwind one restored page. */
+    struct Applied
+    {
+        u64 gva;
+        u64 gpaSlot;
+        Hpa epcPage;
+    };
+    std::vector<Applied> applied;
+    applied.reserve(image.pages.size());
+    u64 epc_hint = 0;
+
+    HvError build_error = HvError::None;
+    for (const SealedBlob &blob : image.pages) {
+        // Same map/alloc/map order as add_page and reload_page so the
+        // abstract machine's allocator stays index-aligned with ours;
+        // blob words land straight in the EPC frame, never staged
+        // through normal memory the OS could observe.
+        if (auto st = gpt.map(blob.gva.value, blob.gpaSlot.value,
+                              PteFlags::userRw(), gpt_cursor); !st) {
+            build_error = st.error();
+            break;
+        }
+        auto epc_page = epcMap.allocPage(*new_id, blob.gva,
+                                         blob.kind == AddPageKind::Tcs
+                                             ? EpcPageState::Tcs
+                                             : EpcPageState::Reg,
+                                         epc_hint);
+        if (!epc_page) {
+            (void)gpt.unmap(blob.gva.value, gpt_cursor);
+            build_error = epc_page.error();
+            break;
+        }
+        if (auto st = ept.map(blob.gpaSlot.value, epc_page->value,
+                              PteFlags::userRw(), ept_cursor); !st) {
+            (void)gpt.unmap(blob.gva.value, gpt_cursor);
+            (void)epcMap.freePage(*epc_page);
+            build_error = st.error();
+            break;
+        }
+        std::memcpy(physMem.pageWordsMut(*epc_page), blob.words.data(),
+                    pageSize);
+        applied.push_back({blob.gva.value, blob.gpaSlot.value, *epc_page});
+        ++enclave.addedPages;
+        if (blob.kind == AddPageKind::Tcs)
+            ++enclave.tcsPages;
+    }
+
+    if (build_error != HvError::None) {
+        // All-or-nothing: unwind the pages in reverse, then retract
+        // the init itself so no trace of the attempt remains — state
+        // equality with "never called" is what the spec checks.
+        for (auto rit = applied.rbegin(); rit != applied.rend(); ++rit) {
+            (void)ept.unmap(rit->gpaSlot);
+            (void)gpt.unmap(rit->gva);
+            scrubPage(rit->epcPage);
+            (void)epcMap.freePage(rit->epcPage);
+        }
+        (void)gpt.destroy();
+        (void)ept.destroy();
+        enclaves.erase(*new_id);
+        --nextEnclaveId;
+        statLiveEnclaves.set(i64(liveEnclaves()));
+        return scope.fail(build_error);
+    }
+
+    // The header was MAC-verified above; install it wholesale.  The
+    // measurement is the source's fold — restore reproduces identity,
+    // it does not re-measure (the per-page digests already bound the
+    // contents to the header).
+    enclave.measurement = image.measurement;
+    enclave.entryPoint = image.entryPoint;
+    enclave.state = EnclaveState::Initialized;
+    // nextSealVersion continues past the image's vector so a future
+    // evict (or re-snapshot) of the twin can never mint a version the
+    // image already spent.
+    enclave.nextSealVersion = image.versionBase + image.pages.size();
+    imageLedger[image.measurement] = image.versionBase;
+
+    ++statCounters.imagesRestored;
+    statImagesRestored.inc();
+    inform("restored image (%zu pages) as enclave %llu",
+           image.pages.size(), (unsigned long long)*new_id);
+    return *new_id;
+}
+
+Expected<std::vector<Gva>>
+Monitor::enclaveDirtyPages(EnclaveId id) const
+{
+    const Enclave *enclave = findEnclave(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    const PageTable gpt(const_cast<PhysMem &>(physMem), nullptr,
+                        enclave->gptRoot);
+    std::vector<Gva> dirty;
+    gpt.forEachMapping([&](u64 va, Pte entry, int level) {
+        if (level == 1 && entry.dirty() &&
+            enclave->cfg.elrange.contains(Gva(va)))
+            dirty.push_back(Gva(va));
+    });
+    return dirty;
+}
+
+Status
+Monitor::clearEnclaveDirty(EnclaveId id, bool flush_tlb)
+{
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return HvError::NoSuchEnclave;
+    Enclave &enclave = it->second;
+    PageTable gpt(physMem, &frameAlloc, enclave.gptRoot);
+    std::vector<u64> dirty;
+    gpt.forEachMapping([&](u64 va, Pte entry, int level) {
+        if (level == 1 && entry.dirty())
+            dirty.push_back(va);
+    });
+    for (const u64 va : dirty)
+        (void)gpt.clearDirtyBit(va);
+    // Cached write-permitted translations let later stores skip the
+    // walk that re-stamps the bit; the flush forces the next write
+    // back through the walker.  Callers under SMP pass flush_tlb=false
+    // and run a vectored shootdown instead.
+    if (flush_tlb)
+        tlbModel.flushDomain(id);
+    return okStatus();
+}
+
+Status
+Monitor::enclaveStore(EnclaveId id, Gva va, u64 value)
+{
+    auto it = enclaves.find(id);
+    if (it == enclaves.end() || it->second.state == EnclaveState::Dead)
+        return HvError::NoSuchEnclave;
+    Enclave &enclave = it->second;
+    if (enclave.state != EnclaveState::Initialized)
+        return HvError::BadEnclaveState;
+    auto hpa = translateEnclaveUncached(enclave.gptRoot, enclave.eptRoot,
+                                        va, true);
+    if (!hpa)
+        return hpa.error();
+    physMem.write(*hpa, value);
+    stampEnclaveDirty(physMem, enclave.gptRoot, enclave.eptRoot, va);
+    return okStatus();
+}
+
+Expected<u64>
+Monitor::enclaveLoad(EnclaveId id, Gva va) const
+{
+    const Enclave *enclave = findEnclave(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    if (enclave->state != EnclaveState::Initialized)
+        return HvError::BadEnclaveState;
+    auto hpa = translateEnclaveUncached(enclave->gptRoot,
+                                        enclave->eptRoot, va, false);
+    if (!hpa)
+        return hpa.error();
+    return physMem.read(*hpa);
+}
+
+Expected<std::vector<Gva>>
+Monitor::enclaveResidentPages(EnclaveId id) const
+{
+    const Enclave *enclave = findEnclave(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    if (enclave->state != EnclaveState::Initialized)
+        return HvError::BadEnclaveState;
+    const PageTable gpt(const_cast<PhysMem &>(physMem), nullptr,
+                        enclave->gptRoot);
+    std::vector<Gva> resident;
+    gpt.forEachMapping([&](u64 va, Pte entry, int level) {
+        (void)entry;
+        if (level == 1 && enclave->cfg.elrange.contains(Gva(va)))
+            resident.push_back(Gva(va));
+    });
+    std::sort(resident.begin(), resident.end(),
+              [](Gva a, Gva b) { return a.value < b.value; });
+    return resident;
+}
+
+Status
+Monitor::enclaveReadPage(EnclaveId id, Gva page_va, u64 *out) const
+{
+    const Enclave *enclave = findEnclave(id);
+    if (!enclave)
+        return HvError::NoSuchEnclave;
+    if (enclave->state != EnclaveState::Initialized)
+        return HvError::BadEnclaveState;
+    const Gva base(page_va.value & ~(pageSize - 1));
+    auto hpa = translateEnclaveUncached(enclave->gptRoot,
+                                        enclave->eptRoot, base, false);
+    if (!hpa)
+        return hpa.error();
+    const u64 *words = physMem.pageWords(Hpa(hpa->value & ~(pageSize - 1)));
+    std::memcpy(out, words, pageSize);
+    return okStatus();
+}
+
 void
 Monitor::scrubPage(Hpa page)
 {
@@ -1014,6 +1442,12 @@ Monitor::translate(VCpu &vcpu, Gva va, bool is_write)
                                        is_write);
     if (!hpa)
         return hpa.error();
+    // A successful enclave write walk leaves accessed+dirty stamped on
+    // the terminal entries, as hardware does.  Only the uncached path
+    // stamps: a TLB hit skips the walk, which is exactly why clearing
+    // dirty bits must be paired with a flush (or shootdown).
+    if (vcpu.mode == CpuMode::GuestEnclave && is_write)
+        stampEnclaveDirty(physMem, vcpu.gptRoot, vcpu.eptRoot, va);
     tlbModel.insert(vcpu.domain, va.value,
                     {hpa->pageBase().value, is_write});
     return *hpa;

@@ -63,13 +63,21 @@ struct PlantedBugs
      * and only batches of three or more leak stale translations.
      */
     bool batchSkipMiddleInvalidate = false;
+    /**
+     * The final stop-and-copy round of a live migration skips pages
+     * dirtied since the last pre-copy round, shipping their stale
+     * pre-copy contents.  Migrations with no writes between rounds
+     * stay correct; any written page diverges on the target, which the
+     * migration ≡ quiesced-copy oracle flags.
+     */
+    bool skipDirtyOnFinalRound = false;
 
     bool
     any() const
     {
         return elrangeOffByOne || skipEpcmOwnerCheck || staleTlbOnUnmap ||
                wrongPermMask || frameDoubleFree || acceptSealRollback ||
-               batchSkipMiddleInvalidate;
+               batchSkipMiddleInvalidate || skipDirtyOnFinalRound;
     }
 };
 
@@ -122,6 +130,65 @@ struct SealedBlob
     bool operator==(const SealedBlob &) const = default;
 };
 
+/** The sealing MAC over a blob's OS-tamperable fields (keyed FNV). */
+u64 sealedBlobMac(const SealedBlob &blob);
+
+/** What snapshot leaves of the source enclave. */
+enum class SnapshotMode : u8
+{
+    Fork,  //!< source stays intact (backup / fork)
+    Move,  //!< source is destroyed after sealing (migration)
+};
+
+/** Header + per-page digest metadata of one image page. */
+struct ImagePageMeta
+{
+    Gva gva{};                       //!< enclave-linear address
+    AddPageKind kind = AddPageKind::Reg;
+    u64 version = 0;                 //!< anti-rollback version (base+i)
+    u64 digest = 0;                  //!< FNV digest of the page words
+
+    bool operator==(const ImagePageMeta &) const = default;
+};
+
+/**
+ * A whole-enclave snapshot sealed for untrusted custody: the composite
+ * of sealing every EPC page (EWB-equivalent), plus a MAC'd header
+ * binding the measurement, geometry, per-page digests and the
+ * anti-rollback version vector.  Like SealedBlob, the OS may store and
+ * transport it freely; restore re-verifies everything.
+ */
+struct EnclaveImage
+{
+    EnclaveId sourceId = invalidEnclave;
+    EnclaveConfig cfg;               //!< ELRANGE + mbuf geometry
+    u64 measurement = 0;
+    u64 addedPages = 0;
+    u64 tcsPages = 0;
+    u64 entryPoint = 0;
+    /**
+     * First version of the image's version vector: page i is sealed at
+     * versionBase + i, and the whole vector is consumed from the
+     * source's nextSealVersion exactly as an evict-all fold would.
+     */
+    u64 versionBase = 0;
+    std::vector<ImagePageMeta> pageMeta; //!< header copy, MAC'd
+    std::vector<SealedBlob> pages;       //!< sealed payloads, in gva order
+    u64 mac = 0;
+
+    bool operator==(const EnclaveImage &) const = default;
+};
+
+/** The image MAC over the header and the per-page blob MACs. */
+u64 enclaveImageMac(const EnclaveImage &image);
+
+/**
+ * The per-page digest bound into an image's page-meta vector (an FNV
+ * fold over the page's words).  Public so the live-migration engine
+ * can rebuild a consistent image from pre-copied page contents.
+ */
+u64 enclavePageDigest(const u64 *words);
+
 /**
  * Statistics counters exposed for the benches.  Atomic so concurrent
  * hypercalls from multiple vCPUs (src/smp/) can bump them without a
@@ -138,6 +205,8 @@ struct MonitorStats
     std::atomic<u64> rejectedRequests{0};
     std::atomic<u64> pagesEvicted{0};
     std::atomic<u64> pagesReloaded{0};
+    std::atomic<u64> imagesSnapshotted{0};
+    std::atomic<u64> imagesRestored{0};
 };
 
 /** One element of an add_pages_batch hypercall. */
@@ -318,6 +387,79 @@ class Monitor
     Expected<std::vector<SealedBlob>>
     hcEnclaveEvictPagesBatch(EnclaveId id, const std::vector<Gva> &gvas);
 
+    /**
+     * snapshot: quiesce the enclave and fold every EPC page through
+     * evict-equivalent sealing into a single MAC'd image.  Rejected
+     * while any vCPU is resident (the enclave must be quiesced), while
+     * the enclave is not Initialized, or while pages are evicted (the
+     * OS holds part of the state).  Versions are consumed from
+     * nextSealVersion exactly like an evict-all fold; Fork leaves the
+     * source intact, Move destroys it (remove-equivalent teardown).
+     * Single-vCPU path flushes the TLB domain; the SMP wrapper runs
+     * one vectored shootdown instead.
+     */
+    Expected<EnclaveImage> hcEnclaveSnapshot(EnclaveId id,
+                                             SnapshotMode mode);
+
+    /**
+     * restore_image: rebuild an enclave from a snapshot on this host
+     * (typically a twin machine).  Verifies the image MAC, the page
+     * vector against the header (ImageTruncated), every per-page blob
+     * MAC and digest (ImageAuthFailed), and the anti-rollback ledger
+     * (ImageRollback: a measurement's images must restore in
+     * non-decreasing versionBase order).  Construction reuses the
+     * batched add/reload path with all-or-nothing rollback: any
+     * mid-build failure unwinds to a state with no trace of the
+     * attempt and returns the first error.
+     *
+     * @return the restored enclave's (fresh) id.
+     */
+    Expected<EnclaveId> hcEnclaveRestoreImage(const EnclaveImage &image);
+
+    /// @}
+
+    /// @name Dirty-page tracking (live-migration support)
+    /// @{
+
+    /**
+     * Enclave pages whose GPT terminal entry carries the dirty bit,
+     * in ascending gva order.  Write-fault-driven: the walker stamps
+     * the bit on write translations (see PageTable::stampAccessedDirty).
+     */
+    Expected<std::vector<Gva>> enclaveDirtyPages(EnclaveId id) const;
+
+    /**
+     * Clear the dirty bits of every enclave page and flush the TLB
+     * domain so the next write re-walks (and re-stamps).  The SMP
+     * layer pairs the clear with a shootdown instead.
+     *
+     * @param flush_tlb false when the caller runs its own shootdown.
+     */
+    Status clearEnclaveDirty(EnclaveId id, bool flush_tlb = true);
+
+    /**
+     * Store into a resident enclave page through the dirty-stamping
+     * translation path, as a resident vCPU's store would.  The
+     * migration engine's workload model and the benches use this to
+     * dirty pages without a full enter/exit round.
+     */
+    Status enclaveStore(EnclaveId id, Gva va, u64 value);
+
+    /** Read from a resident enclave page (no dirty stamping). */
+    Expected<u64> enclaveLoad(EnclaveId id, Gva va) const;
+
+    /**
+     * Every resident ELRANGE page of the enclave, in ascending gva
+     * order (the pre-copy engine's round-0 work list).
+     */
+    Expected<std::vector<Gva>> enclaveResidentPages(EnclaveId id) const;
+
+    /**
+     * Copy one resident enclave page's words out (pre-copy transfer
+     * read; no dirty stamping).  @p out must hold pageSize bytes.
+     */
+    Status enclaveReadPage(EnclaveId id, Gva page_va, u64 *out) const;
+
     /// @}
 
     /**
@@ -350,6 +492,15 @@ class Monitor
     /** A guest writes a new GPT root (MOV CR3 in the normal VM). */
     Status guestSetGptRoot(VCpu &vcpu, Hpa new_root);
 
+    /**
+     * The image anti-rollback ledger: highest versionBase restored so
+     * far, per source measurement.  Read-only view for the checkers.
+     */
+    const std::map<u64, u64> &restoredImageLedger() const
+    {
+        return imageLedger;
+    }
+
   private:
     /** Shared init validation; returns the id to use. */
     Expected<EnclaveId> validateInitConfig(const EnclaveConfig &config);
@@ -369,6 +520,8 @@ class Monitor
     std::map<EnclaveId, Enclave> enclaves;
     EnclaveId nextEnclaveId = 1;
     MonitorStats statCounters;
+    /** measurement -> highest restored versionBase (anti-rollback). */
+    std::map<u64, u64> imageLedger;
 };
 
 } // namespace hev::hv

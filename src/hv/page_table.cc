@@ -335,6 +335,53 @@ countTables(const PageTable &pt, Hpa table, int level)
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Walk to the terminal entry covering va and rewrite it through
+ * `edit`; shared by the A/D stamping and clearing paths.  Works at
+ * any terminal level (4K or huge).
+ */
+Status
+editTerminalEntry(PageTable &pt, u64 va,
+                  const std::function<Pte(Pte)> &edit)
+{
+    Hpa table = pt.root();
+    for (int level = pagingLevels; level >= 1; --level) {
+        const u64 index = Gva(va).tableIndex(level);
+        const Pte entry = pt.entryAt(table, index);
+        if (!entry.present())
+            return HvError::NotMapped;
+        if (level == 1 || entry.huge()) {
+            const Pte edited = edit(entry);
+            if (edited != entry)
+                pt.setEntryAt(table, index, edited);
+            return okStatus();
+        }
+        table = Hpa(entry.addr());
+    }
+    panic("unreachable: terminal-entry edit fell off the root");
+}
+
+} // namespace
+
+Status
+PageTable::stampAccessedDirty(u64 va, bool is_write)
+{
+    return editTerminalEntry(*this, va, [is_write](Pte entry) {
+        entry = entry.withAccessed();
+        return is_write ? entry.withDirty() : entry;
+    });
+}
+
+Status
+PageTable::clearDirtyBit(u64 va)
+{
+    return editTerminalEntry(
+        *this, va, [](Pte entry) { return entry.withDirtyCleared(); });
+}
+
 void
 PageTable::forEachMapping(
     const std::function<void(u64, Pte, int)> &visit) const

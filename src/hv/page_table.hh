@@ -123,6 +123,22 @@ class PageTable
         const std::function<void(u64, Pte, int)> &visit) const;
 
     /**
+     * Stamp the accessed (and, for writes, dirty) bit on the terminal
+     * entry covering va — what the hardware walker does as a side
+     * effect of a successful translation.  The dirty bits feed the
+     * live-migration pre-copy rounds (docs/MIGRATION.md).
+     */
+    Status stampAccessedDirty(u64 va, bool is_write);
+
+    /**
+     * Clear the dirty bit of the terminal entry covering va.  Callers
+     * owning a TLB must flush it (or run a shootdown under SMP):
+     * cached write-permitted translations would otherwise let later
+     * stores skip the walk that re-stamps the bit.
+     */
+    Status clearDirtyBit(u64 va);
+
+    /**
      * Free all intermediate table frames (from the leaf level up),
      * leaving terminal pages untouched.  Requires an allocator.
      */

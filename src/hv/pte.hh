@@ -91,6 +91,8 @@ class Pte
     Pte withAccessed() const { return Pte(setBit(rawBits, 5, true)); }
     /** Entry with the dirty bit set. */
     Pte withDirty() const { return Pte(setBit(rawBits, 6, true)); }
+    /** Entry with the dirty bit cleared (pre-copy round reset). */
+    Pte withDirtyCleared() const { return Pte(setBit(rawBits, 6, false)); }
 
     /** The all-zero (non-present) entry. */
     static constexpr Pte empty() { return Pte(0); }

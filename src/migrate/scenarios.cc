@@ -1,0 +1,298 @@
+#include "migrate/scenarios.hh"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "ccal/specs.hh"
+#include "hv/machine.hh"
+#include "migrate/migrate.hh"
+#include "obs/flight.hh"
+
+namespace hev::migrate
+{
+namespace
+{
+
+using namespace ccal;
+using namespace ccal::spec;
+
+/**
+ * One randomized spec-side migration ≡ quiesced-fold instance: a
+ * source enclave in a random lifecycle corner (mid-add, evicted,
+ * removed, missing), a destination that may be busy or may already
+ * hold the lineage in its ledger, fork or move — every combination
+ * discharged by checkMigrateQuiescedFold, then chained one hop
+ * further when the first migration lands.
+ */
+std::optional<std::string>
+sweepEquivOnce(check::ShardContext &ctx)
+{
+    Rng &rng = ctx.rng();
+    Geometry geo;
+    geo.epcCount = 8 + rng.below(24);
+    geo.frameCount = 32 + rng.below(32);
+    FlatState src(geo);
+
+    const u64 el_pages = 1 + rng.below(6);
+    const u64 el_start = 0x10'0000;
+    const IntResult init =
+        specHcInit(src, el_start, el_start + (el_pages + 1) * pageSize,
+                   0x50'0000, 1, 0x8000);
+    if (!init.isOk)
+        return std::nullopt;
+    i64 target = i64(init.value);
+    for (u64 i = 0; i < el_pages; ++i) {
+        const i64 kind = (i + 1 == el_pages && rng.chance(1, 2))
+                             ? epcStateTcs
+                             : epcStateReg;
+        if (specHcAddPage(src, target, el_start + i * pageSize,
+                          0x4000 + (i % 4) * pageSize, kind) != 0)
+            return std::nullopt;
+    }
+
+    // Lifecycle twist: most instances quiesce cleanly, the rest land
+    // in each rejection corner of the snapshot contract.
+    switch (rng.below(8)) {
+    case 0:
+        break; // still Adding: errBadState
+    case 1:
+        (void)specHcInitFinish(src, target);
+        (void)specHcEvictPage(src, target, el_start); // errBadState
+        break;
+    case 2:
+        (void)specHcInitFinish(src, target);
+        target += 7; // errNoSuchEnclave
+        break;
+    case 3:
+        (void)specHcInitFinish(src, target);
+        (void)specHcRemove(src, target); // dead: errNoSuchEnclave
+        break;
+    default:
+        (void)specHcInitFinish(src, target);
+        break;
+    }
+
+    FlatState dst(geo);
+    if (rng.chance(1, 3)) {
+        // Busy twin host: the restored id must still match the fold's.
+        (void)specHcInit(dst, 0x70'0000, 0x70'0000 + 2 * pageSize,
+                         0x90'0000, 1, 0x8000);
+    }
+    const u64 measurement = 0x6ea5'0000 + rng.below(1000);
+    if (rng.chance(1, 4)) {
+        // The lineage already landed here once: both the restore and
+        // the reference fold must reject the replay as rollback.
+        dst.imageLedger[measurement] = 1 + rng.below(4);
+    }
+    const bool move = rng.chance(1, 2);
+
+    const BatchEquivalence verdict =
+        checkMigrateQuiescedFold(src, dst, target, move, measurement);
+    ctx.tick();
+    if (!verdict.equivalent) {
+        std::ostringstream detail;
+        detail << "migration/fold diverged (" << el_pages << " pages, "
+               << (move ? "move" : "fork") << "): " << verdict.detail;
+        return detail.str();
+    }
+
+    // Chain: actually run the migration, then check the next hop from
+    // the twin (fresh lineage token) and a replay onto the same host.
+    AbsImage img;
+    if (specHcSnapshot(src, target, move, measurement, &img) != 0)
+        return std::nullopt;
+    const IntResult restored = specHcRestoreImage(dst, img);
+    if (!restored.isOk)
+        return std::nullopt;
+    const BatchEquivalence onward = checkMigrateQuiescedFold(
+        dst, FlatState(geo), i64(restored.value), rng.chance(1, 2),
+        measurement + 1);
+    ctx.tick();
+    if (!onward.equivalent)
+        return "onward hop diverged: " + onward.detail;
+    if (!move) {
+        const BatchEquivalence replay = checkMigrateQuiescedFold(
+            src, dst, target, false, measurement);
+        ctx.tick();
+        if (!replay.equivalent)
+            return "replay onto the twin diverged: " + replay.detail;
+    }
+    return std::nullopt;
+}
+
+hv::MonitorConfig
+liveConfig(const hv::PlantedBugs &planted)
+{
+    hv::MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    cfg.planted = planted;
+    return cfg;
+}
+
+void
+writeLiveForensics(const std::string &configured, const std::string &name,
+                   const std::string &detail, u16 run_tag,
+                   check::ShardContext &ctx)
+{
+    const std::string path = obs::forensicsPathOrEnv(configured);
+    if (path.empty())
+        return;
+    obs::ForensicsBundle bundle;
+    bundle.kind = "migrate-scenario";
+    bundle.scenario = name;
+    bundle.detail = detail;
+    bundle.tail = obs::flightTail(run_tag);
+    bundle.opName = [](u16 op) -> std::string {
+        return op == flightOpMigrateRound ? "migrate_round" : "";
+    };
+    obs::writeForensicsBundle(bundle, path);
+    ctx.attachArtifact(path);
+}
+
+/**
+ * One randomized concrete live migration: a fork-mode migrateLive
+ * between two machines under a write workload that keeps dirtying hot
+ * pages into the final round, then a word-for-word comparison of every
+ * resident page on both hosts (this is the oracle that catches the
+ * planted skip-dirty-on-final-round bug: the restore succeeds — the
+ * MACs were rebuilt over the stale words — but the twin's contents
+ * diverge from the source).
+ */
+std::optional<std::string>
+sweepLiveOnce(check::ShardContext &ctx, const hv::PlantedBugs &planted,
+              const std::string &forensics, const std::string &name)
+{
+    Rng &rng = ctx.rng();
+    hv::Machine src(liveConfig(planted));
+    hv::Machine dst(liveConfig({}));
+
+    const u64 el_start = 0x10'0000;
+    const u64 pages = 2 + rng.below(7);
+    auto enclave = src.setupEnclave(el_start, pages, 1, 0x9a0'0000);
+    if (!enclave)
+        return "source setup failed";
+    const EnclaveId id = enclave->id;
+
+    // Shadow model of every store the workload issues, so the oracle
+    // knows the expected words without trusting either machine.
+    std::map<u64, u64> written;
+    const u64 hot = rng.below(pages);
+    u64 seq = 0x517e'0000 + rng.below(1 << 16);
+    auto workload = [&](u64 round) {
+        // Always touch the hot page (so the final round has a dirty
+        // set), plus a few random words elsewhere.
+        const u64 extra = rng.below(3);
+        for (u64 k = 0; k < 1 + extra; ++k) {
+            const u64 page = k == 0 ? hot : rng.below(pages);
+            const u64 word = rng.below(pageSize / sizeof(u64));
+            const u64 va = el_start + page * pageSize +
+                           word * sizeof(u64);
+            const u64 value = seq++ + round;
+            if (src.monitor().enclaveStore(id, Gva(va), value).ok())
+                written[va] = value;
+        }
+    };
+
+    MigrateOptions opts;
+    opts.mode = hv::SnapshotMode::Fork;
+    opts.maxPrecopyRounds = 1 + rng.below(4);
+    const u16 tag = obs::newFlightRunTag();
+    auto result = migrateLive(src, id, dst, workload, opts);
+    ctx.tick();
+    if (!result) {
+        const std::string detail =
+            std::string("migrateLive failed: ") +
+            hvErrorName(result.error());
+        writeLiveForensics(forensics, name, detail, tag, ctx);
+        return detail;
+    }
+
+    // The content oracle: every word of every resident page must agree
+    // between the fork source, the restored twin, and the shadow model.
+    auto resident = src.monitor().enclaveResidentPages(id);
+    if (!resident)
+        return "fork source lost residency";
+    std::array<u64, pageSize / sizeof(u64)> src_words{};
+    std::array<u64, pageSize / sizeof(u64)> dst_words{};
+    for (const Gva gva : *resident) {
+        if (!src.monitor().enclaveReadPage(id, gva, src_words.data()) ||
+            !dst.monitor().enclaveReadPage(result->dstId, gva,
+                                           dst_words.data()))
+            return "page readback failed";
+        for (u64 w = 0; w < src_words.size(); ++w) {
+            const u64 va = gva.value + w * sizeof(u64);
+            if (const auto exp = written.find(va);
+                exp != written.end() && src_words[w] != exp->second) {
+                std::ostringstream detail;
+                detail << "source lost a write at 0x" << std::hex
+                       << va;
+                return detail.str();
+            }
+            if (src_words[w] != dst_words[w]) {
+                std::ostringstream detail;
+                detail << "twin diverges at 0x" << std::hex << va
+                       << ": src 0x" << src_words[w] << " vs dst 0x"
+                       << dst_words[w] << std::dec << " ("
+                       << result->precopyRounds << " pre-copy rounds, "
+                       << result->downtimePages << " downtime pages)";
+                writeLiveForensics(forensics, name, detail.str(), tag,
+                                   ctx);
+                return detail.str();
+            }
+        }
+        ctx.tick();
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<check::Scenario>
+migrateScenarios(const MigrateScenarioOptions &opts)
+{
+    std::vector<check::Scenario> scenarios;
+    for (int i = 0; i < opts.equivShards; ++i) {
+        check::Scenario scenario;
+        scenario.name = "migrate/equiv/" + std::to_string(i);
+        scenario.kind = "migrate";
+        scenario.layer = 14;
+        const int iters = opts.itersPerShard;
+        scenario.body =
+            [iters](check::ShardContext &ctx)
+            -> std::optional<std::string> {
+            for (int iter = 0; iter < iters; ++iter)
+                if (auto failed = sweepEquivOnce(ctx))
+                    return failed;
+            return std::nullopt;
+        };
+        scenarios.push_back(std::move(scenario));
+    }
+    for (int i = 0; i < opts.liveShards; ++i) {
+        check::Scenario scenario;
+        scenario.name = "migrate/live/" + std::to_string(i);
+        scenario.kind = "migrate";
+        scenario.layer = 14;
+        const int iters = opts.itersPerShard;
+        const hv::PlantedBugs planted = opts.monitorPlanted;
+        const std::string forensics = opts.forensicsPath;
+        const std::string name = scenario.name;
+        scenario.body =
+            [iters, planted, forensics,
+             name](check::ShardContext &ctx)
+            -> std::optional<std::string> {
+            for (int iter = 0; iter < iters; ++iter)
+                if (auto failed =
+                        sweepLiveOnce(ctx, planted, forensics, name))
+                    return failed;
+            return std::nullopt;
+        };
+        scenarios.push_back(std::move(scenario));
+    }
+    return scenarios;
+}
+
+} // namespace hev::migrate

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Migration campaign shards: randomized spec-side migration ≡
+ * quiesced-fold equivalence sweeps (checkMigrateQuiescedFold), plus
+ * concrete live-migration shards that drive migrateLive between two
+ * hv::Machines under a randomized write workload and check the
+ * restored twin's contents word-for-word against the source.
+ *
+ * Shards follow the campaign discipline (src/check/): all randomness
+ * comes from the shard's RNG stream, so any counterexample replays
+ * bit-identically from (campaign seed, shard id) at any thread count.
+ */
+
+#ifndef HEV_MIGRATE_SCENARIOS_HH
+#define HEV_MIGRATE_SCENARIOS_HH
+
+#include "check/campaign.hh"
+#include "hv/monitor.hh"
+
+namespace hev::migrate
+{
+
+/** Sizing of the migration campaign workload. */
+struct MigrateScenarioOptions
+{
+    int equivShards = 4;  //!< spec-side migration≡fold sweeps
+    int liveShards = 4;   //!< concrete migrateLive content-oracle shards
+    int itersPerShard = 6;
+    /**
+     * Injected monitor-level bugs forwarded to the live shards' source
+     * machine (the kill suite runs with skipDirtyOnFinalRound on; the
+     * content oracle must catch the stale page it ships).
+     */
+    hv::PlantedBugs monitorPlanted;
+    /** Forensics destination for failing live shards ("" = env). */
+    std::string forensicsPath;
+};
+
+/** The migration campaign scenario bag. */
+std::vector<check::Scenario>
+migrateScenarios(const MigrateScenarioOptions &opts = {});
+
+} // namespace hev::migrate
+
+#endif // HEV_MIGRATE_SCENARIOS_HH

@@ -70,6 +70,30 @@ makeBitTest(const char *name, int shift)
     return fb.build();
 }
 
+/** fn pte_set_dirty(entry) -> u64: entry | (1 << 6). */
+mir::Function
+makePteSetDirty()
+{
+    FunctionBuilder fb("pte_set_dirty", 1);
+    fb.atBlock(0)
+        .assign(ret(),
+                mir::bin(BinOp::BitOr, v(1), cu(ccal::pteFlagDirty)))
+        .ret();
+    return fb.build();
+}
+
+/** fn pte_clear_dirty(entry) -> u64: entry & ~(1 << 6). */
+mir::Function
+makePteClearDirty()
+{
+    FunctionBuilder fb("pte_clear_dirty", 1);
+    fb.atBlock(0)
+        .assign(ret(),
+                mir::bin(BinOp::BitAnd, v(1), cu(~ccal::pteFlagDirty)))
+        .ret();
+    return fb.build();
+}
+
 /**
  * fn pte_builder_seal(builder: &mut (u64, u64)) -> ()
  *
@@ -137,6 +161,8 @@ addLayer03(Program &prog, const Geometry &)
     prog.add(makeBitTest("pte_present", 0));
     prog.add(makeBitTest("pte_writable", 1));
     prog.add(makeBitTest("pte_huge", 7));
+    prog.add(makePteSetDirty());
+    prog.add(makePteClearDirty());
     prog.add(makePteBuilderSeal());
     prog.add(makePteBuild());
 }

@@ -32,7 +32,8 @@ const LayerInfo layerTable[] = {
      {"frame_alloc", "frame_free", "frame_alloc_pair"}},
     {"PTE packing",
      {"pte_make", "pte_addr", "pte_flags", "pte_present", "pte_writable",
-      "pte_huge", "pte_builder_seal", "pte_build"}},
+      "pte_huge", "pte_set_dirty", "pte_clear_dirty", "pte_builder_seal",
+      "pte_build"}},
     {"VA decomposition", {"va_index"}},
     {"entry access", {"entry_read", "entry_write"}},
     {"next-table resolution", {"next_table"}},

@@ -1,5 +1,7 @@
 #include "sec/machine.hh"
 
+#include "sec/invariants.hh"
+
 namespace hev::sec
 {
 
@@ -267,6 +269,89 @@ SecMachine::step(SecState &s, const Action &action, DataOracle &oracle)
             }
             s.seals.push_back(rec);
             result.value = rec.ciphertext;
+        }
+        break;
+      }
+      case Action::Kind::Snapshot: {
+        if (!is_os) {
+            result.faulted = true;
+            break;
+        }
+        const bool move = (action.a & 1) != 0;
+        // Resolve every resident page before the spec runs: a move
+        // snapshot unmaps them all, and the plaintext must travel from
+        // data memory into the image record, exactly as Evict does for
+        // one page.  Owned EPC frames are collected for the scrub.
+        std::map<u64, u64> resident; // gva page -> hpa page
+        std::vector<u64> owned;
+        auto it = s.mon.enclaves.find(action.enclave);
+        if (it != s.mon.enclaves.end() &&
+            it->second.state != enclStateDead) {
+            const AbsEnclave &enclave = it->second;
+            const u64 gpt_root = s.mon.rootOf(enclave.gptHandle);
+            if (gpt_root != 0) {
+                (void)forEachFlatMapping(
+                    s.mon, gpt_root,
+                    [&](u64 va, u64 gpa, u64, int) {
+                        const QueryResult stage2 =
+                            specAsQuery(s.mon, enclave.eptHandle, gpa);
+                        if (stage2.isSome)
+                            resident[va & ~(pageSize - 1)] =
+                                stage2.physAddr & ~(pageSize - 1);
+                    });
+            }
+            for (u64 index = 0; index < s.mon.geo.epcCount; ++index) {
+                if (s.mon.epcm[index].state != epcStateFree &&
+                    s.mon.epcm[index].owner == action.enclave) {
+                    owned.push_back(s.mon.geo.epcBase +
+                                    index * pageSize);
+                }
+            }
+        }
+        // The measurement is an opaque ledger token the monitor
+        // computes over *already-measured* build-time content; two
+        // lockstep runs agree on it by construction, so it is drawn
+        // from the oracle (declassified), like the seal ciphertexts.
+        const u64 measurement = oracle.next();
+        AbsImage abs;
+        const i64 rc = specHcSnapshot(s.mon, action.enclave, move,
+                                      measurement, &abs);
+        result.faulted = rc != 0;
+        result.code = rc;
+        if (rc == 0) {
+            ImageRecord rec;
+            rec.source = action.enclave;
+            rec.measurement = measurement;
+            rec.versionBase = abs.versionBase;
+            rec.moved = move;
+            for (const AbsImagePage &page : abs.pages) {
+                SealRecord entry;
+                entry.owner = action.enclave;
+                entry.gva = page.gva;
+                entry.version = page.sealed.version;
+                entry.ciphertext = oracle.next();
+                auto hpa = resident.find(page.gva & ~(pageSize - 1));
+                if (hpa != resident.end()) {
+                    for (u64 off = 0; off < pageSize;
+                         off += sizeof(u64)) {
+                        auto word = s.mem.find(hpa->second + off);
+                        if (word != s.mem.end())
+                            entry.plain[off] = word->second;
+                    }
+                }
+                rec.pages.push_back(std::move(entry));
+            }
+            s.images.push_back(std::move(rec));
+            if (move) {
+                // The source is retired: its EPC frames are scrubbed,
+                // data words and all, just as HcRemove scrubs them.
+                for (const u64 page : owned) {
+                    for (u64 off = 0; off < pageSize;
+                         off += sizeof(u64))
+                        s.mem.erase(page + off);
+                }
+            }
+            result.value = measurement;
         }
         break;
       }

@@ -81,6 +81,7 @@ struct Action
         Exit,       //!< world switch back to the OS
         Evict,      //!< hypercall: seal + evict an enclave page (EWB)
         Reload,     //!< hypercall: reload a sealed page (ELD); a = index
+        Snapshot,   //!< hypercall: whole-enclave image (a&1 = move)
     };
 
     Kind kind = Kind::Compute;
@@ -121,6 +122,28 @@ struct SealRecord
     bool operator==(const SealRecord &) const = default;
 };
 
+/**
+ * One enclave image in untrusted custody (the security-model picture
+ * of hv::EnclaveImage).  Exactly like SealRecord, the record splits
+ * into what the OS can see — the header metadata and one
+ * oracle-drawn ciphertext token per page — and what it cannot: the
+ * per-page plaintext, kept only so a verified restore could rebuild
+ * the enclave.  Lemma 5.2 extended to images is the statement that
+ * the observation function puts only the first group in the OS view:
+ * the image ciphertext ledger reveals nothing beyond what the
+ * sealed-page ledger already revealed.
+ */
+struct ImageRecord
+{
+    Principal source = 0;
+    u64 measurement = 0;  //!< opaque ledger token (declassified)
+    u64 versionBase = 0;
+    bool moved = false;   //!< move-mode snapshot (source retired)
+    std::vector<SealRecord> pages;
+
+    bool operator==(const ImageRecord &) const = default;
+};
+
 /** The whole abstract machine state. */
 struct SecState
 {
@@ -138,6 +161,12 @@ struct SecState
      * anti-rollback check exists for).
      */
     std::vector<SealRecord> seals;
+    /**
+     * Every whole-enclave image ever snapshotted, in creation order;
+     * like `seals`, records are never removed — the OS keeps custody
+     * of every image it was ever handed.
+     */
+    std::vector<ImageRecord> images;
 
     explicit SecState(const ccal::Geometry &geo = ccal::Geometry{})
         : mon(geo)

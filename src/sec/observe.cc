@@ -107,6 +107,19 @@ observe(const SecState &s, Principal p)
         for (const SealRecord &rec : s.seals)
             view.seals.push_back(
                 {rec.owner, rec.gva, rec.version, rec.ciphertext});
+        // The image ledger, under the same split: header + per-page
+        // ciphertexts are OS-visible, the plaintext words are not.
+        for (const ImageRecord &img : s.images) {
+            ViewImage vi;
+            vi.source = img.source;
+            vi.measurement = img.measurement;
+            vi.versionBase = img.versionBase;
+            vi.moved = img.moved;
+            for (const SealRecord &rec : img.pages)
+                vi.pages.push_back(
+                    {rec.owner, rec.gva, rec.version, rec.ciphertext});
+            view.images.push_back(std::move(vi));
+        }
         return view;
     }
 
@@ -206,6 +219,28 @@ perturbUnobservable(SecState &s, Principal p, Rng &rng)
         if (p != osPrincipal && rng.chance(1, 2))
             rec.ciphertext = rng.next();
     }
+
+    // Enclave images, under the same discipline: image plaintext is in
+    // NO principal's view (a snapshotted page reads through the live
+    // enclave, never the image), but we stay conservative and leave
+    // the owner's records alone; ciphertext and header metadata are
+    // OS-view only.
+    for (ImageRecord &img : s.images) {
+        for (SealRecord &rec : img.pages) {
+            if (rec.owner != p && !rec.plain.empty() &&
+                rng.chance(1, 2)) {
+                u64 skip = rng.below(rec.plain.size());
+                auto word = rec.plain.begin();
+                while (skip--)
+                    ++word;
+                word->second = rng.next();
+            }
+            if (p != osPrincipal && rng.chance(1, 2))
+                rec.ciphertext = rng.next();
+        }
+        if (p != osPrincipal && rng.chance(1, 2))
+            img.measurement = rng.next();
+    }
 }
 
 std::string
@@ -223,6 +258,8 @@ diffViews(const View &a, const View &b)
         out << "page-table mappings differ; ";
     if (a.seals != b.seals)
         out << "seal ledger differs; ";
+    if (a.images != b.images)
+        out << "image ledger differs; ";
     if (a.memory != b.memory) {
         out << "memory differs";
         for (const auto &[addr, value] : a.memory) {

@@ -44,6 +44,19 @@ struct ViewSeal
     bool operator==(const ViewSeal &) const = default;
 };
 
+/** What the OS sees of one enclave image in its custody. */
+struct ViewImage
+{
+    Principal source = 0;
+    u64 measurement = 0;
+    u64 versionBase = 0;
+    bool moved = false;
+    /** Per-page metadata + ciphertext, never the plaintext. */
+    std::vector<ViewSeal> pages;
+
+    bool operator==(const ViewImage &) const = default;
+};
+
 /**
  * V(p, sigma).
  *
@@ -73,6 +86,13 @@ struct View
     std::map<u64, u64> memory;
     /** The sealed-blob ledger (OS view only). */
     std::vector<ViewSeal> seals;
+    /**
+     * The enclave-image ledger (OS view only): header metadata and
+     * per-page ciphertexts, the image analogue of `seals` — Lemma 5.2
+     * extended to images says this is ALL the OS learns from a
+     * snapshot.
+     */
+    std::vector<ViewImage> images;
 
     bool operator==(const View &) const = default;
 };

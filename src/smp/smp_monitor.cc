@@ -550,6 +550,62 @@ SmpMonitor::hcEnclaveEvictPagesBatch(VcpuId v, EnclaveId id,
     return blobs;
 }
 
+Expected<hv::EnclaveImage>
+SmpMonitor::hcEnclaveSnapshot(VcpuId v, EnclaveId id,
+                              hv::SnapshotMode mode)
+{
+    Expected<hv::EnclaveImage> image = HvError::PermissionDenied;
+    std::vector<u64> vas;
+    {
+        // Exclusive: with move semantics the enclave table changes
+        // shape, and even a fork must freeze enter/exit while the
+        // residency check and the fold run.
+        lockExclusiveServicing(structuralLock, v);
+        std::unique_lock<std::shared_mutex> guard(structuralLock,
+                                                  std::adopt_lock);
+        if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
+            return HvError::PermissionDenied;
+        // The SMP-correct quiesce check: every vCPU in the table, not
+        // just the caller — a sibling still executing inside the
+        // enclave holds register and TLB state the image cannot carry.
+        for (VcpuId w = 0; w < vcpuCount(); ++w) {
+            if (cpus[w]->arch.mode == hv::CpuMode::GuestEnclave &&
+                cpus[w]->arch.currentEnclave == id)
+                return HvError::BadEnclaveState;
+        }
+        image = monitor().hcEnclaveSnapshot(id, mode);
+        if (!image)
+            return image;
+        vas.reserve(image->pages.size());
+        for (const hv::SealedBlob &blob : image->pages) {
+            cpus[v]->tlb.invalidatePage(id, blob.gva.value);
+            vas.push_back(blob.gva.value);
+        }
+        if (mode == hv::SnapshotMode::Move) {
+            for (auto &cpu : cpus)
+                cpu->enclaveCtx.erase(id);
+        }
+    }
+    // One vectored shootdown for the whole image fold (locks dropped
+    // first: targets may need structuralLock to ack).
+    if (!vas.empty())
+        shootdown(v, id, vas);
+    return image;
+}
+
+Expected<EnclaveId>
+SmpMonitor::hcEnclaveRestoreImage(VcpuId v, const hv::EnclaveImage &image)
+{
+    lockExclusiveServicing(structuralLock, v);
+    std::unique_lock<std::shared_mutex> guard(structuralLock,
+                                              std::adopt_lock);
+    if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
+        return HvError::PermissionDenied;
+    // No shootdown: the restored enclave's mappings are all new, so no
+    // vCPU anywhere can hold a stale positive translation for them.
+    return monitor().hcEnclaveRestoreImage(image);
+}
+
 Status
 SmpMonitor::osUnmapBatch(VcpuId v, const std::vector<u64> &vas)
 {

@@ -214,6 +214,25 @@ class SmpMonitor
     hcEnclaveEvictPagesBatch(VcpuId v, EnclaveId id,
                              const std::vector<Gva> &gvas);
 
+    /**
+     * Snapshot a quiesced enclave into a MAC'd image (migration /
+     * fork / backup).  The SMP-correct quiesce check rejects while
+     * *any* vCPU in the table is resident (not merely the caller),
+     * and the whole fold retires stale translations with **one**
+     * vectored shootdown carrying every sealed page's va.
+     */
+    Expected<hv::EnclaveImage> hcEnclaveSnapshot(VcpuId v, EnclaveId id,
+                                                 hv::SnapshotMode mode);
+
+    /**
+     * Rebuild an enclave from an image on this host.  Exclusive
+     * structural lock (the enclave table changes shape); no shootdown
+     * — a freshly restored enclave has no stale positive entry
+     * anywhere.
+     */
+    Expected<EnclaveId> hcEnclaveRestoreImage(VcpuId v,
+                                              const hv::EnclaveImage &image);
+
     /// @}
 
     /// @name Primary-OS page-table operations with coherent shootdown

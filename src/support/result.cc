@@ -23,6 +23,9 @@ hvErrorName(HvError e)
       case HvError::SealAuthFailed: return "SealAuthFailed";
       case HvError::SealRollback: return "SealRollback";
       case HvError::ShootdownInFlight: return "ShootdownInFlight";
+      case HvError::ImageAuthFailed: return "ImageAuthFailed";
+      case HvError::ImageRollback: return "ImageRollback";
+      case HvError::ImageTruncated: return "ImageTruncated";
     }
     return "Unknown";
 }

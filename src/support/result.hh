@@ -38,6 +38,9 @@ enum class HvError
     SealAuthFailed,     //!< sealed-blob MAC / ownership check failed
     SealRollback,       //!< sealed-blob version is stale (anti-rollback)
     ShootdownInFlight,  //!< page is inside an in-flight batched shootdown
+    ImageAuthFailed,    //!< enclave-image MAC / digest check failed
+    ImageRollback,      //!< enclave-image version vector is stale
+    ImageTruncated,     //!< enclave-image page vector is short / oversized
 };
 
 /** Human-readable name for an HvError. */

@@ -104,6 +104,42 @@ TEST(ConformL2, FrameAllocPairMatchesSpec)
     }
 }
 
+TEST(ConformL3, DirtyBitHelpersMatchSpec)
+{
+    // The dirty-bit walker helpers behind live migration's pre-copy
+    // tracking: set is idempotent, clear undoes set, and neither
+    // touches the address field or any other flag bit.
+    DualState dual;
+    LayerHarness harness(3, dual.mirSide);
+    const u64 cases[] = {
+        0ull,
+        ~0ull,
+        pteFlagDirty,
+        ~pteFlagDirty,
+        specPteMake(0x20'0000, pteRwFlags),
+        specPteMake(0x20'0000, pteRwFlags | pteFlagDirty),
+        pteAddrMask,
+    };
+    for (const u64 entry : cases) {
+        auto set = harness.run("pte_set_dirty", {uv(entry)});
+        ASSERT_VALUE_AGREES(set, uv(specPteSetDirty(entry)));
+        auto clear = harness.run("pte_clear_dirty", {uv(entry)});
+        ASSERT_VALUE_AGREES(clear, uv(specPteClearDirty(entry)));
+        EXPECT_STATES_AGREE(dual);
+
+        EXPECT_EQ(specPteSetDirty(specPteSetDirty(entry)),
+                  specPteSetDirty(entry));
+        EXPECT_EQ(specPteClearDirty(specPteSetDirty(entry)),
+                  specPteClearDirty(entry));
+        EXPECT_EQ(specPteAddr(specPteSetDirty(entry)),
+                  specPteAddr(entry));
+        EXPECT_EQ(specPteSetDirty(entry) & ~pteFlagDirty,
+                  entry & ~pteFlagDirty);
+        EXPECT_EQ(specPteClearDirty(entry) | pteFlagDirty,
+                  entry | pteFlagDirty);
+    }
+}
+
 TEST(ConformL6, NextTableAllCases)
 {
     // Case matrix: {miss, present-table, present-huge} x {alloc, no}.

@@ -96,6 +96,7 @@ TEST(FuzzCorpus, GoldenCorpusRepliesClean)
                            << goldenCorpusDir();
     const ExecOptions opts = ExecOptions::standard();
     u64 evicts = 0, reloads = 0, addBatches = 0, evictBatches = 0;
+    u64 snapshots = 0, restores = 0, migrations = 0;
     for (u64 i = 0; i < corpus.size(); ++i) {
         const ExecResult result = executeTrace(opts, corpus[i].trace);
         EXPECT_FALSE(result.divergence)
@@ -106,16 +107,25 @@ TEST(FuzzCorpus, GoldenCorpusRepliesClean)
             reloads += op.kind == OpKind::ReloadPage;
             addBatches += op.kind == OpKind::AddPagesBatch;
             evictBatches += op.kind == OpKind::EvictPagesBatch;
+            snapshots += op.kind == OpKind::Snapshot;
+            restores += op.kind == OpKind::RestoreImage;
+            migrations += op.kind == OpKind::MigrateLive;
         }
     }
-    // The smoke corpus must exercise the paging hypercalls and both
-    // batched forms (success and rollback paths alike).
+    // The smoke corpus must exercise the paging hypercalls, both
+    // batched forms (success and rollback paths alike) and the
+    // migration surface (snapshot, corrupted + clean restores, live).
     EXPECT_GT(evicts, 0u) << "no evict_page op in the golden corpus";
     EXPECT_GT(reloads, 0u) << "no reload_page op in the golden corpus";
     EXPECT_GT(addBatches, 0u)
         << "no add_pages_batch op in the golden corpus";
     EXPECT_GT(evictBatches, 0u)
         << "no evict_pages_batch op in the golden corpus";
+    EXPECT_GT(snapshots, 0u) << "no snapshot op in the golden corpus";
+    EXPECT_GT(restores, 0u)
+        << "no restore_image op in the golden corpus";
+    EXPECT_GT(migrations, 0u)
+        << "no migrate_live op in the golden corpus";
 }
 
 TEST(FuzzCorpus, GoldenCorpusSignaturesMatchFilenames)

@@ -2,13 +2,16 @@
  * @file
  * The planted-bug kill suite (the fuzzer's reason to exist).
  *
- * Nine realistic bugs are injected one at a time — an off-by-one
+ * Ten realistic bugs are injected one at a time — an off-by-one
  * ELRANGE bound, a skipped EPCM ownership record, a stale TLB on
  * unmap, a wrong permission mask, a frame double-free behind a test
  * hook, a flat/tree refinement skew, an SMP shootdown that skips
  * the ack wait, a reload path that accepts stale sealed blobs
- * (a broken version-counter anti-rollback check), and a batched
- * evict whose TLB maintenance forgets every middle page.  For each, the
+ * (a broken version-counter anti-rollback check), a batched
+ * evict whose TLB maintenance forgets every middle page, and a live
+ * migration that skips the final stop-and-copy round so pages
+ * dirtied during the last pre-copy pass arrive stale (with a valid
+ * MAC — only the content oracle can see it).  For each, the
  * coverage-guided fuzzer must find a divergence within a bounded
  * budget, and the shrinker must reduce the finding to at most 8 ops
  * that still fail and are locally 1-minimal.  A control run asserts
@@ -89,10 +92,15 @@ TEST(FuzzKills, BatchSkipMiddleInvalidate)
     expectKilled("batch-skip-middle-invalidate");
 }
 
+TEST(FuzzKills, SkipDirtyPageOnFinalRound)
+{
+    expectKilled("skip-dirty-page-on-final-round");
+}
+
 TEST(FuzzKills, BugNamesAreExhaustive)
 {
     const auto names = plantedBugNames();
-    EXPECT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.size(), 10u);
     for (const std::string &name : names) {
         ExecOptions opts = ExecOptions::standard();
         EXPECT_TRUE(applyPlantedBug(opts, name)) << name;

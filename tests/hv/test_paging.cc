@@ -241,5 +241,93 @@ TEST(PagingTest, PlantedRollbackAcceptanceIsObservable)
     EXPECT_TRUE(mon.hcEnclaveReloadPage(enclave->id, *stale).ok());
 }
 
+/**
+ * Negative-path edges of the SealedBlob wire format itself: torn
+ * (truncated) transfers, a MAC flipped at every byte boundary, and a
+ * version counter forged to its saturation value.  Every rejection
+ * must be typed and side-effect free — the genuine blob still reloads
+ * afterwards.
+ */
+class SealedBlobEdge : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        machine.emplace(smallConfig());
+        auto enclave = machine->setupEnclave(0x10'0000, 2, 1, 0x999);
+        ASSERT_TRUE(enclave.ok());
+        id = enclave->id;
+        auto sealed =
+            machine->monitor().hcEnclaveEvictPage(id, Gva(0x10'0000));
+        ASSERT_TRUE(sealed.ok());
+        blob = *sealed;
+    }
+
+    /** The rejection left no trace: the genuine blob still reloads. */
+    void
+    expectStateUntouched()
+    {
+        Monitor &mon = machine->monitor();
+        EXPECT_TRUE(checkMonitorInvariants(mon).empty());
+        EXPECT_EQ(mon.stats().pagesReloaded.load(), 0u);
+        EXPECT_TRUE(mon.hcEnclaveReloadPage(id, blob).ok());
+    }
+
+    std::optional<Machine> machine;
+    EnclaveId id = invalidEnclave;
+    SealedBlob blob;
+};
+
+TEST_P(SealedBlobEdge, MacBitFlipAtEveryByteBoundary)
+{
+    // One flipped bit per MAC byte: every lane of the tag must be
+    // load-bearing, or a torn byte on the wire could slip through.
+    SealedBlob forged = blob;
+    forged.mac ^= 1ull << (8 * GetParam());
+    EXPECT_EQ(machine->monitor().hcEnclaveReloadPage(id, forged).error(),
+              HvError::SealAuthFailed)
+        << "flip in MAC byte " << GetParam();
+    expectStateUntouched();
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryMacByte, SealedBlobEdge,
+                         ::testing::Range(0u, 8u));
+
+TEST_F(SealedBlobEdge, TruncatedBlobIsRejected)
+{
+    // A transfer torn mid-page: the tail of the payload arrives as
+    // zeros.  The MAC covers every word, so any truncation point is an
+    // authenticity failure, never a partial restore.
+    const u64 half = blob.words.size() / 2;
+    const u64 last = blob.words.size() - 1;
+    for (const u64 keep : {u64(0), u64(1), half, last}) {
+        SealedBlob torn = blob;
+        for (u64 w = keep; w < torn.words.size(); ++w)
+            torn.words[w] = 0;
+        if (torn.words == blob.words)
+            continue; // nothing was actually lost at this tear point
+        EXPECT_EQ(
+            machine->monitor().hcEnclaveReloadPage(id, torn).error(),
+            HvError::SealAuthFailed)
+            << "torn after " << keep << " words";
+    }
+    expectStateUntouched();
+}
+
+TEST_F(SealedBlobEdge, SaturatedVersionForgeryIsRejected)
+{
+    // The OS forges the anti-rollback counter to UINT64_MAX and — in
+    // this model, where the MAC function is public — recomputes a
+    // valid tag.  Authenticity passes; the per-page seal record does
+    // not: only the exact recorded version reloads.
+    SealedBlob forged = blob;
+    forged.version = UINT64_MAX;
+    forged.mac = sealedBlobMac(forged);
+    EXPECT_EQ(machine->monitor().hcEnclaveReloadPage(id, forged).error(),
+              HvError::SealRollback);
+    expectStateUntouched();
+}
+
 } // namespace
 } // namespace hev::hv

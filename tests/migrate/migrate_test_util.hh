@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers of the migration test suites: a small machine config
+ * and a page-word readback wrapper.
+ */
+
+#ifndef HEV_TESTS_MIGRATE_MIGRATE_TEST_UTIL_HH
+#define HEV_TESTS_MIGRATE_MIGRATE_TEST_UTIL_HH
+
+#include <array>
+
+#include "hv/machine.hh"
+
+namespace hev::migrate::test
+{
+
+inline hv::MonitorConfig
+smallConfig()
+{
+    hv::MonitorConfig cfg;
+    cfg.layout.totalBytes = 32 * 1024 * 1024;
+    cfg.layout.ptAreaBytes = 4 * 1024 * 1024;
+    cfg.layout.epcBytes = 8 * 1024 * 1024;
+    return cfg;
+}
+
+/** A config whose EPC only holds `epc_pages` pages (exhaustion tests). */
+inline hv::MonitorConfig
+tinyEpcConfig(u64 epc_pages)
+{
+    hv::MonitorConfig cfg = smallConfig();
+    cfg.layout.epcBytes = epc_pages * pageSize;
+    return cfg;
+}
+
+using PageWords = std::array<u64, pageSize / sizeof(u64)>;
+
+/** Read one enclave page; returns zeroed words on failure. */
+inline PageWords
+readPage(const hv::Monitor &mon, EnclaveId id, u64 gva)
+{
+    PageWords words{};
+    (void)mon.enclaveReadPage(id, Gva(gva), words.data());
+    return words;
+}
+
+} // namespace hev::migrate::test
+
+#endif // HEV_TESTS_MIGRATE_MIGRATE_TEST_UTIL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The migration scenario bundle run as a campaign: the randomized
+ * migration ≡ quiesced-fold sweep plus concrete live migrations must
+ * come up clean, the seed-deterministic report must be byte-identical
+ * at every thread count, and the planted skip-dirty-on-final-round
+ * monitor bug must be found by the campaign's content oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/campaign.hh"
+#include "migrate/scenarios.hh"
+
+namespace hev::migrate
+{
+namespace
+{
+
+check::CampaignReport
+runMigrateCampaign(unsigned threads, u64 seed,
+                   const MigrateScenarioOptions &opts = {})
+{
+    check::CampaignConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    check::Campaign campaign(cfg);
+    campaign.add(migrateScenarios(opts));
+    return campaign.run();
+}
+
+TEST(MigrateCampaign, SweepIsCleanOnTheStockMonitor)
+{
+    const check::CampaignReport report = runMigrateCampaign(4, 0x5eed);
+    EXPECT_EQ(report.failures, 0u)
+        << (report.first ? report.first->scenario + ": " +
+                               report.first->detail
+                         : std::string());
+    EXPECT_GT(report.checks, 0u);
+    EXPECT_EQ(report.scenariosByKind.at("migrate"), report.scenarios);
+}
+
+TEST(MigrateCampaign, ReportIsThreadCountInvariant)
+{
+    const check::CampaignReport one = runMigrateCampaign(1, 0xfee1);
+    const check::CampaignReport four = runMigrateCampaign(4, 0xfee1);
+    EXPECT_EQ(check::renderResultJson(one),
+              check::renderResultJson(four))
+        << "shard outcomes must depend on (seed, shard) only";
+}
+
+TEST(MigrateCampaign, ContentOracleKillsThePlantedFinalRoundSkip)
+{
+    MigrateScenarioOptions opts;
+    opts.monitorPlanted.skipDirtyOnFinalRound = true;
+    const check::CampaignReport report =
+        runMigrateCampaign(4, 0x5eed, opts);
+    ASSERT_GT(report.failures, 0u)
+        << "a skipped final round must not survive the content oracle";
+    ASSERT_TRUE(report.first.has_value());
+    EXPECT_NE(report.first->detail.find("twin diverges"),
+              std::string::npos)
+        << report.first->detail;
+}
+
+} // namespace
+} // namespace hev::migrate

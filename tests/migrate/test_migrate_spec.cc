@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Directed spec-level tests of the migration hypercalls: snapshot's
+ * quiesce contract and version-vector consumption, move ≡ evict-all +
+ * remove as exact state equality, restore_image's typed rejection
+ * order and all-or-nothing build, ledger-driven anti-rollback, and
+ * direct instances of checkMigrateQuiescedFold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccal/specs.hh"
+
+namespace hev::ccal
+{
+namespace
+{
+
+using namespace spec;
+
+constexpr u64 elStart = 0x10'0000;
+constexpr u64 mbufGva = 0x50'0000;
+
+/** Build and initialize an enclave of `reg_pages` Reg pages (plus an
+ *  optional trailing TCS page); returns its id or -1. */
+i64
+makeEnclave(FlatState &s, u64 reg_pages, bool with_tcs)
+{
+    const u64 total = reg_pages + (with_tcs ? 1 : 0);
+    const IntResult init = specHcInit(
+        s, elStart, elStart + total * pageSize, mbufGva, 1, 0x8000);
+    if (!init.isOk)
+        return -1;
+    const i64 id = i64(init.value);
+    for (u64 i = 0; i < reg_pages; ++i)
+        if (specHcAddPage(s, id, elStart + i * pageSize,
+                          0x4000 + (i % 4) * pageSize, epcStateReg) != 0)
+            return -1;
+    if (with_tcs &&
+        specHcAddPage(s, id, elStart + reg_pages * pageSize, 0x4000,
+                      epcStateTcs) != 0)
+        return -1;
+    if (specHcInitFinish(s, id) != 0)
+        return -1;
+    return id;
+}
+
+TEST(MigrateSpec, ForkSnapshotFillsTheImageAndKeepsTheSource)
+{
+    FlatState s{Geometry{}};
+    const i64 id = makeEnclave(s, 3, true);
+    ASSERT_GE(id, 0);
+    const u64 version_base = s.enclaves[id].nextSealVersion;
+
+    AbsImage img;
+    ASSERT_EQ(specHcSnapshot(s, id, false, 0x6ea5, &img), 0);
+
+    EXPECT_EQ(img.sourceId, id);
+    EXPECT_EQ(img.measurement, 0x6ea5u);
+    EXPECT_EQ(img.elStart, elStart);
+    EXPECT_EQ(img.addedPages, 4u);
+    EXPECT_EQ(img.tcsPages, 1u);
+    EXPECT_EQ(img.versionBase, version_base);
+    ASSERT_EQ(img.pages.size(), 4u);
+    for (u64 i = 0; i < img.pages.size(); ++i) {
+        // Ascending gva, version vector consumed like an evict-all fold.
+        EXPECT_EQ(img.pages[i].gva, elStart + i * pageSize);
+        EXPECT_EQ(img.pages[i].sealed.version, version_base + i);
+    }
+    EXPECT_EQ(img.pages.back().sealed.kind, epcStateTcs);
+
+    // The fork source keeps running, its version counter advanced past
+    // the image's run.
+    EXPECT_EQ(s.enclaves[id].state, enclStateInitialized);
+    EXPECT_EQ(s.enclaves[id].nextSealVersion, version_base + 4);
+
+    // A second snapshot continues the vector where the first stopped.
+    AbsImage again;
+    ASSERT_EQ(specHcSnapshot(s, id, false, 0x6ea6, &again), 0);
+    EXPECT_EQ(again.versionBase, version_base + 4);
+}
+
+TEST(MigrateSpec, MoveSnapshotEqualsEvictAllPlusRemove)
+{
+    FlatState snap{Geometry{}};
+    const i64 id = makeEnclave(snap, 3, true);
+    ASSERT_GE(id, 0);
+    FlatState fold = snap;  // identical pre-state
+
+    AbsImage img;
+    ASSERT_EQ(specHcSnapshot(snap, id, true, 0x6ea5, &img), 0);
+
+    // The quiesced reference: evict every page in ascending gva order
+    // (the order the snapshot consumes versions in), then remove.
+    for (u64 i = 0; i < 4; ++i) {
+        const IntResult v =
+            specHcEvictPage(fold, id, elStart + i * pageSize);
+        ASSERT_TRUE(v.isOk);
+        EXPECT_EQ(v.value, img.pages[i].sealed.version);
+    }
+    ASSERT_EQ(specHcRemove(fold, id), 0);
+
+    EXPECT_TRUE(snap == fold)
+        << "move-mode snapshot must be evict-all + remove, exactly";
+    EXPECT_EQ(specHcSnapshot(snap, id, false, 0x6ea6, nullptr),
+              errNoSuchEnclave);
+}
+
+TEST(MigrateSpec, SnapshotRejectsEveryUnquiescedCorner)
+{
+    FlatState s{Geometry{}};
+
+    // Mid-add enclave: never initialized.
+    const IntResult init = specHcInit(
+        s, elStart, elStart + 2 * pageSize, mbufGva, 1, 0x8000);
+    ASSERT_TRUE(init.isOk);
+    const i64 adding = i64(init.value);
+    ASSERT_EQ(specHcAddPage(s, adding, elStart, 0x4000, epcStateReg), 0);
+    EXPECT_EQ(specHcSnapshot(s, adding, false, 1, nullptr),
+              errBadState);
+
+    // Missing id.
+    EXPECT_EQ(specHcSnapshot(s, adding + 99, false, 1, nullptr),
+              errNoSuchEnclave);
+
+    // Evicted page in OS custody.
+    const i64 id = makeEnclave(s, 2, true);
+    ASSERT_GE(id, 0);
+    ASSERT_TRUE(specHcEvictPage(s, id, elStart).isOk);
+    EXPECT_EQ(specHcSnapshot(s, id, false, 1, nullptr), errBadState);
+
+    // Removed enclave.
+    ASSERT_TRUE(specHcEvictPage(s, id, elStart + pageSize).isOk);
+    ASSERT_TRUE(specHcEvictPage(s, id, elStart + 2 * pageSize).isOk);
+    ASSERT_EQ(specHcRemove(s, id), 0);
+    EXPECT_EQ(specHcSnapshot(s, id, false, 1, nullptr),
+              errNoSuchEnclave);
+}
+
+TEST(MigrateSpec, RestoreRejectsInMonitorOrderAndLeavesNoTrace)
+{
+    FlatState src{Geometry{}};
+    const i64 id = makeEnclave(src, 2, true);
+    ASSERT_GE(id, 0);
+    AbsImage img;
+    ASSERT_EQ(specHcSnapshot(src, id, false, 0x6ea5, &img), 0);
+
+    FlatState dst{Geometry{}};
+    const FlatState pre = dst;
+
+    // Structural honesty: page vector contradicts the header.
+    AbsImage truncated = img;
+    truncated.pages.pop_back();
+    EXPECT_EQ(specHcRestoreImage(dst, truncated).errCode,
+              errImageTruncated);
+    EXPECT_TRUE(dst == pre);
+
+    // Authenticity: the abstract MAC verdict.
+    AbsImage forged = img;
+    forged.authentic = false;
+    EXPECT_EQ(specHcRestoreImage(dst, forged).errCode, errImageAuth);
+    EXPECT_TRUE(dst == pre);
+
+    // Authenticity: a broken version vector is a forgery too.
+    AbsImage respun = img;
+    respun.pages[1].sealed.version += 1;
+    EXPECT_EQ(specHcRestoreImage(dst, respun).errCode, errImageAuth);
+    EXPECT_TRUE(dst == pre);
+
+    // Truncation outranks authenticity (monitor order).
+    AbsImage both = img;
+    both.pages.pop_back();
+    both.authentic = false;
+    EXPECT_EQ(specHcRestoreImage(dst, both).errCode, errImageTruncated);
+    EXPECT_TRUE(dst == pre);
+
+    // Freshness: the ledger already accepted this lineage at an
+    // equal-or-later versionBase.
+    dst.imageLedger[img.measurement] = img.versionBase;
+    const FlatState ledgered = dst;
+    EXPECT_EQ(specHcRestoreImage(dst, img).errCode, errImageRollback);
+    EXPECT_TRUE(dst == ledgered);
+}
+
+TEST(MigrateSpec, RestoreIsAllOrNothingWhenTheTwinRunsDry)
+{
+    FlatState src{Geometry{}};
+    const i64 id = makeEnclave(src, 5, true);
+    ASSERT_GE(id, 0);
+    AbsImage img;
+    ASSERT_EQ(specHcSnapshot(src, id, false, 0x6ea5, &img), 0);
+
+    // A twin whose EPC cannot hold the image: the build dies mid-way
+    // and must leave the state untouched.
+    Geometry tiny;
+    tiny.epcCount = 3;
+    FlatState dst(tiny);
+    const FlatState pre = dst;
+    const IntResult rc = specHcRestoreImage(dst, img);
+    ASSERT_FALSE(rc.isOk);
+    EXPECT_EQ(rc.errCode, errOutOfEpc);
+    EXPECT_TRUE(dst == pre);
+}
+
+TEST(MigrateSpec, TwinContinuesTheVersionVectorAndLedger)
+{
+    FlatState src{Geometry{}};
+    const i64 id = makeEnclave(src, 2, true);
+    ASSERT_GE(id, 0);
+    AbsImage img;
+    ASSERT_EQ(specHcSnapshot(src, id, true, 0x6ea5, &img), 0);
+
+    FlatState dst{Geometry{}};
+    const IntResult restored = specHcRestoreImage(dst, img);
+    ASSERT_TRUE(restored.isOk);
+    const i64 twin = i64(restored.value);
+
+    EXPECT_EQ(dst.enclaves[twin].state, enclStateInitialized);
+    EXPECT_EQ(dst.enclaves[twin].addedPages, 3u);
+    EXPECT_EQ(dst.enclaves[twin].nextSealVersion, img.versionBase + 3);
+    EXPECT_EQ(dst.imageLedger[img.measurement], img.versionBase);
+
+    // A replay of the very image the twin was built from must fail —
+    // the twin can never be rolled back to its own birth state.
+    const FlatState pre = dst;
+    EXPECT_EQ(specHcRestoreImage(dst, img).errCode, errImageRollback);
+    EXPECT_TRUE(dst == pre);
+
+    // But the next hop of the lineage (fresh snapshot of the twin,
+    // strictly later versionBase) lands on a third host.
+    AbsImage hop;
+    ASSERT_EQ(specHcSnapshot(dst, twin, false, 0x6ea5, &hop), 0);
+    EXPECT_GT(hop.versionBase, img.versionBase);
+    FlatState third{Geometry{}};
+    third.imageLedger[img.measurement] = img.versionBase;
+    EXPECT_TRUE(specHcRestoreImage(third, hop).isOk);
+}
+
+TEST(MigrateSpec, QuiescedFoldCheckerPassesTheDirectedCorners)
+{
+    FlatState src{Geometry{}};
+    const i64 id = makeEnclave(src, 3, true);
+    ASSERT_GE(id, 0);
+
+    // Clean fork and clean move onto an empty twin.
+    FlatState dst{Geometry{}};
+    const BatchEquivalence fork =
+        checkMigrateQuiescedFold(src, dst, id, false, 0x6ea5);
+    EXPECT_TRUE(fork.equivalent) << fork.detail;
+    const BatchEquivalence move =
+        checkMigrateQuiescedFold(src, dst, id, true, 0x6ea5);
+    EXPECT_TRUE(move.equivalent) << move.detail;
+
+    // A busy twin: the restored id must still agree with the fold's.
+    FlatState busy{Geometry{}};
+    ASSERT_TRUE(specHcInit(busy, 0x70'0000, 0x70'0000 + 2 * pageSize,
+                           0x90'0000, 1, 0x8000)
+                    .isOk);
+    const BatchEquivalence onto_busy =
+        checkMigrateQuiescedFold(src, busy, id, false, 0x6ea5);
+    EXPECT_TRUE(onto_busy.equivalent) << onto_busy.detail;
+
+    // A twin whose ledger already holds the lineage: restore and the
+    // reference fold must agree on the rollback rejection.
+    FlatState seen{Geometry{}};
+    seen.imageLedger[0x6ea5] = 50;
+    const BatchEquivalence replay =
+        checkMigrateQuiescedFold(src, seen, id, false, 0x6ea5);
+    EXPECT_TRUE(replay.equivalent) << replay.detail;
+
+    // Unquiesced source: both paths must reject identically too.
+    FlatState adding{Geometry{}};
+    const IntResult init = specHcInit(
+        adding, elStart, elStart + 2 * pageSize, mbufGva, 1, 0x8000);
+    ASSERT_TRUE(init.isOk);
+    const BatchEquivalence rejected = checkMigrateQuiescedFold(
+        adding, dst, i64(init.value), false, 0x6ea5);
+    EXPECT_TRUE(rejected.equivalent) << rejected.detail;
+}
+
+} // namespace
+} // namespace hev::ccal

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The enclave-image data oracle: Lemma 5.2 extended to images.
+ *
+ * A whole-enclave snapshot hands the OS an image — header metadata
+ * plus one declassified ciphertext per page — and nothing else: the
+ * image reveals nothing beyond what the sealed-page ledger already
+ * revealed.  Fork snapshots are pure management steps (no enclave's
+ * view changes); move snapshots scrub the source like a removal; two
+ * lockstep runs whose enclave secrets differ produce indistinguishable
+ * OS views and identical observable results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sec/invariants.hh"
+#include "sec/noninterference.hh"
+
+namespace hev::sec
+{
+namespace
+{
+
+/** Two initialized enclaves plus some OS mappings. */
+SecState
+scene(std::vector<i64> &ids)
+{
+    SecState s;
+    DataOracle oracle(13);
+    s.mem[0x4000] = 0xaaa;
+    s.mem[0x4008] = 0xa11a;
+    s.mem[0x5000] = 0xbbb;
+    Action map;
+    map.kind = Action::Kind::OsMap;
+    map.va = 0x40'0000;
+    map.a = 0x6000;
+    (void)SecMachine::step(s, map, oracle);
+    ids.push_back(SecMachine::setupEnclave(s, oracle, 0x10'0000, 1, 1,
+                                           0x8000, 0x4000));
+    ids.push_back(SecMachine::setupEnclave(s, oracle, 0x30'0000, 1, 1,
+                                           0xa000, 0x5000));
+    EXPECT_GT(ids[0], 0);
+    EXPECT_GT(ids[1], 0);
+    return s;
+}
+
+Action
+snapshotAction(i64 id, bool move)
+{
+    Action a;
+    a.kind = Action::Kind::Snapshot;
+    a.enclave = id;
+    a.a = move ? 1 : 0;
+    return a;
+}
+
+TEST(ImageOracleTest, OsSeesImageMetadataAndCiphertextNotPlaintext)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(17);
+    const StepResult snap =
+        SecMachine::step(s, snapshotAction(ids[0], false), oracle);
+    ASSERT_FALSE(snap.faulted) << "snapshot rc=" << snap.code;
+
+    const View os_view = observe(s, osPrincipal);
+    ASSERT_EQ(os_view.images.size(), 1u);
+    EXPECT_EQ(os_view.images[0].source, ids[0]);
+    EXPECT_EQ(os_view.images[0].measurement, snap.value);
+    EXPECT_FALSE(os_view.images[0].moved);
+    // The enclave had 1 REG + 1 TCS page; both are in the image.
+    ASSERT_EQ(os_view.images[0].pages.size(), 2u);
+    EXPECT_EQ(os_view.images[0].pages[0].owner, ids[0]);
+    EXPECT_EQ(os_view.images[0].pages[0].gva, 0x10'0000ull);
+
+    // The plaintext is in NO principal's view: a snapshotted page
+    // reads through the live enclave, never through the image.
+    ASSERT_FALSE(s.images[0].pages[0].plain.empty());
+    SecState s2 = s;
+    s2.images[0].pages[0].plain.begin()->second ^= 0xff;
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal));
+    EXPECT_TRUE(indistinguishable(s, s2, ids[0]));
+
+    // The ciphertext and the measurement are OS-observable only.
+    SecState s3 = s;
+    s3.images[0].pages[0].ciphertext ^= 0xff;
+    EXPECT_FALSE(indistinguishable(s, s3, osPrincipal));
+    EXPECT_TRUE(indistinguishable(s, s3, ids[0]));
+    SecState s4 = s;
+    s4.images[0].measurement ^= 0xff;
+    EXPECT_FALSE(indistinguishable(s, s4, osPrincipal));
+    EXPECT_TRUE(indistinguishable(s, s4, ids[0]));
+}
+
+TEST(ImageOracleTest, ForkSnapshotLeavesEveryEnclaveViewUnchanged)
+{
+    // Lemma 5.2 (integrity) for fork snapshots: the OS step must not
+    // change any inactive principal's view — including the source's.
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    int step = 0;
+    for (const i64 target : {ids[0], ids[1], ids[0]}) {
+        const Action action = snapshotAction(target, false);
+        for (const i64 p : ids) {
+            auto violation = checkIntegrityStep(s, p, action, step);
+            ASSERT_FALSE(violation.has_value())
+                << "step " << step << " observer " << p << ": "
+                << violation->lemma << ": " << violation->detail;
+        }
+        DataOracle oracle(100 + step);
+        const StepResult r = SecMachine::step(s, action, oracle);
+        ASSERT_FALSE(r.faulted) << "step " << step << " rc=" << r.code;
+        ASSERT_TRUE(checkInvariants(s.mon).empty())
+            << describeViolations(checkInvariants(s.mon));
+        ++step;
+    }
+}
+
+TEST(ImageOracleTest, SnapshotIsDeclassifiedByConstruction)
+{
+    // Lemmas 5.3/5.4 (confidentiality): two runs whose differences are
+    // invisible to p stay indistinguishable across fork and move
+    // snapshots, and the acting OS observes identical results even
+    // when the snapshotted enclave's secrets differ between the runs.
+    std::vector<i64> ids;
+    const SecState base = scene(ids);
+    Rng rng(23);
+    for (const Principal p :
+         {osPrincipal, Principal(ids[0]), Principal(ids[1])}) {
+        for (int round = 0; round < 60; ++round) {
+            SecState s1 = base;
+            SecState s2 = base;
+            perturbUnobservable(s2, p, rng);
+            const Action action = snapshotAction(
+                rng.pick(ids), rng.chance(1, 2));
+            auto violation =
+                checkStepPair(s1, s2, p, action, 3000 + round);
+            ASSERT_FALSE(violation.has_value())
+                << "p=" << p << " round " << round << " "
+                << violation->lemma << ": " << violation->detail;
+        }
+    }
+}
+
+TEST(ImageOracleTest, MoveSnapshotRetiresAndScrubsTheSource)
+{
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(29);
+
+    // Record the source's resident frame before the move.
+    const u64 hpa = SecMachine::translate(s, ids[0], 0x10'0000, false);
+    ASSERT_NE(hpa, ~0ull);
+    ASSERT_EQ(s.mem.count(hpa), 1u);
+    const View bystander_before = observe(s, ids[1]);
+
+    const StepResult snap =
+        SecMachine::step(s, snapshotAction(ids[0], true), oracle);
+    ASSERT_FALSE(snap.faulted) << "move snapshot rc=" << snap.code;
+    EXPECT_TRUE(checkInvariants(s.mon).empty())
+        << describeViolations(checkInvariants(s.mon));
+
+    // Source gone: nothing translates, the EPC words left data memory,
+    // but the plaintext survived into the (OS-invisible) image record.
+    EXPECT_EQ(SecMachine::translate(s, ids[0], 0x10'0000, false), ~0ull);
+    EXPECT_EQ(s.mem.count(hpa), 0u);
+    ASSERT_EQ(s.images.size(), 1u);
+    EXPECT_TRUE(s.images[0].moved);
+    ASSERT_FALSE(s.images[0].pages.empty());
+    EXPECT_FALSE(s.images[0].pages[0].plain.empty());
+
+    // The OS view carries the retirement flag and the ciphertexts —
+    // and mutating the stashed plaintext is still invisible to it.
+    const View os_view = observe(s, osPrincipal);
+    ASSERT_EQ(os_view.images.size(), 1u);
+    EXPECT_TRUE(os_view.images[0].moved);
+    SecState s2 = s;
+    s2.images[0].pages[0].plain.begin()->second ^= 0xff;
+    EXPECT_TRUE(indistinguishable(s, s2, osPrincipal));
+
+    // The bystander enclave's view never moved.
+    EXPECT_EQ(diffViews(bystander_before, observe(s, ids[1])), "");
+
+    // A second snapshot of the dead source faults.
+    EXPECT_TRUE(
+        SecMachine::step(s, snapshotAction(ids[0], false), oracle)
+            .faulted);
+}
+
+TEST(ImageOracleTest, SnapshotRejectsWhileBlobsAreInCustody)
+{
+    // The quiesce contract: an enclave with evicted pages in OS
+    // custody cannot be imaged (the image would race the blobs).
+    std::vector<i64> ids;
+    SecState s = scene(ids);
+    DataOracle oracle(31);
+    Action evict;
+    evict.kind = Action::Kind::Evict;
+    evict.enclave = ids[0];
+    evict.va = 0x10'0000;
+    ASSERT_FALSE(SecMachine::step(s, evict, oracle).faulted);
+
+    const StepResult snap =
+        SecMachine::step(s, snapshotAction(ids[0], false), oracle);
+    EXPECT_TRUE(snap.faulted);
+    EXPECT_EQ(snap.code, ccal::errBadState);
+    EXPECT_TRUE(s.images.empty());
+
+    // Reloading the blob restores snapshot eligibility.
+    Action reload;
+    reload.kind = Action::Kind::Reload;
+    reload.enclave = ids[0];
+    reload.a = 0;
+    ASSERT_FALSE(SecMachine::step(s, reload, oracle).faulted);
+    EXPECT_FALSE(
+        SecMachine::step(s, snapshotAction(ids[0], false), oracle)
+            .faulted);
+}
+
+} // namespace
+} // namespace hev::sec

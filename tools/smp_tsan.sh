@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # ThreadSanitizer smoke for the SMP subsystem: build the test suite
-# with TSan and run every smp-, campaign-, paging- and batch-labeled
-# test.
+# with TSan and run every smp-, campaign-, paging-, batch- and
+# migrate-labeled test.
 # The threaded tests (tests/smp/test_smp_threads.cc) drive real
 # std::threads through the hypercall, shootdown, frame-cache and
 # evict/reload paging paths, so a data race in the locking protocol
@@ -19,10 +19,10 @@ cmake -B "${BUILD_DIR}" -S "${SRC_DIR}" \
 echo "== building the test suite"
 cmake --build "${BUILD_DIR}" -j > /dev/null
 
-echo "== running smp + campaign + paging + batch tests under TSan"
+echo "== running smp + campaign + paging + batch + migrate tests under TSan"
 # halt_on_error makes any race report fatal -> non-zero exit.
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
-ctest --test-dir "${BUILD_DIR}" -L 'smp|campaign|paging|batch' \
+ctest --test-dir "${BUILD_DIR}" -L 'smp|campaign|paging|batch|migrate' \
     --output-on-failure
 
 echo "== smp tsan smoke passed (no race, no failure)"
