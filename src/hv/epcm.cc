@@ -38,7 +38,7 @@ Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state)
 {
     if (owner == invalidEnclave || state == EpcPageState::Free)
         return HvError::InvalidParam;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     // First fit, deliberately: the functional spec (specEpcmAlloc) and
     // the MIR model (epcm_alloc) both scan from index 0, and the
     // conformance oracles compare the tables index-aligned.  A
@@ -61,7 +61,7 @@ Epcm::allocPage(EnclaveId owner, Gva lin_addr, EpcPageState state,
 {
     if (owner == invalidEnclave || state == EpcPageState::Free)
         return HvError::InvalidParam;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     // With no frees since the last grant, every index below the hint is
     // still occupied, so resuming there finds the same slot a scan from
     // 0 would.
@@ -85,7 +85,7 @@ Epcm::restorePage(Hpa page, EnclaveId owner, Gva lin_addr,
     if (!isEpc(page) || !page.pageAligned() || owner == invalidEnclave ||
         state == EpcPageState::Free)
         return HvError::InvalidParam;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     EpcmEntry &entry = table[indexOf(page)];
     if (entry.state != EpcPageState::Free)
         return HvError::EpcmConflict;
@@ -99,7 +99,7 @@ Epcm::freePage(Hpa page)
 {
     if (!isEpc(page) || !page.pageAligned())
         return HvError::InvalidParam;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     EpcmEntry &entry = table[indexOf(page)];
     if (entry.state == EpcPageState::Free)
         return HvError::EpcmConflict;
@@ -111,19 +111,24 @@ Epcm::freePage(Hpa page)
 u64
 Epcm::freePages() const
 {
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     return freeCount;
 }
 
+// Quiescent-only reader (invariant checkers, exclusive-locked
+// teardown): contractually runs with no concurrent alloc/free, so it
+// deliberately skips the lock the table is guarded by.
 const EpcmEntry &
-Epcm::entryFor(Hpa hpa) const
+Epcm::entryFor(Hpa hpa) const HEV_NO_THREAD_SAFETY_ANALYSIS
 {
     return table[indexOf(hpa)];
 }
 
+// Quiescent-only reader; same exemption as entryFor.
 void
 Epcm::forEachUsed(
     const std::function<void(Hpa, const EpcmEntry &)> &visit) const
+    HEV_NO_THREAD_SAFETY_ANALYSIS
 {
     for (u64 idx = 0; idx < table.size(); ++idx) {
         if (table[idx].state != EpcPageState::Free)

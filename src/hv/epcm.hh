@@ -16,10 +16,10 @@
 #define HEV_HV_EPCM_HH
 
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "support/result.hh"
+#include "support/thread_annotations.hh"
 #include "support/types.hh"
 
 namespace hev::hv
@@ -112,11 +112,13 @@ class Epcm
     /**
      * Serializes alloc/free from concurrent vCPUs.  Reads via
      * entryFor/forEachUsed are quiescent-only (invariant checkers and
-     * exclusive-locked teardown) and stay lock free.
+     * exclusive-locked teardown) and stay lock free — their bodies
+     * carry HEV_NO_THREAD_SAFETY_ANALYSIS to record exactly that
+     * exemption instead of silently widening the guard.
      */
-    mutable std::mutex lock;
-    std::vector<EpcmEntry> table;
-    u64 freeCount = 0;
+    mutable Mutex lock;
+    std::vector<EpcmEntry> table HEV_GUARDED_BY(lock);
+    u64 freeCount HEV_GUARDED_BY(lock) = 0;
 };
 
 } // namespace hev::hv

@@ -42,14 +42,14 @@ FrameAllocator::allocLocked()
 Expected<Hpa>
 FrameAllocator::alloc()
 {
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     return allocLocked();
 }
 
 u64
 FrameAllocator::allocBatch(u64 count, std::vector<Hpa> &out)
 {
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     u64 got = 0;
     while (got < count) {
         auto frame = allocLocked();
@@ -66,7 +66,7 @@ FrameAllocator::free(Hpa frame)
 {
     if (!inArea(frame) || !frame.pageAligned())
         return HvError::InvalidParam;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     const u64 idx = indexOf(frame);
     if (!bitmap[idx])
         return HvError::InvalidParam;
@@ -78,7 +78,7 @@ FrameAllocator::free(Hpa frame)
 void
 FrameAllocator::freeBatch(const std::vector<Hpa> &frames)
 {
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     for (Hpa frame : frames) {
         if (!inArea(frame) || !frame.pageAligned())
             continue;
@@ -95,7 +95,7 @@ FrameAllocator::debugForceFree(Hpa frame)
 {
     if (!inArea(frame) || !frame.pageAligned())
         return;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     const u64 idx = indexOf(frame);
     if (bitmap[idx])
         --used;
@@ -108,14 +108,14 @@ FrameAllocator::allocated(Hpa frame) const
 {
     if (!inArea(frame) || !frame.pageAligned())
         return false;
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     return bitmap[indexOf(frame)];
 }
 
 u64
 FrameAllocator::usedFrames() const
 {
-    std::lock_guard<std::mutex> guard(lock);
+    MutexGuard guard(lock);
     return used;
 }
 

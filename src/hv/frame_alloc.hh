@@ -21,11 +21,11 @@
 #ifndef HEV_HV_FRAME_ALLOC_HH
 #define HEV_HV_FRAME_ALLOC_HH
 
-#include <mutex>
 #include <vector>
 
 #include "hv/mem_layout.hh"
 #include "support/result.hh"
+#include "support/thread_annotations.hh"
 #include "support/types.hh"
 
 namespace hev::hv
@@ -131,15 +131,15 @@ class FrameAllocator final : public FrameSource
     u64 indexOf(Hpa frame) const;
 
     /** One first-fit probe under the lock; nullopt when full. */
-    Expected<Hpa> allocLocked();
+    Expected<Hpa> allocLocked() HEV_REQUIRES(lock);
 
     PhysMem &physMem;
     HpaRange managedArea;
     u64 totalCount = 0;
-    mutable std::mutex lock;
-    std::vector<bool> bitmap;
-    u64 used = 0;
-    u64 searchHint = 0;
+    mutable Mutex lock;
+    std::vector<bool> bitmap HEV_GUARDED_BY(lock);
+    u64 used HEV_GUARDED_BY(lock) = 0;
+    u64 searchHint HEV_GUARDED_BY(lock) = 0;
 };
 
 } // namespace hev::hv

@@ -4,11 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "obs/stats.hh"
+#include "support/thread_annotations.hh"
 #include "obs/trace.hh"
 
 /** Stamped by the build system; hev_obs carries the provenance. */
@@ -59,10 +59,11 @@ drain(const FlightRing &ring)
 
 struct Recorder
 {
-    std::mutex mu;
-    u32 nextTid = 1;
-    std::vector<FlightRing *> rings;
-    std::vector<FlightDump> retired;
+    Mutex mu;
+    u32 nextTid HEV_GUARDED_BY(mu) = 1;
+    std::vector<FlightRing *> rings HEV_GUARDED_BY(mu);
+    std::vector<FlightDump> retired HEV_GUARDED_BY(mu);
+    /** Lock-free by design: tags are drawn without taking mu. */
     std::atomic<u16> nextRunTag{1};
 };
 
@@ -76,7 +77,7 @@ recorder()
 FlightRing::FlightRing()
 {
     Recorder &rec = recorder();
-    std::lock_guard<std::mutex> lock(rec.mu);
+    MutexGuard lock(rec.mu);
     tid = rec.nextTid++;
     rec.rings.push_back(this);
 }
@@ -84,7 +85,7 @@ FlightRing::FlightRing()
 FlightRing::~FlightRing()
 {
     Recorder &rec = recorder();
-    std::lock_guard<std::mutex> lock(rec.mu);
+    MutexGuard lock(rec.mu);
     FlightDump last = drain(*this);
     if (last.dropped || !last.records.empty())
         rec.retired.push_back(std::move(last));
@@ -130,7 +131,7 @@ std::vector<FlightDump>
 collectFlight()
 {
     Recorder &rec = recorder();
-    std::lock_guard<std::mutex> lock(rec.mu);
+    MutexGuard lock(rec.mu);
     std::vector<FlightDump> out = rec.retired;
     for (const FlightRing *ring : rec.rings) {
         FlightDump slice = drain(*ring);
@@ -144,7 +145,7 @@ void
 clearFlight()
 {
     Recorder &rec = recorder();
-    std::lock_guard<std::mutex> lock(rec.mu);
+    MutexGuard lock(rec.mu);
     rec.retired.clear();
     for (FlightRing *ring : rec.rings)
         ring->head.store(0, std::memory_order_release);

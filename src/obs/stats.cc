@@ -1,11 +1,11 @@
 #include "obs/stats.hh"
 
 #include <bit>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/thread_annotations.hh"
 
 namespace hev::obs
 {
@@ -164,15 +164,16 @@ struct Shard
 /** Everything behind the registry mutex. */
 struct Registry
 {
-    std::mutex mu;
-    std::vector<std::string> counterNames;
-    std::vector<std::string> gaugeNames;
-    std::vector<std::string> histNames;
+    Mutex mu;
+    std::vector<std::string> counterNames HEV_GUARDED_BY(mu);
+    std::vector<std::string> gaugeNames HEV_GUARDED_BY(mu);
+    std::vector<std::string> histNames HEV_GUARDED_BY(mu);
+    /** Lock-free by design: gauge writes never take mu. */
     std::array<std::atomic<i64>, maxGauges> gauges{};
-    std::vector<Shard *> shards;
+    std::vector<Shard *> shards HEV_GUARDED_BY(mu);
     /** Totals of shards whose threads have exited. */
-    std::vector<u64> retiredCounters;
-    std::vector<HistogramData> retiredHists;
+    std::vector<u64> retiredCounters HEV_GUARDED_BY(mu);
+    std::vector<HistogramData> retiredHists HEV_GUARDED_BY(mu);
 };
 
 Registry &
@@ -208,14 +209,14 @@ foldShard(const Shard &shard, std::vector<u64> &counters,
 Shard::Shard()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     reg.shards.push_back(this);
 }
 
 Shard::~Shard()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     reg.retiredCounters.resize(reg.counterNames.size(), 0);
     reg.retiredHists.resize(reg.histNames.size());
     foldShard(*this, reg.retiredCounters, reg.retiredHists);
@@ -250,7 +251,7 @@ intern(std::vector<std::string> &names, const char *name, u32 cap,
 Counter::Counter(const char *name)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     slot = intern(reg.counterNames, name, maxCounters, "counter");
 }
 
@@ -269,7 +270,7 @@ Counter::add(u64 n) const
 Gauge::Gauge(const char *name)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     slot = intern(reg.gaugeNames, name, maxGauges, "gauge");
 }
 
@@ -292,7 +293,7 @@ Gauge::add(i64 delta) const
 Histogram::Histogram(const char *name)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     slot = intern(reg.histNames, name, maxHistograms, "histogram");
 }
 
@@ -318,7 +319,7 @@ Snapshot
 snapshotStats()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
 
     std::vector<u64> counters(reg.counterNames.size(), 0);
     std::vector<HistogramData> hists(reg.histNames.size());
@@ -346,7 +347,7 @@ void
 resetStats()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexGuard lock(reg.mu);
     reg.retiredCounters.assign(reg.counterNames.size(), 0);
     reg.retiredHists.assign(reg.histNames.size(), HistogramData{});
     for (auto &gauge : reg.gauges)

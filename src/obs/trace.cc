@@ -5,9 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <unordered_set>
+
+#include "support/thread_annotations.hh"
 
 namespace hev::obs
 {
@@ -115,12 +116,13 @@ drain(const Ring &ring)
 
 struct Tracer
 {
-    std::mutex mu;
-    u32 nextTid = 1;
-    std::vector<Ring *> rings;
-    std::vector<ThreadTrace> retired;
-    std::unordered_set<std::string> names;
-    /** Events ever recorded per type, immune to ring wraparound. */
+    Mutex mu;
+    u32 nextTid HEV_GUARDED_BY(mu) = 1;
+    std::vector<Ring *> rings HEV_GUARDED_BY(mu);
+    std::vector<ThreadTrace> retired HEV_GUARDED_BY(mu);
+    std::unordered_set<std::string> names HEV_GUARDED_BY(mu);
+    /** Events ever recorded per type, immune to ring wraparound.
+     *  Lock-free by design: bumped without taking mu. */
     std::array<std::atomic<u64>, eventTypeCount> totals{};
 };
 
@@ -134,7 +136,7 @@ tracer()
 Ring::Ring()
 {
     Tracer &tr = tracer();
-    std::lock_guard<std::mutex> lock(tr.mu);
+    MutexGuard lock(tr.mu);
     tid = tr.nextTid++;
     tr.rings.push_back(this);
 }
@@ -142,7 +144,7 @@ Ring::Ring()
 Ring::~Ring()
 {
     Tracer &tr = tracer();
-    std::lock_guard<std::mutex> lock(tr.mu);
+    MutexGuard lock(tr.mu);
     ThreadTrace last = drain(*this);
     if (last.dropped || !last.events.empty())
         tr.retired.push_back(std::move(last));
@@ -161,7 +163,7 @@ const char *
 internName(const char *name)
 {
     Tracer &tr = tracer();
-    std::lock_guard<std::mutex> lock(tr.mu);
+    MutexGuard lock(tr.mu);
     return tr.names.insert(name).first->c_str();
 }
 
@@ -191,7 +193,7 @@ std::vector<ThreadTrace>
 collectTrace()
 {
     Tracer &tr = tracer();
-    std::lock_guard<std::mutex> lock(tr.mu);
+    MutexGuard lock(tr.mu);
     std::vector<ThreadTrace> out = tr.retired;
     for (const Ring *ring : tr.rings) {
         ThreadTrace slice = drain(*ring);
@@ -205,7 +207,7 @@ void
 clearTrace()
 {
     Tracer &tr = tracer();
-    std::lock_guard<std::mutex> lock(tr.mu);
+    MutexGuard lock(tr.mu);
     tr.retired.clear();
     for (Ring *ring : tr.rings)
         ring->head.store(0, std::memory_order_release);

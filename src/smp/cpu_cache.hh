@@ -11,7 +11,12 @@
  * kernels, scaled down to the model.
  *
  * A cache is owned by one vCPU and is *not* itself thread safe; only
- * the batched refill/drain calls into the global allocator synchronize.
+ * the batched refill/drain calls into the global allocator synchronize
+ * (FrameAllocator's lock carries the thread-safety annotations — see
+ * hv/frame_alloc.hh and support/thread_annotations.hh — so a stray
+ * cross-thread touch of the global free bitmap is a compile error
+ * under -DHEV_ANALYZE=ON; the single-owner discipline of the local
+ * free list itself is enforced by the scheduler, not by a lock).
  */
 
 #ifndef HEV_SMP_CPU_CACHE_HH

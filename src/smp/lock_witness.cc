@@ -1,0 +1,99 @@
+#include "smp/lock_witness.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace hev::smp
+{
+
+namespace
+{
+
+/** This thread's held ranks, in acquisition order. */
+std::vector<LockRank> &
+heldStack()
+{
+    thread_local std::vector<LockRank> held;
+    return held;
+}
+
+} // namespace
+
+const char *
+lockRankName(LockRank rank)
+{
+    switch (rank) {
+      case LockRank::Structural: return "structuralLock";
+      case LockRank::EnclaveTable: return "enclaveLocksTableLock";
+      case LockRank::Enclave: return "enclaveLock";
+      case LockRank::OsPt: return "osPtLock";
+      case LockRank::Shootdown: return "shootdownLock";
+      case LockRank::Mailbox: return "mailboxLock";
+      case LockRank::InFlightPages: return "inFlightPagesLock";
+    }
+    return "unknown";
+}
+
+void
+LockWitness::acquire(LockRank rank)
+{
+    std::vector<LockRank> &held = heldStack();
+    // Strictly increasing: equal ranks would mean two locks of the
+    // same tier nested, which the hierarchy also forbids (at most one
+    // per-enclave mutex, one mailbox at a time).
+    for (const LockRank prior : held) {
+        if (u32(prior) >= u32(rank))
+            panic("lock-order violation: acquiring %s (rank %u) while "
+                  "holding %s (rank %u); the hierarchy is "
+                  "structural -> enclave -> osPt -> shootdown "
+                  "(docs/ANALYSIS.md)",
+                  lockRankName(rank), u32(rank), lockRankName(prior),
+                  u32(prior));
+    }
+    held.push_back(rank);
+}
+
+void
+LockWitness::release(LockRank rank)
+{
+    std::vector<LockRank> &held = heldStack();
+    // Releases may come in any order; drop the newest match.
+    const auto it = std::find(held.rbegin(), held.rend(), rank);
+    if (it == held.rend())
+        panic("lock-order witness: releasing %s which this thread "
+              "does not hold",
+              lockRankName(rank));
+    held.erase(std::next(it).base());
+}
+
+WitnessSuspend::WitnessSuspend()
+{
+    saved.swap(heldStack());
+}
+
+WitnessSuspend::~WitnessSuspend()
+{
+    std::vector<LockRank> &held = heldStack();
+    if (!held.empty())
+        panic("lock-order witness: borrowed context resumed with %zu "
+              "lock(s) still held (first: %s) — the IPI driver must "
+              "unwind everything it acquires",
+              held.size(), lockRankName(held.front()));
+    held.swap(saved);
+}
+
+u32
+LockWitness::heldCount()
+{
+    return u32(heldStack().size());
+}
+
+void
+LockWitness::reset()
+{
+    heldStack().clear();
+}
+
+} // namespace hev::smp

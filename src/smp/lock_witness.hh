@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Debug-only runtime lock-order witness for the SMP monitor.
+ *
+ * The lock hierarchy (smp_monitor.hh file header, docs/SMP.md) is
+ * enforced three ways, each catching what the others cannot:
+ *   - compile time: Clang thread-safety annotations
+ *     (support/thread_annotations.hh) reject guarded-field access
+ *     without the guard under -DHEV_ANALYZE=ON;
+ *   - lint time: tools/hev_lint.py checks every acquisition site in
+ *     src/smp against the declared DAG and rejects cycles;
+ *   - run time (this file): a thread-local stack of held-lock ranks
+ *     panics the instant any thread acquires against the order, even
+ *     on interleavings the static tools cannot see through (function
+ *     pointers, virtuals, data-dependent lock choice).
+ *
+ * The witness *machinery* is always compiled (tests drive it
+ * directly); the *hooks* in SmpMonitor's lock guards are compiled out
+ * unless the build defines HEV_LOCK_WITNESS (CMake
+ * -DHEV_LOCK_WITNESS=ON), so production builds pay nothing.
+ *
+ * Ranks are strictly increasing along every legal acquisition chain.
+ * Gaps between ranks are deliberate: future locks slot in without
+ * renumbering.  tools/hev_lint.py derives its DAG from the same
+ * hierarchy, keyed off the HEV_ACQUIRED_AFTER declarations in
+ * smp_monitor.hh, so the three enforcement layers cannot drift.
+ */
+
+#ifndef HEV_SMP_LOCK_WITNESS_HH
+#define HEV_SMP_LOCK_WITNESS_HH
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace hev::smp
+{
+
+/** Rank of every lock in the SMP monitor's documented hierarchy. */
+enum class LockRank : u32
+{
+    Structural = 10,   //!< SmpMonitor::structuralLock
+    EnclaveTable = 15, //!< SmpMonitor::enclaveLocksTableLock
+    Enclave = 20,      //!< the per-enclave mutexes
+    OsPt = 30,         //!< SmpMonitor::osPtLock
+    Shootdown = 40,    //!< SmpMonitor::shootdownLock
+    Mailbox = 50,      //!< SmpVcpu::mailboxLock
+    InFlightPages = 60 //!< SmpMonitor::inFlightPagesLock
+};
+
+/** Stable name of a rank, for violation reports. */
+const char *lockRankName(LockRank rank);
+
+/**
+ * The per-thread held-lock stack.  acquire() panics — naming both
+ * locks — when the new rank is not strictly greater than every rank
+ * already held by this thread.
+ */
+class LockWitness
+{
+  public:
+    /** Record an acquisition; panics on a hierarchy violation. */
+    static void acquire(LockRank rank);
+
+    /** Record a release (any order; removes the newest match). */
+    static void release(LockRank rank);
+
+    /** Locks currently held by this thread. */
+    static u32 heldCount();
+
+    /** Drop this thread's records (test isolation). */
+    static void reset();
+};
+
+/**
+ * Detach this thread's held-rank stack for a scope that executes *on
+ * behalf of other vCPUs*: the shootdown ack wait hands the thread to
+ * the IpiDriver, whose callees (the deterministic scheduler servicing
+ * a target, a test probing a hypercall) form their own acquisition
+ * chains and must not inherit the initiator's held shootdownLock.
+ * The dtor panics if the borrowed context still holds locks — the
+ * driver must unwind everything it acquired.
+ */
+class WitnessSuspend
+{
+  public:
+    WitnessSuspend();
+    ~WitnessSuspend();
+
+    WitnessSuspend(const WitnessSuspend &) = delete;
+    WitnessSuspend &operator=(const WitnessSuspend &) = delete;
+
+  private:
+    std::vector<LockRank> saved;
+};
+
+/** RAII wrapper pairing acquire/release around a guard's lifetime. */
+class WitnessScope
+{
+  public:
+    explicit WitnessScope(LockRank r) : rank(r)
+    {
+        LockWitness::acquire(rank);
+    }
+    ~WitnessScope() { LockWitness::release(rank); }
+
+    WitnessScope(const WitnessScope &) = delete;
+    WitnessScope &operator=(const WitnessScope &) = delete;
+
+  private:
+    LockRank rank;
+};
+
+} // namespace hev::smp
+
+// The hooks the SMP monitor's guards call.  Compiled out unless the
+// build opts in: the witness then costs nothing, and TSan/scheduler
+// runs remain the dynamic backstop.
+#if HEV_LOCK_WITNESS
+#define HEV_WITNESS_ACQUIRE(rank) ::hev::smp::LockWitness::acquire(rank)
+#define HEV_WITNESS_RELEASE(rank) ::hev::smp::LockWitness::release(rank)
+#define HEV_WITNESS_SUSPEND(name) ::hev::smp::WitnessSuspend name
+#else
+#define HEV_WITNESS_ACQUIRE(rank) ((void)0)
+#define HEV_WITNESS_RELEASE(rank) ((void)0)
+#define HEV_WITNESS_SUSPEND(name) ((void)0)
+#endif
+
+#endif // HEV_SMP_LOCK_WITNESS_HH

@@ -45,6 +45,35 @@ nowNs()
                    .count());
 }
 
+/**
+ * MutexGuard plus the lock-order witness hook, for the short internal
+ * critical sections (IPI mailboxes, the in-flight page set, the
+ * enclave-lock table) whose holders never block on remote progress and
+ * therefore need no IPI servicing while acquiring.
+ */
+class HEV_SCOPED_CAPABILITY WitnessedGuard
+{
+  public:
+    WitnessedGuard(Mutex &m, LockRank r) HEV_ACQUIRE(m) : mu(m), rank(r)
+    {
+        HEV_WITNESS_ACQUIRE(rank);
+        mu.lock();
+    }
+
+    ~WitnessedGuard() HEV_RELEASE()
+    {
+        mu.unlock();
+        HEV_WITNESS_RELEASE(rank);
+    }
+
+    WitnessedGuard(const WitnessedGuard &) = delete;
+    WitnessedGuard &operator=(const WitnessedGuard &) = delete;
+
+  private:
+    Mutex &mu;
+    [[maybe_unused]] LockRank rank;
+};
+
 } // namespace
 
 SmpMonitor::SmpMonitor(const SmpConfig &config)
@@ -73,41 +102,65 @@ SmpMonitor::setIpiDriver(IpiDriver driver)
     ipiDriver = std::move(driver);
 }
 
-void
-SmpMonitor::lockExclusiveServicing(std::shared_mutex &m, VcpuId v)
+SmpMonitor::ExclusiveServicingGuard::ExclusiveServicingGuard(
+    SmpMonitor &mon, SharedMutex &m, VcpuId v, LockRank r)
+    : mu(m), rank(r)
 {
-    while (!m.try_lock()) {
-        serviceIpis(v);
+    HEV_WITNESS_ACQUIRE(rank);
+    while (!mu.try_lock()) {
+        mon.serviceIpis(v);
         std::this_thread::yield();
     }
 }
 
-void
-SmpMonitor::lockSharedServicing(std::shared_mutex &m, VcpuId v)
+SmpMonitor::ExclusiveServicingGuard::~ExclusiveServicingGuard()
 {
-    while (!m.try_lock_shared()) {
-        serviceIpis(v);
+    mu.unlock();
+    HEV_WITNESS_RELEASE(rank);
+}
+
+SmpMonitor::SharedServicingGuard::SharedServicingGuard(
+    SmpMonitor &mon, SharedMutex &m, VcpuId v, LockRank r)
+    : mu(m), rank(r)
+{
+    HEV_WITNESS_ACQUIRE(rank);
+    while (!mu.try_lock_shared()) {
+        mon.serviceIpis(v);
         std::this_thread::yield();
     }
 }
 
-void
-SmpMonitor::lockServicing(std::mutex &m, VcpuId v)
+SmpMonitor::SharedServicingGuard::~SharedServicingGuard()
 {
-    while (!m.try_lock()) {
-        serviceIpis(v);
+    mu.unlock_shared();
+    HEV_WITNESS_RELEASE(rank);
+}
+
+SmpMonitor::MutexServicingGuard::MutexServicingGuard(SmpMonitor &mon,
+                                                     Mutex &m, VcpuId v,
+                                                     LockRank r)
+    : mu(m), rank(r)
+{
+    HEV_WITNESS_ACQUIRE(rank);
+    while (!mu.try_lock()) {
+        mon.serviceIpis(v);
         std::this_thread::yield();
     }
 }
 
-std::mutex *
+SmpMonitor::MutexServicingGuard::~MutexServicingGuard()
+{
+    mu.unlock();
+    HEV_WITNESS_RELEASE(rank);
+}
+
+Mutex *
 SmpMonitor::enclaveLock(EnclaveId id)
 {
-    std::lock_guard<std::mutex> guard(enclaveLocksTableLock);
+    WitnessedGuard guard(enclaveLocksTableLock, LockRank::EnclaveTable);
     auto it = enclaveLocks.find(id);
     if (it == enclaveLocks.end())
-        it = enclaveLocks.emplace(id, std::make_unique<std::mutex>())
-                 .first;
+        it = enclaveLocks.emplace(id, std::make_unique<Mutex>()).first;
     return it->second.get();
 }
 
@@ -117,7 +170,7 @@ SmpMonitor::serviceIpis(VcpuId v)
     SmpVcpu &cpu = *cpus[v];
     std::vector<IpiRequest> todo;
     {
-        std::lock_guard<std::mutex> guard(cpu.mailboxLock);
+        WitnessedGuard guard(cpu.mailboxLock, LockRank::Mailbox);
         todo.swap(cpu.mailbox);
     }
     if (todo.empty())
@@ -164,7 +217,7 @@ bool
 SmpMonitor::ipiPending(VcpuId v) const
 {
     SmpVcpu &cpu = *cpus[v];
-    std::lock_guard<std::mutex> guard(cpu.mailboxLock);
+    WitnessedGuard guard(cpu.mailboxLock, LockRank::Mailbox);
     return !cpu.mailbox.empty();
 }
 
@@ -178,7 +231,7 @@ SmpMonitor::shootdownInFlight(hv::DomainId domain) const
 bool
 SmpMonitor::shootdownPageInFlight(u64 va) const
 {
-    std::lock_guard<std::mutex> guard(inFlightPagesLock);
+    WitnessedGuard guard(inFlightPagesLock, LockRank::InFlightPages);
     return inFlightPageVas.count(va & ~(pageSize - 1)) != 0;
 }
 
@@ -192,14 +245,15 @@ void
 SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
                       const std::vector<u64> &page_vas)
 {
-    lockServicing(shootdownLock, initiator);
+    MutexServicingGuard shootdown_guard(*this, shootdownLock, initiator,
+                                        LockRank::Shootdown);
     const u64 gen = epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
     inFlightDomainPlus1.store(u64(domain) + 1, std::memory_order_release);
     if (!page_vas.empty()) {
         // Register the batch's pages: until the ack wait completes a
         // stale translation of any of them may still be live on a
         // remote vCPU, so reload_page refuses to re-establish them.
-        std::lock_guard<std::mutex> guard(inFlightPagesLock);
+        WitnessedGuard guard(inFlightPagesLock, LockRank::InFlightPages);
         inFlightPageVas.insert(page_vas.begin(), page_vas.end());
     }
     obs::traceEvent(obs::EventType::ShootdownBegin, "shootdown",
@@ -212,7 +266,7 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
         SmpVcpu &target = *cpus[w];
         const u64 postTs = timing ? nowNs() : 0;
         {
-            std::lock_guard<std::mutex> guard(target.mailboxLock);
+            WitnessedGuard guard(target.mailboxLock, LockRank::Mailbox);
             target.mailbox.push_back({gen, domain, postTs, page_vas});
         }
         obs::traceEvent(obs::EventType::IpiPost, "ipi",
@@ -232,7 +286,7 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
     const auto clearInFlightPages = [&] {
         if (page_vas.empty())
             return;
-        std::lock_guard<std::mutex> guard(inFlightPagesLock);
+        WitnessedGuard guard(inFlightPagesLock, LockRank::InFlightPages);
         for (const u64 va : page_vas)
             inFlightPageVas.erase(va);
     };
@@ -246,7 +300,6 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
         inFlightDomainPlus1.store(0, std::memory_order_release);
         obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
                         u64(domain), gen);
-        shootdownLock.unlock();
         return;
     }
 
@@ -266,9 +319,16 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
             break;
         ++spins;
         // Keep draining our own mailbox (interrupts stay enabled while
-        // spinning) and let the driver make targets progress.
+        // spinning) and let the driver make targets progress.  The
+        // driver executes on behalf of *other* vCPUs (the scheduler
+        // servicing a target, a test probing a hypercall), so its
+        // acquisition chains start fresh: it must not inherit this
+        // thread's held shootdownLock in the witness's eyes.
         serviceIpis(initiator);
-        ipiDriver(initiator, gen);
+        {
+            HEV_WITNESS_SUSPEND(borrowed);
+            ipiDriver(initiator, gen);
+        }
     }
     const u64 resume = nowNs();
     statShootdownNs.record(resume - start);
@@ -290,15 +350,13 @@ SmpMonitor::shootdown(VcpuId initiator, hv::DomainId domain,
     inFlightDomainPlus1.store(0, std::memory_order_release);
     obs::traceEvent(obs::EventType::ShootdownEnd, "shootdown",
                     u64(domain), gen);
-    shootdownLock.unlock();
 }
 
 Expected<EnclaveId>
 SmpMonitor::hcEnclaveInit(VcpuId v, const hv::EnclaveConfig &config)
 {
-    lockExclusiveServicing(structuralLock, v);
-    std::unique_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    ExclusiveServicingGuard guard(*this, structuralLock, v,
+                                  LockRank::Structural);
     auto id = monitor().hcEnclaveInit(config);
     if (id)
         enclaveLock(*id); // materialize the per-enclave mutex
@@ -309,12 +367,10 @@ Status
 SmpMonitor::hcEnclaveAddPage(VcpuId v, EnclaveId id, Gva page_gva, Gpa src,
                              hv::AddPageKind kind)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
-    std::mutex *lock = enclaveLock(id);
-    lockServicing(*lock, v);
-    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
+    Mutex *lock = enclaveLock(id);
+    MutexServicingGuard enclave_guard(*this, *lock, v, LockRank::Enclave);
     return monitor().hcEnclaveAddPage(id, page_gva, src, kind,
                                       caches[v].get());
 }
@@ -322,31 +378,28 @@ SmpMonitor::hcEnclaveAddPage(VcpuId v, EnclaveId id, Gva page_gva, Gpa src,
 Status
 SmpMonitor::hcEnclaveInitFinish(VcpuId v, EnclaveId id)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
-    std::mutex *lock = enclaveLock(id);
-    lockServicing(*lock, v);
-    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
+    Mutex *lock = enclaveLock(id);
+    MutexServicingGuard enclave_guard(*this, *lock, v, LockRank::Enclave);
     return monitor().hcEnclaveInitFinish(id);
 }
 
 Status
 SmpMonitor::hcEnclaveEnter(VcpuId v, EnclaveId id)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     SmpVcpu &cpu = *cpus[v];
     if (cpu.arch.mode != hv::CpuMode::GuestNormal)
         return HvError::BadEnclaveState;
     hv::Enclave *enclave = monitor().findEnclaveMutable(id);
     if (!enclave)
         return HvError::NoSuchEnclave;
-    std::mutex *lock = enclaveLock(id);
+    Mutex *lock = enclaveLock(id);
     {
-        lockServicing(*lock, v);
-        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        MutexServicingGuard enclave_guard(*this, *lock, v,
+                                          LockRank::Enclave);
         if (enclave->state != hv::EnclaveState::Initialized)
             return HvError::BadEnclaveState;
         // Multi-occupancy: one TCS per resident vCPU.
@@ -379,9 +432,8 @@ SmpMonitor::hcEnclaveEnter(VcpuId v, EnclaveId id)
 Status
 SmpMonitor::hcEnclaveExit(VcpuId v)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     SmpVcpu &cpu = *cpus[v];
     if (cpu.arch.mode != hv::CpuMode::GuestEnclave)
         return HvError::BadEnclaveState;
@@ -402,10 +454,10 @@ SmpMonitor::hcEnclaveExit(VcpuId v)
     // vCPUs resident in the enclave keep theirs.
     cpu.tlb.flushDomain(id);
 
-    std::mutex *lock = enclaveLock(id);
+    Mutex *lock = enclaveLock(id);
     {
-        lockServicing(*lock, v);
-        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        MutexServicingGuard enclave_guard(*this, *lock, v,
+                                          LockRank::Enclave);
         if (enclave->activeVcpus > 0)
             --enclave->activeVcpus;
     }
@@ -417,9 +469,8 @@ SmpMonitor::hcEnclaveExit(VcpuId v)
 Status
 SmpMonitor::hcEnclaveDestroy(VcpuId v, EnclaveId id)
 {
-    lockExclusiveServicing(structuralLock, v);
-    std::unique_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    ExclusiveServicingGuard guard(*this, structuralLock, v,
+                                  LockRank::Structural);
     hv::Enclave *enclave = monitor().findEnclaveMutable(id);
     if (!enclave)
         return HvError::NoSuchEnclave;
@@ -447,9 +498,8 @@ SmpMonitor::hcEnclaveDestroy(VcpuId v, EnclaveId id)
 Expected<hv::EnclaveReport>
 SmpMonitor::hcEnclaveReport(VcpuId v)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     return monitor().hcEnclaveReport(cpus[v]->arch);
 }
 
@@ -458,14 +508,13 @@ SmpMonitor::hcEnclaveEvictPage(VcpuId v, EnclaveId id, Gva page_gva)
 {
     Expected<hv::SealedBlob> blob = HvError::PermissionDenied;
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        std::mutex *lock = enclaveLock(id);
-        lockServicing(*lock, v);
-        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        Mutex *lock = enclaveLock(id);
+        MutexServicingGuard enclave_guard(*this, *lock, v,
+                                          LockRank::Enclave);
         blob = monitor().hcEnclaveEvictPage(id, page_gva);
         if (!blob)
             return blob;
@@ -482,14 +531,12 @@ Status
 SmpMonitor::hcEnclaveReloadPage(VcpuId v, EnclaveId id,
                                 const hv::SealedBlob &blob)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
         return HvError::PermissionDenied;
-    std::mutex *lock = enclaveLock(id);
-    lockServicing(*lock, v);
-    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    Mutex *lock = enclaveLock(id);
+    MutexServicingGuard enclave_guard(*this, *lock, v, LockRank::Enclave);
     // A page still inside an in-flight batched shootdown must not be
     // re-established: a target vCPU that has not acked yet could keep a
     // cached translation of the *old* frame while the reload installs a
@@ -504,12 +551,10 @@ Status
 SmpMonitor::hcEnclaveAddPagesBatch(VcpuId v, EnclaveId id,
                                    const std::vector<hv::AddPageRequest> &reqs)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
-    std::mutex *lock = enclaveLock(id);
-    lockServicing(*lock, v);
-    std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
+    Mutex *lock = enclaveLock(id);
+    MutexServicingGuard enclave_guard(*this, *lock, v, LockRank::Enclave);
     return monitor().hcEnclaveAddPagesBatch(id, reqs, caches[v].get());
 }
 
@@ -521,14 +566,13 @@ SmpMonitor::hcEnclaveEvictPagesBatch(VcpuId v, EnclaveId id,
         HvError::PermissionDenied;
     std::vector<u64> vas;
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        std::mutex *lock = enclaveLock(id);
-        lockServicing(*lock, v);
-        std::lock_guard<std::mutex> enclave_guard(*lock, std::adopt_lock);
+        Mutex *lock = enclaveLock(id);
+        MutexServicingGuard enclave_guard(*this, *lock, v,
+                                          LockRank::Enclave);
         blobs = monitor().hcEnclaveEvictPagesBatch(id, gvas);
         if (!blobs)
             return blobs;
@@ -560,9 +604,8 @@ SmpMonitor::hcEnclaveSnapshot(VcpuId v, EnclaveId id,
         // Exclusive: with move semantics the enclave table changes
         // shape, and even a fork must freeze enter/exit while the
         // residency check and the fold run.
-        lockExclusiveServicing(structuralLock, v);
-        std::unique_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        ExclusiveServicingGuard guard(*this, structuralLock, v,
+                                      LockRank::Structural);
         if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
         // The SMP-correct quiesce check: every vCPU in the table, not
@@ -596,9 +639,8 @@ SmpMonitor::hcEnclaveSnapshot(VcpuId v, EnclaveId id,
 Expected<EnclaveId>
 SmpMonitor::hcEnclaveRestoreImage(VcpuId v, const hv::EnclaveImage &image)
 {
-    lockExclusiveServicing(structuralLock, v);
-    std::unique_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    ExclusiveServicingGuard guard(*this, structuralLock, v,
+                                  LockRank::Structural);
     if (cpus[v]->arch.mode != hv::CpuMode::GuestNormal)
         return HvError::PermissionDenied;
     // No shootdown: the restored enclave's mappings are all new, so no
@@ -613,15 +655,13 @@ SmpMonitor::osUnmapBatch(VcpuId v, const std::vector<u64> &vas)
         return okStatus();
     std::vector<u64> inval;
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         SmpVcpu &cpu = *cpus[v];
         if (cpu.arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        lockExclusiveServicing(osPtLock, v);
-        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
-                                                     std::adopt_lock);
+        ExclusiveServicingGuard pt_guard(*this, osPtLock, v,
+                                         LockRank::OsPt);
         // Validate the whole batch before touching any entry: the OS
         // page table has no frame pressure on the unmap path, so unlike
         // the enclave batches nothing can fail after this point and
@@ -663,15 +703,13 @@ SmpMonitor::osProtectRoBatch(VcpuId v,
         return okStatus();
     std::vector<u64> inval;
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         SmpVcpu &cpu = *cpus[v];
         if (cpu.arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        lockExclusiveServicing(osPtLock, v);
-        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
-                                                     std::adopt_lock);
+        ExclusiveServicingGuard pt_guard(*this, osPtLock, v,
+                                         LockRank::OsPt);
         std::set<u64> seen;
         for (const auto &[va, target] : elems) {
             (void)target;
@@ -714,15 +752,13 @@ Status
 SmpMonitor::osUnmap(VcpuId v, u64 va)
 {
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         SmpVcpu &cpu = *cpus[v];
         if (cpu.arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        lockExclusiveServicing(osPtLock, v);
-        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
-                                                     std::adopt_lock);
+        ExclusiveServicingGuard pt_guard(*this, osPtLock, v,
+                                         LockRank::OsPt);
         if (auto st = mach.os().gptUnmap(Gpa(cpu.arch.gptRoot.value), va);
             !st)
             return st;
@@ -737,14 +773,12 @@ SmpMonitor::osUnmap(VcpuId v, u64 va)
 Status
 SmpMonitor::osMap(VcpuId v, u64 va, Gpa target)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     SmpVcpu &cpu = *cpus[v];
     if (cpu.arch.mode != hv::CpuMode::GuestNormal)
         return HvError::PermissionDenied;
-    lockExclusiveServicing(osPtLock, v);
-    std::unique_lock<std::shared_mutex> pt_guard(osPtLock, std::adopt_lock);
+    ExclusiveServicingGuard pt_guard(*this, osPtLock, v, LockRank::OsPt);
     return mach.os().gptMap(Gpa(cpu.arch.gptRoot.value), va, target,
                             hv::PteFlags::userRw());
 }
@@ -753,15 +787,13 @@ Status
 SmpMonitor::osProtectRo(VcpuId v, u64 va, Gpa target)
 {
     {
-        lockSharedServicing(structuralLock, v);
-        std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                                  std::adopt_lock);
+        SharedServicingGuard guard(*this, structuralLock, v,
+                                   LockRank::Structural);
         SmpVcpu &cpu = *cpus[v];
         if (cpu.arch.mode != hv::CpuMode::GuestNormal)
             return HvError::PermissionDenied;
-        lockExclusiveServicing(osPtLock, v);
-        std::unique_lock<std::shared_mutex> pt_guard(osPtLock,
-                                                     std::adopt_lock);
+        ExclusiveServicingGuard pt_guard(*this, osPtLock, v,
+                                         LockRank::OsPt);
         const Gpa root = Gpa(cpu.arch.gptRoot.value);
         if (auto st = mach.os().gptUnmap(root, va); !st)
             return st;
@@ -778,9 +810,8 @@ SmpMonitor::osProtectRo(VcpuId v, u64 va, Gpa target)
 Status
 SmpMonitor::setGptRoot(VcpuId v, Hpa new_root)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     SmpVcpu &cpu = *cpus[v];
     if (cpu.arch.mode != hv::CpuMode::GuestNormal)
         return HvError::PermissionDenied;
@@ -793,9 +824,8 @@ SmpMonitor::setGptRoot(VcpuId v, Hpa new_root)
 Expected<Hpa>
 SmpMonitor::translate(VcpuId v, Gva va, bool is_write)
 {
-    lockSharedServicing(structuralLock, v);
-    std::shared_lock<std::shared_mutex> guard(structuralLock,
-                                              std::adopt_lock);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
     SmpVcpu &cpu = *cpus[v];
     if (auto hit = cpu.tlb.lookup(cpu.arch.domain, va.value)) {
         if (!is_write || hit->writable)
@@ -813,9 +843,8 @@ SmpMonitor::translate(VcpuId v, Gva va, bool is_write)
     } else {
         // Normal-mode walks read guest-managed tables that osUnmap /
         // osMap / osProtectRo mutate under the exclusive side.
-        lockSharedServicing(osPtLock, v);
-        std::shared_lock<std::shared_mutex> pt_guard(osPtLock,
-                                                     std::adopt_lock);
+        SharedServicingGuard pt_guard(*this, osPtLock, v,
+                                      LockRank::OsPt);
         hpa = monitor().translateUncached(cpu.arch.gptRoot,
                                           cpu.arch.eptRoot, va, is_write);
     }
@@ -868,5 +897,19 @@ SmpMonitor::memStore(VcpuId v, Gva va, u64 value)
     monitor().mem().write(*hpa, value);
     return okStatus();
 }
+
+#if HEV_LOCK_WITNESS
+void
+SmpMonitor::debugAcquireOutOfOrder(VcpuId v)
+{
+    // Deliberately backwards — osPtLock before structuralLock — so the
+    // witness death test can prove the panic fires.  Never called by
+    // the monitor itself; compiled only into witness builds.
+    // hev-lint: allow lock-order
+    SharedServicingGuard pt_guard(*this, osPtLock, v, LockRank::OsPt);
+    SharedServicingGuard guard(*this, structuralLock, v,
+                               LockRank::Structural);
+}
+#endif
 
 } // namespace hev::smp

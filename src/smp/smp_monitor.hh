@@ -44,15 +44,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "hv/machine.hh"
 #include "smp/cpu_cache.hh"
+#include "smp/lock_witness.hh"
 #include "smp/smp.hh"
+#include "support/thread_annotations.hh"
 
 namespace hev::smp
 {
@@ -85,8 +85,8 @@ struct SmpVcpu
     std::map<EnclaveId, hv::RegFile> enclaveCtx;
 
     /** IPI mailbox: written by initiators, drained by the owner. */
-    std::mutex mailboxLock;
-    std::vector<IpiRequest> mailbox;
+    Mutex mailboxLock;
+    std::vector<IpiRequest> mailbox HEV_GUARDED_BY(mailboxLock);
     /** Highest shootdown generation this vCPU has acked. */
     std::atomic<u64> ackGen{0};
     /**
@@ -332,7 +332,80 @@ class SmpMonitor
 
     /// @}
 
+#if HEV_LOCK_WITNESS
+    /**
+     * Witness-build test hook: acquire osPtLock then structuralLock —
+     * backwards — so the death test can prove the runtime witness
+     * rejects an out-of-order acquisition end to end.  Never compiled
+     * into production builds.
+     */
+    void debugAcquireOutOfOrder(VcpuId v);
+#endif
+
   private:
+    /**
+     * Blocking acquisitions that keep servicing the acquiring vCPU's
+     * own IPIs while they spin — the software analogue of spinning
+     * with interrupts enabled (file header).  Scoped guards instead
+     * of raw lock/adopt pairs so Clang's thread-safety analysis sees
+     * the acquisition, and so the lock-order witness hooks ride the
+     * same RAII edges.  The spin bodies are try-lock loops the
+     * analysis cannot prove terminate holding the lock, so the
+     * definitions carry HEV_NO_THREAD_SAFETY_ANALYSIS; the ACQUIRE
+     * contract on the declarations is what callers are checked
+     * against.
+     */
+    class HEV_SCOPED_CAPABILITY ExclusiveServicingGuard
+    {
+      public:
+        ExclusiveServicingGuard(SmpMonitor &mon, SharedMutex &m,
+                                VcpuId v, LockRank rank)
+            HEV_ACQUIRE(m) HEV_NO_THREAD_SAFETY_ANALYSIS;
+        ~ExclusiveServicingGuard() HEV_RELEASE();
+
+        ExclusiveServicingGuard(const ExclusiveServicingGuard &) = delete;
+        ExclusiveServicingGuard &
+        operator=(const ExclusiveServicingGuard &) = delete;
+
+      private:
+        SharedMutex &mu;
+        [[maybe_unused]] LockRank rank;
+    };
+
+    class HEV_SCOPED_CAPABILITY SharedServicingGuard
+    {
+      public:
+        SharedServicingGuard(SmpMonitor &mon, SharedMutex &m, VcpuId v,
+                             LockRank rank)
+            HEV_ACQUIRE_SHARED(m) HEV_NO_THREAD_SAFETY_ANALYSIS;
+        ~SharedServicingGuard() HEV_RELEASE_GENERIC();
+
+        SharedServicingGuard(const SharedServicingGuard &) = delete;
+        SharedServicingGuard &
+        operator=(const SharedServicingGuard &) = delete;
+
+      private:
+        SharedMutex &mu;
+        [[maybe_unused]] LockRank rank;
+    };
+
+    class HEV_SCOPED_CAPABILITY MutexServicingGuard
+    {
+      public:
+        MutexServicingGuard(SmpMonitor &mon, Mutex &m, VcpuId v,
+                            LockRank rank)
+            HEV_ACQUIRE(m) HEV_NO_THREAD_SAFETY_ANALYSIS;
+        ~MutexServicingGuard() HEV_RELEASE();
+
+        MutexServicingGuard(const MutexServicingGuard &) = delete;
+        MutexServicingGuard &
+        operator=(const MutexServicingGuard &) = delete;
+
+      private:
+        Mutex &mu;
+        [[maybe_unused]] LockRank rank;
+    };
+
     /** Run the full shootdown protocol for one domain. */
     void shootdown(VcpuId initiator, hv::DomainId domain);
 
@@ -344,42 +417,49 @@ class SmpMonitor
     void shootdown(VcpuId initiator, hv::DomainId domain,
                    const std::vector<u64> &page_vas);
 
-    /** Blocking lock acquisitions that keep servicing own IPIs. */
-    void lockExclusiveServicing(std::shared_mutex &m, VcpuId v);
-    void lockSharedServicing(std::shared_mutex &m, VcpuId v);
-    void lockServicing(std::mutex &m, VcpuId v);
-
     /**
      * The per-enclave mutex, created on first use (enclaves can also
      * be created behind the SMP monitor's back through the wrapped
      * Machine's own hypercall path) and kept until teardown.
      */
-    std::mutex *enclaveLock(EnclaveId id);
+    Mutex *enclaveLock(EnclaveId id);
 
     SmpConfig cfg;
     hv::Machine mach;
     std::vector<std::unique_ptr<SmpVcpu>> cpus;
     std::vector<std::unique_ptr<CpuFrameCache>> caches;
 
+    // The lock hierarchy, declared to the compiler.  The
+    // HEV_ACQUIRED_AFTER edges below ARE the authoritative DAG:
+    // tools/hev_lint.py parses them, checks them for cycles, and then
+    // checks every acquisition site in src/smp against the resulting
+    // order; the runtime witness (lock_witness.hh) asserts the same
+    // order thread-locally in HEV_LOCK_WITNESS builds.
+
     /** Lock 1: enclave-table shape (see file header). */
-    std::shared_mutex structuralLock;
-    /** Lock 2 lives in enclaveLocks, one mutex per enclave. */
-    std::map<EnclaveId, std::unique_ptr<std::mutex>> enclaveLocks;
+    SharedMutex structuralLock;
     /** Guards the enclaveLocks table itself (held only inside
      *  enclaveLock, never across another acquisition). */
-    mutable std::mutex enclaveLocksTableLock;
+    mutable Mutex enclaveLocksTableLock
+        HEV_ACQUIRED_AFTER(structuralLock);
+    /** Lock 2 lives in enclaveLocks, one mutex per enclave; the map
+     *  itself is guarded, the pointed-to mutexes are capabilities of
+     *  their own (acquired after enclaveLocksTableLock releases). */
+    std::map<EnclaveId, std::unique_ptr<Mutex>> enclaveLocks
+        HEV_GUARDED_BY(enclaveLocksTableLock);
     /** Lock 3: primary-OS page tables and guest page pool. */
-    std::shared_mutex osPtLock;
+    SharedMutex osPtLock HEV_ACQUIRED_AFTER(structuralLock);
     /** Lock 4: one shootdown in flight at a time. */
-    std::mutex shootdownLock;
+    Mutex shootdownLock HEV_ACQUIRED_AFTER(structuralLock, osPtLock);
 
     std::atomic<u64> epoch{0};
     /** Domain+1 of the in-flight shootdown; 0 = none. */
     std::atomic<u64> inFlightDomainPlus1{0};
+    /** Guards inFlightPageVas; a leaf: nothing is acquired under it. */
+    mutable Mutex inFlightPagesLock HEV_ACQUIRED_AFTER(shootdownLock);
     /** Page vas of the in-flight batched shootdown (empty when none or
      *  when the in-flight shootdown is a whole-domain flush). */
-    mutable std::mutex inFlightPagesLock;
-    std::set<u64> inFlightPageVas;
+    std::set<u64> inFlightPageVas HEV_GUARDED_BY(inFlightPagesLock);
 
     IpiDriver ipiDriver;
     SmpStats statCounters;

@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/thread_annotations.hh"
 
 namespace hev
 {
@@ -14,10 +15,10 @@ namespace
 bool verboseFlag = false;
 
 /** Serializes whole-line writes to stderr. */
-std::mutex &
+Mutex &
 logMutex()
 {
-    static std::mutex mu;
+    static Mutex mu;
     return mu;
 }
 
@@ -71,7 +72,7 @@ vreport(const char *tag, const char *fmt, va_list ap)
     line += contextStack().prefix;
     line += vformat(fmt, ap);
     line += '\n';
-    std::lock_guard<std::mutex> lock(logMutex());
+    MutexGuard lock(logMutex());
     std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
 }

@@ -1,0 +1,11 @@
+// Fixture: rank -> member-name mapping for the mini monitor.
+#include "smp/lock_witness.hh"
+
+const char *lockRankName(LockRank rank)
+{
+    switch (rank) {
+      case LockRank::Structural: return "structuralLock";
+      case LockRank::Shootdown: return "shootdownLock";
+    }
+    return "unknown";
+}

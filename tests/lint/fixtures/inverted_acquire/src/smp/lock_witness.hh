@@ -1,0 +1,11 @@
+// Fixture: rank table matching the mini monitor below.
+#ifndef FIXTURE_LOCK_WITNESS_HH
+#define FIXTURE_LOCK_WITNESS_HH
+
+enum class LockRank : unsigned
+{
+    Structural = 10,
+    Shootdown = 40,
+};
+
+#endif

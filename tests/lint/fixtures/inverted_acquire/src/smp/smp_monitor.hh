@@ -1,0 +1,18 @@
+// Fixture: the declared DAG is fine — the violation is in the .cc,
+// which acquires against it.
+#ifndef FIXTURE_SMP_MONITOR_HH
+#define FIXTURE_SMP_MONITOR_HH
+
+#define HEV_ACQUIRED_AFTER(...)
+
+struct Mutex {};
+struct SharedMutex {};
+
+class SmpMonitor
+{
+  private:
+    SharedMutex structuralLock;
+    Mutex shootdownLock HEV_ACQUIRED_AFTER(structuralLock);
+};
+
+#endif

@@ -1,0 +1,18 @@
+// Fixture: the two HEV_ACQUIRED_AFTER declarations contradict each
+// other — the declared order is a cycle, not a DAG.
+#ifndef FIXTURE_SMP_MONITOR_HH
+#define FIXTURE_SMP_MONITOR_HH
+
+#define HEV_ACQUIRED_AFTER(...)
+
+struct Mutex {};
+struct SharedMutex {};
+
+class SmpMonitor
+{
+  private:
+    SharedMutex structuralLock HEV_ACQUIRED_AFTER(shootdownLock);
+    Mutex shootdownLock HEV_ACQUIRED_AFTER(structuralLock);
+};
+
+#endif

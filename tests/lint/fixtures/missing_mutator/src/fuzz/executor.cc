@@ -1,0 +1,11 @@
+// Fixture: dispatch is complete; only the mutator is short.
+#include "fuzz/trace.hh"
+
+int dispatch(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::HcInit: return 1;
+      case OpKind::OsUnmap: return 2;
+    }
+    return 0;
+}

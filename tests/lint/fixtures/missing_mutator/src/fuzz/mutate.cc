@@ -1,0 +1,7 @@
+// Fixture: the mutator only ever emits HcInit — OsUnmap is planted as
+// unreachable by mutation.
+#include "fuzz/trace.hh"
+
+using K = OpKind;
+
+K pick() { return K::HcInit; }

@@ -1,0 +1,7 @@
+// Fixture: serializer names are complete — only the mutator is short.
+#include "fuzz/trace.hh"
+
+constexpr const char *kindNames[opKindCount] = {
+    "hc_init",
+    "os_unmap",
+};

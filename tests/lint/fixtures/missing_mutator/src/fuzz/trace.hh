@@ -1,0 +1,13 @@
+// Fixture: two-op trace enum; OsUnmap lacks a mutator arm.
+#ifndef FIXTURE_TRACE_HH
+#define FIXTURE_TRACE_HH
+
+enum class OpKind : unsigned char
+{
+    HcInit,
+    OsUnmap,
+};
+
+inline constexpr unsigned opKindCount = 2;
+
+#endif

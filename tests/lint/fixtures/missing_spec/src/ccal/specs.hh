@@ -1,0 +1,7 @@
+// Fixture: only the init spec exists.
+#ifndef FIXTURE_SPECS_HH
+#define FIXTURE_SPECS_HH
+
+long specHcInit(int s, unsigned long start, unsigned long end);
+
+#endif

@@ -1,0 +1,13 @@
+// Fixture: hcEnclaveFrotz has no specHcFrotz counterpart.
+#ifndef FIXTURE_MONITOR_HH
+#define FIXTURE_MONITOR_HH
+
+class Monitor
+{
+  public:
+    int hcEnclaveInit(int config);
+    int hcEnclaveFrotz(int id); // <-- planted: no spec
+    int hcEnclaveEnter(int id); // allowlisted: vCPU local
+};
+
+#endif

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Smoke test of the lock-discipline enforcement stack (docs/ANALYSIS.md):
+#
+#   1. the cross-layer linter and its planted fixtures (ctest -L lint),
+#   2. a -DHEV_LOCK_WITNESS=ON build running the smp suites, so the
+#      runtime witness rides every guard the monitor takes (bench
+#      comparisons are excluded: witness hooks tax the hot paths by
+#      design, and the perf gate's baseline is for plain builds),
+#   3. if clang++ exists, a -DHEV_ANALYZE=ON clang build that must
+#      compile clean under -Werror=thread-safety (skipped loudly on
+#      GCC-only containers — the annotations expand to nothing there).
+#
+# Usage: tools/analyze_smoke.sh [jobs]
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+
+echo "== 1/3: cross-layer lint (fixtures + clean tree) =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+(cd "$repo/build" && ctest -L lint --output-on-failure)
+
+echo "== 2/3: runtime lock-order witness build =="
+cmake -B "$repo/build-witness" -S "$repo" \
+    -DHEV_LOCK_WITNESS=ON >/dev/null
+cmake --build "$repo/build-witness" -j "$jobs"
+(cd "$repo/build-witness" &&
+    ctest -L smp -LE bench --output-on-failure)
+
+echo "== 3/3: clang thread-safety analysis build =="
+if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "$repo/build-analyze" -S "$repo" -DHEV_ANALYZE=ON \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build "$repo/build-analyze" -j "$jobs"
+    echo "thread-safety: clean under -Werror=thread-safety"
+else
+    echo "thread-safety: SKIPPED (clang++ not installed; the"
+    echo "  annotations are invisible to GCC — docs/ANALYSIS.md)"
+fi
+
+echo "analyze_smoke: done"
